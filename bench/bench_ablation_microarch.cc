@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablations of the FA3C microarchitectural design choices DESIGN.md
+ * calls out, beyond the paper's own Figure 10 variants:
+ *
+ *  - double buffering (the two-level buffer hierarchy's overlap of
+ *    compute and DRAM traffic, Sections 4.4.3 / 4.5),
+ *  - the number of RMSProp RUs (Section 4.2.3: four saturate the
+ *    16-word DRAM interface),
+ *  - the number of DRAM channels (Section 4.1: global and local
+ *    parameters in different channels),
+ *  - the number of TLUs per CU (Section 4.4.3: two overlap fill and
+ *    drain).
+ *
+ * Each row reports the platform IPS at n = 16 with one knob changed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "fa3c/tlu.hh"
+#include "harness/experiments.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+double
+ipsOf(const core::Fa3cConfig &cfg)
+{
+    return measurePlatform(PlatformId::Fa3c, 16, netCfg, 5, 3.0, &cfg)
+        .ips;
+}
+
+void
+BM_AblationPoint(benchmark::State &state)
+{
+    core::Fa3cConfig cfg = core::Fa3cConfig::vcu1525();
+    cfg.doubleBuffering = state.range(0) != 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ipsOf(cfg));
+}
+BENCHMARK(BM_AblationPoint)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Ablations",
+                  "Microarchitecture ablations at n = 16 (VCU1525 "
+                  "configuration; IPS, relative to baseline)");
+
+    const core::Fa3cConfig base = core::Fa3cConfig::vcu1525();
+    const double base_ips = ipsOf(base);
+
+    sim::TextTable table({"Configuration", "IPS", "Relative"});
+    auto add = [&](const std::string &name,
+                   const core::Fa3cConfig &cfg) {
+        const double ips = ipsOf(cfg);
+        table.addRow({name, sim::TextTable::num(ips, 0),
+                      sim::TextTable::num(ips / base_ips, 2)});
+    };
+    table.addRow({"FA3C baseline (2 pairs x 64 PEs, 4 RUs, 4 ch)",
+                  sim::TextTable::num(base_ips, 0), "1.00"});
+
+    core::Fa3cConfig no_db = base;
+    no_db.doubleBuffering = false;
+    add("no double buffering (serial DRAM -> compute)", no_db);
+
+    for (int rus : {1, 2, 8}) {
+        core::Fa3cConfig cfg = base;
+        cfg.rmspropUnits = rus;
+        add("RMSProp RUs = " + std::to_string(rus), cfg);
+    }
+
+    for (int channels : {1, 2}) {
+        core::Fa3cConfig cfg = base;
+        cfg.dram.channels = channels;
+        add("DRAM channels = " + std::to_string(channels), cfg);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+
+    // TLU count affects the parameter-load pipeline, which the task
+    // model keeps hidden behind the DRAM stream when 2 TLUs overlap
+    // fill and drain; with a single TLU the transpose rate halves and
+    // would poke out for the FC layers.
+    const nn::ConvSpec fc3 = core::asConv(nn::FcSpec{2592, 256});
+    std::printf("TLU pipeline for FC3: 1 TLU = %s cycles, 2 TLUs = %s "
+                "cycles vs %s DRAM beats (2 TLUs keep the transpose "
+                "fully hidden; 1 TLU would double the exposed "
+                "parameter-load time of BW phases).\n",
+                sim::TextTable::num(core::tluLoadCycles(fc3, 1)).c_str(),
+                sim::TextTable::num(core::tluLoadCycles(fc3, 2)).c_str(),
+                sim::TextTable::num(core::paddedParamWords(fc3) /
+                                    core::dramBurstWords)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Figure 10: relative performance of the FA3C platform
+ * configurations (FA3C, FA3C-Alt1, FA3C-Alt2, FA3C-SingleCU) on the
+ * Stratix V single-CU-pair platform, normalized to FA3C at n = 16.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "harness/experiments.hh"
+#include "harness/paper_data.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+core::Fa3cConfig
+variantConfig(core::Variant v)
+{
+    core::Fa3cConfig cfg = core::Fa3cConfig::stratixV();
+    cfg.variant = v;
+    return cfg;
+}
+
+void
+BM_MeasureVariant(benchmark::State &state)
+{
+    const core::Fa3cConfig cfg = variantConfig(
+        static_cast<core::Variant>(state.range(0)));
+    for (auto _ : state) {
+        const PlatformPoint p = measurePlatform(PlatformId::Fa3c, 16,
+                                                netCfg, 5, 0.5, &cfg);
+        benchmark::DoNotOptimize(p.ips);
+    }
+}
+BENCHMARK(BM_MeasureVariant)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Figure 10", "Performance of different FA3C "
+                               "configurations (Stratix V, one CU "
+                               "pair, normalized to FA3C @ n=16)");
+
+    const double sim_seconds = static_cast<double>(
+                                   bench::envKnob("FA3C_FIG10_SIM_MS",
+                                                  3000)) /
+                               1000.0;
+    const int agent_counts[] = {1, 2, 4, 8, 16};
+    const core::Variant variants[] = {
+        core::Variant::Standard, core::Variant::Alt1,
+        core::Variant::Alt2, core::Variant::SingleCU};
+
+    // Baseline: FA3C standard at n = 16.
+    const core::Fa3cConfig base_cfg =
+        variantConfig(core::Variant::Standard);
+    const double base_ips =
+        measurePlatform(PlatformId::Fa3c, 16, netCfg, 5, sim_seconds,
+                        &base_cfg)
+            .ips;
+
+    sim::TextTable table({"Configuration", "n=1", "n=2", "n=4", "n=8",
+                          "n=16"});
+    double alt1_16 = 0;
+    double single_4 = 0, standard_4 = 0;
+    for (core::Variant v : variants) {
+        const core::Fa3cConfig cfg = variantConfig(v);
+        std::vector<std::string> row = {core::variantName(v)};
+        for (int n : agent_counts) {
+            const double ips =
+                measurePlatform(PlatformId::Fa3c, n, netCfg, 5,
+                                sim_seconds, &cfg)
+                    .ips;
+            row.push_back(sim::TextTable::num(ips / base_ips, 2));
+            if (v == core::Variant::Alt1 && n == 16)
+                alt1_16 = ips;
+            if (v == core::Variant::SingleCU && n == 4)
+                single_4 = ips;
+            if (v == core::Variant::Standard && n == 4)
+                standard_4 = ips;
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("FA3C-Alt1 @ n=16: %.1f%% below FA3C (paper: 33%% "
+                "lower).\n",
+                100.0 * (1.0 - alt1_16 / base_ips));
+    std::printf("Dual-CU vs SingleCU @ n=4: %+.1f%% (paper: the dual "
+                "CU design wins for n >= 4).\n",
+                100.0 * (standard_4 / single_4 - 1.0));
+    return 0;
+}

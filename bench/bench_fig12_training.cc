@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Regenerates Figure 12: Atari game training results. For each of the
+ * six games, A3C is actually trained end to end on the synthetic
+ * environment — once with the reference DNN math (standing in for the
+ * GPU implementation) and once through the FA3C functional datapath —
+ * and the moving-average score curves are printed.
+ *
+ * Scaled down per DESIGN.md: the tiny network (4x21x21 input) and a
+ * reduced step budget replace the paper's 100 M steps; the claim
+ * being reproduced is that FA3C trains the A3C DNN correctly and its
+ * curve tracks the GPU implementation's. FA3C_FIG12_STEPS and
+ * FA3C_FIG12_AGENTS scale the run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "harness/experiments.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+TrainingRunConfig
+runConfig(env::GameId game, TrainingBackend backend,
+          std::uint64_t steps, int agents)
+{
+    TrainingRunConfig cfg;
+    cfg.game = game;
+    cfg.net = nn::NetConfig::tiny(
+        static_cast<int>(env::makeEnvironment(game, 0)->numActions()));
+    cfg.backend = backend;
+    cfg.scoreWindow = 40;
+    cfg.a3c.numAgents = agents;
+    cfg.a3c.totalSteps = steps;
+    cfg.a3c.initialLr = 1e-3f;
+    cfg.a3c.lrAnnealSteps = 0;
+    cfg.a3c.seed = 11;
+    return cfg;
+}
+
+void
+BM_TrainingSteps(benchmark::State &state)
+{
+    // Cost of 400 real training steps (reference backend, Pong).
+    for (auto _ : state) {
+        TrainingRunConfig cfg = runConfig(
+            env::GameId::Pong, TrainingBackend::Reference, 400, 2);
+        const TrainingRunResult r = runTraining(cfg);
+        benchmark::DoNotOptimize(r.steps);
+    }
+}
+BENCHMARK(BM_TrainingSteps)->Unit(benchmark::kMillisecond);
+
+/** Print a curve as ~8 sampled (step, score) points. */
+std::string
+curveString(const std::vector<CurvePoint> &curve)
+{
+    if (curve.empty())
+        return "(no episodes)";
+    std::string out;
+    const std::size_t points = 8;
+    for (std::size_t i = 0; i < points; ++i) {
+        const std::size_t idx =
+            std::min(curve.size() - 1,
+                     i * (curve.size() - 1) / (points - 1));
+        out += sim::TextTable::num(curve[idx].score, 1);
+        if (i + 1 < points)
+            out += " ";
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Figure 12",
+                  "Atari game training results on the FA3C datapath "
+                  "and the reference (GPU-equivalent) implementation");
+
+    const std::uint64_t steps = bench::envKnob("FA3C_FIG12_STEPS",
+                                               20000);
+    const int agents = static_cast<int>(
+        bench::envKnob("FA3C_FIG12_AGENTS", 4));
+    std::printf("Run: %llu steps, %d agents per platform and game "
+                "(paper: 100 M steps, 16 agents; see EXPERIMENTS.md "
+                "for the scaling rationale).\n\n",
+                static_cast<unsigned long long>(steps), agents);
+
+    std::FILE *csv = bench::openCsv("fig12_training_curves.csv");
+    if (csv)
+        std::fprintf(csv, "game,platform,step,score\n");
+
+    sim::TextTable table({"Game", "Platform", "Episodes",
+                          "First avg score", "Final avg score",
+                          "Curve (sampled)"});
+    int improved = 0;
+    int tracked = 0;
+    for (env::GameId game : env::allGames) {
+        double final_scores[2] = {0, 0};
+        int i = 0;
+        for (TrainingBackend backend : {TrainingBackend::Fa3c,
+                                        TrainingBackend::Reference}) {
+            const TrainingRunConfig cfg =
+                runConfig(game, backend, steps, agents);
+            const TrainingRunResult r = runTraining(cfg);
+            final_scores[i++] = r.finalScore;
+            if (csv) {
+                for (const auto &point : r.curve)
+                    std::fprintf(
+                        csv, "%s,%s,%llu,%.3f\n", env::gameName(game),
+                        backend == TrainingBackend::Fa3c ? "FA3C"
+                                                         : "A3C-GPU",
+                        static_cast<unsigned long long>(point.step),
+                        point.score);
+            }
+            if (r.finalScore > r.firstScore)
+                ++improved;
+            table.addRow(
+                {env::gameName(game),
+                 backend == TrainingBackend::Fa3c
+                     ? "FA3C (datapath model)"
+                     : "A3C-GPU (reference math)",
+                 std::to_string(r.episodes),
+                 sim::TextTable::num(r.firstScore, 1),
+                 sim::TextTable::num(r.finalScore, 1),
+                 curveString(r.curve)});
+        }
+        // "Similar training trends": the two final scores should be
+        // in the same ballpark (same algorithm, same math).
+        const double hi =
+            std::max(std::abs(final_scores[0]),
+                     std::abs(final_scores[1]));
+        if (hi == 0.0 ||
+            std::abs(final_scores[0] - final_scores[1]) <=
+                0.75 * hi + 2.0)
+            ++tracked;
+    }
+    if (csv)
+        std::fclose(csv);
+    std::printf("%s\n", table.render().c_str());
+
+    // The wall-clock half of the paper's Figure 12 claim: at the
+    // paper's operating point (16 agents) the same number of steps
+    // finishes earlier on FA3C because of its higher IPS.
+    const double fa3c_ips =
+        measurePlatform(PlatformId::Fa3c, 16, nn::NetConfig::atari(4),
+                        5, 1.0)
+            .ips;
+    const double cudnn_ips =
+        measurePlatform(PlatformId::A3cCudnn, 16,
+                        nn::NetConfig::atari(4), 5, 1.0)
+            .ips;
+    std::printf("Wall-clock for these %llu steps at the simulated "
+                "full-size-network rates (16 agents, the paper's "
+                "setting): FA3C %.1f s vs A3C-cuDNN %.1f s -> FA3C "
+                "reaches the same score %.2fx sooner (the paper's "
+                "Figure 12 observation).\n",
+                static_cast<unsigned long long>(steps),
+                static_cast<double>(steps) / fa3c_ips,
+                static_cast<double>(steps) / cudnn_ips,
+                fa3c_ips / cudnn_ips);
+    std::printf("Runs with improving moving-average score: %d / 12\n",
+                improved);
+    std::printf("Games where the FA3C curve tracks the reference "
+                "curve: %d / 6\n", tracked);
+    std::printf("Paper: \"the FA3C platform has similar training "
+                "trends to those of the GPU-based implementation\"; "
+                "per-step math is identical up to fp32 reassociation "
+                "(see the equivalence tests), so divergence comes only "
+                "from RL stochasticity.\n");
+    return 0;
+}

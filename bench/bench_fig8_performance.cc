@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Regenerates Figure 8: IPS (inferences per second across all agents)
+ * versus the number of agents for the five platforms — FA3C on the
+ * simulated VCU1525 and the four GPU/CPU baselines — plus the Table 5
+ * platform summary as a header.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "harness/experiments.hh"
+#include "harness/paper_data.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+void
+BM_MeasureFa3cSixteenAgents(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const PlatformPoint p =
+            measurePlatform(PlatformId::Fa3c, 16, netCfg, 5, 1.0);
+        benchmark::DoNotOptimize(p.ips);
+    }
+}
+BENCHMARK(BM_MeasureFa3cSixteenAgents)->Unit(benchmark::kMillisecond);
+
+void
+printTable5()
+{
+    std::printf("Table 5 — evaluation platforms (simulated):\n");
+    sim::TextTable t({"", "FPGA", "GPU"});
+    t.addRow({"Model", "Xilinx VCU1525 (UltraScale+ VU9P)",
+              "NVIDIA Tesla P100"});
+    t.addRow({"Core clock speed", "180 MHz", "1328 MHz"});
+    t.addRow({"External DRAM interface", "DDR4", "HBM2"});
+    t.addRow({"Peak DRAM bandwidth", "143 GB/s", "732 GB/s"});
+    t.addRow({"Host interface", "PCI Express 3.0 x16",
+              "PCI Express 3.0 x16"});
+    t.addRow({"Host CPU", "2x Xeon E5-2630 2.20 GHz", "(same host)"});
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Figure 8",
+                  "Performance of A3C Deep RL platforms (IPS vs #agents)");
+    printTable5();
+
+    const double sim_seconds = static_cast<double>(
+                                   bench::envKnob("FA3C_FIG8_SIM_MS",
+                                                  3000)) /
+                               1000.0;
+    const int agent_counts[] = {1, 2, 4, 8, 16, 32};
+
+    std::FILE *csv = bench::openCsv("fig8_performance.csv");
+    if (csv)
+        std::fprintf(csv, "platform,agents,ips,utilization\n");
+
+    sim::TextTable table({"Platform", "n=1", "n=2", "n=4", "n=8",
+                          "n=16", "n=32"});
+    double fa3c_16 = 0, cudnn_16 = 0;
+    for (PlatformId platform : allPlatforms) {
+        std::vector<std::string> row = {platformIdName(platform)};
+        for (int n : agent_counts) {
+            const PlatformPoint p =
+                measurePlatform(platform, n, netCfg, 5, sim_seconds);
+            row.push_back(sim::TextTable::num(p.ips, 0));
+            if (csv)
+                std::fprintf(csv, "%s,%d,%.1f,%.4f\n",
+                             platformIdName(platform), n, p.ips,
+                             p.utilization);
+            if (n == 16 && platform == PlatformId::Fa3c)
+                fa3c_16 = p.ips;
+            if (n == 16 && platform == PlatformId::A3cCudnn)
+                cudnn_16 = p.ips;
+        }
+        table.addRow(std::move(row));
+    }
+    if (csv)
+        std::fclose(csv);
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Measured FA3C @ n=16: %.0f IPS (paper: > %.0f)\n",
+                fa3c_16, harness::paper::fa3cPeakIps);
+    std::printf("Measured FA3C / A3C-cuDNN speedup @ n=16: %.1f%% "
+                "(paper: +27.9%%)\n\n",
+                100.0 * (fa3c_16 / cudnn_16 - 1.0));
+
+    // Routine latency at n=16 — the per-agent view behind the
+    // Section 3 argument that A3C needs low-latency small batches.
+    std::printf("Agent routine latency @ n=16 (sync + 6 inferences + "
+                "training):\n");
+    sim::TextTable lat({"Platform", "mean (ms)", "p50 (ms)",
+                        "p95 (ms)"});
+    for (PlatformId platform : allPlatforms) {
+        const PlatformPoint p =
+            measurePlatform(platform, 16, netCfg, 5, sim_seconds);
+        lat.addRow({platformIdName(platform),
+                    sim::TextTable::num(p.latencyMeanSec * 1e3, 2),
+                    sim::TextTable::num(p.latencyP50Sec * 1e3, 2),
+                    sim::TextTable::num(p.latencyP95Sec * 1e3, 2)});
+    }
+    std::printf("%s", lat.render().c_str());
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Regenerates Figure 9: (a) incremental power consumption of each
+ * platform during A3C training normalized to A3C-cuDNN, and (b)
+ * energy efficiency in inferences per Watt, also normalized. The
+ * power model combines each platform's measured utilization from the
+ * Figure 8 simulation with its incremental-power coefficients.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "harness/experiments.hh"
+#include "harness/paper_data.hh"
+#include "power/power_model.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+power::PlatformPower
+powerFor(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::Fa3c: return power::PlatformPower::fa3c();
+      case PlatformId::A3cCudnn:
+        return power::PlatformPower::a3cCudnn();
+      case PlatformId::A3cTfGpu:
+        return power::PlatformPower::a3cTfGpu();
+      case PlatformId::Ga3cTf: return power::PlatformPower::ga3cTf();
+      case PlatformId::A3cTfCpu:
+        return power::PlatformPower::a3cTfCpu();
+    }
+    return power::PlatformPower::fa3c();
+}
+
+void
+BM_PowerEvaluation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const PlatformPoint p =
+            measurePlatform(PlatformId::Fa3c, 16, netCfg, 5, 0.5);
+        const double watts =
+            power::PlatformPower::fa3c().watts(p.utilization);
+        benchmark::DoNotOptimize(watts);
+    }
+}
+BENCHMARK(BM_PowerEvaluation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Figure 9",
+                  "Power efficiency of A3C Deep RL platforms (n = 16)");
+
+    struct Row
+    {
+        PlatformId id;
+        double ips;
+        double watts;
+        double ipw;
+    };
+    std::vector<Row> rows;
+    for (PlatformId id : allPlatforms) {
+        const PlatformPoint p = measurePlatform(id, 16, netCfg, 5, 3.0);
+        const double watts = powerFor(id).watts(p.utilization);
+        rows.push_back(
+            {id, p.ips, watts, power::inferencesPerWatt(p.ips, watts)});
+    }
+    const Row *cudnn = nullptr;
+    const Row *fa3c = nullptr;
+    for (const auto &r : rows) {
+        if (r.id == PlatformId::A3cCudnn)
+            cudnn = &r;
+        if (r.id == PlatformId::Fa3c)
+            fa3c = &r;
+    }
+
+    sim::TextTable table({"Platform", "IPS", "Incremental Watts",
+                          "Power vs A3C-cuDNN", "IPS/Watt",
+                          "Efficiency vs A3C-cuDNN"});
+    for (const auto &r : rows) {
+        table.addRow({platformIdName(r.id),
+                      sim::TextTable::num(r.ips, 0),
+                      sim::TextTable::num(r.watts, 1),
+                      sim::TextTable::num(r.watts / cudnn->watts, 2),
+                      sim::TextTable::num(r.ipw, 1),
+                      sim::TextTable::num(r.ipw / cudnn->ipw, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Paper: FA3C ~18 W (a 30.0%% reduction vs A3C-cuDNN), "
+                ">142 IPS/W, 1.62x efficiency.\n");
+    std::printf("Measured: FA3C %.1f W (%.1f%% reduction), %.1f IPS/W, "
+                "%.2fx efficiency.\n",
+                fa3c->watts,
+                100.0 * (1.0 - fa3c->watts / cudnn->watts), fa3c->ipw,
+                fa3c->ipw / cudnn->ipw);
+    std::printf("(EXPERIMENTS.md discusses why the paper's own 27.9%% "
+                "speedup, 30%% power cut, and 1.62x efficiency are not "
+                "mutually consistent; our model reproduces the first "
+                "two and lands near 1.8x on the third.)\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regenerates Table 1: the DNN layers used in A3C for Atari 2600
+ * games (parameter counts and output feature counts), and
+ * micro-benchmarks the reference forward/backward passes of that
+ * network.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "nn/a3c_network.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+void
+BM_NetworkForward(benchmark::State &state)
+{
+    nn::A3cNetwork net(netCfg);
+    sim::Rng rng(1);
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+    tensor::Tensor obs(tensor::Shape(
+        {netCfg.inChannels, netCfg.inHeight, netCfg.inWidth}));
+    obs.fillUniform(rng, 0.0f, 1.0f);
+    auto act = net.makeActivations();
+    for (auto _ : state) {
+        net.forward(params, obs, act);
+        benchmark::DoNotOptimize(act.out.data().data());
+    }
+}
+BENCHMARK(BM_NetworkForward)->Unit(benchmark::kMillisecond);
+
+void
+BM_NetworkBackward(benchmark::State &state)
+{
+    nn::A3cNetwork net(netCfg);
+    sim::Rng rng(2);
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+    tensor::Tensor obs(tensor::Shape(
+        {netCfg.inChannels, netCfg.inHeight, netCfg.inWidth}));
+    obs.fillUniform(rng, 0.0f, 1.0f);
+    auto act = net.makeActivations();
+    net.forward(params, obs, act);
+    tensor::Tensor g_out(tensor::Shape({net.outSize()}));
+    g_out.fillUniform(rng, -1.0f, 1.0f);
+    nn::ParamSet grads = net.makeParams();
+    for (auto _ : state) {
+        grads.zero();
+        net.backward(params, act, g_out, grads);
+        benchmark::DoNotOptimize(grads.flat().data());
+    }
+}
+BENCHMARK(BM_NetworkBackward)->Unit(benchmark::kMillisecond);
+
+std::string
+roughCount(std::size_t n)
+{
+    if (n == 0)
+        return "-";
+    if (n >= 1000)
+        return std::to_string((n + 500) / 1000) + "K";
+    return std::to_string(n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Table 1",
+                  "DNN layers used in A3C for Atari 2600 games");
+
+    nn::A3cNetwork net(netCfg);
+    sim::TextTable table({"#", "Layer type", "# of parameters",
+                          "# of output features", "(exact params)"});
+    int idx = 0;
+    for (const auto &row : net.layerTable()) {
+        table.addRow({std::to_string(idx++), row.name,
+                      roughCount(row.paramCount),
+                      roughCount(row.outputCount),
+                      row.paramCount
+                          ? sim::TextTable::num(
+                                static_cast<std::uint64_t>(
+                                    row.paramCount))
+                          : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper reference: Conv1 4K / 6K, Conv2 8K / 3K, "
+                "FC3 664K / 256, FC4 8K / 32, input 28K.\n");
+    std::printf("Total trainable parameters (exact): %s (%.0f KB)\n",
+                sim::TextTable::num(
+                    static_cast<std::uint64_t>(net.paramCount()))
+                    .c_str(),
+                static_cast<double>(net.paramCount()) * 4.0 / 1024.0);
+    return 0;
+}

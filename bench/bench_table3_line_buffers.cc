@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates Table 3: the sizes (widths) and counts of the line
+ * buffers that front each PE port in every computation stage,
+ * instantiated for each layer of the A3C network on a 64-PE CU, with
+ * the derived parallelism factors (M_FW, M_GC, M_w, M_BW).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "fa3c/layouts.hh"
+#include "fa3c/task_model.hh"
+#include "fa3c/timing.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+namespace {
+
+constexpr int nPe = 64;
+
+void
+BM_LineBufferPlan(benchmark::State &state)
+{
+    const HwNetwork net =
+        HwNetwork::fromConfig(nn::NetConfig::atari(4));
+    for (auto _ : state)
+        for (const auto &layer : net.layers)
+            benchmark::DoNotOptimize(lineBufferPlan(layer, nPe));
+}
+BENCHMARK(BM_LineBufferPlan)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Table 3",
+                  "Sizes of line buffers per PE port and stage "
+                  "(N_PE = 64), instantiated for each A3C layer");
+
+    const HwNetwork net =
+        HwNetwork::fromConfig(nn::NetConfig::atari(4));
+
+    // The symbolic table, as the paper prints it.
+    std::printf("Symbolic (paper's Table 3): FW input C_in x1, "
+                "parameters min(N_PE, O) x0, output N_PE x1; GC input "
+                "C_in xK, gradients C_out xM_GC (M_GC = floor(N_PE / "
+                "K^2)), output N_PE x1; BW parameters min(N_PE, O) "
+                "x0, gradients C_out xM_BW (M_BW = floor(N_PE / (M_w "
+                "* C_in)), M_w = floor(O / K^2)).\n\n");
+
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        const auto &spec = net.layers[l];
+        std::printf("Layer %s (I=%d O=%d K=%d S=%d, %dx%d out):\n",
+                    net.names[l].c_str(), spec.inChannels,
+                    spec.outChannels, spec.kernel, spec.stride,
+                    spec.outHeight(), spec.outWidth());
+        sim::TextTable table({"Stage", "PE port", "On-chip buffer",
+                              "Width", "# line buffers"});
+        for (const auto &row : lineBufferPlan(spec, nPe)) {
+            table.addRow({stageName(row.stage), row.port,
+                          row.onChipBuffer,
+                          std::to_string(row.width),
+                          std::to_string(row.count)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // Register budget: line buffers are registers; the BCU row of
+    // Table 4 (111.0K registers over 256 PEs) must be able to hold
+    // the largest per-CU plan.
+    int max_regs = 0;
+    for (const auto &layer : net.layers) {
+        int regs = 0;
+        for (const auto &row : lineBufferPlan(layer, nPe))
+            regs += row.width * std::max(row.count, 1) * 32;
+        max_regs = std::max(max_regs, regs);
+    }
+    std::printf("Largest per-layer line-buffer register demand: "
+                "%s flip-flops per CU vs Table 4's 111.0K register "
+                "budget for the BCU across 4 CUs (%s per CU) — the "
+                "plan fits with room for double buffering.\n",
+                sim::TextTable::num(
+                    static_cast<std::uint64_t>(max_regs))
+                    .c_str(),
+                sim::TextTable::num(std::uint64_t{111000 / 4}).c_str());
+    return 0;
+}

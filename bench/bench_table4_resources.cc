@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates Table 4: the FPGA resource-usage breakdown of FA3C on
+ * the Xilinx VCU1525 (UltraScale+ VU9P), and sweeps the resource
+ * model across PE counts to find the largest configuration that
+ * still fits the device (a design-space exploration the model
+ * enables).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "fa3c/resource_model.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+namespace {
+
+void
+BM_ResourceBreakdown(benchmark::State &state)
+{
+    const ResourceModel model(Fa3cConfig::vcu1525());
+    for (auto _ : state) {
+        auto rows = model.breakdown();
+        benchmark::DoNotOptimize(rows.data());
+    }
+}
+BENCHMARK(BM_ResourceBreakdown)->Unit(benchmark::kMicrosecond);
+
+std::string
+fmtK(double v)
+{
+    if (v >= 1000.0)
+        return sim::TextTable::num(v / 1000.0, 1) + "K";
+    return sim::TextTable::num(v, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::runMicrobenchmarks(argc, argv);
+    bench::banner("Table 4", "FPGA resource usage breakdown on Xilinx "
+                             "VCU1525 UltraScale+ VU9P");
+
+    const ResourceModel model(Fa3cConfig::vcu1525());
+    const DeviceCapacity dev = DeviceCapacity::vu9p();
+
+    sim::TextTable table({"Component", "Logic utilization",
+                          "Registers", "On-chip memory blocks",
+                          "DSP blocks"});
+    for (const auto &row : model.breakdown()) {
+        table.addRow({row.component, fmtK(row.logicLuts),
+                      fmtK(row.registers),
+                      sim::TextTable::num(row.memoryBlocks, 0),
+                      sim::TextTable::num(row.dspBlocks, 0)});
+    }
+    const ResourceUsage total = model.total();
+    table.addRow({"Total", fmtK(total.logicLuts), fmtK(total.registers),
+                  sim::TextTable::num(total.memoryBlocks, 0),
+                  sim::TextTable::num(total.dspBlocks, 0)});
+    table.addRow(
+        {"Utilization of " + dev.name,
+         sim::TextTable::num(100.0 * total.logicLuts / dev.logicLuts,
+                             1) +
+             "%",
+         sim::TextTable::num(100.0 * total.registers / dev.registers,
+                             1) +
+             "%",
+         sim::TextTable::num(
+             100.0 * total.memoryBlocks / dev.memoryBlocks, 1) +
+             "%",
+         sim::TextTable::num(100.0 * total.dspBlocks / dev.dspBlocks,
+                             1) +
+             "%"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper Table 4 totals: 677.3K (57.3%%) / 875.7K "
+                "(37.0%%) / 1267 (40.6%%) / 2348 (34.3%%).\n\n");
+
+    // Design-space sweep: how far do PEs scale on this device?
+    std::printf("Design-space sweep (2 CU pairs, PEs per CU):\n");
+    sim::TextTable sweep({"PEs/CU", "LUT %", "Reg %", "Mem %", "DSP %",
+                          "Fits VU9P"});
+    for (int pes : {32, 64, 96, 128, 192, 256}) {
+        Fa3cConfig cfg = Fa3cConfig::vcu1525();
+        cfg.pesPerCu = pes;
+        const ResourceModel m(cfg);
+        const ResourceUsage t = m.total();
+        sweep.addRow(
+            {std::to_string(pes),
+             sim::TextTable::num(100.0 * t.logicLuts / dev.logicLuts,
+                                 1),
+             sim::TextTable::num(100.0 * t.registers / dev.registers,
+                                 1),
+             sim::TextTable::num(
+                 100.0 * t.memoryBlocks / dev.memoryBlocks, 1),
+             sim::TextTable::num(100.0 * t.dspBlocks / dev.dspBlocks,
+                                 1),
+             m.fits(dev) ? "yes" : "no"});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    return 0;
+}

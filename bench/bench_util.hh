@@ -1,0 +1,68 @@
+/** @file Shared helpers for the reproduction benchmark binaries. */
+
+#ifndef FA3C_BENCH_BENCH_UTIL_HH
+#define FA3C_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fa3c::bench {
+
+/** Print a banner naming the paper artifact being regenerated. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("FA3C reproduction — %s\n", artifact.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("==================================================="
+                "===========\n\n");
+}
+
+/** Integer knob overridable from the environment (scaling runs). */
+inline std::uint64_t
+envKnob(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+/**
+ * Run the registered google-benchmark micro-benchmarks, then return
+ * so the caller can print the reproduction tables last.
+ */
+inline void
+runMicrobenchmarks(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+}
+
+/**
+ * Open a CSV file under $FA3C_CSV_DIR for plot-ready data series.
+ *
+ * @return An open FILE*, or nullptr when the variable is unset (the
+ *         caller skips CSV output). The caller closes it.
+ */
+inline std::FILE *
+openCsv(const std::string &name)
+{
+    const char *dir = std::getenv("FA3C_CSV_DIR");
+    if (!dir)
+        return nullptr;
+    const std::string path = std::string(dir) + "/" + name;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f)
+        std::printf("(writing %s)\n", path.c_str());
+    return f;
+}
+
+} // namespace fa3c::bench
+
+#endif // FA3C_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Compare the three actor-critic variants the paper discusses — A3C
+ * (asynchronous, local parameter snapshots), PAAC (synchronous, one
+ * update per lock-step batch), and GA3C (single global model with
+ * predictor policy lag) — by actually training each on the same
+ * synthetic game and printing the learning curves.
+ *
+ *     ./algorithm_comparison [game] [steps]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "env/environment.hh"
+#include "env/session.hh"
+#include "nn/a3c_network.hh"
+#include "rl/a3c.hh"
+#include "rl/ga3c.hh"
+#include "rl/paac.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+
+namespace {
+
+rl::A3cTrainer::SessionFactory
+sessions(env::GameId game, const nn::NetConfig &net_cfg,
+         std::uint64_t seed)
+{
+    return [game, net_cfg, seed](int agent_id) {
+        env::SessionConfig cfg;
+        cfg.frameStack = net_cfg.inChannels;
+        cfg.obsHeight = net_cfg.inHeight;
+        cfg.obsWidth = net_cfg.inWidth;
+        return std::make_unique<env::AtariSession>(
+            env::makeEnvironment(game,
+                                 seed + static_cast<std::uint64_t>(
+                                            agent_id)),
+            cfg, seed * 13 + static_cast<std::uint64_t>(agent_id));
+    };
+}
+
+std::string
+curveOf(const rl::ScoreLog &log)
+{
+    const auto series = log.movingAverage(30, 1);
+    if (series.empty())
+        return "(no episodes)";
+    std::string out;
+    for (std::size_t i = 0; i < 6; ++i) {
+        const std::size_t idx =
+            std::min(series.size() - 1,
+                     i * (series.size() - 1) / 5);
+        out += sim::TextTable::num(series[idx].second, 1);
+        if (i < 5)
+            out += " ";
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string game_name = argc > 1 ? argv[1] : "qbert";
+    const std::uint64_t steps =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 12000;
+    const env::GameId game = env::gameFromName(game_name);
+    const int actions = env::makeEnvironment(game, 0)->numActions();
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(actions);
+    const nn::A3cNetwork net(net_cfg);
+
+    auto backends = [&net](int) {
+        return std::make_unique<rl::ReferenceBackend>(net);
+    };
+
+    std::printf("Training %s for %llu steps with A3C, PAAC, and "
+                "GA3C (4 agents/envs each)...\n\n",
+                game_name.c_str(),
+                static_cast<unsigned long long>(steps));
+
+    sim::TextTable table({"Algorithm", "Episodes", "Final avg score",
+                          "Curve (sampled)", "Notes"});
+
+    {
+        rl::A3cConfig cfg;
+        cfg.numAgents = 4;
+        cfg.totalSteps = steps;
+        cfg.initialLr = 1e-3f;
+        cfg.lrAnnealSteps = 0;
+        cfg.seed = 3;
+        rl::A3cTrainer trainer(net, cfg, backends,
+                               sessions(game, net_cfg, 100));
+        trainer.run();
+        table.addRow({"A3C", std::to_string(trainer.scores().size()),
+                      sim::TextTable::num(
+                          trainer.scores().recentMean(30), 1),
+                      curveOf(trainer.scores()),
+                      "async, local snapshots"});
+    }
+    {
+        rl::PaacConfig cfg;
+        cfg.numEnvs = 4;
+        cfg.totalSteps = steps;
+        cfg.initialLr = 1e-3f;
+        cfg.lrAnnealSteps = 0;
+        cfg.seed = 3;
+        rl::PaacTrainer trainer(net, cfg, backends,
+                                sessions(game, net_cfg, 100));
+        trainer.run();
+        table.addRow({"PAAC", std::to_string(trainer.scores().size()),
+                      sim::TextTable::num(
+                          trainer.scores().recentMean(30), 1),
+                      curveOf(trainer.scores()),
+                      std::to_string(trainer.updatesApplied()) +
+                          " synchronized updates"});
+    }
+    {
+        rl::Ga3cConfig cfg;
+        cfg.numEnvs = 4;
+        cfg.trainingBatch = 2;
+        cfg.predictorRefreshUpdates = 4; // visible policy lag
+        cfg.totalSteps = steps;
+        cfg.initialLr = 1e-3f;
+        cfg.lrAnnealSteps = 0;
+        cfg.seed = 3;
+        rl::Ga3cTrainer trainer(net, cfg, backends,
+                                sessions(game, net_cfg, 100));
+        trainer.run();
+        table.addRow(
+            {"GA3C", std::to_string(trainer.scores().size()),
+             sim::TextTable::num(trainer.scores().recentMean(30), 1),
+             curveOf(trainer.scores()),
+             "policy lag " +
+                 sim::TextTable::num(trainer.currentPolicyLag(), 4)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The paper (Section 6) argues GA3C's stale predictor "
+                "can slow or destabilize learning while A3C's local "
+                "snapshots keep inference and training coupled — at "
+                "these short horizons all three usually learn, but "
+                "GA3C pays a visible lag.\n");
+    return 0;
+}

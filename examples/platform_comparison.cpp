@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compare the simulated Deep-RL platforms — FA3C and the four GPU/CPU
+ * baselines — at a chosen agent count: throughput, device
+ * utilization, incremental power, and energy efficiency.
+ *
+ *     ./platform_comparison [agents]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiments.hh"
+#include "power/power_model.hh"
+#include "sim/table.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+power::PlatformPower
+powerFor(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::Fa3c: return power::PlatformPower::fa3c();
+      case PlatformId::A3cCudnn:
+        return power::PlatformPower::a3cCudnn();
+      case PlatformId::A3cTfGpu:
+        return power::PlatformPower::a3cTfGpu();
+      case PlatformId::Ga3cTf: return power::PlatformPower::ga3cTf();
+      case PlatformId::A3cTfCpu:
+        return power::PlatformPower::a3cTfCpu();
+    }
+    return power::PlatformPower::fa3c();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int agents = argc > 1 ? std::atoi(argv[1]) : 16;
+    const nn::NetConfig net = nn::NetConfig::atari(4);
+
+    std::printf("Simulating the A3C routine (t_max = 5) with %d "
+                "agents on every platform...\n\n",
+                agents);
+    sim::TextTable table({"Platform", "IPS", "Routines/s",
+                          "Device util", "Watts", "IPS/Watt"});
+    for (PlatformId id : allPlatforms) {
+        const PlatformPoint p = measurePlatform(id, agents, net, 5,
+                                                3.0);
+        const double watts = powerFor(id).watts(p.utilization);
+        table.addRow({platformIdName(id),
+                      sim::TextTable::num(p.ips, 0),
+                      sim::TextTable::num(p.routinesPerSec, 1),
+                      sim::TextTable::num(p.utilization, 2),
+                      sim::TextTable::num(watts, 1),
+                      sim::TextTable::num(
+                          power::inferencesPerWatt(p.ips, watts), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("IPS counts the regular inference steps; each batch "
+                "of 5 also triggers a bootstrap inference and a "
+                "training task (Section 5.2 of the paper).\n");
+    return 0;
+}

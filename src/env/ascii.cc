@@ -1,0 +1,44 @@
+#include "env/ascii.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fa3c::env {
+
+std::string
+toAscii(const Frame &frame, int pool)
+{
+    FA3C_ASSERT(pool > 0 && Frame::width % pool == 0 &&
+                    Frame::height % std::min(Frame::height, 2 * pool) ==
+                        0,
+                "toAscii pool must divide the frame");
+    static constexpr char ramp[] = {' ', '.', ':', '+', '*', '#', '@'};
+    constexpr int levels = static_cast<int>(sizeof(ramp)) - 1;
+
+    // Terminal cells are ~2x taller than wide: pool twice as much
+    // vertically so the aspect ratio survives.
+    const int pool_y = std::min(Frame::height, 2 * pool);
+    const int pool_x = pool;
+    const int rows = Frame::height / pool_y;
+    const int cols = Frame::width / pool_x;
+
+    std::string out;
+    out.reserve(static_cast<std::size_t>(rows * (cols + 1)));
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            float acc = 0.0f;
+            for (int dy = 0; dy < pool_y; ++dy)
+                for (int dx = 0; dx < pool_x; ++dx)
+                    acc += frame.at(r * pool_y + dy, c * pool_x + dx);
+            const float mean = acc / static_cast<float>(pool_y * pool_x);
+            const int level = std::clamp(
+                static_cast<int>(mean * levels), 0, levels);
+            out.push_back(ramp[level]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace fa3c::env

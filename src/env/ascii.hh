@@ -1,0 +1,30 @@
+/**
+ * @file
+ * ASCII rendering of game frames: a human-readable view of what the
+ * DNN sees, for debugging environments and inspecting trained
+ * policies from a terminal.
+ */
+
+#ifndef FA3C_ENV_ASCII_HH
+#define FA3C_ENV_ASCII_HH
+
+#include <string>
+
+#include "env/frame.hh"
+
+namespace fa3c::env {
+
+/**
+ * Render @p frame as text.
+ *
+ * Pixels are average-pooled by @p pool in both axes (pool=2 turns the
+ * 84x84 frame into 42 columns x 21 rows using half-height cells) and
+ * mapped onto a ramp of shade characters.
+ *
+ * @param pool Pooling factor; must divide 84.
+ */
+std::string toAscii(const Frame &frame, int pool = 2);
+
+} // namespace fa3c::env
+
+#endif // FA3C_ENV_ASCII_HH

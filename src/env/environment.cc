@@ -1,0 +1,45 @@
+#include "env/environment.hh"
+
+#include "env/games.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::env {
+
+const char *
+gameName(GameId game)
+{
+    switch (game) {
+      case GameId::BeamRider: return "beam_rider";
+      case GameId::Breakout: return "breakout";
+      case GameId::Pong: return "pong";
+      case GameId::Qbert: return "qbert";
+      case GameId::Seaquest: return "seaquest";
+      case GameId::SpaceInvaders: return "space_invaders";
+    }
+    FA3C_PANIC("bad GameId ", static_cast<int>(game));
+}
+
+GameId
+gameFromName(const std::string &name)
+{
+    for (GameId id : allGames)
+        if (name == gameName(id))
+            return id;
+    FA3C_PANIC("unknown game '", name, "'");
+}
+
+std::unique_ptr<Environment>
+makeEnvironment(GameId game, std::uint64_t seed)
+{
+    switch (game) {
+      case GameId::BeamRider: return makeBeamRider(seed);
+      case GameId::Breakout: return makeBreakout(seed);
+      case GameId::Pong: return makePong(seed);
+      case GameId::Qbert: return makeQbert(seed);
+      case GameId::Seaquest: return makeSeaquest(seed);
+      case GameId::SpaceInvaders: return makeSpaceInvaders(seed);
+    }
+    FA3C_PANIC("bad GameId ", static_cast<int>(game));
+}
+
+} // namespace fa3c::env

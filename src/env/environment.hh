@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The environment interface the A3C agents interact with, mirroring
+ * the Arcade Learning Environment's agent-facing API (reset / act /
+ * screen / game-over), plus the factory for the six synthetic games
+ * standing in for the paper's six Atari 2600 titles.
+ */
+
+#ifndef FA3C_ENV_ENVIRONMENT_HH
+#define FA3C_ENV_ENVIRONMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "env/frame.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+/** Result of advancing the environment by one raw frame. */
+struct StepResult
+{
+    float reward = 0.0f;    ///< raw (unclipped) reward for this frame
+    bool terminal = false;  ///< episode ended on this frame
+};
+
+/**
+ * A playable game with pixel observations.
+ *
+ * Implementations are deterministic given the Rng passed at creation;
+ * reset() draws fresh initial conditions from that stream, which is
+ * how per-agent seeds are realized (paper: "each game instance is
+ * assigned with a different random seed").
+ */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Size of the (minimal) discrete action set. */
+    virtual int numActions() const = 0;
+
+    /** Start a new episode. */
+    virtual void reset() = 0;
+
+    /** Advance one frame with @p action. @pre 0 <= action < numActions. */
+    virtual StepResult step(int action) = 0;
+
+    /** Render the current screen. */
+    virtual void render(Frame &frame) const = 0;
+
+    /** Game name, e.g. "breakout". */
+    virtual const char *name() const = 0;
+};
+
+/** The six games of the paper's evaluation. */
+enum class GameId
+{
+    BeamRider,
+    Breakout,
+    Pong,
+    Qbert,
+    Seaquest,
+    SpaceInvaders,
+};
+
+/** All six game ids, in the paper's order. */
+inline constexpr GameId allGames[] = {
+    GameId::BeamRider, GameId::Breakout,   GameId::Pong,
+    GameId::Qbert,     GameId::Seaquest,   GameId::SpaceInvaders,
+};
+
+/** Human-readable name of @p game. */
+const char *gameName(GameId game);
+
+/** Parse a game name; throws via FA3C_PANIC on unknown names. */
+GameId gameFromName(const std::string &name);
+
+/**
+ * Create a game instance.
+ *
+ * @param game Which game.
+ * @param seed Seed for the instance's private random stream.
+ */
+std::unique_ptr<Environment> makeEnvironment(GameId game,
+                                             std::uint64_t seed);
+
+} // namespace fa3c::env
+
+#endif // FA3C_ENV_ENVIRONMENT_HH

@@ -1,0 +1,45 @@
+#include "env/frame.hh"
+
+#include <algorithm>
+
+namespace fa3c::env {
+
+void
+Frame::clear(float v)
+{
+    std::fill(pixels_.begin(), pixels_.end(), v);
+}
+
+void
+Frame::fillRect(int y, int x, int h, int w, float intensity)
+{
+    const int y0 = std::max(0, y);
+    const int x0 = std::max(0, x);
+    const int y1 = std::min(height, y + h);
+    const int x1 = std::min(width, x + w);
+    for (int yy = y0; yy < y1; ++yy)
+        for (int xx = x0; xx < x1; ++xx)
+            at(yy, xx) = intensity;
+}
+
+void
+Frame::hLine(int y, int x0, int x1, float intensity)
+{
+    if (y < 0 || y >= height)
+        return;
+    const int lo = std::max(0, std::min(x0, x1));
+    const int hi = std::min(width - 1, std::max(x0, x1));
+    for (int x = lo; x <= hi; ++x)
+        at(y, x) = intensity;
+}
+
+float
+Frame::meanIntensity() const
+{
+    float sum = 0.0f;
+    for (float p : pixels_)
+        sum += p;
+    return sum / static_cast<float>(pixels_.size());
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The game screen: an 84x84 grayscale frame plus rasterization
+ * helpers the synthetic games draw with.
+ *
+ * The Arcade Learning Environment emits 210x160 RGB frames that the
+ * A3C preprocessing pipeline converts to 84x84 grayscale; our
+ * synthetic games render natively at the post-processing resolution,
+ * which exercises the identical DNN input path.
+ */
+
+#ifndef FA3C_ENV_FRAME_HH
+#define FA3C_ENV_FRAME_HH
+
+#include <vector>
+
+namespace fa3c::env {
+
+/** A fixed-size grayscale frame with intensities in [0, 1]. */
+class Frame
+{
+  public:
+    static constexpr int height = 84;
+    static constexpr int width = 84;
+
+    Frame() : pixels_(static_cast<std::size_t>(height * width), 0.0f) {}
+
+    /** Pixel access (row, column). Out-of-range access is clipped out
+     * by the raster helpers; direct access must be in range. */
+    float &at(int y, int x)
+    {
+        return pixels_[static_cast<std::size_t>(y) * width +
+                       static_cast<std::size_t>(x)];
+    }
+
+    float at(int y, int x) const
+    {
+        return pixels_[static_cast<std::size_t>(y) * width +
+                       static_cast<std::size_t>(x)];
+    }
+
+    /** Set every pixel to @p v (default: black). */
+    void clear(float v = 0.0f);
+
+    /**
+     * Fill the axis-aligned rectangle with top-left corner (y, x),
+     * size h x w. Parts outside the frame are clipped.
+     */
+    void fillRect(int y, int x, int h, int w, float intensity);
+
+    /** Draw a 1-pixel-wide horizontal line (clipped). */
+    void hLine(int y, int x0, int x1, float intensity);
+
+    /** Flat pixel storage, row-major. */
+    const std::vector<float> &pixels() const { return pixels_; }
+
+    /** Mean intensity (useful for tests). */
+    float meanIntensity() const;
+
+  private:
+    std::vector<float> pixels_;
+};
+
+} // namespace fa3c::env
+
+#endif // FA3C_ENV_FRAME_HH

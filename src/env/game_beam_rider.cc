@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Beam Rider: the ship slides between five beams at the bottom of the
+ * screen; enemy saucers ride the beams downward and must be shot
+ * before they reach the ship's row. 44 points per saucer (the Atari
+ * white-saucer value); a sector is 15 saucers, with a bonus and a
+ * speed-up on completion.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "env/environment.hh"
+#include "env/games.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+namespace {
+
+class BeamRider : public Environment
+{
+  public:
+    explicit BeamRider(std::uint64_t seed) : rng_(seed) { reset(); }
+
+    int numActions() const override { return 4; } // noop, left, right, fire
+
+    void
+    reset() override
+    {
+        lives_ = 3;
+        sector_ = 0;
+        playerLane_ = numLanes_ / 2;
+        moveCooldown_ = 0;
+        enemies_.clear();
+        torpedoes_.clear();
+        startSector();
+    }
+
+    StepResult
+    step(int action) override
+    {
+        FA3C_ASSERT(action >= 0 && action < numActions(),
+                    "beam_rider action ", action);
+        StepResult res;
+
+        if (moveCooldown_ > 0)
+            --moveCooldown_;
+        if (action == 1 && moveCooldown_ == 0 && playerLane_ > 0) {
+            --playerLane_;
+            moveCooldown_ = laneChangeCooldown_;
+        } else if (action == 2 && moveCooldown_ == 0 &&
+                   playerLane_ < numLanes_ - 1) {
+            ++playerLane_;
+            moveCooldown_ = laneChangeCooldown_;
+        } else if (action == 3 && torpedoes_.size() < 2) {
+            torpedoes_.push_back(
+                Torpedo{playerLane_, playerY_ - torpedoH_});
+        }
+
+        spawnEnemies();
+        res.reward += advance();
+
+        // A saucer reaching the ship's row costs a life.
+        for (const auto &e : enemies_) {
+            if (e.y + enemyH_ >= playerY_ && e.lane == playerLane_) {
+                --lives_;
+                enemies_.clear();
+                if (lives_ <= 0)
+                    res.terminal = true;
+                break;
+            }
+        }
+        std::erase_if(enemies_, [](const Enemy &e) {
+            return e.y + enemyH_ >= playerY_;
+        });
+
+        if (enemiesKilledInSector_ >= sectorSize_) {
+            res.reward += sectorBonus_;
+            ++sector_;
+            startSector();
+        }
+        return res;
+    }
+
+    void
+    render(Frame &frame) const override
+    {
+        frame.clear();
+        // The five beams.
+        for (int lane = 0; lane < numLanes_; ++lane) {
+            const int x = laneX(lane);
+            for (int y = beamTop_; y < playerY_; y += 3)
+                frame.fillRect(y, x + enemyW_ / 2, 1, 1, 0.3f);
+        }
+        for (const auto &e : enemies_)
+            frame.fillRect(e.y, laneX(e.lane), enemyH_, enemyW_, 0.9f);
+        for (const auto &t : torpedoes_)
+            frame.fillRect(t.y, laneX(t.lane) + enemyW_ / 2, torpedoH_,
+                           1, 1.0f);
+        frame.fillRect(playerY_, laneX(playerLane_) - 1, playerH_,
+                       enemyW_ + 2, 1.0f);
+    }
+
+    const char *name() const override { return "beam_rider"; }
+
+  private:
+    static constexpr int numLanes_ = 5;
+    static constexpr int beamTop_ = 8;
+    static constexpr int playerY_ = 76;
+    static constexpr int playerH_ = 4;
+    static constexpr int enemyW_ = 6;
+    static constexpr int enemyH_ = 4;
+    static constexpr int torpedoH_ = 3;
+    static constexpr int laneChangeCooldown_ = 3;
+    static constexpr int sectorSize_ = 15;
+    static constexpr float enemyScore_ = 44.0f;
+    static constexpr float sectorBonus_ = 100.0f;
+
+    struct Enemy
+    {
+        int lane;
+        int y;
+        int speed;
+    };
+
+    struct Torpedo
+    {
+        int lane;
+        int y;
+    };
+
+    sim::Rng rng_;
+    int lives_ = 3;
+    int sector_ = 0;
+    int playerLane_ = 2;
+    int moveCooldown_ = 0;
+    int enemiesKilledInSector_ = 0;
+    int spawnCooldown_ = 0;
+    std::vector<Enemy> enemies_;
+    std::vector<Torpedo> torpedoes_;
+
+    static int
+    laneX(int lane)
+    {
+        // Lanes evenly spaced across the frame.
+        return 8 + lane * ((Frame::width - 16 - enemyW_) /
+                           (numLanes_ - 1));
+    }
+
+    void
+    startSector()
+    {
+        enemiesKilledInSector_ = 0;
+        spawnCooldown_ = 10;
+        torpedoes_.clear();
+    }
+
+    void
+    spawnEnemies()
+    {
+        if (--spawnCooldown_ > 0)
+            return;
+        spawnCooldown_ =
+            std::max(6, 16 - 2 * sector_) +
+            static_cast<int>(rng_.uniformInt(8));
+        const int lane =
+            static_cast<int>(rng_.uniformInt(numLanes_));
+        const int speed = 1 + static_cast<int>(rng_.uniformInt(
+                                  static_cast<std::uint32_t>(
+                                      std::min(2 + sector_, 3))));
+        enemies_.push_back(Enemy{lane, beamTop_, speed});
+    }
+
+    /** Move torpedoes and enemies; resolve hits. @return reward. */
+    float
+    advance()
+    {
+        float reward = 0.0f;
+        for (auto &t : torpedoes_)
+            t.y -= 4;
+        for (auto &e : enemies_)
+            e.y += e.speed;
+
+        for (auto &t : torpedoes_) {
+            for (auto &e : enemies_) {
+                if (e.lane == t.lane && t.y < e.y + enemyH_ &&
+                    t.y + torpedoH_ > e.y) {
+                    e.y = Frame::height + 100; // mark destroyed
+                    t.y = -100;                // consume torpedo
+                    reward += enemyScore_;
+                    ++enemiesKilledInSector_;
+                    break;
+                }
+            }
+        }
+        std::erase_if(torpedoes_,
+                      [](const Torpedo &t) { return t.y < beamTop_; });
+        std::erase_if(enemies_, [](const Enemy &e) {
+            return e.y > Frame::height;
+        });
+        return reward;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Environment>
+makeBeamRider(std::uint64_t seed)
+{
+    return std::make_unique<BeamRider>(seed);
+}
+
+} // namespace fa3c::env

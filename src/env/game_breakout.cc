@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Breakout: a paddle, a ball, and six rows of bricks. Brick rows score
+ * 7/7/4/4/1/1 from the top, as in the Atari original. The agent has
+ * three lives; "fire" serves the ball from the paddle.
+ */
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "env/environment.hh"
+#include "env/games.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+namespace {
+
+class Breakout : public Environment
+{
+  public:
+    explicit Breakout(std::uint64_t seed) : rng_(seed) { reset(); }
+
+    int numActions() const override { return 4; } // noop, fire, left, right
+
+    void
+    reset() override
+    {
+        bricks_.fill(true);
+        bricksLeft_ = numBricks_;
+        lives_ = 3;
+        paddleX_ = Frame::width / 2 - paddleW_ / 2;
+        ballInPlay_ = false;
+    }
+
+    StepResult
+    step(int action) override
+    {
+        FA3C_ASSERT(action >= 0 && action < numActions(),
+                    "breakout action ", action);
+        StepResult res;
+
+        if (action == 2)
+            paddleX_ -= paddleSpeed_;
+        else if (action == 3)
+            paddleX_ += paddleSpeed_;
+        paddleX_ = std::clamp(paddleX_, 0, Frame::width - paddleW_);
+
+        if (!ballInPlay_) {
+            if (action == 1)
+                serve();
+            return res;
+        }
+
+        ballX_ += ballVx_;
+        ballY_ += ballVy_;
+
+        // Side and top walls.
+        if (ballX_ <= 0) {
+            ballX_ = 0;
+            ballVx_ = -ballVx_;
+        }
+        if (ballX_ + ballSize_ >= Frame::width) {
+            ballX_ = Frame::width - ballSize_;
+            ballVx_ = -ballVx_;
+        }
+        if (ballY_ <= ceilingY_) {
+            ballY_ = ceilingY_;
+            ballVy_ = -ballVy_;
+        }
+
+        // Brick collisions (at most one brick per frame).
+        res.reward += hitBricks();
+
+        // Paddle.
+        if (ballVy_ > 0 && ballY_ + ballSize_ >= paddleY_ &&
+            ballY_ + ballSize_ <= paddleY_ + paddleH_ + ballSpeed_ &&
+            ballX_ + ballSize_ > paddleX_ &&
+            ballX_ < paddleX_ + paddleW_) {
+            ballY_ = paddleY_ - ballSize_;
+            ballVy_ = -ballVy_;
+            const int rel = ballX_ + ballSize_ / 2 -
+                            (paddleX_ + paddleW_ / 2);
+            ballVx_ = std::clamp(rel / 2, -2, 2);
+            if (ballVx_ == 0)
+                ballVx_ = rng_.chance(0.5) ? 1 : -1;
+        }
+
+        // Bottom: lose a life.
+        if (ballY_ > Frame::height) {
+            --lives_;
+            ballInPlay_ = false;
+            if (lives_ <= 0)
+                res.terminal = true;
+        }
+
+        // Cleared the wall: new wall, keep playing (Atari behaviour).
+        if (bricksLeft_ == 0) {
+            bricks_.fill(true);
+            bricksLeft_ = numBricks_;
+        }
+        return res;
+    }
+
+    void
+    render(Frame &frame) const override
+    {
+        frame.clear();
+        frame.hLine(ceilingY_ - 1, 0, Frame::width - 1, 0.5f);
+        for (int r = 0; r < brickRows_; ++r) {
+            const float shade = 0.5f + 0.08f * static_cast<float>(r);
+            for (int c = 0; c < brickCols_; ++c) {
+                if (!bricks_[static_cast<std::size_t>(r * brickCols_ + c)])
+                    continue;
+                frame.fillRect(brickTop_ + r * brickH_, c * brickW_,
+                               brickH_ - 1, brickW_ - 1, shade);
+            }
+        }
+        frame.fillRect(paddleY_, paddleX_, paddleH_, paddleW_, 1.0f);
+        if (ballInPlay_)
+            frame.fillRect(ballY_, ballX_, ballSize_, ballSize_, 1.0f);
+        else
+            frame.fillRect(paddleY_ - ballSize_, paddleX_ + paddleW_ / 2,
+                           ballSize_, ballSize_, 1.0f);
+    }
+
+    const char *name() const override { return "breakout"; }
+
+  private:
+    static constexpr int brickRows_ = 6;
+    static constexpr int brickCols_ = 12;
+    static constexpr int numBricks_ = brickRows_ * brickCols_;
+    static constexpr int brickW_ = 7;
+    static constexpr int brickH_ = 3;
+    static constexpr int brickTop_ = 14;
+    static constexpr int ceilingY_ = 6;
+    static constexpr int paddleY_ = 79;
+    static constexpr int paddleW_ = 12;
+    static constexpr int paddleH_ = 2;
+    static constexpr int paddleSpeed_ = 3;
+    static constexpr int ballSize_ = 2;
+    static constexpr int ballSpeed_ = 2;
+    // Row scores from the top, as in Atari Breakout.
+    static constexpr std::array<int, brickRows_> rowScore_ = {7, 7, 4,
+                                                              4, 1, 1};
+
+    sim::Rng rng_;
+    std::array<bool, static_cast<std::size_t>(numBricks_)> bricks_{};
+    int bricksLeft_ = numBricks_;
+    int lives_ = 3;
+    int paddleX_ = 0;
+    bool ballInPlay_ = false;
+    int ballX_ = 0;
+    int ballY_ = 0;
+    int ballVx_ = 1;
+    int ballVy_ = -ballSpeed_;
+
+    void
+    serve()
+    {
+        ballInPlay_ = true;
+        ballX_ = paddleX_ + paddleW_ / 2;
+        ballY_ = paddleY_ - ballSize_;
+        ballVx_ = rng_.chance(0.5) ? 1 : -1;
+        ballVy_ = -ballSpeed_;
+    }
+
+    /** Detect and remove at most one brick under the ball. */
+    float
+    hitBricks()
+    {
+        if (ballY_ < brickTop_ || ballY_ >= brickTop_ + brickRows_ * brickH_)
+            return 0.0f;
+        const int r = (ballY_ - brickTop_) / brickH_;
+        const int c = std::clamp(ballX_ / brickW_, 0, brickCols_ - 1);
+        auto &alive = bricks_[static_cast<std::size_t>(r * brickCols_ + c)];
+        if (!alive)
+            return 0.0f;
+        alive = false;
+        --bricksLeft_;
+        ballVy_ = -ballVy_;
+        return static_cast<float>(rowScore_[static_cast<std::size_t>(r)]);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Environment>
+makeBreakout(std::uint64_t seed)
+{
+    return std::make_unique<Breakout>(seed);
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Pong: two paddles and a ball. The agent controls the right paddle;
+ * a tracking opponent with capped speed controls the left one.
+ * Reward +1 when the opponent misses, -1 when the agent misses.
+ * An episode is a match to 5 points (ALE plays to 21; shortened so
+ * episodes finish quickly, which only rescales the score axis).
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include "env/environment.hh"
+#include "env/games.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+namespace {
+
+class Pong : public Environment
+{
+  public:
+    explicit Pong(std::uint64_t seed) : rng_(seed) { reset(); }
+
+    int numActions() const override { return 3; } // noop, up, down
+
+    void
+    reset() override
+    {
+        playerScore_ = 0;
+        opponentScore_ = 0;
+        playerY_ = opponentY_ = fieldCenter_ - paddleH_ / 2;
+        serve();
+    }
+
+    StepResult
+    step(int action) override
+    {
+        FA3C_ASSERT(action >= 0 && action < numActions(),
+                    "pong action ", action);
+        StepResult res;
+
+        // Agent paddle.
+        if (action == 1)
+            playerY_ -= paddleSpeed_;
+        else if (action == 2)
+            playerY_ += paddleSpeed_;
+        playerY_ = std::clamp(playerY_, fieldTop_,
+                              fieldBottom_ - paddleH_);
+
+        // Opponent tracks the ball with capped speed (beatable).
+        const int target = ballY_ - paddleH_ / 2;
+        if (opponentY_ < target)
+            opponentY_ += opponentSpeed_;
+        else if (opponentY_ > target)
+            opponentY_ -= opponentSpeed_;
+        opponentY_ = std::clamp(opponentY_, fieldTop_,
+                                fieldBottom_ - paddleH_);
+
+        // Ball motion with wall bounces.
+        ballX_ += ballVx_;
+        ballY_ += ballVy_;
+        if (ballY_ <= fieldTop_) {
+            ballY_ = fieldTop_;
+            ballVy_ = -ballVy_;
+        }
+        if (ballY_ + ballSize_ >= fieldBottom_) {
+            ballY_ = fieldBottom_ - ballSize_;
+            ballVy_ = -ballVy_;
+        }
+
+        // Paddle collisions.
+        if (ballVx_ > 0 && ballX_ + ballSize_ >= playerX_ &&
+            ballX_ + ballSize_ <= playerX_ + paddleW_ + ballSpeed_ &&
+            overlaps(playerY_)) {
+            ballX_ = playerX_ - ballSize_;
+            ballVx_ = -ballVx_;
+            ballVy_ = deflect(playerY_);
+        }
+        if (ballVx_ < 0 && ballX_ <= opponentX_ + paddleW_ &&
+            ballX_ >= opponentX_ - ballSpeed_ && overlaps(opponentY_)) {
+            ballX_ = opponentX_ + paddleW_;
+            ballVx_ = -ballVx_;
+            ballVy_ = deflect(opponentY_);
+        }
+
+        // Scoring.
+        if (ballX_ > Frame::width) {
+            ++opponentScore_;
+            res.reward = -1.0f;
+            serve();
+        } else if (ballX_ + ballSize_ < 0) {
+            ++playerScore_;
+            res.reward = 1.0f;
+            serve();
+        }
+
+        if (playerScore_ >= matchPoint_ || opponentScore_ >= matchPoint_)
+            res.terminal = true;
+        return res;
+    }
+
+    void
+    render(Frame &frame) const override
+    {
+        frame.clear();
+        frame.hLine(fieldTop_ - 1, 0, Frame::width - 1, 0.5f);
+        frame.hLine(fieldBottom_, 0, Frame::width - 1, 0.5f);
+        frame.fillRect(opponentY_, opponentX_, paddleH_, paddleW_, 0.7f);
+        frame.fillRect(playerY_, playerX_, paddleH_, paddleW_, 1.0f);
+        frame.fillRect(ballY_, ballX_, ballSize_, ballSize_, 1.0f);
+    }
+
+    const char *name() const override { return "pong"; }
+
+  private:
+    static constexpr int fieldTop_ = 8;
+    static constexpr int fieldBottom_ = 80;
+    static constexpr int fieldCenter_ = (fieldTop_ + fieldBottom_) / 2;
+    static constexpr int paddleH_ = 12;
+    static constexpr int paddleW_ = 2;
+    static constexpr int playerX_ = 78;
+    static constexpr int opponentX_ = 4;
+    static constexpr int paddleSpeed_ = 2;
+    static constexpr int opponentSpeed_ = 1;
+    static constexpr int ballSize_ = 2;
+    static constexpr int ballSpeed_ = 2;
+    static constexpr int matchPoint_ = 5;
+
+    sim::Rng rng_;
+    int playerY_ = 0;
+    int opponentY_ = 0;
+    int ballX_ = 0;
+    int ballY_ = 0;
+    int ballVx_ = ballSpeed_;
+    int ballVy_ = 1;
+    int playerScore_ = 0;
+    int opponentScore_ = 0;
+
+    bool
+    overlaps(int paddle_y) const
+    {
+        return ballY_ + ballSize_ > paddle_y &&
+               ballY_ < paddle_y + paddleH_;
+    }
+
+    /** Vertical deflection depending on where the ball hit the paddle. */
+    int
+    deflect(int paddle_y)
+    {
+        const int rel = ballY_ + ballSize_ / 2 - (paddle_y + paddleH_ / 2);
+        if (rel < -2)
+            return -2;
+        if (rel > 2)
+            return 2;
+        return rel == 0 ? (rng_.chance(0.5) ? 1 : -1) : rel;
+    }
+
+    void
+    serve()
+    {
+        ballX_ = Frame::width / 2;
+        ballY_ = fieldTop_ + 2 +
+                 static_cast<int>(rng_.uniformInt(
+                     static_cast<std::uint32_t>(fieldBottom_ - fieldTop_ -
+                                                ballSize_ - 4)));
+        ballVx_ = rng_.chance(0.5) ? ballSpeed_ : -ballSpeed_;
+        ballVy_ = rng_.chance(0.5) ? 1 : -1;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Environment>
+makePong(std::uint64_t seed)
+{
+    return std::make_unique<Pong>(seed);
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Q*bert: hop around a 6-row pyramid of cubes, coloring each cube you
+ * land on (+25 per newly colored cube, +100 round bonus when all 21
+ * are colored). A chaser ball hops down from the top; touching it, or
+ * hopping off the pyramid, costs a life.
+ */
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "env/environment.hh"
+#include "env/games.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+namespace {
+
+class Qbert : public Environment
+{
+  public:
+    explicit Qbert(std::uint64_t seed) : rng_(seed) { reset(); }
+
+    // noop, up-left, up-right, down-left, down-right.
+    int numActions() const override { return 5; }
+
+    void
+    reset() override
+    {
+        lives_ = 3;
+        round_ = 0;
+        startRound();
+    }
+
+    StepResult
+    step(int action) override
+    {
+        FA3C_ASSERT(action >= 0 && action < numActions(),
+                    "qbert action ", action);
+        StepResult res;
+
+        if (hopCooldown_ > 0)
+            --hopCooldown_;
+
+        if (action != 0 && hopCooldown_ == 0) {
+            hopCooldown_ = hopPeriod_;
+            int r = playerRow_, c = playerCol_;
+            switch (action) {
+              case 1: --r; --c; break; // up-left
+              case 2: --r; break;      // up-right
+              case 3: ++r; break;      // down-left
+              case 4: ++r; ++c; break; // down-right
+              default: break;
+            }
+            if (!onPyramid(r, c)) {
+                res.reward += loseLife(res);
+            } else {
+                playerRow_ = r;
+                playerCol_ = c;
+                if (!colored_[cellIndex(r, c)]) {
+                    colored_[cellIndex(r, c)] = true;
+                    ++coloredCount_;
+                    res.reward += 25.0f;
+                }
+                if (coloredCount_ == numCells_) {
+                    res.reward += 100.0f;
+                    ++round_;
+                    startRound();
+                    return res;
+                }
+            }
+        }
+
+        stepChaser();
+        if (chaserActive_ && chaserRow_ == playerRow_ &&
+            chaserCol_ == playerCol_)
+            res.reward += loseLife(res);
+        if (lives_ <= 0)
+            res.terminal = true;
+        return res;
+    }
+
+    void
+    render(Frame &frame) const override
+    {
+        frame.clear();
+        for (int r = 0; r < rows_; ++r) {
+            for (int c = 0; c <= r; ++c) {
+                const float shade =
+                    colored_[cellIndex(r, c)] ? 0.9f : 0.35f;
+                frame.fillRect(cellY(r), cellX(r, c), cellH_ - 2,
+                               cellW_ - 2, shade);
+            }
+        }
+        frame.fillRect(cellY(playerRow_) - 4, cellX(playerRow_,
+                       playerCol_) + 2, 5, 5, 1.0f);
+        if (chaserActive_)
+            frame.fillRect(cellY(chaserRow_) - 4,
+                           cellX(chaserRow_, chaserCol_) + 2, 4, 4,
+                           0.6f);
+    }
+
+    const char *name() const override { return "qbert"; }
+
+  private:
+    static constexpr int rows_ = 6;
+    static constexpr int numCells_ = rows_ * (rows_ + 1) / 2; // 21
+    static constexpr int cellW_ = 11;
+    static constexpr int cellH_ = 11;
+    static constexpr int hopPeriod_ = 4;
+
+    sim::Rng rng_;
+    std::array<bool, static_cast<std::size_t>(numCells_)> colored_{};
+    int coloredCount_ = 0;
+    int lives_ = 3;
+    int round_ = 0;
+    int playerRow_ = 0;
+    int playerCol_ = 0;
+    int hopCooldown_ = 0;
+    bool chaserActive_ = false;
+    int chaserRow_ = 0;
+    int chaserCol_ = 0;
+    int chaserCooldown_ = 0;
+    int chaserPeriod_ = 8;
+
+    static bool
+    onPyramid(int r, int c)
+    {
+        return r >= 0 && r < rows_ && c >= 0 && c <= r;
+    }
+
+    static std::size_t
+    cellIndex(int r, int c)
+    {
+        return static_cast<std::size_t>(r * (r + 1) / 2 + c);
+    }
+
+    static int
+    cellY(int r)
+    {
+        return 10 + r * cellH_;
+    }
+
+    static int
+    cellX(int r, int c)
+    {
+        return Frame::width / 2 - (r + 1) * cellW_ / 2 + c * cellW_;
+    }
+
+    void
+    startRound()
+    {
+        colored_.fill(false);
+        coloredCount_ = 0;
+        playerRow_ = 0;
+        playerCol_ = 0;
+        colored_[cellIndex(0, 0)] = true;
+        coloredCount_ = 1;
+        hopCooldown_ = 0;
+        chaserActive_ = false;
+        chaserCooldown_ = 20 + static_cast<int>(rng_.uniformInt(20));
+        chaserPeriod_ = std::max(4, 8 - round_);
+    }
+
+    /** Penalty path shared by falling off and being caught. */
+    float
+    loseLife(StepResult &res)
+    {
+        // The chaser's spawn timer keeps running across deaths.
+        --lives_;
+        chaserActive_ = false;
+        playerRow_ = 0;
+        playerCol_ = 0;
+        if (lives_ <= 0)
+            res.terminal = true;
+        return 0.0f; // Q*bert has no negative scores; death just ends runs
+    }
+
+    void
+    stepChaser()
+    {
+        if (!chaserActive_) {
+            if (--chaserCooldown_ <= 0) {
+                // Spawns one row below the apex, on a random cell.
+                chaserActive_ = true;
+                chaserRow_ = 1;
+                chaserCol_ = static_cast<int>(rng_.uniformInt(2));
+                chaserCooldown_ = chaserPeriod_;
+            }
+            return;
+        }
+        if (--chaserCooldown_ > 0)
+            return;
+        chaserCooldown_ = chaserPeriod_;
+        // Hop down-left or down-right, biased toward the player.
+        int dc = rng_.chance(0.5) ? 0 : 1;
+        if (chaserRow_ + 1 == playerRow_) {
+            if (playerCol_ == chaserCol_)
+                dc = 0;
+            else if (playerCol_ == chaserCol_ + 1)
+                dc = 1;
+        }
+        ++chaserRow_;
+        chaserCol_ += dc;
+        if (!onPyramid(chaserRow_, chaserCol_)) {
+            chaserActive_ = false;
+            chaserCooldown_ = 20 + static_cast<int>(rng_.uniformInt(20));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Environment>
+makeQbert(std::uint64_t seed)
+{
+    return std::make_unique<Qbert>(seed);
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Seaquest: pilot a submarine, torpedo the sharks streaming in from
+ * both sides (+20 each), and surface before the oxygen runs out.
+ * Colliding with a shark or suffocating costs a life (of three).
+ */
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "env/environment.hh"
+#include "env/games.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+namespace {
+
+class Seaquest : public Environment
+{
+  public:
+    explicit Seaquest(std::uint64_t seed) : rng_(seed) { reset(); }
+
+    // noop, up, down, left, right, fire.
+    int numActions() const override { return 6; }
+
+    void
+    reset() override
+    {
+        lives_ = 3;
+        respawn();
+        sharks_.clear();
+        torpedoes_.clear();
+        spawnCooldown_ = 10;
+    }
+
+    StepResult
+    step(int action) override
+    {
+        FA3C_ASSERT(action >= 0 && action < numActions(),
+                    "seaquest action ", action);
+        StepResult res;
+
+        switch (action) {
+          case 1: subY_ -= subSpeed_; break;
+          case 2: subY_ += subSpeed_; break;
+          case 3:
+            subX_ -= subSpeed_;
+            facing_ = -1;
+            break;
+          case 4:
+            subX_ += subSpeed_;
+            facing_ = 1;
+            break;
+          case 5:
+            if (torpedoes_.size() < 2)
+                torpedoes_.push_back(Torpedo{
+                    facing_ > 0 ? subX_ + subW_ : subX_ - 3,
+                    subY_ + subH_ / 2, facing_});
+            break;
+          default:
+            break;
+        }
+        subX_ = std::clamp(subX_, 2, Frame::width - subW_ - 2);
+        subY_ = std::clamp(subY_, surfaceY_, seabedY_ - subH_);
+
+        // Oxygen: refills at the surface, depletes underwater.
+        if (subY_ <= surfaceY_ + 2) {
+            oxygen_ = std::min(oxygen_ + 20, maxOxygen_);
+        } else if (--oxygen_ <= 0) {
+            if (loseLife())
+                res.terminal = true;
+            return res;
+        }
+
+        spawnSharks();
+        res.reward += advance();
+
+        // Shark collision.
+        for (const auto &s : sharks_) {
+            if (s.x < subX_ + subW_ && s.x + sharkW_ > subX_ &&
+                s.y < subY_ + subH_ && s.y + sharkH_ > subY_) {
+                if (loseLife())
+                    res.terminal = true;
+                return res;
+            }
+        }
+        return res;
+    }
+
+    void
+    render(Frame &frame) const override
+    {
+        frame.clear();
+        frame.hLine(surfaceY_ - 1, 0, Frame::width - 1, 0.5f);
+        frame.hLine(seabedY_, 0, Frame::width - 1, 0.4f);
+        // Oxygen gauge along the bottom.
+        const int gauge =
+            (Frame::width - 4) * oxygen_ / maxOxygen_;
+        frame.fillRect(Frame::height - 3, 2, 2, gauge, 0.8f);
+        for (const auto &s : sharks_)
+            frame.fillRect(s.y, s.x, sharkH_, sharkW_, 0.7f);
+        for (const auto &t : torpedoes_)
+            frame.fillRect(t.y, t.x, 1, 3, 1.0f);
+        frame.fillRect(subY_, subX_, subH_, subW_, 1.0f);
+    }
+
+    const char *name() const override { return "seaquest"; }
+
+  private:
+    static constexpr int surfaceY_ = 14;
+    static constexpr int seabedY_ = 76;
+    static constexpr int subW_ = 7;
+    static constexpr int subH_ = 4;
+    static constexpr int subSpeed_ = 2;
+    static constexpr int sharkW_ = 6;
+    static constexpr int sharkH_ = 3;
+    static constexpr int maxOxygen_ = 600;
+    static constexpr float sharkScore_ = 20.0f;
+
+    struct Shark
+    {
+        int x;
+        int y;
+        int vx;
+    };
+
+    struct Torpedo
+    {
+        int x;
+        int y;
+        int vx;
+    };
+
+    sim::Rng rng_;
+    int lives_ = 3;
+    int subX_ = 0;
+    int subY_ = 0;
+    int facing_ = 1;
+    int oxygen_ = maxOxygen_;
+    int spawnCooldown_ = 0;
+    std::vector<Shark> sharks_;
+    std::vector<Torpedo> torpedoes_;
+
+    void
+    respawn()
+    {
+        subX_ = Frame::width / 2 - subW_ / 2;
+        subY_ = surfaceY_ + 10;
+        facing_ = 1;
+        oxygen_ = maxOxygen_;
+    }
+
+    /** @return true when the game is over. */
+    bool
+    loseLife()
+    {
+        --lives_;
+        sharks_.clear();
+        torpedoes_.clear();
+        respawn();
+        return lives_ <= 0;
+    }
+
+    void
+    spawnSharks()
+    {
+        if (--spawnCooldown_ > 0)
+            return;
+        spawnCooldown_ = 12 + static_cast<int>(rng_.uniformInt(16));
+        const bool from_left = rng_.chance(0.5);
+        const int depth =
+            surfaceY_ + 6 +
+            static_cast<int>(rng_.uniformInt(static_cast<std::uint32_t>(
+                seabedY_ - surfaceY_ - 12)));
+        const int speed = 1 + static_cast<int>(rng_.uniformInt(2));
+        sharks_.push_back(Shark{from_left ? -sharkW_ : Frame::width,
+                                depth, from_left ? speed : -speed});
+    }
+
+    float
+    advance()
+    {
+        float reward = 0.0f;
+        for (auto &s : sharks_)
+            s.x += s.vx;
+        for (auto &t : torpedoes_)
+            t.x += 4 * t.vx;
+
+        for (auto &t : torpedoes_) {
+            for (auto &s : sharks_) {
+                if (t.x < s.x + sharkW_ && t.x + 3 > s.x &&
+                    t.y >= s.y && t.y < s.y + sharkH_) {
+                    s.x = -1000; // destroyed
+                    t.x = -2000; // consumed
+                    reward += sharkScore_;
+                    break;
+                }
+            }
+        }
+        std::erase_if(sharks_, [](const Shark &s) {
+            return s.x < -sharkW_ - 1 || s.x > Frame::width + 1;
+        });
+        std::erase_if(torpedoes_, [](const Torpedo &t) {
+            return t.x < 0 || t.x > Frame::width;
+        });
+        return reward;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Environment>
+makeSeaquest(std::uint64_t seed)
+{
+    return std::make_unique<Seaquest>(seed);
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Space Invaders: a 4x6 grid of aliens marches across the screen and
+ * descends at the edges; the cannon fires one shot at a time; aliens
+ * drop bombs. Higher rows score more (10/15/20/30 from the bottom).
+ */
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "env/environment.hh"
+#include "env/games.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::env {
+
+namespace {
+
+class SpaceInvaders : public Environment
+{
+  public:
+    explicit SpaceInvaders(std::uint64_t seed) : rng_(seed) { reset(); }
+
+    // noop, fire, right, left, rightfire, leftfire (ALE minimal set).
+    int numActions() const override { return 6; }
+
+    void
+    reset() override
+    {
+        lives_ = 3;
+        wave_ = 0;
+        playerX_ = Frame::width / 2 - playerW_ / 2;
+        shotActive_ = false;
+        bombs_.clear();
+        newWave();
+    }
+
+    StepResult
+    step(int action) override
+    {
+        FA3C_ASSERT(action >= 0 && action < numActions(),
+                    "space_invaders action ", action);
+        StepResult res;
+
+        const bool fire = action == 1 || action == 4 || action == 5;
+        if (action == 2 || action == 4)
+            playerX_ += playerSpeed_;
+        else if (action == 3 || action == 5)
+            playerX_ -= playerSpeed_;
+        playerX_ = std::clamp(playerX_, 2, Frame::width - playerW_ - 2);
+
+        if (fire && !shotActive_) {
+            shotActive_ = true;
+            shotX_ = playerX_ + playerW_ / 2;
+            shotY_ = playerY_ - 1;
+        }
+
+        marchAliens();
+        res.reward += moveShot();
+        if (moveBombsAndCollide()) {
+            --lives_;
+            bombs_.clear();
+            if (lives_ <= 0)
+                res.terminal = true;
+        }
+
+        // Aliens reaching the cannon row ends the game.
+        if (lowestAlienY() + alienH_ >= playerY_)
+            res.terminal = true;
+
+        if (aliensLeft_ == 0) {
+            ++wave_;
+            newWave();
+        }
+        return res;
+    }
+
+    void
+    render(Frame &frame) const override
+    {
+        frame.clear();
+        frame.hLine(Frame::height - 2, 0, Frame::width - 1, 0.4f);
+        for (int r = 0; r < rows_; ++r) {
+            for (int c = 0; c < cols_; ++c) {
+                if (!alive_[static_cast<std::size_t>(r * cols_ + c)])
+                    continue;
+                frame.fillRect(alienOriginY_ + r * cellH_,
+                               alienOriginX_ + c * cellW_, alienH_,
+                               alienW_, 0.8f);
+            }
+        }
+        frame.fillRect(playerY_, playerX_, playerH_, playerW_, 1.0f);
+        if (shotActive_)
+            frame.fillRect(shotY_, shotX_, 3, 1, 1.0f);
+        for (const auto &b : bombs_)
+            frame.fillRect(b.y, b.x, 3, 1, 0.9f);
+    }
+
+    const char *name() const override { return "space_invaders"; }
+
+  private:
+    static constexpr int rows_ = 4;
+    static constexpr int cols_ = 6;
+    static constexpr int alienW_ = 6;
+    static constexpr int alienH_ = 4;
+    static constexpr int cellW_ = 10;
+    static constexpr int cellH_ = 8;
+    static constexpr int playerW_ = 6;
+    static constexpr int playerH_ = 3;
+    static constexpr int playerY_ = 78;
+    static constexpr int playerSpeed_ = 2;
+    // Scores by row from the top, echoing the Atari values.
+    static constexpr std::array<int, rows_> rowScore_ = {30, 20, 15, 10};
+
+    struct Bomb
+    {
+        int x;
+        int y;
+    };
+
+    sim::Rng rng_;
+    std::array<bool, static_cast<std::size_t>(rows_ * cols_)> alive_{};
+    int aliensLeft_ = 0;
+    int alienOriginX_ = 0;
+    int alienOriginY_ = 0;
+    int marchDir_ = 1;
+    int marchCounter_ = 0;
+    int marchPeriod_ = 8;
+    int wave_ = 0;
+    int lives_ = 3;
+    int playerX_ = 0;
+    bool shotActive_ = false;
+    int shotX_ = 0;
+    int shotY_ = 0;
+    std::vector<Bomb> bombs_;
+
+    void
+    newWave()
+    {
+        alive_.fill(true);
+        aliensLeft_ = rows_ * cols_;
+        alienOriginX_ = 8;
+        alienOriginY_ = 10;
+        marchDir_ = 1;
+        marchCounter_ = 0;
+        marchPeriod_ = std::max(3, 8 - wave_);
+        shotActive_ = false;
+    }
+
+    void
+    marchAliens()
+    {
+        if (++marchCounter_ < marchPeriod_)
+            return;
+        marchCounter_ = 0;
+        const int span = alienSpanWidth();
+        if (marchDir_ > 0 &&
+            alienOriginX_ + span + 2 >= Frame::width - 2) {
+            marchDir_ = -1;
+            alienOriginY_ += 3;
+        } else if (marchDir_ < 0 && alienOriginX_ <= 2) {
+            marchDir_ = 1;
+            alienOriginY_ += 3;
+        } else {
+            alienOriginX_ += 2 * marchDir_;
+        }
+        // Surviving aliens occasionally drop bombs.
+        if (rng_.chance(0.25) && aliensLeft_ > 0) {
+            const int shooter = pickBottomAlien();
+            if (shooter >= 0) {
+                const int r = shooter / cols_;
+                const int c = shooter % cols_;
+                bombs_.push_back(
+                    Bomb{alienOriginX_ + c * cellW_ + alienW_ / 2,
+                         alienOriginY_ + r * cellH_ + alienH_});
+            }
+        }
+    }
+
+    /** Width from the leftmost to the rightmost living column. */
+    int
+    alienSpanWidth() const
+    {
+        int min_c = cols_, max_c = -1;
+        for (int r = 0; r < rows_; ++r)
+            for (int c = 0; c < cols_; ++c)
+                if (alive_[static_cast<std::size_t>(r * cols_ + c)]) {
+                    min_c = std::min(min_c, c);
+                    max_c = std::max(max_c, c);
+                }
+        if (max_c < 0)
+            return 0;
+        return max_c * cellW_ + alienW_;
+    }
+
+    /** Random living alien that has no living alien below it. */
+    int
+    pickBottomAlien()
+    {
+        std::array<int, static_cast<std::size_t>(cols_)> bottom{};
+        bottom.fill(-1);
+        for (int c = 0; c < cols_; ++c)
+            for (int r = rows_ - 1; r >= 0; --r)
+                if (alive_[static_cast<std::size_t>(r * cols_ + c)]) {
+                    bottom[static_cast<std::size_t>(c)] = r * cols_ + c;
+                    break;
+                }
+        std::array<int, static_cast<std::size_t>(cols_)> cand{};
+        int n = 0;
+        for (int c = 0; c < cols_; ++c)
+            if (bottom[static_cast<std::size_t>(c)] >= 0)
+                cand[static_cast<std::size_t>(n++)] =
+                    bottom[static_cast<std::size_t>(c)];
+        if (n == 0)
+            return -1;
+        return cand[rng_.uniformInt(static_cast<std::uint32_t>(n))];
+    }
+
+    float
+    moveShot()
+    {
+        if (!shotActive_)
+            return 0.0f;
+        shotY_ -= 4;
+        if (shotY_ < 0) {
+            shotActive_ = false;
+            return 0.0f;
+        }
+        for (int r = rows_ - 1; r >= 0; --r) {
+            for (int c = 0; c < cols_; ++c) {
+                if (!alive_[static_cast<std::size_t>(r * cols_ + c)])
+                    continue;
+                const int ax = alienOriginX_ + c * cellW_;
+                const int ay = alienOriginY_ + r * cellH_;
+                if (shotX_ >= ax && shotX_ < ax + alienW_ &&
+                    shotY_ < ay + alienH_ && shotY_ + 3 > ay) {
+                    alive_[static_cast<std::size_t>(r * cols_ + c)] =
+                        false;
+                    --aliensLeft_;
+                    shotActive_ = false;
+                    return static_cast<float>(
+                        rowScore_[static_cast<std::size_t>(r)]);
+                }
+            }
+        }
+        return 0.0f;
+    }
+
+    /** @return true when a bomb hit the player. */
+    bool
+    moveBombsAndCollide()
+    {
+        bool hit = false;
+        for (auto &b : bombs_) {
+            b.y += 3;
+            if (b.y + 3 > playerY_ && b.y < playerY_ + playerH_ &&
+                b.x >= playerX_ && b.x < playerX_ + playerW_)
+                hit = true;
+        }
+        std::erase_if(bombs_,
+                      [](const Bomb &b) { return b.y >= Frame::height; });
+        return hit;
+    }
+
+    int
+    lowestAlienY() const
+    {
+        for (int r = rows_ - 1; r >= 0; --r)
+            for (int c = 0; c < cols_; ++c)
+                if (alive_[static_cast<std::size_t>(r * cols_ + c)])
+                    return alienOriginY_ + r * cellH_;
+        return 0;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Environment>
+makeSpaceInvaders(std::uint64_t seed)
+{
+    return std::make_unique<SpaceInvaders>(seed);
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Factories for the six synthetic games standing in for the paper's
+ * six Atari 2600 titles. Each game is a small, fully-deterministic
+ * (per seed) arcade game rendered to the 84x84 grayscale frame.
+ *
+ * The games are intentionally simple enough for A3C to learn within
+ * tens of thousands of steps, so the end-to-end training experiments
+ * (Figure 12) run for real in CI time, while exercising the exact
+ * state/action/reward interface of the Arcade Learning Environment.
+ */
+
+#ifndef FA3C_ENV_GAMES_HH
+#define FA3C_ENV_GAMES_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "env/environment.hh"
+
+namespace fa3c::env {
+
+std::unique_ptr<Environment> makePong(std::uint64_t seed);
+std::unique_ptr<Environment> makeBreakout(std::uint64_t seed);
+std::unique_ptr<Environment> makeSpaceInvaders(std::uint64_t seed);
+std::unique_ptr<Environment> makeBeamRider(std::uint64_t seed);
+std::unique_ptr<Environment> makeQbert(std::uint64_t seed);
+std::unique_ptr<Environment> makeSeaquest(std::uint64_t seed);
+
+} // namespace fa3c::env
+
+#endif // FA3C_ENV_GAMES_HH

@@ -1,0 +1,109 @@
+#include "env/session.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fa3c::env {
+
+AtariSession::AtariSession(std::unique_ptr<Environment> environment,
+                           const SessionConfig &cfg, std::uint64_t seed)
+    : env_(std::move(environment)), cfg_(cfg), rng_(seed),
+      obs_(tensor::Shape(
+          {cfg.frameStack, cfg.obsHeight, cfg.obsWidth}))
+{
+    FA3C_ASSERT(cfg_.frameSkip >= 1 && cfg_.frameStack >= 1,
+                "bad session config");
+    FA3C_ASSERT(Frame::height % cfg_.obsHeight == 0 &&
+                    Frame::width % cfg_.obsWidth == 0,
+                "observation size must divide the 84x84 frame");
+    beginEpisode();
+}
+
+void
+AtariSession::beginEpisode()
+{
+    env_->reset();
+    episodeScore_ = 0.0;
+    episodeFrames_ = 0;
+    obs_.zero();
+    prevFrame_.clear();
+    // Random no-op start: decorrelates initial states across agents.
+    const int noops = cfg_.maxNoopStart > 0
+                          ? static_cast<int>(rng_.uniformInt(
+                                static_cast<std::uint32_t>(
+                                    cfg_.maxNoopStart + 1)))
+                          : 0;
+    for (int i = 0; i < noops; ++i) {
+        StepResult r = env_->step(0);
+        episodeScore_ += r.reward;
+        if (r.terminal)
+            env_->reset();
+    }
+    pushObservation();
+}
+
+void
+AtariSession::pushObservation()
+{
+    prevFrame_ = frame_;
+    env_->render(frame_);
+
+    // Shift the stack: channel c <- channel c+1.
+    const int hw = cfg_.obsHeight * cfg_.obsWidth;
+    auto data = obs_.data();
+    for (int c = 0; c + 1 < cfg_.frameStack; ++c) {
+        std::copy(data.begin() + (c + 1) * hw,
+                  data.begin() + (c + 2) * hw, data.begin() + c * hw);
+    }
+
+    // Newest channel: max of the last two frames (ALE flicker
+    // handling), average-pooled down to the observation size.
+    const int pool_y = Frame::height / cfg_.obsHeight;
+    const int pool_x = Frame::width / cfg_.obsWidth;
+    const float inv = 1.0f / static_cast<float>(pool_y * pool_x);
+    for (int y = 0; y < cfg_.obsHeight; ++y) {
+        for (int x = 0; x < cfg_.obsWidth; ++x) {
+            float acc = 0.0f;
+            for (int dy = 0; dy < pool_y; ++dy) {
+                for (int dx = 0; dx < pool_x; ++dx) {
+                    const int yy = y * pool_y + dy;
+                    const int xx = x * pool_x + dx;
+                    acc += std::max(frame_.at(yy, xx),
+                                    prevFrame_.at(yy, xx));
+                }
+            }
+            obs_.at(cfg_.frameStack - 1, y, x) = acc * inv;
+        }
+    }
+}
+
+AtariSession::Step
+AtariSession::act(int action)
+{
+    Step result;
+    bool terminal = false;
+    for (int i = 0; i < cfg_.frameSkip && !terminal; ++i) {
+        StepResult r = env_->step(action);
+        result.rawReward += r.reward;
+        terminal = r.terminal;
+        ++episodeFrames_;
+    }
+    episodeScore_ += result.rawReward;
+    result.clippedReward =
+        cfg_.clipRewards
+            ? std::clamp(result.rawReward, -1.0f, 1.0f)
+            : result.rawReward;
+
+    if (terminal || episodeFrames_ >= cfg_.maxEpisodeFrames) {
+        lastEpisodeScore_ = episodeScore_;
+        ++episodesCompleted_;
+        result.episodeEnd = true;
+        beginEpisode();
+    } else {
+        pushObservation();
+    }
+    return result;
+}
+
+} // namespace fa3c::env

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The agent-side preprocessing pipeline wrapped around a game,
+ * matching the standard Atari/A3C frontend: action repeat (frame
+ * skip), max over the last two frames, optional downsampling to the
+ * network input size, a four-frame observation stack, reward
+ * clipping, and random no-op starts.
+ */
+
+#ifndef FA3C_ENV_SESSION_HH
+#define FA3C_ENV_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "env/environment.hh"
+#include "sim/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace fa3c::env {
+
+/** Frontend knobs; the defaults match the A3C Atari setup. */
+struct SessionConfig
+{
+    int frameSkip = 4;        ///< action repeat
+    int frameStack = 4;       ///< observation channels
+    int obsHeight = 84;       ///< network input rows
+    int obsWidth = 84;        ///< network input cols
+    bool clipRewards = true;  ///< clip per-step reward to [-1, 1]
+    int maxNoopStart = 30;    ///< random no-ops at episode start
+    int maxEpisodeFrames = 20000; ///< hard episode cutoff
+};
+
+/**
+ * A running game plus its preprocessing state.
+ *
+ * The observation() tensor has shape [frameStack, obsHeight, obsWidth]
+ * and is updated in place by act(); agents copy it into the DNN input.
+ */
+class AtariSession
+{
+  public:
+    /**
+     * @param environment The game (ownership transferred).
+     * @param cfg         Frontend configuration.
+     * @param seed        Seed for no-op starts.
+     */
+    AtariSession(std::unique_ptr<Environment> environment,
+                 const SessionConfig &cfg, std::uint64_t seed);
+
+    /** Result of one agent-visible step (= frameSkip raw frames). */
+    struct Step
+    {
+        float clippedReward = 0.0f; ///< training reward
+        float rawReward = 0.0f;     ///< unclipped score delta
+        bool episodeEnd = false;    ///< a new episode was started
+    };
+
+    /** Number of discrete actions. */
+    int numActions() const { return env_->numActions(); }
+
+    /** The game. */
+    const Environment &environment() const { return *env_; }
+
+    /** Current stacked observation [stack, H, W]. */
+    const tensor::Tensor &observation() const { return obs_; }
+
+    /**
+     * Apply @p action for frameSkip frames.
+     *
+     * When the episode ends the session records the episode score and
+     * immediately starts a new episode (with random no-ops), so the
+     * observation is always valid.
+     */
+    Step act(int action);
+
+    /** Raw score accumulated in the episode in progress. */
+    double episodeScore() const { return episodeScore_; }
+
+    /** Score of the most recently finished episode. */
+    double lastEpisodeScore() const { return lastEpisodeScore_; }
+
+    /** Number of finished episodes. */
+    std::uint64_t episodesCompleted() const { return episodesCompleted_; }
+
+  private:
+    std::unique_ptr<Environment> env_;
+    SessionConfig cfg_;
+    sim::Rng rng_;
+    tensor::Tensor obs_;       ///< [stack, H, W]
+    Frame frame_;              ///< scratch render target
+    Frame prevFrame_;          ///< for two-frame max
+    double episodeScore_ = 0.0;
+    double lastEpisodeScore_ = 0.0;
+    std::uint64_t episodesCompleted_ = 0;
+    int episodeFrames_ = 0;
+
+    void beginEpisode();
+    /** Render, max with the previous frame, downsample, push a channel. */
+    void pushObservation();
+};
+
+} // namespace fa3c::env
+
+#endif // FA3C_ENV_SESSION_HH

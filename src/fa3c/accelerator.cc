@@ -1,0 +1,240 @@
+#include "fa3c/accelerator.hh"
+
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+Fa3cPlatform::Fa3cPlatform(sim::EventQueue &queue, const Fa3cConfig &cfg,
+                           const nn::NetConfig &net_cfg, int t_max)
+    : queue_(queue), cfg_(cfg), hwNet_(HwNetwork::fromConfig(net_cfg)),
+      inferenceTask_(inferenceTask(hwNet_, cfg_)),
+      trainingTask_(trainingTask(hwNet_, cfg_, t_max)),
+      syncTask_(paramSyncTask(hwNet_, cfg_)),
+      portBytesPerSec_(static_cast<double>(dramBurstWords) *
+                       sizeof(float) * cfg_.clockHz)
+{
+    const double per_channel = cfg_.dram.peakBytesPerSec *
+                               cfg_.dram.efficiency /
+                               cfg_.dram.channels;
+    for (int c = 0; c < cfg_.dram.channels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            queue_, per_channel, cfg_.dram.accessLatencySec, stats_,
+            "dram.ch" + std::to_string(c)));
+    }
+    pcie_ = std::make_unique<DramChannel>(queue_, cfg_.pcie.bytesPerSec,
+                                          cfg_.pcie.latencySec, stats_,
+                                          "pcie");
+
+    const int cu_count = cfg_.cuCount();
+    for (int i = 0; i < cu_count; ++i) {
+        Cu cu;
+        cu.id = i;
+        if (cfg_.variant == Variant::SingleCU) {
+            cu.servesInference = true;
+            cu.servesTraining = true;
+        } else {
+            // Even CUs serve inference, odd CUs training: one pair
+            // per two CUs, matching the paper's CU-pair design.
+            cu.servesInference = (i % 2 == 0);
+            cu.servesTraining = !cu.servesInference;
+        }
+        cu.channel = channels_[static_cast<std::size_t>(
+                                   i % cfg_.dram.channels)]
+                         .get();
+        cus_.push_back(cu);
+    }
+}
+
+void
+Fa3cPlatform::submitInference(std::function<void()> done)
+{
+    inferenceQueue_.push_back(
+        Queued{&inferenceTask_, true, std::move(done)});
+    stats_.counter("tasks.inference").inc();
+    dispatch();
+}
+
+void
+Fa3cPlatform::submitTraining(std::function<void()> done)
+{
+    trainingQueue_.push_back(
+        Queued{&trainingTask_, false, std::move(done)});
+    stats_.counter("tasks.training").inc();
+    dispatch();
+}
+
+void
+Fa3cPlatform::submitParamSync(std::function<void()> done)
+{
+    // The sync is a short streaming copy; it jumps ahead of queued
+    // multi-millisecond training tasks so an agent's whole routine is
+    // not serialized behind other agents' updates.
+    trainingQueue_.push_front(
+        Queued{&syncTask_, false, std::move(done)});
+    stats_.counter("tasks.sync").inc();
+    dispatch();
+}
+
+void
+Fa3cPlatform::hostToDevice(double bytes, std::function<void()> done)
+{
+    pcie_->request(bytes, 0.0, std::move(done));
+}
+
+void
+Fa3cPlatform::deviceToHost(double bytes, std::function<void()> done)
+{
+    pcie_->request(bytes, 0.0, std::move(done));
+}
+
+void
+Fa3cPlatform::dispatch()
+{
+    for (auto &cu : cus_) {
+        if (cu.busy)
+            continue;
+        Queued task;
+        bool found = false;
+        if (cu.servesInference && !inferenceQueue_.empty()) {
+            task = std::move(inferenceQueue_.front());
+            inferenceQueue_.pop_front();
+            found = true;
+        } else if (cu.servesTraining && !trainingQueue_.empty()) {
+            task = std::move(trainingQueue_.front());
+            trainingQueue_.pop_front();
+            found = true;
+        }
+        if (!found)
+            continue;
+        execute(cu, *task.task, std::move(task.done));
+    }
+}
+
+void
+Fa3cPlatform::enableTrace(std::size_t max_entries)
+{
+    traceLimit_ = max_entries;
+    trace_.clear();
+    trace_.reserve(max_entries);
+}
+
+void
+Fa3cPlatform::recordTrace(const Cu &cu, const TaskModel &task,
+                          sim::Tick start)
+{
+    if (trace_.size() < traceLimit_) {
+        trace_.push_back(TaskTraceEntry{task.name.c_str(), cu.id,
+                                        start, queue_.now()});
+    }
+}
+
+void
+Fa3cPlatform::execute(Cu &cu, const TaskModel &task,
+                      std::function<void()> done)
+{
+    cu.busy = true;
+    cu.busySince = queue_.now();
+    runPhase(cu, task, 0, std::move(done));
+}
+
+void
+Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
+                       std::size_t phase_idx, std::function<void()> done)
+{
+    if (phase_idx >= task.phases.size()) {
+        cu.busy = false;
+        cu.busyTicks += queue_.now() - cu.busySince;
+        recordTrace(cu, task, cu.busySince);
+        if (done)
+            done();
+        dispatch();
+        return;
+    }
+    const Phase &phase = task.phases[phase_idx];
+    const double compute_sec =
+        static_cast<double>(phase.computeCycles) * cfg_.secondsPerCycle();
+    const sim::Tick compute_ticks = static_cast<sim::Tick>(
+        compute_sec * static_cast<double>(sim::ticksPerSecond));
+    const double bytes =
+        static_cast<double>(phase.dramWords()) * sizeof(float);
+
+    if (!cfg_.doubleBuffering) {
+        // Ablation: wait for the DRAM traffic, then compute.
+        auto compute = [this, &cu, &task, phase_idx, compute_ticks,
+                        done = std::move(done)]() mutable {
+            queue_.scheduleIn(
+                compute_ticks,
+                [this, &cu, &task, phase_idx,
+                 done = std::move(done)]() mutable {
+                    runPhase(cu, task, phase_idx + 1, std::move(done));
+                });
+        };
+        if (bytes > 0)
+            cu.channel->request(bytes, portBytesPerSec_,
+                                std::move(compute));
+        else
+            compute();
+        return;
+    }
+
+    // Double buffering: the phase finishes when both its compute and
+    // its DRAM traffic have completed.
+    auto barrier = std::make_shared<int>(2);
+    auto advance = [this, &cu, &task, phase_idx,
+                    done = std::move(done), barrier]() mutable {
+        if (--*barrier == 0)
+            runPhase(cu, task, phase_idx + 1, std::move(done));
+    };
+
+    queue_.scheduleIn(compute_ticks, advance);
+    if (bytes > 0) {
+        cu.channel->request(bytes, portBytesPerSec_, advance);
+    } else {
+        advance();
+    }
+}
+
+double
+Fa3cPlatform::utilization(bool inference) const
+{
+    const sim::Tick now = queue_.now();
+    if (now == 0)
+        return 0.0;
+    sim::Tick busy = 0;
+    int count = 0;
+    for (const auto &cu : cus_) {
+        const bool matches = inference ? cu.servesInference
+                                       : cu.servesTraining;
+        if (!matches)
+            continue;
+        busy += cu.busyTicks + (cu.busy ? now - cu.busySince : 0);
+        ++count;
+    }
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(busy) /
+           (static_cast<double>(now) * count);
+}
+
+double
+Fa3cPlatform::inferenceCuUtilization() const
+{
+    return utilization(true);
+}
+
+double
+Fa3cPlatform::trainingCuUtilization() const
+{
+    return utilization(false);
+}
+
+std::uint64_t
+Fa3cPlatform::dramBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ch : channels_)
+        sum += ch->bytesTransferred();
+    return sum;
+}
+
+} // namespace fa3c::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The event-driven FA3C platform simulator: CU pairs (one inference
+ * CU and one training CU each, or unified CUs for the SingleCU
+ * variant), DRAM channels, and the PCI-E DMA engine. Agents submit
+ * tasks; completion callbacks fire in simulated time, so throughput,
+ * queueing, and bandwidth contention all emerge from the event queue.
+ */
+
+#ifndef FA3C_FA3C_ACCELERATOR_HH
+#define FA3C_FA3C_ACCELERATOR_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fa3c/config.hh"
+#include "fa3c/dram_model.hh"
+#include "fa3c/task_model.hh"
+#include "nn/a3c_network.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace fa3c::core {
+
+/** One executed task, for timeline inspection. */
+struct TaskTraceEntry
+{
+    const char *kind; ///< "inference", "training", "param-sync"
+    int cuId;
+    sim::Tick start;
+    sim::Tick end;
+};
+
+/** The simulated FA3C board. */
+class Fa3cPlatform
+{
+  public:
+    /**
+     * @param queue   The shared event queue.
+     * @param cfg     Platform configuration (variant, CU pairs, ...).
+     * @param net_cfg The network the CUs execute.
+     * @param t_max   Training batch size.
+     */
+    Fa3cPlatform(sim::EventQueue &queue, const Fa3cConfig &cfg,
+                 const nn::NetConfig &net_cfg, int t_max);
+
+    /** Queue one inference task; @p done fires on completion. */
+    void submitInference(std::function<void()> done);
+
+    /** Queue one training task (BW + GC + RMSProp). */
+    void submitTraining(std::function<void()> done);
+
+    /** Queue one parameter-sync task. */
+    void submitParamSync(std::function<void()> done);
+
+    /** DMA @p bytes host-to-device over PCI-E. */
+    void hostToDevice(double bytes, std::function<void()> done);
+
+    /** DMA @p bytes device-to-host over PCI-E. */
+    void deviceToHost(double bytes, std::function<void()> done);
+
+    const Fa3cConfig &config() const { return cfg_; }
+    const HwNetwork &network() const { return hwNet_; }
+    sim::StatGroup &stats() { return stats_; }
+
+    /** Mean busy fraction of the inference CUs over the run so far. */
+    double inferenceCuUtilization() const;
+
+    /** Mean busy fraction of the training CUs over the run so far. */
+    double trainingCuUtilization() const;
+
+    /** Total DRAM bytes moved so far. */
+    std::uint64_t dramBytes() const;
+
+    /** Record the next @p max_entries executed tasks. */
+    void enableTrace(std::size_t max_entries = 4096);
+
+    /** The recorded timeline (empty unless enableTrace was called). */
+    const std::vector<TaskTraceEntry> &trace() const { return trace_; }
+
+  private:
+    struct Cu
+    {
+        int id;
+        bool servesInference;
+        bool servesTraining;
+        DramChannel *channel;
+        bool busy = false;
+        sim::Tick busyTicks = 0;
+        sim::Tick busySince = 0;
+    };
+
+    struct Queued
+    {
+        const TaskModel *task;
+        bool isInference;
+        std::function<void()> done;
+    };
+
+    sim::EventQueue &queue_;
+    Fa3cConfig cfg_;
+    HwNetwork hwNet_;
+    sim::StatGroup stats_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    std::unique_ptr<DramChannel> pcie_;
+    std::vector<Cu> cus_;
+    TaskModel inferenceTask_;
+    TaskModel trainingTask_;
+    TaskModel syncTask_;
+    std::deque<Queued> inferenceQueue_;
+    std::deque<Queued> trainingQueue_;
+    double portBytesPerSec_;
+    std::vector<TaskTraceEntry> trace_;
+    std::size_t traceLimit_ = 0;
+
+    void dispatch();
+    void execute(Cu &cu, const TaskModel &task,
+                 std::function<void()> done);
+    void runPhase(Cu &cu, const TaskModel &task, std::size_t phase_idx,
+                  std::function<void()> done);
+    void recordTrace(const Cu &cu, const TaskModel &task,
+                     sim::Tick start);
+    double utilization(bool inference) const;
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_ACCELERATOR_HH

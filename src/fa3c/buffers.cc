@@ -1,0 +1,109 @@
+#include "fa3c/buffers.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+OnChipBuffer::OnChipBuffer(int rows)
+    : rows_(rows),
+      data_(static_cast<std::size_t>(rows) * rowWords(), 0.0f)
+{
+    FA3C_ASSERT(rows > 0, "OnChipBuffer needs at least one row");
+}
+
+std::span<float>
+OnChipBuffer::row(int r)
+{
+    FA3C_ASSERT(r >= 0 && r < rows_, "OnChipBuffer row ", r, " of ",
+                rows_);
+    return std::span<float>(data_).subspan(
+        static_cast<std::size_t>(r) * rowWords(), rowWords());
+}
+
+std::span<const float>
+OnChipBuffer::row(int r) const
+{
+    FA3C_ASSERT(r >= 0 && r < rows_, "OnChipBuffer row ", r, " of ",
+                rows_);
+    return std::span<const float>(data_).subspan(
+        static_cast<std::size_t>(r) * rowWords(), rowWords());
+}
+
+int
+OnChipBuffer::loadBurst(int first_row, std::span<const float> words)
+{
+    FA3C_ASSERT(words.size() % rowWords() == 0,
+                "burst must be a whole number of 16-word beats");
+    const int beat_rows = static_cast<int>(words.size()) / rowWords();
+    FA3C_ASSERT(first_row >= 0 && first_row + beat_rows <= rows_,
+                "burst overflows the buffer");
+    std::copy(words.begin(), words.end(),
+              data_.begin() +
+                  static_cast<std::size_t>(first_row) * rowWords());
+    return beat_rows;
+}
+
+LineBuffer::LineBuffer(int width)
+    : width_(width), regs_(static_cast<std::size_t>(width), 0.0f)
+{
+    FA3C_ASSERT(width > 0, "LineBuffer needs at least one register");
+}
+
+float
+LineBuffer::at(int i) const
+{
+    FA3C_ASSERT(i >= 0 && i < width_, "LineBuffer index ", i, " of ",
+                width_);
+    return regs_[static_cast<std::size_t>(i)];
+}
+
+void
+LineBuffer::set(int i, float v)
+{
+    FA3C_ASSERT(i >= 0 && i < width_, "LineBuffer index ", i, " of ",
+                width_);
+    regs_[static_cast<std::size_t>(i)] = v;
+}
+
+void
+LineBuffer::shiftLeft(float fill)
+{
+    std::copy(regs_.begin() + 1, regs_.end(), regs_.begin());
+    regs_.back() = fill;
+}
+
+void
+LineBuffer::stitch(const OnChipBuffer &buffer, std::span<const int> rows)
+{
+    int reg = 0;
+    for (int r : rows) {
+        auto src = buffer.row(r);
+        for (int w = 0; w < OnChipBuffer::rowWords() && reg < width_;
+             ++w)
+            regs_[static_cast<std::size_t>(reg++)] =
+                src[static_cast<std::size_t>(w)];
+        if (reg >= width_)
+            break;
+    }
+    while (reg < width_)
+        regs_[static_cast<std::size_t>(reg++)] = 0.0f;
+}
+
+void
+LineBuffer::scatter(OnChipBuffer &buffer, std::span<const int> rows) const
+{
+    int reg = 0;
+    for (int r : rows) {
+        auto dst = buffer.row(r);
+        for (int w = 0; w < OnChipBuffer::rowWords() && reg < width_;
+             ++w)
+            dst[static_cast<std::size_t>(w)] =
+                regs_[static_cast<std::size_t>(reg++)];
+        if (reg >= width_)
+            break;
+    }
+}
+
+} // namespace fa3c::core

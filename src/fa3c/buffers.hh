@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The two-level buffer hierarchy (Section 4.5): on-chip buffers made
+ * of 16-word BRAM rows, and line buffers made of registers that the
+ * Buffer Control Unit (BCU) fills through *shifting*, *stitching*,
+ * and *scattering* operations so the PEs never stall on operands.
+ */
+
+#ifndef FA3C_FA3C_BUFFERS_HH
+#define FA3C_FA3C_BUFFERS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fa3c/config.hh"
+
+namespace fa3c::core {
+
+/**
+ * An on-chip buffer: @p rows one-dimensional word arrays, each
+ * dramBurstWords (16) wide, matching one DRAM burst beat.
+ */
+class OnChipBuffer
+{
+  public:
+    /** Allocate @p rows zero-filled rows. */
+    explicit OnChipBuffer(int rows);
+
+    int rows() const { return rows_; }
+
+    /** Row width in words (always the burst width). */
+    static constexpr int rowWords() { return dramBurstWords; }
+
+    /** Mutable view of row @p r. */
+    std::span<float> row(int r);
+
+    /** Const view of row @p r. */
+    std::span<const float> row(int r) const;
+
+    /**
+     * Fill rows [first_row, ...) from a flat word stream (a DRAM
+     * burst). @p words must be a multiple of the row width.
+     *
+     * @return Number of rows written.
+     */
+    int loadBurst(int first_row, std::span<const float> words);
+
+  private:
+    int rows_;
+    std::vector<float> data_;
+};
+
+/**
+ * A line buffer: a one-dimensional register array feeding PEs.
+ *
+ * The BCU operations mirror Section 4.5: shifting for regular
+ * horizontal access, stitching to compose one logical feature-map row
+ * from several 16-word buffer rows, and scattering to distribute PE
+ * outputs back to multiple buffer rows.
+ */
+class LineBuffer
+{
+  public:
+    /** Allocate a zero-filled line buffer of @p width registers. */
+    explicit LineBuffer(int width);
+
+    int width() const { return width_; }
+
+    float at(int i) const;
+    void set(int i, float v);
+
+    /** All registers as a span. */
+    std::span<const float> values() const { return regs_; }
+
+    /**
+     * Shifting: move every register one position left (index 0 drops
+     * out), filling the rightmost register with @p fill.
+     */
+    void shiftLeft(float fill = 0.0f);
+
+    /**
+     * Stitching: fill the line buffer by concatenating the given
+     * on-chip buffer rows (16 words each). Trailing registers beyond
+     * the stitched words are zeroed.
+     */
+    void stitch(const OnChipBuffer &buffer, std::span<const int> rows);
+
+    /**
+     * Scattering: write the line buffer contents into the given
+     * on-chip buffer rows, 16 words per row.
+     */
+    void scatter(OnChipBuffer &buffer, std::span<const int> rows) const;
+
+  private:
+    int width_;
+    std::vector<float> regs_;
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_BUFFERS_HH

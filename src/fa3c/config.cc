@@ -1,0 +1,43 @@
+#include "fa3c/config.hh"
+
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Standard: return "FA3C";
+      case Variant::Alt1: return "FA3C-Alt1";
+      case Variant::Alt2: return "FA3C-Alt2";
+      case Variant::SingleCU: return "FA3C-SingleCU";
+    }
+    FA3C_PANIC("bad Variant ", static_cast<int>(v));
+}
+
+Fa3cConfig
+Fa3cConfig::vcu1525()
+{
+    Fa3cConfig cfg;
+    cfg.cuPairs = 2;
+    cfg.pesPerCu = 64;
+    cfg.dram.channels = 4;
+    cfg.dram.peakBytesPerSec = 143e9;
+    return cfg;
+}
+
+Fa3cConfig
+Fa3cConfig::stratixV()
+{
+    Fa3cConfig cfg;
+    cfg.cuPairs = 1;
+    cfg.pesPerCu = 64;
+    cfg.dram.channels = 2;
+    // Stratix V board: two DDR3-1600 channels.
+    cfg.dram.peakBytesPerSec = 25.6e9;
+    cfg.clockHz = 150e6;
+    return cfg;
+}
+
+} // namespace fa3c::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Configuration of the FA3C platform model: compute-unit geometry,
+ * platform variants (Section 5.4), and the off-chip interfaces.
+ */
+
+#ifndef FA3C_FA3C_CONFIG_HH
+#define FA3C_FA3C_CONFIG_HH
+
+#include <cstdint>
+
+namespace fa3c::core {
+
+/** Width of the off-chip DRAM interface and of on-chip buffer rows,
+ * in 32-bit words (512 bits per burst beat). */
+constexpr int dramBurstWords = 16;
+
+/** Patch edge for the DRAM parameter layout (Figure 7c): parameters
+ * are stored as 16x16-word patches the TLU can transpose. */
+constexpr int patchWords = 16;
+
+/** The design-space variants compared in Figure 10. */
+enum class Variant
+{
+    Standard, ///< FW + BW layouts via the TLU; dual CUs per pair
+    Alt1,     ///< all computation types use the FW parameter layout
+    Alt2,     ///< both layouts materialized in DRAM at update time
+    SingleCU, ///< one CU with 2*N_PE PEs handles inference + training
+};
+
+/** Human-readable variant name. */
+const char *variantName(Variant v);
+
+/** Off-chip DRAM model parameters. */
+struct DramConfig
+{
+    int channels = 4;              ///< VCU1525 has four DDR4 channels
+    double peakBytesPerSec = 143e9; ///< Table 5: 143 GB/s aggregate
+    double efficiency = 0.80;      ///< sustained fraction of peak
+    double accessLatencySec = 120e-9; ///< fixed per-request latency
+};
+
+/** PCI-E DMA model parameters (Gen3 x16). */
+struct PcieConfig
+{
+    double bytesPerSec = 12e9;     ///< effective DMA bandwidth
+    double latencySec = 1.5e-6;    ///< per-transfer round-trip latency
+};
+
+/** The FA3C platform configuration. */
+struct Fa3cConfig
+{
+    Variant variant = Variant::Standard;
+    double clockHz = 180e6;  ///< Table 5: 180 MHz fabric clock
+    int cuPairs = 2;         ///< VCU1525 build: two CU pairs
+    int pesPerCu = 64;       ///< 64 PEs per CU
+    int rmspropUnits = 4;    ///< RUs; 4 saturate a 16-word interface
+    int tluCount = 2;        ///< TLUs per CU (double buffering)
+    /** Overlap each phase's compute with its DRAM traffic (the
+     * two-level buffer hierarchy's double buffering). Disabling it
+     * serializes the two — the ablation of Section 4.4.3's design. */
+    bool doubleBuffering = true;
+    DramConfig dram;
+    PcieConfig pcie;
+
+    /** The VCU1525 (VU9P) configuration of Section 5. */
+    static Fa3cConfig vcu1525();
+
+    /**
+     * The Stratix V configuration used for the Figure 10 comparison:
+     * a single CU pair on a smaller device with one DRAM channel.
+     */
+    static Fa3cConfig stratixV();
+
+    /** Total PEs across all CUs. */
+    int
+    totalPes() const
+    {
+        return cuPairs * 2 * pesPerCu;
+    }
+
+    /** PEs available in one CU (2x for the SingleCU variant). */
+    int
+    cuPes() const
+    {
+        return variant == Variant::SingleCU ? 2 * pesPerCu : pesPerCu;
+    }
+
+    /** Number of independently schedulable CUs. */
+    int
+    cuCount() const
+    {
+        return variant == Variant::SingleCU ? cuPairs : 2 * cuPairs;
+    }
+
+    /** Seconds per fabric clock cycle. */
+    double secondsPerCycle() const { return 1.0 / clockHz; }
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_CONFIG_HH

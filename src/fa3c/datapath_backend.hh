@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The FA3C functional backend: an rl::DnnBackend whose layer math
+ * runs through the accelerator's datapath model — FW/BW parameter
+ * layouts, the TLU transpose path, and the PE-array dataflow — so an
+ * A3C agent trained on it exercises the exact computation structure
+ * of the hardware. Results match the reference backend up to
+ * floating-point reassociation (verified by the equivalence tests).
+ */
+
+#ifndef FA3C_FA3C_DATAPATH_BACKEND_HH
+#define FA3C_FA3C_DATAPATH_BACKEND_HH
+
+#include <string>
+#include <vector>
+
+#include "fa3c/config.hh"
+#include "fa3c/pe_array.hh"
+#include "rl/backend.hh"
+#include "sim/stats.hh"
+
+namespace fa3c::core {
+
+/** rl::DnnBackend running on the FA3C datapath model. */
+class DatapathBackend : public rl::DnnBackend
+{
+  public:
+    /**
+     * @param net Network geometry (must outlive the backend).
+     * @param cfg Platform variant (Alt1 switches the BW dataflow).
+     */
+    explicit DatapathBackend(const nn::A3cNetwork &net,
+                             const Fa3cConfig &cfg = Fa3cConfig::vcu1525());
+
+    const nn::A3cNetwork &network() const override { return net_; }
+
+    /** Rebuild the staged FW/BW layout images (the DRAM copy). */
+    void onParamSync(const nn::ParamSet &params) override;
+
+    void forward(const nn::ParamSet &params, const tensor::Tensor &obs,
+                 nn::A3cNetwork::Activations &act) override;
+
+    void backward(const nn::ParamSet &params,
+                  const nn::A3cNetwork::Activations &act,
+                  const tensor::Tensor &g_out,
+                  nn::ParamSet &grads) override;
+
+    /** Accumulated datapath cycle counters ("cycles.fw", ...). */
+    const sim::StatGroup &cycleStats() const { return stats_; }
+
+  private:
+    struct Layer
+    {
+        nn::ConvSpec spec;
+        std::string wName;
+        std::string bName;
+        ParamMatrix fw;
+        ParamMatrix bw;
+        ParamMatrix gradScratch;      ///< FW-layout gradient buffer
+        std::vector<float> weightScratch;
+        std::vector<float> biasScratch;
+    };
+
+    const nn::A3cNetwork &net_;
+    Fa3cConfig cfg_;
+    PeArray pes_;
+    sim::StatGroup stats_;
+    std::vector<Layer> layers_;
+    bool layoutsValid_ = false;
+
+    // Rank-3 staging tensors for the FC layers' degenerate-conv form.
+    Tensor fc3In_, fc3Out_, fc4In_, fc4Out_;
+    Tensor gFc4In_, gFc3In_, gFc3Out_, gConv2Act_, gConv2Pre_;
+    Tensor gConv1Act_, gConv1Pre_;
+
+    void rebuildLayouts(const nn::ParamSet &params);
+    void accumulateGrads(Layer &layer, nn::ParamSet &grads);
+    StageModel backwardLayer(const Layer &layer, const Tensor &g_out,
+                             Tensor &g_in) const;
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_DATAPATH_BACKEND_HH

@@ -1,0 +1,59 @@
+#include "fa3c/dram_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+DramChannel::DramChannel(sim::EventQueue &queue, double bytes_per_sec,
+                         double access_latency_s, sim::StatGroup &stats,
+                         std::string name)
+    : queue_(queue), bytesPerSec_(bytes_per_sec),
+      latencySec_(access_latency_s), stats_(stats), name_(std::move(name))
+{
+    FA3C_ASSERT(bytes_per_sec > 0, "DramChannel bandwidth");
+}
+
+void
+DramChannel::request(double bytes, double port_bytes_per_sec,
+                     std::function<void()> done)
+{
+    FA3C_ASSERT(bytes >= 0, "negative transfer");
+    pending_.push_back(
+        Request{bytes, port_bytes_per_sec, std::move(done)});
+    stats_.counter(name_ + ".requests").inc();
+    if (!busy_)
+        startNext();
+}
+
+void
+DramChannel::startNext()
+{
+    if (pending_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Request req = std::move(pending_.front());
+    pending_.pop_front();
+
+    double bw = bytesPerSec_;
+    if (req.portBw > 0)
+        bw = std::min(bw, req.portBw);
+    const double seconds = latencySec_ + req.bytes / bw;
+    const sim::Tick duration = static_cast<sim::Tick>(
+        seconds * static_cast<double>(sim::ticksPerSecond));
+    busyTicks_ += duration;
+    bytesDone_ += static_cast<std::uint64_t>(req.bytes);
+    stats_.counter(name_ + ".bytes")
+        .inc(static_cast<std::uint64_t>(req.bytes));
+
+    queue_.scheduleIn(duration, [this, done = std::move(req.done)]() {
+        if (done)
+            done();
+        startNext();
+    });
+}
+
+} // namespace fa3c::core

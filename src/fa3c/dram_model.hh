@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Event-driven off-chip DRAM channel model.
+ *
+ * A channel serves transfer requests FIFO; each request takes a fixed
+ * access latency plus bytes / effective-bandwidth, where the
+ * effective bandwidth is capped both by the channel and by the
+ * requesting CU's 512-bit port. Contention between the CUs sharing a
+ * channel emerges from the queueing.
+ */
+
+#ifndef FA3C_FA3C_DRAM_MODEL_HH
+#define FA3C_FA3C_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace fa3c::core {
+
+/** One DRAM channel with FIFO service. */
+class DramChannel
+{
+  public:
+    /**
+     * @param queue            The platform event queue.
+     * @param bytes_per_sec    Effective channel bandwidth.
+     * @param access_latency_s Fixed per-request latency.
+     * @param name             Stat prefix.
+     */
+    DramChannel(sim::EventQueue &queue, double bytes_per_sec,
+                double access_latency_s, sim::StatGroup &stats,
+                std::string name);
+
+    /**
+     * Request a transfer.
+     *
+     * @param bytes          Transfer size.
+     * @param port_bytes_per_sec Cap from the requester's port (0 = no
+     *                       cap).
+     * @param done           Invoked when the transfer completes.
+     */
+    void request(double bytes, double port_bytes_per_sec,
+                 std::function<void()> done);
+
+    /** Total bytes transferred so far. */
+    std::uint64_t bytesTransferred() const { return bytesDone_; }
+
+    /** Busy time accumulated, in ticks. */
+    sim::Tick busyTicks() const { return busyTicks_; }
+
+  private:
+    struct Request
+    {
+        double bytes;
+        double portBw;
+        std::function<void()> done;
+    };
+
+    sim::EventQueue &queue_;
+    double bytesPerSec_;
+    double latencySec_;
+    sim::StatGroup &stats_;
+    std::string name_;
+    bool busy_ = false;
+    std::deque<Request> pending_;
+    std::uint64_t bytesDone_ = 0;
+    sim::Tick busyTicks_ = 0;
+
+    void startNext();
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_DRAM_MODEL_HH

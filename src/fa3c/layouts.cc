@@ -1,0 +1,171 @@
+#include "fa3c/layouts.hh"
+
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+ParamMatrix::ParamMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) *
+                static_cast<std::size_t>(cols),
+            0.0f)
+{
+    FA3C_ASSERT(rows > 0 && cols > 0, "empty ParamMatrix");
+}
+
+float &
+ParamMatrix::at(int r, int c)
+{
+    FA3C_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "ParamMatrix index (", r, ",", c, ") out of ", rows_,
+                "x", cols_);
+    return data_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+}
+
+float
+ParamMatrix::at(int r, int c) const
+{
+    return const_cast<ParamMatrix &>(*this).at(r, c);
+}
+
+nn::ConvSpec
+asConv(const nn::FcSpec &fc)
+{
+    return nn::ConvSpec{fc.inFeatures, 1, 1, fc.outFeatures, 1, 1};
+}
+
+namespace {
+
+/** Index into the reference [O][I][K][K] weight order. */
+std::size_t
+refIdx(const nn::ConvSpec &s, int o, int i, int kr, int kc)
+{
+    return ((static_cast<std::size_t>(o) *
+                 static_cast<std::size_t>(s.inChannels) +
+             static_cast<std::size_t>(i)) *
+                static_cast<std::size_t>(s.kernel) +
+            static_cast<std::size_t>(kr)) *
+               static_cast<std::size_t>(s.kernel) +
+           static_cast<std::size_t>(kc);
+}
+
+} // namespace
+
+ParamMatrix
+buildFwLayout(const nn::ConvSpec &spec, std::span<const float> w)
+{
+    FA3C_ASSERT(w.size() == spec.weightCount(), "buildFwLayout size");
+    const int kk = spec.kernel * spec.kernel;
+    ParamMatrix fw(spec.inChannels * kk, spec.outChannels);
+    for (int i = 0; i < spec.inChannels; ++i)
+        for (int kr = 0; kr < spec.kernel; ++kr)
+            for (int kc = 0; kc < spec.kernel; ++kc)
+                for (int o = 0; o < spec.outChannels; ++o)
+                    fw.at(i * kk + kr * spec.kernel + kc, o) =
+                        w[refIdx(spec, o, i, kr, kc)];
+    return fw;
+}
+
+ParamMatrix
+buildBwLayout(const nn::ConvSpec &spec, std::span<const float> w)
+{
+    FA3C_ASSERT(w.size() == spec.weightCount(), "buildBwLayout size");
+    const int kk = spec.kernel * spec.kernel;
+    ParamMatrix bw(spec.outChannels * kk, spec.inChannels);
+    for (int o = 0; o < spec.outChannels; ++o)
+        for (int kr = 0; kr < spec.kernel; ++kr)
+            for (int kc = 0; kc < spec.kernel; ++kc)
+                for (int i = 0; i < spec.inChannels; ++i)
+                    bw.at(o * kk + kr * spec.kernel + kc, i) =
+                        w[refIdx(spec, o, i, kr, kc)];
+    return bw;
+}
+
+void
+fwLayoutToWeights(const nn::ConvSpec &spec, const ParamMatrix &fw,
+                  std::span<float> w)
+{
+    FA3C_ASSERT(w.size() == spec.weightCount(), "fwLayoutToWeights size");
+    const int kk = spec.kernel * spec.kernel;
+    FA3C_ASSERT(fw.rows() == spec.inChannels * kk &&
+                    fw.cols() == spec.outChannels,
+                "fwLayoutToWeights shape");
+    for (int i = 0; i < spec.inChannels; ++i)
+        for (int kr = 0; kr < spec.kernel; ++kr)
+            for (int kc = 0; kc < spec.kernel; ++kc)
+                for (int o = 0; o < spec.outChannels; ++o)
+                    w[refIdx(spec, o, i, kr, kc)] =
+                        fw.at(i * kk + kr * spec.kernel + kc, o);
+}
+
+int
+paddedRows(const nn::ConvSpec &spec)
+{
+    const int rows = spec.inChannels * spec.kernel * spec.kernel;
+    return (rows + patchWords - 1) / patchWords * patchWords;
+}
+
+int
+paddedCols(const nn::ConvSpec &spec)
+{
+    return (spec.outChannels + patchWords - 1) / patchWords * patchWords;
+}
+
+std::vector<float>
+packPatches(const ParamMatrix &fw)
+{
+    const int prow = (fw.rows() + patchWords - 1) / patchWords;
+    const int pcol = (fw.cols() + patchWords - 1) / patchWords;
+    std::vector<float> packed(static_cast<std::size_t>(prow) *
+                                  static_cast<std::size_t>(pcol) *
+                                  patchWords * patchWords,
+                              0.0f);
+    std::size_t out = 0;
+    for (int pr = 0; pr < prow; ++pr) {
+        for (int pc = 0; pc < pcol; ++pc) {
+            for (int r = 0; r < patchWords; ++r) {
+                for (int c = 0; c < patchWords; ++c) {
+                    const int rr = pr * patchWords + r;
+                    const int cc = pc * patchWords + c;
+                    packed[out++] =
+                        (rr < fw.rows() && cc < fw.cols())
+                            ? fw.at(rr, cc)
+                            : 0.0f;
+                }
+            }
+        }
+    }
+    return packed;
+}
+
+ParamMatrix
+unpackFw(std::span<const float> packed, int rows, int cols)
+{
+    const int prow = (rows + patchWords - 1) / patchWords;
+    const int pcol = (cols + patchWords - 1) / patchWords;
+    FA3C_ASSERT(packed.size() ==
+                    static_cast<std::size_t>(prow) *
+                        static_cast<std::size_t>(pcol) * patchWords *
+                        patchWords,
+                "unpackFw packed size");
+    ParamMatrix fw(rows, cols);
+    std::size_t in = 0;
+    for (int pr = 0; pr < prow; ++pr) {
+        for (int pc = 0; pc < pcol; ++pc) {
+            for (int r = 0; r < patchWords; ++r) {
+                for (int c = 0; c < patchWords; ++c) {
+                    const int rr = pr * patchWords + r;
+                    const int cc = pc * patchWords + c;
+                    const float v = packed[in++];
+                    if (rr < rows && cc < cols)
+                        fw.at(rr, cc) = v;
+                }
+            }
+        }
+    }
+    return fw;
+}
+
+} // namespace fa3c::core

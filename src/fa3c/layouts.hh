@@ -1,0 +1,113 @@
+/**
+ * @file
+ * DNN parameter layouts (Figure 7 of the paper).
+ *
+ * FA3C keeps a single copy of each layer's parameters in off-chip
+ * DRAM, packed as 16x16-word patches of the *FW parameter layout*
+ * matrix. The FW layout matrix has one row per element of the
+ * I*K*K accumulation sequence and one column per output channel, so
+ * forward propagation streams rows in order. Backward propagation
+ * wants the transposed view (the *BW parameter layout*); the TLU
+ * produces it on the fly by transposing each 16x16 patch during the
+ * load (Section 4.4).
+ *
+ * A fully-connected layer is treated as a convolution with
+ * R = C = K = 1 (Section 4.2.1), i.e. an FW matrix with I rows and O
+ * columns.
+ */
+
+#ifndef FA3C_FA3C_LAYOUTS_HH
+#define FA3C_FA3C_LAYOUTS_HH
+
+#include <span>
+#include <vector>
+
+#include "fa3c/config.hh"
+#include "nn/layers.hh"
+
+namespace fa3c::core {
+
+/** A dense row-major matrix of parameter words. */
+class ParamMatrix
+{
+  public:
+    ParamMatrix() = default;
+
+    /** Allocate a zero-filled rows x cols matrix. */
+    ParamMatrix(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    float &at(int r, int c);
+    float at(int r, int c) const;
+
+    std::span<const float> data() const { return data_; }
+    std::span<float> data() { return data_; }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * Treat a fully-connected layer as the degenerate convolution the
+ * paper describes (R = C = K = 1, every input feature its own
+ * channel).
+ */
+nn::ConvSpec asConv(const nn::FcSpec &fc);
+
+/**
+ * Build the FW-layout matrix of a convolution layer.
+ *
+ * Row s = (i * K + kr) * K + kc holds, for every output channel o,
+ * the weight w(in: i, out: o) at kernel position (kr, kc).
+ *
+ * @param w Weights in the reference [O][I][K][K] order.
+ */
+ParamMatrix buildFwLayout(const nn::ConvSpec &spec,
+                          std::span<const float> w);
+
+/**
+ * Build the BW-layout matrix directly from the weights (the golden
+ * model the TLU path is verified against).
+ *
+ * Row t = (o * K + kr) * K + kc holds, for every input channel i,
+ * the weight w(in: i, out: o) at kernel position (kr, kc).
+ */
+ParamMatrix buildBwLayout(const nn::ConvSpec &spec,
+                          std::span<const float> w);
+
+/**
+ * Scatter an FW-layout matrix back into reference [O][I][K][K] weight
+ * order (used by the gradient path: the gradient buffer keeps the FW
+ * layout, Section 4.4.4).
+ */
+void fwLayoutToWeights(const nn::ConvSpec &spec, const ParamMatrix &fw,
+                       std::span<float> w);
+
+/** Rows of the FW matrix padded to a whole number of patches. */
+int paddedRows(const nn::ConvSpec &spec);
+
+/** Cols of the FW matrix padded to a whole number of patches. */
+int paddedCols(const nn::ConvSpec &spec);
+
+/**
+ * Pack the FW matrix into the DRAM image: 16x16-word patches stored
+ * contiguously, patch-row-major (Figure 7c). Padding words are zero.
+ */
+std::vector<float> packPatches(const ParamMatrix &fw);
+
+/**
+ * Unpack a DRAM patch image straight into the FW layout (the load
+ * path used by forward propagation — no transposition).
+ *
+ * @param rows Unpadded FW row count.
+ * @param cols Unpadded FW column count.
+ */
+ParamMatrix unpackFw(std::span<const float> packed, int rows, int cols);
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_LAYOUTS_HH

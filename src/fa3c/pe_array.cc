@@ -1,0 +1,459 @@
+#include "fa3c/pe_array.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "fa3c/buffers.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+PeArray::PeArray(int num_pes, const TimingParams &params)
+    : numPes_(num_pes), params_(params)
+{
+    FA3C_ASSERT(num_pes > 0, "PeArray needs PEs");
+}
+
+StageModel
+PeArray::convForward(const nn::ConvSpec &spec, const Tensor &in,
+                     const ParamMatrix &fw, std::span<const float> bias,
+                     Tensor &out) const
+{
+    const int kk = spec.kernel * spec.kernel;
+    FA3C_ASSERT(fw.rows() == spec.inChannels * kk &&
+                    fw.cols() == spec.outChannels,
+                "convForward FW layout shape");
+    FA3C_ASSERT(bias.size() == spec.biasCount(), "convForward bias");
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+
+    // Hardware order: each PE owns one output value; the parameter
+    // sequence s = (i, kr, kc) streams past while the input value for
+    // (s, r, c) is broadcast to the O PEs of that position.
+    std::vector<float> accs(static_cast<std::size_t>(spec.outChannels));
+    for (int r = 0; r < oh; ++r) {
+        for (int c = 0; c < ow; ++c) {
+            for (int o = 0; o < spec.outChannels; ++o)
+                accs[static_cast<std::size_t>(o)] =
+                    bias[static_cast<std::size_t>(o)];
+            for (int i = 0; i < spec.inChannels; ++i) {
+                for (int kr = 0; kr < spec.kernel; ++kr) {
+                    const int y = r * spec.stride + kr;
+                    for (int kc = 0; kc < spec.kernel; ++kc) {
+                        const int s =
+                            (i * spec.kernel + kr) * spec.kernel + kc;
+                        const float v =
+                            in.at(i, y, c * spec.stride + kc);
+                        const float *w_row = fw.data().data() +
+                            static_cast<std::size_t>(s) *
+                                static_cast<std::size_t>(fw.cols());
+                        for (int o = 0; o < spec.outChannels; ++o)
+                            accs[static_cast<std::size_t>(o)] +=
+                                v * w_row[o];
+                    }
+                }
+            }
+            for (int o = 0; o < spec.outChannels; ++o)
+                out.at(o, r, c) = accs[static_cast<std::size_t>(o)];
+        }
+    }
+    return stageModel(Stage::Fw, spec, numPes_, false, params_);
+}
+
+namespace {
+
+/**
+ * Shared backward dataflow: for every input element, accumulate the
+ * products of overlapping output gradients and weights. @p weight_at
+ * abstracts which layout delivers the weight word.
+ */
+template <typename WeightAt>
+void
+backwardSweep(const nn::ConvSpec &spec, const Tensor &g_out,
+              WeightAt weight_at, Tensor &g_in)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    g_in.zero();
+    for (int i = 0; i < spec.inChannels; ++i) {
+        for (int y = 0; y < spec.inHeight; ++y) {
+            for (int x = 0; x < spec.inWidth; ++x) {
+                float acc = 0.0f;
+                // Accumulation order: output channels outer, kernel
+                // taps inner — the order the BW layout rows stream.
+                for (int o = 0; o < spec.outChannels; ++o) {
+                    for (int kr = 0; kr < spec.kernel; ++kr) {
+                        const int ry = y - kr;
+                        if (ry < 0 || ry % spec.stride != 0)
+                            continue;
+                        const int r = ry / spec.stride;
+                        if (r >= oh)
+                            continue;
+                        for (int kc = 0; kc < spec.kernel; ++kc) {
+                            const int cx = x - kc;
+                            if (cx < 0 || cx % spec.stride != 0)
+                                continue;
+                            const int c = cx / spec.stride;
+                            if (c >= ow)
+                                continue;
+                            acc += g_out.at(o, r, c) *
+                                   weight_at(o, i, kr, kc);
+                        }
+                    }
+                }
+                g_in.at(i, y, x) = acc;
+            }
+        }
+    }
+}
+
+} // namespace
+
+StageModel
+PeArray::convBackward(const nn::ConvSpec &spec, const Tensor &g_out,
+                      const ParamMatrix &bw, Tensor &g_in) const
+{
+    const int kk = spec.kernel * spec.kernel;
+    FA3C_ASSERT(bw.rows() == spec.outChannels * kk &&
+                    bw.cols() == spec.inChannels,
+                "convBackward BW layout shape");
+    backwardSweep(
+        spec, g_out,
+        [&](int o, int i, int kr, int kc) {
+            return bw.at((o * spec.kernel + kr) * spec.kernel + kc, i);
+        },
+        g_in);
+    return stageModel(Stage::Bw, spec, numPes_, false, params_);
+}
+
+StageModel
+PeArray::convBackwardFwLayout(const nn::ConvSpec &spec,
+                              const Tensor &g_out, const ParamMatrix &fw,
+                              Tensor &g_in) const
+{
+    const int kk = spec.kernel * spec.kernel;
+    FA3C_ASSERT(fw.rows() == spec.inChannels * kk &&
+                    fw.cols() == spec.outChannels,
+                "convBackwardFwLayout FW layout shape");
+    backwardSweep(
+        spec, g_out,
+        [&](int o, int i, int kr, int kc) {
+            return fw.at((i * spec.kernel + kr) * spec.kernel + kc, o);
+        },
+        g_in);
+    return stageModel(Stage::Bw, spec, numPes_, true, params_);
+}
+
+StageModel
+PeArray::convGradient(const nn::ConvSpec &spec, const Tensor &in,
+                      const Tensor &g_out, ParamMatrix &g_fw,
+                      std::span<float> g_bias) const
+{
+    const int kk = spec.kernel * spec.kernel;
+    FA3C_ASSERT(g_fw.rows() == spec.inChannels * kk &&
+                    g_fw.cols() == spec.outChannels,
+                "convGradient gradient-buffer shape");
+    FA3C_ASSERT(g_bias.size() == spec.biasCount(), "convGradient bias");
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+
+    // The gradient buffer keeps the FW layout (Section 4.4.4): for
+    // each sequence row s and output channel o, accumulate over the
+    // output feature map (the accumulation frequency of GC).
+    for (int i = 0; i < spec.inChannels; ++i) {
+        for (int kr = 0; kr < spec.kernel; ++kr) {
+            for (int kc = 0; kc < spec.kernel; ++kc) {
+                const int s = (i * spec.kernel + kr) * spec.kernel + kc;
+                for (int o = 0; o < spec.outChannels; ++o) {
+                    float acc = 0.0f;
+                    for (int r = 0; r < oh; ++r) {
+                        const int y = r * spec.stride + kr;
+                        for (int c = 0; c < ow; ++c)
+                            acc += g_out.at(o, r, c) *
+                                   in.at(i, y, c * spec.stride + kc);
+                    }
+                    g_fw.at(s, o) += acc;
+                }
+            }
+        }
+    }
+    for (int o = 0; o < spec.outChannels; ++o) {
+        float acc = 0.0f;
+        for (int r = 0; r < oh; ++r)
+            for (int c = 0; c < ow; ++c)
+                acc += g_out.at(o, r, c);
+        g_bias[static_cast<std::size_t>(o)] += acc;
+    }
+    return stageModel(Stage::Gc, spec, numPes_, false, params_);
+}
+
+void
+convForwardStrict(const nn::ConvSpec &spec, const Tensor &in,
+                  const ParamMatrix &fw, std::span<const float> bias,
+                  Tensor &out)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    const int row_beats = (spec.inWidth + OnChipBuffer::rowWords() - 1) /
+                          OnChipBuffer::rowWords();
+
+    // Stage the input feature map in an on-chip buffer: each feature
+    // row occupies row_beats 16-word buffer rows (Section 4.3).
+    OnChipBuffer fmap(spec.inChannels * spec.inHeight * row_beats);
+    {
+        std::vector<float> beat(
+            static_cast<std::size_t>(OnChipBuffer::rowWords()), 0.0f);
+        int buf_row = 0;
+        for (int i = 0; i < spec.inChannels; ++i) {
+            for (int y = 0; y < spec.inHeight; ++y) {
+                for (int b = 0; b < row_beats; ++b) {
+                    for (int w = 0; w < OnChipBuffer::rowWords(); ++w) {
+                        const int x = b * OnChipBuffer::rowWords() + w;
+                        beat[static_cast<std::size_t>(w)] =
+                            x < spec.inWidth ? in.at(i, y, x) : 0.0f;
+                    }
+                    fmap.loadBurst(buf_row++, beat);
+                }
+            }
+        }
+    }
+
+    // Output staging buffer: one 16-word row group per output row per
+    // channel; PEs write through a line buffer that the BCU scatters.
+    const int out_beats = (ow + OnChipBuffer::rowWords() - 1) /
+                          OnChipBuffer::rowWords();
+    OnChipBuffer out_buf(spec.outChannels * oh * out_beats);
+
+    LineBuffer input_line(row_beats * OnChipBuffer::rowWords());
+    LineBuffer out_line(out_beats * OnChipBuffer::rowWords());
+    std::vector<int> stitch_rows(static_cast<std::size_t>(row_beats));
+    std::vector<int> scatter_rows(static_cast<std::size_t>(out_beats));
+    std::vector<float> accs(static_cast<std::size_t>(ow));
+
+    for (int o = 0; o < spec.outChannels; ++o) {
+        for (int r = 0; r < oh; ++r) {
+            for (int c = 0; c < ow; ++c)
+                accs[static_cast<std::size_t>(c)] =
+                    bias[static_cast<std::size_t>(o)];
+            for (int i = 0; i < spec.inChannels; ++i) {
+                for (int kr = 0; kr < spec.kernel; ++kr) {
+                    // Stitching: compose the feature row from its
+                    // 16-word buffer rows.
+                    const int y = r * spec.stride + kr;
+                    for (int b = 0; b < row_beats; ++b)
+                        stitch_rows[static_cast<std::size_t>(b)] =
+                            (i * spec.inHeight + y) * row_beats + b;
+                    input_line.stitch(fmap, stitch_rows);
+                    for (int kc = 0; kc < spec.kernel; ++kc) {
+                        // Each PE reads its fixed port c*S; shifting
+                        // advances the row under the ports each cycle.
+                        const int s =
+                            (i * spec.kernel + kr) * spec.kernel + kc;
+                        const float w = fw.at(s, o);
+                        for (int c = 0; c < ow; ++c)
+                            accs[static_cast<std::size_t>(c)] +=
+                                input_line.at(c * spec.stride) * w;
+                        input_line.shiftLeft();
+                    }
+                }
+            }
+            // Scattering: PE outputs leave through a line buffer that
+            // the BCU distributes over the on-chip buffer rows.
+            for (int c = 0; c < ow; ++c)
+                out_line.set(c, accs[static_cast<std::size_t>(c)]);
+            for (int b = 0; b < out_beats; ++b)
+                scatter_rows[static_cast<std::size_t>(b)] =
+                    (o * oh + r) * out_beats + b;
+            out_line.scatter(out_buf, scatter_rows);
+        }
+    }
+
+    // Drain the staged output back into the tensor.
+    for (int o = 0; o < spec.outChannels; ++o) {
+        for (int r = 0; r < oh; ++r) {
+            for (int c = 0; c < ow; ++c) {
+                const int beat = c / OnChipBuffer::rowWords();
+                const int w = c % OnChipBuffer::rowWords();
+                out.at(o, r, c) = out_buf.row(
+                    (o * oh + r) * out_beats +
+                    beat)[static_cast<std::size_t>(w)];
+            }
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Stage a [C, H, W] tensor in an on-chip buffer with 16-word-aligned
+ * rows; row (ch, y) occupies @p beats consecutive buffer rows.
+ */
+OnChipBuffer
+stageFeatureMap(const Tensor &t, int channels, int height, int width,
+                int beats)
+{
+    OnChipBuffer buf(channels * height * beats);
+    std::vector<float> beat(
+        static_cast<std::size_t>(OnChipBuffer::rowWords()), 0.0f);
+    int buf_row = 0;
+    for (int ch = 0; ch < channels; ++ch) {
+        for (int y = 0; y < height; ++y) {
+            for (int b = 0; b < beats; ++b) {
+                for (int w = 0; w < OnChipBuffer::rowWords(); ++w) {
+                    const int x = b * OnChipBuffer::rowWords() + w;
+                    beat[static_cast<std::size_t>(w)] =
+                        x < width ? t.at(ch, y, x) : 0.0f;
+                }
+                buf.loadBurst(buf_row++, beat);
+            }
+        }
+    }
+    return buf;
+}
+
+/** Stitch feature row (ch, y) of a staged map into @p line. */
+void
+stitchRow(const OnChipBuffer &buf, int ch, int y, int height,
+          int beats, LineBuffer &line, std::vector<int> &rows)
+{
+    for (int b = 0; b < beats; ++b)
+        rows[static_cast<std::size_t>(b)] =
+            (ch * height + y) * beats + b;
+    line.stitch(buf, rows);
+}
+
+} // namespace
+
+void
+convGradientStrict(const nn::ConvSpec &spec, const Tensor &in,
+                   const Tensor &g_out, int n_pe, ParamMatrix &g_fw,
+                   std::span<float> g_bias)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    const int kk = spec.kernel * spec.kernel;
+    const int m_gc = std::max(
+        1, std::min(n_pe / kk, spec.outChannels));
+    const int in_beats = (spec.inWidth + OnChipBuffer::rowWords() - 1) /
+                         OnChipBuffer::rowWords();
+    const int out_beats = (ow + OnChipBuffer::rowWords() - 1) /
+                          OnChipBuffer::rowWords();
+
+    const OnChipBuffer in_buf = stageFeatureMap(
+        in, spec.inChannels, spec.inHeight, spec.inWidth, in_beats);
+    const OnChipBuffer gout_buf = stageFeatureMap(
+        g_out, spec.outChannels, oh, ow, out_beats);
+
+    // K line buffers for the input rows (Table 3, GC input 0) and
+    // M_GC line buffers for the output gradients (GC input 1).
+    std::vector<LineBuffer> in_lines(
+        static_cast<std::size_t>(spec.kernel),
+        LineBuffer(in_beats * OnChipBuffer::rowWords()));
+    std::vector<LineBuffer> gout_lines(
+        static_cast<std::size_t>(m_gc),
+        LineBuffer(out_beats * OnChipBuffer::rowWords()));
+    std::vector<int> in_rows(static_cast<std::size_t>(in_beats));
+    std::vector<int> out_rows(static_cast<std::size_t>(out_beats));
+
+    // K^2 x M_GC PE accumulators.
+    std::vector<float> accs;
+    for (int i = 0; i < spec.inChannels; ++i) {
+        for (int o0 = 0; o0 < spec.outChannels; o0 += m_gc) {
+            const int group = std::min(m_gc, spec.outChannels - o0);
+            accs.assign(static_cast<std::size_t>(kk * group), 0.0f);
+            for (int r = 0; r < oh; ++r) {
+                for (int kr = 0; kr < spec.kernel; ++kr)
+                    stitchRow(in_buf, i, r * spec.stride + kr,
+                              spec.inHeight, in_beats,
+                              in_lines[static_cast<std::size_t>(kr)],
+                              in_rows);
+                for (int oj = 0; oj < group; ++oj)
+                    stitchRow(gout_buf, o0 + oj, r, oh, out_beats,
+                              gout_lines[static_cast<std::size_t>(oj)],
+                              out_rows);
+                for (int c = 0; c < ow; ++c) {
+                    // PE (kr, kc, oj) accumulates one filter tap.
+                    for (int kr = 0; kr < spec.kernel; ++kr) {
+                        const LineBuffer &row =
+                            in_lines[static_cast<std::size_t>(kr)];
+                        for (int kc = 0; kc < spec.kernel; ++kc) {
+                            const float v =
+                                row.at(c * spec.stride + kc);
+                            for (int oj = 0; oj < group; ++oj) {
+                                accs[static_cast<std::size_t>(
+                                    (kr * spec.kernel + kc) * group +
+                                    oj)] +=
+                                    v *
+                                    gout_lines[static_cast<std::size_t>(
+                                                   oj)]
+                                        .at(c);
+                            }
+                        }
+                    }
+                }
+            }
+            for (int kr = 0; kr < spec.kernel; ++kr)
+                for (int kc = 0; kc < spec.kernel; ++kc)
+                    for (int oj = 0; oj < group; ++oj)
+                        g_fw.at((i * spec.kernel + kr) * spec.kernel +
+                                    kc,
+                                o0 + oj) +=
+                            accs[static_cast<std::size_t>(
+                                (kr * spec.kernel + kc) * group + oj)];
+        }
+    }
+    for (int o = 0; o < spec.outChannels; ++o) {
+        float acc = 0.0f;
+        for (int r = 0; r < oh; ++r)
+            for (int c = 0; c < ow; ++c)
+                acc += g_out.at(o, r, c);
+        g_bias[static_cast<std::size_t>(o)] += acc;
+    }
+}
+
+void
+convBackwardStrict(const nn::ConvSpec &spec, const Tensor &g_out,
+                   const ParamMatrix &bw, Tensor &g_in)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    const int out_beats = (ow + OnChipBuffer::rowWords() - 1) /
+                          OnChipBuffer::rowWords();
+    const OnChipBuffer gout_buf = stageFeatureMap(
+        g_out, spec.outChannels, oh, ow, out_beats);
+    LineBuffer gout_line(out_beats * OnChipBuffer::rowWords());
+    std::vector<int> out_rows(static_cast<std::size_t>(out_beats));
+
+    g_in.zero();
+    // One input row of gradients at a time; the BW-layout rows stream
+    // in (o, kr, kc) order while the matching output-gradient row sits
+    // in a line buffer. The PEs span (input channel x position).
+    for (int y = 0; y < spec.inHeight; ++y) {
+        for (int o = 0; o < spec.outChannels; ++o) {
+            for (int kr = 0; kr < spec.kernel; ++kr) {
+                const int ry = y - kr;
+                if (ry < 0 || ry % spec.stride != 0)
+                    continue;
+                const int r = ry / spec.stride;
+                if (r >= oh)
+                    continue;
+                stitchRow(gout_buf, o, r, oh, out_beats, gout_line,
+                          out_rows);
+                for (int kc = 0; kc < spec.kernel; ++kc) {
+                    const int t =
+                        (o * spec.kernel + kr) * spec.kernel + kc;
+                    for (int c = 0; c < ow; ++c) {
+                        const int x = c * spec.stride + kc;
+                        if (x >= spec.inWidth)
+                            continue;
+                        const float g = gout_line.at(c);
+                        for (int i = 0; i < spec.inChannels; ++i)
+                            g_in.at(i, y, x) += g * bw.at(t, i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace fa3c::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The PE array: N_PE identical processing elements, each a 32-bit
+ * single-precision multiplier + accumulator pair (Section 4.2.1).
+ *
+ * The functional model executes every stage in the hardware's
+ * dataflow order — parameters consumed row-by-row from the layout
+ * matrices, one operand broadcast across the PEs per cycle — so its
+ * results match the reference library up to floating-point
+ * reassociation, and its cycle counts come from the Table 3 model.
+ */
+
+#ifndef FA3C_FA3C_PE_ARRAY_HH
+#define FA3C_FA3C_PE_ARRAY_HH
+
+#include <span>
+
+#include "fa3c/layouts.hh"
+#include "fa3c/timing.hh"
+#include "tensor/tensor.hh"
+
+namespace fa3c::core {
+
+using tensor::Tensor;
+
+/** Functional + cycle model of one CU's PE array. */
+class PeArray
+{
+  public:
+    /**
+     * @param num_pes PEs in the array (64 per CU in the paper).
+     * @param params  Calibration knobs of the cycle model.
+     */
+    explicit PeArray(int num_pes, const TimingParams &params = {});
+
+    int numPes() const { return numPes_; }
+
+    /**
+     * Forward propagation with the FW parameter layout.
+     *
+     * @param fw   FW-layout matrix (I*K^2 rows, O cols).
+     * @param bias Biases, length O.
+     * @return The cycle/parallelism model of this execution.
+     */
+    StageModel convForward(const nn::ConvSpec &spec, const Tensor &in,
+                           const ParamMatrix &fw,
+                           std::span<const float> bias,
+                           Tensor &out) const;
+
+    /**
+     * Backward propagation with the BW parameter layout (the TLU
+     * path).
+     *
+     * @param bw BW-layout matrix (O*K^2 rows, I cols).
+     */
+    StageModel convBackward(const nn::ConvSpec &spec, const Tensor &g_out,
+                            const ParamMatrix &bw, Tensor &g_in) const;
+
+    /**
+     * Backward propagation against the FW layout (the Alt1 variant,
+     * Section 5.4). Produces the same values as convBackward but at
+     * Alt1's degraded parallelism.
+     */
+    StageModel convBackwardFwLayout(const nn::ConvSpec &spec,
+                                    const Tensor &g_out,
+                                    const ParamMatrix &fw,
+                                    Tensor &g_in) const;
+
+    /**
+     * Gradient computation: accumulate parameter gradients into an
+     * FW-layout gradient matrix (the gradient buffer keeps the FW
+     * layout so RMSProp needs no TLU, Section 4.4.4).
+     *
+     * @param g_fw   FW-layout gradient matrix, accumulated into.
+     * @param g_bias Bias gradients, accumulated into.
+     */
+    StageModel convGradient(const nn::ConvSpec &spec, const Tensor &in,
+                            const Tensor &g_out, ParamMatrix &g_fw,
+                            std::span<float> g_bias) const;
+
+  private:
+    int numPes_;
+    TimingParams params_;
+};
+
+/**
+ * A strict line-buffer-driven forward propagation: drives the actual
+ * LineBuffer shifting / stitching / scattering operations the BCU
+ * performs, used to validate the buffer machinery against the fast
+ * path (tests only — it is deliberately literal, not fast).
+ */
+void convForwardStrict(const nn::ConvSpec &spec, const Tensor &in,
+                       const ParamMatrix &fw,
+                       std::span<const float> bias, Tensor &out);
+
+/**
+ * Strict gradient computation: K stitched input line buffers plus
+ * M_GC output-gradient line buffers feed K^2 x M_GC accumulating PEs,
+ * exactly the Table 3 GC row. Accumulates into the FW-layout gradient
+ * buffer like convGradient.
+ *
+ * @param n_pe Determines M_GC = floor(n_pe / K^2), capped at O.
+ */
+void convGradientStrict(const nn::ConvSpec &spec, const Tensor &in,
+                        const Tensor &g_out, int n_pe,
+                        ParamMatrix &g_fw, std::span<float> g_bias);
+
+/**
+ * Strict backward propagation: BW-layout parameter rows stream in
+ * (o, kr, kc) order while output-gradient line buffers feed the
+ * input-gradient PEs — the Table 3 BW row.
+ */
+void convBackwardStrict(const nn::ConvSpec &spec, const Tensor &g_out,
+                        const ParamMatrix &bw, Tensor &g_in);
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_PE_ARRAY_HH

@@ -1,0 +1,153 @@
+#include "fa3c/resource_model.hh"
+
+namespace fa3c::core {
+
+ResourceUsage &
+ResourceUsage::operator+=(const ResourceUsage &other)
+{
+    logicLuts += other.logicLuts;
+    registers += other.registers;
+    memoryBlocks += other.memoryBlocks;
+    dspBlocks += other.dspBlocks;
+    return *this;
+}
+
+DeviceCapacity
+DeviceCapacity::vu9p()
+{
+    // 1,182K LUTs, 2,364K FFs, 2,160 BRAM36 + 960 URAM, 6,840 DSPs.
+    return {"Xilinx UltraScale+ VU9P", 1182e3, 2364e3, 3120, 6840};
+}
+
+DeviceCapacity
+DeviceCapacity::stratixV()
+{
+    // A Stratix V GX A7-class device (ALMs counted as LUT pairs).
+    return {"Altera Stratix V", 470e3, 940e3, 2560, 512};
+}
+
+ResourceModel::ResourceModel(const Fa3cConfig &cfg) : cfg_(cfg) {}
+
+namespace {
+
+// Per-unit coefficients back-derived from Table 4 at the paper's
+// VCU1525 configuration: 4 CUs (2 pairs), 64 PEs each, 2 training
+// CUs with one RMSProp module (4 RUs) and two TLUs apiece, 4 DDR4
+// channels, one PCI-E DMA.
+
+// Per PE (Table 4 "PEs": 188.8K / 252.6K / 0 / 2048 over 256 PEs).
+constexpr double peLuts = 188.8e3 / 256;
+constexpr double peRegs = 252.6e3 / 256;
+constexpr double peDsps = 2048.0 / 256;
+
+// Per CU buffers (256 / 128 / 192 memory blocks over 4, 2, 4 CUs).
+constexpr double paramBufLutsPerCu = 20.8e3 / 4;
+constexpr double paramBufRegsPerCu = 1.7e3 / 4;
+constexpr double paramBufMemPerCu = 256.0 / 4;
+constexpr double gradBufLutsPerCu = 8.9e3 / 2;
+constexpr double gradBufRegsPerCu = 0.6e3 / 2;
+constexpr double gradBufMemPerCu = 128.0 / 2;
+constexpr double fmapBufLutsPerCu = 9.2e3 / 4;
+constexpr double fmapBufRegsPerCu = 1.2e3 / 4;
+constexpr double fmapBufMemPerCu = 192.0 / 4;
+
+// BCU line buffers scale with PEs (72.1K / 111.0K over 256 PEs).
+constexpr double bcuLutsPerPe = 72.1e3 / 256;
+constexpr double bcuRegsPerPe = 111.0e3 / 256;
+
+// RMSProp module per training CU (53.4K / 64.8K / 216 / 288 over 2).
+constexpr double rmsLutsPerModule = 53.4e3 / 2;
+constexpr double rmsRegsPerModule = 64.8e3 / 2;
+constexpr double rmsMemPerModule = 216.0 / 2;
+constexpr double rmsDspsPerRu = 288.0 / (2 * 4);
+
+// Pipelined MUX/DEMUX datapath scales with PEs.
+constexpr double muxLutsPerPe = 50.1e3 / 256;
+constexpr double muxRegsPerPe = 50.1e3 / 256;
+constexpr double muxMemPerCu = 16.0 / 4;
+
+// TLU per instance (17.0K / 35.1K / 16 over 4 TLUs).
+constexpr double tluLutsEach = 17.0e3 / 4;
+constexpr double tluRegsEach = 35.1e3 / 4;
+constexpr double tluMemEach = 16.0 / 4;
+
+// DDR-CU interconnect per CU (83.3K / 136.2K / 263 over 4 CUs).
+constexpr double iconLutsPerCu = 83.3e3 / 4;
+constexpr double iconRegsPerCu = 136.2e3 / 4;
+constexpr double iconMemPerCu = 263.0 / 4;
+
+// DDR4 controller per channel (86.3K / 98.0K / 102 / 12 over 4).
+constexpr double ddrLutsPerCh = 86.3e3 / 4;
+constexpr double ddrRegsPerCh = 98.0e3 / 4;
+constexpr double ddrMemPerCh = 102.0 / 4;
+constexpr double ddrDspsPerCh = 12.0 / 4;
+
+// PCI-E DMA, fixed.
+constexpr double pcieLuts = 87.4e3;
+constexpr double pcieRegs = 124.4e3;
+constexpr double pcieMem = 78.0;
+
+} // namespace
+
+std::vector<ResourceUsage>
+ResourceModel::breakdown() const
+{
+    const int cus = cfg_.cuCount();
+    const int total_pes = cfg_.totalPes();
+    // Training-capable CUs carry the gradient buffer, the RMSProp
+    // module, and the TLUs.
+    const int training_cus =
+        cfg_.variant == Variant::SingleCU ? cfg_.cuPairs : cfg_.cuPairs;
+    const int tlus = training_cus * cfg_.tluCount;
+
+    std::vector<ResourceUsage> rows;
+    rows.push_back({"PEs", peLuts * total_pes, peRegs * total_pes, 0,
+                    peDsps * total_pes});
+    rows.push_back({"Parameter buffer", paramBufLutsPerCu * cus,
+                    paramBufRegsPerCu * cus, paramBufMemPerCu * cus, 0});
+    rows.push_back({"Gradient buffer", gradBufLutsPerCu * training_cus,
+                    gradBufRegsPerCu * training_cus,
+                    gradBufMemPerCu * training_cus, 0});
+    rows.push_back({"Feature-map buffer", fmapBufLutsPerCu * cus,
+                    fmapBufRegsPerCu * cus, fmapBufMemPerCu * cus, 0});
+    rows.push_back({"BCU (line buffer)", bcuLutsPerPe * total_pes,
+                    bcuRegsPerPe * total_pes, 0, 0});
+    rows.push_back({"RMSProp", rmsLutsPerModule * training_cus,
+                    rmsRegsPerModule * training_cus,
+                    rmsMemPerModule * training_cus,
+                    rmsDspsPerRu * cfg_.rmspropUnits * training_cus});
+    rows.push_back({"Pipelined MUX", muxLutsPerPe * total_pes,
+                    muxRegsPerPe * total_pes, muxMemPerCu * cus, 0});
+    rows.push_back({"TLU", tluLutsEach * tlus, tluRegsEach * tlus,
+                    tluMemEach * tlus, 0});
+    rows.push_back({"DDR-CU interconnect", iconLutsPerCu * cus,
+                    iconRegsPerCu * cus, iconMemPerCu * cus, 0});
+    rows.push_back({"DDR4 controller",
+                    ddrLutsPerCh * cfg_.dram.channels,
+                    ddrRegsPerCh * cfg_.dram.channels,
+                    ddrMemPerCh * cfg_.dram.channels,
+                    ddrDspsPerCh * cfg_.dram.channels});
+    rows.push_back({"PCI-E DMA", pcieLuts, pcieRegs, pcieMem, 0});
+    return rows;
+}
+
+ResourceUsage
+ResourceModel::total() const
+{
+    ResourceUsage sum{"Total", 0, 0, 0, 0};
+    for (const auto &row : breakdown())
+        sum += row;
+    return sum;
+}
+
+bool
+ResourceModel::fits(const DeviceCapacity &device) const
+{
+    const ResourceUsage t = total();
+    return t.logicLuts <= device.logicLuts &&
+           t.registers <= device.registers &&
+           t.memoryBlocks <= device.memoryBlocks &&
+           t.dspBlocks <= device.dspBlocks;
+}
+
+} // namespace fa3c::core

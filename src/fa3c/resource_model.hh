@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FPGA resource model (Table 4): per-component LUT / register /
+ * memory-block / DSP costs, with per-unit coefficients derived from
+ * the paper's VCU1525 build (2 CU pairs x 64 PEs) so alternative
+ * configurations can be explored.
+ */
+
+#ifndef FA3C_FA3C_RESOURCE_MODEL_HH
+#define FA3C_FA3C_RESOURCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fa3c/config.hh"
+
+namespace fa3c::core {
+
+/** Resource usage of one component (or total). */
+struct ResourceUsage
+{
+    std::string component;
+    double logicLuts = 0;
+    double registers = 0;
+    double memoryBlocks = 0;
+    double dspBlocks = 0;
+
+    ResourceUsage &operator+=(const ResourceUsage &other);
+};
+
+/** Device capacity, for utilization percentages. */
+struct DeviceCapacity
+{
+    std::string name;
+    double logicLuts;
+    double registers;
+    double memoryBlocks; ///< BRAM36 + URAM tiles
+    double dspBlocks;
+
+    /** The Xilinx UltraScale+ VU9P of the VCU1525 board. */
+    static DeviceCapacity vu9p();
+
+    /** An Altera Stratix V class device (Figure 10 platform). */
+    static DeviceCapacity stratixV();
+};
+
+/** Estimates Table 4 for a platform configuration. */
+class ResourceModel
+{
+  public:
+    explicit ResourceModel(const Fa3cConfig &cfg);
+
+    /** Per-component usage rows, in Table 4 order. */
+    std::vector<ResourceUsage> breakdown() const;
+
+    /** Sum of all components. */
+    ResourceUsage total() const;
+
+    /** True when the configuration fits the device. */
+    bool fits(const DeviceCapacity &device) const;
+
+  private:
+    Fa3cConfig cfg_;
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_RESOURCE_MODEL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The RMSProp module (Section 4.2.3): a set of fully-pipelined RUs
+ * that apply computed gradients to the global parameters. Each RU
+ * consumes one (theta, g) word pair and produces one updated pair per
+ * cycle (Figure 5); four RUs saturate a 16-word DRAM interface. The
+ * module double-buffers so DRAM traffic of one block overlaps the
+ * update of the previous one.
+ */
+
+#ifndef FA3C_FA3C_RMSPROP_MODULE_HH
+#define FA3C_FA3C_RMSPROP_MODULE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "nn/rmsprop.hh"
+
+namespace fa3c::core {
+
+/** Functional + cycle model of the RMSProp module. */
+class RmspropModule
+{
+  public:
+    /**
+     * @param num_rus RUs in the module (paper: 4).
+     * @param cfg     Constant rho / epsilon of Figure 5.
+     */
+    RmspropModule(int num_rus, const nn::RmspropConfig &cfg);
+
+    int numRus() const { return numRus_; }
+
+    /**
+     * Stream one update over the parameter block, word-interleaved
+     * across the RUs exactly as the hardware does. Produces the same
+     * values as nn::rmspropApply.
+     *
+     * @param eta Learning rate for this update.
+     */
+    void update(std::span<float> theta, std::span<float> g,
+                std::span<const float> grad, float eta) const;
+
+    /** Compute cycles to update @p param_words parameters. */
+    std::uint64_t updateCycles(std::uint64_t param_words) const;
+
+    /** DRAM words loaded per update (theta + g). */
+    static std::uint64_t
+    loadWords(std::uint64_t param_words)
+    {
+        return 2 * param_words;
+    }
+
+    /** DRAM words stored per update (theta + g). */
+    static std::uint64_t
+    storeWords(std::uint64_t param_words)
+    {
+        return 2 * param_words;
+    }
+
+  private:
+    int numRus_;
+    nn::RmspropConfig cfg_;
+};
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_RMSPROP_MODULE_HH

@@ -1,0 +1,233 @@
+#include "fa3c/task_model.hh"
+
+#include <numeric>
+
+#include "fa3c/layouts.hh"
+#include "fa3c/rmsprop_module.hh"
+#include "fa3c/tlu.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+namespace {
+
+/** Control/setup cycles charged once per phase. */
+constexpr std::uint64_t phaseSetupCycles = 64;
+
+} // namespace
+
+std::uint64_t
+TaskModel::totalComputeCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : phases)
+        sum += p.computeCycles;
+    return sum;
+}
+
+std::uint64_t
+TaskModel::totalLoadWords() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : phases)
+        sum += p.dramLoadWords;
+    return sum;
+}
+
+std::uint64_t
+TaskModel::totalStoreWords() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &p : phases)
+        sum += p.dramStoreWords;
+    return sum;
+}
+
+HwNetwork
+HwNetwork::fromConfig(const nn::NetConfig &cfg)
+{
+    const nn::A3cNetwork net(cfg);
+    HwNetwork hw;
+    hw.layers = {
+        net.conv1(),
+        net.conv2(),
+        asConv(net.fc3()),
+        // FC4 runs with the padded hardware lane count (Table 1).
+        asConv(nn::FcSpec{net.fc4().inFeatures, cfg.fc4HardwareLanes}),
+    };
+    hw.names = {"conv1", "conv2", "fc3", "fc4"};
+    return hw;
+}
+
+std::uint64_t
+HwNetwork::paramWords() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &l : layers)
+        sum += paddedParamWords(l) +
+               static_cast<std::uint64_t>(l.outChannels); // biases
+    return sum;
+}
+
+std::uint64_t
+HwNetwork::inputWords() const
+{
+    const auto &first = layers.front();
+    return alignedFeatureMapWords(first.inChannels, first.inHeight,
+                                  first.inWidth);
+}
+
+std::uint64_t
+HwNetwork::outputFeatureWords(std::size_t l) const
+{
+    FA3C_ASSERT(l < layers.size(), "layer index");
+    const auto &spec = layers[l];
+    return alignedFeatureMapWords(spec.outChannels, spec.outHeight(),
+                                  spec.outWidth());
+}
+
+std::uint64_t
+HwNetwork::inputFeatureWords(std::size_t l) const
+{
+    FA3C_ASSERT(l < layers.size(), "layer index");
+    const auto &spec = layers[l];
+    return alignedFeatureMapWords(spec.inChannels, spec.inHeight,
+                                  spec.inWidth);
+}
+
+TaskModel
+inferenceTask(const HwNetwork &net, const Fa3cConfig &cfg,
+              const TimingParams &params)
+{
+    TaskModel task;
+    task.name = "inference";
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        const auto &spec = net.layers[l];
+        const StageModel fw =
+            stageModel(Stage::Fw, spec, cfg.cuPes(), false, params);
+        Phase phase;
+        phase.label = "fw:" + net.names[l];
+        phase.computeCycles = fw.cycles + phaseSetupCycles;
+        phase.dramLoadWords =
+            paddedParamWords(spec) +
+            static_cast<std::uint64_t>(spec.outChannels) +
+            (l == 0 ? net.inputWords() : 0);
+        // Output feature maps are parked in DRAM for the training
+        // task (Section 4.3).
+        phase.dramStoreWords = net.outputFeatureWords(l);
+        task.phases.push_back(std::move(phase));
+    }
+    return task;
+}
+
+TaskModel
+trainingTask(const HwNetwork &net, const Fa3cConfig &cfg, int batch,
+             const TimingParams &params)
+{
+    FA3C_ASSERT(batch >= 1, "trainingTask batch");
+    const bool alt1 = cfg.variant == Variant::Alt1;
+    const std::uint64_t b = static_cast<std::uint64_t>(batch);
+
+    TaskModel task;
+    task.name = "training";
+    for (std::size_t l = net.layers.size(); l-- > 0;) {
+        const auto &spec = net.layers[l];
+
+        // GC first, then BW, per layer (Section 4.3). GC reloads the
+        // input feature maps the inference tasks parked in DRAM.
+        const StageModel gc =
+            stageModel(Stage::Gc, spec, cfg.cuPes(), false, params);
+        Phase gc_phase;
+        gc_phase.label = "gc:" + net.names[l];
+        gc_phase.computeCycles = gc.cycles * b + phaseSetupCycles;
+        gc_phase.dramLoadWords = net.inputFeatureWords(l) * b;
+        task.phases.push_back(std::move(gc_phase));
+
+        if (l == 0)
+            continue; // no BW into the game screen
+        const StageModel bw =
+            stageModel(Stage::Bw, spec, cfg.cuPes(), alt1, params);
+        Phase bw_phase;
+        bw_phase.label = "bw:" + net.names[l];
+        bw_phase.computeCycles = bw.cycles * b + phaseSetupCycles;
+        // Parameters stream through the TLU; its 16-cycles-per-patch
+        // throughput matches the burst rate, so it hides behind the
+        // DRAM load (Section 4.4.3).
+        bw_phase.dramLoadWords =
+            paddedParamWords(spec) +
+            static_cast<std::uint64_t>(spec.outChannels);
+        task.phases.push_back(std::move(bw_phase));
+    }
+
+    // The RMSProp update of the global parameters (Section 4.2.3).
+    const RmspropModule rms(cfg.rmspropUnits, nn::RmspropConfig{});
+    const std::uint64_t param_words = net.paramWords();
+    Phase rms_phase;
+    rms_phase.label = "rmsprop";
+    rms_phase.computeCycles =
+        rms.updateCycles(param_words) + phaseSetupCycles;
+    rms_phase.dramLoadWords = RmspropModule::loadWords(param_words);
+    rms_phase.dramStoreWords = RmspropModule::storeWords(param_words);
+    if (cfg.variant == Variant::Alt2) {
+        // Alt2 materializes the BW layout in DRAM as well: a second
+        // full parameter image is written on every update.
+        rms_phase.dramStoreWords += param_words;
+        rms_phase.computeCycles += param_words / dramBurstWords;
+    }
+    task.phases.push_back(std::move(rms_phase));
+    return task;
+}
+
+TaskModel
+paramSyncTask(const HwNetwork &net, const Fa3cConfig &cfg)
+{
+    (void)cfg;
+    const std::uint64_t words = net.paramWords();
+    Phase phase;
+    phase.label = "param-sync";
+    // A streaming DRAM-to-DRAM copy through the chip.
+    phase.computeCycles = words / dramBurstWords + phaseSetupCycles;
+    phase.dramLoadWords = words;
+    phase.dramStoreWords = words;
+    return TaskModel{"param-sync", {phase}};
+}
+
+std::vector<TrafficRow>
+routineTrafficTable(const HwNetwork &net, const Fa3cConfig &cfg,
+                    int t_max)
+{
+    const std::uint64_t theta = net.paramWords() * sizeof(float);
+    const std::uint64_t input = net.inputWords() * sizeof(float);
+    std::uint64_t fmap_store = 0;
+    for (std::size_t l = 0; l < net.layers.size(); ++l)
+        fmap_store += net.outputFeatureWords(l) * sizeof(float);
+    std::uint64_t fmap_load = 0;
+    for (std::size_t l = 1; l < net.layers.size(); ++l)
+        fmap_load += net.inputFeatureWords(l) * sizeof(float);
+
+    const int inf = t_max + 1; // t_max steps + the bootstrap inference
+    std::vector<TrafficRow> rows;
+    rows.push_back({"Parameter sync", "Global theta", theta, 0, 1, true});
+    rows.push_back({"Parameter sync", "Local theta", 0, theta, 1, true});
+    rows.push_back({"Inference task (batch size: 1)", "Local theta",
+                    theta, 0, inf, true});
+    rows.push_back({"Inference task (batch size: 1)", "Input data",
+                    input, 0, inf, true});
+    rows.push_back({"Inference task (batch size: 1)",
+                    "Feature maps (stored for training)", 0, fmap_store,
+                    inf, false});
+    rows.push_back({"Training task", "Global theta", theta, theta, 1,
+                    true});
+    rows.push_back({"Training task", "RMS g", theta, theta, 1, true});
+    rows.push_back({"Training task", "Local theta", theta, 0, 1, true});
+    rows.push_back({"Training task", "Input data", input, 0, t_max,
+                    true});
+    rows.push_back({"Training task", "Feature maps (reloaded)",
+                    fmap_load, 0, t_max, false});
+    if (cfg.variant == Variant::Alt2)
+        rows.push_back({"Training task", "BW-layout theta copy", 0,
+                        theta, 1, false});
+    return rows;
+}
+
+} // namespace fa3c::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Task-level models: an inference task (FW over all layers), a
+ * training task (per-layer GC then BW over the batch, then the
+ * RMSProp update), and the parameter-sync task, each expressed as a
+ * sequence of phases whose compute is double-buffered against their
+ * DRAM traffic. These drive both the event-driven platform simulator
+ * and the Table 2 traffic accounting.
+ */
+
+#ifndef FA3C_FA3C_TASK_MODEL_HH
+#define FA3C_FA3C_TASK_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fa3c/config.hh"
+#include "fa3c/timing.hh"
+#include "nn/a3c_network.hh"
+
+namespace fa3c::core {
+
+/**
+ * One double-buffered step of a task: the CU advances when both the
+ * compute and the DRAM traffic of the phase have finished.
+ */
+struct Phase
+{
+    std::string label;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t dramLoadWords = 0;
+    std::uint64_t dramStoreWords = 0;
+
+    std::uint64_t
+    dramWords() const
+    {
+        return dramLoadWords + dramStoreWords;
+    }
+};
+
+/** A task as the CU executes it. */
+struct TaskModel
+{
+    std::string name; ///< "inference", "training", "param-sync"
+    std::vector<Phase> phases;
+
+    std::uint64_t totalComputeCycles() const;
+    std::uint64_t totalLoadWords() const;
+    std::uint64_t totalStoreWords() const;
+};
+
+/**
+ * The hardware view of the A3C network: the four parameterized layers
+ * in degenerate-conv form, with FC4 padded to the hardware lane count
+ * (Table 1).
+ */
+struct HwNetwork
+{
+    std::vector<nn::ConvSpec> layers; ///< conv1, conv2, fc3, fc4
+    std::vector<std::string> names;
+
+    /** Build from the software network configuration. */
+    static HwNetwork fromConfig(const nn::NetConfig &cfg);
+
+    /** DRAM words of one full parameter set (padded patch images). */
+    std::uint64_t paramWords() const;
+
+    /** Aligned words of the network input (one observation). */
+    std::uint64_t inputWords() const;
+
+    /** Aligned words of layer @p l's output feature map. */
+    std::uint64_t outputFeatureWords(std::size_t l) const;
+
+    /** Aligned words of layer @p l's input feature map. */
+    std::uint64_t inputFeatureWords(std::size_t l) const;
+};
+
+/** The inference task: FW over every layer (Section 4.1). */
+TaskModel inferenceTask(const HwNetwork &net, const Fa3cConfig &cfg,
+                        const TimingParams &params = {});
+
+/**
+ * The training task for a batch of @p batch samples: for each layer
+ * from the last to the first, GC then BW (BW skipped for the first
+ * layer), then the RMSProp update of the global parameters.
+ */
+TaskModel trainingTask(const HwNetwork &net, const Fa3cConfig &cfg,
+                       int batch, const TimingParams &params = {});
+
+/** The parameter-sync task: global theta copied to the local theta. */
+TaskModel paramSyncTask(const HwNetwork &net, const Fa3cConfig &cfg);
+
+/** One row of the Table 2 style traffic accounting. */
+struct TrafficRow
+{
+    std::string task;       ///< e.g. "Inference task (batch size: 1)"
+    std::string data;       ///< e.g. "Local theta"
+    std::uint64_t loadBytes = 0;
+    std::uint64_t storeBytes = 0;
+    int count = 1;          ///< occurrences per routine
+    bool inPaperTable = true; ///< false for traffic Table 2 omits
+};
+
+/**
+ * Off-chip traffic of one full agent routine (sync + t_max + 1
+ * inferences + one training task), itemized like Table 2 plus the
+ * feature-map rows the paper's table omits.
+ */
+std::vector<TrafficRow> routineTrafficTable(const HwNetwork &net,
+                                            const Fa3cConfig &cfg,
+                                            int t_max);
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_TASK_MODEL_HH

@@ -1,0 +1,169 @@
+#include "fa3c/timing.hh"
+
+#include <algorithm>
+
+#include "fa3c/layouts.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::core {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Fw: return "FW";
+      case Stage::Bw: return "BW";
+      case Stage::Gc: return "GC";
+    }
+    FA3C_PANIC("bad Stage ", static_cast<int>(s));
+}
+
+bool
+isFullyConnected(const nn::ConvSpec &spec)
+{
+    return spec.kernel == 1 && spec.inHeight == 1 && spec.inWidth == 1;
+}
+
+std::uint64_t
+alignedFeatureMapWords(int channels, int height, int width)
+{
+    const std::uint64_t row_words =
+        ceilDiv(static_cast<std::uint64_t>(width), dramBurstWords) *
+        dramBurstWords;
+    return static_cast<std::uint64_t>(channels) *
+           static_cast<std::uint64_t>(height) * row_words;
+}
+
+std::uint64_t
+paddedParamWords(const nn::ConvSpec &spec)
+{
+    return static_cast<std::uint64_t>(paddedRows(spec)) *
+           static_cast<std::uint64_t>(paddedCols(spec));
+}
+
+std::vector<LineBufferSpec>
+lineBufferPlan(const nn::ConvSpec &spec, int n_pe)
+{
+    FA3C_ASSERT(n_pe > 0, "lineBufferPlan needs PEs");
+    const int kk = spec.kernel * spec.kernel;
+    const int c_in = spec.inWidth;
+    const int c_out = spec.outWidth();
+    const int param_width = std::min(n_pe, spec.outChannels);
+    const int m_gc = std::max(1, std::min(n_pe / kk,
+                                          spec.outChannels));
+    const int m_w = std::max(
+        1, std::min(param_width / kk, spec.inChannels));
+    const int m_bw = std::max(1, n_pe / (m_w * c_in));
+
+    return {
+        // FW (Table 3, first block).
+        {Stage::Fw, "Input 0", "Input feature map", c_in, 1},
+        {Stage::Fw, "Input 1", "Parameter (FW parameter layout)",
+         param_width, 0},
+        {Stage::Fw, "Output", "Output feature map", n_pe, 1},
+        // GC: K input lines, M_GC output-gradient lines.
+        {Stage::Gc, "Input 0", "Input feature map", c_in,
+         spec.kernel},
+        {Stage::Gc, "Input 1", "Output feature map (gradient)", c_out,
+         m_gc},
+        {Stage::Gc, "Output", "Gradient", n_pe, 1},
+        // BW: BW-layout parameters, M_BW output-gradient lines.
+        {Stage::Bw, "Input 0", "Parameter (BW parameter layout)",
+         param_width, 0},
+        {Stage::Bw, "Input 1", "Output feature map (gradient)", c_out,
+         m_bw},
+        {Stage::Bw, "Output", "Input feature map (gradient)", n_pe,
+         1},
+    };
+}
+
+StageModel
+stageModel(Stage stage, const nn::ConvSpec &spec, int n_pe,
+           bool fw_layout_for_bw, const TimingParams &params)
+{
+    FA3C_ASSERT(n_pe > 0, "stageModel needs PEs");
+    const std::uint64_t kk = static_cast<std::uint64_t>(spec.kernel) *
+                             static_cast<std::uint64_t>(spec.kernel);
+    const std::uint64_t i_ch = static_cast<std::uint64_t>(spec.inChannels);
+    const std::uint64_t o_ch =
+        static_cast<std::uint64_t>(spec.outChannels);
+    const std::uint64_t oh = static_cast<std::uint64_t>(spec.outHeight());
+    const std::uint64_t ow = static_cast<std::uint64_t>(spec.outWidth());
+    const std::uint64_t npe = static_cast<std::uint64_t>(n_pe);
+
+    StageModel m;
+    switch (stage) {
+      case Stage::Fw: {
+        // One PE per output value; the parameter sequence of length
+        // I*K^2 (+1 for the bias) streams past (Section 4.4.1).
+        const std::uint64_t out_elems = o_ch * oh * ow;
+        const std::uint64_t acc_freq = i_ch * kk + 1;
+        const std::uint64_t m_fw =
+            std::min(std::max<std::uint64_t>(1, npe / o_ch), oh * ow);
+        m.activePes = std::min(npe, o_ch * m_fw);
+        m.activePes = std::min(m.activePes, out_elems);
+        m.cycles = ceilDiv(out_elems, m.activePes) * acc_freq;
+        m.macs = out_elems * acc_freq;
+        break;
+      }
+      case Stage::Gc: {
+        // K^2 taps in parallel over M_GC output channels (Table 3);
+        // accumulation runs over the output feature map. Arrays
+        // smaller than K^2 need multiple passes over the taps.
+        const std::uint64_t m_gc =
+            std::min(std::max<std::uint64_t>(1, npe / kk), o_ch);
+        const std::uint64_t tap_passes = ceilDiv(kk, std::min(npe, kk));
+        m.activePes = std::min(npe, kk * m_gc);
+        m.cycles =
+            i_ch * ceilDiv(o_ch, m_gc) * oh * ow * tap_passes;
+        m.macs = i_ch * o_ch * kk * oh * ow;
+        break;
+      }
+      case Stage::Bw: {
+        const std::uint64_t in_elems =
+            i_ch * static_cast<std::uint64_t>(spec.inHeight) *
+            static_cast<std::uint64_t>(spec.inWidth);
+        // Each input gradient accumulates one product per output
+        // channel and overlapping kernel tap.
+        const std::uint64_t taps =
+            ceilDiv(static_cast<std::uint64_t>(spec.kernel),
+                    static_cast<std::uint64_t>(spec.stride));
+        const std::uint64_t acc_freq = o_ch * taps * taps;
+        if (fw_layout_for_bw && isFullyConnected(spec)) {
+            // Alt1, FC: parameter rows arrive in FW order; only a few
+            // concurrent row streams keep PEs fed (Section 5.4).
+            m.activePes = std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(params.alt1FcBwStreams),
+                in_elems);
+            m.activePes = std::min(m.activePes, npe);
+        } else {
+            // BW parameter layout (Section 4.4.2 / Table 3).
+            const std::uint64_t row_w = std::min(npe, o_ch);
+            const std::uint64_t m_w =
+                std::min(std::max<std::uint64_t>(1, row_w / kk), i_ch);
+            const std::uint64_t c_in =
+                static_cast<std::uint64_t>(spec.inWidth);
+            const std::uint64_t m_bw =
+                std::max<std::uint64_t>(1, npe / (m_w * c_in));
+            m.activePes = std::min(npe, m_w * c_in * m_bw);
+            m.activePes = std::min(m.activePes, in_elems);
+        }
+        m.cycles = ceilDiv(in_elems, m.activePes) * acc_freq;
+        m.macs = in_elems * acc_freq;
+        break;
+      }
+    }
+    return m;
+}
+
+} // namespace fa3c::core

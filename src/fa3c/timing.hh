@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The per-(layer, stage) cycle model of a compute unit, derived from
+ * the line-buffer parallelism rules of Table 3:
+ *
+ *  - FW: one PE per output value; M_FW = floor(N_PE / O) positions in
+ *    flight when PEs outnumber output channels; accumulation
+ *    frequency I*K^2 + 1.
+ *  - GC: K^2 filter taps in parallel across M_GC = floor(N_PE / K^2)
+ *    output channels; accumulation over the output feature map (and
+ *    the batch).
+ *  - BW: a parameter-buffer row holds M_w = floor(min(N_PE, O) / K^2)
+ *    filters of different input channels; M_BW groups of M_w * C_in
+ *    input gradients in flight; accumulation over O * ceil(K/S)^2.
+ *
+ * The Alt1 variant (Figure 10) runs BW against the FW parameter
+ * layout; its fully-connected backward collapses to a few concurrent
+ * row streams (alt1FcBwStreams) because parameters are not delivered
+ * at the rate the PEs need (Section 5.4).
+ */
+
+#ifndef FA3C_FA3C_TIMING_HH
+#define FA3C_FA3C_TIMING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fa3c/config.hh"
+#include "nn/layers.hh"
+
+namespace fa3c::core {
+
+/** The three DNN computation types (Section 2.3). */
+enum class Stage
+{
+    Fw, ///< forward propagation (the inference task)
+    Bw, ///< backward propagation (feature-map gradients)
+    Gc, ///< gradient computation (parameter gradients)
+};
+
+/** Human-readable stage name. */
+const char *stageName(Stage s);
+
+/** Knobs of the cycle model that are calibration rather than
+ * structure; see EXPERIMENTS.md for their derivation. */
+struct TimingParams
+{
+    /** Concurrent double-buffered parameter-row streams Alt1 sustains
+     * for fully-connected BW (calibrated to Figure 10's -33%). */
+    int alt1FcBwStreams = 10;
+};
+
+/** Parallelism and latency of one stage execution on one sample. */
+struct StageModel
+{
+    std::uint64_t activePes = 0; ///< PEs doing useful MACs per cycle
+    std::uint64_t cycles = 0;    ///< compute cycles (one sample)
+    std::uint64_t macs = 0;      ///< useful MACs (one sample)
+};
+
+/**
+ * Cycle model for @p stage of a layer.
+ *
+ * Fully-connected layers are passed as their degenerate-conv form
+ * (asConv()).
+ *
+ * @param n_pe             PEs in the executing CU.
+ * @param fw_layout_for_bw True under the Alt1 variant.
+ */
+StageModel stageModel(Stage stage, const nn::ConvSpec &spec, int n_pe,
+                      bool fw_layout_for_bw = false,
+                      const TimingParams &params = {});
+
+/** True when the spec is the degenerate-conv form of an FC layer. */
+bool isFullyConnected(const nn::ConvSpec &spec);
+
+/** One row of Table 3: a PE port's line-buffer configuration. */
+struct LineBufferSpec
+{
+    Stage stage;
+    std::string port;         ///< "Input 0", "Input 1", "Output"
+    std::string onChipBuffer; ///< which on-chip buffer it fronts
+    int width = 0;            ///< registers per line buffer
+    int count = 0;            ///< line buffers on this port
+};
+
+/**
+ * The Table 3 line-buffer plan of one layer on an N_PE-wide CU:
+ * widths and counts for every PE port of every computation stage,
+ * including the derived M_FW / M_GC / M_w / M_BW parallelism factors.
+ */
+std::vector<LineBufferSpec> lineBufferPlan(const nn::ConvSpec &spec,
+                                           int n_pe);
+
+/** Feature-map words for one sample with rows aligned to 16-word
+ * bursts (Section 4.3). */
+std::uint64_t alignedFeatureMapWords(int channels, int height,
+                                     int width);
+
+/** Parameter words of a layer as stored in DRAM (padded patch image,
+ * Figure 7c). */
+std::uint64_t paddedParamWords(const nn::ConvSpec &spec);
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_TIMING_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Transpose Load Unit (Section 4.4.3).
+ *
+ * Parameters live in DRAM as 16x16-word patches of the FW-layout
+ * matrix. For backward propagation the TLU transposes each patch
+ * using registers and shift operations while it is being loaded, so
+ * the on-chip parameter buffer receives the BW layout without a
+ * second DRAM copy. A CU has two TLU instances: one fills the
+ * parameter buffer while the other prepares the next patch.
+ */
+
+#ifndef FA3C_FA3C_TLU_HH
+#define FA3C_FA3C_TLU_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "fa3c/layouts.hh"
+
+namespace fa3c::core {
+
+/**
+ * The register/shift transposer at the heart of a TLU.
+ *
+ * Protocol: 16 writeRow() calls (one DRAM burst beat each), then 16
+ * readColumn() calls that drain the transposed patch. The functional
+ * model enforces the protocol so tests catch misuse.
+ */
+class TransposeBuffer
+{
+  public:
+    /** Feed one 16-word row of the incoming patch. */
+    void writeRow(std::span<const float> row);
+
+    /** Drain one 16-word column (a row of the transposed patch). */
+    void readColumn(std::span<float> out);
+
+    /** True when all 16 rows have been written and none drained. */
+    bool full() const { return rowsWritten_ == patchWords && colsRead_ == 0; }
+
+    /** True when the buffer holds no undrained patch. */
+    bool
+    empty() const
+    {
+        return rowsWritten_ == 0;
+    }
+
+  private:
+    std::array<float, static_cast<std::size_t>(patchWords * patchWords)>
+        regs_{};
+    int rowsWritten_ = 0;
+    int colsRead_ = 0;
+};
+
+/**
+ * Load the BW-layout matrix of a layer from its packed DRAM image by
+ * streaming every patch through a TransposeBuffer, exactly as the
+ * hardware TLU does (the golden buildBwLayout() must match).
+ */
+ParamMatrix loadBwViaTlu(const nn::ConvSpec &spec,
+                         std::span<const float> packed);
+
+/**
+ * Cycles for the TLU to stream a whole layer's parameters.
+ *
+ * Each patch needs 16 fill + 16 drain cycles; with two TLUs the fill
+ * of one overlaps the drain of the other, so steady state costs 16
+ * cycles per patch plus one exposed fill at the start.
+ *
+ * @param tlu_count TLUs per CU (the paper uses 2).
+ */
+std::uint64_t tluLoadCycles(const nn::ConvSpec &spec, int tlu_count);
+
+} // namespace fa3c::core
+
+#endif // FA3C_FA3C_TLU_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Timing models of the baseline Deep-RL platforms of Section 5:
+ * A3C-cuDNN, A3C-TF-GPU, GA3C-TF (all on a Tesla P100), and
+ * A3C-TF-CPU (on the dual-Xeon host).
+ *
+ * Kernel times follow a roofline with an explicit small-batch
+ * efficiency term; every kernel pays the launch overhead the paper
+ * measures (Section 3.4), and TensorFlow platforms pay a per-call
+ * framework overhead. Absolute scales are calibrated to the paper's
+ * measured ratios (A3C-cuDNN peak IPS, the >38% launch share) and are
+ * documented in EXPERIMENTS.md.
+ */
+
+#ifndef FA3C_GPU_GPU_MODEL_HH
+#define FA3C_GPU_GPU_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fa3c/dram_model.hh"
+#include "fa3c/task_model.hh"
+#include "nn/a3c_network.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace fa3c::gpu {
+
+/** Raw device capabilities. */
+struct DeviceSpec
+{
+    std::string name;
+    double peakFlops;        ///< fp32 FLOP/s
+    double memBandwidth;     ///< bytes/s
+    /** Output items at which kernels reach full efficiency; small
+     * batches scale linearly below it (the A3C batch-size problem of
+     * Section 3.2). */
+    double saturationItems;
+
+    /** NVIDIA Tesla P100 (Table 5). */
+    static DeviceSpec teslaP100();
+
+    /** The dual Xeon E5-2630 host, as a TensorFlow CPU device. */
+    static DeviceSpec xeonHost();
+};
+
+/** The four baseline platforms of Figure 8. */
+enum class PlatformKind
+{
+    A3cCudnn,
+    A3cTfGpu,
+    Ga3cTf,
+    A3cTfCpu,
+};
+
+/** Human-readable platform name. */
+const char *platformName(PlatformKind kind);
+
+/** Full platform description (device + software stack overheads). */
+struct PlatformSpec
+{
+    PlatformKind kind;
+    DeviceSpec device;
+    double launchOverheadSec = 10e-6;  ///< per kernel (Section 3.4)
+    double driverOverheadSec = 0;      ///< per task: syncs, memcpy setup
+    double frameworkOverheadSec = 0;   ///< per task: TF session overhead
+    int maxInferenceBatch = 1;         ///< GA3C batches across agents
+    int maxTrainingBatch = 1;
+    bool agentWaitsForTraining = true; ///< GA3C trains asynchronously
+    bool usesParamSync = true;         ///< GA3C has one global model
+    /** Parallel device servers (1 for a GPU; the CPU platform runs
+     * one worker per agent, derated by core oversubscription). */
+    int parallelServers = 1;
+    int hostCores = 20;                ///< 2x Xeon E5-2630
+    double cpuCoresPerWorker = 2.5;    ///< TF intra-op threads
+
+    static PlatformSpec a3cCudnn();
+    static PlatformSpec a3cTfGpu();
+    static PlatformSpec ga3cTf();
+    static PlatformSpec a3cTfCpu();
+    static PlatformSpec bySpec(PlatformKind kind);
+};
+
+/** Time and launch accounting of one device task. */
+struct GpuTaskTime
+{
+    double computeSec = 0;
+    double launchSec = 0;
+    double overheadSec = 0; ///< driver + framework
+    int kernels = 0;
+
+    double
+    totalSec() const
+    {
+        return computeSec + launchSec + overheadSec;
+    }
+};
+
+/** Roofline time of one stage of one layer at batch @p batch. */
+double stageComputeSec(const nn::ConvSpec &spec, core::Stage stage,
+                       int batch, const DeviceSpec &device);
+
+/** The inference task (FW over all layers) on this platform. */
+GpuTaskTime inferenceTaskTime(const core::HwNetwork &net,
+                              const PlatformSpec &spec, int batch);
+
+/** The training task (BW + GC + optimizer) at batch @p batch. */
+GpuTaskTime trainingTaskTime(const core::HwNetwork &net,
+                             const PlatformSpec &spec, int batch);
+
+/**
+ * The kernel-launch-share measurement of Section 3.4: the fraction of
+ * total kernel execution time spent in launch overhead over one
+ * agent routine (t_max + 1 inferences + one training task).
+ */
+double kernelLaunchShare(const core::HwNetwork &net,
+                         const PlatformSpec &spec, int t_max);
+
+/**
+ * Event-driven baseline platform: a device server (or per-agent CPU
+ * workers) consuming inference / training tasks, with GA3C-style
+ * cross-agent batching when the spec allows it.
+ */
+class GpuPlatform
+{
+  public:
+    GpuPlatform(sim::EventQueue &queue, const PlatformSpec &spec,
+                const nn::NetConfig &net_cfg, int t_max, int num_agents);
+
+    void submitInference(std::function<void()> done);
+    void submitTraining(std::function<void()> done);
+    void submitParamSync(std::function<void()> done);
+    void hostToDevice(double bytes, std::function<void()> done);
+    void deviceToHost(double bytes, std::function<void()> done);
+
+    const PlatformSpec &spec() const { return spec_; }
+    sim::StatGroup &stats() { return stats_; }
+
+    /** Device busy fraction so far. */
+    double deviceUtilization() const;
+
+  private:
+    struct Queued
+    {
+        std::function<void()> done;
+    };
+
+    sim::EventQueue &queue_;
+    PlatformSpec spec_;
+    core::HwNetwork hwNet_;
+    int tMax_;
+    sim::StatGroup stats_;
+    std::deque<Queued> inferenceQueue_;
+    std::deque<Queued> trainingQueue_;
+    int freeServers_;
+    double cpuDerate_ = 1.0;
+    sim::Tick busyTicks_ = 0;
+    std::unique_ptr<core::DramChannel> pcie_;
+
+    void dispatch();
+    void runBatch(std::vector<std::function<void()>> dones,
+                  double seconds);
+};
+
+} // namespace fa3c::gpu
+
+#endif // FA3C_GPU_GPU_MODEL_HH

@@ -1,0 +1,55 @@
+#include "gpu/layout_experiment.hh"
+
+#include "fa3c/layouts.hh"
+
+namespace fa3c::gpu {
+
+std::vector<LayoutExperimentRow>
+layoutExperiment(const nn::NetConfig &net_cfg, int t_max,
+                 const LayoutPenalties &penalties)
+{
+    const nn::A3cNetwork net(net_cfg);
+    const PlatformSpec spec = PlatformSpec::a3cCudnn();
+    const std::vector<nn::ConvSpec> fc_layers = {
+        core::asConv(net.fc3()),
+        core::asConv(nn::FcSpec{net.fc4().inFeatures,
+                                net_cfg.fc4HardwareLanes}),
+    };
+
+    // Matched-layout FC task times (our tuned OpenCL kernels run
+    // within 12% of cuDNN, Section 5.5).
+    double inf_matched = 0;
+    double train_matched = 0;
+    double param_bytes = 0;
+    for (const auto &layer : fc_layers) {
+        inf_matched += penalties.openclVsCudnn *
+                       (stageComputeSec(layer, core::Stage::Fw, 1,
+                                        spec.device) +
+                        spec.launchOverheadSec);
+        train_matched +=
+            penalties.openclVsCudnn *
+            (stageComputeSec(layer, core::Stage::Bw, t_max,
+                             spec.device) +
+             stageComputeSec(layer, core::Stage::Gc, t_max,
+                             spec.device) +
+             2 * spec.launchOverheadSec);
+        param_bytes += 4.0 * static_cast<double>(layer.weightCount());
+    }
+
+    // The transform kernel streams every parameter through memory
+    // twice (read one layout, write the other).
+    const double transform =
+        2.0 * param_bytes / spec.device.memBandwidth +
+        spec.launchOverheadSec;
+
+    return {
+        {"FW layout for both tasks", inf_matched,
+         train_matched * penalties.trainingMismatch, 0.0},
+        {"BW layout for both tasks",
+         inf_matched * penalties.inferenceMismatch, train_matched, 0.0},
+        {"Best layout per task + transform kernel", inf_matched,
+         train_matched, transform},
+    };
+}
+
+} // namespace fa3c::gpu

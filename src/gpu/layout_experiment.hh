@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The GPU parameter-layout experiment of Figure 11 / Section 5.5: the
+ * computation time of the fully-connected layers' inference and
+ * training tasks under the FW layout, the BW layout, and the
+ * best-matching layout per task plus an explicit transform kernel.
+ *
+ * On a GPU a mismatched layout turns coalesced parameter reads into
+ * strided ones; the paper measures the inference task 41.7% slower
+ * under the BW layout. The transform kernel streams the parameters
+ * through memory twice, which offsets the matched-layout gain — the
+ * effect the dedicated TLU hides on FA3C.
+ */
+
+#ifndef FA3C_GPU_LAYOUT_EXPERIMENT_HH
+#define FA3C_GPU_LAYOUT_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_model.hh"
+
+namespace fa3c::gpu {
+
+/** One bar of Figure 11. */
+struct LayoutExperimentRow
+{
+    std::string config;     ///< e.g. "FW layout for both tasks"
+    double inferenceSec;    ///< FC-layer inference time
+    double trainingSec;     ///< FC-layer training time
+    double transformSec;    ///< extra layout-transform kernel time
+    double
+    totalSec() const
+    {
+        return inferenceSec + trainingSec + transformSec;
+    }
+};
+
+/** Calibrated mismatch penalties (EXPERIMENTS.md). */
+struct LayoutPenalties
+{
+    /** Inference under the BW layout (paper: 41.7% slower). */
+    double inferenceMismatch = 1.417;
+    /** Training under the FW layout (strided BW reads). */
+    double trainingMismatch = 1.35;
+    /** Our OpenCL kernels vs cuDNN (paper: within 12%). */
+    double openclVsCudnn = 1.12;
+};
+
+/**
+ * Compute the Figure 11 rows for the FC layers of the network.
+ *
+ * @param t_max Training batch size.
+ */
+std::vector<LayoutExperimentRow>
+layoutExperiment(const nn::NetConfig &net_cfg, int t_max,
+                 const LayoutPenalties &penalties = {});
+
+} // namespace fa3c::gpu
+
+#endif // FA3C_GPU_LAYOUT_EXPERIMENT_HH

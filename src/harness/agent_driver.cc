@@ -1,0 +1,214 @@
+#include "harness/agent_driver.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::harness {
+
+namespace {
+
+sim::Tick
+toTicks(double seconds)
+{
+    return static_cast<sim::Tick>(
+        seconds * static_cast<double>(sim::ticksPerSecond));
+}
+
+/** Shared measurement state. */
+struct Meter
+{
+    std::uint64_t inferences = 0;
+    std::uint64_t routines = 0;
+    std::vector<std::uint64_t> routinesPerAgent;
+    std::vector<double> latencies; ///< per-routine, seconds
+};
+
+/** One simulated agent's routine state machine. */
+class AgentSim : public std::enable_shared_from_this<AgentSim>
+{
+  public:
+    AgentSim(sim::EventQueue &queue, const PlatformOps &ops,
+             const HostModel &host, int t_max, Meter &meter, int id,
+             std::uint64_t seed)
+        : queue_(queue), ops_(ops), host_(host), tMax_(t_max),
+          meter_(meter), id_(id), rng_(seed)
+    {
+    }
+
+    void
+    start()
+    {
+        startRoutine();
+    }
+
+  private:
+    sim::EventQueue &queue_;
+    const PlatformOps &ops_;
+    const HostModel &host_;
+    int tMax_;
+    Meter &meter_;
+    int id_;
+    sim::Rng rng_;
+    int step_ = 0;
+    sim::Tick routineStart_ = 0;
+
+    /** Env step time with the configured jitter. */
+    double
+    envStepSec()
+    {
+        const double j = host_.envStepJitter;
+        return host_.envStepSec *
+               (1.0 - j + 2.0 * j * rng_.uniform());
+    }
+
+    void
+    startRoutine()
+    {
+        routineStart_ = queue_.now();
+        auto self = shared_from_this();
+        if (ops_.doParamSync) {
+            ops_.submitParamSync([self]() { self->beginSteps(); });
+        } else {
+            beginSteps();
+        }
+    }
+
+    void
+    beginSteps()
+    {
+        step_ = 0;
+        inferenceStep(false);
+    }
+
+    /** One inference round trip; @p bootstrap marks the extra value
+     * inference that is not counted toward IPS. */
+    void
+    inferenceStep(bool bootstrap)
+    {
+        auto self = shared_from_this();
+        ops_.hostToDevice(host_.inputBytes, [self, bootstrap]() {
+            self->ops_.submitInference([self, bootstrap]() {
+                self->ops_.deviceToHost(
+                    self->host_.outputBytes, [self, bootstrap]() {
+                        self->afterInference(bootstrap);
+                    });
+            });
+        });
+    }
+
+    void
+    afterInference(bool bootstrap)
+    {
+        auto self = shared_from_this();
+        if (bootstrap) {
+            // Host computes the delta-objective and ships it.
+            queue_.scheduleIn(
+                toTicks(host_.deltaObjectiveSec), [self]() {
+                    self->ops_.hostToDevice(
+                        self->host_.deltaBytes,
+                        [self]() { self->submitTrain(); });
+                });
+            return;
+        }
+        ++meter_.inferences;
+        ++step_;
+        // Host selects the action and advances the environment.
+        queue_.scheduleIn(
+            toTicks(host_.actionSelectSec + envStepSec()),
+            [self]() {
+                if (self->step_ < self->tMax_)
+                    self->inferenceStep(false);
+                else
+                    self->inferenceStep(true); // bootstrap inference
+            });
+    }
+
+    void
+    submitTrain()
+    {
+        auto self = shared_from_this();
+        if (ops_.waitForTraining) {
+            ops_.submitTraining([self]() { self->finishRoutine(); });
+        } else {
+            // GA3C: hand the batch to the trainer queue and move on.
+            ops_.submitTraining({});
+            finishRoutine();
+        }
+    }
+
+    void
+    finishRoutine()
+    {
+        ++meter_.routines;
+        ++meter_.routinesPerAgent[static_cast<std::size_t>(id_)];
+        meter_.latencies.push_back(
+            static_cast<double>(queue_.now() - routineStart_) /
+            static_cast<double>(sim::ticksPerSecond));
+        startRoutine();
+    }
+};
+
+} // namespace
+
+IpsResult
+measureIps(sim::EventQueue &queue, const PlatformOps &ops,
+           const HostModel &host, int num_agents, int t_max,
+           double sim_seconds, double warmup_fraction)
+{
+    FA3C_ASSERT(num_agents >= 1 && t_max >= 1, "measureIps arguments");
+    FA3C_ASSERT(sim_seconds > 0 && warmup_fraction >= 0 &&
+                    warmup_fraction < 1,
+                "measureIps window");
+
+    Meter meter;
+    meter.routinesPerAgent.assign(
+        static_cast<std::size_t>(num_agents), 0);
+    std::vector<std::shared_ptr<AgentSim>> agents;
+    for (int i = 0; i < num_agents; ++i) {
+        agents.push_back(std::make_shared<AgentSim>(
+            queue, ops, host, t_max, meter, i,
+            0xFA3C0000ULL + static_cast<std::uint64_t>(i)));
+    }
+    for (auto &agent : agents)
+        agent->start();
+
+    const double warmup_seconds = sim_seconds * warmup_fraction;
+    std::uint64_t warm_inferences = 0;
+    std::uint64_t warm_routines = 0;
+    queue.scheduleIn(toTicks(warmup_seconds), [&]() {
+        warm_inferences = meter.inferences;
+        warm_routines = meter.routines;
+    });
+
+    const sim::Tick limit = queue.now() + toTicks(sim_seconds);
+    queue.run(limit);
+
+    IpsResult result;
+    result.measuredSeconds = sim_seconds - warmup_seconds;
+    result.inferences = meter.inferences - warm_inferences;
+    result.ips = static_cast<double>(result.inferences) /
+                 result.measuredSeconds;
+    result.routinesPerSec =
+        static_cast<double>(meter.routines - warm_routines) /
+        result.measuredSeconds;
+    result.routinesPerAgent = meter.routinesPerAgent;
+    if (!meter.latencies.empty()) {
+        std::vector<double> sorted = meter.latencies;
+        std::sort(sorted.begin(), sorted.end());
+        double sum = 0;
+        for (double v : sorted)
+            sum += v;
+        result.latencyMeanSec = sum / static_cast<double>(sorted.size());
+        result.latencyP50Sec = sorted[sorted.size() / 2];
+        result.latencyP95Sec =
+            sorted[std::min(sorted.size() - 1,
+                            sorted.size() * 95 / 100)];
+    }
+    return result;
+}
+
+} // namespace fa3c::harness

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The simulated A3C agent driver: replays the paper's Figure 2
+ * routine (parameter sync, t_max inference steps, one bootstrap
+ * inference, one training task) against any platform's submit API in
+ * simulated time, and measures IPS the way the paper defines it —
+ * regular inference steps per second across all agents, with the
+ * bootstrap inferences and training tasks as additional load.
+ */
+
+#ifndef FA3C_HARNESS_AGENT_DRIVER_HH
+#define FA3C_HARNESS_AGENT_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace fa3c::harness {
+
+/** Type-erased platform surface the driver talks to. */
+struct PlatformOps
+{
+    std::function<void(std::function<void()>)> submitInference;
+    std::function<void(std::function<void()>)> submitTraining;
+    std::function<void(std::function<void()>)> submitParamSync;
+    std::function<void(double, std::function<void()>)> hostToDevice;
+    std::function<void(double, std::function<void()>)> deviceToHost;
+    /** False for GA3C: agents do not block on the training task. */
+    bool waitForTraining = true;
+    /** False for GA3C: one global model, no sync task. */
+    bool doParamSync = true;
+};
+
+/** Host-side (CPU) per-step costs around the offloaded tasks. */
+struct HostModel
+{
+    /** ALE emulation of 4 frames + grayscale/resize preprocessing +
+     * the agent thread's bookkeeping, per agent-visible step. */
+    double envStepSec = 1e-3;
+    /** Relative jitter on the env step (ALE frame cost varies with
+     * game state); also breaks artificial agent lock-step. */
+    double envStepJitter = 0.25;
+    double actionSelectSec = 8e-6;    ///< softmax + sampling (host)
+    double deltaObjectiveSec = 20e-6; ///< returns + loss gradients
+    double inputBytes = 28224 * 4;    ///< one observation (Table 2)
+    double outputBytes = 33 * 4;      ///< logits + value back
+    double deltaBytes = 5 * 33 * 4;   ///< delta-objective batch
+};
+
+/** Result of one IPS measurement. */
+struct IpsResult
+{
+    double ips = 0;            ///< regular inferences per second
+    double routinesPerSec = 0; ///< completed routines per second
+    std::uint64_t inferences = 0;
+    double measuredSeconds = 0;
+    /** Routines completed per agent over the whole run (fairness). */
+    std::vector<std::uint64_t> routinesPerAgent;
+    /** Routine latency statistics (seconds), whole run. */
+    double latencyMeanSec = 0;
+    double latencyP50Sec = 0;
+    double latencyP95Sec = 0;
+};
+
+/**
+ * Run @p num_agents simulated agents for @p sim_seconds and report
+ * steady-state IPS (the first warmup fraction is discarded).
+ */
+IpsResult measureIps(sim::EventQueue &queue, const PlatformOps &ops,
+                     const HostModel &host, int num_agents, int t_max,
+                     double sim_seconds, double warmup_fraction = 0.25);
+
+} // namespace fa3c::harness
+
+#endif // FA3C_HARNESS_AGENT_DRIVER_HH

@@ -1,0 +1,228 @@
+#include "harness/experiments.hh"
+
+#include <memory>
+
+#include "env/session.hh"
+#include "fa3c/accelerator.hh"
+#include "fa3c/datapath_backend.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::harness {
+
+const char *
+platformIdName(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::Fa3c: return "FA3C";
+      case PlatformId::A3cCudnn: return "A3C-cuDNN";
+      case PlatformId::A3cTfGpu: return "A3C-TF-GPU";
+      case PlatformId::Ga3cTf: return "GA3C-TF";
+      case PlatformId::A3cTfCpu: return "A3C-TF-CPU";
+    }
+    FA3C_PANIC("bad PlatformId ", static_cast<int>(id));
+}
+
+namespace {
+
+gpu::PlatformKind
+toGpuKind(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::A3cCudnn: return gpu::PlatformKind::A3cCudnn;
+      case PlatformId::A3cTfGpu: return gpu::PlatformKind::A3cTfGpu;
+      case PlatformId::Ga3cTf: return gpu::PlatformKind::Ga3cTf;
+      case PlatformId::A3cTfCpu: return gpu::PlatformKind::A3cTfCpu;
+      case PlatformId::Fa3c: break;
+    }
+    FA3C_PANIC("not a GPU platform");
+}
+
+HostModel
+hostModelFor(const nn::NetConfig &net_cfg, int t_max)
+{
+    HostModel host;
+    host.inputBytes = static_cast<double>(net_cfg.inChannels) *
+                      net_cfg.inHeight * net_cfg.inWidth * 4.0;
+    host.outputBytes = (net_cfg.numActions + 1) * 4.0;
+    host.deltaBytes = host.outputBytes * t_max;
+    return host;
+}
+
+} // namespace
+
+PlatformPoint
+measurePlatform(PlatformId platform, int agents,
+                const nn::NetConfig &net_cfg, int t_max,
+                double sim_seconds, const core::Fa3cConfig *fa3c_cfg)
+{
+    PlatformPoint point;
+    point.platform = platform;
+    point.agents = agents;
+
+    sim::EventQueue queue;
+    const HostModel host = hostModelFor(net_cfg, t_max);
+
+    if (platform == PlatformId::Fa3c) {
+        const core::Fa3cConfig cfg =
+            fa3c_cfg ? *fa3c_cfg : core::Fa3cConfig::vcu1525();
+        core::Fa3cPlatform board(queue, cfg, net_cfg, t_max);
+        PlatformOps ops;
+        ops.submitInference = [&board](std::function<void()> done) {
+            board.submitInference(std::move(done));
+        };
+        ops.submitTraining = [&board](std::function<void()> done) {
+            board.submitTraining(std::move(done));
+        };
+        ops.submitParamSync = [&board](std::function<void()> done) {
+            board.submitParamSync(std::move(done));
+        };
+        ops.hostToDevice = [&board](double bytes,
+                                    std::function<void()> done) {
+            board.hostToDevice(bytes, std::move(done));
+        };
+        ops.deviceToHost = [&board](double bytes,
+                                    std::function<void()> done) {
+            board.deviceToHost(bytes, std::move(done));
+        };
+        const IpsResult r = measureIps(queue, ops, host, agents, t_max,
+                                       sim_seconds);
+        point.ips = r.ips;
+        point.routinesPerSec = r.routinesPerSec;
+        point.latencyMeanSec = r.latencyMeanSec;
+        point.latencyP50Sec = r.latencyP50Sec;
+        point.latencyP95Sec = r.latencyP95Sec;
+        // The training CUs dominate FA3C's dynamic power.
+        point.utilization = 0.5 * (board.trainingCuUtilization() +
+                                   board.inferenceCuUtilization());
+        return point;
+    }
+
+    const gpu::PlatformSpec spec =
+        gpu::PlatformSpec::bySpec(toGpuKind(platform));
+    gpu::GpuPlatform device(queue, spec, net_cfg, t_max, agents);
+    PlatformOps ops;
+    ops.submitInference = [&device](std::function<void()> done) {
+        device.submitInference(std::move(done));
+    };
+    ops.submitTraining = [&device](std::function<void()> done) {
+        device.submitTraining(std::move(done));
+    };
+    ops.submitParamSync = [&device](std::function<void()> done) {
+        device.submitParamSync(std::move(done));
+    };
+    ops.hostToDevice = [&device](double bytes,
+                                 std::function<void()> done) {
+        device.hostToDevice(bytes, std::move(done));
+    };
+    ops.deviceToHost = [&device](double bytes,
+                                 std::function<void()> done) {
+        device.deviceToHost(bytes, std::move(done));
+    };
+    ops.waitForTraining = spec.agentWaitsForTraining;
+    ops.doParamSync = spec.usesParamSync;
+    const IpsResult r =
+        measureIps(queue, ops, host, agents, t_max, sim_seconds);
+    point.ips = r.ips;
+    point.routinesPerSec = r.routinesPerSec;
+    point.latencyMeanSec = r.latencyMeanSec;
+    point.latencyP50Sec = r.latencyP50Sec;
+    point.latencyP95Sec = r.latencyP95Sec;
+    point.utilization = device.deviceUtilization();
+    return point;
+}
+
+TrainingRunResult
+runTraining(const TrainingRunConfig &cfg)
+{
+    const nn::A3cNetwork net(cfg.net);
+
+    auto backend_factory =
+        [&](int agent_id) -> std::unique_ptr<rl::DnnBackend> {
+        (void)agent_id;
+        if (cfg.backend == TrainingBackend::Fa3c)
+            return std::make_unique<core::DatapathBackend>(net);
+        return std::make_unique<rl::ReferenceBackend>(net);
+    };
+
+    auto session_factory = [&](int agent_id) {
+        env::SessionConfig session_cfg;
+        session_cfg.frameStack = cfg.net.inChannels;
+        session_cfg.obsHeight = cfg.net.inHeight;
+        session_cfg.obsWidth = cfg.net.inWidth;
+        return std::make_unique<env::AtariSession>(
+            env::makeEnvironment(cfg.game,
+                                 cfg.a3c.seed * 977 +
+                                     static_cast<std::uint64_t>(
+                                         agent_id)),
+            session_cfg,
+            cfg.a3c.seed * 31 + static_cast<std::uint64_t>(agent_id));
+    };
+
+    rl::A3cTrainer trainer(net, cfg.a3c, backend_factory,
+                           session_factory);
+    trainer.run();
+
+    TrainingRunResult result;
+    const auto series =
+        trainer.scores().movingAverage(cfg.scoreWindow, 1);
+    result.curve.reserve(series.size());
+    for (const auto &[step, score] : series)
+        result.curve.push_back(CurvePoint{step, score});
+    result.episodes = trainer.scores().size();
+    result.steps = trainer.globalParams().globalSteps();
+    if (!result.curve.empty()) {
+        // First score: mean over the first window of episodes (a
+        // single early episode is too noisy to anchor a comparison).
+        const auto records = trainer.scores().records();
+        const std::size_t head =
+            std::min(cfg.scoreWindow, records.size());
+        double sum = 0;
+        for (std::size_t i = 0; i < head; ++i)
+            sum += records[i].score;
+        result.firstScore = sum / static_cast<double>(head);
+        result.finalScore = result.curve.back().score;
+    }
+    return result;
+}
+
+std::uint64_t
+stepsToScore(const TrainingRunConfig &cfg, double target,
+             std::uint64_t max_steps)
+{
+    const nn::A3cNetwork net(cfg.net);
+    auto backend_factory =
+        [&](int) -> std::unique_ptr<rl::DnnBackend> {
+        return std::make_unique<rl::ReferenceBackend>(net);
+    };
+    auto session_factory = [&](int agent_id) {
+        env::SessionConfig session_cfg;
+        session_cfg.frameStack = cfg.net.inChannels;
+        session_cfg.obsHeight = cfg.net.inHeight;
+        session_cfg.obsWidth = cfg.net.inWidth;
+        return std::make_unique<env::AtariSession>(
+            env::makeEnvironment(cfg.game,
+                                 cfg.a3c.seed * 977 +
+                                     static_cast<std::uint64_t>(
+                                         agent_id)),
+            session_cfg,
+            cfg.a3c.seed * 31 + static_cast<std::uint64_t>(agent_id));
+    };
+
+    rl::A3cConfig a3c = cfg.a3c;
+    a3c.totalSteps = max_steps;
+    rl::A3cTrainer trainer(net, a3c, backend_factory, session_factory);
+    std::uint64_t reached_at = max_steps;
+    trainer.run([&]() {
+        if (trainer.scores().size() < cfg.scoreWindow)
+            return false;
+        if (trainer.scores().recentMean(cfg.scoreWindow) >= target) {
+            reached_at = std::min(reached_at,
+                                  trainer.globalParams().globalSteps());
+            return true;
+        }
+        return false;
+    });
+    return reached_at;
+}
+
+} // namespace fa3c::harness

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's reported numbers, used by the benchmark binaries to
+ * print paper-vs-measured comparisons (EXPERIMENTS.md records the
+ * outcome of each).
+ */
+
+#ifndef FA3C_HARNESS_PAPER_DATA_HH
+#define FA3C_HARNESS_PAPER_DATA_HH
+
+#include <cstdint>
+
+namespace fa3c::harness::paper {
+
+// Section 5.2 / Figure 8 (n = 16).
+inline constexpr double fa3cPeakIps = 2550;       // "higher than 2,550"
+inline constexpr double fa3cVsCudnnSpeedup = 1.279; // "27.9% better"
+
+// Section 5.3 / Figure 9.
+inline constexpr double fa3cWatts = 18.0;
+inline constexpr double fa3cPowerReduction = 0.300; // vs A3C-cuDNN
+inline constexpr double fa3cIpsPerWatt = 142.0;     // "more than 142"
+inline constexpr double fa3cEfficiencyRatio = 1.62; // vs A3C-cuDNN
+
+// Section 5.4 / Figure 10 (Stratix V, one CU pair, n = 16).
+inline constexpr double alt1Slowdown = 0.33; // "33% lower when n=16"
+inline constexpr int dualCuWinThreshold = 4; // dual CUs win for n >= 4
+
+// Section 5.5 / Figure 11.
+inline constexpr double bwLayoutInferencePenalty = 0.417; // "41.7%"
+inline constexpr double openclVsCudnnGap = 0.12;          // "within 12%"
+
+// Section 3.4.
+inline constexpr double gpuKernelLaunchShare = 0.38;  // "more than 38%"
+inline constexpr double fpgaKernelLaunchShare = 0.0002; // "< 0.02%"
+
+// Section 3.2: Breakout steps to score 200 under t_max 5 vs 32.
+inline constexpr double tmax32StepsRatio = 2.0; // "over 70M" vs "35M"
+
+// Table 2 (KB per agent routine, t_max = 5).
+inline constexpr double table2ParamSetKb = 2592.0;
+inline constexpr double table2InputKb = 110.0;
+inline constexpr double table2TotalLoadKb = 24538.0;
+inline constexpr double table2TotalStoreKb = 7776.0;
+
+// Table 4 totals on the VU9P.
+inline constexpr double table4LogicTotal = 677.3e3;
+inline constexpr double table4RegistersTotal = 875.7e3;
+inline constexpr double table4MemBlocksTotal = 1267;
+inline constexpr double table4DspTotal = 2348;
+
+} // namespace fa3c::harness::paper
+
+#endif // FA3C_HARNESS_PAPER_DATA_HH

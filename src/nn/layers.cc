@@ -1,0 +1,254 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fa3c::nn {
+
+std::size_t
+ConvSpec::weightCount() const
+{
+    return static_cast<std::size_t>(outChannels) *
+           static_cast<std::size_t>(inChannels) *
+           static_cast<std::size_t>(kernel) *
+           static_cast<std::size_t>(kernel);
+}
+
+std::size_t
+ConvSpec::fwMacs() const
+{
+    return static_cast<std::size_t>(outHeight()) *
+           static_cast<std::size_t>(outWidth()) * weightCount();
+}
+
+namespace {
+
+/** Flat index into a [O][I][K][K] weight block. */
+inline std::size_t
+wIdx(const ConvSpec &s, int o, int i, int kr, int kc)
+{
+    return ((static_cast<std::size_t>(o) *
+                 static_cast<std::size_t>(s.inChannels) +
+             static_cast<std::size_t>(i)) *
+                static_cast<std::size_t>(s.kernel) +
+            static_cast<std::size_t>(kr)) *
+               static_cast<std::size_t>(s.kernel) +
+           static_cast<std::size_t>(kc);
+}
+
+} // namespace
+
+void
+convForward(const ConvSpec &spec, const Tensor &in,
+            std::span<const float> w, std::span<const float> b,
+            Tensor &out)
+{
+    FA3C_ASSERT(in.shape() ==
+                    tensor::Shape({spec.inChannels, spec.inHeight,
+                                   spec.inWidth}),
+                "convForward input shape ", in.shape().str());
+    FA3C_ASSERT(w.size() == spec.weightCount(), "convForward weights");
+    FA3C_ASSERT(b.size() == spec.biasCount(), "convForward biases");
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    FA3C_ASSERT(out.shape() ==
+                    tensor::Shape({spec.outChannels, oh, ow}),
+                "convForward output shape ", out.shape().str());
+
+    for (int o = 0; o < spec.outChannels; ++o) {
+        for (int r = 0; r < oh; ++r) {
+            for (int c = 0; c < ow; ++c) {
+                float acc = b[static_cast<std::size_t>(o)];
+                for (int i = 0; i < spec.inChannels; ++i) {
+                    for (int kr = 0; kr < spec.kernel; ++kr) {
+                        const int y = r * spec.stride + kr;
+                        for (int kc = 0; kc < spec.kernel; ++kc) {
+                            const int x = c * spec.stride + kc;
+                            acc += in.at(i, y, x) *
+                                   w[wIdx(spec, o, i, kr, kc)];
+                        }
+                    }
+                }
+                out.at(o, r, c) = acc;
+            }
+        }
+    }
+}
+
+void
+convBackward(const ConvSpec &spec, const Tensor &g_out,
+             std::span<const float> w, Tensor &g_in)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    FA3C_ASSERT(g_out.shape() ==
+                    tensor::Shape({spec.outChannels, oh, ow}),
+                "convBackward g_out shape");
+    FA3C_ASSERT(g_in.shape() ==
+                    tensor::Shape({spec.inChannels, spec.inHeight,
+                                   spec.inWidth}),
+                "convBackward g_in shape");
+    g_in.zero();
+
+    for (int o = 0; o < spec.outChannels; ++o) {
+        for (int r = 0; r < oh; ++r) {
+            for (int c = 0; c < ow; ++c) {
+                const float g = g_out.at(o, r, c);
+                for (int i = 0; i < spec.inChannels; ++i) {
+                    for (int kr = 0; kr < spec.kernel; ++kr) {
+                        for (int kc = 0; kc < spec.kernel; ++kc) {
+                            g_in.at(i, r * spec.stride + kr,
+                                    c * spec.stride + kc) +=
+                                g * w[wIdx(spec, o, i, kr, kc)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+convGradient(const ConvSpec &spec, const Tensor &in, const Tensor &g_out,
+             std::span<float> g_w, std::span<float> g_b)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    FA3C_ASSERT(g_w.size() == spec.weightCount(), "convGradient g_w");
+    FA3C_ASSERT(g_b.size() == spec.biasCount(), "convGradient g_b");
+
+    for (int o = 0; o < spec.outChannels; ++o) {
+        for (int r = 0; r < oh; ++r)
+            for (int c = 0; c < ow; ++c)
+                g_b[static_cast<std::size_t>(o)] += g_out.at(o, r, c);
+        for (int i = 0; i < spec.inChannels; ++i) {
+            for (int kr = 0; kr < spec.kernel; ++kr) {
+                for (int kc = 0; kc < spec.kernel; ++kc) {
+                    float acc = 0.0f;
+                    for (int r = 0; r < oh; ++r) {
+                        const int y = r * spec.stride + kr;
+                        for (int c = 0; c < ow; ++c) {
+                            acc += g_out.at(o, r, c) *
+                                   in.at(i, y, c * spec.stride + kc);
+                        }
+                    }
+                    g_w[wIdx(spec, o, i, kr, kc)] += acc;
+                }
+            }
+        }
+    }
+}
+
+void
+fcForward(const FcSpec &spec, const Tensor &in, std::span<const float> w,
+          std::span<const float> b, Tensor &out)
+{
+    FA3C_ASSERT(in.numel() ==
+                    static_cast<std::size_t>(spec.inFeatures),
+                "fcForward input size");
+    FA3C_ASSERT(out.numel() ==
+                    static_cast<std::size_t>(spec.outFeatures),
+                "fcForward output size");
+    FA3C_ASSERT(w.size() == spec.weightCount(), "fcForward weights");
+    auto in_data = in.data();
+    for (int o = 0; o < spec.outFeatures; ++o) {
+        float acc = b[static_cast<std::size_t>(o)];
+        const std::size_t row = static_cast<std::size_t>(o) *
+                                static_cast<std::size_t>(spec.inFeatures);
+        for (int i = 0; i < spec.inFeatures; ++i)
+            acc += in_data[static_cast<std::size_t>(i)] *
+                   w[row + static_cast<std::size_t>(i)];
+        out[static_cast<std::size_t>(o)] = acc;
+    }
+}
+
+void
+fcBackward(const FcSpec &spec, const Tensor &g_out,
+           std::span<const float> w, Tensor &g_in)
+{
+    FA3C_ASSERT(g_out.numel() ==
+                    static_cast<std::size_t>(spec.outFeatures),
+                "fcBackward g_out size");
+    FA3C_ASSERT(g_in.numel() ==
+                    static_cast<std::size_t>(spec.inFeatures),
+                "fcBackward g_in size");
+    auto g_out_data = g_out.data();
+    for (int i = 0; i < spec.inFeatures; ++i) {
+        float acc = 0.0f;
+        for (int o = 0; o < spec.outFeatures; ++o)
+            acc += g_out_data[static_cast<std::size_t>(o)] *
+                   w[static_cast<std::size_t>(o) *
+                         static_cast<std::size_t>(spec.inFeatures) +
+                     static_cast<std::size_t>(i)];
+        g_in[static_cast<std::size_t>(i)] = acc;
+    }
+}
+
+void
+fcGradient(const FcSpec &spec, const Tensor &in, const Tensor &g_out,
+           std::span<float> g_w, std::span<float> g_b)
+{
+    auto in_data = in.data();
+    auto g_out_data = g_out.data();
+    for (int o = 0; o < spec.outFeatures; ++o) {
+        const float g = g_out_data[static_cast<std::size_t>(o)];
+        g_b[static_cast<std::size_t>(o)] += g;
+        const std::size_t row = static_cast<std::size_t>(o) *
+                                static_cast<std::size_t>(spec.inFeatures);
+        for (int i = 0; i < spec.inFeatures; ++i)
+            g_w[row + static_cast<std::size_t>(i)] +=
+                g * in_data[static_cast<std::size_t>(i)];
+    }
+}
+
+void
+reluForward(const Tensor &in, Tensor &out)
+{
+    FA3C_ASSERT(in.shape() == out.shape(), "reluForward shape mismatch");
+    auto src = in.data();
+    auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void
+reluBackward(const Tensor &pre, const Tensor &g_out, Tensor &g_in)
+{
+    FA3C_ASSERT(pre.shape() == g_out.shape() &&
+                    pre.shape() == g_in.shape(),
+                "reluBackward shape mismatch");
+    auto p = pre.data();
+    auto go = g_out.data();
+    auto gi = g_in.data();
+    for (std::size_t i = 0; i < p.size(); ++i)
+        gi[i] = p[i] > 0.0f ? go[i] : 0.0f;
+}
+
+void
+softmax(std::span<const float> logits, std::span<float> probs)
+{
+    FA3C_ASSERT(logits.size() == probs.size() && !logits.empty(),
+                "softmax size mismatch");
+    const float max_logit = *std::max_element(logits.begin(), logits.end());
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        probs[i] = std::exp(logits[i] - max_logit);
+        denom += probs[i];
+    }
+    for (float &p : probs)
+        p /= denom;
+}
+
+float
+entropy(std::span<const float> probs)
+{
+    float h = 0.0f;
+    for (float p : probs)
+        if (p > 0.0f)
+            h -= p * std::log(p);
+    return h;
+}
+
+} // namespace fa3c::nn

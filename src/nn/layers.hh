@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reference implementations of the DNN layer computations used by A3C:
+ * convolution and fully-connected layers with all three computation
+ * types the paper distinguishes (forward propagation FW, backward
+ * propagation BW, gradient computation GC), plus ReLU and softmax.
+ *
+ * These are the golden models: the FA3C functional datapath model in
+ * src/fa3c is validated against them.
+ */
+
+#ifndef FA3C_NN_LAYERS_HH
+#define FA3C_NN_LAYERS_HH
+
+#include <span>
+
+#include "tensor/tensor.hh"
+
+namespace fa3c::nn {
+
+using tensor::Tensor;
+
+/** Geometry of a convolution layer (square filters, no padding). */
+struct ConvSpec
+{
+    int inChannels;  ///< I
+    int inHeight;    ///< input rows
+    int inWidth;     ///< input cols
+    int outChannels; ///< O
+    int kernel;      ///< K (filters are K x K)
+    int stride;      ///< S
+
+    /** Output feature-map height: (inHeight - kernel) / stride + 1. */
+    int outHeight() const { return (inHeight - kernel) / stride + 1; }
+    /** Output feature-map width. */
+    int outWidth() const { return (inWidth - kernel) / stride + 1; }
+    /** Number of weights: O * I * K * K. */
+    std::size_t weightCount() const;
+    /** Number of biases: O. */
+    std::size_t biasCount() const
+    {
+        return static_cast<std::size_t>(outChannels);
+    }
+    /** MACs for one FW pass. */
+    std::size_t fwMacs() const;
+};
+
+/** Geometry of a fully-connected layer. */
+struct FcSpec
+{
+    int inFeatures;  ///< I
+    int outFeatures; ///< O
+
+    /** Number of weights: O * I (row-major [O][I]). */
+    std::size_t weightCount() const
+    {
+        return static_cast<std::size_t>(outFeatures) *
+               static_cast<std::size_t>(inFeatures);
+    }
+    std::size_t biasCount() const
+    {
+        return static_cast<std::size_t>(outFeatures);
+    }
+    std::size_t fwMacs() const { return weightCount(); }
+};
+
+/**
+ * Convolution forward propagation.
+ *
+ * @param spec   Layer geometry.
+ * @param in     Input feature maps, shape [I, H, W].
+ * @param w      Weights, layout [O][I][K][K].
+ * @param b      Biases, length O.
+ * @param out    Output feature maps, shape [O, OH, OW] (overwritten).
+ */
+void convForward(const ConvSpec &spec, const Tensor &in,
+                 std::span<const float> w, std::span<const float> b,
+                 Tensor &out);
+
+/**
+ * Convolution backward propagation: gradients of the input feature
+ * maps from gradients of the output feature maps.
+ *
+ * @param g_out  Gradients w.r.t. outputs, shape [O, OH, OW].
+ * @param g_in   Gradients w.r.t. inputs, shape [I, H, W] (overwritten).
+ */
+void convBackward(const ConvSpec &spec, const Tensor &g_out,
+                  std::span<const float> w, Tensor &g_in);
+
+/**
+ * Convolution gradient computation: gradients of the parameters.
+ *
+ * Accumulates into @p g_w / @p g_b (callers zero them per batch).
+ *
+ * @param in     The FW input feature maps (reloaded from DRAM in FA3C).
+ * @param g_out  Gradients w.r.t. outputs.
+ * @param g_w    Weight gradients, layout [O][I][K][K], accumulated.
+ * @param g_b    Bias gradients, length O, accumulated.
+ */
+void convGradient(const ConvSpec &spec, const Tensor &in,
+                  const Tensor &g_out, std::span<float> g_w,
+                  std::span<float> g_b);
+
+/** Fully-connected forward: out = W * in + b. Shapes [I] -> [O]. */
+void fcForward(const FcSpec &spec, const Tensor &in,
+               std::span<const float> w, std::span<const float> b,
+               Tensor &out);
+
+/** Fully-connected backward: g_in = W^T * g_out. */
+void fcBackward(const FcSpec &spec, const Tensor &g_out,
+                std::span<const float> w, Tensor &g_in);
+
+/** Fully-connected gradient: g_w += g_out * in^T; g_b += g_out. */
+void fcGradient(const FcSpec &spec, const Tensor &in, const Tensor &g_out,
+                std::span<float> g_w, std::span<float> g_b);
+
+/** ReLU forward: out = max(0, in). Shapes must match. */
+void reluForward(const Tensor &in, Tensor &out);
+
+/**
+ * ReLU backward: g_in = g_out where pre-activation was positive.
+ *
+ * @param pre    The pre-activation values from FW.
+ */
+void reluBackward(const Tensor &pre, const Tensor &g_out, Tensor &g_in);
+
+/**
+ * Numerically stable softmax over @p logits.
+ *
+ * @param logits Raw scores.
+ * @param probs  Output probabilities (same length, overwritten).
+ */
+void softmax(std::span<const float> logits, std::span<float> probs);
+
+/** Entropy of a probability vector: -sum p log p (natural log). */
+float entropy(std::span<const float> probs);
+
+} // namespace fa3c::nn
+
+#endif // FA3C_NN_LAYERS_HH

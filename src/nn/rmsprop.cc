@@ -1,0 +1,24 @@
+#include "nn/rmsprop.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fa3c::nn {
+
+void
+rmspropApply(std::span<float> theta, std::span<float> g,
+             std::span<const float> grad, float learning_rate,
+             const RmspropConfig &cfg)
+{
+    FA3C_ASSERT(theta.size() == g.size() && theta.size() == grad.size(),
+                "rmspropApply size mismatch");
+    const float one_minus_decay = 1.0f - cfg.decay;
+    for (std::size_t i = 0; i < theta.size(); ++i) {
+        const float d = grad[i];
+        g[i] = cfg.decay * g[i] + one_minus_decay * d * d;
+        theta[i] -= learning_rate * d / std::sqrt(g[i] + cfg.epsilon);
+    }
+}
+
+} // namespace fa3c::nn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared RMSProp, the optimizer A3C applies to the global parameters.
+ *
+ * The update implemented here is exactly the per-word pipeline of the
+ * paper's RU (Figure 5): for each parameter with gradient d,
+ *
+ *     g'     = rho * g + (1 - rho) * d^2
+ *     theta' = theta - eta * d / sqrt(g' + epsilon)
+ *
+ * The statistics g are *shared* across all agents (one g per global
+ * parameter), matching the "shared RMSProp" variant the A3C paper and
+ * FA3C use.
+ */
+
+#ifndef FA3C_NN_RMSPROP_HH
+#define FA3C_NN_RMSPROP_HH
+
+#include <span>
+
+namespace fa3c::nn {
+
+/** Constant RMSProp parameters (rho and epsilon in Figure 5). */
+struct RmspropConfig
+{
+    float decay = 0.99f;   ///< rho
+    float epsilon = 0.1f;  ///< added inside the sqrt
+};
+
+/**
+ * Apply one RMSProp update in place.
+ *
+ * @param theta     Parameters to update.
+ * @param g         Shared second-moment statistics (same length).
+ * @param grad      Gradients (same length).
+ * @param learning_rate  eta for this update.
+ * @param cfg       Constant rho / epsilon.
+ */
+void rmspropApply(std::span<float> theta, std::span<float> g,
+                  std::span<const float> grad, float learning_rate,
+                  const RmspropConfig &cfg);
+
+} // namespace fa3c::nn
+
+#endif // FA3C_NN_RMSPROP_HH

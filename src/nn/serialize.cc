@@ -1,0 +1,88 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace fa3c::nn {
+
+namespace {
+
+constexpr std::uint32_t magicWord = 0xFA3C0001;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU32(std::istream &is, std::uint32_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool
+saveParams(const ParamSet &params, std::ostream &os)
+{
+    writeU32(os, magicWord);
+    writeU32(os, static_cast<std::uint32_t>(params.segments().size()));
+    for (const auto &seg : params.segments()) {
+        writeU32(os, static_cast<std::uint32_t>(seg.name.size()));
+        os.write(seg.name.data(),
+                 static_cast<std::streamsize>(seg.name.size()));
+        writeU32(os, static_cast<std::uint32_t>(seg.count));
+    }
+    auto flat = params.flat();
+    os.write(reinterpret_cast<const char *>(flat.data()),
+             static_cast<std::streamsize>(flat.size() * sizeof(float)));
+    return static_cast<bool>(os);
+}
+
+bool
+loadParams(ParamSet &params, std::istream &is)
+{
+    std::uint32_t magic = 0;
+    if (!readU32(is, magic) || magic != magicWord)
+        return false;
+    std::uint32_t seg_count = 0;
+    if (!readU32(is, seg_count) ||
+        seg_count != params.segments().size())
+        return false;
+    for (const auto &seg : params.segments()) {
+        std::uint32_t name_len = 0;
+        if (!readU32(is, name_len) || name_len != seg.name.size())
+            return false;
+        std::string name(name_len, '\0');
+        is.read(name.data(), static_cast<std::streamsize>(name_len));
+        if (!is || name != seg.name)
+            return false;
+        std::uint32_t count = 0;
+        if (!readU32(is, count) || count != seg.count)
+            return false;
+    }
+    auto flat = params.flat();
+    is.read(reinterpret_cast<char *>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+    return static_cast<bool>(is);
+}
+
+bool
+saveParamsToFile(const ParamSet &params, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && saveParams(params, os);
+}
+
+bool
+loadParamsFromFile(ParamSet &params, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && loadParams(params, is);
+}
+
+} // namespace fa3c::nn

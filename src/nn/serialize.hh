@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary checkpointing for parameter sets.
+ *
+ * The format is self-describing: a magic word, the segment table
+ * (names and sizes), then the raw fp32 words. Loading into a set with
+ * a different layout is rejected, so checkpoints cannot be silently
+ * misinterpreted across network configurations.
+ */
+
+#ifndef FA3C_NN_SERIALIZE_HH
+#define FA3C_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/params.hh"
+
+namespace fa3c::nn {
+
+/** Write @p params to @p os. @return false on stream failure. */
+bool saveParams(const ParamSet &params, std::ostream &os);
+
+/**
+ * Read a checkpoint into @p params.
+ *
+ * @return false when the stream fails, the magic is wrong, or the
+ *         stored layout does not match @p params.
+ */
+bool loadParams(ParamSet &params, std::istream &is);
+
+/** Convenience wrapper writing to @p path. */
+bool saveParamsToFile(const ParamSet &params, const std::string &path);
+
+/** Convenience wrapper reading from @p path. */
+bool loadParamsFromFile(ParamSet &params, const std::string &path);
+
+} // namespace fa3c::nn
+
+#endif // FA3C_NN_SERIALIZE_HH

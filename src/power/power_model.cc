@@ -1,0 +1,53 @@
+#include "power/power_model.hh"
+
+#include "sim/logging.hh"
+
+namespace fa3c::power {
+
+PlatformPower
+PlatformPower::fa3c()
+{
+    // Anchored: 18 W average during training (Section 5.3) at the
+    // platform's measured operating point (training CUs saturated,
+    // inference CUs ~73% busy -> mean utilization ~0.87).
+    return {"FA3C", 6.0, 13.9};
+}
+
+PlatformPower
+PlatformPower::a3cCudnn()
+{
+    // Anchored: FA3C's 18 W is a 30.0% reduction from A3C-cuDNN,
+    // i.e. ~25.7 W at its operating point.
+    return {"A3C-cuDNN", 9.0, 17.5};
+}
+
+PlatformPower
+PlatformPower::a3cTfGpu()
+{
+    // Same GPU, lower utilization but more host churn per task.
+    return {"A3C-TF-GPU", 9.0, 19.0};
+}
+
+PlatformPower
+PlatformPower::ga3cTf()
+{
+    // Batched kernels push the GPU harder per joule of static power.
+    return {"GA3C-TF", 9.0, 20.5};
+}
+
+PlatformPower
+PlatformPower::a3cTfCpu()
+{
+    // The DNN runs on the host sockets; incremental CPU package
+    // power above the dummy baseline.
+    return {"A3C-TF-CPU", 12.0, 40.0};
+}
+
+double
+inferencesPerWatt(double ips, double watts)
+{
+    FA3C_ASSERT(watts > 0, "inferencesPerWatt needs positive power");
+    return ips / watts;
+}
+
+} // namespace fa3c::power

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The energy-efficiency model of Section 5.3 / Figure 9.
+ *
+ * The paper measures *incremental* power: whole-system power during
+ * A3C training minus a dummy platform that runs the agents with
+ * random actions. We model that quantity as a static part (board
+ * power above idle) plus a dynamic part scaled by the device's busy
+ * fraction. The FA3C and A3C-cuDNN coefficients are anchored to the
+ * paper's measurements (18 W for FA3C, a 30.0% reduction from
+ * A3C-cuDNN); the others are documented estimates (EXPERIMENTS.md).
+ */
+
+#ifndef FA3C_POWER_POWER_MODEL_HH
+#define FA3C_POWER_POWER_MODEL_HH
+
+#include <string>
+
+namespace fa3c::power {
+
+/** Incremental-power coefficients of one platform. */
+struct PlatformPower
+{
+    std::string name;
+    double staticWatts;  ///< drawn whenever the accelerator is armed
+    double dynamicWatts; ///< drawn at 100% device utilization
+
+    /** Incremental Watts at the given device busy fraction. */
+    double
+    watts(double utilization) const
+    {
+        return staticWatts + dynamicWatts * utilization;
+    }
+
+    static PlatformPower fa3c();
+    static PlatformPower a3cCudnn();
+    static PlatformPower a3cTfGpu();
+    static PlatformPower ga3cTf();
+    static PlatformPower a3cTfCpu();
+};
+
+/** Figure 9b's metric: inferences processed per Watt. */
+double inferencesPerWatt(double ips, double watts);
+
+} // namespace fa3c::power
+
+#endif // FA3C_POWER_POWER_MODEL_HH

@@ -1,0 +1,234 @@
+#include "rl/a3c.hh"
+
+#include <cmath>
+#include <thread>
+
+#include "nn/layers.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::rl {
+
+void
+deltaObjective(std::span<const float> probs, int action, float ret,
+               float value, float entropy_beta, float value_grad_scale,
+               std::span<float> g_out)
+{
+    const std::size_t num_actions = probs.size();
+    FA3C_ASSERT(g_out.size() == num_actions + 1, "deltaObjective size");
+    FA3C_ASSERT(action >= 0 &&
+                    static_cast<std::size_t>(action) < num_actions,
+                "deltaObjective action ", action);
+
+    const float advantage = ret - value;
+    const float h = nn::entropy(probs);
+    for (std::size_t j = 0; j < num_actions; ++j) {
+        // d(-log p_a)/dz_j = p_j - [j == a], scaled by the advantage.
+        float g = (probs[j] -
+                   (static_cast<std::size_t>(action) == j ? 1.0f : 0.0f)) *
+                  advantage;
+        // d(-beta H)/dz_j = beta * p_j * (log p_j + H).
+        if (probs[j] > 0.0f)
+            g += entropy_beta * probs[j] * (std::log(probs[j]) + h);
+        g_out[j] = g;
+    }
+    // Value head: d[ (R - V)^2 ]/dV scaled by value_grad_scale.
+    g_out[num_actions] = value_grad_scale * (value - ret);
+}
+
+float
+clipGradNorm(nn::ParamSet &grads, float max_norm)
+{
+    double sq = 0.0;
+    for (float g : grads.flat())
+        sq += static_cast<double>(g) * static_cast<double>(g);
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (max_norm > 0.0f && norm > max_norm && norm > 0.0f) {
+        const float scale = max_norm / norm;
+        for (float &g : grads.flat())
+            g *= scale;
+    }
+    return norm;
+}
+
+void
+TrainingDiagnostics::record(double mean_entropy, double grad_norm)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entropy_.sample(mean_entropy);
+    gradNorm_.sample(grad_norm);
+}
+
+sim::Distribution
+TrainingDiagnostics::entropy() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entropy_;
+}
+
+sim::Distribution
+TrainingDiagnostics::gradNorm() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gradNorm_;
+}
+
+A3cAgent::A3cAgent(int id, const A3cConfig &cfg,
+                   std::unique_ptr<DnnBackend> backend,
+                   std::unique_ptr<env::AtariSession> session,
+                   GlobalParams &global, ScoreLog &scores,
+                   TrainingDiagnostics &diagnostics)
+    : id_(id), cfg_(cfg), backend_(std::move(backend)),
+      session_(std::move(session)), global_(global), scores_(scores),
+      diagnostics_(diagnostics),
+      rng_(cfg.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(id) + 1),
+      local_(backend_->network().makeParams()),
+      grads_(backend_->network().makeParams()),
+      bootstrap_(backend_->network().makeActivations())
+{
+    rollout_.reserve(static_cast<std::size_t>(cfg_.tMax));
+    for (int t = 0; t < cfg_.tMax; ++t)
+        rollout_.push_back(backend_->network().makeActivations());
+    actions_.resize(static_cast<std::size_t>(cfg_.tMax));
+    rewards_.resize(static_cast<std::size_t>(cfg_.tMax));
+    values_.resize(static_cast<std::size_t>(cfg_.tMax));
+    probs_.assign(static_cast<std::size_t>(cfg_.tMax),
+                  std::vector<float>(static_cast<std::size_t>(
+                      session_->numActions())));
+}
+
+int
+A3cAgent::sampleAction(std::span<const float> probs)
+{
+    // Sample from the categorical distribution over pi.
+    float u = rng_.uniformF();
+    for (std::size_t a = 0; a < probs.size(); ++a) {
+        u -= probs[a];
+        if (u <= 0.0f)
+            return static_cast<int>(a);
+    }
+    return static_cast<int>(probs.size()) - 1;
+}
+
+int
+A3cAgent::runRoutine()
+{
+    const nn::A3cNetwork &net = backend_->network();
+
+    // Parameter sync task.
+    global_.snapshot(local_);
+    backend_->onParamSync(local_);
+
+    // t_max inference tasks.
+    int steps = 0;
+    bool episode_ended = false;
+    for (int t = 0; t < cfg_.tMax; ++t) {
+        auto &act = rollout_[static_cast<std::size_t>(t)];
+        backend_->forward(local_, session_->observation(), act);
+        auto &p = probs_[static_cast<std::size_t>(t)];
+        nn::softmax(net.policyLogits(act), p);
+        const int action = sampleAction(p);
+        values_[static_cast<std::size_t>(t)] = net.value(act);
+        actions_[static_cast<std::size_t>(t)] = action;
+
+        const auto step = session_->act(action);
+        rewards_[static_cast<std::size_t>(t)] = step.clippedReward;
+        ++steps;
+        if (step.episodeEnd) {
+            // Truncate the rollout at the episode boundary; the
+            // return bootstraps from 0 instead of V(s_{t+k}).
+            scores_.record(global_.globalSteps() +
+                               static_cast<std::uint64_t>(steps),
+                           session_->lastEpisodeScore(), id_);
+            episode_ended = true;
+            break;
+        }
+    }
+    const int rollout_len = steps;
+
+    // Bootstrap inference: R = V(s_{t+k}) unless the episode ended.
+    float ret = 0.0f;
+    if (!episode_ended) {
+        backend_->forward(local_, session_->observation(), bootstrap_);
+        ret = net.value(bootstrap_);
+    }
+
+    // Training task: host computes the delta-objective per sample; the
+    // backend runs BW + GC, accumulating parameter gradients.
+    grads_.zero();
+    tensor::Tensor g_out(tensor::Shape({net.outSize()}));
+    for (int t = rollout_len - 1; t >= 0; --t) {
+        ret = rewards_[static_cast<std::size_t>(t)] + cfg_.gamma * ret;
+        deltaObjective(probs_[static_cast<std::size_t>(t)],
+                       actions_[static_cast<std::size_t>(t)], ret,
+                       values_[static_cast<std::size_t>(t)],
+                       cfg_.entropyBeta, cfg_.valueGradScale,
+                       g_out.data());
+        backend_->backward(local_, rollout_[static_cast<std::size_t>(t)],
+                           g_out, grads_);
+    }
+
+    const float pre_clip_norm =
+        clipGradNorm(grads_, cfg_.gradNormClip);
+    if (rollout_len > 0) {
+        double entropy_sum = 0;
+        for (int t = 0; t < rollout_len; ++t)
+            entropy_sum +=
+                nn::entropy(probs_[static_cast<std::size_t>(t)]);
+        diagnostics_.record(entropy_sum / rollout_len, pre_clip_norm);
+    }
+
+    // Global update through the shared RMSProp.
+    global_.applyGradients(grads_, static_cast<std::uint64_t>(rollout_len));
+    return rollout_len;
+}
+
+A3cTrainer::A3cTrainer(const nn::A3cNetwork &net, const A3cConfig &cfg,
+                       BackendFactory backend_factory,
+                       SessionFactory session_factory)
+    : net_(net), cfg_(cfg),
+      global_(net, cfg.rmsprop, cfg.initialLr, cfg.lrAnnealSteps)
+{
+    sim::Rng init_rng(cfg_.seed);
+    global_.initialize(init_rng);
+    for (int i = 0; i < cfg_.numAgents; ++i) {
+        agents_.push_back(std::make_unique<A3cAgent>(
+            i, cfg_, backend_factory(i), session_factory(i), global_,
+            scores_, diagnostics_));
+    }
+}
+
+void
+A3cTrainer::run(std::function<bool()> stop_early)
+{
+    auto should_stop = [&]() {
+        if (global_.globalSteps() >= cfg_.totalSteps)
+            return true;
+        return stop_early && stop_early();
+    };
+
+    if (!cfg_.async) {
+        // Deterministic round-robin: agents take turns, one routine
+        // each. Useful for tests and for bit-exact replays.
+        while (!should_stop()) {
+            for (auto &agent : agents_) {
+                agent->runRoutine();
+                if (should_stop())
+                    break;
+            }
+        }
+        return;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(agents_.size());
+    for (auto &agent : agents_) {
+        threads.emplace_back([&agent, &should_stop]() {
+            while (!should_stop())
+                agent->runRoutine();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace fa3c::rl

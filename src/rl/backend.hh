@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The DNN compute backend an A3C agent talks to.
+ *
+ * In the paper an agent offloads its inference and training tasks to
+ * the FA3C board (or to a GPU) while softmax and the objective-
+ * function gradient stay on the host. The DnnBackend interface is the
+ * software seam at exactly that boundary: agents hand observations /
+ * delta-objectives across it, and implementations decide where the
+ * layer math happens (reference CPU library, or the FA3C functional
+ * datapath model).
+ */
+
+#ifndef FA3C_RL_BACKEND_HH
+#define FA3C_RL_BACKEND_HH
+
+#include <memory>
+
+#include "nn/a3c_network.hh"
+#include "nn/params.hh"
+#include "tensor/tensor.hh"
+
+namespace fa3c::rl {
+
+/**
+ * Executes the inference (FW) and training (BW + GC) tasks of one
+ * agent. Implementations may keep per-agent scratch state but must
+ * not share mutable state across agents.
+ */
+class DnnBackend
+{
+  public:
+    virtual ~DnnBackend() = default;
+
+    /** The network geometry this backend computes. */
+    virtual const nn::A3cNetwork &network() const = 0;
+
+    /**
+     * Called once after every parameter-sync task, before the
+     * routine's forward passes. Backends that stage parameters in
+     * device-side layouts (the FA3C datapath keeps FW/BW layout
+     * images) rebuild them here instead of on every task.
+     */
+    virtual void onParamSync(const nn::ParamSet &params) { (void)params; }
+
+    /**
+     * Inference task: forward propagation.
+     *
+     * @param params Local parameter snapshot.
+     * @param obs    Observation [C, H, W].
+     * @param act    Activation cache (the feature maps FA3C parks in
+     *               off-chip DRAM for the later training task).
+     */
+    virtual void forward(const nn::ParamSet &params,
+                         const tensor::Tensor &obs,
+                         nn::A3cNetwork::Activations &act) = 0;
+
+    /**
+     * Training task for one sample: backward propagation and gradient
+     * computation, accumulating into @p grads.
+     *
+     * @param g_out Gradient of the objective w.r.t. the FC4 outputs
+     *              (the host-computed delta-objective).
+     */
+    virtual void backward(const nn::ParamSet &params,
+                          const nn::A3cNetwork::Activations &act,
+                          const tensor::Tensor &g_out,
+                          nn::ParamSet &grads) = 0;
+};
+
+/** Backend running the golden reference layer implementations. */
+class ReferenceBackend : public DnnBackend
+{
+  public:
+    explicit ReferenceBackend(const nn::A3cNetwork &net) : net_(net) {}
+
+    const nn::A3cNetwork &network() const override { return net_; }
+
+    void
+    forward(const nn::ParamSet &params, const tensor::Tensor &obs,
+            nn::A3cNetwork::Activations &act) override
+    {
+        net_.forward(params, obs, act);
+    }
+
+    void
+    backward(const nn::ParamSet &params,
+             const nn::A3cNetwork::Activations &act,
+             const tensor::Tensor &g_out, nn::ParamSet &grads) override
+    {
+        net_.backward(params, act, g_out, grads);
+    }
+
+  private:
+    const nn::A3cNetwork &net_;
+};
+
+} // namespace fa3c::rl
+
+#endif // FA3C_RL_BACKEND_HH

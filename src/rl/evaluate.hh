@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Policy evaluation: run a trained network against an environment
+ * without learning, reporting episode scores. The paper's Section 5.6
+ * evaluates with ALE's "human starts" metric, which needs crafted
+ * initial conditions that are not public; we evaluate from the same
+ * random no-op starts training uses and report the statistics.
+ */
+
+#ifndef FA3C_RL_EVALUATE_HH
+#define FA3C_RL_EVALUATE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "env/session.hh"
+#include "nn/a3c_network.hh"
+#include "rl/backend.hh"
+#include "sim/stats.hh"
+
+namespace fa3c::rl {
+
+/** Evaluation configuration. */
+struct EvalConfig
+{
+    int episodes = 10;        ///< episodes to play
+    bool greedy = false;      ///< argmax policy instead of sampling
+    std::uint64_t maxSteps = 200'000; ///< overall safety cap
+    std::uint64_t seed = 99;  ///< action-sampling stream
+};
+
+/** Evaluation outcome. */
+struct EvalResult
+{
+    sim::Distribution scores; ///< per-episode raw scores
+    std::uint64_t steps = 0;  ///< env steps consumed
+};
+
+/**
+ * Play @p cfg.episodes episodes with the policy in @p params.
+ *
+ * @param backend DNN executor (only forward() is used).
+ * @param session Environment frontend; consumed episodes continue
+ *                from its current state.
+ */
+EvalResult evaluatePolicy(DnnBackend &backend,
+                          const nn::ParamSet &params,
+                          env::AtariSession &session,
+                          const EvalConfig &cfg = {});
+
+} // namespace fa3c::rl
+
+#endif // FA3C_RL_EVALUATE_HH

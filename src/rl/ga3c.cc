@@ -1,0 +1,178 @@
+#include "rl/ga3c.hh"
+
+#include <algorithm>
+
+#include "nn/layers.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::rl {
+
+Ga3cTrainer::Ga3cTrainer(const nn::A3cNetwork &net,
+                         const Ga3cConfig &cfg,
+                         BackendFactory backend_factory,
+                         SessionFactory session_factory)
+    : net_(net), cfg_(cfg),
+      global_(net, cfg.rmsprop, cfg.initialLr, cfg.lrAnnealSteps),
+      rng_(cfg.seed ^ 0x6A3C6A3C6A3C6A3CULL),
+      thetaPredict_(net.makeParams()), thetaTrain_(net.makeParams()),
+      grads_(net.makeParams()), scratch_(net.makeActivations())
+{
+    FA3C_ASSERT(cfg_.trainingBatch >= 1 &&
+                    cfg_.predictorRefreshUpdates >= 1,
+                "Ga3cConfig batching");
+    sim::Rng init_rng(cfg_.seed);
+    global_.initialize(init_rng);
+    global_.snapshot(thetaPredict_);
+    for (int i = 0; i < cfg_.numEnvs; ++i) {
+        EnvSlot slot;
+        slot.backend = backend_factory(i);
+        slot.session = session_factory(i);
+        envs_.push_back(std::move(slot));
+    }
+}
+
+int
+Ga3cTrainer::sampleAction(std::span<const float> probs)
+{
+    float u = rng_.uniformF();
+    for (std::size_t a = 0; a < probs.size(); ++a) {
+        u -= probs[a];
+        if (u <= 0.0f)
+            return static_cast<int>(a);
+    }
+    return static_cast<int>(probs.size()) - 1;
+}
+
+void
+Ga3cTrainer::refreshPredictor()
+{
+    global_.snapshot(thetaPredict_);
+    for (auto &slot : envs_)
+        slot.backend->onParamSync(thetaPredict_);
+    ++refreshes_;
+    updatesSinceRefresh_ = 0;
+}
+
+std::uint64_t
+Ga3cTrainer::predictorStep()
+{
+    std::uint64_t steps = 0;
+    std::vector<float> probs;
+    for (auto &slot : envs_) {
+        auto &roll = slot.inFlight;
+        // Record the observation the action is taken from.
+        roll.observations.push_back(slot.session->observation());
+        slot.backend->forward(thetaPredict_,
+                              roll.observations.back(), scratch_);
+        probs.assign(static_cast<std::size_t>(
+                         slot.session->numActions()),
+                     0.0f);
+        nn::softmax(net_.policyLogits(scratch_), probs);
+        const int action = sampleAction(probs);
+        const auto step = slot.session->act(action);
+        roll.actions.push_back(action);
+        roll.rewards.push_back(step.clippedReward);
+        ++steps;
+        if (step.episodeEnd) {
+            scores_.record(global_.globalSteps() + steps,
+                           slot.session->lastEpisodeScore(),
+                           static_cast<int>(&slot - envs_.data()));
+            roll.episodeEnded = true;
+        }
+        if (roll.episodeEnded ||
+            static_cast<int>(roll.actions.size()) >= cfg_.tMax) {
+            if (!roll.episodeEnded) {
+                // The trainer bootstraps from the post-rollout state.
+                roll.observations.push_back(
+                    slot.session->observation());
+            }
+            trainingQueue_.push_back(std::move(roll));
+            roll = QueuedRollout{};
+        }
+    }
+    return steps;
+}
+
+void
+Ga3cTrainer::trainerStep()
+{
+    // GA3C's trainer uses the *current* global parameters, not the
+    // (possibly stale) copy the predictor acted with.
+    global_.snapshot(thetaTrain_);
+    grads_.zero();
+    tensor::Tensor g_out(tensor::Shape({net_.outSize()}));
+    std::vector<float> probs;
+    std::uint64_t samples = 0;
+
+    const int batch = std::min<std::size_t>(
+        static_cast<std::size_t>(cfg_.trainingBatch),
+        trainingQueue_.size());
+    for (int b = 0; b < batch; ++b) {
+        QueuedRollout roll = std::move(trainingQueue_.front());
+        trainingQueue_.pop_front();
+        const std::size_t len = roll.actions.size();
+        if (len == 0)
+            continue;
+
+        // Recompute the forward passes under theta_train; this is
+        // where the policy lag enters (actions were chosen by
+        // theta_predict).
+        float ret = 0.0f;
+        if (!roll.episodeEnded) {
+            envs_[0].backend->forward(thetaTrain_,
+                                      roll.observations.back(),
+                                      scratch_);
+            ret = net_.value(scratch_);
+        }
+        for (std::size_t t = len; t-- > 0;) {
+            envs_[0].backend->forward(thetaTrain_,
+                                      roll.observations[t], scratch_);
+            probs.assign(
+                static_cast<std::size_t>(net_.config().numActions),
+                0.0f);
+            nn::softmax(net_.policyLogits(scratch_), probs);
+            ret = roll.rewards[t] + cfg_.gamma * ret;
+            deltaObjective(probs, roll.actions[t], ret,
+                           net_.value(scratch_), cfg_.entropyBeta,
+                           cfg_.valueGradScale, g_out.data());
+            envs_[0].backend->backward(thetaTrain_, scratch_, g_out,
+                                       grads_);
+            ++samples;
+        }
+    }
+    if (samples == 0)
+        return;
+    const float inv = 1.0f / static_cast<float>(batch);
+    for (float &g : grads_.flat())
+        g *= inv;
+    if (cfg_.gradNormClip > 0.0f)
+        clipGradNorm(grads_, cfg_.gradNormClip);
+    // Steps were already counted by applyGradients' caller side; the
+    // update itself consumes no new environment steps.
+    global_.applyGradients(grads_, 0);
+    ++updates_;
+    ++updatesSinceRefresh_;
+    if (updatesSinceRefresh_ >= cfg_.predictorRefreshUpdates)
+        refreshPredictor();
+}
+
+float
+Ga3cTrainer::currentPolicyLag() const
+{
+    return nn::ParamSet::maxAbsDiff(thetaPredict_, global_.theta());
+}
+
+void
+Ga3cTrainer::run(std::function<bool()> stop_early)
+{
+    while (global_.globalSteps() < cfg_.totalSteps) {
+        if (stop_early && stop_early())
+            return;
+        global_.addSteps(predictorStep());
+        while (static_cast<int>(trainingQueue_.size()) >=
+               cfg_.trainingBatch)
+            trainerStep();
+    }
+}
+
+} // namespace fa3c::rl

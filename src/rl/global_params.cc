@@ -1,0 +1,57 @@
+#include "rl/global_params.hh"
+
+#include <algorithm>
+
+namespace fa3c::rl {
+
+GlobalParams::GlobalParams(const nn::A3cNetwork &net,
+                           const nn::RmspropConfig &rmsprop,
+                           float initial_lr, std::uint64_t anneal_steps)
+    : net_(net), rmsprop_(rmsprop), initialLr_(initial_lr),
+      annealSteps_(anneal_steps), theta_(net.makeParams()),
+      rmspropG_(net.makeParams())
+{
+}
+
+void
+GlobalParams::initialize(sim::Rng &rng)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    net_.initParams(theta_, rng);
+    rmspropG_.zero();
+}
+
+void
+GlobalParams::snapshot(nn::ParamSet &local)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    local.copyFrom(theta_);
+}
+
+float
+GlobalParams::currentLearningRate() const
+{
+    if (annealSteps_ == 0)
+        return initialLr_;
+    const std::uint64_t steps = globalSteps();
+    if (steps >= annealSteps_)
+        return 0.0f;
+    const double frac = 1.0 - static_cast<double>(steps) /
+                                  static_cast<double>(annealSteps_);
+    return static_cast<float>(initialLr_ * frac);
+}
+
+void
+GlobalParams::applyGradients(const nn::ParamSet &grads,
+                             std::uint64_t steps_consumed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const float lr = currentLearningRate();
+    if (lr > 0.0f) {
+        nn::rmspropApply(theta_.flat(), rmspropG_.flat(), grads.flat(),
+                         lr, rmsprop_);
+    }
+    globalSteps_.fetch_add(steps_consumed, std::memory_order_relaxed);
+}
+
+} // namespace fa3c::rl

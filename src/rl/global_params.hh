@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The shared global parameter set of A3C.
+ *
+ * Holds the global theta plus the shared RMSProp statistics g (one g
+ * word per parameter, exactly what the paper's RMSProp module keeps in
+ * DRAM next to the global model). Agents snapshot theta into their
+ * local copies (the "parameter sync" task) and apply gradients through
+ * the RMSProp update with a linearly annealed learning rate.
+ */
+
+#ifndef FA3C_RL_GLOBAL_PARAMS_HH
+#define FA3C_RL_GLOBAL_PARAMS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "nn/a3c_network.hh"
+#include "nn/params.hh"
+#include "nn/rmsprop.hh"
+
+namespace fa3c::rl {
+
+/** Thread-safe global theta + shared RMSProp state. */
+class GlobalParams
+{
+  public:
+    /**
+     * @param net            Network defining the parameter layout.
+     * @param rmsprop        Constant rho / epsilon.
+     * @param initial_lr     eta at step 0.
+     * @param anneal_steps   Steps over which eta decays linearly to 0
+     *                       (0 disables annealing).
+     */
+    GlobalParams(const nn::A3cNetwork &net,
+                 const nn::RmspropConfig &rmsprop, float initial_lr,
+                 std::uint64_t anneal_steps);
+
+    /** Initialize theta from @p rng (fan-in uniform). */
+    void initialize(sim::Rng &rng);
+
+    /** Parameter sync: copy the current global theta into @p local. */
+    void snapshot(nn::ParamSet &local);
+
+    /**
+     * Apply a gradient batch via shared RMSProp.
+     *
+     * @param grads          Summed gradients of one training task.
+     * @param steps_consumed Environment steps that produced them
+     *                       (advances the step counter used for lr
+     *                       annealing).
+     */
+    void applyGradients(const nn::ParamSet &grads,
+                        std::uint64_t steps_consumed);
+
+    /** Total environment steps consumed so far. */
+    std::uint64_t
+    globalSteps() const
+    {
+        return globalSteps_.load(std::memory_order_relaxed);
+    }
+
+    /** Advance the step counter without an update (trainers whose
+     * updates are decoupled from stepping, e.g. GA3C). */
+    void
+    addSteps(std::uint64_t steps)
+    {
+        globalSteps_.fetch_add(steps, std::memory_order_relaxed);
+    }
+
+    /** The learning rate that the next update will use. */
+    float currentLearningRate() const;
+
+    /** Direct read access for checkpointing/tests (not thread-safe
+     * against concurrent updates). */
+    const nn::ParamSet &theta() const { return theta_; }
+
+  private:
+    const nn::A3cNetwork &net_;
+    nn::RmspropConfig rmsprop_;
+    float initialLr_;
+    std::uint64_t annealSteps_;
+    std::atomic<std::uint64_t> globalSteps_{0};
+    std::mutex mutex_;
+    nn::ParamSet theta_;
+    nn::ParamSet rmspropG_;
+};
+
+} // namespace fa3c::rl
+
+#endif // FA3C_RL_GLOBAL_PARAMS_HH

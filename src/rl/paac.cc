@@ -1,0 +1,137 @@
+#include "rl/paac.hh"
+
+#include "nn/layers.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::rl {
+
+PaacTrainer::PaacTrainer(const nn::A3cNetwork &net,
+                         const PaacConfig &cfg,
+                         BackendFactory backend_factory,
+                         SessionFactory session_factory)
+    : net_(net), cfg_(cfg),
+      global_(net, cfg.rmsprop, cfg.initialLr, cfg.lrAnnealSteps),
+      rng_(cfg.seed ^ 0x9AAC9AAC9AAC9AACULL),
+      theta_(net.makeParams()), grads_(net.makeParams()),
+      bootstrap_(net.makeActivations())
+{
+    sim::Rng init_rng(cfg_.seed);
+    global_.initialize(init_rng);
+    envs_.reserve(static_cast<std::size_t>(cfg_.numEnvs));
+    for (int i = 0; i < cfg_.numEnvs; ++i) {
+        EnvSlot slot;
+        slot.backend = backend_factory(i);
+        slot.session = session_factory(i);
+        for (int t = 0; t < cfg_.tMax; ++t)
+            slot.rollout.push_back(net.makeActivations());
+        slot.actions.resize(static_cast<std::size_t>(cfg_.tMax));
+        slot.rewards.resize(static_cast<std::size_t>(cfg_.tMax));
+        slot.values.resize(static_cast<std::size_t>(cfg_.tMax));
+        slot.probs.assign(
+            static_cast<std::size_t>(cfg_.tMax),
+            std::vector<float>(static_cast<std::size_t>(
+                slot.session->numActions())));
+        envs_.push_back(std::move(slot));
+    }
+}
+
+int
+PaacTrainer::sampleAction(std::span<const float> probs)
+{
+    float u = rng_.uniformF();
+    for (std::size_t a = 0; a < probs.size(); ++a) {
+        u -= probs[a];
+        if (u <= 0.0f)
+            return static_cast<int>(a);
+    }
+    return static_cast<int>(probs.size()) - 1;
+}
+
+std::uint64_t
+PaacTrainer::runBatch()
+{
+    // All environments share the single, current parameter set.
+    global_.snapshot(theta_);
+    for (auto &slot : envs_)
+        slot.backend->onParamSync(theta_);
+
+    // Lock-step rollouts: step t of every environment before step
+    // t+1 of any (this is what lets PAAC batch device work).
+    for (auto &slot : envs_) {
+        slot.rolloutLen = 0;
+        slot.episodeEnded = false;
+    }
+    std::uint64_t steps = 0;
+    for (int t = 0; t < cfg_.tMax; ++t) {
+        for (auto &slot : envs_) {
+            if (slot.episodeEnded)
+                continue;
+            auto &act = slot.rollout[static_cast<std::size_t>(t)];
+            slot.backend->forward(theta_, slot.session->observation(),
+                                  act);
+            auto &p = slot.probs[static_cast<std::size_t>(t)];
+            nn::softmax(net_.policyLogits(act), p);
+            const int action = sampleAction(p);
+            slot.actions[static_cast<std::size_t>(t)] = action;
+            slot.values[static_cast<std::size_t>(t)] = net_.value(act);
+            const auto step = slot.session->act(action);
+            slot.rewards[static_cast<std::size_t>(t)] =
+                step.clippedReward;
+            ++slot.rolloutLen;
+            ++steps;
+            if (step.episodeEnd) {
+                scores_.record(global_.globalSteps() + steps,
+                               slot.session->lastEpisodeScore(),
+                               static_cast<int>(&slot - envs_.data()));
+                slot.episodeEnded = true;
+            }
+        }
+    }
+
+    // One combined gradient from every environment's samples.
+    grads_.zero();
+    tensor::Tensor g_out(tensor::Shape({net_.outSize()}));
+    for (auto &slot : envs_) {
+        float ret = 0.0f;
+        if (!slot.episodeEnded && slot.rolloutLen > 0) {
+            slot.backend->forward(theta_, slot.session->observation(),
+                                  bootstrap_);
+            ret = net_.value(bootstrap_);
+        }
+        for (int t = slot.rolloutLen - 1; t >= 0; --t) {
+            ret = slot.rewards[static_cast<std::size_t>(t)] +
+                  cfg_.gamma * ret;
+            deltaObjective(slot.probs[static_cast<std::size_t>(t)],
+                           slot.actions[static_cast<std::size_t>(t)],
+                           ret,
+                           slot.values[static_cast<std::size_t>(t)],
+                           cfg_.entropyBeta, cfg_.valueGradScale,
+                           g_out.data());
+            slot.backend->backward(
+                theta_, slot.rollout[static_cast<std::size_t>(t)],
+                g_out, grads_);
+        }
+    }
+    // Average over environments, as PAAC's batched update does.
+    const float inv = 1.0f / static_cast<float>(envs_.size());
+    for (float &g : grads_.flat())
+        g *= inv;
+    if (cfg_.gradNormClip > 0.0f)
+        clipGradNorm(grads_, cfg_.gradNormClip);
+
+    global_.applyGradients(grads_, steps);
+    ++updates_;
+    return steps;
+}
+
+void
+PaacTrainer::run(std::function<bool()> stop_early)
+{
+    while (global_.globalSteps() < cfg_.totalSteps) {
+        if (stop_early && stop_early())
+            return;
+        runBatch();
+    }
+}
+
+} // namespace fa3c::rl

@@ -1,0 +1,62 @@
+#include "rl/score_log.hh"
+
+#include <algorithm>
+
+namespace fa3c::rl {
+
+void
+ScoreLog::record(std::uint64_t global_step, double score, int agent_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(EpisodeRecord{global_step, score, agent_id});
+}
+
+std::vector<EpisodeRecord>
+ScoreLog::records() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+std::size_t
+ScoreLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+double
+ScoreLog::recentMean(std::size_t window) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (records_.empty())
+        return 0.0;
+    const std::size_t n = std::min(window, records_.size());
+    double sum = 0.0;
+    for (std::size_t i = records_.size() - n; i < records_.size(); ++i)
+        sum += records_[i].score;
+    return sum / static_cast<double>(n);
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+ScoreLog::movingAverage(std::size_t window, std::size_t stride) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::uint64_t, double>> series;
+    if (records_.empty() || stride == 0)
+        return series;
+    double running = 0.0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        running += records_[i].score;
+        if (i >= window)
+            running -= records_[i - window].score;
+        const std::size_t n = std::min(window, i + 1);
+        if ((i + 1) % stride == 0 || i + 1 == records_.size()) {
+            series.emplace_back(records_[i].globalStep,
+                                running / static_cast<double>(n));
+        }
+    }
+    return series;
+}
+
+} // namespace fa3c::rl

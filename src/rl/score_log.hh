@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thread-safe log of per-episode game scores, with the moving-average
+ * view Figure 12 plots (the paper smooths over 1,000 episode scores).
+ */
+
+#ifndef FA3C_RL_SCORE_LOG_HH
+#define FA3C_RL_SCORE_LOG_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fa3c::rl {
+
+/** One finished episode. */
+struct EpisodeRecord
+{
+    std::uint64_t globalStep; ///< steps consumed when it finished
+    double score;             ///< raw (unclipped) episode score
+    int agentId;
+};
+
+/** Append-only episode log shared by all agents. */
+class ScoreLog
+{
+  public:
+    /** Record a finished episode. */
+    void record(std::uint64_t global_step, double score, int agent_id);
+
+    /** Copy of all records so far (ordered by insertion). */
+    std::vector<EpisodeRecord> records() const;
+
+    /** Number of episodes recorded. */
+    std::size_t size() const;
+
+    /** Mean score of the last @p window episodes (0 when empty). */
+    double recentMean(std::size_t window) const;
+
+    /**
+     * Moving-average series: (step, mean of the previous @p window
+     * scores), one point per @p stride episodes. This is the Figure 12
+     * curve.
+     */
+    std::vector<std::pair<std::uint64_t, double>>
+    movingAverage(std::size_t window, std::size_t stride = 1) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<EpisodeRecord> records_;
+};
+
+} // namespace fa3c::rl
+
+#endif // FA3C_RL_SCORE_LOG_HH

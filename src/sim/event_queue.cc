@@ -1,0 +1,88 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fa3c::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    FA3C_ASSERT(when >= now_, "scheduling event in the past: when=", when,
+                " now=", now_);
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, id});
+    pending_.emplace_back(id, Pending{std::move(cb), false});
+    ++liveEvents_;
+    return id;
+}
+
+EventQueue::Pending *
+EventQueue::find(EventId id)
+{
+    auto it = std::find_if(pending_.begin(), pending_.end(),
+                           [id](const auto &p) { return p.first == id; });
+    return it == pending_.end() ? nullptr : &it->second;
+}
+
+void
+EventQueue::erase(EventId id)
+{
+    auto it = std::find_if(pending_.begin(), pending_.end(),
+                           [id](const auto &p) { return p.first == id; });
+    if (it != pending_.end()) {
+        *it = std::move(pending_.back());
+        pending_.pop_back();
+    }
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    Pending *p = find(id);
+    if (p && !p->cancelled) {
+        p->cancelled = true;
+        --liveEvents_;
+    }
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        const Entry top = heap_.top();
+        heap_.pop();
+        Pending *p = find(top.id);
+        if (!p)
+            continue;
+        if (p->cancelled) {
+            erase(top.id);
+            continue;
+        }
+        Callback cb = std::move(p->cb);
+        erase(top.id);
+        --liveEvents_;
+        FA3C_ASSERT(top.when >= now_, "event queue time went backwards");
+        now_ = top.when;
+        if (cb)
+            cb(); // null callbacks advance time without side effects
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+        if (heap_.top().when > limit)
+            break;
+        if (step())
+            ++executed;
+    }
+    return executed;
+}
+
+} // namespace fa3c::sim

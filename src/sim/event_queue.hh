@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel.
+ *
+ * Components schedule callbacks at absolute ticks; the queue executes
+ * them in (tick, insertion-order) order. This powers the cycle-level
+ * FA3C platform model: compute units, DRAM channels, and the PCIe DMA
+ * engine are all clients of one EventQueue.
+ */
+
+#ifndef FA3C_SIM_EVENT_QUEUE_HH
+#define FA3C_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fa3c::sim {
+
+/** Identifier returned by schedule(), usable for cancellation. */
+using EventId = std::uint64_t;
+
+/**
+ * Discrete-event queue with deterministic ordering.
+ *
+ * Events at the same tick execute in the order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @pre when >= now().
+     * @return An id that can be passed to deschedule().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Cancel a pending event. No-op if it already ran or was cancelled. */
+    void deschedule(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return liveEvents_; }
+
+    /**
+     * Run events until the queue drains or the optional tick limit is
+     * reached (events scheduled at exactly the limit still run).
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = ~Tick{0});
+
+    /**
+     * Execute the single next event, if any.
+     *
+     * @return True when an event was executed.
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        bool operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    struct Pending
+    {
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    // Sparse map from id -> callback; small sims keep this compact by
+    // erasing entries as they fire.
+    std::vector<std::pair<EventId, Pending>> pending_;
+
+    Pending *find(EventId id);
+    void erase(EventId id);
+};
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations, fatal() for user errors,
+ * warn()/inform() for non-fatal conditions.
+ */
+
+#ifndef FA3C_SIM_LOGGING_HH
+#define FA3C_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace fa3c::sim {
+
+namespace detail {
+
+/** Concatenate a message from stream-formattable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort: an internal invariant was violated (a simulator bug). */
+#define FA3C_PANIC(...)                                                     \
+    ::fa3c::sim::detail::panicImpl(                                         \
+        __FILE__, __LINE__, ::fa3c::sim::detail::format(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user error. */
+#define FA3C_FATAL(...)                                                     \
+    ::fa3c::sim::detail::fatalImpl(                                         \
+        __FILE__, __LINE__, ::fa3c::sim::detail::format(__VA_ARGS__))
+
+/** Warn about questionable but survivable conditions. */
+#define FA3C_WARN(...)                                                      \
+    ::fa3c::sim::detail::warnImpl(::fa3c::sim::detail::format(__VA_ARGS__))
+
+/** Informative status message. */
+#define FA3C_INFORM(...)                                                    \
+    ::fa3c::sim::detail::informImpl(                                        \
+        ::fa3c::sim::detail::format(__VA_ARGS__))
+
+/** Panic when @p cond does not hold. */
+#define FA3C_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            FA3C_PANIC("assertion '" #cond "' failed: ", __VA_ARGS__);      \
+        }                                                                   \
+    } while (0)
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_LOGGING_HH

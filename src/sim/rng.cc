@@ -1,0 +1,92 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace fa3c::sim {
+
+namespace {
+
+/** splitmix64 step, used for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t
+Rng::uniformInt(std::uint32_t bound)
+{
+    // Lemire's multiply-shift rejection-free-enough reduction is fine
+    // here; bias is < 2^-32 which is irrelevant for simulation.
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    spareGaussian_ = mag * std::sin(two_pi * u2);
+    hasSpareGaussian_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+Rng
+Rng::split(std::uint64_t stream)
+{
+    return Rng(next() ^ (stream * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL));
+}
+
+} // namespace fa3c::sim

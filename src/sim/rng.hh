@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (environments, weight
+ * initialization, action sampling) draws from an explicitly seeded Rng
+ * so whole experiments replay bit-identically.
+ */
+
+#ifndef FA3C_SIM_RNG_HH
+#define FA3C_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace fa3c::sim {
+
+/**
+ * xoshiro256** generator.
+ *
+ * Small, fast, and high quality; seeded through splitmix64 so that
+ * nearby integer seeds produce uncorrelated streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform float in [0, 1). */
+    float uniformF() { return static_cast<float>(uniform()); }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint32_t uniformInt(std::uint32_t bound);
+
+    /** Uniform double in [lo, hi). */
+    double range(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Derive an independent child stream.
+     *
+     * @param stream Distinguishes children derived from the same
+     *               parent state.
+     */
+    Rng split(std::uint64_t stream);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_RNG_HH

@@ -1,0 +1,68 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace fa3c::sim {
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution{};
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, d] : dists_)
+        d.reset();
+}
+
+std::string
+StatGroup::report(const std::string &title) const
+{
+    std::ostringstream os;
+    if (!title.empty())
+        os << "---- " << title << " ----\n";
+    for (const auto &[name, c] : counters_)
+        os << name << " = " << c.value() << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << name << " : count=" << d.count() << " mean=" << d.mean()
+           << " min=" << d.min() << " max=" << d.max()
+           << " stddev=" << d.stddev() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace fa3c::sim

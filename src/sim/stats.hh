@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Statistics collection: named scalar counters, running distributions,
+ * and a registry that can be dumped as a formatted report.
+ */
+
+#ifndef FA3C_SIM_STATS_HH
+#define FA3C_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace fa3c::sim {
+
+/** A monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running distribution of double samples.
+ *
+ * Tracks count, sum, min, max, and the sum of squares so mean and
+ * (population) standard deviation can be reported without storing
+ * individual samples.
+ */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A registry of named counters and distributions.
+ *
+ * Components create stats lazily by name; report() renders them in
+ * name order for deterministic output.
+ */
+class StatGroup
+{
+  public:
+    /** Get or create the counter called @p name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Get or create the distribution called @p name. */
+    Distribution &
+    distribution(const std::string &name)
+    {
+        return dists_[name];
+    }
+
+    /** Look up an existing counter; 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+    /** Render all stats as an aligned text report. */
+    std::string report(const std::string &title = "") const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_STATS_HH

@@ -1,0 +1,81 @@
+#include "sim/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace fa3c::sim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    FA3C_ASSERT(cells.size() <= headers_.size(),
+                "row has more cells than table columns");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run == 3) {
+            out.push_back(',');
+            run = 0;
+        }
+        out.push_back(*it);
+        ++run;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        os << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+               << (c < row.size() ? row[c] : "") << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(headers_, os);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row, os);
+    return os.str();
+}
+
+} // namespace fa3c::sim

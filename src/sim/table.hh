@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table rendering for bench output that mirrors the paper's
+ * tables and figures.
+ */
+
+#ifndef FA3C_SIM_TABLE_HH
+#define FA3C_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace fa3c::sim {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric helpers format with a fixed precision.
+ * Rendering pads every column to its widest cell.
+ */
+class TextTable
+{
+  public:
+    /** @param headers Column titles. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row. Missing cells render empty; extras are an error. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision fraction digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string num(std::uint64_t v);
+
+    /** Render the table, including a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_TABLE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the FA3C simulator.
+ */
+
+#ifndef FA3C_SIM_TYPES_HH
+#define FA3C_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace fa3c::sim {
+
+/** A count of clock cycles on some component's clock domain. */
+using Cycles = std::uint64_t;
+
+/** Absolute simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per simulated second. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/**
+ * A clock domain converting between cycles and ticks.
+ *
+ * The simulator keeps all inter-component time in ticks (picoseconds)
+ * so components with different clocks (180 MHz FPGA fabric, DRAM
+ * channels, a nominal GPU clock) can coexist in one event queue.
+ */
+class ClockDomain
+{
+  public:
+    /** @param freq_hz Clock frequency in Hz. Must be positive. */
+    explicit ClockDomain(double freq_hz)
+        : period_(static_cast<Tick>(
+              static_cast<double>(ticksPerSecond) / freq_hz)),
+          freqHz_(freq_hz)
+    {
+    }
+
+    /** Clock period in ticks (picoseconds). */
+    Tick period() const { return period_; }
+
+    /** Clock frequency in Hz. */
+    double frequency() const { return freqHz_; }
+
+    /** Convert a cycle count on this domain to ticks. */
+    Tick toTicks(Cycles cycles) const { return cycles * period_; }
+
+    /** Convert ticks to whole cycles on this domain (rounding up). */
+    Cycles
+    toCycles(Tick ticks) const
+    {
+        return (ticks + period_ - 1) / period_;
+    }
+
+  private:
+    Tick period_;
+    double freqHz_;
+};
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_TYPES_HH

@@ -1,0 +1,240 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace fa3c::tensor {
+
+Shape::Shape(std::initializer_list<int> dims)
+{
+    FA3C_ASSERT(dims.size() <= 4, "tensors support at most 4 dims, got ",
+                dims.size());
+    for (int d : dims) {
+        FA3C_ASSERT(d > 0, "non-positive extent ", d);
+        dims_[static_cast<std::size_t>(rank_++)] = d;
+    }
+}
+
+int
+Shape::operator[](int i) const
+{
+    FA3C_ASSERT(i >= 0 && i < rank_, "shape index ", i, " out of rank ",
+                rank_);
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+std::size_t
+Shape::numel() const
+{
+    if (rank_ == 0)
+        return 0;
+    std::size_t n = 1;
+    for (int i = 0; i < rank_; ++i)
+        n *= static_cast<std::size_t>(dims_[static_cast<std::size_t>(i)]);
+    return n;
+}
+
+bool
+Shape::operator==(const Shape &other) const
+{
+    if (rank_ != other.rank_)
+        return false;
+    for (int i = 0; i < rank_; ++i)
+        if ((*this)[i] != other[i])
+            return false;
+    return true;
+}
+
+std::string
+Shape::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < rank_; ++i)
+        os << (i ? ", " : "") << (*this)[i];
+    os << "]";
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(shape), data_(shape.numel(), 0.0f) {}
+
+float &
+Tensor::operator[](std::size_t i)
+{
+    FA3C_ASSERT(i < data_.size(), "flat index ", i, " out of ",
+                data_.size());
+    return data_[i];
+}
+
+float
+Tensor::operator[](std::size_t i) const
+{
+    FA3C_ASSERT(i < data_.size(), "flat index ", i, " out of ",
+                data_.size());
+    return data_[i];
+}
+
+float &
+Tensor::at(int i)
+{
+    FA3C_ASSERT(shape_.rank() == 1, "rank-1 access on rank ",
+                shape_.rank());
+    return (*this)[static_cast<std::size_t>(i)];
+}
+
+float
+Tensor::at(int i) const
+{
+    return const_cast<Tensor &>(*this).at(i);
+}
+
+std::size_t
+Tensor::offset(int i, int j) const
+{
+    FA3C_ASSERT(shape_.rank() == 2, "rank-2 access on rank ",
+                shape_.rank());
+    FA3C_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                "index (", i, ",", j, ") out of ", shape_.str());
+    return static_cast<std::size_t>(i) *
+               static_cast<std::size_t>(shape_[1]) +
+           static_cast<std::size_t>(j);
+}
+
+float &
+Tensor::at(int i, int j)
+{
+    return data_[offset(i, j)];
+}
+
+float
+Tensor::at(int i, int j) const
+{
+    return data_[offset(i, j)];
+}
+
+std::size_t
+Tensor::offset(int i, int j, int k) const
+{
+    FA3C_ASSERT(shape_.rank() == 3, "rank-3 access on rank ",
+                shape_.rank());
+    FA3C_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                    k >= 0 && k < shape_[2],
+                "index (", i, ",", j, ",", k, ") out of ", shape_.str());
+    return (static_cast<std::size_t>(i) *
+                static_cast<std::size_t>(shape_[1]) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(shape_[2]) +
+           static_cast<std::size_t>(k);
+}
+
+float &
+Tensor::at(int i, int j, int k)
+{
+    return data_[offset(i, j, k)];
+}
+
+float
+Tensor::at(int i, int j, int k) const
+{
+    return data_[offset(i, j, k)];
+}
+
+std::size_t
+Tensor::offset(int i, int j, int k, int l) const
+{
+    FA3C_ASSERT(shape_.rank() == 4, "rank-4 access on rank ",
+                shape_.rank());
+    FA3C_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+                    k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3],
+                "index (", i, ",", j, ",", k, ",", l, ") out of ",
+                shape_.str());
+    return ((static_cast<std::size_t>(i) *
+                 static_cast<std::size_t>(shape_[1]) +
+             static_cast<std::size_t>(j)) *
+                static_cast<std::size_t>(shape_[2]) +
+            static_cast<std::size_t>(k)) *
+               static_cast<std::size_t>(shape_[3]) +
+           static_cast<std::size_t>(l);
+}
+
+float &
+Tensor::at(int i, int j, int k, int l)
+{
+    return data_[offset(i, j, k, l)];
+}
+
+float
+Tensor::at(int i, int j, int k, int l) const
+{
+    return data_[offset(i, j, k, l)];
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::reshape(Shape new_shape)
+{
+    FA3C_ASSERT(new_shape.numel() == data_.size(),
+                "reshape element-count mismatch: ", new_shape.str(),
+                " vs ", data_.size(), " elements");
+    shape_ = new_shape;
+}
+
+void
+Tensor::fillUniform(sim::Rng &rng, float lo, float hi)
+{
+    for (float &v : data_)
+        v = lo + (hi - lo) * rng.uniformF();
+}
+
+void
+Tensor::fillLecunUniform(sim::Rng &rng, int fan_in)
+{
+    FA3C_ASSERT(fan_in > 0, "fan_in must be positive");
+    const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    fillUniform(rng, -bound, bound);
+}
+
+void
+Tensor::add(const Tensor &other)
+{
+    FA3C_ASSERT(shape_ == other.shape_, "add shape mismatch ",
+                shape_.str(), " vs ", other.shape_.str());
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scale(float s)
+{
+    for (float &v : data_)
+        v *= s;
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    FA3C_ASSERT(a.shape() == b.shape(), "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace fa3c::tensor

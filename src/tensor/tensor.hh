@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A small dense fp32 tensor type used by the reference DNN library and
+ * by the functional FA3C datapath model.
+ *
+ * Tensors are row-major with up to four dimensions. FA3C trains in
+ * single-precision floating point (the paper's PEs are fp32
+ * multiplier/accumulator pairs), so float is the only element type.
+ */
+
+#ifndef FA3C_TENSOR_TENSOR_HH
+#define FA3C_TENSOR_TENSOR_HH
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace fa3c::tensor {
+
+/** Shape of a tensor: up to four extents, row-major. */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from a list of extents, e.g. {4, 84, 84}. */
+    Shape(std::initializer_list<int> dims);
+
+    /** Number of dimensions. */
+    int rank() const { return rank_; }
+
+    /** Extent of dimension @p i. */
+    int operator[](int i) const;
+
+    /** Total number of elements. */
+    std::size_t numel() const;
+
+    bool operator==(const Shape &other) const;
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Render as e.g. "[4, 84, 84]". */
+    std::string str() const;
+
+  private:
+    std::array<int, 4> dims_{};
+    int rank_ = 0;
+};
+
+/**
+ * Dense row-major fp32 tensor.
+ *
+ * Cheap to move; copying copies the buffer. All indexing is
+ * bounds-checked in debug-style asserts (FA3C_ASSERT).
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    const Shape &shape() const { return shape_; }
+    std::size_t numel() const { return data_.size(); }
+
+    /** Flat element access. */
+    float &operator[](std::size_t i);
+    float operator[](std::size_t i) const;
+
+    /** 1-D indexed access. */
+    float &at(int i);
+    float at(int i) const;
+
+    /** 2-D indexed access (row-major). */
+    float &at(int i, int j);
+    float at(int i, int j) const;
+
+    /** 3-D indexed access. */
+    float &at(int i, int j, int k);
+    float at(int i, int j, int k) const;
+
+    /** 4-D indexed access. */
+    float &at(int i, int j, int k, int l);
+    float at(int i, int j, int k, int l) const;
+
+    /** Mutable view of the flat storage. */
+    std::span<float> data() { return data_; }
+
+    /** Const view of the flat storage. */
+    std::span<const float> data() const { return data_; }
+
+    /** Set every element to @p v. */
+    void fill(float v);
+
+    /** Set every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /**
+     * Reinterpret the buffer with a new shape.
+     *
+     * @pre new_shape.numel() == numel().
+     */
+    void reshape(Shape new_shape);
+
+    /** Fill with uniform values in [lo, hi). */
+    void fillUniform(sim::Rng &rng, float lo, float hi);
+
+    /**
+     * Glorot/Xavier-style uniform initialization used by the reference
+     * A3C implementation: bound = 1/sqrt(fan_in).
+     */
+    void fillLecunUniform(sim::Rng &rng, int fan_in);
+
+    /** Elementwise a += b. @pre shapes match. */
+    void add(const Tensor &other);
+
+    /** Elementwise scale. */
+    void scale(float s);
+
+    /** Maximum absolute element (0 for empty tensors). */
+    float maxAbs() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+
+    std::size_t offset(int i, int j) const;
+    std::size_t offset(int i, int j, int k) const;
+    std::size_t offset(int i, int j, int k, int l) const;
+};
+
+/** Max |a-b| over all elements. @pre shapes match. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace fa3c::tensor
+
+#endif // FA3C_TENSOR_TENSOR_HH

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate tests/CMakeLists.txt from the test sources present.
+cd "$(dirname "$0")"
+{
+cat <<'HDR'
+function(fa3c_add_test name)
+    add_executable(${name} ${name}.cc)
+    target_link_libraries(${name} PRIVATE
+        fa3c_harness fa3c_core fa3c_gpu fa3c_power fa3c_rl fa3c_env
+        fa3c_nn fa3c_tensor fa3c_sim
+        GTest::gtest GTest::gtest_main Threads::Threads)
+    target_include_directories(${name} PRIVATE ${CMAKE_CURRENT_SOURCE_DIR})
+    add_test(NAME ${name} COMMAND ${name})
+endfunction()
+
+HDR
+for f in test_*.cc; do
+    echo "fa3c_add_test(${f%.cc})"
+done
+} > CMakeLists.txt

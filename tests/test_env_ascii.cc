@@ -1,0 +1,64 @@
+/** @file Tests of the ASCII frame renderer. */
+
+#include <gtest/gtest.h>
+
+#include "env/ascii.hh"
+#include "env/games.hh"
+
+using namespace fa3c::env;
+
+TEST(ToAscii, DimensionsFollowPooling)
+{
+    Frame frame;
+    const std::string out = toAscii(frame, 2);
+    // 84/4 = 21 rows of 84/2 = 42 chars plus newlines.
+    EXPECT_EQ(out.size(), 21u * 43u);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 21);
+}
+
+TEST(ToAscii, BlackFrameIsAllSpaces)
+{
+    Frame frame;
+    const std::string out = toAscii(frame, 2);
+    for (char c : out)
+        EXPECT_TRUE(c == ' ' || c == '\n');
+}
+
+TEST(ToAscii, BrightRegionsRenderDark)
+{
+    Frame frame;
+    frame.fillRect(0, 0, 84, 84, 1.0f);
+    const std::string out = toAscii(frame, 2);
+    for (char c : out)
+        EXPECT_TRUE(c == '@' || c == '\n');
+}
+
+TEST(ToAscii, IntensityOrderingPreserved)
+{
+    Frame frame;
+    frame.fillRect(0, 0, 8, 84, 0.2f);   // dim band on top
+    frame.fillRect(40, 0, 8, 84, 0.9f);  // bright band mid-screen
+    const std::string out = toAscii(frame, 2);
+    // Compare the glyphs of the two bands through the ramp ordering.
+    const std::string ramp = " .:+*#@";
+    const char dim = out[1]; // row 0 col 1
+    const char bright = out[static_cast<std::size_t>(10 * 43 + 1)];
+    EXPECT_LT(ramp.find(dim), ramp.find(bright));
+}
+
+TEST(ToAscii, RendersAGameRecognizably)
+{
+    auto pong = makePong(1);
+    Frame frame;
+    pong->render(frame);
+    const std::string out = toAscii(frame, 2);
+    // Something visible: not all blank.
+    EXPECT_NE(out.find_first_not_of(" \n"), std::string::npos);
+}
+
+TEST(ToAscii, BadPoolPanics)
+{
+    Frame frame;
+    EXPECT_THROW(toAscii(frame, 0), std::logic_error);
+    EXPECT_THROW(toAscii(frame, 5), std::logic_error);
+}

@@ -1,0 +1,239 @@
+/** @file Tests of the event-driven FA3C platform. */
+
+#include <gtest/gtest.h>
+
+#include "fa3c/accelerator.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+using fa3c::sim::EventQueue;
+using fa3c::sim::Tick;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+} // namespace
+
+TEST(Fa3cPlatform, CompletesAnInference)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    bool done = false;
+    Tick done_at = 0;
+    board.submitInference([&]() {
+        done = true;
+        done_at = q.now();
+    });
+    q.run();
+    EXPECT_TRUE(done);
+    // An inference takes hundreds of microseconds at 180 MHz.
+    const double sec = static_cast<double>(done_at) /
+                       static_cast<double>(sim::ticksPerSecond);
+    EXPECT_GT(sec, 50e-6);
+    EXPECT_LT(sec, 2e-3);
+    EXPECT_GT(board.dramBytes(), 0u);
+}
+
+TEST(Fa3cPlatform, TrainingSlowerThanInference)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    Tick inf_done = 0, train_done = 0;
+    board.submitInference([&]() { inf_done = q.now(); });
+    q.run();
+    board.submitTraining([&]() { train_done = q.now(); });
+    q.run();
+    EXPECT_GT(train_done - inf_done, inf_done);
+}
+
+TEST(Fa3cPlatform, DualCusOverlapInferences)
+{
+    // Two inference CUs: two concurrent inferences finish in about
+    // the time of one; three serialize partially.
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    Tick t1 = 0;
+    board.submitInference([&]() { t1 = q.now(); });
+    q.run();
+
+    EventQueue q2;
+    Fa3cPlatform board2(q2, Fa3cConfig::vcu1525(), netCfg, 5);
+    Tick t2 = 0;
+    int completed = 0;
+    for (int i = 0; i < 2; ++i) {
+        board2.submitInference([&]() {
+            if (++completed == 2)
+                t2 = q2.now();
+        });
+    }
+    q2.run();
+    // Both done within 1.5x of a single one (they ran on separate
+    // CUs, sharing only DRAM channels).
+    EXPECT_LT(static_cast<double>(t2),
+              1.5 * static_cast<double>(t1));
+}
+
+TEST(Fa3cPlatform, TrainingAndInferenceRunConcurrently)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    Tick inf_alone = 0;
+    board.submitInference([&]() { inf_alone = q.now(); });
+    q.run();
+
+    EventQueue q2;
+    Fa3cPlatform board2(q2, Fa3cConfig::vcu1525(), netCfg, 5);
+    Tick inf_with_training = 0;
+    board2.submitTraining({});
+    board2.submitInference([&]() { inf_with_training = q2.now(); });
+    q2.run(static_cast<Tick>(50e-3 * 1e12));
+    // The dedicated inference CU is not blocked by the training task.
+    EXPECT_GT(inf_with_training, 0u);
+    EXPECT_LT(static_cast<double>(inf_with_training),
+              2.0 * static_cast<double>(inf_alone));
+}
+
+TEST(Fa3cPlatform, SingleCuSerializesEverything)
+{
+    Fa3cConfig cfg = Fa3cConfig::stratixV();
+    cfg.variant = Variant::SingleCU;
+    EventQueue q;
+    Fa3cPlatform board(q, cfg, netCfg, 5);
+    Tick inf_done = 0;
+    board.submitTraining({});
+    board.submitInference([&]() { inf_done = q.now(); });
+    q.run();
+    // The unified CU must finish the training task first.
+    EventQueue q_ref;
+    Fa3cPlatform ref(q_ref, cfg, netCfg, 5);
+    Tick train_alone = 0;
+    ref.submitTraining([&]() { train_alone = q_ref.now(); });
+    q_ref.run();
+    EXPECT_GT(inf_done, train_alone);
+}
+
+TEST(Fa3cPlatform, SyncTaskMovesTwoThetaImages)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    board.submitParamSync({});
+    q.run();
+    const HwNetwork &net = board.network();
+    EXPECT_GE(board.dramBytes(), 2 * net.paramWords() * 4);
+}
+
+TEST(Fa3cPlatform, PcieTransfersTakeTime)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    Tick done_at = 0;
+    board.hostToDevice(110e3, [&]() { done_at = q.now(); });
+    q.run();
+    const double sec = static_cast<double>(done_at) / 1e12;
+    // ~110 KB at 12 GB/s plus 1.5 us latency.
+    EXPECT_GT(sec, 5e-6);
+    EXPECT_LT(sec, 30e-6);
+}
+
+TEST(Fa3cPlatform, UtilizationTracksLoad)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    for (int i = 0; i < 20; ++i)
+        board.submitTraining({});
+    q.run();
+    EXPECT_GT(board.trainingCuUtilization(), 0.5);
+    EXPECT_LT(board.inferenceCuUtilization(), 0.1);
+}
+
+TEST(Fa3cPlatform, TraceRecordsExecutedTasks)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    board.enableTrace(16);
+    board.submitParamSync({});
+    board.submitInference({});
+    board.submitTraining({});
+    q.run();
+    ASSERT_EQ(board.trace().size(), 3u);
+    // Kinds recorded; starts precede ends; inference ran on an even
+    // (inference) CU, the others on odd (training) CUs.
+    for (const auto &entry : board.trace()) {
+        EXPECT_LT(entry.start, entry.end);
+        if (std::string(entry.kind) == "inference")
+            EXPECT_EQ(entry.cuId % 2, 0);
+        else
+            EXPECT_EQ(entry.cuId % 2, 1);
+    }
+}
+
+TEST(Fa3cPlatform, TraceLimitIsRespected)
+{
+    EventQueue q;
+    Fa3cPlatform board(q, Fa3cConfig::vcu1525(), netCfg, 5);
+    board.enableTrace(2);
+    for (int i = 0; i < 5; ++i)
+        board.submitInference({});
+    q.run();
+    EXPECT_EQ(board.trace().size(), 2u);
+}
+
+TEST(Fa3cPlatform, DoubleBufferingOverlapsComputeAndDram)
+{
+    auto inference_time = [&](bool overlap) {
+        Fa3cConfig cfg = Fa3cConfig::vcu1525();
+        cfg.doubleBuffering = overlap;
+        EventQueue q;
+        Fa3cPlatform board(q, cfg, netCfg, 5);
+        Tick done = 0;
+        board.submitInference([&]() { done = q.now(); });
+        q.run();
+        return done;
+    };
+    const Tick overlapped = inference_time(true);
+    const Tick serial = inference_time(false);
+    EXPECT_GT(serial, overlapped);
+    // Serial is bounded by compute + DRAM; overlap by their max.
+    EXPECT_LT(serial, 2 * overlapped);
+}
+
+TEST(Fa3cPlatform, FourRusSaturateTheInterface)
+{
+    // Section 4.2.3: four RUs are sufficient; more do not help.
+    auto training_time = [&](int rus) {
+        Fa3cConfig cfg = Fa3cConfig::vcu1525();
+        cfg.rmspropUnits = rus;
+        EventQueue q;
+        Fa3cPlatform board(q, cfg, netCfg, 5);
+        Tick done = 0;
+        board.submitTraining([&]() { done = q.now(); });
+        q.run();
+        return done;
+    };
+    const Tick one = training_time(1);
+    const Tick four = training_time(4);
+    const Tick eight = training_time(8);
+    EXPECT_GT(one, four);
+    // Beyond four RUs the update is DRAM-bound: no meaningful gain.
+    EXPECT_NEAR(static_cast<double>(eight), static_cast<double>(four),
+                0.02 * static_cast<double>(four));
+}
+
+TEST(Fa3cPlatform, Alt1TrainingTakesLonger)
+{
+    auto train_time = [&](Variant v) {
+        Fa3cConfig cfg = Fa3cConfig::stratixV();
+        cfg.variant = v;
+        EventQueue q;
+        Fa3cPlatform board(q, cfg, netCfg, 5);
+        Tick done = 0;
+        board.submitTraining([&]() { done = q.now(); });
+        q.run();
+        return done;
+    };
+    EXPECT_GT(train_time(Variant::Alt1),
+              train_time(Variant::Standard));
+    EXPECT_GT(train_time(Variant::Alt2),
+              train_time(Variant::Standard));
+}

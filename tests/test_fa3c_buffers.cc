@@ -1,0 +1,137 @@
+/** @file Tests of the two-level buffer hierarchy and the BCU ops. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fa3c/buffers.hh"
+
+using namespace fa3c::core;
+
+TEST(OnChipBuffer, RowsAreSixteenWordsZeroFilled)
+{
+    OnChipBuffer buf(4);
+    EXPECT_EQ(buf.rows(), 4);
+    EXPECT_EQ(OnChipBuffer::rowWords(), 16);
+    for (int r = 0; r < 4; ++r)
+        for (float v : buf.row(r))
+            EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OnChipBuffer, LoadBurstFillsConsecutiveRows)
+{
+    OnChipBuffer buf(4);
+    std::vector<float> burst(32);
+    for (std::size_t i = 0; i < burst.size(); ++i)
+        burst[i] = static_cast<float>(i);
+    EXPECT_EQ(buf.loadBurst(1, burst), 2);
+    EXPECT_EQ(buf.row(1)[0], 0.0f);
+    EXPECT_EQ(buf.row(1)[15], 15.0f);
+    EXPECT_EQ(buf.row(2)[0], 16.0f);
+    EXPECT_EQ(buf.row(3)[0], 0.0f); // untouched
+}
+
+TEST(OnChipBuffer, BurstMisuseRejected)
+{
+    OnChipBuffer buf(2);
+    std::vector<float> partial(10);
+    EXPECT_THROW(buf.loadBurst(0, partial), std::logic_error);
+    std::vector<float> too_big(48);
+    EXPECT_THROW(buf.loadBurst(1, too_big), std::logic_error);
+    EXPECT_THROW(buf.row(2), std::logic_error);
+}
+
+TEST(LineBuffer, ShiftLeftDropsHeadFillsTail)
+{
+    LineBuffer lb(4);
+    for (int i = 0; i < 4; ++i)
+        lb.set(i, static_cast<float>(i + 1)); // 1 2 3 4
+    lb.shiftLeft(9.0f);
+    EXPECT_EQ(lb.at(0), 2.0f);
+    EXPECT_EQ(lb.at(1), 3.0f);
+    EXPECT_EQ(lb.at(2), 4.0f);
+    EXPECT_EQ(lb.at(3), 9.0f);
+}
+
+TEST(LineBuffer, RepeatedShiftsModelConvolutionWindow)
+{
+    // A PE at fixed port p sees element p, p+1, p+2, ... across
+    // shifts — the Section 4.5 access pattern.
+    LineBuffer lb(8);
+    for (int i = 0; i < 8; ++i)
+        lb.set(i, static_cast<float>(i));
+    const int port = 2;
+    for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(lb.at(port), static_cast<float>(port + k));
+        lb.shiftLeft();
+    }
+}
+
+TEST(LineBuffer, StitchConcatenatesBufferRows)
+{
+    OnChipBuffer buf(3);
+    for (int r = 0; r < 3; ++r)
+        for (int w = 0; w < 16; ++w)
+            buf.row(r)[static_cast<std::size_t>(w)] =
+                static_cast<float>(r * 16 + w);
+    // A 40-wide line buffer stitched from rows 0, 1, 2 takes the
+    // first 40 words and zero-fills nothing (40 < 48).
+    LineBuffer lb(40);
+    const std::vector<int> rows = {0, 1, 2};
+    lb.stitch(buf, rows);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(lb.at(i), static_cast<float>(i));
+}
+
+TEST(LineBuffer, StitchZeroFillsBeyondProvidedRows)
+{
+    OnChipBuffer buf(1);
+    for (int w = 0; w < 16; ++w)
+        buf.row(0)[static_cast<std::size_t>(w)] = 1.0f;
+    LineBuffer lb(20);
+    lb.set(18, 7.0f); // stale value must be cleared
+    const std::vector<int> rows = {0};
+    lb.stitch(buf, rows);
+    EXPECT_EQ(lb.at(15), 1.0f);
+    EXPECT_EQ(lb.at(16), 0.0f);
+    EXPECT_EQ(lb.at(18), 0.0f);
+}
+
+TEST(LineBuffer, ScatterDistributesToRows)
+{
+    OnChipBuffer buf(4);
+    LineBuffer lb(32);
+    for (int i = 0; i < 32; ++i)
+        lb.set(i, static_cast<float>(100 + i));
+    const std::vector<int> rows = {3, 1};
+    lb.scatter(buf, rows);
+    EXPECT_EQ(buf.row(3)[0], 100.0f);
+    EXPECT_EQ(buf.row(3)[15], 115.0f);
+    EXPECT_EQ(buf.row(1)[0], 116.0f);
+    EXPECT_EQ(buf.row(0)[0], 0.0f);
+}
+
+TEST(LineBuffer, StitchScatterRoundTrip)
+{
+    OnChipBuffer src(2), dst(2);
+    for (int r = 0; r < 2; ++r)
+        for (int w = 0; w < 16; ++w)
+            src.row(r)[static_cast<std::size_t>(w)] =
+                static_cast<float>(r * 100 + w);
+    LineBuffer lb(32);
+    const std::vector<int> rows = {0, 1};
+    lb.stitch(src, rows);
+    lb.scatter(dst, rows);
+    for (int r = 0; r < 2; ++r)
+        for (int w = 0; w < 16; ++w)
+            EXPECT_EQ(dst.row(r)[static_cast<std::size_t>(w)],
+                      src.row(r)[static_cast<std::size_t>(w)]);
+}
+
+TEST(LineBuffer, IndexBoundsEnforced)
+{
+    LineBuffer lb(4);
+    EXPECT_THROW(lb.at(4), std::logic_error);
+    EXPECT_THROW(lb.set(-1, 0.0f), std::logic_error);
+    EXPECT_THROW(LineBuffer(0), std::logic_error);
+}

@@ -1,0 +1,142 @@
+/** @file
+ * End-to-end equivalence of the FA3C functional backend against the
+ * reference backend: forward outputs and accumulated parameter
+ * gradients must agree up to fp32 reassociation, for the standard and
+ * the Alt1 dataflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fa3c/datapath_backend.hh"
+#include "rl/backend.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+using fa3c::tensor::Shape;
+using fa3c::tensor::Tensor;
+
+namespace {
+
+struct FixtureData
+{
+    nn::NetConfig cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net{cfg};
+    nn::ParamSet params;
+    Tensor obs;
+    Tensor g_out;
+
+    explicit FixtureData(std::uint64_t seed)
+        : params(net.makeParams()),
+          obs(Shape({cfg.inChannels, cfg.inHeight, cfg.inWidth})),
+          g_out(Shape({net.outSize()}))
+    {
+        sim::Rng rng(seed);
+        net.initParams(params, rng);
+        obs.fillUniform(rng, 0.0f, 1.0f);
+        test::randomize(g_out, rng);
+    }
+};
+
+} // namespace
+
+TEST(DatapathBackend, ForwardMatchesReference)
+{
+    FixtureData s(3);
+    rl::ReferenceBackend ref(s.net);
+    DatapathBackend hw(s.net);
+    hw.onParamSync(s.params);
+
+    auto act_ref = s.net.makeActivations();
+    auto act_hw = s.net.makeActivations();
+    ref.forward(s.params, s.obs, act_ref);
+    hw.forward(s.params, s.obs, act_hw);
+
+    EXPECT_LT(tensor::maxAbsDiff(act_ref.out, act_hw.out), 1e-3f);
+    EXPECT_LT(tensor::maxAbsDiff(act_ref.conv1Act, act_hw.conv1Act),
+              1e-4f);
+    EXPECT_LT(tensor::maxAbsDiff(act_ref.fc3Act, act_hw.fc3Act),
+              1e-3f);
+}
+
+TEST(DatapathBackend, BackwardGradientsMatchReference)
+{
+    FixtureData s(5);
+    rl::ReferenceBackend ref(s.net);
+    DatapathBackend hw(s.net);
+    hw.onParamSync(s.params);
+
+    auto act_ref = s.net.makeActivations();
+    auto act_hw = s.net.makeActivations();
+    ref.forward(s.params, s.obs, act_ref);
+    hw.forward(s.params, s.obs, act_hw);
+
+    nn::ParamSet grads_ref = s.net.makeParams();
+    nn::ParamSet grads_hw = s.net.makeParams();
+    ref.backward(s.params, act_ref, s.g_out, grads_ref);
+    hw.backward(s.params, act_hw, s.g_out, grads_hw);
+
+    for (const auto &seg : grads_ref.segments()) {
+        auto a = grads_ref.view(seg.name);
+        auto b = grads_hw.view(seg.name);
+        float max_diff = 0;
+        float max_mag = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+            max_mag = std::max(max_mag, std::abs(a[i]));
+        }
+        EXPECT_LT(max_diff, 1e-3f * std::max(1.0f, max_mag))
+            << seg.name;
+    }
+}
+
+TEST(DatapathBackend, Alt1ProducesSameGradients)
+{
+    FixtureData s(7);
+    Fa3cConfig alt1_cfg = Fa3cConfig::vcu1525();
+    alt1_cfg.variant = Variant::Alt1;
+    DatapathBackend standard(s.net);
+    DatapathBackend alt1(s.net, alt1_cfg);
+    standard.onParamSync(s.params);
+    alt1.onParamSync(s.params);
+
+    auto act_a = s.net.makeActivations();
+    auto act_b = s.net.makeActivations();
+    standard.forward(s.params, s.obs, act_a);
+    alt1.forward(s.params, s.obs, act_b);
+    EXPECT_FLOAT_EQ(tensor::maxAbsDiff(act_a.out, act_b.out), 0.0f);
+
+    nn::ParamSet grads_a = s.net.makeParams();
+    nn::ParamSet grads_b = s.net.makeParams();
+    standard.backward(s.params, act_a, s.g_out, grads_a);
+    alt1.backward(s.params, act_b, s.g_out, grads_b);
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(grads_a, grads_b), 0.0f);
+}
+
+TEST(DatapathBackend, CycleCountersAccumulate)
+{
+    FixtureData s(9);
+    DatapathBackend hw(s.net);
+    hw.onParamSync(s.params);
+    auto act = s.net.makeActivations();
+    hw.forward(s.params, s.obs, act);
+    const auto fw1 = hw.cycleStats().counterValue("cycles.fw");
+    EXPECT_GT(fw1, 0u);
+    hw.forward(s.params, s.obs, act);
+    EXPECT_EQ(hw.cycleStats().counterValue("cycles.fw"), 2 * fw1);
+
+    nn::ParamSet grads = s.net.makeParams();
+    hw.backward(s.params, act, s.g_out, grads);
+    EXPECT_GT(hw.cycleStats().counterValue("cycles.bw"), 0u);
+    EXPECT_GT(hw.cycleStats().counterValue("cycles.gc"), 0u);
+}
+
+TEST(DatapathBackend, WorksWithoutExplicitSync)
+{
+    // forward() must lazily build layouts if no sync happened yet.
+    FixtureData s(11);
+    DatapathBackend hw(s.net);
+    auto act = s.net.makeActivations();
+    hw.forward(s.params, s.obs, act);
+    EXPECT_GT(act.out.maxAbs(), 0.0f);
+}

@@ -1,0 +1,151 @@
+/** @file
+ * Tests of the FW/BW parameter layouts and the 16x16-patch DRAM
+ * packing (Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fa3c/layouts.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+TEST(ParamMatrix, BasicAccess)
+{
+    ParamMatrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    m.at(2, 3) = 7.0f;
+    EXPECT_EQ(m.data()[11], 7.0f);
+    EXPECT_THROW(m.at(3, 0), std::logic_error);
+    EXPECT_THROW(m.at(0, 4), std::logic_error);
+}
+
+TEST(AsConv, FcBecomesDegenerateConv)
+{
+    const nn::ConvSpec spec = asConv(nn::FcSpec{100, 40});
+    EXPECT_EQ(spec.inChannels, 100);
+    EXPECT_EQ(spec.outChannels, 40);
+    EXPECT_EQ(spec.kernel, 1);
+    EXPECT_EQ(spec.outHeight(), 1);
+    EXPECT_EQ(spec.outWidth(), 1);
+    EXPECT_EQ(spec.weightCount(), 4000u);
+}
+
+class LayoutRoundTrip : public ::testing::TestWithParam<nn::ConvSpec>
+{
+};
+
+TEST_P(LayoutRoundTrip, FwLayoutPlacesSequenceRows)
+{
+    const nn::ConvSpec spec = GetParam();
+    sim::Rng rng(3);
+    std::vector<float> w(spec.weightCount());
+    test::randomize(std::span<float>(w), rng);
+
+    const ParamMatrix fw = buildFwLayout(spec, w);
+    EXPECT_EQ(fw.rows(), spec.inChannels * spec.kernel * spec.kernel);
+    EXPECT_EQ(fw.cols(), spec.outChannels);
+
+    // Row s = (i, kr, kc) column o must equal w[o][i][kr][kc].
+    const int kk = spec.kernel * spec.kernel;
+    for (int o = 0; o < spec.outChannels; ++o) {
+        for (int i = 0; i < spec.inChannels; ++i) {
+            for (int k = 0; k < kk; ++k) {
+                const std::size_t ref =
+                    (static_cast<std::size_t>(o) *
+                         static_cast<std::size_t>(spec.inChannels) +
+                     static_cast<std::size_t>(i)) *
+                        static_cast<std::size_t>(kk) +
+                    static_cast<std::size_t>(k);
+                ASSERT_EQ(fw.at(i * kk + k, o), w[ref]);
+            }
+        }
+    }
+}
+
+TEST_P(LayoutRoundTrip, BwLayoutSwitchesChannelIndices)
+{
+    const nn::ConvSpec spec = GetParam();
+    sim::Rng rng(5);
+    std::vector<float> w(spec.weightCount());
+    test::randomize(std::span<float>(w), rng);
+
+    const ParamMatrix fw = buildFwLayout(spec, w);
+    const ParamMatrix bw = buildBwLayout(spec, w);
+    EXPECT_EQ(bw.rows(), spec.outChannels * spec.kernel * spec.kernel);
+    EXPECT_EQ(bw.cols(), spec.inChannels);
+
+    const int kk = spec.kernel * spec.kernel;
+    for (int o = 0; o < spec.outChannels; ++o)
+        for (int i = 0; i < spec.inChannels; ++i)
+            for (int k = 0; k < kk; ++k)
+                ASSERT_EQ(bw.at(o * kk + k, i), fw.at(i * kk + k, o));
+}
+
+TEST_P(LayoutRoundTrip, FwLayoutToWeightsInverts)
+{
+    const nn::ConvSpec spec = GetParam();
+    sim::Rng rng(7);
+    std::vector<float> w(spec.weightCount());
+    test::randomize(std::span<float>(w), rng);
+    const ParamMatrix fw = buildFwLayout(spec, w);
+    std::vector<float> back(w.size(), 0.0f);
+    fwLayoutToWeights(spec, fw, back);
+    EXPECT_EQ(w, back);
+}
+
+TEST_P(LayoutRoundTrip, PackUnpackIdentity)
+{
+    const nn::ConvSpec spec = GetParam();
+    sim::Rng rng(9);
+    std::vector<float> w(spec.weightCount());
+    test::randomize(std::span<float>(w), rng);
+    const ParamMatrix fw = buildFwLayout(spec, w);
+    const std::vector<float> packed = packPatches(fw);
+    EXPECT_EQ(packed.size(),
+              static_cast<std::size_t>(paddedRows(spec)) *
+                  static_cast<std::size_t>(paddedCols(spec)));
+    const ParamMatrix again =
+        unpackFw(packed, fw.rows(), fw.cols());
+    for (int r = 0; r < fw.rows(); ++r)
+        for (int c = 0; c < fw.cols(); ++c)
+            ASSERT_EQ(again.at(r, c), fw.at(r, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutRoundTrip,
+    ::testing::Values(nn::ConvSpec{4, 84, 84, 16, 8, 4},
+                      nn::ConvSpec{16, 20, 20, 32, 4, 2},
+                      nn::ConvSpec{2, 12, 12, 4, 4, 2},
+                      nn::ConvSpec{1, 8, 8, 1, 2, 2},
+                      asConv(nn::FcSpec{2592, 256}),
+                      asConv(nn::FcSpec{256, 32}),
+                      asConv(nn::FcSpec{17, 33}),
+                      asConv(nn::FcSpec{1, 1})));
+
+TEST(Padding, RoundsUpToPatchMultiples)
+{
+    // conv1: rows = 4*64 = 256 (already a multiple), cols 16.
+    nn::ConvSpec conv1{4, 84, 84, 16, 8, 4};
+    EXPECT_EQ(paddedRows(conv1), 256);
+    EXPECT_EQ(paddedCols(conv1), 16);
+    // 17x33 FC pads to 32x48.
+    nn::ConvSpec odd = asConv(nn::FcSpec{17, 33});
+    EXPECT_EQ(paddedRows(odd), 32);
+    EXPECT_EQ(paddedCols(odd), 48);
+}
+
+TEST(Padding, PackedPatchesZeroFillPadding)
+{
+    nn::ConvSpec spec = asConv(nn::FcSpec{3, 3});
+    std::vector<float> w(9, 1.0f);
+    const ParamMatrix fw = buildFwLayout(spec, w);
+    const std::vector<float> packed = packPatches(fw);
+    ASSERT_EQ(packed.size(), 256u);
+    double sum = 0;
+    for (float v : packed)
+        sum += v;
+    EXPECT_DOUBLE_EQ(sum, 9.0); // only the real weights are nonzero
+}

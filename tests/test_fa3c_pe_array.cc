@@ -1,0 +1,268 @@
+/** @file
+ * The functional-equivalence tests at the heart of the reproduction:
+ * the FA3C datapath (PE array + layouts + TLU + line buffers) must
+ * compute the same FW outputs, BW input gradients, and GC parameter
+ * gradients as the golden reference library, for convolution and
+ * fully-connected layers alike, under both the standard and the Alt1
+ * dataflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fa3c/pe_array.hh"
+#include "fa3c/tlu.hh"
+#include "nn/layers.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+using fa3c::tensor::Shape;
+using fa3c::tensor::Tensor;
+
+namespace {
+
+struct LayerData
+{
+    Tensor in;
+    std::vector<float> w;
+    std::vector<float> b;
+    Tensor g_out;
+};
+
+LayerData
+makeLayerData(const nn::ConvSpec &spec, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    LayerData d{
+        Tensor(Shape({spec.inChannels, spec.inHeight, spec.inWidth})),
+        std::vector<float>(spec.weightCount()),
+        std::vector<float>(spec.biasCount()),
+        Tensor(Shape({spec.outChannels, spec.outHeight(),
+                      spec.outWidth()})),
+    };
+    test::randomize(d.in, rng);
+    test::randomize(std::span<float>(d.w), rng);
+    test::randomize(std::span<float>(d.b), rng);
+    test::randomize(d.g_out, rng);
+    return d;
+}
+
+/** fp32 reassociation tolerance, scaled by accumulation length. */
+float
+tolFor(const nn::ConvSpec &spec)
+{
+    const float acc = static_cast<float>(
+        spec.inChannels * spec.kernel * spec.kernel);
+    return 1e-5f * std::max(64.0f, acc);
+}
+
+} // namespace
+
+class PeArrayEquivalence : public ::testing::TestWithParam<nn::ConvSpec>
+{
+};
+
+TEST_P(PeArrayEquivalence, ForwardMatchesReference)
+{
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 3);
+    const ParamMatrix fw = buildFwLayout(spec, d.w);
+    PeArray pes(64);
+
+    Tensor out_hw(d.g_out.shape());
+    const StageModel model =
+        pes.convForward(spec, d.in, fw, d.b, out_hw);
+    EXPECT_GT(model.cycles, 0u);
+    EXPECT_GT(model.activePes, 0u);
+
+    Tensor out_ref(d.g_out.shape());
+    nn::convForward(spec, d.in, d.w, d.b, out_ref);
+    EXPECT_LT(tensor::maxAbsDiff(out_hw, out_ref), tolFor(spec));
+}
+
+TEST_P(PeArrayEquivalence, BackwardViaTluMatchesReference)
+{
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 5);
+    // Full hardware path: FW layout -> DRAM patches -> TLU -> BW
+    // layout -> PE array.
+    const ParamMatrix fw = buildFwLayout(spec, d.w);
+    const ParamMatrix bw = loadBwViaTlu(spec, packPatches(fw));
+    PeArray pes(64);
+
+    Tensor g_in_hw(d.in.shape());
+    pes.convBackward(spec, d.g_out, bw, g_in_hw);
+
+    Tensor g_in_ref(d.in.shape());
+    nn::convBackward(spec, d.g_out, d.w, g_in_ref);
+    EXPECT_LT(tensor::maxAbsDiff(g_in_hw, g_in_ref),
+              1e-5f * std::max(64.0f, static_cast<float>(
+                                          spec.outChannels *
+                                          spec.kernel * spec.kernel)));
+}
+
+TEST_P(PeArrayEquivalence, Alt1BackwardProducesSameValues)
+{
+    // Alt1 degrades parallelism, not results.
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 7);
+    const ParamMatrix fw = buildFwLayout(spec, d.w);
+    PeArray pes(64);
+
+    Tensor g_alt1(d.in.shape());
+    const StageModel alt1 =
+        pes.convBackwardFwLayout(spec, d.g_out, fw, g_alt1);
+    Tensor g_std(d.in.shape());
+    const ParamMatrix bw = buildBwLayout(spec, d.w);
+    const StageModel std_model =
+        pes.convBackward(spec, d.g_out, bw, g_std);
+
+    EXPECT_FLOAT_EQ(tensor::maxAbsDiff(g_alt1, g_std), 0.0f);
+    // FC layers: Alt1 must be slower (the Figure 10 effect).
+    if (isFullyConnected(spec)) {
+        EXPECT_GT(alt1.cycles, std_model.cycles);
+    }
+}
+
+TEST_P(PeArrayEquivalence, GradientMatchesReference)
+{
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 9);
+    PeArray pes(64);
+
+    ParamMatrix g_fw(spec.inChannels * spec.kernel * spec.kernel,
+                     spec.outChannels);
+    std::vector<float> g_b_hw(spec.biasCount(), 0.0f);
+    pes.convGradient(spec, d.in, d.g_out, g_fw, g_b_hw);
+    // The gradient buffer keeps the FW layout; convert to reference
+    // order for comparison.
+    std::vector<float> g_w_hw(spec.weightCount());
+    fwLayoutToWeights(spec, g_fw, g_w_hw);
+
+    std::vector<float> g_w_ref(spec.weightCount(), 0.0f);
+    std::vector<float> g_b_ref(spec.biasCount(), 0.0f);
+    nn::convGradient(spec, d.in, d.g_out, g_w_ref, g_b_ref);
+
+    const float tol =
+        1e-5f * std::max(64.0f, static_cast<float>(spec.outHeight() *
+                                                   spec.outWidth()));
+    for (std::size_t i = 0; i < g_w_ref.size(); ++i)
+        ASSERT_NEAR(g_w_hw[i], g_w_ref[i], tol) << "weight " << i;
+    for (std::size_t i = 0; i < g_b_ref.size(); ++i)
+        ASSERT_NEAR(g_b_hw[i], g_b_ref[i], tol) << "bias " << i;
+}
+
+TEST_P(PeArrayEquivalence, GradientAccumulatesAcrossBatch)
+{
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d1 = makeLayerData(spec, 11);
+    const LayerData d2 = makeLayerData(spec, 13);
+    PeArray pes(64);
+
+    ParamMatrix acc(spec.inChannels * spec.kernel * spec.kernel,
+                    spec.outChannels);
+    std::vector<float> g_b(spec.biasCount(), 0.0f);
+    pes.convGradient(spec, d1.in, d1.g_out, acc, g_b);
+    const float after_one = acc.at(0, 0);
+    pes.convGradient(spec, d2.in, d2.g_out, acc, g_b);
+
+    ParamMatrix only_two(acc.rows(), acc.cols());
+    std::vector<float> g_b2(spec.biasCount(), 0.0f);
+    pes.convGradient(spec, d2.in, d2.g_out, only_two, g_b2);
+    EXPECT_NEAR(acc.at(0, 0), after_one + only_two.at(0, 0), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PeArrayEquivalence,
+    ::testing::Values(nn::ConvSpec{4, 84, 84, 16, 8, 4}, // conv1
+                      nn::ConvSpec{16, 20, 20, 32, 4, 2}, // conv2
+                      nn::ConvSpec{2, 12, 12, 4, 4, 2},
+                      nn::ConvSpec{3, 10, 10, 5, 3, 1},
+                      nn::ConvSpec{1, 8, 8, 1, 2, 2},
+                      asConv(nn::FcSpec{256, 32}),   // fc4
+                      asConv(nn::FcSpec{64, 5}),
+                      asConv(nn::FcSpec{17, 33})));
+
+class StrictLineBufferPath : public ::testing::TestWithParam<nn::ConvSpec>
+{
+};
+
+TEST_P(StrictLineBufferPath, MatchesFastForward)
+{
+    // The literal stitch/shift/scatter dataflow must agree with the
+    // fast PE-array forward bit for bit (identical operand order).
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 15);
+    const ParamMatrix fw = buildFwLayout(spec, d.w);
+    PeArray pes(64);
+
+    Tensor out_fast(d.g_out.shape());
+    pes.convForward(spec, d.in, fw, d.b, out_fast);
+    Tensor out_strict(d.g_out.shape());
+    convForwardStrict(spec, d.in, fw, d.b, out_strict);
+    EXPECT_FLOAT_EQ(tensor::maxAbsDiff(out_fast, out_strict), 0.0f);
+}
+
+TEST_P(StrictLineBufferPath, GradientMatchesFastPath)
+{
+    // The literal K + M_GC line-buffer gradient dataflow (Table 3 GC
+    // row) must agree with the fast PE-array gradient computation.
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 17);
+    PeArray pes(64);
+
+    ParamMatrix g_fast(spec.inChannels * spec.kernel * spec.kernel,
+                       spec.outChannels);
+    std::vector<float> g_b_fast(spec.biasCount(), 0.0f);
+    pes.convGradient(spec, d.in, d.g_out, g_fast, g_b_fast);
+
+    ParamMatrix g_strict(g_fast.rows(), g_fast.cols());
+    std::vector<float> g_b_strict(spec.biasCount(), 0.0f);
+    convGradientStrict(spec, d.in, d.g_out, 64, g_strict, g_b_strict);
+
+    for (int r = 0; r < g_fast.rows(); ++r)
+        for (int c = 0; c < g_fast.cols(); ++c)
+            ASSERT_FLOAT_EQ(g_strict.at(r, c), g_fast.at(r, c))
+                << "(" << r << "," << c << ")";
+    for (std::size_t i = 0; i < g_b_fast.size(); ++i)
+        ASSERT_FLOAT_EQ(g_b_strict[i], g_b_fast[i]);
+}
+
+TEST_P(StrictLineBufferPath, BackwardMatchesFastPath)
+{
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 19);
+    const ParamMatrix bw = buildBwLayout(spec, d.w);
+    PeArray pes(64);
+
+    Tensor g_fast(d.in.shape());
+    pes.convBackward(spec, d.g_out, bw, g_fast);
+    Tensor g_strict(d.in.shape());
+    convBackwardStrict(spec, d.g_out, bw, g_strict);
+    EXPECT_FLOAT_EQ(tensor::maxAbsDiff(g_fast, g_strict), 0.0f);
+}
+
+TEST_P(StrictLineBufferPath, GradientParallelismInvariant)
+{
+    // The PE count changes the schedule (M_GC), never the values.
+    const nn::ConvSpec spec = GetParam();
+    const LayerData d = makeLayerData(spec, 23);
+    ParamMatrix g16(spec.inChannels * spec.kernel * spec.kernel,
+                    spec.outChannels);
+    ParamMatrix g256(g16.rows(), g16.cols());
+    std::vector<float> b16(spec.biasCount(), 0.0f);
+    std::vector<float> b256(spec.biasCount(), 0.0f);
+    convGradientStrict(spec, d.in, d.g_out, 16, g16, b16);
+    convGradientStrict(spec, d.in, d.g_out, 256, g256, b256);
+    for (int r = 0; r < g16.rows(); ++r)
+        for (int c = 0; c < g16.cols(); ++c)
+            ASSERT_FLOAT_EQ(g16.at(r, c), g256.at(r, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StrictLineBufferPath,
+    ::testing::Values(nn::ConvSpec{16, 20, 20, 32, 4, 2}, // conv2
+                      nn::ConvSpec{2, 12, 12, 4, 4, 2},
+                      nn::ConvSpec{3, 10, 10, 5, 3, 1},
+                      nn::ConvSpec{1, 8, 8, 1, 2, 2},
+                      asConv(nn::FcSpec{17, 33})));

@@ -1,0 +1,86 @@
+/** @file Tests of the Table 4 resource model. */
+
+#include <gtest/gtest.h>
+
+#include "fa3c/resource_model.hh"
+#include "harness/paper_data.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+TEST(ResourceModel, TotalsMatchTable4)
+{
+    const ResourceModel model(Fa3cConfig::vcu1525());
+    const ResourceUsage total = model.total();
+    EXPECT_NEAR(total.logicLuts, harness::paper::table4LogicTotal,
+                harness::paper::table4LogicTotal * 0.01);
+    EXPECT_NEAR(total.registers, harness::paper::table4RegistersTotal,
+                harness::paper::table4RegistersTotal * 0.01);
+    EXPECT_NEAR(total.memoryBlocks, harness::paper::table4MemBlocksTotal,
+                harness::paper::table4MemBlocksTotal * 0.01);
+    EXPECT_NEAR(total.dspBlocks, harness::paper::table4DspTotal,
+                harness::paper::table4DspTotal * 0.01);
+}
+
+TEST(ResourceModel, Vu9pUtilizationMatchesPaperPercentages)
+{
+    const ResourceModel model(Fa3cConfig::vcu1525());
+    const ResourceUsage total = model.total();
+    const DeviceCapacity dev = DeviceCapacity::vu9p();
+    EXPECT_NEAR(total.logicLuts / dev.logicLuts, 0.573, 0.01);
+    EXPECT_NEAR(total.registers / dev.registers, 0.370, 0.01);
+    EXPECT_NEAR(total.memoryBlocks / dev.memoryBlocks, 0.406, 0.01);
+    EXPECT_NEAR(total.dspBlocks / dev.dspBlocks, 0.343, 0.01);
+    EXPECT_TRUE(model.fits(dev));
+}
+
+TEST(ResourceModel, BreakdownHasTable4Rows)
+{
+    const ResourceModel model(Fa3cConfig::vcu1525());
+    const auto rows = model.breakdown();
+    ASSERT_EQ(rows.size(), 11u);
+    EXPECT_EQ(rows[0].component, "PEs");
+    EXPECT_NEAR(rows[0].dspBlocks, 2048, 1);
+    EXPECT_EQ(rows.back().component, "PCI-E DMA");
+}
+
+TEST(ResourceModel, ScalesWithPeCount)
+{
+    Fa3cConfig big = Fa3cConfig::vcu1525();
+    big.pesPerCu = 128;
+    const double dsp_small =
+        ResourceModel(Fa3cConfig::vcu1525()).total().dspBlocks;
+    const double dsp_big = ResourceModel(big).total().dspBlocks;
+    EXPECT_GT(dsp_big, 1.8 * dsp_small * 0.5); // PEs dominate DSPs
+    EXPECT_GT(dsp_big, dsp_small);
+    // Doubling PEs roughly doubles the PE DSPs (2048 -> 4096).
+    EXPECT_NEAR(dsp_big - dsp_small, 2048, 1);
+}
+
+TEST(ResourceModel, QuadruplePesOverflowsTheDevice)
+{
+    Fa3cConfig huge = Fa3cConfig::vcu1525();
+    huge.pesPerCu = 512; // 4096 PEs: 32K DSPs needed
+    EXPECT_FALSE(ResourceModel(huge).fits(DeviceCapacity::vu9p()));
+}
+
+TEST(ResourceModel, StratixConfigIsSmaller)
+{
+    const ResourceUsage vcu =
+        ResourceModel(Fa3cConfig::vcu1525()).total();
+    const ResourceUsage strat =
+        ResourceModel(Fa3cConfig::stratixV()).total();
+    EXPECT_LT(strat.dspBlocks, vcu.dspBlocks);
+    EXPECT_LT(strat.memoryBlocks, vcu.memoryBlocks);
+}
+
+TEST(ResourceUsage, AccumulatesComponentwise)
+{
+    ResourceUsage a{"a", 1, 2, 3, 4};
+    ResourceUsage b{"b", 10, 20, 30, 40};
+    a += b;
+    EXPECT_EQ(a.logicLuts, 11);
+    EXPECT_EQ(a.registers, 22);
+    EXPECT_EQ(a.memoryBlocks, 33);
+    EXPECT_EQ(a.dspBlocks, 44);
+}

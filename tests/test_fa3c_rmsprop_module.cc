@@ -1,0 +1,81 @@
+/** @file Tests of the RMSProp module (RUs). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fa3c/rmsprop_module.hh"
+#include "sim/rng.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+TEST(RmspropModule, MatchesReferenceOptimizerExactly)
+{
+    // The RU pipeline is elementwise, so word interleaving across RUs
+    // must not change a single bit vs. the reference update.
+    sim::Rng rng(3);
+    const std::size_t n = 1037; // deliberately not a multiple of 4
+    std::vector<float> theta_a(n), g_a(n), grad(n);
+    test::randomize(std::span<float>(theta_a), rng);
+    test::randomize(std::span<float>(g_a), rng);
+    for (float &v : g_a)
+        v = std::abs(v); // second moments are non-negative
+    test::randomize(std::span<float>(grad), rng);
+    std::vector<float> theta_b = theta_a, g_b = g_a;
+
+    const nn::RmspropConfig cfg;
+    RmspropModule module(4, cfg);
+    module.update(theta_a, g_a, grad, 7e-4f);
+    nn::rmspropApply(theta_b, g_b, grad, 7e-4f, cfg);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(theta_a[i], theta_b[i]) << "theta word " << i;
+        ASSERT_EQ(g_a[i], g_b[i]) << "g word " << i;
+    }
+}
+
+TEST(RmspropModule, RuCountDoesNotChangeResults)
+{
+    sim::Rng rng(5);
+    const std::size_t n = 640;
+    std::vector<float> theta1(n), g1(n), grad(n);
+    test::randomize(std::span<float>(theta1), rng);
+    test::randomize(std::span<float>(grad), rng);
+    std::vector<float> theta8 = theta1;
+    std::vector<float> g8 = g1;
+
+    RmspropModule one(1, nn::RmspropConfig{});
+    RmspropModule eight(8, nn::RmspropConfig{});
+    one.update(theta1, g1, grad, 1e-3f);
+    eight.update(theta8, g8, grad, 1e-3f);
+    EXPECT_EQ(theta1, theta8);
+    EXPECT_EQ(g1, g8);
+}
+
+TEST(RmspropModule, CycleModelScalesWithRus)
+{
+    RmspropModule one(1, nn::RmspropConfig{});
+    RmspropModule four(4, nn::RmspropConfig{});
+    const std::uint64_t words = 663552; // the FC3 weight block
+    EXPECT_GT(one.updateCycles(words), four.updateCycles(words));
+    // Four RUs process ~4 words per cycle.
+    EXPECT_NEAR(static_cast<double>(four.updateCycles(words)),
+                static_cast<double>(words) / 4.0, 64.0);
+}
+
+TEST(RmspropModule, DramWordsAreTwoInTwoOut)
+{
+    EXPECT_EQ(RmspropModule::loadWords(100), 200u);
+    EXPECT_EQ(RmspropModule::storeWords(100), 200u);
+}
+
+TEST(RmspropModule, RejectsBadConfig)
+{
+    EXPECT_THROW(RmspropModule(0, nn::RmspropConfig{}),
+                 std::logic_error);
+    RmspropModule m(4, nn::RmspropConfig{});
+    std::vector<float> a(4), b(3), c(4);
+    EXPECT_THROW(m.update(a, b, c, 0.1f), std::logic_error);
+}

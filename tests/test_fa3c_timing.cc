@@ -1,0 +1,243 @@
+/** @file Tests of the Table 3 cycle model. */
+
+#include <gtest/gtest.h>
+
+#include "fa3c/layouts.hh"
+#include "fa3c/timing.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+namespace {
+
+const nn::ConvSpec conv1{4, 84, 84, 16, 8, 4};
+const nn::ConvSpec conv2{16, 20, 20, 32, 4, 2};
+const nn::ConvSpec fc3 = asConv(nn::FcSpec{2592, 256});
+const nn::ConvSpec fc4 = asConv(nn::FcSpec{256, 32});
+
+} // namespace
+
+TEST(StageModel, FwFollowsTable3)
+{
+    // conv1 with 64 PEs: M_FW = 64/16 = 4 positions in flight, all 64
+    // PEs active; 6400 outputs / 64 PEs * (4*64+1) cycles each.
+    const StageModel m = stageModel(Stage::Fw, conv1, 64);
+    EXPECT_EQ(m.activePes, 64u);
+    EXPECT_EQ(m.cycles, (6400u / 64u) * 257u);
+    EXPECT_EQ(m.macs, 6400u * 257u);
+
+    // fc4: only 32 output lanes -> 32 active PEs.
+    const StageModel f = stageModel(Stage::Fw, fc4, 64);
+    EXPECT_EQ(f.activePes, 32u);
+    EXPECT_EQ(f.cycles, 1u * 257u);
+}
+
+TEST(StageModel, GcFollowsTable3)
+{
+    // conv2: K^2 = 16 taps, M_GC = 64/16 = 4 output channels at once.
+    const StageModel m = stageModel(Stage::Gc, conv2, 64);
+    EXPECT_EQ(m.activePes, 64u);
+    EXPECT_EQ(m.cycles, 16u * (32u / 4u) * 81u);
+
+    // FC GC: accumulation frequency equals the batch (1 here), all
+    // PEs across weights.
+    const StageModel f = stageModel(Stage::Gc, fc3, 64);
+    EXPECT_EQ(f.activePes, 64u);
+    EXPECT_EQ(f.cycles, 2592u * (256u / 64u));
+}
+
+TEST(StageModel, BwFollowsTable3)
+{
+    // fc3 BW: active PEs min(64, I); each input gradient accumulates
+    // over the 256 output channels.
+    const StageModel f = stageModel(Stage::Bw, fc3, 64);
+    EXPECT_EQ(f.activePes, 64u);
+    EXPECT_EQ(f.cycles, (2592u / 64u + 1u) * 256u);
+
+    // conv2 BW: M_w = min(64,32)/16 = 2 filters per row, C_in = 20,
+    // M_BW = 1 -> 40 active PEs; acc freq = 32 * ceil(4/2)^2 = 128.
+    const StageModel m = stageModel(Stage::Bw, conv2, 64);
+    EXPECT_EQ(m.activePes, 40u);
+    EXPECT_EQ(m.cycles, (6400u / 40u) * 128u);
+}
+
+TEST(StageModel, Alt1CollapsesFcBackward)
+{
+    TimingParams params;
+    params.alt1FcBwStreams = 10;
+    const StageModel std_m = stageModel(Stage::Bw, fc3, 64, false,
+                                        params);
+    const StageModel alt1 = stageModel(Stage::Bw, fc3, 64, true,
+                                       params);
+    EXPECT_EQ(alt1.activePes, 10u);
+    EXPECT_GT(alt1.cycles, 5 * std_m.cycles);
+    // Conv BW keeps its parallelism under Alt1 (the penalty the
+    // paper highlights is the FC layers).
+    const StageModel conv_alt1 = stageModel(Stage::Bw, conv2, 64, true,
+                                            params);
+    const StageModel conv_std = stageModel(Stage::Bw, conv2, 64, false,
+                                           params);
+    EXPECT_EQ(conv_alt1.cycles, conv_std.cycles);
+}
+
+TEST(StageModel, MorePesNeverSlower)
+{
+    for (Stage stage : {Stage::Fw, Stage::Bw, Stage::Gc}) {
+        for (const auto &spec : {conv1, conv2, fc3, fc4}) {
+            const StageModel small = stageModel(stage, spec, 32);
+            const StageModel large = stageModel(stage, spec, 128);
+            EXPECT_LE(large.cycles, small.cycles)
+                << stageName(stage);
+        }
+    }
+}
+
+TEST(StageModel, CyclesTimesActiveCoverMacs)
+{
+    // activePes * cycles >= useful MACs (utilization <= 1).
+    for (Stage stage : {Stage::Fw, Stage::Bw, Stage::Gc}) {
+        for (const auto &spec : {conv1, conv2, fc3, fc4}) {
+            const StageModel m = stageModel(stage, spec, 64);
+            EXPECT_GE(m.activePes * m.cycles, m.macs)
+                << stageName(stage);
+            EXPECT_LE(m.activePes, 64u);
+        }
+    }
+}
+
+TEST(LineBufferPlan, MatchesTable3Formulas)
+{
+    // conv2 with 64 PEs: GC needs K = 4 input lines and
+    // M_GC = 64/16 = 4 gradient lines; BW needs M_BW = 1 gradient
+    // line (M_w = 2, C_in = 20).
+    const auto plan = lineBufferPlan(conv2, 64);
+    ASSERT_EQ(plan.size(), 9u);
+    const auto &gc_in = plan[3];
+    EXPECT_EQ(gc_in.stage, Stage::Gc);
+    EXPECT_EQ(gc_in.width, 20);
+    EXPECT_EQ(gc_in.count, 4); // K
+    const auto &gc_gout = plan[4];
+    EXPECT_EQ(gc_gout.width, 9);  // C_out
+    EXPECT_EQ(gc_gout.count, 4);  // M_GC
+    const auto &bw_gout = plan[7];
+    EXPECT_EQ(bw_gout.count, 1);  // M_BW
+    // The parameter ports already match the PE access pattern: no
+    // line buffers (Table 3's zeros).
+    EXPECT_EQ(plan[1].count, 0);
+    EXPECT_EQ(plan[6].count, 0);
+    // Parameter port width is min(N_PE, O).
+    EXPECT_EQ(plan[1].width, 32);
+}
+
+TEST(LineBufferPlan, FcLayersMaximizeMw)
+{
+    // For FC layers K = 1, so M_w = min(N_PE, O) and the BW gradient
+    // port needs only one line buffer (C_out = 1 gradients at a
+    // time but M_w * C_in-wide parallelism).
+    const auto plan = lineBufferPlan(fc3, 64);
+    const auto &bw_gout = plan[7];
+    EXPECT_EQ(bw_gout.width, 1); // C_out of an FC layer
+    EXPECT_GE(bw_gout.count, 1);
+    // FW input line buffer spans all input features.
+    EXPECT_EQ(plan[0].width, 1); // C_in of the degenerate conv
+}
+
+TEST(StageModel, FullyConnectedDetection)
+{
+    EXPECT_TRUE(isFullyConnected(fc3));
+    EXPECT_TRUE(isFullyConnected(fc4));
+    EXPECT_FALSE(isFullyConnected(conv1));
+}
+
+TEST(AlignedFeatureMapWords, RowsAlignTo16)
+{
+    // An 84-wide row pads to 96 words (6 bursts).
+    EXPECT_EQ(alignedFeatureMapWords(1, 1, 84), 96u);
+    EXPECT_EQ(alignedFeatureMapWords(4, 84, 84), 4u * 84u * 96u);
+    // A 16-wide row needs no padding.
+    EXPECT_EQ(alignedFeatureMapWords(2, 3, 16), 96u);
+    // FC feature "maps" are single rows.
+    EXPECT_EQ(alignedFeatureMapWords(256, 1, 1), 256u * 16u);
+}
+
+TEST(PaddedParamWords, MatchesPatchGrid)
+{
+    // conv1 FW matrix is 256x16 -> exactly 16 patches.
+    EXPECT_EQ(paddedParamWords(conv1), 256u * 16u);
+    // fc3: 2592x256 both already multiples of 16.
+    EXPECT_EQ(paddedParamWords(fc3), 2592u * 256u);
+}
+
+// ---------------------------------------------------------------------
+// Parameterized sweep: invariants over (stage, layer, PE count).
+// ---------------------------------------------------------------------
+
+struct SweepCase
+{
+    Stage stage;
+    nn::ConvSpec spec;
+    int nPe;
+};
+
+class StageModelSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(StageModelSweep, UtilizationAndWorkInvariants)
+{
+    const SweepCase c = GetParam();
+    const StageModel m = stageModel(c.stage, c.spec, c.nPe);
+    // Parallelism never exceeds the array and is never zero.
+    EXPECT_GE(m.activePes, 1u);
+    EXPECT_LE(m.activePes, static_cast<std::uint64_t>(c.nPe));
+    // The schedule covers all useful MACs.
+    EXPECT_GE(m.activePes * m.cycles, m.macs);
+    // No pathological over-allocation: the schedule wastes at most
+    // one partially-filled group per accumulation pass.
+    EXPECT_LE(m.activePes * m.cycles, 4 * m.macs + 4096);
+    // MACs are a property of the layer, not the array size.
+    EXPECT_EQ(m.macs, stageModel(c.stage, c.spec, 1).macs);
+}
+
+TEST_P(StageModelSweep, Alt1NeverFasterThanStandard)
+{
+    const SweepCase c = GetParam();
+    if (c.stage != Stage::Bw)
+        return;
+    const StageModel std_m = stageModel(c.stage, c.spec, c.nPe, false);
+    const StageModel alt1 = stageModel(c.stage, c.spec, c.nPe, true);
+    EXPECT_GE(alt1.cycles, std_m.cycles);
+}
+
+namespace {
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    for (Stage stage : {Stage::Fw, Stage::Bw, Stage::Gc})
+        for (const auto &spec :
+             {conv1, conv2, fc3, fc4, nn::ConvSpec{2, 12, 12, 4, 4, 2},
+              asConv(nn::FcSpec{17, 33})})
+            for (int n_pe : {8, 16, 64, 128, 512})
+                cases.push_back(SweepCase{stage, spec, n_pe});
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StageModelSweep,
+                         ::testing::ValuesIn(sweepCases()));
+
+TEST(StageModel, InferenceCycleBudgetIsRealistic)
+{
+    // The full inference FW at 64 PEs should take well under a
+    // millisecond at 180 MHz — this is what makes >2,500 IPS
+    // achievable on two CU pairs.
+    std::uint64_t total = 0;
+    for (const auto &spec : {conv1, conv2, fc3, fc4})
+        total += stageModel(Stage::Fw, spec, 64).cycles;
+    const double seconds = static_cast<double>(total) / 180e6;
+    EXPECT_LT(seconds, 0.5e-3);
+    EXPECT_GT(seconds, 0.05e-3);
+}

@@ -1,0 +1,121 @@
+/** @file Tests of the Transpose Load Unit. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fa3c/tlu.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::core;
+
+TEST(TransposeBuffer, TransposesOnePatch)
+{
+    TransposeBuffer tlu;
+    std::array<float, 16> row{};
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 16; ++c)
+            row[static_cast<std::size_t>(c)] =
+                static_cast<float>(r * 16 + c);
+        tlu.writeRow(row);
+    }
+    EXPECT_TRUE(tlu.full());
+    std::array<float, 16> col{};
+    for (int c = 0; c < 16; ++c) {
+        tlu.readColumn(col);
+        for (int r = 0; r < 16; ++r)
+            EXPECT_EQ(col[static_cast<std::size_t>(r)],
+                      static_cast<float>(r * 16 + c));
+    }
+    EXPECT_TRUE(tlu.empty());
+}
+
+TEST(TransposeBuffer, ReusableAcrossPatches)
+{
+    TransposeBuffer tlu;
+    std::array<float, 16> row{};
+    std::array<float, 16> col{};
+    for (int patch = 0; patch < 3; ++patch) {
+        for (int r = 0; r < 16; ++r) {
+            row.fill(static_cast<float>(patch * 100 + r));
+            tlu.writeRow(row);
+        }
+        for (int c = 0; c < 16; ++c) {
+            tlu.readColumn(col);
+            for (int r = 0; r < 16; ++r)
+                EXPECT_EQ(col[static_cast<std::size_t>(r)],
+                          static_cast<float>(patch * 100 + r));
+        }
+    }
+}
+
+TEST(TransposeBuffer, ProtocolViolationsPanic)
+{
+    TransposeBuffer tlu;
+    std::array<float, 16> row{};
+    std::array<float, 16> col{};
+    // Draining before full.
+    EXPECT_THROW(tlu.readColumn(col), std::logic_error);
+    for (int r = 0; r < 16; ++r)
+        tlu.writeRow(row);
+    // Overfilling.
+    EXPECT_THROW(tlu.writeRow(row), std::logic_error);
+    tlu.readColumn(col);
+    // Writing while draining.
+    EXPECT_THROW(tlu.writeRow(row), std::logic_error);
+}
+
+TEST(TransposeBuffer, WrongWidthPanics)
+{
+    TransposeBuffer tlu;
+    std::array<float, 8> narrow{};
+    EXPECT_THROW(tlu.writeRow(narrow), std::logic_error);
+}
+
+class TluLoad : public ::testing::TestWithParam<nn::ConvSpec>
+{
+};
+
+TEST_P(TluLoad, MatchesDirectBwLayout)
+{
+    // The heart of Section 4.4.3: streaming the packed FW image
+    // through the TLU must produce exactly the BW layout.
+    const nn::ConvSpec spec = GetParam();
+    sim::Rng rng(11);
+    std::vector<float> w(spec.weightCount());
+    test::randomize(std::span<float>(w), rng);
+
+    const ParamMatrix fw = buildFwLayout(spec, w);
+    const std::vector<float> packed = packPatches(fw);
+    const ParamMatrix via_tlu = loadBwViaTlu(spec, packed);
+    const ParamMatrix direct = buildBwLayout(spec, w);
+
+    ASSERT_EQ(via_tlu.rows(), direct.rows());
+    ASSERT_EQ(via_tlu.cols(), direct.cols());
+    for (int r = 0; r < direct.rows(); ++r)
+        for (int c = 0; c < direct.cols(); ++c)
+            ASSERT_EQ(via_tlu.at(r, c), direct.at(r, c))
+                << "(" << r << "," << c << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TluLoad,
+    ::testing::Values(nn::ConvSpec{4, 84, 84, 16, 8, 4},
+                      nn::ConvSpec{16, 20, 20, 32, 4, 2},
+                      nn::ConvSpec{2, 12, 12, 4, 4, 2},
+                      nn::ConvSpec{3, 10, 10, 5, 3, 1},
+                      asConv(nn::FcSpec{2592, 256}),
+                      asConv(nn::FcSpec{256, 32}),
+                      asConv(nn::FcSpec{17, 33})));
+
+TEST(TluTiming, DoubleBufferingHalvesSteadyState)
+{
+    const nn::ConvSpec fc = asConv(nn::FcSpec{256, 32});
+    // 256x32 FW matrix = 16x2 patches = 32 patches.
+    const std::uint64_t one = tluLoadCycles(fc, 1);
+    const std::uint64_t two = tluLoadCycles(fc, 2);
+    EXPECT_EQ(one, 32u * 32u);
+    EXPECT_EQ(two, 32u * 16u + 16u);
+    EXPECT_LT(two, one);
+}

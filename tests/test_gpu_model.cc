@@ -1,0 +1,222 @@
+/** @file Tests of the GPU/CPU baseline timing models. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hh"
+#include "gpu/layout_experiment.hh"
+#include "harness/paper_data.hh"
+
+using namespace fa3c;
+using namespace fa3c::gpu;
+
+namespace {
+
+const nn::NetConfig netCfg = nn::NetConfig::atari(4);
+
+core::HwNetwork
+hwNet()
+{
+    return core::HwNetwork::fromConfig(netCfg);
+}
+
+} // namespace
+
+TEST(StageComputeSec, PositiveAndBatchMonotone)
+{
+    const DeviceSpec p100 = DeviceSpec::teslaP100();
+    for (const auto &layer : hwNet().layers) {
+        for (core::Stage stage :
+             {core::Stage::Fw, core::Stage::Bw, core::Stage::Gc}) {
+            const double t1 = stageComputeSec(layer, stage, 1, p100);
+            const double t8 = stageComputeSec(layer, stage, 8, p100);
+            EXPECT_GT(t1, 0.0);
+            EXPECT_GE(t8, t1);
+            // Batching is sub-linear (that is the whole point of
+            // GA3C): 8x batch costs < 8x time.
+            EXPECT_LT(t8, 8.0 * t1);
+        }
+    }
+}
+
+TEST(TaskTimes, SmallBatchInferenceIsLaunchHeavy)
+{
+    const PlatformSpec cudnn = PlatformSpec::a3cCudnn();
+    const GpuTaskTime inf = inferenceTaskTime(hwNet(), cudnn, 1);
+    EXPECT_GT(inf.kernels, 4);
+    EXPECT_GT(inf.launchSec, 0.0);
+    // Small batches: launch overhead is a large fraction of kernel
+    // execution (the Section 3.4 observation).
+    EXPECT_GT(inf.launchSec / (inf.launchSec + inf.computeSec), 0.25);
+}
+
+TEST(TaskTimes, TrainingCostsMoreThanInference)
+{
+    const PlatformSpec cudnn = PlatformSpec::a3cCudnn();
+    const GpuTaskTime inf = inferenceTaskTime(hwNet(), cudnn, 1);
+    const GpuTaskTime train = trainingTaskTime(hwNet(), cudnn, 5);
+    EXPECT_GT(train.totalSec(), inf.totalSec());
+    EXPECT_GT(train.kernels, inf.kernels);
+}
+
+TEST(KernelLaunchShare, MatchesSection34)
+{
+    // Paper: launch overhead accounts for more than 38% of the
+    // overall GPU kernel execution time.
+    const double share =
+        kernelLaunchShare(hwNet(), PlatformSpec::a3cCudnn(), 5);
+    EXPECT_GT(share, harness::paper::gpuKernelLaunchShare);
+    EXPECT_LT(share, 0.6);
+}
+
+TEST(PlatformSpecs, TfAddsFrameworkOverhead)
+{
+    EXPECT_EQ(PlatformSpec::a3cCudnn().frameworkOverheadSec, 0.0);
+    EXPECT_GT(PlatformSpec::a3cTfGpu().frameworkOverheadSec, 0.0);
+    EXPECT_GT(PlatformSpec::ga3cTf().maxInferenceBatch, 1);
+    EXPECT_FALSE(PlatformSpec::ga3cTf().usesParamSync);
+    EXPECT_TRUE(PlatformSpec::a3cCudnn().usesParamSync);
+}
+
+TEST(GpuPlatform, CompletesTasksInOrder)
+{
+    sim::EventQueue q;
+    GpuPlatform device(q, PlatformSpec::a3cCudnn(), netCfg, 5, 1);
+    std::vector<int> order;
+    device.submitInference([&]() { order.push_back(1); });
+    device.submitInference([&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_GT(device.deviceUtilization(), 0.0);
+}
+
+TEST(GpuPlatform, Ga3cBatchesQueuedInferences)
+{
+    sim::EventQueue q;
+    GpuPlatform device(q, PlatformSpec::ga3cTf(), netCfg, 5, 16);
+    int completed = 0;
+    // Submit 16 inferences while the device is busy with the first;
+    // the rest should coalesce into few batches.
+    for (int i = 0; i < 16; ++i)
+        device.submitInference([&]() { ++completed; });
+    q.run();
+    EXPECT_EQ(completed, 16);
+    EXPECT_LE(device.stats().counterValue("batches.inference"), 4u);
+}
+
+TEST(GpuPlatform, CudnnNeverBatchesAcrossAgents)
+{
+    sim::EventQueue q;
+    GpuPlatform device(q, PlatformSpec::a3cCudnn(), netCfg, 5, 16);
+    for (int i = 0; i < 8; ++i)
+        device.submitInference({});
+    q.run();
+    EXPECT_EQ(device.stats().counterValue("batches.inference"), 8u);
+}
+
+TEST(GpuPlatform, CpuRunsAgentsInParallel)
+{
+    // 4 agents on the CPU platform: 4 workers -> 4 concurrent tasks
+    // finish in about one task time.
+    auto run = [](int agents, int tasks) {
+        sim::EventQueue q;
+        GpuPlatform device(q, PlatformSpec::a3cTfCpu(),
+                           nn::NetConfig::atari(4), 5, agents);
+        sim::Tick last = 0;
+        for (int i = 0; i < tasks; ++i)
+            device.submitInference([&]() { last = q.now(); });
+        q.run();
+        return last;
+    };
+    const sim::Tick serial = run(1, 4);
+    const sim::Tick parallel = run(4, 4);
+    EXPECT_LT(static_cast<double>(parallel),
+              0.5 * static_cast<double>(serial));
+}
+
+TEST(KernelLaunchShare, DropsWithLargerRollouts)
+{
+    // Bigger training batches amortize launches — the motivation for
+    // raising t_max that Section 3.2 shows hurts learning instead.
+    const PlatformSpec cudnn = PlatformSpec::a3cCudnn();
+    const double small = kernelLaunchShare(hwNet(), cudnn, 5);
+    const double large = kernelLaunchShare(hwNet(), cudnn, 32);
+    EXPECT_LT(large, small);
+}
+
+TEST(GpuPlatform, CpuDerateKicksInWhenOversubscribed)
+{
+    // 32 agents x 2.5 TF threads on 20 cores -> 4x derate: the same
+    // task takes longer per worker than with 4 agents.
+    auto one_task_time = [](int agents) {
+        sim::EventQueue q;
+        GpuPlatform device(q, PlatformSpec::a3cTfCpu(), netCfg, 5,
+                           agents);
+        sim::Tick done = 0;
+        device.submitInference([&]() { done = q.now(); });
+        q.run();
+        return done;
+    };
+    const sim::Tick light = one_task_time(4);
+    const sim::Tick heavy = one_task_time(32);
+    EXPECT_GT(static_cast<double>(heavy),
+              1.5 * static_cast<double>(light));
+}
+
+TEST(GpuPlatform, ParamSyncIsCheapOnDevice)
+{
+    sim::EventQueue q;
+    GpuPlatform device(q, PlatformSpec::a3cCudnn(), netCfg, 5, 1);
+    sim::Tick sync_done = 0;
+    device.submitParamSync([&]() { sync_done = q.now(); });
+    q.run();
+    sim::EventQueue q2;
+    GpuPlatform device2(q2, PlatformSpec::a3cCudnn(), netCfg, 5, 1);
+    sim::Tick inf_done = 0;
+    device2.submitInference([&]() { inf_done = q2.now(); });
+    q2.run();
+    // A device-side memcpy is cheaper than a full inference.
+    EXPECT_LT(sync_done, inf_done);
+}
+
+TEST(GpuPlatform, Ga3cSyncIsFree)
+{
+    sim::EventQueue q;
+    GpuPlatform device(q, PlatformSpec::ga3cTf(), netCfg, 5, 16);
+    sim::Tick done = ~sim::Tick{0};
+    device.submitParamSync([&]() { done = q.now(); });
+    q.run();
+    EXPECT_EQ(done, 0u); // immediate: GA3C has no local models
+}
+
+TEST(GpuPlatform, Ga3cFusesQueuedTrainings)
+{
+    sim::EventQueue q;
+    GpuPlatform device(q, PlatformSpec::ga3cTf(), netCfg, 5, 16);
+    int completed = 0;
+    for (int i = 0; i < 8; ++i)
+        device.submitTraining([&]() { ++completed; });
+    q.run();
+    EXPECT_EQ(completed, 8);
+    // maxTrainingBatch = 8: far fewer device batches than trainings.
+    EXPECT_LE(device.stats().counterValue("batches.training"), 3u);
+}
+
+TEST(LayoutExperiment, ReproducesFigure11Shape)
+{
+    const auto rows = layoutExperiment(netCfg, 5);
+    ASSERT_EQ(rows.size(), 3u);
+    const auto &fw_both = rows[0];
+    const auto &bw_both = rows[1];
+    const auto &best = rows[2];
+
+    // BW layout slows inference by the paper's 41.7%.
+    EXPECT_NEAR(bw_both.inferenceSec / fw_both.inferenceSec, 1.417,
+                1e-3);
+    // FW layout slows training.
+    EXPECT_GT(fw_both.trainingSec, bw_both.trainingSec);
+    // Matched layouts have the fastest compute...
+    EXPECT_LT(best.inferenceSec + best.trainingSec,
+              std::min(fw_both.totalSec(), bw_both.totalSec()));
+    // ...but the transform kernel offsets part of the gain.
+    EXPECT_GT(best.transformSec, 0.0);
+}

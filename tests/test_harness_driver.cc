@@ -1,0 +1,227 @@
+/** @file
+ * Tests of the simulated agent driver: with an idealized platform
+ * (fixed service times) the measured IPS must match hand-computed
+ * rates, and the routine structure (t_max + 1 inferences, one
+ * training, one sync per routine) must hold exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/agent_driver.hh"
+
+using namespace fa3c;
+using namespace fa3c::harness;
+
+namespace {
+
+sim::Tick
+toTicks(double sec)
+{
+    return static_cast<sim::Tick>(sec * 1e12);
+}
+
+/** A platform that serves everything after a fixed delay, without
+ * any contention, and counts the calls. */
+struct FixedDelayPlatform
+{
+    sim::EventQueue &queue;
+    double inferenceSec;
+    double trainingSec;
+    int inferences = 0;
+    int trainings = 0;
+    int syncs = 0;
+
+    PlatformOps
+    ops()
+    {
+        PlatformOps o;
+        o.submitInference = [this](std::function<void()> done) {
+            ++inferences;
+            queue.scheduleIn(toTicks(inferenceSec), std::move(done));
+        };
+        o.submitTraining = [this](std::function<void()> done) {
+            ++trainings;
+            queue.scheduleIn(toTicks(trainingSec), std::move(done));
+        };
+        o.submitParamSync = [this](std::function<void()> done) {
+            ++syncs;
+            queue.scheduleIn(toTicks(1e-6), std::move(done));
+        };
+        o.hostToDevice = [this](double, std::function<void()> done) {
+            queue.scheduleIn(toTicks(1e-6), std::move(done));
+        };
+        o.deviceToHost = [this](double, std::function<void()> done) {
+            queue.scheduleIn(toTicks(1e-6), std::move(done));
+        };
+        return o;
+    }
+};
+
+} // namespace
+
+TEST(AgentDriver, RoutineStructureCounts)
+{
+    sim::EventQueue queue;
+    FixedDelayPlatform platform{queue, 100e-6, 1e-3};
+    HostModel host;
+    const IpsResult r = measureIps(queue, platform.ops(), host,
+                                   /*agents=*/1, /*t_max=*/5,
+                                   /*sim_seconds=*/1.0);
+    // Per routine: 6 inference submissions (5 counted + bootstrap),
+    // 1 training, 1 sync.
+    EXPECT_NEAR(static_cast<double>(platform.inferences),
+                6.0 * platform.trainings, 6.0);
+    EXPECT_NEAR(static_cast<double>(platform.syncs),
+                static_cast<double>(platform.trainings), 2.0);
+    EXPECT_GT(r.ips, 0.0);
+}
+
+TEST(AgentDriver, IpsMatchesHandComputedRate)
+{
+    sim::EventQueue queue;
+    const double inf = 100e-6, train = 1e-3;
+    FixedDelayPlatform platform{queue, inf, train};
+    HostModel host;
+    host.envStepSec = 50e-6;
+    host.actionSelectSec = 0;
+    host.deltaObjectiveSec = 0;
+
+    const IpsResult r = measureIps(queue, platform.ops(), host, 1, 5,
+                                   2.0);
+    // Routine latency: sync 1us + 6*(h2d 1us + inf 100us + d2h 1us)
+    // + 5 env steps of 50us + delta-objective h2d 1us + train 1ms.
+    const double routine =
+        1e-6 + 6 * (1e-6 + inf + 1e-6) + 5 * 50e-6 + 1e-6 + train;
+    const double expected_ips = 5.0 / routine;
+    EXPECT_NEAR(r.ips, expected_ips, expected_ips * 0.05);
+    EXPECT_NEAR(r.routinesPerSec, expected_ips / 5.0,
+                expected_ips * 0.05 / 5.0);
+}
+
+TEST(AgentDriver, AgentsScaleIpsWithoutContention)
+{
+    // The fixed-delay platform has no queueing, so n agents give n
+    // times the throughput.
+    auto measure = [](int agents) {
+        sim::EventQueue queue;
+        FixedDelayPlatform platform{queue, 100e-6, 1e-3};
+        HostModel host;
+        return measureIps(queue, platform.ops(), host, agents, 5, 1.0)
+            .ips;
+    };
+    const double one = measure(1);
+    const double four = measure(4);
+    EXPECT_NEAR(four, 4.0 * one, 4.0 * one * 0.05);
+}
+
+TEST(AgentDriver, Ga3cModeSkipsSyncAndTrainingWait)
+{
+    sim::EventQueue queue;
+    FixedDelayPlatform platform{queue, 100e-6, 50e-3};
+    PlatformOps ops = platform.ops();
+    ops.doParamSync = false;
+    ops.waitForTraining = false;
+    HostModel host;
+    const IpsResult r = measureIps(queue, ops, host, 1, 5, 1.0);
+    EXPECT_EQ(platform.syncs, 0);
+    // With a 50 ms training the blocking mode caps at ~90 IPS;
+    // fire-and-forget is limited only by env + inference latency.
+    EXPECT_GT(r.ips, 400.0);
+
+    sim::EventQueue queue2;
+    FixedDelayPlatform blocking{queue2, 100e-6, 50e-3};
+    const IpsResult b = measureIps(queue2, blocking.ops(), host, 1, 5,
+                                   1.0);
+    EXPECT_LT(b.ips, 0.4 * r.ips);
+}
+
+TEST(AgentDriver, LatencyStatsMatchFixedRoutineTime)
+{
+    sim::EventQueue queue;
+    FixedDelayPlatform platform{queue, 100e-6, 1e-3};
+    HostModel host;
+    host.envStepSec = 50e-6;
+    host.envStepJitter = 0.0;
+    host.actionSelectSec = 0;
+    host.deltaObjectiveSec = 0;
+    const IpsResult r = measureIps(queue, platform.ops(), host, 1, 5,
+                                   2.0);
+    // With no contention and no jitter every routine takes the same
+    // time: mean == p50 == p95.
+    const double routine =
+        1e-6 + 6 * (1e-6 + 100e-6 + 1e-6) + 5 * 50e-6 + 1e-6 + 1e-3;
+    EXPECT_NEAR(r.latencyMeanSec, routine, routine * 0.01);
+    EXPECT_NEAR(r.latencyP50Sec, routine, routine * 0.01);
+    EXPECT_NEAR(r.latencyP95Sec, routine, routine * 0.01);
+}
+
+TEST(AgentDriver, ContentionShowsUpInTailLatency)
+{
+    // 8 agents on a "device" that serves one task at a time: p95 sits
+    // well above the uncontended routine time.
+    sim::EventQueue queue;
+    struct SerialPlatform
+    {
+        sim::EventQueue &q;
+        bool busy = false;
+        std::vector<std::function<void()>> waiting;
+        void
+        serve(double sec, std::function<void()> done)
+        {
+            if (busy) {
+                waiting.push_back([this, sec,
+                                   done = std::move(done)]() mutable {
+                    serve(sec, std::move(done));
+                });
+                return;
+            }
+            busy = true;
+            q.scheduleIn(static_cast<sim::Tick>(sec * 1e12),
+                         [this, done = std::move(done)]() {
+                             busy = false;
+                             auto next = std::move(waiting);
+                             waiting.clear();
+                             done();
+                             for (auto &w : next)
+                                 w();
+                         });
+        }
+    } device{queue, false, {}};
+
+    PlatformOps ops;
+    ops.submitInference = [&device](std::function<void()> d) {
+        device.serve(200e-6, std::move(d));
+    };
+    ops.submitTraining = [&device](std::function<void()> d) {
+        device.serve(1e-3, std::move(d));
+    };
+    ops.submitParamSync = [&device](std::function<void()> d) {
+        device.serve(50e-6, std::move(d));
+    };
+    ops.hostToDevice = [&queue](double, std::function<void()> d) {
+        queue.scheduleIn(1000, std::move(d));
+    };
+    ops.deviceToHost = ops.hostToDevice;
+    HostModel host;
+    const IpsResult r = measureIps(queue, ops, host, 8, 5, 2.0);
+    EXPECT_GT(r.latencyP95Sec, r.latencyMeanSec * 0.99);
+    // Uncontended routine would be ~8.5 ms; with 8 agents on one
+    // serial device it must be far above that.
+    EXPECT_GT(r.latencyMeanSec, 12e-3);
+}
+
+TEST(AgentDriver, BootstrapInferencesNotCounted)
+{
+    sim::EventQueue queue;
+    FixedDelayPlatform platform{queue, 10e-6, 10e-6};
+    HostModel host;
+    host.envStepSec = 0;
+    host.actionSelectSec = 0;
+    host.deltaObjectiveSec = 0;
+    const IpsResult r = measureIps(queue, platform.ops(), host, 1, 5,
+                                   0.5, /*warmup=*/0.0);
+    // Submissions include bootstraps: counted IPS excludes them.
+    const double submitted_rate = platform.inferences / 0.5;
+    EXPECT_LT(r.ips, submitted_rate);
+    EXPECT_NEAR(r.ips / submitted_rate, 5.0 / 6.0, 0.05);
+}

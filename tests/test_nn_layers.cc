@@ -1,0 +1,333 @@
+/** @file
+ * Unit and property tests for the golden layer implementations:
+ * hand-computed cases plus finite-difference checks of BW and GC
+ * (convolution is linear in inputs and weights, so central
+ * differences are exact up to fp32 noise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::nn;
+using fa3c::tensor::Shape;
+using fa3c::tensor::Tensor;
+
+namespace {
+
+/** Linear probe loss: L = sum_i c_i * out_i, computed in double. */
+double
+probeLoss(const Tensor &out, const Tensor &coeff)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        acc += static_cast<double>(out[i]) *
+               static_cast<double>(coeff[i]);
+    return acc;
+}
+
+} // namespace
+
+TEST(ConvSpec, OutputGeometry)
+{
+    ConvSpec conv1{4, 84, 84, 16, 8, 4};
+    EXPECT_EQ(conv1.outHeight(), 20);
+    EXPECT_EQ(conv1.outWidth(), 20);
+    EXPECT_EQ(conv1.weightCount(), 4096u);
+    EXPECT_EQ(conv1.biasCount(), 16u);
+
+    ConvSpec conv2{16, 20, 20, 32, 4, 2};
+    EXPECT_EQ(conv2.outHeight(), 9);
+    EXPECT_EQ(conv2.outWidth(), 9);
+    EXPECT_EQ(conv2.weightCount(), 8192u);
+}
+
+TEST(ConvForward, HandComputedCase)
+{
+    // 1 channel, 3x3 input, 2x2 kernel, stride 1 -> 2x2 output.
+    ConvSpec spec{1, 3, 3, 1, 2, 1};
+    Tensor in(Shape({1, 3, 3}));
+    float v = 1.0f;
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 3; ++x)
+            in.at(0, y, x) = v++; // 1..9
+    std::vector<float> w = {1.0f, 0.0f, 0.0f, -1.0f}; // diag filter
+    std::vector<float> b = {0.5f};
+    Tensor out(Shape({1, 2, 2}));
+    convForward(spec, in, w, b, out);
+    // out(y,x) = in(y,x) - in(y+1,x+1) + 0.5
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 - 5 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2 - 6 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 4 - 8 + 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 5 - 9 + 0.5f);
+}
+
+TEST(ConvForward, StrideSkipsPositions)
+{
+    ConvSpec spec{1, 4, 4, 1, 2, 2};
+    Tensor in(Shape({1, 4, 4}));
+    in.fill(1.0f);
+    std::vector<float> w = {1, 1, 1, 1};
+    std::vector<float> b = {0};
+    Tensor out(Shape({1, 2, 2}));
+    convForward(spec, in, w, b, out);
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        EXPECT_FLOAT_EQ(out[i], 4.0f);
+}
+
+TEST(ConvForward, MultiChannelAccumulates)
+{
+    ConvSpec spec{2, 2, 2, 1, 2, 1};
+    Tensor in(Shape({2, 2, 2}));
+    in.fill(1.0f);
+    std::vector<float> w(8, 0.5f);
+    std::vector<float> b = {1.0f};
+    Tensor out(Shape({1, 1, 1}));
+    convForward(spec, in, w, b, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 8 * 0.5f + 1.0f);
+}
+
+TEST(FcForward, HandComputedCase)
+{
+    FcSpec spec{3, 2};
+    Tensor in(Shape({3}));
+    in.at(0) = 1;
+    in.at(1) = 2;
+    in.at(2) = 3;
+    // W row-major [O][I]: row0 = (1,0,1), row1 = (0.5,0.5,0.5).
+    std::vector<float> w = {1, 0, 1, 0.5f, 0.5f, 0.5f};
+    std::vector<float> b = {10, -1};
+    Tensor out(Shape({2}));
+    fcForward(spec, in, w, b, out);
+    EXPECT_FLOAT_EQ(out.at(0), 1 + 3 + 10);
+    EXPECT_FLOAT_EQ(out.at(1), 3.0f - 1.0f);
+}
+
+TEST(Relu, ForwardAndBackward)
+{
+    Tensor pre(Shape({4}));
+    pre.at(0) = -1;
+    pre.at(1) = 0;
+    pre.at(2) = 2;
+    pre.at(3) = -0.5f;
+    Tensor act(Shape({4}));
+    reluForward(pre, act);
+    EXPECT_FLOAT_EQ(act.at(0), 0);
+    EXPECT_FLOAT_EQ(act.at(1), 0);
+    EXPECT_FLOAT_EQ(act.at(2), 2);
+
+    Tensor gout(Shape({4}));
+    gout.fill(1.0f);
+    Tensor gin(Shape({4}));
+    reluBackward(pre, gout, gin);
+    EXPECT_FLOAT_EQ(gin.at(0), 0);
+    EXPECT_FLOAT_EQ(gin.at(1), 0); // pre == 0 passes no gradient
+    EXPECT_FLOAT_EQ(gin.at(2), 1);
+    EXPECT_FLOAT_EQ(gin.at(3), 0);
+}
+
+TEST(Softmax, SumsToOne)
+{
+    std::vector<float> logits = {1.0f, 2.0f, 3.0f, -1.0f};
+    std::vector<float> probs(4);
+    softmax(logits, probs);
+    float sum = 0;
+    for (float p : probs) {
+        EXPECT_GT(p, 0.0f);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(probs[2], probs[1]);
+    EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(Softmax, ShiftInvariant)
+{
+    std::vector<float> a = {0.5f, -0.2f, 1.5f};
+    std::vector<float> b = {100.5f, 99.8f, 101.5f};
+    std::vector<float> pa(3), pb(3);
+    softmax(a, pa);
+    softmax(b, pb);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(pa[static_cast<std::size_t>(i)],
+                    pb[static_cast<std::size_t>(i)], 1e-6f);
+}
+
+TEST(Softmax, StableWithExtremeLogits)
+{
+    std::vector<float> logits = {1000.0f, -1000.0f};
+    std::vector<float> probs(2);
+    softmax(logits, probs);
+    EXPECT_NEAR(probs[0], 1.0f, 1e-6f);
+    EXPECT_NEAR(probs[1], 0.0f, 1e-6f);
+}
+
+TEST(Entropy, BoundsAndExtremes)
+{
+    std::vector<float> uniform = {0.25f, 0.25f, 0.25f, 0.25f};
+    EXPECT_NEAR(entropy(uniform), std::log(4.0f), 1e-5f);
+    std::vector<float> onehot = {1.0f, 0.0f, 0.0f};
+    EXPECT_NEAR(entropy(onehot), 0.0f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------
+// Finite-difference property tests over a spread of layer shapes.
+// ---------------------------------------------------------------------
+
+class ConvGradCheck : public ::testing::TestWithParam<ConvSpec>
+{
+};
+
+TEST_P(ConvGradCheck, BackwardMatchesFiniteDifferences)
+{
+    const ConvSpec spec = GetParam();
+    sim::Rng rng(17);
+    Tensor in(Shape({spec.inChannels, spec.inHeight, spec.inWidth}));
+    test::randomize(in, rng);
+    std::vector<float> w(spec.weightCount());
+    std::vector<float> b(spec.biasCount());
+    test::randomize(std::span<float>(w), rng);
+    test::randomize(std::span<float>(b), rng);
+
+    Tensor out(Shape({spec.outChannels, spec.outHeight(),
+                      spec.outWidth()}));
+    Tensor coeff(out.shape());
+    test::randomize(coeff, rng);
+
+    Tensor g_in(in.shape());
+    convBackward(spec, coeff, w, g_in);
+
+    // Probe a sample of input positions with central differences.
+    const float h = 0.05f;
+    for (int probe = 0; probe < 20; ++probe) {
+        const std::size_t idx =
+            rng.uniformInt(static_cast<std::uint32_t>(in.numel()));
+        const float saved = in[idx];
+        in[idx] = saved + h;
+        convForward(spec, in, w, b, out);
+        const double up = probeLoss(out, coeff);
+        in[idx] = saved - h;
+        convForward(spec, in, w, b, out);
+        const double down = probeLoss(out, coeff);
+        in[idx] = saved;
+        const double fd = (up - down) / (2.0 * h);
+        EXPECT_NEAR(g_in[idx], fd, 2e-3)
+            << "input index " << idx;
+    }
+}
+
+TEST_P(ConvGradCheck, GradientMatchesFiniteDifferences)
+{
+    const ConvSpec spec = GetParam();
+    sim::Rng rng(29);
+    Tensor in(Shape({spec.inChannels, spec.inHeight, spec.inWidth}));
+    test::randomize(in, rng);
+    std::vector<float> w(spec.weightCount());
+    std::vector<float> b(spec.biasCount());
+    test::randomize(std::span<float>(w), rng);
+    test::randomize(std::span<float>(b), rng);
+
+    Tensor out(Shape({spec.outChannels, spec.outHeight(),
+                      spec.outWidth()}));
+    Tensor coeff(out.shape());
+    test::randomize(coeff, rng);
+
+    std::vector<float> g_w(spec.weightCount(), 0.0f);
+    std::vector<float> g_b(spec.biasCount(), 0.0f);
+    convGradient(spec, in, coeff, g_w, g_b);
+
+    const float h = 0.05f;
+    for (int probe = 0; probe < 20; ++probe) {
+        const std::size_t idx =
+            rng.uniformInt(static_cast<std::uint32_t>(w.size()));
+        const float saved = w[idx];
+        w[idx] = saved + h;
+        convForward(spec, in, w, b, out);
+        const double up = probeLoss(out, coeff);
+        w[idx] = saved - h;
+        convForward(spec, in, w, b, out);
+        const double down = probeLoss(out, coeff);
+        w[idx] = saved;
+        const double fd = (up - down) / (2.0 * h);
+        EXPECT_NEAR(g_w[idx], fd, 2e-3) << "weight index " << idx;
+    }
+    // Bias gradients: dL/db_o = sum of coeff over channel o.
+    for (int o = 0; o < spec.outChannels; ++o) {
+        double expect = 0;
+        for (int r = 0; r < spec.outHeight(); ++r)
+            for (int c = 0; c < spec.outWidth(); ++c)
+                expect += coeff.at(o, r, c);
+        EXPECT_NEAR(g_b[static_cast<std::size_t>(o)], expect, 1e-3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvGradCheck,
+    ::testing::Values(ConvSpec{2, 12, 12, 4, 4, 2},
+                      ConvSpec{3, 10, 10, 5, 3, 1},
+                      ConvSpec{1, 8, 8, 1, 2, 2},
+                      ConvSpec{4, 9, 9, 8, 3, 3},
+                      ConvSpec{2, 7, 7, 7, 1, 1},
+                      ConvSpec{5, 6, 6, 3, 2, 1}));
+
+class FcGradCheck : public ::testing::TestWithParam<FcSpec>
+{
+};
+
+TEST_P(FcGradCheck, BackwardAndGradientMatchFiniteDifferences)
+{
+    const FcSpec spec = GetParam();
+    sim::Rng rng(31);
+    Tensor in(Shape({spec.inFeatures}));
+    test::randomize(in, rng);
+    std::vector<float> w(spec.weightCount());
+    std::vector<float> b(spec.biasCount());
+    test::randomize(std::span<float>(w), rng);
+    test::randomize(std::span<float>(b), rng);
+    Tensor out(Shape({spec.outFeatures}));
+    Tensor coeff(out.shape());
+    test::randomize(coeff, rng);
+
+    Tensor g_in(in.shape());
+    fcBackward(spec, coeff, w, g_in);
+    std::vector<float> g_w(w.size(), 0.0f);
+    std::vector<float> g_b(b.size(), 0.0f);
+    fcGradient(spec, in, coeff, g_w, g_b);
+
+    const float h = 0.05f;
+    for (int probe = 0; probe < 10; ++probe) {
+        const std::size_t idx =
+            rng.uniformInt(static_cast<std::uint32_t>(in.numel()));
+        const float saved = in[idx];
+        in[idx] = saved + h;
+        fcForward(spec, in, w, b, out);
+        const double up = probeLoss(out, coeff);
+        in[idx] = saved - h;
+        fcForward(spec, in, w, b, out);
+        const double down = probeLoss(out, coeff);
+        in[idx] = saved;
+        EXPECT_NEAR(g_in[idx], (up - down) / (2.0 * h), 2e-3);
+    }
+    for (int probe = 0; probe < 10; ++probe) {
+        const std::size_t idx =
+            rng.uniformInt(static_cast<std::uint32_t>(w.size()));
+        // g_w[o][i] = coeff[o] * in[i].
+        const std::size_t o =
+            idx / static_cast<std::size_t>(spec.inFeatures);
+        const std::size_t i =
+            idx % static_cast<std::size_t>(spec.inFeatures);
+        EXPECT_NEAR(g_w[idx], coeff[o] * in[i], 1e-4);
+    }
+    for (std::size_t o = 0; o < g_b.size(); ++o)
+        EXPECT_NEAR(g_b[o], coeff[o], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FcGradCheck,
+                         ::testing::Values(FcSpec{10, 4}, FcSpec{1, 1},
+                                           FcSpec{17, 33},
+                                           FcSpec{64, 5},
+                                           FcSpec{256, 32}));

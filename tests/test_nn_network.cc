@@ -1,0 +1,179 @@
+/** @file
+ * Tests of the full A3C network: Table 1 geometry, parameter counts,
+ * and an end-to-end finite-difference check of backward() through all
+ * layers on the tiny configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/a3c_network.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::nn;
+using fa3c::tensor::Shape;
+using fa3c::tensor::Tensor;
+
+TEST(A3cNetwork, Table1Geometry)
+{
+    A3cNetwork net(NetConfig::atari(4));
+    EXPECT_EQ(net.conv1().outHeight(), 20);
+    EXPECT_EQ(net.conv2().outHeight(), 9);
+    EXPECT_EQ(net.fc3().inFeatures, 2592);
+    EXPECT_EQ(net.fc3().outFeatures, 256);
+    EXPECT_EQ(net.fc4().inFeatures, 256);
+    EXPECT_EQ(net.fc4().outFeatures, 5); // 4 actions + value
+}
+
+TEST(A3cNetwork, Table1RowsMatchPaper)
+{
+    A3cNetwork net(NetConfig::atari(4));
+    const auto rows = net.layerTable();
+    ASSERT_EQ(rows.size(), 9u);
+    // Input: 28K output features.
+    EXPECT_EQ(rows[0].outputCount, 28224u);
+    // Conv1: ~4K parameters, ~6K outputs.
+    EXPECT_EQ(rows[1].paramCount, 4096u + 16u);
+    EXPECT_EQ(rows[1].outputCount, 6400u);
+    // Conv2: ~8K parameters, ~3K outputs.
+    EXPECT_EQ(rows[3].paramCount, 8192u + 32u);
+    EXPECT_EQ(rows[3].outputCount, 2592u);
+    // FC3: ~664K parameters, 256 outputs.
+    EXPECT_EQ(rows[5].paramCount, 663552u + 256u);
+    EXPECT_EQ(rows[5].outputCount, 256u);
+    // FC4 (hardware-padded): ~8K parameters, 32 outputs.
+    EXPECT_EQ(rows[7].paramCount, 8192u + 32u);
+    EXPECT_EQ(rows[7].outputCount, 32u);
+}
+
+TEST(A3cNetwork, ParamSetLayout)
+{
+    A3cNetwork net(NetConfig::atari(6));
+    ParamSet p = net.makeParams();
+    EXPECT_EQ(p.size(), net.paramCount());
+    EXPECT_EQ(p.view("conv1.w").size(), 4096u);
+    EXPECT_EQ(p.view("fc3.w").size(), 663552u);
+    EXPECT_EQ(p.view("fc4.w").size(), 256u * 7u);
+    EXPECT_EQ(p.view("fc4.b").size(), 7u);
+}
+
+TEST(A3cNetwork, ForwardShapesAndDeterminism)
+{
+    const NetConfig cfg = NetConfig::tiny(3);
+    A3cNetwork net(cfg);
+    sim::Rng rng(5);
+    ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    Tensor obs(Shape({cfg.inChannels, cfg.inHeight, cfg.inWidth}));
+    test::randomize(obs, rng);
+    auto act1 = net.makeActivations();
+    auto act2 = net.makeActivations();
+    net.forward(params, obs, act1);
+    net.forward(params, obs, act2);
+    EXPECT_EQ(act1.out.numel(), 4u);
+    EXPECT_FLOAT_EQ(tensor::maxAbsDiff(act1.out, act2.out), 0.0f);
+    EXPECT_EQ(net.policyLogits(act1).size(), 3u);
+    // Value accessor picks the last output element.
+    EXPECT_FLOAT_EQ(net.value(act1), act1.out[3]);
+}
+
+TEST(A3cNetwork, InitParamsNonZeroAndSeedDeterministic)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    sim::Rng r1(9), r2(9);
+    ParamSet a = net.makeParams();
+    ParamSet b = net.makeParams();
+    net.initParams(a, r1);
+    net.initParams(b, r2);
+    EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(a, b), 0.0f);
+    float max_abs = 0;
+    for (float v : a.flat())
+        max_abs = std::max(max_abs, std::abs(v));
+    EXPECT_GT(max_abs, 0.0f);
+}
+
+TEST(A3cNetwork, BackwardMatchesFiniteDifferencesThroughAllLayers)
+{
+    const NetConfig cfg = NetConfig::tiny(3);
+    A3cNetwork net(cfg);
+    sim::Rng rng(13);
+    ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    Tensor obs(Shape({cfg.inChannels, cfg.inHeight, cfg.inWidth}));
+    obs.fillUniform(rng, 0.0f, 1.0f);
+    auto act = net.makeActivations();
+    net.forward(params, obs, act);
+
+    // Linear probe on the outputs.
+    Tensor coeff(Shape({net.outSize()}));
+    test::randomize(coeff, rng);
+    ParamSet grads = net.makeParams();
+    net.backward(params, act, coeff, grads);
+
+    auto loss = [&]() {
+        net.forward(params, obs, act);
+        double acc = 0;
+        for (std::size_t i = 0; i < act.out.numel(); ++i)
+            acc += static_cast<double>(act.out[i]) *
+                   static_cast<double>(coeff[i]);
+        return acc;
+    };
+
+    // Probe a few weights in every segment (ReLUs make the function
+    // piecewise-linear; probes staying within a linear piece match).
+    const float h = 1e-3f;
+    for (const auto &seg : params.segments()) {
+        auto w = params.view(seg.name);
+        auto g = grads.view(seg.name);
+        for (int probe = 0; probe < 5; ++probe) {
+            const std::size_t idx = rng.uniformInt(
+                static_cast<std::uint32_t>(w.size()));
+            const float saved = w[idx];
+            w[idx] = saved + h;
+            const double up = loss();
+            w[idx] = saved - h;
+            const double down = loss();
+            w[idx] = saved;
+            const double fd = (up - down) / (2.0 * h);
+            const double tolerance =
+                2e-2 * std::max(1.0, std::abs(fd));
+            EXPECT_NEAR(g[idx], fd, tolerance)
+                << seg.name << "[" << idx << "]";
+        }
+    }
+}
+
+TEST(A3cNetwork, BackwardAccumulatesAcrossSamples)
+{
+    const NetConfig cfg = NetConfig::tiny(2);
+    A3cNetwork net(cfg);
+    sim::Rng rng(21);
+    ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    Tensor obs1(Shape({cfg.inChannels, cfg.inHeight, cfg.inWidth}));
+    Tensor obs2(obs1.shape());
+    test::randomize(obs1, rng);
+    test::randomize(obs2, rng);
+    Tensor g_out(Shape({net.outSize()}));
+    test::randomize(g_out, rng);
+
+    auto act = net.makeActivations();
+    ParamSet grads_both = net.makeParams();
+    net.forward(params, obs1, act);
+    net.backward(params, act, g_out, grads_both);
+    net.forward(params, obs2, act);
+    net.backward(params, act, g_out, grads_both);
+
+    ParamSet grads_one = net.makeParams();
+    net.forward(params, obs1, act);
+    net.backward(params, act, g_out, grads_one);
+    ParamSet grads_two = net.makeParams();
+    net.forward(params, obs2, act);
+    net.backward(params, act, g_out, grads_two);
+    grads_one.axpy(1.0f, grads_two);
+
+    EXPECT_LT(ParamSet::maxAbsDiff(grads_both, grads_one), 1e-4f);
+}

@@ -1,0 +1,103 @@
+/** @file Unit tests for the named-segment parameter store. */
+
+#include <gtest/gtest.h>
+
+#include "nn/params.hh"
+
+using namespace fa3c::nn;
+
+namespace {
+
+ParamSet
+makeSet()
+{
+    return ParamSet({{"a", 4}, {"b", 3}, {"c", 5}});
+}
+
+} // namespace
+
+TEST(ParamSet, SegmentsAreContiguousAndOrdered)
+{
+    ParamSet p = makeSet();
+    EXPECT_EQ(p.size(), 12u);
+    EXPECT_EQ(p.sizeBytes(), 48u);
+    const auto &segs = p.segments();
+    ASSERT_EQ(segs.size(), 3u);
+    EXPECT_EQ(segs[0].offset, 0u);
+    EXPECT_EQ(segs[1].offset, 4u);
+    EXPECT_EQ(segs[2].offset, 7u);
+}
+
+TEST(ParamSet, ViewsAliasTheFlatBuffer)
+{
+    ParamSet p = makeSet();
+    p.view("b")[0] = 9.0f;
+    EXPECT_EQ(p.flat()[4], 9.0f);
+}
+
+TEST(ParamSet, UnknownSegmentPanics)
+{
+    ParamSet p = makeSet();
+    EXPECT_THROW(p.view("nope"), std::logic_error);
+}
+
+TEST(ParamSet, SameLayoutComparesNamesAndSizes)
+{
+    ParamSet p = makeSet();
+    ParamSet q = makeSet();
+    EXPECT_TRUE(p.sameLayout(q));
+    ParamSet r({{"a", 4}, {"b", 3}});
+    EXPECT_FALSE(p.sameLayout(r));
+    ParamSet s({{"a", 4}, {"x", 3}, {"c", 5}});
+    EXPECT_FALSE(p.sameLayout(s));
+    ParamSet t({{"a", 4}, {"b", 2}, {"c", 6}});
+    EXPECT_FALSE(p.sameLayout(t));
+}
+
+TEST(ParamSet, CopyFromReplicatesValues)
+{
+    ParamSet p = makeSet();
+    ParamSet q = makeSet();
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p.flat()[i] = static_cast<float>(i);
+    q.copyFrom(p);
+    EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(p, q), 0.0f);
+    // Copies are independent.
+    q.flat()[0] = 100.0f;
+    EXPECT_FLOAT_EQ(p.flat()[0], 0.0f);
+}
+
+TEST(ParamSet, AxpyAccumulates)
+{
+    ParamSet p = makeSet();
+    ParamSet q = makeSet();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        p.flat()[i] = 1.0f;
+        q.flat()[i] = 2.0f;
+    }
+    p.axpy(-0.5f, q);
+    for (float v : p.flat())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(ParamSet, LayoutMismatchPanics)
+{
+    ParamSet p = makeSet();
+    ParamSet r({{"z", 12}});
+    EXPECT_THROW(p.copyFrom(r), std::logic_error);
+    EXPECT_THROW(p.axpy(1.0f, r), std::logic_error);
+}
+
+TEST(ParamSet, ZeroClears)
+{
+    ParamSet p = makeSet();
+    p.flat()[3] = 5.0f;
+    p.zero();
+    for (float v : p.flat())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ParamSet, EmptySegmentRejected)
+{
+    EXPECT_THROW(ParamSet({{"a", 0}}), std::logic_error);
+}

@@ -1,0 +1,85 @@
+/** @file Tests of parameter checkpointing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/a3c_network.hh"
+#include "nn/serialize.hh"
+#include "sim/rng.hh"
+
+using namespace fa3c;
+using namespace fa3c::nn;
+
+TEST(Serialize, RoundTripPreservesEveryWord)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    sim::Rng rng(3);
+    ParamSet original = net.makeParams();
+    net.initParams(original, rng);
+
+    std::stringstream stream;
+    ASSERT_TRUE(saveParams(original, stream));
+
+    ParamSet restored = net.makeParams();
+    ASSERT_TRUE(loadParams(restored, stream));
+    EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(original, restored), 0.0f);
+}
+
+TEST(Serialize, RejectsWrongMagic)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    ParamSet params = net.makeParams();
+    std::stringstream stream;
+    stream << "not a checkpoint";
+    EXPECT_FALSE(loadParams(params, stream));
+}
+
+TEST(Serialize, RejectsLayoutMismatch)
+{
+    A3cNetwork small(NetConfig::tiny(3));
+    A3cNetwork large(NetConfig::tiny(7));
+    sim::Rng rng(5);
+    ParamSet from = small.makeParams();
+    small.initParams(from, rng);
+
+    std::stringstream stream;
+    ASSERT_TRUE(saveParams(from, stream));
+    ParamSet into = large.makeParams();
+    EXPECT_FALSE(loadParams(into, stream));
+}
+
+TEST(Serialize, RejectsTruncatedStream)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    sim::Rng rng(7);
+    ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+    std::stringstream stream;
+    ASSERT_TRUE(saveParams(params, stream));
+    const std::string full = stream.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_FALSE(loadParams(params, cut));
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    A3cNetwork net(NetConfig::tiny(5));
+    sim::Rng rng(9);
+    ParamSet original = net.makeParams();
+    net.initParams(original, rng);
+    const std::string path = "/tmp/fa3c_test_checkpoint.bin";
+    ASSERT_TRUE(saveParamsToFile(original, path));
+    ParamSet restored = net.makeParams();
+    ASSERT_TRUE(loadParamsFromFile(restored, path));
+    EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(original, restored), 0.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFailsCleanly)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    ParamSet params = net.makeParams();
+    EXPECT_FALSE(
+        loadParamsFromFile(params, "/tmp/fa3c_does_not_exist.bin"));
+}

@@ -1,0 +1,54 @@
+/** @file Tests of the incremental-power model. */
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_data.hh"
+#include "power/power_model.hh"
+
+using namespace fa3c::power;
+namespace paper = fa3c::harness::paper;
+
+TEST(PlatformPower, MonotoneInUtilization)
+{
+    for (const PlatformPower &p :
+         {PlatformPower::fa3c(), PlatformPower::a3cCudnn(),
+          PlatformPower::a3cTfGpu(), PlatformPower::ga3cTf(),
+          PlatformPower::a3cTfCpu()}) {
+        EXPECT_GT(p.watts(0.0), 0.0) << p.name;
+        EXPECT_LT(p.watts(0.2), p.watts(0.9)) << p.name;
+        EXPECT_DOUBLE_EQ(p.watts(0.0), p.staticWatts);
+    }
+}
+
+TEST(PlatformPower, Fa3cAnchorNearPaper)
+{
+    // At its measured operating point (mean CU utilization ~0.87)
+    // FA3C draws ~18 W (Section 5.3).
+    EXPECT_NEAR(PlatformPower::fa3c().watts(0.87), paper::fa3cWatts,
+                1.0);
+}
+
+TEST(PlatformPower, Fa3cReductionVsCudnnNearPaper)
+{
+    // FA3C at ~0.87 utilization vs the saturated GPU.
+    const double fa3c = PlatformPower::fa3c().watts(0.87);
+    const double cudnn = PlatformPower::a3cCudnn().watts(1.0);
+    const double reduction = 1.0 - fa3c / cudnn;
+    EXPECT_NEAR(reduction, paper::fa3cPowerReduction, 0.05);
+}
+
+TEST(InferencesPerWatt, DividesAndValidates)
+{
+    EXPECT_DOUBLE_EQ(inferencesPerWatt(2556.0, 18.0), 142.0);
+    EXPECT_THROW(inferencesPerWatt(100.0, 0.0), std::logic_error);
+}
+
+TEST(PlatformPower, Fa3cIsTheMostFrugalAccelerator)
+{
+    const double u = 0.9;
+    const double fa3c = PlatformPower::fa3c().watts(u);
+    EXPECT_LT(fa3c, PlatformPower::a3cCudnn().watts(u));
+    EXPECT_LT(fa3c, PlatformPower::a3cTfGpu().watts(u));
+    EXPECT_LT(fa3c, PlatformPower::ga3cTf().watts(u));
+    EXPECT_LT(fa3c, PlatformPower::a3cTfCpu().watts(u));
+}

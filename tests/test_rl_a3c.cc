@@ -1,0 +1,314 @@
+/** @file
+ * Tests of the A3C algorithm pieces: the host-side delta-objective
+ * (checked against a finite-difference of the actual loss), gradient
+ * clipping, the global parameter store, the score log, and a
+ * deterministic round-robin training smoke test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/games.hh"
+#include "nn/layers.hh"
+#include "rl/a3c.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::rl;
+using fa3c::tensor::Shape;
+using fa3c::tensor::Tensor;
+
+namespace {
+
+/** The A3C loss the delta-objective differentiates, as a function of
+ * the raw logits and the value output. */
+double
+a3cLoss(std::span<const float> logits, float value, int action,
+        float ret, float beta, float value_scale)
+{
+    std::vector<float> probs(logits.size());
+    nn::softmax(logits, probs);
+    const double advantage = ret - value;
+    double loss =
+        -std::log(static_cast<double>(
+            probs[static_cast<std::size_t>(action)])) *
+        advantage;
+    loss -= beta * static_cast<double>(nn::entropy(probs));
+    loss += 0.5 * value_scale * (ret - value) * (ret - value);
+    return loss;
+}
+
+} // namespace
+
+TEST(DeltaObjective, MatchesFiniteDifferenceOfLoss)
+{
+    sim::Rng rng(3);
+    const int num_actions = 6;
+    std::vector<float> logits(num_actions);
+    test::randomize(std::span<float>(logits), rng);
+    const float value = 0.3f;
+    const float ret = 1.2f;
+    const int action = 2;
+    const float beta = 0.01f;
+    const float value_scale = 0.5f;
+
+    std::vector<float> probs(num_actions);
+    nn::softmax(logits, probs);
+    std::vector<float> g(num_actions + 1);
+    deltaObjective(probs, action, ret, value, beta, value_scale, g);
+
+    // Logit gradients: perturb each logit. Note the advantage term
+    // (ret - value) is treated as a constant in the policy loss, as
+    // in A3C, which the loss above reproduces because perturbing a
+    // logit does not change value.
+    const float h = 1e-3f;
+    for (int j = 0; j < num_actions; ++j) {
+        std::vector<float> up = logits, down = logits;
+        up[static_cast<std::size_t>(j)] += h;
+        down[static_cast<std::size_t>(j)] -= h;
+        const double fd = (a3cLoss(up, value, action, ret, beta,
+                                   value_scale) -
+                           a3cLoss(down, value, action, ret, beta,
+                                   value_scale)) /
+                          (2.0 * h);
+        EXPECT_NEAR(g[static_cast<std::size_t>(j)], fd, 2e-3)
+            << "logit " << j;
+    }
+
+    // Value gradient: the policy term also depends on value through
+    // the advantage, but A3C stops that gradient; only the value loss
+    // contributes.
+    const double fd_v =
+        (0.5 * value_scale * (ret - (value + h)) * (ret - (value + h)) -
+         0.5 * value_scale * (ret - (value - h)) * (ret - (value - h))) /
+        (2.0 * h);
+    EXPECT_NEAR(g[static_cast<std::size_t>(num_actions)], fd_v, 2e-3);
+}
+
+TEST(DeltaObjective, PositiveAdvantageReinforcesChosenAction)
+{
+    std::vector<float> probs = {0.25f, 0.25f, 0.25f, 0.25f};
+    std::vector<float> g(5);
+    deltaObjective(probs, 1, /*ret=*/2.0f, /*value=*/0.0f, 0.0f, 0.5f,
+                   g);
+    // Gradient-descent direction increases the chosen logit...
+    EXPECT_LT(g[1], 0.0f);
+    // ...and decreases the others.
+    EXPECT_GT(g[0], 0.0f);
+    EXPECT_GT(g[2], 0.0f);
+}
+
+TEST(DeltaObjective, EntropyTermFlattensConfidentPolicies)
+{
+    std::vector<float> probs = {0.97f, 0.01f, 0.01f, 0.01f};
+    std::vector<float> g_no_entropy(5), g_entropy(5);
+    // Zero advantage isolates the entropy term.
+    deltaObjective(probs, 0, 0.0f, 0.0f, 0.0f, 0.5f, g_no_entropy);
+    deltaObjective(probs, 0, 0.0f, 0.0f, 0.1f, 0.5f, g_entropy);
+    for (int j = 0; j < 4; ++j)
+        EXPECT_NEAR(g_no_entropy[static_cast<std::size_t>(j)], 0.0f,
+                    1e-6f);
+    // Entropy regularization pushes the dominant logit down.
+    EXPECT_GT(g_entropy[0], 0.0f);
+    EXPECT_LT(g_entropy[1], 0.0f);
+}
+
+TEST(ClipGradNorm, ScalesOnlyWhenAboveLimit)
+{
+    nn::ParamSet grads({{"w", 4}});
+    grads.flat()[0] = 3.0f;
+    grads.flat()[1] = 4.0f; // norm 5
+    const float norm = clipGradNorm(grads, 10.0f);
+    EXPECT_NEAR(norm, 5.0f, 1e-5f);
+    EXPECT_FLOAT_EQ(grads.flat()[0], 3.0f);
+
+    const float norm2 = clipGradNorm(grads, 1.0f);
+    EXPECT_NEAR(norm2, 5.0f, 1e-5f);
+    EXPECT_NEAR(grads.flat()[0], 0.6f, 1e-5f);
+    EXPECT_NEAR(grads.flat()[1], 0.8f, 1e-5f);
+}
+
+TEST(GlobalParams, SnapshotAndAnnealing)
+{
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    GlobalParams global(net, nn::RmspropConfig{}, 0.1f,
+                        /*anneal=*/1000);
+    sim::Rng rng(3);
+    global.initialize(rng);
+    EXPECT_FLOAT_EQ(global.currentLearningRate(), 0.1f);
+
+    nn::ParamSet local = net.makeParams();
+    global.snapshot(local);
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(local, global.theta()),
+                    0.0f);
+
+    nn::ParamSet grads = net.makeParams();
+    grads.flat()[0] = 1.0f;
+    global.applyGradients(grads, 500);
+    EXPECT_EQ(global.globalSteps(), 500u);
+    EXPECT_NEAR(global.currentLearningRate(), 0.05f, 1e-6f);
+    // Theta moved against the gradient.
+    EXPECT_LT(global.theta().flat()[0], local.flat()[0]);
+
+    global.applyGradients(grads, 600);
+    EXPECT_FLOAT_EQ(global.currentLearningRate(), 0.0f);
+}
+
+TEST(ScoreLog, RecordsAndAverages)
+{
+    ScoreLog log;
+    for (int i = 0; i < 10; ++i)
+        log.record(static_cast<std::uint64_t>(i * 100),
+                   static_cast<double>(i), i % 2);
+    EXPECT_EQ(log.size(), 10u);
+    EXPECT_DOUBLE_EQ(log.recentMean(4), (6 + 7 + 8 + 9) / 4.0);
+    EXPECT_DOUBLE_EQ(log.recentMean(100), 4.5);
+
+    const auto series = log.movingAverage(4, 2);
+    ASSERT_FALSE(series.empty());
+    // The last point covers the last window.
+    EXPECT_DOUBLE_EQ(series.back().second, (6 + 7 + 8 + 9) / 4.0);
+    EXPECT_EQ(series.back().first, 900u);
+}
+
+TEST(ScoreLog, EmptyIsSafe)
+{
+    ScoreLog log;
+    EXPECT_DOUBLE_EQ(log.recentMean(5), 0.0);
+    EXPECT_TRUE(log.movingAverage(5).empty());
+}
+
+namespace {
+
+A3cTrainer::SessionFactory
+pongSessions(const nn::NetConfig &net_cfg, std::uint64_t seed)
+{
+    return [net_cfg, seed](int agent_id) {
+        env::SessionConfig cfg;
+        cfg.frameStack = net_cfg.inChannels;
+        cfg.obsHeight = net_cfg.inHeight;
+        cfg.obsWidth = net_cfg.inWidth;
+        cfg.maxEpisodeFrames = 600;
+        return std::make_unique<env::AtariSession>(
+            env::makePong(seed + static_cast<std::uint64_t>(agent_id)),
+            cfg, seed * 7 + static_cast<std::uint64_t>(agent_id));
+    };
+}
+
+} // namespace
+
+TEST(A3cTrainer, SynchronousRunConsumesConfiguredSteps)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 200;
+    cfg.async = false;
+    cfg.seed = 5;
+    A3cTrainer trainer(
+        net, cfg,
+        [&net](int) { return std::make_unique<ReferenceBackend>(net); },
+        pongSessions(net_cfg, 11));
+    trainer.run();
+    EXPECT_GE(trainer.globalParams().globalSteps(), cfg.totalSteps);
+    // Rollouts are at most t_max beyond the limit.
+    EXPECT_LT(trainer.globalParams().globalSteps(),
+              cfg.totalSteps + static_cast<std::uint64_t>(cfg.tMax) *
+                                   static_cast<std::uint64_t>(
+                                       cfg.numAgents));
+}
+
+TEST(A3cTrainer, SynchronousRunIsDeterministic)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 150;
+    cfg.async = false;
+    cfg.seed = 9;
+
+    auto run_once = [&]() {
+        A3cTrainer trainer(
+            net, cfg,
+            [&net](int) {
+                return std::make_unique<ReferenceBackend>(net);
+            },
+            pongSessions(net_cfg, 21));
+        trainer.run();
+        nn::ParamSet out = net.makeParams();
+        out.copyFrom(trainer.globalParams().theta());
+        return out;
+    };
+    nn::ParamSet a = run_once();
+    nn::ParamSet b = run_once();
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(a, b), 0.0f);
+}
+
+TEST(A3cTrainer, AsyncRunMakesProgressAndLogsEpisodes)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 4;
+    cfg.totalSteps = 3000;
+    cfg.async = true;
+    cfg.seed = 13;
+    A3cTrainer trainer(
+        net, cfg,
+        [&net](int) { return std::make_unique<ReferenceBackend>(net); },
+        pongSessions(net_cfg, 31));
+    trainer.run();
+    EXPECT_GE(trainer.globalParams().globalSteps(), cfg.totalSteps);
+    EXPECT_GT(trainer.scores().size(), 0u);
+}
+
+TEST(A3cTrainer, DiagnosticsTrackEntropyAndGradNorms)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 300;
+    cfg.async = false;
+    cfg.seed = 23;
+    A3cTrainer trainer(
+        net, cfg,
+        [&net](int) { return std::make_unique<ReferenceBackend>(net); },
+        pongSessions(net_cfg, 61));
+    trainer.run();
+
+    const auto entropy = trainer.diagnostics().entropy();
+    const auto grad_norm = trainer.diagnostics().gradNorm();
+    EXPECT_GT(entropy.count(), 0u);
+    EXPECT_EQ(entropy.count(), grad_norm.count());
+    // Policy entropy is bounded by ln(numActions).
+    EXPECT_GE(entropy.min(), 0.0);
+    EXPECT_LE(entropy.max(), std::log(3.0) + 1e-5);
+    // A freshly initialized policy is near uniform.
+    EXPECT_GT(entropy.mean(), 0.5 * std::log(3.0));
+    EXPECT_GT(grad_norm.mean(), 0.0);
+}
+
+TEST(A3cTrainer, ParametersChangeDuringTraining)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 1;
+    cfg.totalSteps = 100;
+    cfg.async = false;
+    cfg.seed = 17;
+    A3cTrainer trainer(
+        net, cfg,
+        [&net](int) { return std::make_unique<ReferenceBackend>(net); },
+        pongSessions(net_cfg, 41));
+    nn::ParamSet before = net.makeParams();
+    before.copyFrom(trainer.globalParams().theta());
+    trainer.run();
+    EXPECT_GT(nn::ParamSet::maxAbsDiff(
+                  before, trainer.globalParams().theta()),
+              0.0f);
+}

@@ -1,0 +1,96 @@
+/** @file Tests of the policy evaluator. */
+
+#include <gtest/gtest.h>
+
+#include "env/games.hh"
+#include "rl/evaluate.hh"
+
+using namespace fa3c;
+using namespace fa3c::rl;
+
+namespace {
+
+struct Fixture
+{
+    nn::NetConfig netCfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net{netCfg};
+    nn::ParamSet params = net.makeParams();
+    ReferenceBackend backend{net};
+
+    Fixture()
+    {
+        sim::Rng rng(7);
+        net.initParams(params, rng);
+    }
+
+    env::AtariSession
+    session(std::uint64_t seed)
+    {
+        env::SessionConfig cfg;
+        cfg.frameStack = netCfg.inChannels;
+        cfg.obsHeight = netCfg.inHeight;
+        cfg.obsWidth = netCfg.inWidth;
+        cfg.maxEpisodeFrames = 400;
+        return env::AtariSession(env::makePong(seed), cfg, seed);
+    }
+};
+
+} // namespace
+
+TEST(EvaluatePolicy, PlaysRequestedEpisodes)
+{
+    Fixture f;
+    auto session = f.session(3);
+    EvalConfig cfg;
+    cfg.episodes = 5;
+    const EvalResult r =
+        evaluatePolicy(f.backend, f.params, session, cfg);
+    EXPECT_EQ(r.scores.count(), 5u);
+    EXPECT_GT(r.steps, 0u);
+    // Pong scores are bounded.
+    EXPECT_GE(r.scores.min(), -5.0);
+    EXPECT_LE(r.scores.max(), 5.0);
+}
+
+TEST(EvaluatePolicy, GreedyIsDeterministicGivenSameSession)
+{
+    Fixture f;
+    EvalConfig cfg;
+    cfg.episodes = 2;
+    cfg.greedy = true;
+    auto s1 = f.session(11);
+    auto s2 = f.session(11);
+    const EvalResult a = evaluatePolicy(f.backend, f.params, s1, cfg);
+    const EvalResult b = evaluatePolicy(f.backend, f.params, s2, cfg);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_DOUBLE_EQ(a.scores.mean(), b.scores.mean());
+}
+
+TEST(EvaluatePolicy, StepCapBoundsRuntime)
+{
+    Fixture f;
+    auto session = f.session(5);
+    EvalConfig cfg;
+    cfg.episodes = 1000000;
+    cfg.maxSteps = 500;
+    const EvalResult r =
+        evaluatePolicy(f.backend, f.params, session, cfg);
+    EXPECT_LE(r.steps, 500u);
+}
+
+TEST(EvaluatePolicy, SamplingStreamsDiffer)
+{
+    Fixture f;
+    EvalConfig a_cfg;
+    a_cfg.episodes = 3;
+    a_cfg.seed = 1;
+    EvalConfig b_cfg = a_cfg;
+    b_cfg.seed = 2;
+    auto s1 = f.session(21);
+    auto s2 = f.session(21);
+    const EvalResult a = evaluatePolicy(f.backend, f.params, s1, a_cfg);
+    const EvalResult b = evaluatePolicy(f.backend, f.params, s2, b_cfg);
+    // Different sampling seeds make different trajectories (almost
+    // surely different step totals).
+    EXPECT_NE(a.steps, b.steps);
+}

@@ -1,0 +1,209 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace fa3c::sim;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i]() { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&]() {
+        q.scheduleIn(50, [&]() { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10, [&]() { ran = true; });
+    q.deschedule(id);
+    EXPECT_TRUE(q.empty());
+    q.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, []() {});
+    q.deschedule(id);
+    q.deschedule(id); // no effect
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, DescheduleOneOfMany)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&]() { order.push_back(1); });
+    EventId id = q.schedule(20, [&]() { order.push_back(2); });
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.deschedule(id);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&]() { ++count; });
+    q.schedule(20, [&]() { ++count; });
+    q.schedule(30, [&]() { ++count; });
+    EXPECT_EQ(q.run(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 5)
+            q.scheduleIn(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, []() {});
+    q.run();
+    EXPECT_THROW(q.schedule(50, []() {}), std::logic_error);
+}
+
+TEST(EventQueue, PendingEventsTracksLiveCount)
+{
+    EventQueue q;
+    EXPECT_EQ(q.pendingEvents(), 0u);
+    EventId a = q.schedule(10, []() {});
+    q.schedule(20, []() {});
+    EXPECT_EQ(q.pendingEvents(), 2u);
+    q.deschedule(a);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    q.run();
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, ManyInterleavedEventsKeepDeterministicOrder)
+{
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> seen;
+    for (int i = 0; i < 200; ++i) {
+        const Tick when = static_cast<Tick>((i * 37) % 50);
+        q.schedule(when, [&seen, when, i]() {
+            seen.emplace_back(when, i);
+        });
+    }
+    q.run();
+    for (std::size_t i = 1; i < seen.size(); ++i) {
+        EXPECT_LE(seen[i - 1].first, seen[i].first);
+        if (seen[i - 1].first == seen[i].first) {
+            EXPECT_LT(seen[i - 1].second, seen[i].second);
+        }
+    }
+}
+
+TEST(EventQueue, RandomizedAgainstGoldenModel)
+{
+    // Property test: random schedules and cancellations must execute
+    // in exactly the order a straightforward sorted-list golden model
+    // predicts.
+    fa3c::sim::Rng rng(20260706);
+    for (int round = 0; round < 20; ++round) {
+        EventQueue q;
+        struct Golden
+        {
+            Tick when;
+            int label;
+            bool cancelled = false;
+        };
+        std::vector<Golden> golden;
+        std::vector<EventId> ids;
+        std::vector<int> executed;
+
+        const int n = 50 + static_cast<int>(rng.uniformInt(100));
+        for (int i = 0; i < n; ++i) {
+            const Tick when = rng.uniformInt(1000);
+            golden.push_back(Golden{when, i});
+            ids.push_back(q.schedule(
+                when, [&executed, i]() { executed.push_back(i); }));
+        }
+        // Cancel a random subset.
+        for (int i = 0; i < n / 4; ++i) {
+            const std::size_t victim =
+                rng.uniformInt(static_cast<std::uint32_t>(n));
+            q.deschedule(ids[victim]);
+            golden[victim].cancelled = true;
+        }
+
+        std::vector<int> expected;
+        std::stable_sort(golden.begin(), golden.end(),
+                         [](const Golden &a, const Golden &b) {
+                             return a.when < b.when;
+                         });
+        for (const auto &g : golden)
+            if (!g.cancelled)
+                expected.push_back(g.label);
+
+        q.run();
+        ASSERT_EQ(executed, expected) << "round " << round;
+    }
+}
+
+TEST(ClockDomain, ConvertsCyclesAndTicks)
+{
+    ClockDomain clk(180e6); // 180 MHz
+    EXPECT_NEAR(static_cast<double>(clk.period()), 5555.5, 1.0);
+    EXPECT_EQ(clk.toTicks(2), 2 * clk.period());
+    EXPECT_EQ(clk.toCycles(clk.period() * 3), 3u);
+    // Rounding up: one tick past two periods costs three cycles.
+    EXPECT_EQ(clk.toCycles(clk.period() * 2 + 1), 3u);
+}

@@ -1,0 +1,123 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+using namespace fa3c::sim;
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class RngUniformIntBound : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(RngUniformIntBound, StaysBelowBound)
+{
+    const std::uint32_t bound = GetParam();
+    Rng rng(bound * 131 + 1);
+    bool saw_zero = false;
+    bool saw_max = false;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint32_t v = rng.uniformInt(bound);
+        EXPECT_LT(v, bound);
+        saw_zero = saw_zero || v == 0;
+        saw_max = saw_max || v == bound - 1;
+    }
+    EXPECT_TRUE(saw_zero);
+    EXPECT_TRUE(saw_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformIntBound,
+                         ::testing::Values(1u, 2u, 3u, 5u, 16u, 100u));
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    double sum = 0, sum_sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, RangeRespectsBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.range(-3.0, 7.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStreams)
+{
+    Rng parent(77);
+    Rng child_a = parent.split(1);
+    Rng child_b = parent.split(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child_a.next() == child_b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng p1(123), p2(123);
+    Rng c1 = p1.split(9);
+    Rng c2 = p2.split(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}

@@ -1,0 +1,80 @@
+/** @file Unit tests for counters, distributions, and the registry. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace fa3c::sim;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.stddev(), 1.118, 1e-3);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(5.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Distribution, ConstantSamplesHaveZeroStddev)
+{
+    Distribution d;
+    for (int i = 0; i < 10; ++i)
+        d.sample(3.0);
+    EXPECT_NEAR(d.stddev(), 0.0, 1e-9);
+}
+
+TEST(StatGroup, CreatesLazilyAndReports)
+{
+    StatGroup g;
+    g.counter("a").inc(3);
+    g.counter("b").inc(1);
+    g.distribution("lat").sample(2.0);
+    EXPECT_EQ(g.counterValue("a"), 3u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+    const std::string report = g.report("title");
+    EXPECT_NE(report.find("title"), std::string::npos);
+    EXPECT_NE(report.find("a = 3"), std::string::npos);
+    EXPECT_NE(report.find("lat"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup g;
+    g.counter("x").inc(7);
+    g.distribution("d").sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("x"), 0u);
+}

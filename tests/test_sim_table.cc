@@ -1,0 +1,70 @@
+/** @file Unit tests for the text-table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/table.hh"
+
+using namespace fa3c::sim;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t({"A", "B", "C"});
+    t.addRow({"only"});
+    const std::string out = t.render();
+    // Three rows of output: header, separator, one data row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TextTable, RejectsOverlongRows)
+{
+    TextTable t({"A"});
+    EXPECT_THROW(t.addRow({"1", "2"}), std::logic_error);
+}
+
+TEST(TextTable, NumFormatsDoubles)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, NumFormatsIntegersWithSeparators)
+{
+    EXPECT_EQ(TextTable::num(std::uint64_t{0}), "0");
+    EXPECT_EQ(TextTable::num(std::uint64_t{999}), "999");
+    EXPECT_EQ(TextTable::num(std::uint64_t{1000}), "1,000");
+    EXPECT_EQ(TextTable::num(std::uint64_t{1234567}), "1,234,567");
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell)
+{
+    TextTable t({"H"});
+    t.addRow({"wide-cell-here"});
+    t.addRow({"x"});
+    const std::string out = t.render();
+    // All lines should be equally long.
+    std::size_t prev = std::string::npos;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (prev != std::string::npos) {
+            EXPECT_EQ(len, prev);
+        }
+        prev = len;
+        start = end + 1;
+    }
+}

@@ -1,0 +1,145 @@
+/** @file Unit tests for the tensor library. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "tensor/tensor.hh"
+
+using namespace fa3c::tensor;
+
+TEST(Shape, BasicProperties)
+{
+    Shape s({4, 84, 84});
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s[0], 4);
+    EXPECT_EQ(s[2], 84);
+    EXPECT_EQ(s.numel(), 4u * 84 * 84);
+    EXPECT_EQ(s.str(), "[4, 84, 84]");
+}
+
+TEST(Shape, EqualityComparesRankAndExtents)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, EmptyShapeHasZeroElements)
+{
+    Shape s;
+    EXPECT_EQ(s.rank(), 0);
+    EXPECT_EQ(s.numel(), 0u);
+}
+
+TEST(Shape, RejectsBadExtents)
+{
+    EXPECT_THROW(Shape({0}), std::logic_error);
+    EXPECT_THROW(Shape({2, -1}), std::logic_error);
+}
+
+TEST(Tensor, AllocatesZeroFilled)
+{
+    Tensor t(Shape({3, 4}));
+    EXPECT_EQ(t.numel(), 12u);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RowMajorIndexing)
+{
+    Tensor t(Shape({2, 3}));
+    t.at(1, 2) = 5.0f;
+    EXPECT_EQ(t[5], 5.0f);
+    t.at(0, 1) = 2.0f;
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, Rank3And4Indexing)
+{
+    Tensor t3(Shape({2, 3, 4}));
+    t3.at(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t3[1 * 12 + 2 * 4 + 3], 9.0f);
+
+    Tensor t4(Shape({2, 2, 2, 2}));
+    t4.at(1, 0, 1, 0) = 7.0f;
+    EXPECT_EQ(t4[8 + 0 + 2 + 0], 7.0f);
+}
+
+TEST(Tensor, OutOfRangePanics)
+{
+    Tensor t(Shape({2, 2}));
+    EXPECT_THROW(t.at(2, 0), std::logic_error);
+    EXPECT_THROW(t.at(0, -1), std::logic_error);
+    EXPECT_THROW((void)t[4], std::logic_error);
+}
+
+TEST(Tensor, WrongRankAccessPanics)
+{
+    Tensor t(Shape({2, 2}));
+    EXPECT_THROW(t.at(0), std::logic_error);
+    EXPECT_THROW(t.at(0, 0, 0), std::logic_error);
+}
+
+TEST(Tensor, FillAndZero)
+{
+    Tensor t(Shape({5}));
+    t.fill(3.5f);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(t.at(i), 3.5f);
+    t.zero();
+    EXPECT_EQ(t.maxAbs(), 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape({2, 6}));
+    t.at(1, 5) = 4.0f;
+    t.reshape(Shape({3, 4}));
+    EXPECT_EQ(t.at(2, 3), 4.0f);
+    EXPECT_THROW(t.reshape(Shape({5})), std::logic_error);
+}
+
+TEST(Tensor, AddAndScale)
+{
+    Tensor a(Shape({3})), b(Shape({3}));
+    a.fill(1.0f);
+    b.fill(2.0f);
+    a.add(b);
+    EXPECT_EQ(a.at(0), 3.0f);
+    a.scale(-2.0f);
+    EXPECT_EQ(a.at(2), -6.0f);
+}
+
+TEST(Tensor, AddShapeMismatchPanics)
+{
+    Tensor a(Shape({3})), b(Shape({4}));
+    EXPECT_THROW(a.add(b), std::logic_error);
+}
+
+TEST(Tensor, FillUniformWithinBounds)
+{
+    fa3c::sim::Rng rng(3);
+    Tensor t(Shape({1000}));
+    t.fillUniform(rng, -0.5f, 0.5f);
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t[i], -0.5f);
+        EXPECT_LT(t[i], 0.5f);
+    }
+    EXPECT_GT(t.maxAbs(), 0.0f);
+}
+
+TEST(Tensor, LecunUniformBound)
+{
+    fa3c::sim::Rng rng(4);
+    Tensor t(Shape({1000}));
+    t.fillLecunUniform(rng, 100);
+    EXPECT_LE(t.maxAbs(), 0.1f);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a(Shape({4})), b(Shape({4}));
+    a.at(2) = 1.0f;
+    b.at(2) = -2.0f;
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 3.0f);
+}

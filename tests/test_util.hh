@@ -1,0 +1,64 @@
+/** @file Shared helpers for the FA3C test suite. */
+
+#ifndef FA3C_TESTS_TEST_UTIL_HH
+#define FA3C_TESTS_TEST_UTIL_HH
+
+#include <vector>
+
+#include "nn/layers.hh"
+#include "sim/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace fa3c::test {
+
+/** Fill a tensor with deterministic pseudo-random values in [-1, 1). */
+inline void
+randomize(tensor::Tensor &t, sim::Rng &rng)
+{
+    t.fillUniform(rng, -1.0f, 1.0f);
+}
+
+/** Fill a span with deterministic pseudo-random values in [-1, 1). */
+inline void
+randomize(std::span<float> s, sim::Rng &rng)
+{
+    for (float &v : s)
+        v = -1.0f + 2.0f * rng.uniformF();
+}
+
+/** A spread of convolution shapes covering the A3C layers plus edge
+ * cases (stride 1, kernel 1, single channels). */
+inline std::vector<nn::ConvSpec>
+convSpecZoo()
+{
+    return {
+        // The A3C layers (Table 1), full size.
+        {4, 84, 84, 16, 8, 4},
+        {16, 20, 20, 32, 4, 2},
+        // Smaller variants for dense coverage.
+        {2, 12, 12, 4, 4, 2},
+        {3, 10, 10, 5, 3, 1},
+        {1, 8, 8, 1, 2, 2},
+        {4, 9, 9, 8, 3, 3},
+        {2, 7, 7, 7, 1, 1},
+        {5, 6, 6, 3, 2, 1},
+    };
+}
+
+/** FC shapes including the A3C FC layers. */
+inline std::vector<nn::FcSpec>
+fcSpecZoo()
+{
+    return {
+        {2592, 256},
+        {256, 32},
+        {10, 4},
+        {1, 1},
+        {17, 33},
+        {64, 5},
+    };
+}
+
+} // namespace fa3c::test
+
+#endif // FA3C_TESTS_TEST_UTIL_HH
