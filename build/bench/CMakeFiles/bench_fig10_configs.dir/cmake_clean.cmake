@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_configs.dir/bench_fig10_configs.cc.o"
+  "CMakeFiles/bench_fig10_configs.dir/bench_fig10_configs.cc.o.d"
+  "bench_fig10_configs"
+  "bench_fig10_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

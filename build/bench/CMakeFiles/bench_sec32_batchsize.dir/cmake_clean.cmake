@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_batchsize.dir/bench_sec32_batchsize.cc.o"
+  "CMakeFiles/bench_sec32_batchsize.dir/bench_sec32_batchsize.cc.o.d"
+  "bench_sec32_batchsize"
+  "bench_sec32_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

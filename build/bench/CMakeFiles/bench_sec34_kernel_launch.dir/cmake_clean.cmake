@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec34_kernel_launch.dir/bench_sec34_kernel_launch.cc.o"
+  "CMakeFiles/bench_sec34_kernel_launch.dir/bench_sec34_kernel_launch.cc.o.d"
+  "bench_sec34_kernel_launch"
+  "bench_sec34_kernel_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_kernel_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

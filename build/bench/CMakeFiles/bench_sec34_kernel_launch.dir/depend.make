@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec34_kernel_launch.
+# This may be replaced when dependencies are built.

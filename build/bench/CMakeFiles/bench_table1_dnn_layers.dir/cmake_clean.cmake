@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dnn_layers.dir/bench_table1_dnn_layers.cc.o"
+  "CMakeFiles/bench_table1_dnn_layers.dir/bench_table1_dnn_layers.cc.o.d"
+  "bench_table1_dnn_layers"
+  "bench_table1_dnn_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dnn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

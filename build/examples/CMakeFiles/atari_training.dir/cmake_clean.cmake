@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atari_training.dir/atari_training.cpp.o"
+  "CMakeFiles/atari_training.dir/atari_training.cpp.o.d"
+  "atari_training"
+  "atari_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atari_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

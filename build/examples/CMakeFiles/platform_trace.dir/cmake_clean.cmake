@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_trace.dir/platform_trace.cpp.o"
+  "CMakeFiles/platform_trace.dir/platform_trace.cpp.o.d"
+  "platform_trace"
+  "platform_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/ascii.cc" "src/env/CMakeFiles/fa3c_env.dir/ascii.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/ascii.cc.o.d"
+  "/root/repo/src/env/environment.cc" "src/env/CMakeFiles/fa3c_env.dir/environment.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/environment.cc.o.d"
+  "/root/repo/src/env/frame.cc" "src/env/CMakeFiles/fa3c_env.dir/frame.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/frame.cc.o.d"
+  "/root/repo/src/env/game_beam_rider.cc" "src/env/CMakeFiles/fa3c_env.dir/game_beam_rider.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/game_beam_rider.cc.o.d"
+  "/root/repo/src/env/game_breakout.cc" "src/env/CMakeFiles/fa3c_env.dir/game_breakout.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/game_breakout.cc.o.d"
+  "/root/repo/src/env/game_pong.cc" "src/env/CMakeFiles/fa3c_env.dir/game_pong.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/game_pong.cc.o.d"
+  "/root/repo/src/env/game_qbert.cc" "src/env/CMakeFiles/fa3c_env.dir/game_qbert.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/game_qbert.cc.o.d"
+  "/root/repo/src/env/game_seaquest.cc" "src/env/CMakeFiles/fa3c_env.dir/game_seaquest.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/game_seaquest.cc.o.d"
+  "/root/repo/src/env/game_space_invaders.cc" "src/env/CMakeFiles/fa3c_env.dir/game_space_invaders.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/game_space_invaders.cc.o.d"
+  "/root/repo/src/env/session.cc" "src/env/CMakeFiles/fa3c_env.dir/session.cc.o" "gcc" "src/env/CMakeFiles/fa3c_env.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fa3c_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fa3c_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_env.dir/ascii.cc.o"
+  "CMakeFiles/fa3c_env.dir/ascii.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/environment.cc.o"
+  "CMakeFiles/fa3c_env.dir/environment.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/frame.cc.o"
+  "CMakeFiles/fa3c_env.dir/frame.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/game_beam_rider.cc.o"
+  "CMakeFiles/fa3c_env.dir/game_beam_rider.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/game_breakout.cc.o"
+  "CMakeFiles/fa3c_env.dir/game_breakout.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/game_pong.cc.o"
+  "CMakeFiles/fa3c_env.dir/game_pong.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/game_qbert.cc.o"
+  "CMakeFiles/fa3c_env.dir/game_qbert.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/game_seaquest.cc.o"
+  "CMakeFiles/fa3c_env.dir/game_seaquest.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/game_space_invaders.cc.o"
+  "CMakeFiles/fa3c_env.dir/game_space_invaders.cc.o.d"
+  "CMakeFiles/fa3c_env.dir/session.cc.o"
+  "CMakeFiles/fa3c_env.dir/session.cc.o.d"
+  "libfa3c_env.a"
+  "libfa3c_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fa3c/accelerator.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/accelerator.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/accelerator.cc.o.d"
+  "/root/repo/src/fa3c/buffers.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/buffers.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/buffers.cc.o.d"
+  "/root/repo/src/fa3c/config.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/config.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/config.cc.o.d"
+  "/root/repo/src/fa3c/datapath_backend.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/datapath_backend.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/datapath_backend.cc.o.d"
+  "/root/repo/src/fa3c/dram_model.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/dram_model.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/dram_model.cc.o.d"
+  "/root/repo/src/fa3c/layouts.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/layouts.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/layouts.cc.o.d"
+  "/root/repo/src/fa3c/pe_array.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/pe_array.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/pe_array.cc.o.d"
+  "/root/repo/src/fa3c/resource_model.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/resource_model.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/resource_model.cc.o.d"
+  "/root/repo/src/fa3c/rmsprop_module.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/rmsprop_module.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/rmsprop_module.cc.o.d"
+  "/root/repo/src/fa3c/task_model.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/task_model.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/task_model.cc.o.d"
+  "/root/repo/src/fa3c/timing.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/timing.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/timing.cc.o.d"
+  "/root/repo/src/fa3c/tlu.cc" "src/fa3c/CMakeFiles/fa3c_core.dir/tlu.cc.o" "gcc" "src/fa3c/CMakeFiles/fa3c_core.dir/tlu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/fa3c_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fa3c_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fa3c_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fa3c_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/fa3c_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_core.dir/accelerator.cc.o"
+  "CMakeFiles/fa3c_core.dir/accelerator.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/buffers.cc.o"
+  "CMakeFiles/fa3c_core.dir/buffers.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/config.cc.o"
+  "CMakeFiles/fa3c_core.dir/config.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/datapath_backend.cc.o"
+  "CMakeFiles/fa3c_core.dir/datapath_backend.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/dram_model.cc.o"
+  "CMakeFiles/fa3c_core.dir/dram_model.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/layouts.cc.o"
+  "CMakeFiles/fa3c_core.dir/layouts.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/pe_array.cc.o"
+  "CMakeFiles/fa3c_core.dir/pe_array.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/resource_model.cc.o"
+  "CMakeFiles/fa3c_core.dir/resource_model.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/rmsprop_module.cc.o"
+  "CMakeFiles/fa3c_core.dir/rmsprop_module.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/task_model.cc.o"
+  "CMakeFiles/fa3c_core.dir/task_model.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/timing.cc.o"
+  "CMakeFiles/fa3c_core.dir/timing.cc.o.d"
+  "CMakeFiles/fa3c_core.dir/tlu.cc.o"
+  "CMakeFiles/fa3c_core.dir/tlu.cc.o.d"
+  "libfa3c_core.a"
+  "libfa3c_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/fa3c_gpu.dir/gpu_model.cc.o.d"
+  "CMakeFiles/fa3c_gpu.dir/layout_experiment.cc.o"
+  "CMakeFiles/fa3c_gpu.dir/layout_experiment.cc.o.d"
+  "libfa3c_gpu.a"
+  "libfa3c_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

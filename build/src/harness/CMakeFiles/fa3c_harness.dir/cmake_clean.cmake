@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_harness.dir/agent_driver.cc.o"
+  "CMakeFiles/fa3c_harness.dir/agent_driver.cc.o.d"
+  "CMakeFiles/fa3c_harness.dir/experiments.cc.o"
+  "CMakeFiles/fa3c_harness.dir/experiments.cc.o.d"
+  "libfa3c_harness.a"
+  "libfa3c_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

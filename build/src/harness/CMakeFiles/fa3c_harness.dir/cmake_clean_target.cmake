@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfa3c_harness.a"
+)

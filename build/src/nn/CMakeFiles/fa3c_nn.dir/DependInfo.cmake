@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/a3c_network.cc" "src/nn/CMakeFiles/fa3c_nn.dir/a3c_network.cc.o" "gcc" "src/nn/CMakeFiles/fa3c_nn.dir/a3c_network.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/fa3c_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/fa3c_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/params.cc" "src/nn/CMakeFiles/fa3c_nn.dir/params.cc.o" "gcc" "src/nn/CMakeFiles/fa3c_nn.dir/params.cc.o.d"
+  "/root/repo/src/nn/rmsprop.cc" "src/nn/CMakeFiles/fa3c_nn.dir/rmsprop.cc.o" "gcc" "src/nn/CMakeFiles/fa3c_nn.dir/rmsprop.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/fa3c_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/fa3c_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fa3c_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fa3c_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_nn.dir/a3c_network.cc.o"
+  "CMakeFiles/fa3c_nn.dir/a3c_network.cc.o.d"
+  "CMakeFiles/fa3c_nn.dir/layers.cc.o"
+  "CMakeFiles/fa3c_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fa3c_nn.dir/params.cc.o"
+  "CMakeFiles/fa3c_nn.dir/params.cc.o.d"
+  "CMakeFiles/fa3c_nn.dir/rmsprop.cc.o"
+  "CMakeFiles/fa3c_nn.dir/rmsprop.cc.o.d"
+  "CMakeFiles/fa3c_nn.dir/serialize.cc.o"
+  "CMakeFiles/fa3c_nn.dir/serialize.cc.o.d"
+  "libfa3c_nn.a"
+  "libfa3c_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_power.dir/power_model.cc.o"
+  "CMakeFiles/fa3c_power.dir/power_model.cc.o.d"
+  "libfa3c_power.a"
+  "libfa3c_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

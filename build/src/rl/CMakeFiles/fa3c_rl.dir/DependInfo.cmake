@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a3c.cc" "src/rl/CMakeFiles/fa3c_rl.dir/a3c.cc.o" "gcc" "src/rl/CMakeFiles/fa3c_rl.dir/a3c.cc.o.d"
+  "/root/repo/src/rl/evaluate.cc" "src/rl/CMakeFiles/fa3c_rl.dir/evaluate.cc.o" "gcc" "src/rl/CMakeFiles/fa3c_rl.dir/evaluate.cc.o.d"
+  "/root/repo/src/rl/ga3c.cc" "src/rl/CMakeFiles/fa3c_rl.dir/ga3c.cc.o" "gcc" "src/rl/CMakeFiles/fa3c_rl.dir/ga3c.cc.o.d"
+  "/root/repo/src/rl/global_params.cc" "src/rl/CMakeFiles/fa3c_rl.dir/global_params.cc.o" "gcc" "src/rl/CMakeFiles/fa3c_rl.dir/global_params.cc.o.d"
+  "/root/repo/src/rl/paac.cc" "src/rl/CMakeFiles/fa3c_rl.dir/paac.cc.o" "gcc" "src/rl/CMakeFiles/fa3c_rl.dir/paac.cc.o.d"
+  "/root/repo/src/rl/score_log.cc" "src/rl/CMakeFiles/fa3c_rl.dir/score_log.cc.o" "gcc" "src/rl/CMakeFiles/fa3c_rl.dir/score_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fa3c_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/fa3c_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fa3c_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fa3c_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_rl.dir/a3c.cc.o"
+  "CMakeFiles/fa3c_rl.dir/a3c.cc.o.d"
+  "CMakeFiles/fa3c_rl.dir/evaluate.cc.o"
+  "CMakeFiles/fa3c_rl.dir/evaluate.cc.o.d"
+  "CMakeFiles/fa3c_rl.dir/ga3c.cc.o"
+  "CMakeFiles/fa3c_rl.dir/ga3c.cc.o.d"
+  "CMakeFiles/fa3c_rl.dir/global_params.cc.o"
+  "CMakeFiles/fa3c_rl.dir/global_params.cc.o.d"
+  "CMakeFiles/fa3c_rl.dir/paac.cc.o"
+  "CMakeFiles/fa3c_rl.dir/paac.cc.o.d"
+  "CMakeFiles/fa3c_rl.dir/score_log.cc.o"
+  "CMakeFiles/fa3c_rl.dir/score_log.cc.o.d"
+  "libfa3c_rl.a"
+  "libfa3c_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fa3c_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fa3c_sim.dir/logging.cc.o"
+  "CMakeFiles/fa3c_sim.dir/logging.cc.o.d"
+  "CMakeFiles/fa3c_sim.dir/rng.cc.o"
+  "CMakeFiles/fa3c_sim.dir/rng.cc.o.d"
+  "CMakeFiles/fa3c_sim.dir/stats.cc.o"
+  "CMakeFiles/fa3c_sim.dir/stats.cc.o.d"
+  "CMakeFiles/fa3c_sim.dir/table.cc.o"
+  "CMakeFiles/fa3c_sim.dir/table.cc.o.d"
+  "libfa3c_sim.a"
+  "libfa3c_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa3c_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fa3c_tensor.dir/tensor.cc.o.d"
+  "libfa3c_tensor.a"
+  "libfa3c_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa3c_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

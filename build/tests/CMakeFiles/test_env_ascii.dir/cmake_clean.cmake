@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_ascii.dir/test_env_ascii.cc.o"
+  "CMakeFiles/test_env_ascii.dir/test_env_ascii.cc.o.d"
+  "test_env_ascii"
+  "test_env_ascii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_ascii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_behaviors.dir/test_env_behaviors.cc.o"
+  "CMakeFiles/test_env_behaviors.dir/test_env_behaviors.cc.o.d"
+  "test_env_behaviors"
+  "test_env_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_games.dir/test_env_games.cc.o"
+  "CMakeFiles/test_env_games.dir/test_env_games.cc.o.d"
+  "test_env_games"
+  "test_env_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_session.dir/test_env_session.cc.o"
+  "CMakeFiles/test_env_session.dir/test_env_session.cc.o.d"
+  "test_env_session"
+  "test_env_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_accelerator.dir/test_fa3c_accelerator.cc.o"
+  "CMakeFiles/test_fa3c_accelerator.dir/test_fa3c_accelerator.cc.o.d"
+  "test_fa3c_accelerator"
+  "test_fa3c_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_buffers.dir/test_fa3c_buffers.cc.o"
+  "CMakeFiles/test_fa3c_buffers.dir/test_fa3c_buffers.cc.o.d"
+  "test_fa3c_buffers"
+  "test_fa3c_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

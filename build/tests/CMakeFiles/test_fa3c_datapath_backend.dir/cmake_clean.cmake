@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_datapath_backend.dir/test_fa3c_datapath_backend.cc.o"
+  "CMakeFiles/test_fa3c_datapath_backend.dir/test_fa3c_datapath_backend.cc.o.d"
+  "test_fa3c_datapath_backend"
+  "test_fa3c_datapath_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_datapath_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

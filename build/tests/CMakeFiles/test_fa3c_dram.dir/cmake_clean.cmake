@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_dram.dir/test_fa3c_dram.cc.o"
+  "CMakeFiles/test_fa3c_dram.dir/test_fa3c_dram.cc.o.d"
+  "test_fa3c_dram"
+  "test_fa3c_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_layouts.dir/test_fa3c_layouts.cc.o"
+  "CMakeFiles/test_fa3c_layouts.dir/test_fa3c_layouts.cc.o.d"
+  "test_fa3c_layouts"
+  "test_fa3c_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

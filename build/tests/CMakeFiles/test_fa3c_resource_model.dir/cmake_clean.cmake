@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_resource_model.dir/test_fa3c_resource_model.cc.o"
+  "CMakeFiles/test_fa3c_resource_model.dir/test_fa3c_resource_model.cc.o.d"
+  "test_fa3c_resource_model"
+  "test_fa3c_resource_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_resource_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_rmsprop_module.dir/test_fa3c_rmsprop_module.cc.o"
+  "CMakeFiles/test_fa3c_rmsprop_module.dir/test_fa3c_rmsprop_module.cc.o.d"
+  "test_fa3c_rmsprop_module"
+  "test_fa3c_rmsprop_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_rmsprop_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

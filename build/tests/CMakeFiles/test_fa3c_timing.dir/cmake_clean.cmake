@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_timing.dir/test_fa3c_timing.cc.o"
+  "CMakeFiles/test_fa3c_timing.dir/test_fa3c_timing.cc.o.d"
+  "test_fa3c_timing"
+  "test_fa3c_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa3c_tlu.dir/test_fa3c_tlu.cc.o"
+  "CMakeFiles/test_fa3c_tlu.dir/test_fa3c_tlu.cc.o.d"
+  "test_fa3c_tlu"
+  "test_fa3c_tlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa3c_tlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

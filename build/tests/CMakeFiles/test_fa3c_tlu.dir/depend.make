@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fa3c_tlu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_driver.dir/test_harness_driver.cc.o"
+  "CMakeFiles/test_harness_driver.dir/test_harness_driver.cc.o.d"
+  "test_harness_driver"
+  "test_harness_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_training.dir/test_integration_training.cc.o"
+  "CMakeFiles/test_integration_training.dir/test_integration_training.cc.o.d"
+  "test_integration_training"
+  "test_integration_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

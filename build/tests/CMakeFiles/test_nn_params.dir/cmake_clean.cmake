@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_params.dir/test_nn_params.cc.o"
+  "CMakeFiles/test_nn_params.dir/test_nn_params.cc.o.d"
+  "test_nn_params"
+  "test_nn_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_rmsprop.dir/test_nn_rmsprop.cc.o"
+  "CMakeFiles/test_nn_rmsprop.dir/test_nn_rmsprop.cc.o.d"
+  "test_nn_rmsprop"
+  "test_nn_rmsprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_rmsprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

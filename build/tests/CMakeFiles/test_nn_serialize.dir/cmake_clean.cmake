@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_serialize.dir/test_nn_serialize.cc.o"
+  "CMakeFiles/test_nn_serialize.dir/test_nn_serialize.cc.o.d"
+  "test_nn_serialize"
+  "test_nn_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_evaluate.dir/test_rl_evaluate.cc.o"
+  "CMakeFiles/test_rl_evaluate.dir/test_rl_evaluate.cc.o.d"
+  "test_rl_evaluate"
+  "test_rl_evaluate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

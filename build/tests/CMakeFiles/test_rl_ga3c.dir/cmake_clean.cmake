@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_ga3c.dir/test_rl_ga3c.cc.o"
+  "CMakeFiles/test_rl_ga3c.dir/test_rl_ga3c.cc.o.d"
+  "test_rl_ga3c"
+  "test_rl_ga3c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_ga3c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_paac.dir/test_rl_paac.cc.o"
+  "CMakeFiles/test_rl_paac.dir/test_rl_paac.cc.o.d"
+  "test_rl_paac"
+  "test_rl_paac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_paac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_event_queue.dir/test_sim_event_queue.cc.o"
+  "CMakeFiles/test_sim_event_queue.dir/test_sim_event_queue.cc.o.d"
+  "test_sim_event_queue"
+  "test_sim_event_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

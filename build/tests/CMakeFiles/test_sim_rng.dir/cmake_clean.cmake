@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_rng.dir/test_sim_rng.cc.o"
+  "CMakeFiles/test_sim_rng.dir/test_sim_rng.cc.o.d"
+  "test_sim_rng"
+  "test_sim_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_stats.cc" "tests/CMakeFiles/test_sim_stats.dir/test_sim_stats.cc.o" "gcc" "tests/CMakeFiles/test_sim_stats.dir/test_sim_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fa3c_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa3c/CMakeFiles/fa3c_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/fa3c_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fa3c_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/fa3c_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/fa3c_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fa3c_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fa3c_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fa3c_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

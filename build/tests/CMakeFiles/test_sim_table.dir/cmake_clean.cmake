@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_table.dir/test_sim_table.cc.o"
+  "CMakeFiles/test_sim_table.dir/test_sim_table.cc.o.d"
+  "test_sim_table"
+  "test_sim_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
