@@ -69,6 +69,8 @@ main(int argc, char **argv)
                         &base_cfg)
             .ips;
 
+    bench::JsonReport report("fig10_configs");
+    report.field("base_ips_n16", base_ips);
     sim::TextTable table({"Configuration", "n=1", "n=2", "n=4", "n=8",
                           "n=16"});
     double alt1_16 = 0;
@@ -82,6 +84,11 @@ main(int argc, char **argv)
                                 sim_seconds, &cfg)
                     .ips;
             row.push_back(sim::TextTable::num(ips / base_ips, 2));
+            report.addRow()
+                .set("variant", core::variantName(v))
+                .set("agents", n)
+                .set("ips", ips)
+                .set("relative_ips", ips / base_ips);
             if (v == core::Variant::Alt1 && n == 16)
                 alt1_16 = ips;
             if (v == core::Variant::SingleCU && n == 4)

@@ -63,10 +63,17 @@ main(int argc, char **argv)
                                "under different parameter layouts");
 
     const auto rows = layoutExperiment(netCfg, 5);
+    bench::JsonReport report("fig11_gpu_layouts");
     sim::TextTable table({"Configuration", "Inference (us)",
                           "Training (us)", "Transform (us)",
                           "Total (us)"});
     for (const auto &row : rows) {
+        report.addRow()
+            .set("config", row.config)
+            .set("inference_us", row.inferenceSec * 1e6)
+            .set("training_us", row.trainingSec * 1e6)
+            .set("transform_us", row.transformSec * 1e6)
+            .set("total_us", row.totalSec() * 1e6);
         table.addRow({row.config,
                       sim::TextTable::num(row.inferenceSec * 1e6, 1),
                       sim::TextTable::num(row.trainingSec * 1e6, 1),
@@ -94,6 +101,8 @@ main(int argc, char **argv)
     const std::uint64_t tlu_cycles = core::tluLoadCycles(fc3, 2);
     const std::uint64_t dram_beats =
         core::paddedParamWords(fc3) / core::dramBurstWords;
+    report.field("tlu_transpose_cycles_fc3", tlu_cycles);
+    report.field("dram_burst_beats_fc3", dram_beats);
     std::printf("FA3C TLU: %s cycles to transpose FC3 vs %s DRAM "
                 "burst beats for the same load -> fully overlapped.\n",
                 sim::TextTable::num(tlu_cycles).c_str(),

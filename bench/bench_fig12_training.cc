@@ -96,6 +96,7 @@ main(int argc, char **argv)
     std::FILE *csv = bench::openCsv("fig12_training_curves.csv");
     if (csv)
         std::fprintf(csv, "game,platform,step,score\n");
+    bench::JsonReport report("fig12_training");
 
     sim::TextTable table({"Game", "Platform", "Episodes",
                           "First avg score", "Final avg score",
@@ -122,6 +123,15 @@ main(int argc, char **argv)
             }
             if (r.finalScore > r.firstScore)
                 ++improved;
+            report.addRow()
+                .set("game", env::gameName(game))
+                .set("platform",
+                     backend == TrainingBackend::Fa3c ? "FA3C"
+                                                      : "A3C-GPU")
+                .set("episodes",
+                     static_cast<std::uint64_t>(r.episodes))
+                .set("first_score", r.firstScore)
+                .set("final_score", r.finalScore);
             table.addRow(
                 {env::gameName(game),
                  backend == TrainingBackend::Fa3c
@@ -166,6 +176,11 @@ main(int argc, char **argv)
                 static_cast<double>(steps) / fa3c_ips,
                 static_cast<double>(steps) / cudnn_ips,
                 fa3c_ips / cudnn_ips);
+    report.field("fa3c_ips_n16", fa3c_ips);
+    report.field("cudnn_ips_n16", cudnn_ips);
+    report.field("wallclock_speedup", fa3c_ips / cudnn_ips);
+    report.field("improved_runs", improved);
+    report.field("tracked_games", tracked);
     std::printf("Runs with improving moving-average score: %d / 12\n",
                 improved);
     std::printf("Games where the FA3C curve tracks the reference "

@@ -66,6 +66,7 @@ main(int argc, char **argv)
     std::FILE *csv = bench::openCsv("fig8_performance.csv");
     if (csv)
         std::fprintf(csv, "platform,agents,ips,utilization\n");
+    bench::JsonReport report("fig8_performance");
 
     sim::TextTable table({"Platform", "n=1", "n=2", "n=4", "n=8",
                           "n=16", "n=32"});
@@ -80,6 +81,13 @@ main(int argc, char **argv)
                 std::fprintf(csv, "%s,%d,%.1f,%.4f\n",
                              platformIdName(platform), n, p.ips,
                              p.utilization);
+            report.addRow()
+                .set("platform", platformIdName(platform))
+                .set("agents", n)
+                .set("ips", p.ips)
+                .set("utilization", p.utilization)
+                .set("latency_p50_sec", p.latencyP50Sec)
+                .set("latency_p95_sec", p.latencyP95Sec);
             if (n == 16 && platform == PlatformId::Fa3c)
                 fa3c_16 = p.ips;
             if (n == 16 && platform == PlatformId::A3cCudnn)
@@ -96,6 +104,10 @@ main(int argc, char **argv)
     std::printf("Measured FA3C / A3C-cuDNN speedup @ n=16: %.1f%% "
                 "(paper: +27.9%%)\n\n",
                 100.0 * (fa3c_16 / cudnn_16 - 1.0));
+    report.field("fa3c_ips_n16", fa3c_16);
+    report.field("cudnn_ips_n16", cudnn_16);
+    report.field("speedup_pct_n16",
+                 100.0 * (fa3c_16 / cudnn_16 - 1.0));
 
     // Routine latency at n=16 — the per-agent view behind the
     // Section 3 argument that A3C needs low-latency small batches.

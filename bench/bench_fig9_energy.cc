@@ -83,6 +83,7 @@ main(int argc, char **argv)
             fa3c = &r;
     }
 
+    bench::JsonReport report("fig9_energy");
     sim::TextTable table({"Platform", "IPS", "Incremental Watts",
                           "Power vs A3C-cuDNN", "IPS/Watt",
                           "Efficiency vs A3C-cuDNN"});
@@ -93,8 +94,18 @@ main(int argc, char **argv)
                       sim::TextTable::num(r.watts / cudnn->watts, 2),
                       sim::TextTable::num(r.ipw, 1),
                       sim::TextTable::num(r.ipw / cudnn->ipw, 2)});
+        report.addRow()
+            .set("platform", platformIdName(r.id))
+            .set("ips", r.ips)
+            .set("watts", r.watts)
+            .set("ips_per_watt", r.ipw)
+            .set("efficiency_vs_cudnn", r.ipw / cudnn->ipw);
     }
     std::printf("%s\n", table.render().c_str());
+    report.field("fa3c_watts", fa3c->watts);
+    report.field("fa3c_power_reduction_pct",
+                 100.0 * (1.0 - fa3c->watts / cudnn->watts));
+    report.field("fa3c_ips_per_watt", fa3c->ipw);
 
     std::printf("Paper: FA3C ~18 W (a 30.0%% reduction vs A3C-cuDNN), "
                 ">142 IPS/W, 1.62x efficiency.\n");

@@ -76,6 +76,7 @@ main(int argc, char **argv)
                 ">70 M (t_max=32).\n\n",
                 static_cast<unsigned long long>(steps));
 
+    bench::JsonReport report("sec32_batchsize");
     sim::TextTable table({"Seed", "t_max=5 final score",
                           "t_max=32 final score", "Winner"});
     double sum5 = 0, sum32 = 0;
@@ -88,6 +89,10 @@ main(int argc, char **argv)
         sum5 += r5.finalScore;
         sum32 += r32.finalScore;
         wins5 += r5.finalScore > r32.finalScore;
+        report.addRow()
+            .set("seed", seed)
+            .set("score_tmax5", r5.finalScore)
+            .set("score_tmax32", r32.finalScore);
         table.addRow({std::to_string(seed),
                       sim::TextTable::num(r5.finalScore, 2),
                       sim::TextTable::num(r32.finalScore, 2),
@@ -98,6 +103,9 @@ main(int argc, char **argv)
                   sim::TextTable::num(sum32 / 3, 2),
                   sum5 > sum32 ? "t_max=5" : "t_max=32"});
     std::printf("%s\n", table.render().c_str());
+    report.field("mean_score_tmax5", sum5 / 3);
+    report.field("mean_score_tmax32", sum32 / 3);
+    report.field("wins_tmax5", wins5);
 
     std::printf("Mean score: t_max=5 -> %.2f vs t_max=32 -> %.2f "
                 "(t_max=5 ahead in %d/3 seeds). The paper's direction "

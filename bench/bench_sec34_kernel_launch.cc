@@ -85,5 +85,20 @@ main(int argc, char **argv)
                 100.0 * fpga_share);
     std::printf("GPU : FPGA overhead ratio: %.0fx\n",
                 gpu_share / fpga_share);
+
+    bench::JsonReport report("sec34_kernel_launch");
+    report.field("gpu_launch_share", gpu_share);
+    report.field("fpga_dispatch_share", fpga_share);
+    report.field("overhead_ratio", gpu_share / fpga_share);
+    report.addRow()
+        .set("task", "gpu_inference_b1")
+        .set("kernels", static_cast<std::uint64_t>(inf.kernels))
+        .set("launch_us", inf.launchSec * 1e6)
+        .set("compute_us", inf.computeSec * 1e6);
+    report.addRow()
+        .set("task", "gpu_training_b5")
+        .set("kernels", static_cast<std::uint64_t>(train.kernels))
+        .set("launch_us", train.launchSec * 1e6)
+        .set("compute_us", train.computeSec * 1e6);
     return 0;
 }

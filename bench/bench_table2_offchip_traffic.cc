@@ -62,6 +62,7 @@ main(int argc, char **argv)
     const Fa3cConfig cfg = Fa3cConfig::vcu1525();
     const auto rows = routineTrafficTable(net, cfg, 5);
 
+    bench::JsonReport report("table2_offchip_traffic");
     sim::TextTable table({"Task type", "Data type", "Load", "Store",
                           "In paper's table"});
     double load_kb = 0, store_kb = 0;
@@ -88,6 +89,12 @@ main(int argc, char **argv)
         table.addRow({row.task, row.data, cell(row.loadBytes),
                       cell(row.storeBytes),
                       row.inPaperTable ? "yes" : "no (omitted)"});
+        report.addRow()
+            .set("task", row.task)
+            .set("data", row.data)
+            .set("load_kb", l)
+            .set("store_kb", s)
+            .set("in_paper_table", row.inPaperTable ? 1 : 0);
     }
     table.addRow({"Total (paper-visible rows)", "",
                   sim::TextTable::num(paper_load_kb, 0) + "KB",
@@ -126,5 +133,8 @@ main(int argc, char **argv)
                 simulated_kb, load_kb + store_kb,
                 100.0 * (simulated_kb - load_kb - store_kb) /
                     (load_kb + store_kb));
+    report.field("analytic_load_kb", load_kb);
+    report.field("analytic_store_kb", store_kb);
+    report.field("simulated_kb", simulated_kb);
     return 0;
 }

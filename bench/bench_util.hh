@@ -5,9 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
 
 namespace fa3c::bench {
 
@@ -62,6 +68,127 @@ openCsv(const std::string &name)
         std::printf("(writing %s)\n", path.c_str());
     return f;
 }
+
+/**
+ * Machine-readable benchmark results.
+ *
+ * Collects top-level scalar fields plus one row per measured
+ * configuration, and writes $FA3C_JSON_DIR/BENCH_<name>.json at
+ * destruction (schema "fa3c.bench.v1"). All calls are no-ops when
+ * FA3C_JSON_DIR is unset, so benches can populate a report
+ * unconditionally.
+ */
+class JsonReport
+{
+  public:
+    /** One result row; set() chains. */
+    class Row
+    {
+      public:
+        Row &
+        set(const std::string &key, double v)
+        {
+            kv_.emplace_back(key, obs::jsonNumber(v));
+            return *this;
+        }
+        Row &
+        set(const std::string &key, std::uint64_t v)
+        {
+            kv_.emplace_back(key, std::to_string(v));
+            return *this;
+        }
+        Row &
+        set(const std::string &key, int v)
+        {
+            kv_.emplace_back(key, std::to_string(v));
+            return *this;
+        }
+        Row &
+        set(const std::string &key, const std::string &v)
+        {
+            std::string quoted = "\"";
+            quoted += obs::jsonEscape(v);
+            quoted += '"';
+            kv_.emplace_back(key, std::move(quoted));
+            return *this;
+        }
+        Row &
+        set(const std::string &key, const char *v)
+        {
+            return set(key, std::string(v));
+        }
+
+      private:
+        friend class JsonReport;
+        std::vector<std::pair<std::string, std::string>> kv_;
+    };
+
+    explicit JsonReport(std::string name) : name_(std::move(name))
+    {
+        if (const char *dir = std::getenv("FA3C_JSON_DIR"))
+            path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+    }
+
+    ~JsonReport() { write(); }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Top-level summary scalar (e.g. "fa3c_ips_n16"). */
+    template <typename T>
+    void
+    field(const std::string &key, T v)
+    {
+        header_.set(key, v);
+    }
+
+    /** Append a result row, one per measured configuration. */
+    Row &addRow()
+    {
+        rows_.emplace_back();
+        return rows_.back();
+    }
+
+    /** Write the file now (also done by the destructor). */
+    void
+    write()
+    {
+        if (!enabled() || written_)
+            return;
+        std::ofstream out(path_);
+        if (!out)
+            return;
+        written_ = true;
+        out << "{\"schema\":\"fa3c.bench.v1\",\"bench\":\""
+            << obs::jsonEscape(name_) << "\"";
+        for (const auto &[k, v] : header_.kv_)
+            out << ",\"" << obs::jsonEscape(k) << "\":" << v;
+        out << ",\"rows\":[";
+        bool first_row = true;
+        for (const auto &row : rows_) {
+            out << (first_row ? "{" : ",{");
+            first_row = false;
+            bool first = true;
+            for (const auto &[k, v] : row.kv_) {
+                out << (first ? "\"" : ",\"") << obs::jsonEscape(k)
+                    << "\":" << v;
+                first = false;
+            }
+            out << "}";
+        }
+        out << "]}\n";
+        std::printf("(writing %s)\n", path_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string path_;
+    Row header_;
+    std::vector<Row> rows_;
+    bool written_ = false;
+};
 
 } // namespace fa3c::bench
 

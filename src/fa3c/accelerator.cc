@@ -1,5 +1,6 @@
 #include "fa3c/accelerator.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::core {
@@ -41,8 +42,77 @@ Fa3cPlatform::Fa3cPlatform(sim::EventQueue &queue, const Fa3cConfig &cfg,
         cu.channel = channels_[static_cast<std::size_t>(
                                    i % cfg_.dram.channels)]
                          .get();
+        if (cu.servesInference && cu.servesTraining)
+            cu.track = "CU " + std::to_string(i);
+        else if (cu.servesInference)
+            cu.track = "CU-infer " + std::to_string(i);
+        else
+            cu.track = "CU-train " + std::to_string(i);
         cus_.push_back(cu);
     }
+
+    auto phase_dists = [this](const TaskModel &task) {
+        std::vector<sim::Distribution *> dists;
+        dists.reserve(task.phases.size());
+        for (const auto &phase : task.phases)
+            dists.push_back(&stats_.distribution(
+                "phase." + task.name + "." + phase.label + ".cycles"));
+        return dists;
+    };
+    inferPhaseDists_ = phase_dists(inferenceTask_);
+    trainPhaseDists_ = phase_dists(trainingTask_);
+    syncPhaseDists_ = phase_dists(syncTask_);
+    inferTaskDist_ = &stats_.distribution("task.inference.cycles");
+    trainTaskDist_ = &stats_.distribution("task.training.cycles");
+    syncTaskDist_ = &stats_.distribution("task.param-sync.cycles");
+}
+
+const std::vector<sim::Distribution *> &
+Fa3cPlatform::phaseDists(const TaskModel &task) const
+{
+    if (&task == &inferenceTask_)
+        return inferPhaseDists_;
+    if (&task == &trainingTask_)
+        return trainPhaseDists_;
+    return syncPhaseDists_;
+}
+
+sim::Distribution *
+Fa3cPlatform::taskDist(const TaskModel &task) const
+{
+    if (&task == &inferenceTask_)
+        return inferTaskDist_;
+    if (&task == &trainingTask_)
+        return trainTaskDist_;
+    return syncTaskDist_;
+}
+
+double
+Fa3cPlatform::ticksToCycles(sim::Tick ticks) const
+{
+    const double seconds = static_cast<double>(ticks) /
+                           static_cast<double>(sim::ticksPerSecond);
+    return seconds / cfg_.secondsPerCycle();
+}
+
+void
+Fa3cPlatform::finishPhase(const Cu &cu, const TaskModel &task,
+                          std::size_t phase_idx, sim::Tick start)
+{
+    const sim::Tick end = queue_.now();
+    phaseDists(task)[phase_idx]->sample(ticksToCycles(end - start));
+    if (obs::TraceWriter *tw = obs::trace())
+        tw->completeEvent(cu.track, task.phases[phase_idx].label, start,
+                          end);
+}
+
+void
+Fa3cPlatform::finishTask(const Cu &cu, const TaskModel &task)
+{
+    const sim::Tick end = queue_.now();
+    taskDist(task)->sample(ticksToCycles(end - cu.busySince));
+    if (obs::TraceWriter *tw = obs::trace())
+        tw->completeEvent(cu.track, task.name, cu.busySince, end);
 }
 
 void
@@ -142,6 +212,7 @@ Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
                        std::size_t phase_idx, std::function<void()> done)
 {
     if (phase_idx >= task.phases.size()) {
+        finishTask(cu, task);
         cu.busy = false;
         cu.busyTicks += queue_.now() - cu.busySince;
         recordTrace(cu, task, cu.busySince);
@@ -151,6 +222,7 @@ Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
         return;
     }
     const Phase &phase = task.phases[phase_idx];
+    const sim::Tick phase_start = queue_.now();
     const double compute_sec =
         static_cast<double>(phase.computeCycles) * cfg_.secondsPerCycle();
     const sim::Tick compute_ticks = static_cast<sim::Tick>(
@@ -160,12 +232,13 @@ Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
 
     if (!cfg_.doubleBuffering) {
         // Ablation: wait for the DRAM traffic, then compute.
-        auto compute = [this, &cu, &task, phase_idx, compute_ticks,
-                        done = std::move(done)]() mutable {
+        auto compute = [this, &cu, &task, phase_idx, phase_start,
+                        compute_ticks, done = std::move(done)]() mutable {
             queue_.scheduleIn(
                 compute_ticks,
-                [this, &cu, &task, phase_idx,
+                [this, &cu, &task, phase_idx, phase_start,
                  done = std::move(done)]() mutable {
+                    finishPhase(cu, task, phase_idx, phase_start);
                     runPhase(cu, task, phase_idx + 1, std::move(done));
                 });
         };
@@ -180,10 +253,12 @@ Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
     // Double buffering: the phase finishes when both its compute and
     // its DRAM traffic have completed.
     auto barrier = std::make_shared<int>(2);
-    auto advance = [this, &cu, &task, phase_idx,
+    auto advance = [this, &cu, &task, phase_idx, phase_start,
                     done = std::move(done), barrier]() mutable {
-        if (--*barrier == 0)
+        if (--*barrier == 0) {
+            finishPhase(cu, task, phase_idx, phase_start);
             runPhase(cu, task, phase_idx + 1, std::move(done));
+        }
     };
 
     queue_.scheduleIn(compute_ticks, advance);

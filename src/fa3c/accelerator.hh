@@ -87,6 +87,7 @@ class Fa3cPlatform
         bool servesInference;
         bool servesTraining;
         DramChannel *channel;
+        std::string track; ///< trace track name ("CU-infer 0", ...)
         bool busy = false;
         sim::Tick busyTicks = 0;
         sim::Tick busySince = 0;
@@ -115,6 +116,15 @@ class Fa3cPlatform
     std::vector<TaskTraceEntry> trace_;
     std::size_t traceLimit_ = 0;
 
+    // Per-phase and per-task elapsed-cycle distributions, pointing
+    // into stats_ (std::map nodes are stable).
+    std::vector<sim::Distribution *> inferPhaseDists_;
+    std::vector<sim::Distribution *> trainPhaseDists_;
+    std::vector<sim::Distribution *> syncPhaseDists_;
+    sim::Distribution *inferTaskDist_ = nullptr;
+    sim::Distribution *trainTaskDist_ = nullptr;
+    sim::Distribution *syncTaskDist_ = nullptr;
+
     void dispatch();
     void execute(Cu &cu, const TaskModel &task,
                  std::function<void()> done);
@@ -122,6 +132,13 @@ class Fa3cPlatform
                   std::function<void()> done);
     void recordTrace(const Cu &cu, const TaskModel &task,
                      sim::Tick start);
+    void finishPhase(const Cu &cu, const TaskModel &task,
+                     std::size_t phase_idx, sim::Tick start);
+    void finishTask(const Cu &cu, const TaskModel &task);
+    const std::vector<sim::Distribution *> &
+    phaseDists(const TaskModel &task) const;
+    sim::Distribution *taskDist(const TaskModel &task) const;
+    double ticksToCycles(sim::Tick ticks) const;
     double utilization(bool inference) const;
 };
 

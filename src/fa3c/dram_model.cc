@@ -2,15 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::core {
+
+namespace {
+
+/** Human-readable trace track for a channel stat prefix. */
+std::string
+trackFor(const std::string &name)
+{
+    if (name == "pcie")
+        return "PCIe";
+    constexpr const char prefix[] = "dram.ch";
+    if (name.rfind(prefix, 0) == 0)
+        return "DRAM ch" + name.substr(sizeof(prefix) - 1);
+    return "DRAM " + name;
+}
+
+} // namespace
 
 DramChannel::DramChannel(sim::EventQueue &queue, double bytes_per_sec,
                          double access_latency_s, sim::StatGroup &stats,
                          std::string name)
     : queue_(queue), bytesPerSec_(bytes_per_sec),
-      latencySec_(access_latency_s), stats_(stats), name_(std::move(name))
+      latencySec_(access_latency_s), stats_(stats), name_(std::move(name)),
+      track_(trackFor(name_)),
+      reqCounter_(&stats_.counter(name_ + ".requests")),
+      bytesCounter_(&stats_.counter(name_ + ".bytes")),
+      rowActCounter_(&stats_.counter(name_ + ".row_activations")),
+      reqBytesDist_(&stats_.distribution(name_ + ".request_bytes")),
+      queueDepthDist_(&stats_.distribution(name_ + ".queue_depth"))
 {
     FA3C_ASSERT(bytes_per_sec > 0, "DramChannel bandwidth");
 }
@@ -22,7 +45,8 @@ DramChannel::request(double bytes, double port_bytes_per_sec,
     FA3C_ASSERT(bytes >= 0, "negative transfer");
     pending_.push_back(
         Request{bytes, port_bytes_per_sec, std::move(done)});
-    stats_.counter(name_ + ".requests").inc();
+    reqCounter_->inc();
+    queueDepthDist_->sample(static_cast<double>(pending_.size()));
     if (!busy_)
         startNext();
 }
@@ -44,12 +68,27 @@ DramChannel::startNext()
     const double seconds = latencySec_ + req.bytes / bw;
     const sim::Tick duration = static_cast<sim::Tick>(
         seconds * static_cast<double>(sim::ticksPerSecond));
+    const sim::Tick start = queue_.now();
+    const auto byte_count = static_cast<std::uint64_t>(req.bytes);
+    // Every request opens at least one row; streaming a long burst
+    // re-activates one row per row-buffer's worth of data.
+    const std::uint64_t rows = 1 + byte_count / rowBufferBytes;
     busyTicks_ += duration;
-    bytesDone_ += static_cast<std::uint64_t>(req.bytes);
-    stats_.counter(name_ + ".bytes")
-        .inc(static_cast<std::uint64_t>(req.bytes));
+    bytesDone_ += byte_count;
+    rowActivations_ += rows;
+    bytesCounter_->inc(byte_count);
+    rowActCounter_->inc(rows);
+    reqBytesDist_->sample(req.bytes);
 
-    queue_.scheduleIn(duration, [this, done = std::move(req.done)]() {
+    queue_.scheduleIn(duration, [this, start, byte_count,
+                                 done = std::move(req.done)]() {
+        if (obs::TraceWriter *tw = obs::trace()) {
+            const obs::TraceArg args[] = {
+                {"bytes", static_cast<double>(byte_count)}};
+            tw->completeEvent(track_, "xfer", start, queue_.now(), args);
+            tw->counterEvent(track_ + " bytes", queue_.now(),
+                             static_cast<double>(bytesDone_));
+        }
         if (done)
             done();
         startNext();

@@ -53,6 +53,12 @@ class DramChannel
     /** Busy time accumulated, in ticks. */
     sim::Tick busyTicks() const { return busyTicks_; }
 
+    /** Estimated DRAM row activations so far (2 KB row buffer). */
+    std::uint64_t rowActivations() const { return rowActivations_; }
+
+    /** Bytes a row buffer serves before the next activation. */
+    static constexpr std::uint64_t rowBufferBytes = 2048;
+
   private:
     struct Request
     {
@@ -66,10 +72,18 @@ class DramChannel
     double latencySec_;
     sim::StatGroup &stats_;
     std::string name_;
+    std::string track_; ///< trace track ("DRAM ch0", "PCIe", ...)
     bool busy_ = false;
     std::deque<Request> pending_;
     std::uint64_t bytesDone_ = 0;
+    std::uint64_t rowActivations_ = 0;
     sim::Tick busyTicks_ = 0;
+    // Cached stat handles (map nodes are stable).
+    sim::Counter *reqCounter_;
+    sim::Counter *bytesCounter_;
+    sim::Counter *rowActCounter_;
+    sim::Distribution *reqBytesDist_;
+    sim::Distribution *queueDepthDist_;
 
     void startNext();
 };

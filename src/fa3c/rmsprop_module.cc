@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::core {
@@ -29,6 +30,13 @@ RmspropModule::update(std::span<float> theta, std::span<float> g,
             g[i] = g_new;
             theta[i] -= eta * d / std::sqrt(g_new + cfg_.epsilon);
         }
+    }
+
+    if (obs::MetricsRegistry &m = obs::metrics(); m.enabled()) {
+        m.count("fa3c.rmsprop", "update_waves", 1);
+        m.count("fa3c.rmsprop", "words", theta.size());
+        m.count("fa3c.rmsprop", "dram_words",
+                loadWords(theta.size()) + storeWords(theta.size()));
     }
 }
 

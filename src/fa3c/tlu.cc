@@ -1,5 +1,6 @@
 #include "fa3c/tlu.hh"
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::core {
@@ -90,6 +91,16 @@ loadBwViaTlu(const nn::ConvSpec &spec, std::span<const float> packed)
             for (int k = 0; k < kk; ++k)
                 bw.at(o * kk + k, i) = transposed.at(o, i * kk + k);
     (void)fw_rows;
+
+    if (obs::MetricsRegistry &m = obs::metrics(); m.enabled()) {
+        const auto patches = static_cast<std::uint64_t>(prow) *
+                             static_cast<std::uint64_t>(pcol);
+        m.count("fa3c.tlu", "layer_loads", 1);
+        m.count("fa3c.tlu", "patches", patches);
+        m.count("fa3c.tlu", "words",
+                patches * static_cast<std::uint64_t>(patchWords) *
+                    static_cast<std::uint64_t>(patchWords));
+    }
     return bw;
 }
 

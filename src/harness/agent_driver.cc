@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -145,9 +148,17 @@ class AgentSim : public std::enable_shared_from_this<AgentSim>
     {
         ++meter_.routines;
         ++meter_.routinesPerAgent[static_cast<std::size_t>(id_)];
-        meter_.latencies.push_back(
+        const double latency_sec =
             static_cast<double>(queue_.now() - routineStart_) /
-            static_cast<double>(sim::ticksPerSecond));
+            static_cast<double>(sim::ticksPerSecond);
+        meter_.latencies.push_back(latency_sec);
+        if (obs::TraceWriter *tw = obs::trace())
+            tw->completeEvent("RL worker " + std::to_string(id_),
+                              "routine", routineStart_, queue_.now());
+        if (obs::MetricsRegistry &m = obs::metrics(); m.enabled()) {
+            m.count("harness.agents", "routines", 1);
+            m.sample("harness.agents", "routine_sec", latency_sec);
+        }
         startRoutine();
     }
 };

@@ -1,11 +1,15 @@
 #include "harness/experiments.hh"
 
 #include <memory>
+#include <string>
 
 #include "env/session.hh"
 #include "fa3c/accelerator.hh"
 #include "fa3c/datapath_backend.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace fa3c::harness {
 
@@ -59,13 +63,27 @@ measurePlatform(PlatformId platform, int agents,
     point.platform = platform;
     point.agents = agents;
 
+    // Each measurement starts its own event queue at tick 0, so each
+    // one gets its own trace process and metrics-group prefix.
+    const std::string run_name = std::string(platformIdName(platform)) +
+                                 " x" + std::to_string(agents);
+    obs::TraceProcessScope trace_scope(obs::trace(), run_name);
+
     sim::EventQueue queue;
+    sim::StatGroup queue_stats;
+    queue.attachStats(&queue_stats);
+    obs::ScopedMetricsGroup queue_metrics(obs::metrics(),
+                                          run_name + ".queue",
+                                          &queue_stats);
     const HostModel host = hostModelFor(net_cfg, t_max);
 
     if (platform == PlatformId::Fa3c) {
         const core::Fa3cConfig cfg =
             fa3c_cfg ? *fa3c_cfg : core::Fa3cConfig::vcu1525();
         core::Fa3cPlatform board(queue, cfg, net_cfg, t_max);
+        obs::ScopedMetricsGroup board_metrics(obs::metrics(),
+                                              run_name + ".board",
+                                              &board.stats());
         PlatformOps ops;
         ops.submitInference = [&board](std::function<void()> done) {
             board.submitInference(std::move(done));
@@ -100,6 +118,9 @@ measurePlatform(PlatformId platform, int agents,
     const gpu::PlatformSpec spec =
         gpu::PlatformSpec::bySpec(toGpuKind(platform));
     gpu::GpuPlatform device(queue, spec, net_cfg, t_max, agents);
+    obs::ScopedMetricsGroup device_metrics(obs::metrics(),
+                                           run_name + ".device",
+                                           &device.stats());
     PlatformOps ops;
     ops.submitInference = [&device](std::function<void()> done) {
         device.submitInference(std::move(done));

@@ -1,0 +1,136 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fa3c::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            os_ << ',';
+        needComma_.back() = true;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    needComma_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    needComma_.pop_back();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    needComma_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    needComma_.pop_back();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            os_ << ',';
+        needComma_.back() = true;
+    }
+    os_ << '"' << jsonEscape(k) << "\":";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    os_ << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    os_ << jsonNumber(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+}
+
+} // namespace fa3c::obs

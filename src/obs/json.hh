@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by the trace and metrics
+ * exporters. Produces strictly valid JSON (proper escaping, no
+ * trailing commas); the caller is responsible for balanced
+ * begin/end calls.
+ */
+
+#ifndef FA3C_OBS_JSON_HH
+#define FA3C_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fa3c::obs {
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/** Render @p v as a JSON number (finite; non-finite becomes 0). */
+std::string jsonNumber(double v);
+
+/**
+ * Structural JSON emitter over an ostream.
+ *
+ * Tracks nesting and comma placement so callers only describe the
+ * document shape: beginObject/key/value/endObject and the array
+ * equivalents.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    std::ostream &os_;
+    std::vector<bool> needComma_;
+    bool pendingKey_ = false;
+
+    void preValue();
+};
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_JSON_HH

@@ -1,0 +1,238 @@
+#include "obs/metrics.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::obs {
+
+namespace {
+
+void
+writeDistribution(JsonWriter &json, const sim::Distribution &d)
+{
+    json.beginObject();
+    json.field("count", d.count());
+    json.field("sum", d.sum());
+    json.field("mean", d.mean());
+    json.field("min", d.min());
+    json.field("max", d.max());
+    json.field("stddev", d.stddev());
+    json.field("p50", d.percentile(50.0));
+    json.field("p95", d.percentile(95.0));
+    json.field("p99", d.percentile(99.0));
+    json.endObject();
+}
+
+void
+writeGroup(JsonWriter &json, const sim::StatGroup &group)
+{
+    json.beginObject();
+    json.key("counters");
+    json.beginObject();
+    for (const auto &[name, counter] : group.counters())
+        json.field(name, counter.value());
+    json.endObject();
+    json.key("distributions");
+    json.beginObject();
+    for (const auto &[name, dist] : group.distributions()) {
+        json.key(name);
+        writeDistribution(json, dist);
+    }
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+MetricsRegistry::~MetricsRegistry()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path = exportPath_;
+    }
+    if (enabled() && !path.empty())
+        writeTo(path);
+}
+
+void
+MetricsRegistry::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::setExportPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    exportPath_ = std::move(path);
+}
+
+void
+MetricsRegistry::setFlushInterval(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flushIntervalSec_ = seconds;
+    lastFlush_ = std::chrono::steady_clock::now();
+}
+
+std::string
+MetricsRegistry::registerGroup(const std::string &name,
+                               const sim::StatGroup *group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string actual = name;
+    while (live_.count(actual) || owned_.count(actual))
+        actual = name + "#" + std::to_string(++uniq_);
+    live_.emplace(actual, group);
+    return actual;
+}
+
+void
+MetricsRegistry::unregisterGroup(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_.find(name);
+    if (it == live_.end())
+        return;
+    retained_.emplace_back(name, *it->second);
+    live_.erase(it);
+}
+
+void
+MetricsRegistry::count(const std::string &group, const std::string &name,
+                       std::uint64_t delta)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    owned_[group].counter(name).inc(delta);
+}
+
+void
+MetricsRegistry::sample(const std::string &group,
+                        const std::string &name, double v)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    owned_[group].distribution(name).sample(v);
+}
+
+void
+MetricsRegistry::tick()
+{
+    if (!enabled())
+        return;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (flushIntervalSec_ <= 0.0 || exportPath_.empty())
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        const double elapsed =
+            std::chrono::duration<double>(now - lastFlush_).count();
+        if (elapsed < flushIntervalSec_)
+            return;
+        lastFlush_ = now;
+        path = exportPath_;
+    }
+    writeTo(path);
+}
+
+std::string
+MetricsRegistry::snapshotJsonLocked() const
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "fa3c.metrics.v1");
+    json.key("groups");
+    json.beginObject();
+    for (const auto &[name, group] : live_) {
+        json.key(name);
+        writeGroup(json, *group);
+    }
+    for (const auto &[name, group] : owned_) {
+        json.key(name);
+        writeGroup(json, group);
+    }
+    int retained_idx = 0;
+    for (const auto &[name, group] : retained_) {
+        // Retained snapshots may collide with each other or with a
+        // live name; suffix deterministically.
+        json.key(name + "@" + std::to_string(retained_idx++));
+        writeGroup(json, group);
+    }
+    json.endObject();
+    json.endObject();
+    return os.str();
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshotJsonLocked();
+}
+
+bool
+MetricsRegistry::writeTo(const std::string &path) const
+{
+    const std::string doc = snapshotJson();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        FA3C_WARN("metrics: cannot open '", path, "' for writing");
+        return false;
+    }
+    out << doc << '\n';
+    return static_cast<bool>(out);
+}
+
+std::size_t
+MetricsRegistry::groupCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_.size() + owned_.size() + retained_.size();
+}
+
+ScopedMetricsGroup::ScopedMetricsGroup(MetricsRegistry &registry,
+                                       const std::string &name,
+                                       const sim::StatGroup *group)
+{
+    if (!registry.enabled())
+        return;
+    registry_ = &registry;
+    name_ = registry.registerGroup(name, group);
+}
+
+ScopedMetricsGroup::~ScopedMetricsGroup()
+{
+    if (registry_)
+        registry_->unregisterGroup(name_);
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry registry;
+    static bool configured = [] {
+        if (const char *path = std::getenv("FA3C_METRICS_JSON");
+            path && *path) {
+            registry.setExportPath(path);
+            registry.setEnabled(true);
+        }
+        if (const char *interval =
+                std::getenv("FA3C_METRICS_INTERVAL_SEC"))
+            registry.setFlushInterval(std::strtod(interval, nullptr));
+        return true;
+    }();
+    (void)configured;
+    return registry;
+}
+
+} // namespace fa3c::obs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Metrics snapshot/export layer.
+ *
+ * A MetricsRegistry aggregates sim::StatGroups from all over the
+ * stack — live groups owned by components (registered by pointer,
+ * snapshotted when they unregister), plus registry-owned groups fed
+ * through the thread-safe count()/sample() helpers — and serializes
+ * everything to one JSON document: every counter, and every
+ * distribution with count/mean/min/max/stddev and p50/p95/p99 from
+ * the histogram.
+ *
+ * The global registry is enabled by FA3C_METRICS_JSON=<path>; the
+ * file is written at process exit and, when
+ * FA3C_METRICS_INTERVAL_SEC is set, re-written whenever tick() is
+ * called at least that many wall-clock seconds after the last write.
+ * All instrumentation helpers are cheap no-ops while disabled.
+ */
+
+#ifndef FA3C_OBS_METRICS_HH
+#define FA3C_OBS_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace fa3c::obs {
+
+/** Thread-safe registry of StatGroups with JSON export. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Fast check instrumentation sites use to skip all work. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on);
+
+    /** Where the JSON lands at exit / on periodic flush ("" = off). */
+    void setExportPath(std::string path);
+
+    /** Minimum seconds between periodic tick() flushes (0 = off). */
+    void setFlushInterval(double seconds);
+
+    /**
+     * Register a live group owned by the caller. @p group must stay
+     * valid until unregisterGroup() is called with the returned
+     * (possibly uniquified) name.
+     */
+    std::string registerGroup(const std::string &name,
+                              const sim::StatGroup *group);
+
+    /** Drop a live group, retaining its final snapshot for export. */
+    void unregisterGroup(const std::string &name);
+
+    /** Bump a counter in a registry-owned group (no-op if disabled). */
+    void count(const std::string &group, const std::string &name,
+               std::uint64_t delta = 1);
+
+    /** Sample a distribution in a registry-owned group (no-op if
+     * disabled). */
+    void sample(const std::string &group, const std::string &name,
+                double v);
+
+    /** Periodic-flush hook; cheap while disabled or within the
+     * interval. */
+    void tick();
+
+    /** The full registry as a JSON document. */
+    std::string snapshotJson() const;
+
+    /** Serialize to @p path; returns false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+    /** Groups currently visible (live + owned + retained). */
+    std::size_t groupCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::string exportPath_;
+    double flushIntervalSec_ = 0.0;
+    std::chrono::steady_clock::time_point lastFlush_{};
+    std::map<std::string, const sim::StatGroup *> live_;
+    std::map<std::string, sim::StatGroup> owned_;
+    std::vector<std::pair<std::string, sim::StatGroup>> retained_;
+    int uniq_ = 0;
+
+    std::string snapshotJsonLocked() const;
+};
+
+/**
+ * RAII registration of a component-owned StatGroup with the global
+ * registry: registers on construction (when metrics are enabled),
+ * unregisters — retaining a final snapshot — on destruction.
+ */
+class ScopedMetricsGroup
+{
+  public:
+    ScopedMetricsGroup(MetricsRegistry &registry,
+                       const std::string &name,
+                       const sim::StatGroup *group);
+    ~ScopedMetricsGroup();
+
+    ScopedMetricsGroup(const ScopedMetricsGroup &) = delete;
+    ScopedMetricsGroup &operator=(const ScopedMetricsGroup &) = delete;
+
+  private:
+    MetricsRegistry *registry_ = nullptr;
+    std::string name_;
+};
+
+/**
+ * The process-wide registry, configured on first use from
+ * FA3C_METRICS_JSON / FA3C_METRICS_INTERVAL_SEC. Its destructor (at
+ * process exit) writes the export file.
+ */
+MetricsRegistry &metrics();
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_METRICS_HH

@@ -1,0 +1,242 @@
+#include "obs/trace.hh"
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::obs {
+
+TraceWriter::TraceWriter(const std::string &path,
+                         std::uint64_t max_events)
+    : out_(path, std::ios::trunc),
+      epoch_(std::chrono::steady_clock::now()), maxEvents_(max_events)
+{
+    if (!out_) {
+        FA3C_WARN("FA3C_TRACE: cannot open '", path,
+                  "' for writing; tracing disabled");
+        return;
+    }
+    out_ << "{\"traceEvents\":[";
+    std::lock_guard<std::mutex> lock(mutex_);
+    hostPid_ = newProcessLocked("host (wall clock)");
+    simPid_ = newProcessLocked("sim");
+}
+
+TraceWriter::~TraceWriter()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closeLocked();
+}
+
+void
+TraceWriter::closeLocked()
+{
+    if (closed_ || !out_)
+        return;
+    closed_ = true;
+    out_ << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+         << "\"droppedEvents\":" << dropped_ << "}}\n";
+    out_.flush();
+}
+
+int
+TraceWriter::newProcess(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return newProcessLocked(name);
+}
+
+int
+TraceWriter::newProcessLocked(const std::string &name)
+{
+    const int pid = nextPid_++;
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+       << jsonEscape(name) << "\"}}";
+    emitLocked(os.str());
+    return pid;
+}
+
+void
+TraceWriter::setSimProcess(int pid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    simPid_ = pid;
+}
+
+int
+TraceWriter::simProcess() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return simPid_;
+}
+
+int
+TraceWriter::tidForLocked(int pid, const std::string &track)
+{
+    const auto key = std::make_pair(pid, track);
+    auto it = tids_.find(key);
+    if (it != tids_.end())
+        return it->second;
+    const int tid = nextTid_[pid]++;
+    tids_.emplace(key, tid);
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << jsonEscape(track) << "\"}}";
+    emitLocked(os.str());
+    return tid;
+}
+
+void
+TraceWriter::emitLocked(const std::string &event_json)
+{
+    if (!out_ || closed_)
+        return;
+    if (written_ >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    if (!firstEvent_)
+        out_ << ",\n";
+    firstEvent_ = false;
+    out_ << event_json;
+    ++written_;
+}
+
+void
+TraceWriter::completeEvent(const std::string &track,
+                           const std::string &name, sim::Tick start,
+                           sim::Tick end, std::span<const TraceArg> args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int pid = simPid_;
+    const int tid = tidForLocked(pid, track);
+    std::ostringstream os;
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"cat\":\"sim\",\"name\":\"" << jsonEscape(name)
+       << "\",\"ts\":" << jsonNumber(toUs(start))
+       << ",\"dur\":" << jsonNumber(toUs(end - start));
+    if (!args.empty()) {
+        os << ",\"args\":{";
+        bool first = true;
+        for (const auto &[k, v] : args) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << '"' << jsonEscape(k) << "\":" << jsonNumber(v);
+        }
+        os << '}';
+    }
+    os << '}';
+    emitLocked(os.str());
+}
+
+void
+TraceWriter::counterEvent(const std::string &counter, sim::Tick ts,
+                          double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\"ph\":\"C\",\"pid\":" << simPid_ << ",\"name\":\""
+       << jsonEscape(counter) << "\",\"ts\":" << jsonNumber(toUs(ts))
+       << ",\"args\":{\"value\":" << jsonNumber(value) << "}}";
+    emitLocked(os.str());
+}
+
+double
+TraceWriter::hostNowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+TraceWriter::hostCompleteEvent(const std::string &track,
+                               const std::string &name, double start_us,
+                               double end_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int tid = tidForLocked(hostPid_, track);
+    std::ostringstream os;
+    os << "{\"ph\":\"X\",\"pid\":" << hostPid_ << ",\"tid\":" << tid
+       << ",\"cat\":\"host\",\"name\":\"" << jsonEscape(name)
+       << "\",\"ts\":" << jsonNumber(start_us)
+       << ",\"dur\":" << jsonNumber(end_us - start_us) << '}';
+    emitLocked(os.str());
+}
+
+std::uint64_t
+TraceWriter::eventsWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return written_;
+}
+
+std::uint64_t
+TraceWriter::eventsDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+TraceWriter::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.flush();
+}
+
+TraceSpan::TraceSpan(std::string track, std::string name)
+    : TraceSpan(trace(), std::move(track), std::move(name))
+{
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (writer_)
+        writer_->hostCompleteEvent(track_, name_, startUs_,
+                                   writer_->hostNowUs());
+}
+
+TraceProcessScope::TraceProcessScope(TraceWriter *writer,
+                                     const std::string &name)
+    : writer_(writer)
+{
+    if (!writer_)
+        return;
+    savedPid_ = writer_->simProcess();
+    writer_->setSimProcess(writer_->newProcess(name));
+}
+
+TraceProcessScope::~TraceProcessScope()
+{
+    if (writer_)
+        writer_->setSimProcess(savedPid_);
+}
+
+TraceWriter *
+trace()
+{
+    static std::unique_ptr<TraceWriter> global =
+        []() -> std::unique_ptr<TraceWriter> {
+        const char *path = std::getenv("FA3C_TRACE");
+        if (!path || !*path)
+            return nullptr;
+        std::uint64_t max_events = 8'000'000;
+        if (const char *cap = std::getenv("FA3C_TRACE_MAX_EVENTS"))
+            max_events = std::strtoull(cap, nullptr, 10);
+        auto writer = std::make_unique<TraceWriter>(path, max_events);
+        if (!writer->ok())
+            return nullptr;
+        return writer;
+    }();
+    return global.get();
+}
+
+} // namespace fa3c::obs

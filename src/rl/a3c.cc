@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "nn/layers.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::rl {
@@ -113,10 +115,21 @@ int
 A3cAgent::runRoutine()
 {
     const nn::A3cNetwork &net = backend_->network();
+    obs::TraceWriter *tw = obs::trace();
+    std::string track;
+    if (tw)
+        track = "RL worker " + std::to_string(id_);
+    const double routine_start = tw ? tw->hostNowUs() : 0.0;
+    double phase_start = routine_start;
 
     // Parameter sync task.
     global_.snapshot(local_);
     backend_->onParamSync(local_);
+    if (tw) {
+        tw->hostCompleteEvent(track, "param-sync", phase_start,
+                              tw->hostNowUs());
+        phase_start = tw->hostNowUs();
+    }
 
     // t_max inference tasks.
     int steps = 0;
@@ -151,6 +164,11 @@ A3cAgent::runRoutine()
         backend_->forward(local_, session_->observation(), bootstrap_);
         ret = net.value(bootstrap_);
     }
+    if (tw) {
+        tw->hostCompleteEvent(track, "inference", phase_start,
+                              tw->hostNowUs());
+        phase_start = tw->hostNowUs();
+    }
 
     // Training task: host computes the delta-objective per sample; the
     // backend runs BW + GC, accumulating parameter gradients.
@@ -179,6 +197,20 @@ A3cAgent::runRoutine()
 
     // Global update through the shared RMSProp.
     global_.applyGradients(grads_, static_cast<std::uint64_t>(rollout_len));
+
+    if (tw) {
+        tw->hostCompleteEvent(track, "train", phase_start,
+                              tw->hostNowUs());
+        tw->hostCompleteEvent(track, "routine", routine_start,
+                              tw->hostNowUs());
+    }
+    if (obs::MetricsRegistry &m = obs::metrics(); m.enabled()) {
+        m.count("rl.a3c", "routines", 1);
+        m.count("rl.a3c", "env_steps",
+                static_cast<std::uint64_t>(rollout_len));
+        m.sample("rl.a3c", "rollout_len", rollout_len);
+        m.tick();
+    }
     return rollout_len;
 }
 

@@ -1,6 +1,8 @@
 #include "rl/paac.hh"
 
 #include "nn/layers.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::rl {
@@ -50,10 +52,19 @@ PaacTrainer::sampleAction(std::span<const float> probs)
 std::uint64_t
 PaacTrainer::runBatch()
 {
+    obs::TraceWriter *tw = obs::trace();
+    const double batch_start = tw ? tw->hostNowUs() : 0.0;
+    double phase_start = batch_start;
+
     // All environments share the single, current parameter set.
     global_.snapshot(theta_);
     for (auto &slot : envs_)
         slot.backend->onParamSync(theta_);
+    if (tw) {
+        tw->hostCompleteEvent("RL batch", "param-sync", phase_start,
+                              tw->hostNowUs());
+        phase_start = tw->hostNowUs();
+    }
 
     // Lock-step rollouts: step t of every environment before step
     // t+1 of any (this is what lets PAAC batch device work).
@@ -86,6 +97,12 @@ PaacTrainer::runBatch()
                 slot.episodeEnded = true;
             }
         }
+    }
+
+    if (tw) {
+        tw->hostCompleteEvent("RL batch", "inference", phase_start,
+                              tw->hostNowUs());
+        phase_start = tw->hostNowUs();
     }
 
     // One combined gradient from every environment's samples.
@@ -121,6 +138,19 @@ PaacTrainer::runBatch()
 
     global_.applyGradients(grads_, steps);
     ++updates_;
+
+    if (tw) {
+        tw->hostCompleteEvent("RL batch", "train", phase_start,
+                              tw->hostNowUs());
+        tw->hostCompleteEvent("RL batch", "batch", batch_start,
+                              tw->hostNowUs());
+    }
+    if (obs::MetricsRegistry &m = obs::metrics(); m.enabled()) {
+        m.count("rl.paac", "batches", 1);
+        m.count("rl.paac", "env_steps", steps);
+        m.sample("rl.paac", "batch_steps", static_cast<double>(steps));
+        m.tick();
+    }
     return steps;
 }
 

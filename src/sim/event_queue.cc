@@ -6,6 +6,22 @@
 
 namespace fa3c::sim {
 
+void
+EventQueue::attachStats(StatGroup *stats)
+{
+    if (!stats) {
+        statScheduled_ = nullptr;
+        statExecuted_ = nullptr;
+        statCancelled_ = nullptr;
+        statDepth_ = nullptr;
+        return;
+    }
+    statScheduled_ = &stats->counter("events.scheduled");
+    statExecuted_ = &stats->counter("events.executed");
+    statCancelled_ = &stats->counter("events.cancelled");
+    statDepth_ = &stats->distribution("events.pending_depth");
+}
+
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
@@ -15,6 +31,8 @@ EventQueue::schedule(Tick when, Callback cb)
     heap_.push(Entry{when, id});
     pending_.emplace_back(id, Pending{std::move(cb), false});
     ++liveEvents_;
+    if (statScheduled_)
+        statScheduled_->inc();
     return id;
 }
 
@@ -44,6 +62,8 @@ EventQueue::deschedule(EventId id)
     if (p && !p->cancelled) {
         p->cancelled = true;
         --liveEvents_;
+        if (statCancelled_)
+            statCancelled_->inc();
     }
 }
 
@@ -65,6 +85,10 @@ EventQueue::step()
         --liveEvents_;
         FA3C_ASSERT(top.when >= now_, "event queue time went backwards");
         now_ = top.when;
+        if (statExecuted_) {
+            statExecuted_->inc();
+            statDepth_->sample(static_cast<double>(liveEvents_));
+        }
         if (cb)
             cb(); // null callbacks advance time without side effects
         return true;

@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace fa3c::sim {
@@ -79,6 +80,14 @@ class EventQueue
      */
     bool step();
 
+    /**
+     * Mirror dispatch activity into @p stats (events.scheduled /
+     * events.executed / events.cancelled, plus a distribution of
+     * pending-queue depth sampled at dispatch). Pass nullptr to
+     * detach. @p stats must outlive the queue or the next attach.
+     */
+    void attachStats(StatGroup *stats);
+
   private:
     struct Entry
     {
@@ -101,6 +110,11 @@ class EventQueue
     Tick now_ = 0;
     EventId nextId_ = 1;
     std::size_t liveEvents_ = 0;
+    // Cached stat handles (null when no stats are attached).
+    Counter *statScheduled_ = nullptr;
+    Counter *statExecuted_ = nullptr;
+    Counter *statCancelled_ = nullptr;
+    Distribution *statDepth_ = nullptr;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
         heap_;
     // Sparse map from id -> callback; small sims keep this compact by

@@ -1,8 +1,58 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+
+namespace fa3c::sim {
+
+namespace {
+
+/** -1 = not yet initialized from the environment. */
+std::atomic<int> g_logLevel{-1};
+
+int
+levelFromEnv()
+{
+    const char *value = std::getenv("FA3C_LOG_LEVEL");
+    if (!value)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(value, "quiet") == 0)
+        return static_cast<int>(LogLevel::Quiet);
+    if (std::strcmp(value, "warn") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(value, "info") == 0)
+        return static_cast<int>(LogLevel::Info);
+    std::fprintf(stderr,
+                 "warn: FA3C_LOG_LEVEL='%s' not recognized "
+                 "(want quiet|warn|info); using info\n",
+                 value);
+    return static_cast<int>(LogLevel::Info);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int level = g_logLevel.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = levelFromEnv();
+        g_logLevel.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_logLevel.store(static_cast<int>(level),
+                     std::memory_order_relaxed);
+}
+
+} // namespace fa3c::sim
 
 namespace fa3c::sim::detail {
 
@@ -24,12 +74,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -13,6 +13,24 @@
 
 namespace fa3c::sim {
 
+/**
+ * Runtime verbosity of warn()/inform(); panic() and fatal() always
+ * print. Initialized from FA3C_LOG_LEVEL=quiet|warn|info on first
+ * use (default Info).
+ */
+enum class LogLevel
+{
+    Quiet = 0, ///< suppress warn + inform
+    Warn = 1,  ///< suppress inform only
+    Info = 2,  ///< everything (default)
+};
+
+/** The active level (lazily read from FA3C_LOG_LEVEL). */
+LogLevel logLevel();
+
+/** Override the level at runtime (wins over the environment). */
+void setLogLevel(LogLevel level);
+
 namespace detail {
 
 /** Concatenate a message from stream-formattable parts. */

@@ -1,9 +1,43 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 namespace fa3c::sim {
+
+int
+Distribution::bucketIndex(double v)
+{
+    // Bucket 0 swallows everything at or below the histogram floor,
+    // including zero, negatives, and NaN.
+    if (!(v >= std::ldexp(1.0, kMinExp)))
+        return 0;
+    if (v >= std::ldexp(1.0, kMaxExp))
+        return kBucketCount - 1;
+    int exp;
+    const double frac = std::frexp(v, &exp); // v = frac * 2^exp, frac in [0.5, 1)
+    const int octave = (exp - 1) - kMinExp;
+    int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+    if (sub >= kSubBuckets)
+        sub = kSubBuckets - 1;
+    return 1 + octave * kSubBuckets + sub;
+}
+
+double
+Distribution::bucketMidpoint(int idx)
+{
+    // Value buckets are 1..kBucketCount-2; the edges have no width.
+    const int value_idx = idx - 1;
+    const int octave = value_idx / kSubBuckets;
+    const int sub = value_idx % kSubBuckets;
+    const double lo = std::ldexp(
+        1.0 + static_cast<double>(sub) / kSubBuckets, kMinExp + octave);
+    const double hi =
+        std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                   kMinExp + octave);
+    return 0.5 * (lo + hi);
+}
 
 void
 Distribution::sample(double v)
@@ -15,6 +49,37 @@ Distribution::sample(double v)
         min_ = v;
     if (v > max_)
         max_ = v;
+    if (buckets_.empty())
+        buckets_.assign(static_cast<std::size_t>(kBucketCount), 0);
+    std::uint32_t &bucket =
+        buckets_[static_cast<std::size_t>(bucketIndex(v))];
+    if (bucket != std::numeric_limits<std::uint32_t>::max())
+        ++bucket;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max();
+    const double target = p / 100.0 * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (int i = 0; i < kBucketCount; ++i) {
+        cumulative +=
+            static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+        if (cumulative >= target) {
+            if (i == 0)
+                return min();
+            if (i == kBucketCount - 1)
+                return max();
+            return std::clamp(bucketMidpoint(i), min(), max());
+        }
+    }
+    return max();
 }
 
 void
@@ -60,7 +125,9 @@ StatGroup::report(const std::string &title) const
     for (const auto &[name, d] : dists_) {
         os << name << " : count=" << d.count() << " mean=" << d.mean()
            << " min=" << d.min() << " max=" << d.max()
-           << " stddev=" << d.stddev() << "\n";
+           << " stddev=" << d.stddev() << " p50=" << d.percentile(50)
+           << " p95=" << d.percentile(95) << " p99=" << d.percentile(99)
+           << "\n";
     }
     return os.str();
 }

@@ -11,6 +11,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace fa3c::sim {
 
@@ -31,7 +32,13 @@ class Counter
  *
  * Tracks count, sum, min, max, and the sum of squares so mean and
  * (population) standard deviation can be reported without storing
- * individual samples.
+ * individual samples, plus a fixed-bucket log-spaced histogram so
+ * percentiles survive into exports without per-sample storage.
+ *
+ * The histogram covers [2^-40, 2^40) with 8 sub-buckets per octave
+ * (~±4.5% relative resolution); non-positive samples land in the
+ * underflow bucket and out-of-range ones in the edge buckets, so
+ * every sample is accounted for.
  */
 class Distribution
 {
@@ -46,12 +53,32 @@ class Distribution
     double max() const { return count_ ? max_ : 0.0; }
     double stddev() const;
 
+    /**
+     * Approximate value at percentile @p p (0..100), from the
+     * histogram. Exact at the extremes (p<=0 -> min, p>=100 -> max)
+     * and clamped to [min, max]; 0 when empty.
+     */
+    double percentile(double p) const;
+
   private:
+    // Histogram geometry: octaves [kMinExp, kMaxExp), kSubBuckets
+    // log-spaced buckets per octave, plus under/overflow buckets at
+    // the ends.
+    static constexpr int kMinExp = -40;
+    static constexpr int kMaxExp = 40;
+    static constexpr int kSubBuckets = 8;
+    static constexpr int kBucketCount =
+        (kMaxExp - kMinExp) * kSubBuckets + 2;
+
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double sumSq_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    std::vector<std::uint32_t> buckets_; ///< sized lazily on first sample
+
+    static int bucketIndex(double v);
+    static double bucketMidpoint(int idx);
 };
 
 /**
@@ -85,6 +112,11 @@ class StatGroup
     const std::map<std::string, Counter> &counters() const
     {
         return counters_;
+    }
+
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return dists_;
     }
 
   private:

@@ -1,0 +1,70 @@
+/** @file Unit tests for the runtime log-level filter. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace fa3c::sim;
+
+namespace {
+
+/** Restore the previous level when a test ends. */
+class LogLevelTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = logLevel(); }
+    void TearDown() override { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_ = LogLevel::Info;
+};
+
+} // namespace
+
+TEST_F(LogLevelTest, DefaultLevelPrintsEverything)
+{
+    setLogLevel(LogLevel::Info);
+    ::testing::internal::CaptureStderr();
+    FA3C_WARN("warn-message-", 1);
+    FA3C_INFORM("inform-message-", 2);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: warn-message-1"), std::string::npos);
+    EXPECT_NE(err.find("info: inform-message-2"), std::string::npos);
+}
+
+TEST_F(LogLevelTest, WarnLevelSuppressesInform)
+{
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    FA3C_WARN("still-visible");
+    FA3C_INFORM("now-hidden");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("still-visible"), std::string::npos);
+    EXPECT_EQ(err.find("now-hidden"), std::string::npos);
+}
+
+TEST_F(LogLevelTest, QuietLevelSuppressesWarnAndInform)
+{
+    setLogLevel(LogLevel::Quiet);
+    ::testing::internal::CaptureStderr();
+    FA3C_WARN("hidden-warn");
+    FA3C_INFORM("hidden-info");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("hidden-warn"), std::string::npos);
+    EXPECT_EQ(err.find("hidden-info"), std::string::npos);
+}
+
+TEST_F(LogLevelTest, PanicIgnoresLogLevel)
+{
+    setLogLevel(LogLevel::Quiet);
+    // panic throws (and prints) regardless of the filter.
+    EXPECT_THROW(FA3C_PANIC("invariant broke"), std::logic_error);
+}
+
+TEST_F(LogLevelTest, SetLogLevelRoundTrips)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+}

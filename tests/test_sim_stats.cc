@@ -56,6 +56,95 @@ TEST(Distribution, ConstantSamplesHaveZeroStddev)
     EXPECT_NEAR(d.stddev(), 0.0, 1e-9);
 }
 
+TEST(Distribution, PercentilesFromHistogram)
+{
+    Distribution d;
+    for (int v = 1; v <= 100; ++v)
+        d.sample(static_cast<double>(v));
+    // Log-spaced buckets give ~±4.5% relative resolution.
+    EXPECT_NEAR(d.percentile(50), 50.0, 5.0);
+    EXPECT_NEAR(d.percentile(95), 95.0, 7.0);
+    EXPECT_NEAR(d.percentile(99), 99.0, 7.0);
+    // Edges are exact.
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+}
+
+TEST(Distribution, PercentileOfEmptyIsZero)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+}
+
+TEST(Distribution, PercentileSingleSample)
+{
+    Distribution d;
+    d.sample(42.0);
+    EXPECT_NEAR(d.percentile(50), 42.0, 42.0 * 0.05);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 42.0);
+}
+
+TEST(Distribution, PercentileClampsToObservedRange)
+{
+    Distribution d;
+    d.sample(10.0);
+    d.sample(10.0);
+    d.sample(10.0);
+    // The bucket midpoint can exceed the true value; the result must
+    // stay within [min, max].
+    EXPECT_GE(d.percentile(50), d.min());
+    EXPECT_LE(d.percentile(50), d.max());
+    EXPECT_GE(d.percentile(99), d.min());
+    EXPECT_LE(d.percentile(99), d.max());
+}
+
+TEST(Distribution, PercentileHandlesNonPositiveSamples)
+{
+    Distribution d;
+    d.sample(0.0);
+    d.sample(-5.0);
+    d.sample(1.0);
+    // Non-positive samples land in the underflow bucket, which
+    // resolves to the exact minimum.
+    EXPECT_DOUBLE_EQ(d.percentile(50), -5.0);
+    EXPECT_LE(d.percentile(99), d.max());
+}
+
+TEST(Distribution, PercentileSkewed)
+{
+    Distribution d;
+    for (int i = 0; i < 99; ++i)
+        d.sample(1.0);
+    d.sample(1000.0);
+    EXPECT_NEAR(d.percentile(50), 1.0, 0.1);
+    // The tail sample only shows up past its rank.
+    EXPECT_LT(d.percentile(95), 2.0);
+    EXPECT_GT(d.percentile(100), 999.0);
+}
+
+TEST(Distribution, PercentileWideMagnitudeRange)
+{
+    Distribution d;
+    d.sample(1e-9);
+    d.sample(1.0);
+    d.sample(1e9);
+    EXPECT_GE(d.percentile(50), 1e-9);
+    EXPECT_LE(d.percentile(50), 1e9);
+    // Bucket resolution is one part in 16 at worst.
+    EXPECT_NEAR(d.percentile(50), 1.0, 1.0 / 16.0);
+}
+
+TEST(Distribution, ReportIncludesPercentiles)
+{
+    StatGroup g;
+    g.distribution("lat").sample(2.0);
+    const std::string report = g.report("");
+    EXPECT_NE(report.find("p50="), std::string::npos);
+    EXPECT_NE(report.find("p95="), std::string::npos);
+    EXPECT_NE(report.find("p99="), std::string::npos);
+}
+
 TEST(StatGroup, CreatesLazilyAndReports)
 {
     StatGroup g;
