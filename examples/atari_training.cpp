@@ -5,13 +5,23 @@
  * hardware — and report both the learning curve and the accumulated
  * datapath cycle counters.
  *
- *     ./atari_training [game] [steps]
+ *     ./atari_training [game] [steps] [options]
  *
  * Games: beam_rider breakout pong qbert seaquest space_invaders.
+ *
+ * Options:
+ *     --checkpoint <path>    write crash-safe checkpoints to <path>
+ *     --checkpoint-every <n> checkpoint every n env steps
+ *     --resume               restore <path> before training (missing
+ *                            file starts fresh; corrupt file aborts)
+ *
+ * With --checkpoint set, SIGINT/SIGTERM/SIGUSR1 also trigger a
+ * checkpoint at the next routine boundary.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -21,15 +31,39 @@
 #include "fa3c/datapath_backend.hh"
 #include "nn/a3c_network.hh"
 #include "rl/a3c.hh"
+#include "rl/checkpoint.hh"
 
 using namespace fa3c;
 
 int
 main(int argc, char **argv)
 {
-    const std::string game_name = argc > 1 ? argv[1] : "breakout";
-    const std::uint64_t steps =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10000;
+    std::string game_name = "breakout";
+    std::uint64_t steps = 10000;
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_every = 0;
+    bool resume = false;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--checkpoint" && i + 1 < argc) {
+            checkpoint_path = argv[++i];
+        } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+            checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (positional == 0) {
+            game_name = arg;
+            ++positional;
+        } else if (positional == 1) {
+            steps = std::strtoull(arg.c_str(), nullptr, 10);
+            ++positional;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            return 2;
+        }
+    }
     const env::GameId game = env::gameFromName(game_name);
 
     const int actions =
@@ -43,6 +77,10 @@ main(int argc, char **argv)
     cfg.initialLr = 1e-3f;
     cfg.lrAnnealSteps = 0;
     cfg.seed = 7;
+    cfg.checkpointPath = checkpoint_path;
+    cfg.checkpointEverySteps = checkpoint_every;
+    if (!checkpoint_path.empty())
+        rl::installCheckpointSignalHandler();
 
     // Keep pointers to the backends so we can read their cycle
     // counters after training.
@@ -70,6 +108,19 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(steps), cfg.numAgents,
                 actions);
     rl::A3cTrainer trainer(net, cfg, backend_factory, session_factory);
+    if (resume && !checkpoint_path.empty() &&
+        std::ifstream(checkpoint_path).good()) {
+        if (!trainer.resumeFromFile()) {
+            std::fprintf(stderr,
+                         "cannot resume: %s is corrupt or mismatched\n",
+                         checkpoint_path.c_str());
+            return 1;
+        }
+        std::printf("Resumed from %s at step %llu.\n",
+                    checkpoint_path.c_str(),
+                    static_cast<unsigned long long>(
+                        trainer.globalParams().globalSteps()));
+    }
     trainer.run();
 
     const auto curve = trainer.scores().movingAverage(25, 15);

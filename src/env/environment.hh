@@ -15,6 +15,7 @@
 
 #include "env/frame.hh"
 #include "sim/rng.hh"
+#include "sim/serial.hh"
 
 namespace fa3c::env {
 
@@ -52,6 +53,17 @@ class Environment
 
     /** Game name, e.g. "breakout". */
     virtual const char *name() const = 0;
+
+    /**
+     * Visit the complete mutable game state — including the private
+     * random stream — with @p ar: checkpoint save appends it, restore
+     * reads it back, so a restored instance continues bit-identically.
+     *
+     * @return false when restoring from truncated or corrupt bytes;
+     *         the instance may then be partially updated and must be
+     *         reset() before further use.
+     */
+    virtual bool archiveState(sim::StateArchive &ar) = 0;
 };
 
 /** The six games of the paper's evaluation. */

@@ -54,6 +54,9 @@ class Frame
     /** Flat pixel storage, row-major. */
     const std::vector<float> &pixels() const { return pixels_; }
 
+    /** Mutable flat pixel storage (checkpoint restore). */
+    std::vector<float> &pixels() { return pixels_; }
+
     /** Mean intensity (useful for tests). */
     float meanIntensity() const;
 

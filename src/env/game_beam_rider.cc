@@ -106,6 +106,14 @@ class BeamRider : public Environment
 
     const char *name() const override { return "beam_rider"; }
 
+    bool
+    archiveState(sim::StateArchive &ar) override
+    {
+        return ar.fields(rng_, lives_, sector_, playerLane_,
+                         moveCooldown_, enemiesKilledInSector_,
+                         spawnCooldown_, enemies_, torpedoes_);
+    }
+
   private:
     static constexpr int numLanes_ = 5;
     static constexpr int beamTop_ = 8;

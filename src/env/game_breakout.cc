@@ -128,6 +128,14 @@ class Breakout : public Environment
 
     const char *name() const override { return "breakout"; }
 
+    bool
+    archiveState(sim::StateArchive &ar) override
+    {
+        return ar.fields(rng_, bricks_, bricksLeft_, lives_, paddleX_,
+                         ballInPlay_, ballX_, ballY_, ballVx_,
+                         ballVy_);
+    }
+
   private:
     static constexpr int brickRows_ = 6;
     static constexpr int brickCols_ = 12;

@@ -115,6 +115,14 @@ class Pong : public Environment
 
     const char *name() const override { return "pong"; }
 
+    bool
+    archiveState(sim::StateArchive &ar) override
+    {
+        return ar.fields(rng_, playerY_, opponentY_, ballX_, ballY_,
+                         ballVx_, ballVy_, playerScore_,
+                         opponentScore_);
+    }
+
   private:
     static constexpr int fieldTop_ = 8;
     static constexpr int fieldBottom_ = 80;

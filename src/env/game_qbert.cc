@@ -105,6 +105,15 @@ class Qbert : public Environment
 
     const char *name() const override { return "qbert"; }
 
+    bool
+    archiveState(sim::StateArchive &ar) override
+    {
+        return ar.fields(rng_, colored_, coloredCount_, lives_, round_,
+                         playerRow_, playerCol_, hopCooldown_,
+                         chaserActive_, chaserRow_, chaserCol_,
+                         chaserCooldown_, chaserPeriod_);
+    }
+
   private:
     static constexpr int rows_ = 6;
     static constexpr int numCells_ = rows_ * (rows_ + 1) / 2; // 21

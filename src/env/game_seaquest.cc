@@ -109,6 +109,13 @@ class Seaquest : public Environment
 
     const char *name() const override { return "seaquest"; }
 
+    bool
+    archiveState(sim::StateArchive &ar) override
+    {
+        return ar.fields(rng_, lives_, subX_, subY_, facing_, oxygen_,
+                         spawnCooldown_, sharks_, torpedoes_);
+    }
+
   private:
     static constexpr int surfaceY_ = 14;
     static constexpr int seabedY_ = 76;

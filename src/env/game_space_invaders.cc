@@ -101,6 +101,15 @@ class SpaceInvaders : public Environment
 
     const char *name() const override { return "space_invaders"; }
 
+    bool
+    archiveState(sim::StateArchive &ar) override
+    {
+        return ar.fields(rng_, alive_, aliensLeft_, alienOriginX_,
+                         alienOriginY_, marchDir_, marchCounter_,
+                         marchPeriod_, wave_, lives_, playerX_,
+                         shotActive_, shotX_, shotY_, bombs_);
+    }
+
   private:
     static constexpr int rows_ = 4;
     static constexpr int cols_ = 6;

@@ -78,6 +78,22 @@ AtariSession::pushObservation()
     }
 }
 
+bool
+AtariSession::archiveState(sim::StateArchive &ar)
+{
+    if (!env_->archiveState(ar) || !ar(rng_))
+        return false;
+    // The observation stack and the last two rendered frames carry
+    // across act() calls (frame_ becomes prevFrame_ on the next
+    // render), so both are part of the recoverable state.
+    if (!ar.span(obs_.data()) ||
+        !ar.span(std::span<float>(frame_.pixels())) ||
+        !ar.span(std::span<float>(prevFrame_.pixels())))
+        return false;
+    return ar.fields(episodeScore_, lastEpisodeScore_,
+                     episodesCompleted_, episodeFrames_);
+}
+
 AtariSession::Step
 AtariSession::act(int action)
 {

@@ -15,6 +15,7 @@
 
 #include "env/environment.hh"
 #include "sim/rng.hh"
+#include "sim/serial.hh"
 #include "tensor/tensor.hh"
 
 namespace fa3c::env {
@@ -82,6 +83,17 @@ class AtariSession
 
     /** Number of finished episodes. */
     std::uint64_t episodesCompleted() const { return episodesCompleted_; }
+
+    /**
+     * Visit the full session state — the wrapped game, the no-op-start
+     * random stream, the observation stack, the flicker-max frames,
+     * and the episode counters — so a restored session continues
+     * bit-identically from the checkpoint.
+     *
+     * @return false when restoring from corrupt bytes or a checkpoint
+     *         taken with a different observation geometry.
+     */
+    bool archiveState(sim::StateArchive &ar);
 
   private:
     std::unique_ptr<Environment> env_;

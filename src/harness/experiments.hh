@@ -93,6 +93,11 @@ struct TrainingRunConfig
     std::size_t scoreWindow = 50;
     /** Observation downsampling: the session renders 84x84 frames and
      * pools them to the network input size. */
+
+    /** Resume from a3c.checkpointPath before training when the file
+     * exists; a missing file silently starts fresh, a corrupt or
+     * mismatched one aborts the run. */
+    bool resume = false;
 };
 
 /** Result of one training run. */
@@ -103,6 +108,8 @@ struct TrainingRunResult
     double firstScore = 0;         ///< first moving-average value
     std::uint64_t episodes = 0;
     std::uint64_t steps = 0;
+    /** Step the run resumed from (0 when started fresh). */
+    std::uint64_t resumedFromStep = 0;
 };
 
 /** Run A3C end-to-end on a synthetic game and return the learning

@@ -1,9 +1,15 @@
 #include "nn/serialize.hh"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
+
+#include "sim/serial.hh"
 
 namespace fa3c::nn {
 
@@ -11,71 +17,120 @@ namespace {
 
 constexpr std::uint32_t magicWord = 0xFA3C0001;
 
-void
-writeU32(std::ostream &os, std::uint32_t v)
+/** Header preceding the payload: magic, version, size, CRC32. */
+struct ImageHeader
 {
-    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint32_t payloadSize;
+    std::uint32_t payloadCrc;
+};
+
+} // namespace
+
+std::string
+paramsToImage(const ParamSet &params)
+{
+    sim::ByteWriter payload;
+    payload.write(
+        static_cast<std::uint32_t>(params.segments().size()));
+    for (const auto &seg : params.segments()) {
+        payload.writeBlob(seg.name);
+        payload.write(static_cast<std::uint32_t>(seg.count));
+    }
+    auto flat = params.flat();
+    payload.writeRaw(flat.data(), flat.size() * sizeof(float));
+
+    ImageHeader header{magicWord, kParamFormatVersion,
+                       static_cast<std::uint32_t>(payload.size()),
+                       sim::crc32(payload.bytes().data(),
+                                  payload.size())};
+    sim::ByteWriter image;
+    image.write(header);
+    image.writeRaw(payload.bytes().data(), payload.size());
+    return image.bytes();
 }
 
 bool
-readU32(std::istream &is, std::uint32_t &v)
+paramsFromImage(ParamSet &params, std::string_view image)
 {
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return static_cast<bool>(is);
-}
+    sim::ByteReader reader(image);
+    ImageHeader header{};
+    if (!reader.read(header) || header.magic != magicWord ||
+        header.version != kParamFormatVersion ||
+        header.payloadSize != reader.remaining())
+        return false;
+    if (sim::crc32(image.data() + sizeof(ImageHeader),
+                   header.payloadSize) != header.payloadCrc)
+        return false;
 
-} // namespace
+    // Validate the full segment table against the destination layout
+    // and stage the words before touching params.
+    std::uint32_t seg_count = 0;
+    if (!reader.read(seg_count) ||
+        seg_count != params.segments().size())
+        return false;
+    for (const auto &seg : params.segments()) {
+        std::string name;
+        std::uint32_t count = 0;
+        if (!reader.readBlob(name) || name != seg.name ||
+            !reader.read(count) || count != seg.count)
+            return false;
+    }
+    std::vector<float> staged(params.size());
+    if (!reader.readRaw(staged.data(), staged.size() * sizeof(float)) ||
+        reader.remaining() != 0)
+        return false;
+
+    std::copy(staged.begin(), staged.end(), params.flat().begin());
+    return true;
+}
 
 bool
 saveParams(const ParamSet &params, std::ostream &os)
 {
-    writeU32(os, magicWord);
-    writeU32(os, static_cast<std::uint32_t>(params.segments().size()));
-    for (const auto &seg : params.segments()) {
-        writeU32(os, static_cast<std::uint32_t>(seg.name.size()));
-        os.write(seg.name.data(),
-                 static_cast<std::streamsize>(seg.name.size()));
-        writeU32(os, static_cast<std::uint32_t>(seg.count));
-    }
-    auto flat = params.flat();
-    os.write(reinterpret_cast<const char *>(flat.data()),
-             static_cast<std::streamsize>(flat.size() * sizeof(float)));
+    const std::string image = paramsToImage(params);
+    os.write(image.data(), static_cast<std::streamsize>(image.size()));
     return static_cast<bool>(os);
 }
 
 bool
 loadParams(ParamSet &params, std::istream &is)
 {
-    std::uint32_t magic = 0;
-    if (!readU32(is, magic) || magic != magicWord)
+    ImageHeader header{};
+    std::string image(sizeof(ImageHeader), '\0');
+    is.read(image.data(), sizeof(ImageHeader));
+    if (!is)
         return false;
-    std::uint32_t seg_count = 0;
-    if (!readU32(is, seg_count) ||
-        seg_count != params.segments().size())
+    std::memcpy(&header, image.data(), sizeof(ImageHeader));
+    // Bound the allocation by what a matching layout could need
+    // before trusting the stored size.
+    const std::size_t plausible =
+        params.sizeBytes() + 64 +
+        params.segments().size() * (2 * sizeof(std::uint32_t) + 256);
+    if (header.magic != magicWord || header.payloadSize > plausible)
         return false;
-    for (const auto &seg : params.segments()) {
-        std::uint32_t name_len = 0;
-        if (!readU32(is, name_len) || name_len != seg.name.size())
-            return false;
-        std::string name(name_len, '\0');
-        is.read(name.data(), static_cast<std::streamsize>(name_len));
-        if (!is || name != seg.name)
-            return false;
-        std::uint32_t count = 0;
-        if (!readU32(is, count) || count != seg.count)
-            return false;
-    }
-    auto flat = params.flat();
-    is.read(reinterpret_cast<char *>(flat.data()),
-            static_cast<std::streamsize>(flat.size() * sizeof(float)));
-    return static_cast<bool>(is);
+    image.resize(sizeof(ImageHeader) + header.payloadSize);
+    is.read(image.data() + sizeof(ImageHeader), header.payloadSize);
+    if (!is)
+        return false;
+    return paramsFromImage(params, image);
 }
 
 bool
 saveParamsToFile(const ParamSet &params, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    return os && saveParams(params, os);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os || !saveParams(params, os))
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool

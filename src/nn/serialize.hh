@@ -2,10 +2,14 @@
  * @file
  * Binary checkpointing for parameter sets.
  *
- * The format is self-describing: a magic word, the segment table
- * (names and sizes), then the raw fp32 words. Loading into a set with
- * a different layout is rejected, so checkpoints cannot be silently
- * misinterpreted across network configurations.
+ * The format is self-describing and tamper-evident: a magic word and
+ * format version, the payload size, a CRC32 of the payload, then the
+ * payload itself (the segment table — names and sizes — followed by
+ * the raw fp32 words). Loading into a set with a different layout is
+ * rejected, so checkpoints cannot be silently misinterpreted across
+ * network configurations; a truncated or bit-flipped image fails the
+ * CRC and is rejected *before* the destination set is touched, so a
+ * failed load never leaves a half-written parameter set behind.
  */
 
 #ifndef FA3C_NN_SERIALIZE_HH
@@ -18,18 +22,40 @@
 
 namespace fa3c::nn {
 
+/** Current on-disk parameter image version (bumped from the original
+ * unchecksummed v1 when the CRC was introduced). */
+inline constexpr std::uint32_t kParamFormatVersion = 2;
+
+/** Serialize @p params to an in-memory image (header + payload). */
+std::string paramsToImage(const ParamSet &params);
+
+/**
+ * Validate @p image and, only if fully valid, copy it into @p params.
+ *
+ * @return false — with @p params untouched — when the image is
+ *         truncated, fails the CRC, has the wrong magic/version, or
+ *         stores a different segment layout.
+ */
+bool paramsFromImage(ParamSet &params, std::string_view image);
+
 /** Write @p params to @p os. @return false on stream failure. */
 bool saveParams(const ParamSet &params, std::ostream &os);
 
 /**
  * Read a checkpoint into @p params.
  *
- * @return false when the stream fails, the magic is wrong, or the
- *         stored layout does not match @p params.
+ * @return false when the stream fails, the image is corrupt, or the
+ *         stored layout does not match @p params; @p params is only
+ *         modified on success.
  */
 bool loadParams(ParamSet &params, std::istream &is);
 
-/** Convenience wrapper writing to @p path. */
+/**
+ * Convenience wrapper writing to @p path atomically: the image lands
+ * in a temporary file that is renamed over @p path only once fully
+ * written, so a crash mid-write never leaves a torn checkpoint under
+ * the final name.
+ */
 bool saveParamsToFile(const ParamSet &params, const std::string &path);
 
 /** Convenience wrapper reading from @p path. */

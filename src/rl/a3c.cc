@@ -1,11 +1,14 @@
 #include "rl/a3c.hh"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::rl {
@@ -111,9 +114,22 @@ A3cAgent::sampleAction(std::span<const float> probs)
     return static_cast<int>(probs.size()) - 1;
 }
 
+bool
+A3cAgent::archiveState(sim::StateArchive &ar)
+{
+    return ar(rng_) && session_->archiveState(ar);
+}
+
 int
 A3cAgent::runRoutine()
 {
+    // Simulated crash (fault injection): die at a routine boundary
+    // the way a real worker host would — no unwinding, no flushes.
+    if (fault::fire(fault::Point::KillAgent)) {
+        FA3C_WARN("fault fired: killing agent ", id_, " mid-routine");
+        std::_Exit(fault::kKillExitCode);
+    }
+
     const nn::A3cNetwork &net = backend_->network();
     obs::TraceWriter *tw = obs::trace();
     std::string track;
@@ -229,6 +245,80 @@ A3cTrainer::A3cTrainer(const nn::A3cNetwork &net, const A3cConfig &cfg,
     }
 }
 
+TrainingCheckpoint
+A3cTrainer::checkpoint(bool include_agent_state)
+{
+    TrainingCheckpoint ckpt;
+    ckpt.algorithm = "a3c";
+    ckpt.theta = net_.makeParams();
+    ckpt.rmspropG = net_.makeParams();
+    global_.checkpoint(ckpt.theta, ckpt.rmspropG, ckpt.globalSteps);
+    ckpt.scoreTail = scores_.tail(kScoreTailMax);
+    if (include_agent_state) {
+        ckpt.hasAgentState = true;
+        ckpt.agentStates.reserve(agents_.size());
+        for (auto &agent : agents_) {
+            sim::ByteWriter w;
+            sim::StateArchive ar(w);
+            agent->archiveState(ar);
+            ckpt.agentStates.push_back(w.bytes());
+        }
+    }
+    return ckpt;
+}
+
+bool
+A3cTrainer::restore(const TrainingCheckpoint &ckpt)
+{
+    if (ckpt.algorithm != "a3c" ||
+        !ckpt.theta.sameLayout(global_.theta()))
+        return false;
+    if (ckpt.hasAgentState &&
+        ckpt.agentStates.size() != agents_.size())
+        return false;
+    if (ckpt.hasAgentState) {
+        for (std::size_t i = 0; i < agents_.size(); ++i) {
+            sim::ByteReader r(ckpt.agentStates[i]);
+            sim::StateArchive ar(r);
+            if (!agents_[i]->archiveState(ar) || r.remaining() != 0)
+                return false;
+        }
+    }
+    global_.restore(ckpt.theta, ckpt.rmspropG, ckpt.globalSteps);
+    scores_.restore(ckpt.scoreTail);
+    return true;
+}
+
+bool
+A3cTrainer::resumeFromFile(const std::string &path)
+{
+    const std::string &file =
+        path.empty() ? cfg_.checkpointPath : path;
+    TrainingCheckpoint ckpt;
+    ckpt.theta = net_.makeParams();
+    ckpt.rmspropG = net_.makeParams();
+    return loadCheckpointFromFile(ckpt, file) && restore(ckpt);
+}
+
+void
+A3cTrainer::maybeCheckpoint(bool include_agent_state)
+{
+    if (cfg_.checkpointPath.empty())
+        return;
+    bool due = consumeCheckpointRequest();
+    if (cfg_.checkpointEverySteps > 0 &&
+        global_.globalSteps() >= nextCheckpointAt_)
+        due = true;
+    if (!due)
+        return;
+    saveCheckpointToFile(checkpoint(include_agent_state),
+                         cfg_.checkpointPath);
+    if (cfg_.checkpointEverySteps > 0) {
+        while (nextCheckpointAt_ <= global_.globalSteps())
+            nextCheckpointAt_ += cfg_.checkpointEverySteps;
+    }
+}
+
 void
 A3cTrainer::run(std::function<bool()> stop_early)
 {
@@ -238,12 +328,17 @@ A3cTrainer::run(std::function<bool()> stop_early)
         return stop_early && stop_early();
     };
 
+    if (cfg_.checkpointEverySteps > 0)
+        nextCheckpointAt_ =
+            global_.globalSteps() + cfg_.checkpointEverySteps;
+
     if (!cfg_.async) {
         // Deterministic round-robin: agents take turns, one routine
         // each. Useful for tests and for bit-exact replays.
         while (!should_stop()) {
             for (auto &agent : agents_) {
                 agent->runRoutine();
+                maybeCheckpoint(/*include_agent_state=*/true);
                 if (should_stop())
                     break;
             }
@@ -258,6 +353,19 @@ A3cTrainer::run(std::function<bool()> stop_early)
             while (!should_stop())
                 agent->runRoutine();
         });
+    }
+    // Checkpoint supervisor: while the agent threads run, the calling
+    // thread writes periodic/on-signal checkpoints of the global
+    // state. Agent rng/session state is deliberately excluded — it is
+    // owned by running threads — so async checkpoints are
+    // crash-consistent rather than bit-exact (see
+    // TrainingCheckpoint::hasAgentState).
+    if (!cfg_.checkpointPath.empty()) {
+        while (!should_stop()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            maybeCheckpoint(/*include_agent_state=*/false);
+        }
     }
     for (auto &t : threads)
         t.join();

@@ -20,8 +20,10 @@
 #include "nn/a3c_network.hh"
 #include "nn/rmsprop.hh"
 #include "rl/backend.hh"
+#include "rl/checkpoint.hh"
 #include "rl/global_params.hh"
 #include "rl/score_log.hh"
+#include "sim/serial.hh"
 #include "sim/stats.hh"
 
 namespace fa3c::rl {
@@ -42,6 +44,10 @@ struct A3cConfig
     std::uint64_t seed = 1;
     bool async = true; ///< threads per agent; false = deterministic
                        ///< round-robin in the calling thread
+    /** Checkpoint file ("" disables checkpointing entirely). */
+    std::string checkpointPath;
+    /** Env steps between periodic checkpoints (0 = only on signal). */
+    std::uint64_t checkpointEverySteps = 0;
 };
 
 /**
@@ -126,6 +132,10 @@ class A3cAgent
     int id() const { return id_; }
     const env::AtariSession &session() const { return *session_; }
 
+    /** Visit the agent's recoverable state (action-sampling rng +
+     * session + game) for checkpointing. */
+    bool archiveState(sim::StateArchive &ar);
+
   private:
     int id_;
     const A3cConfig &cfg_;
@@ -173,9 +183,31 @@ class A3cTrainer
 
     /**
      * Train until cfg.totalSteps (or stop_early returns true, checked
-     * between routines).
+     * between routines). When cfg.checkpointPath is set, a checkpoint
+     * is written every cfg.checkpointEverySteps env steps and whenever
+     * a checkpoint signal is pending (installCheckpointSignalHandler).
      */
     void run(std::function<bool()> stop_early = {});
+
+    /**
+     * Capture the full training state. @p include_agent_state must be
+     * false while agent threads are running (async checkpoints then
+     * carry only the mutex-consistent global state and resume with
+     * freshly seeded agents); with no threads running — before run()
+     * or with async=false — pass true for a bit-exact image.
+     */
+    TrainingCheckpoint checkpoint(bool include_agent_state = true);
+
+    /**
+     * Restore state captured by checkpoint(). @return false — without
+     * touching the global parameters — when the checkpoint came from
+     * a different algorithm, network layout, or agent count.
+     */
+    bool restore(const TrainingCheckpoint &ckpt);
+
+    /** Load cfg.checkpointPath (or @p path) and restore; false when
+     * the file is absent, corrupt, or incompatible. */
+    bool resumeFromFile(const std::string &path = "");
 
     GlobalParams &globalParams() { return global_; }
     const ScoreLog &scores() const { return scores_; }
@@ -191,6 +223,10 @@ class A3cTrainer
     ScoreLog scores_;
     TrainingDiagnostics diagnostics_;
     std::vector<std::unique_ptr<A3cAgent>> agents_;
+    std::uint64_t nextCheckpointAt_ = 0;
+
+    /** Write a periodic/on-signal checkpoint when one is due. */
+    void maybeCheckpoint(bool include_agent_state);
 };
 
 } // namespace fa3c::rl

@@ -4,6 +4,7 @@
 
 #include "nn/layers.hh"
 #include "sim/logging.hh"
+#include "sim/serial.hh"
 
 namespace fa3c::rl {
 
@@ -162,9 +163,101 @@ Ga3cTrainer::currentPolicyLag() const
     return nn::ParamSet::maxAbsDiff(thetaPredict_, global_.theta());
 }
 
+TrainingCheckpoint
+Ga3cTrainer::checkpoint()
+{
+    TrainingCheckpoint ckpt;
+    ckpt.algorithm = "ga3c";
+    ckpt.theta = net_.makeParams();
+    ckpt.rmspropG = net_.makeParams();
+    global_.checkpoint(ckpt.theta, ckpt.rmspropG, ckpt.globalSteps);
+    ckpt.updates = updates_;
+    ckpt.refreshes = refreshes_;
+    ckpt.updatesSinceRefresh =
+        static_cast<std::uint64_t>(updatesSinceRefresh_);
+    ckpt.trainerRng = rng_.state();
+    ckpt.scoreTail = scores_.tail(kScoreTailMax);
+    ckpt.hasAgentState = true;
+    ckpt.agentStates.reserve(envs_.size());
+    for (auto &slot : envs_) {
+        sim::ByteWriter w;
+        sim::StateArchive ar(w);
+        slot.session->archiveState(ar);
+        ckpt.agentStates.push_back(w.bytes());
+    }
+    return ckpt;
+}
+
+bool
+Ga3cTrainer::restore(const TrainingCheckpoint &ckpt)
+{
+    if (ckpt.algorithm != "ga3c" ||
+        !ckpt.theta.sameLayout(thetaTrain_))
+        return false;
+    if (ckpt.hasAgentState && ckpt.agentStates.size() != envs_.size())
+        return false;
+    if (ckpt.hasAgentState) {
+        for (std::size_t i = 0; i < envs_.size(); ++i) {
+            sim::ByteReader r(ckpt.agentStates[i]);
+            sim::StateArchive ar(r);
+            if (!envs_[i].session->archiveState(ar) ||
+                r.remaining() != 0)
+                return false;
+        }
+        rng_.setState(ckpt.trainerRng);
+    }
+    global_.restore(ckpt.theta, ckpt.rmspropG, ckpt.globalSteps);
+    scores_.restore(ckpt.scoreTail);
+    updates_ = ckpt.updates;
+    refreshes_ = ckpt.refreshes;
+    updatesSinceRefresh_ =
+        static_cast<int>(ckpt.updatesSinceRefresh);
+    // Queued/in-flight rollouts were collected under the pre-crash
+    // predictor snapshot; drop them and start the predictor from the
+    // restored parameters (counters stay as restored above).
+    trainingQueue_.clear();
+    for (auto &slot : envs_)
+        slot.inFlight = QueuedRollout{};
+    global_.snapshot(thetaPredict_);
+    for (auto &slot : envs_)
+        slot.backend->onParamSync(thetaPredict_);
+    return true;
+}
+
+bool
+Ga3cTrainer::resumeFromFile(const std::string &path)
+{
+    const std::string &file =
+        path.empty() ? cfg_.checkpointPath : path;
+    TrainingCheckpoint ckpt;
+    ckpt.theta = net_.makeParams();
+    ckpt.rmspropG = net_.makeParams();
+    return loadCheckpointFromFile(ckpt, file) && restore(ckpt);
+}
+
+void
+Ga3cTrainer::maybeCheckpoint()
+{
+    if (cfg_.checkpointPath.empty())
+        return;
+    bool due = consumeCheckpointRequest();
+    if (cfg_.checkpointEverySteps > 0 &&
+        global_.globalSteps() >= nextCheckpointAt_)
+        due = true;
+    if (!due)
+        return;
+    saveCheckpointToFile(checkpoint(), cfg_.checkpointPath);
+    while (cfg_.checkpointEverySteps > 0 &&
+           nextCheckpointAt_ <= global_.globalSteps())
+        nextCheckpointAt_ += cfg_.checkpointEverySteps;
+}
+
 void
 Ga3cTrainer::run(std::function<bool()> stop_early)
 {
+    if (cfg_.checkpointEverySteps > 0)
+        nextCheckpointAt_ =
+            global_.globalSteps() + cfg_.checkpointEverySteps;
     while (global_.globalSteps() < cfg_.totalSteps) {
         if (stop_early && stop_early())
             return;
@@ -172,6 +265,7 @@ Ga3cTrainer::run(std::function<bool()> stop_early)
         while (static_cast<int>(trainingQueue_.size()) >=
                cfg_.trainingBatch)
             trainerStep();
+        maybeCheckpoint();
     }
 }
 

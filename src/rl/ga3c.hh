@@ -53,6 +53,10 @@ struct Ga3cConfig
     nn::RmspropConfig rmsprop;
     std::uint64_t totalSteps = 100'000;
     std::uint64_t seed = 1;
+    /** Checkpoint file ("" disables checkpointing entirely). */
+    std::string checkpointPath;
+    /** Env steps between periodic checkpoints (0 = only on signal). */
+    std::uint64_t checkpointEverySteps = 0;
 };
 
 /** The GA3C trainer. */
@@ -77,6 +81,25 @@ class Ga3cTrainer
     /** Max |theta_predict - theta_train| right now (the policy lag
      * the paper's Section 6 warns about). */
     float currentPolicyLag() const;
+
+    /**
+     * Capture the recoverable training state. In-flight and queued
+     * rollouts are *not* captured (they reference a stale predictor
+     * snapshot); resume re-collects them, so at most
+     * numEnvs * tMax environment steps of rollout work is repeated
+     * and GA3C resume is crash-consistent rather than bit-exact.
+     */
+    TrainingCheckpoint checkpoint();
+
+    /** Restore state captured by checkpoint(); false — without
+     * touching any state — on an algorithm/layout/env-count
+     * mismatch. Drops any queued rollouts and re-snapshots the
+     * predictor from the restored parameters. */
+    bool restore(const TrainingCheckpoint &ckpt);
+
+    /** Load cfg.checkpointPath (or @p path) and restore; false when
+     * the file is absent, corrupt, or incompatible. */
+    bool resumeFromFile(const std::string &path = "");
 
   private:
     /** A finished rollout waiting in the training queue. */
@@ -109,8 +132,11 @@ class Ga3cTrainer
     std::uint64_t updates_ = 0;
     std::uint64_t refreshes_ = 0;
     int updatesSinceRefresh_ = 0;
+    std::uint64_t nextCheckpointAt_ = 0;
 
     void refreshPredictor();
+    /** Write a periodic/on-signal checkpoint when one is due. */
+    void maybeCheckpoint();
     /** Advance every environment one step with the stale predictor. */
     std::uint64_t predictorStep();
     /** Train on one batch of queued rollouts with the current

@@ -28,6 +28,33 @@ GlobalParams::snapshot(nn::ParamSet &local)
     local.copyFrom(theta_);
 }
 
+nn::ParamSet
+GlobalParams::theta() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return theta_;
+}
+
+void
+GlobalParams::checkpoint(nn::ParamSet &theta_out, nn::ParamSet &g_out,
+                         std::uint64_t &steps_out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    theta_out.copyFrom(theta_);
+    g_out.copyFrom(rmspropG_);
+    steps_out = globalSteps_.load(std::memory_order_relaxed);
+}
+
+void
+GlobalParams::restore(const nn::ParamSet &theta, const nn::ParamSet &g,
+                      std::uint64_t steps)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    theta_.copyFrom(theta);
+    rmspropG_.copyFrom(g);
+    globalSteps_.store(steps, std::memory_order_relaxed);
+}
+
 float
 GlobalParams::currentLearningRate() const
 {

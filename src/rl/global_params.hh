@@ -72,9 +72,28 @@ class GlobalParams
     /** The learning rate that the next update will use. */
     float currentLearningRate() const;
 
-    /** Direct read access for checkpointing/tests (not thread-safe
-     * against concurrent updates). */
-    const nn::ParamSet &theta() const { return theta_; }
+    /**
+     * Mutex-held copy of the global theta. Every cross-thread read
+     * (checkpointing, tests, policy-lag probes) goes through this or
+     * snapshot(); there is deliberately no raw reference accessor, so
+     * a concurrent applyGradients can never be observed half-applied.
+     */
+    nn::ParamSet theta() const;
+
+    /**
+     * Consistent snapshot of the full recoverable state — theta, the
+     * RMSProp g statistics, and the step counter — under the update
+     * mutex, so the triple is coherent even while other threads are
+     * applying gradients.
+     *
+     * @p theta_out and @p g_out must have the network's layout.
+     */
+    void checkpoint(nn::ParamSet &theta_out, nn::ParamSet &g_out,
+                    std::uint64_t &steps_out) const;
+
+    /** Restore a snapshot taken by checkpoint(). */
+    void restore(const nn::ParamSet &theta, const nn::ParamSet &g,
+                 std::uint64_t steps);
 
   private:
     const nn::A3cNetwork &net_;
@@ -82,7 +101,7 @@ class GlobalParams
     float initialLr_;
     std::uint64_t annealSteps_;
     std::atomic<std::uint64_t> globalSteps_{0};
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     nn::ParamSet theta_;
     nn::ParamSet rmspropG_;
 };

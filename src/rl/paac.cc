@@ -4,6 +4,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/serial.hh"
 
 namespace fa3c::rl {
 
@@ -154,13 +155,90 @@ PaacTrainer::runBatch()
     return steps;
 }
 
+TrainingCheckpoint
+PaacTrainer::checkpoint()
+{
+    TrainingCheckpoint ckpt;
+    ckpt.algorithm = "paac";
+    ckpt.theta = net_.makeParams();
+    ckpt.rmspropG = net_.makeParams();
+    global_.checkpoint(ckpt.theta, ckpt.rmspropG, ckpt.globalSteps);
+    ckpt.updates = updates_;
+    ckpt.trainerRng = rng_.state();
+    ckpt.scoreTail = scores_.tail(kScoreTailMax);
+    ckpt.hasAgentState = true;
+    ckpt.agentStates.reserve(envs_.size());
+    for (auto &slot : envs_) {
+        sim::ByteWriter w;
+        sim::StateArchive ar(w);
+        slot.session->archiveState(ar);
+        ckpt.agentStates.push_back(w.bytes());
+    }
+    return ckpt;
+}
+
+bool
+PaacTrainer::restore(const TrainingCheckpoint &ckpt)
+{
+    if (ckpt.algorithm != "paac" || !ckpt.theta.sameLayout(theta_))
+        return false;
+    if (ckpt.hasAgentState && ckpt.agentStates.size() != envs_.size())
+        return false;
+    if (ckpt.hasAgentState) {
+        for (std::size_t i = 0; i < envs_.size(); ++i) {
+            sim::ByteReader r(ckpt.agentStates[i]);
+            sim::StateArchive ar(r);
+            if (!envs_[i].session->archiveState(ar) ||
+                r.remaining() != 0)
+                return false;
+        }
+        rng_.setState(ckpt.trainerRng);
+    }
+    global_.restore(ckpt.theta, ckpt.rmspropG, ckpt.globalSteps);
+    scores_.restore(ckpt.scoreTail);
+    updates_ = ckpt.updates;
+    return true;
+}
+
+bool
+PaacTrainer::resumeFromFile(const std::string &path)
+{
+    const std::string &file =
+        path.empty() ? cfg_.checkpointPath : path;
+    TrainingCheckpoint ckpt;
+    ckpt.theta = net_.makeParams();
+    ckpt.rmspropG = net_.makeParams();
+    return loadCheckpointFromFile(ckpt, file) && restore(ckpt);
+}
+
+void
+PaacTrainer::maybeCheckpoint()
+{
+    if (cfg_.checkpointPath.empty())
+        return;
+    bool due = consumeCheckpointRequest();
+    if (cfg_.checkpointEverySteps > 0 &&
+        global_.globalSteps() >= nextCheckpointAt_)
+        due = true;
+    if (!due)
+        return;
+    saveCheckpointToFile(checkpoint(), cfg_.checkpointPath);
+    while (cfg_.checkpointEverySteps > 0 &&
+           nextCheckpointAt_ <= global_.globalSteps())
+        nextCheckpointAt_ += cfg_.checkpointEverySteps;
+}
+
 void
 PaacTrainer::run(std::function<bool()> stop_early)
 {
+    if (cfg_.checkpointEverySteps > 0)
+        nextCheckpointAt_ =
+            global_.globalSteps() + cfg_.checkpointEverySteps;
     while (global_.globalSteps() < cfg_.totalSteps) {
         if (stop_early && stop_early())
             return;
         runBatch();
+        maybeCheckpoint();
     }
 }
 

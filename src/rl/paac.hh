@@ -44,6 +44,10 @@ struct PaacConfig
     nn::RmspropConfig rmsprop;
     std::uint64_t totalSteps = 100'000;
     std::uint64_t seed = 1;
+    /** Checkpoint file ("" disables checkpointing entirely). */
+    std::string checkpointPath;
+    /** Env steps between periodic checkpoints (0 = only on signal). */
+    std::uint64_t checkpointEverySteps = 0;
 };
 
 /**
@@ -72,6 +76,22 @@ class PaacTrainer
     /** Updates applied so far (one per synchronized batch). */
     std::uint64_t updatesApplied() const { return updates_; }
 
+    /**
+     * Capture the full training state. PAAC is synchronous, so
+     * checkpoints always carry the per-environment state and resume
+     * bit-exactly (at batch boundaries).
+     */
+    TrainingCheckpoint checkpoint();
+
+    /** Restore state captured by checkpoint(); false — without
+     * touching any state — on an algorithm/layout/env-count
+     * mismatch. */
+    bool restore(const TrainingCheckpoint &ckpt);
+
+    /** Load cfg.checkpointPath (or @p path) and restore; false when
+     * the file is absent, corrupt, or incompatible. */
+    bool resumeFromFile(const std::string &path = "");
+
   private:
     struct EnvSlot
     {
@@ -96,10 +116,14 @@ class PaacTrainer
     nn::ParamSet grads_;
     nn::A3cNetwork::Activations bootstrap_;
     std::uint64_t updates_ = 0;
+    std::uint64_t nextCheckpointAt_ = 0;
 
     /** One synchronized batch: rollouts + a single global update. */
     std::uint64_t runBatch();
     int sampleAction(std::span<const float> probs);
+
+    /** Write a periodic/on-signal checkpoint when one is due. */
+    void maybeCheckpoint();
 };
 
 } // namespace fa3c::rl

@@ -18,6 +18,23 @@ ScoreLog::records() const
     return records_;
 }
 
+std::vector<EpisodeRecord>
+ScoreLog::tail(std::size_t max) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = std::min(max, records_.size());
+    return std::vector<EpisodeRecord>(records_.end() -
+                                          static_cast<std::ptrdiff_t>(n),
+                                      records_.end());
+}
+
+void
+ScoreLog::restore(std::vector<EpisodeRecord> records)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_ = std::move(records);
+}
+
 std::size_t
 ScoreLog::size() const
 {

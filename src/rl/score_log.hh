@@ -31,6 +31,12 @@ class ScoreLog
     /** Copy of all records so far (ordered by insertion). */
     std::vector<EpisodeRecord> records() const;
 
+    /** Copy of the most recent @p max records (checkpoint tail). */
+    std::vector<EpisodeRecord> tail(std::size_t max) const;
+
+    /** Replace the log with @p records (checkpoint restore). */
+    void restore(std::vector<EpisodeRecord> records);
+
     /** Number of episodes recorded. */
     std::size_t size() const;
 

@@ -1,0 +1,127 @@
+#include "sim/fault.hh"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "sim/logging.hh"
+
+namespace fa3c::fault {
+
+namespace {
+
+struct Slot
+{
+    std::uint64_t atHit = 0; ///< 0 = disarmed
+    std::uint64_t arg = 0;
+    std::uint64_t hits = 0;
+};
+
+struct FaultState
+{
+    std::mutex mutex;
+    Slot slots[3];
+    bool envLoaded = false;
+};
+
+FaultState &
+state()
+{
+    static FaultState s;
+    return s;
+}
+
+Slot &
+slotFor(FaultState &s, Point point)
+{
+    return s.slots[static_cast<int>(point)];
+}
+
+/** Parse "<hit>" or "<hit>:<arg>" from @p env into @p slot. */
+void
+loadSpec(Slot &slot, const char *env)
+{
+    const char *text = std::getenv(env);
+    if (!text || !*text)
+        return;
+    char *end = nullptr;
+    slot.atHit = std::strtoull(text, &end, 10);
+    if (end && *end == ':')
+        slot.arg = std::strtoull(end + 1, nullptr, 10);
+    if (slot.atHit > 0)
+        FA3C_WARN("fault armed: ", env, "=", text);
+}
+
+/** Must hold s.mutex. */
+void
+loadEnvLocked(FaultState &s)
+{
+    if (s.envLoaded)
+        return;
+    s.envLoaded = true;
+    loadSpec(slotFor(s, Point::KillAgent), "FA3C_FAULT_KILL_AGENT");
+    loadSpec(slotFor(s, Point::CheckpointWrite),
+             "FA3C_FAULT_CKPT_WRITE");
+    loadSpec(slotFor(s, Point::CheckpointBitflip),
+             "FA3C_FAULT_CKPT_BITFLIP");
+}
+
+} // namespace
+
+void
+arm(Point point, std::uint64_t at_hit, std::uint64_t arg)
+{
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    loadEnvLocked(s); // so reset() semantics are uniform afterwards
+    Slot &slot = slotFor(s, point);
+    slot.atHit = at_hit;
+    slot.arg = arg;
+    slot.hits = 0;
+}
+
+void
+reset()
+{
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (Slot &slot : s.slots)
+        slot = Slot{};
+    // Stay loaded: reset() disarms everything, including env-armed
+    // faults, which is what tests need between cases.
+    s.envLoaded = true;
+}
+
+bool
+fire(Point point)
+{
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    loadEnvLocked(s);
+    Slot &slot = slotFor(s, point);
+    if (slot.atHit == 0)
+        return false;
+    return ++slot.hits == slot.atHit;
+}
+
+std::uint64_t
+argFor(Point point)
+{
+    FaultState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    loadEnvLocked(s);
+    return slotFor(s, point).arg;
+}
+
+void
+maybeCorrupt(std::string &image)
+{
+    if (image.empty() || !fire(Point::CheckpointBitflip))
+        return;
+    const std::uint64_t bit =
+        argFor(Point::CheckpointBitflip) % (image.size() * 8);
+    image[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    FA3C_WARN("fault fired: flipped bit ", bit,
+              " of a checkpoint image (", image.size(), " bytes)");
+}
+
+} // namespace fa3c::fault

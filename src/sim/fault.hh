@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fault-injection hooks for crash-safety testing.
+ *
+ * Recovery code is only trustworthy if the failures it guards against
+ * can actually be produced, so the training stack calls these hooks at
+ * its failure points: an agent can be killed mid-routine (a simulated
+ * process crash), a checkpoint write can be failed before the atomic
+ * rename, and a checkpoint image can have one bit flipped on load.
+ *
+ * Faults are disarmed by default and every hook is a cheap counter
+ * check, so production runs pay nothing. Arm them programmatically
+ * (tests) or via the environment (CI smoke runs):
+ *
+ *     FA3C_FAULT_KILL_AGENT=<hit>       _Exit(kKillExitCode) on the
+ *                                       <hit>'th routine start
+ *     FA3C_FAULT_CKPT_WRITE=<hit>       fail the <hit>'th checkpoint
+ *                                       write before the rename
+ *     FA3C_FAULT_CKPT_BITFLIP=<hit>:<bit>  flip <bit> (mod image size)
+ *                                       in the <hit>'th loaded image
+ */
+
+#ifndef FA3C_SIM_FAULT_HH
+#define FA3C_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fa3c::fault {
+
+/** Exit code of a simulated mid-routine crash (FA3C_FAULT_KILL_AGENT);
+ * distinct from panic/fatal codes so harnesses can tell them apart. */
+inline constexpr int kKillExitCode = 42;
+
+/** The injection points wired through the training stack. */
+enum class Point
+{
+    KillAgent,        ///< simulated crash at a routine boundary
+    CheckpointWrite,  ///< checkpoint write fails before the rename
+    CheckpointBitflip ///< one bit flips in a checkpoint image on load
+};
+
+/**
+ * Arm @p point to fire on its @p at_hit'th hit (1-based). 0 disarms.
+ * @p arg carries the per-point payload (the bit index for
+ * CheckpointBitflip). Overrides any environment configuration.
+ */
+void arm(Point point, std::uint64_t at_hit, std::uint64_t arg = 0);
+
+/** Disarm every point, reset hit counters, and re-read the
+ * environment on the next hook call. */
+void reset();
+
+/**
+ * Count one hit of @p point. @return true when the armed threshold is
+ * reached — the caller then performs the injected failure.
+ */
+bool fire(Point point);
+
+/** The payload armed for @p point (bit index for CheckpointBitflip). */
+std::uint64_t argFor(Point point);
+
+/** Flip the armed bit of @p image when CheckpointBitflip fires. */
+void maybeCorrupt(std::string &image);
+
+} // namespace fa3c::fault
+
+#endif // FA3C_SIM_FAULT_HH

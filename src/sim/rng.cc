@@ -83,6 +83,26 @@ Rng::gaussian()
     return mag * std::cos(two_pi * u2);
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.spareGaussian = spareGaussian_;
+    st.hasSpareGaussian = hasSpareGaussian_ ? 1 : 0;
+    return st;
+}
+
+void
+Rng::setState(const RngState &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st.s[i];
+    spareGaussian_ = st.spareGaussian;
+    hasSpareGaussian_ = st.hasSpareGaussian != 0;
+}
+
 Rng
 Rng::split(std::uint64_t stream)
 {

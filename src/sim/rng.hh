@@ -15,6 +15,18 @@
 namespace fa3c::sim {
 
 /**
+ * The complete serializable state of an Rng: the four xoshiro256**
+ * words plus the banked Box-Muller spare. Laid out without padding so
+ * the raw bytes are deterministic in checkpoints.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {};
+    double spareGaussian = 0.0;
+    std::uint64_t hasSpareGaussian = 0;
+};
+
+/**
  * xoshiro256** generator.
  *
  * Small, fast, and high quality; seeded through splitmix64 so that
@@ -54,6 +66,13 @@ class Rng
      *               parent state.
      */
     Rng split(std::uint64_t stream);
+
+    /** Snapshot the full generator state (for checkpoints). */
+    RngState state() const;
+
+    /** Restore a state captured by state(); the stream continues
+     * bit-identically from the snapshot point. */
+    void setState(const RngState &st);
 
   private:
     std::uint64_t s_[4];

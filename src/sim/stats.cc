@@ -44,7 +44,9 @@ Distribution::sample(double v)
 {
     ++count_;
     sum_ += v;
-    sumSq_ += v * v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
     if (v < min_)
         min_ = v;
     if (v > max_)
@@ -93,8 +95,7 @@ Distribution::stddev() const
 {
     if (count_ == 0)
         return 0.0;
-    const double m = mean();
-    const double var = sumSq_ / count_ - m * m;
+    const double var = m2_ / static_cast<double>(count_);
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 

@@ -30,10 +30,13 @@ class Counter
 /**
  * Running distribution of double samples.
  *
- * Tracks count, sum, min, max, and the sum of squares so mean and
- * (population) standard deviation can be reported without storing
- * individual samples, plus a fixed-bucket log-spaced histogram so
- * percentiles survive into exports without per-sample storage.
+ * Tracks count, sum, min, max, and a Welford-style running mean and
+ * centered second moment so mean and (population) standard deviation
+ * can be reported without storing individual samples — and without
+ * the catastrophic cancellation a naive sum-of-squares accumulator
+ * suffers on large-mean/low-variance data — plus a fixed-bucket
+ * log-spaced histogram so percentiles survive into exports without
+ * per-sample storage.
  *
  * The histogram covers [2^-40, 2^40) with 8 sub-buckets per octave
  * (~±4.5% relative resolution); non-positive samples land in the
@@ -72,7 +75,8 @@ class Distribution
 
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sumSq_ = 0.0;
+    double mean_ = 0.0; ///< Welford running mean
+    double m2_ = 0.0;   ///< Welford sum of squared deviations
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
     std::vector<std::uint32_t> buckets_; ///< sized lazily on first sample

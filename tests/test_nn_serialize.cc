@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "nn/a3c_network.hh"
@@ -82,4 +84,87 @@ TEST(Serialize, MissingFileFailsCleanly)
     ParamSet params = net.makeParams();
     EXPECT_FALSE(
         loadParamsFromFile(params, "/tmp/fa3c_does_not_exist.bin"));
+}
+
+TEST(Serialize, ImageRoundTrip)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    sim::Rng rng(13);
+    ParamSet original = net.makeParams();
+    net.initParams(original, rng);
+    const std::string image = paramsToImage(original);
+    ParamSet restored = net.makeParams();
+    ASSERT_TRUE(paramsFromImage(restored, image));
+    EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(original, restored), 0.0f);
+}
+
+TEST(Serialize, BitFlipAnywhereIsRejectedWithoutMutation)
+{
+    A3cNetwork net(NetConfig::tiny(3));
+    sim::Rng rng(17);
+    ParamSet original = net.makeParams();
+    net.initParams(original, rng);
+    const std::string image = paramsToImage(original);
+
+    // A sentinel destination that must come through every failed load
+    // completely untouched.
+    ParamSet pristine = net.makeParams();
+    net.initParams(pristine, rng);
+
+    // Sweep a spread of byte offsets across the header, segment
+    // table, and float payload.
+    const std::size_t stride = std::max<std::size_t>(
+        std::size_t{1}, image.size() / 97);
+    for (std::size_t off = 0; off < image.size(); off += stride) {
+        std::string corrupt = image;
+        corrupt[off] ^= 0x04;
+        ParamSet dst = net.makeParams();
+        dst.copyFrom(pristine);
+        EXPECT_FALSE(paramsFromImage(dst, corrupt)) << "offset " << off;
+        EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(dst, pristine), 0.0f)
+            << "offset " << off;
+    }
+}
+
+TEST(Serialize, TruncationAnywhereIsRejectedWithoutMutation)
+{
+    A3cNetwork net(NetConfig::tiny(3));
+    sim::Rng rng(19);
+    ParamSet original = net.makeParams();
+    net.initParams(original, rng);
+    const std::string image = paramsToImage(original);
+
+    ParamSet pristine = net.makeParams();
+    net.initParams(pristine, rng);
+
+    const std::size_t stride = std::max<std::size_t>(
+        std::size_t{1}, image.size() / 31);
+    for (std::size_t keep = 0; keep < image.size(); keep += stride) {
+        ParamSet dst = net.makeParams();
+        dst.copyFrom(pristine);
+        EXPECT_FALSE(paramsFromImage(dst, image.substr(0, keep)))
+            << "kept " << keep;
+        EXPECT_FLOAT_EQ(ParamSet::maxAbsDiff(dst, pristine), 0.0f)
+            << "kept " << keep;
+    }
+}
+
+TEST(Serialize, HugeClaimedPayloadIsRejectedWithoutAllocating)
+{
+    A3cNetwork net(NetConfig::tiny(4));
+    sim::Rng rng(23);
+    ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+    std::stringstream stream;
+    ASSERT_TRUE(saveParams(params, stream));
+    std::string image = stream.str();
+    // Corrupt the payload-size field (bytes 8..11) to ~4 GiB; the
+    // loader must bound it by the plausible size for this layout, not
+    // trust it.
+    image[8] = '\xff';
+    image[9] = '\xff';
+    image[10] = '\xff';
+    image[11] = '\xfe';
+    std::stringstream corrupt(image);
+    EXPECT_FALSE(loadParams(params, corrupt));
 }

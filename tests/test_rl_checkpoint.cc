@@ -1,0 +1,463 @@
+/** @file
+ * Tests of crash-safe training checkpoints: image round trips,
+ * bit-exact synchronous resume, corruption rejection with the
+ * in-memory state intact, fault injection, and the per-trainer
+ * checkpoint/restore wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "env/games.hh"
+#include "rl/a3c.hh"
+#include "rl/checkpoint.hh"
+#include "rl/ga3c.hh"
+#include "rl/paac.hh"
+#include "sim/fault.hh"
+
+using namespace fa3c;
+using namespace fa3c::rl;
+
+namespace {
+
+A3cTrainer::SessionFactory
+pongSessions(const nn::NetConfig &net_cfg, std::uint64_t seed)
+{
+    return [net_cfg, seed](int agent_id) {
+        env::SessionConfig cfg;
+        cfg.frameStack = net_cfg.inChannels;
+        cfg.obsHeight = net_cfg.inHeight;
+        cfg.obsWidth = net_cfg.inWidth;
+        cfg.maxEpisodeFrames = 600;
+        return std::make_unique<env::AtariSession>(
+            env::makePong(seed + static_cast<std::uint64_t>(agent_id)),
+            cfg, seed * 7 + static_cast<std::uint64_t>(agent_id));
+    };
+}
+
+A3cTrainer::BackendFactory
+referenceBackends(const nn::A3cNetwork &net)
+{
+    return [&net](int) { return std::make_unique<ReferenceBackend>(net); };
+}
+
+/** Stop after exactly @p routines agent routines. */
+std::function<bool()>
+afterRoutines(int routines)
+{
+    auto count = std::make_shared<int>(0);
+    return [count, routines]() { return (*count)++ >= routines; };
+}
+
+struct TempFile
+{
+    explicit TempFile(const char *name)
+        : path(std::string("/tmp/") + name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile()
+    {
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+    }
+    std::string path;
+};
+
+TrainingCheckpoint
+shapedCheckpoint(const nn::A3cNetwork &net)
+{
+    TrainingCheckpoint ckpt;
+    ckpt.theta = net.makeParams();
+    ckpt.rmspropG = net.makeParams();
+    return ckpt;
+}
+
+} // namespace
+
+TEST(Fault, FiresExactlyOnTheArmedHit)
+{
+    fault::reset();
+    EXPECT_FALSE(fault::fire(fault::Point::KillAgent)); // disarmed
+    fault::arm(fault::Point::KillAgent, 3);
+    EXPECT_FALSE(fault::fire(fault::Point::KillAgent));
+    EXPECT_FALSE(fault::fire(fault::Point::KillAgent));
+    EXPECT_TRUE(fault::fire(fault::Point::KillAgent));
+    EXPECT_FALSE(fault::fire(fault::Point::KillAgent)); // one-shot
+    fault::reset();
+    EXPECT_FALSE(fault::fire(fault::Point::KillAgent));
+}
+
+TEST(Fault, MaybeCorruptFlipsExactlyOneArmedBit)
+{
+    fault::reset();
+    std::string image(32, '\0');
+    fault::maybeCorrupt(image); // disarmed: no change
+    EXPECT_EQ(image, std::string(32, '\0'));
+
+    fault::arm(fault::Point::CheckpointBitflip, 1, /*bit=*/19);
+    fault::maybeCorrupt(image);
+    EXPECT_EQ(image[2], static_cast<char>(1u << 3)); // bit 19
+    image[2] = '\0';
+    EXPECT_EQ(image, std::string(32, '\0'));
+    fault::reset();
+}
+
+TEST(Checkpoint, StreamRoundTripPreservesEverything)
+{
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    sim::Rng rng(3);
+    TrainingCheckpoint original = shapedCheckpoint(net);
+    original.algorithm = "a3c";
+    net.initParams(original.theta, rng);
+    net.initParams(original.rmspropG, rng);
+    original.globalSteps = 12345;
+    original.updates = 7;
+    original.refreshes = 3;
+    original.updatesSinceRefresh = 2;
+    original.trainerRng = sim::Rng(99).state();
+    original.hasAgentState = true;
+    original.agentStates = {"agent-zero-state", "agent-one-state"};
+    original.scoreTail = {{100, 1.5, 0}, {220, -2.0, 1}};
+
+    std::stringstream stream;
+    ASSERT_TRUE(saveCheckpoint(original, stream));
+
+    TrainingCheckpoint restored = shapedCheckpoint(net);
+    ASSERT_TRUE(loadCheckpoint(restored, stream));
+    EXPECT_EQ(restored.algorithm, "a3c");
+    EXPECT_FLOAT_EQ(
+        nn::ParamSet::maxAbsDiff(original.theta, restored.theta), 0.0f);
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(original.rmspropG,
+                                             restored.rmspropG),
+                    0.0f);
+    EXPECT_EQ(restored.globalSteps, 12345u);
+    EXPECT_EQ(restored.updates, 7u);
+    EXPECT_EQ(restored.refreshes, 3u);
+    EXPECT_EQ(restored.updatesSinceRefresh, 2u);
+    EXPECT_TRUE(restored.hasAgentState);
+    EXPECT_EQ(restored.agentStates, original.agentStates);
+    ASSERT_EQ(restored.scoreTail.size(), 2u);
+    EXPECT_EQ(restored.scoreTail[0].globalStep, 100u);
+    EXPECT_DOUBLE_EQ(restored.scoreTail[1].score, -2.0);
+    EXPECT_EQ(restored.scoreTail[1].agentId, 1);
+    // The trainer rng stream continues identically.
+    sim::Rng a(1), b(1);
+    a.setState(original.trainerRng);
+    b.setState(restored.trainerRng);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Checkpoint, CorruptImageRejectedWithStateIntact)
+{
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    sim::Rng rng(5);
+    TrainingCheckpoint ckpt = shapedCheckpoint(net);
+    ckpt.algorithm = "a3c";
+    net.initParams(ckpt.theta, rng);
+    ckpt.globalSteps = 999;
+    ckpt.scoreTail = {{10, 4.0, 0}};
+
+    TempFile file("fa3c_test_ckpt_corrupt.bin");
+    ASSERT_TRUE(saveCheckpointToFile(ckpt, file.path));
+    std::string image;
+    {
+        std::ifstream is(file.path, std::ios::binary);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        image = std::move(buf).str();
+    }
+
+    // Flip one bit at a spread of offsets (header, early payload,
+    // middle, tail); every corruption must be rejected, and the
+    // destination left exactly as it was.
+    const std::size_t offsets[] = {0, 5, 13, 17, 64, image.size() / 2,
+                                   image.size() - 1};
+    for (std::size_t off : offsets) {
+        std::string corrupt = image;
+        corrupt[off] ^= 0x10;
+        {
+            std::ofstream os(file.path,
+                             std::ios::binary | std::ios::trunc);
+            os.write(corrupt.data(),
+                     static_cast<std::streamsize>(corrupt.size()));
+        }
+        TrainingCheckpoint dst = shapedCheckpoint(net);
+        dst.algorithm = "sentinel";
+        dst.globalSteps = 42;
+        dst.theta.flat()[0] = 123.0f;
+        EXPECT_FALSE(loadCheckpointFromFile(dst, file.path))
+            << "offset " << off;
+        EXPECT_EQ(dst.algorithm, "sentinel") << "offset " << off;
+        EXPECT_EQ(dst.globalSteps, 42u) << "offset " << off;
+        EXPECT_FLOAT_EQ(dst.theta.flat()[0], 123.0f)
+            << "offset " << off;
+    }
+
+    // Truncations are rejected too.
+    for (std::size_t keep : {std::size_t{0}, std::size_t{3},
+                             std::size_t{15}, image.size() / 2,
+                             image.size() - 1}) {
+        std::ofstream os(file.path, std::ios::binary | std::ios::trunc);
+        os.write(image.data(), static_cast<std::streamsize>(keep));
+        os.close();
+        TrainingCheckpoint dst = shapedCheckpoint(net);
+        EXPECT_FALSE(loadCheckpointFromFile(dst, file.path))
+            << "truncated to " << keep;
+    }
+}
+
+TEST(Checkpoint, WriteFaultLeavesPreviousCheckpointValid)
+{
+    fault::reset();
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    sim::Rng rng(7);
+    TrainingCheckpoint first = shapedCheckpoint(net);
+    first.algorithm = "a3c";
+    net.initParams(first.theta, rng);
+    first.globalSteps = 100;
+
+    TempFile file("fa3c_test_ckpt_write_fault.bin");
+    ASSERT_TRUE(saveCheckpointToFile(first, file.path));
+
+    TrainingCheckpoint second = first;
+    second.globalSteps = 200;
+    fault::arm(fault::Point::CheckpointWrite, 1);
+    EXPECT_FALSE(saveCheckpointToFile(second, file.path));
+    fault::reset();
+
+    // The failed write must not have torn the previous file.
+    TrainingCheckpoint restored = shapedCheckpoint(net);
+    ASSERT_TRUE(loadCheckpointFromFile(restored, file.path));
+    EXPECT_EQ(restored.globalSteps, 100u);
+}
+
+TEST(Checkpoint, BitflipFaultRejectsOnLoad)
+{
+    fault::reset();
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    sim::Rng rng(9);
+    TrainingCheckpoint ckpt = shapedCheckpoint(net);
+    ckpt.algorithm = "a3c";
+    net.initParams(ckpt.theta, rng);
+
+    TempFile file("fa3c_test_ckpt_bitflip.bin");
+    ASSERT_TRUE(saveCheckpointToFile(ckpt, file.path));
+
+    fault::arm(fault::Point::CheckpointBitflip, 1, /*bit=*/2000);
+    TrainingCheckpoint dst = shapedCheckpoint(net);
+    EXPECT_FALSE(loadCheckpointFromFile(dst, file.path));
+    fault::reset();
+    // Disarmed, the same file loads fine.
+    ASSERT_TRUE(loadCheckpointFromFile(dst, file.path));
+}
+
+TEST(Checkpoint, SignalRequestIsConsumedOnce)
+{
+    EXPECT_FALSE(consumeCheckpointRequest());
+    requestCheckpoint();
+    EXPECT_TRUE(consumeCheckpointRequest());
+    EXPECT_FALSE(consumeCheckpointRequest());
+}
+
+TEST(A3cCheckpoint, SynchronousResumeIsBitExact)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 1'000'000; // routine counters stop the runs
+    cfg.async = false;
+    cfg.seed = 9;
+
+    // Reference: one uninterrupted run of 12 routines.
+    A3cTrainer straight(net, cfg, referenceBackends(net),
+                        pongSessions(net_cfg, 21));
+    straight.run(afterRoutines(12));
+
+    // Interrupted: 6 routines (a whole round-robin round for 2
+    // agents), checkpoint, restore into a *fresh* trainer, 6 more.
+    A3cTrainer before(net, cfg, referenceBackends(net),
+                      pongSessions(net_cfg, 21));
+    before.run(afterRoutines(6));
+    const TrainingCheckpoint ckpt = before.checkpoint();
+    ASSERT_TRUE(ckpt.hasAgentState);
+
+    A3cTrainer after(net, cfg, referenceBackends(net),
+                     pongSessions(net_cfg, 21));
+    ASSERT_TRUE(after.restore(ckpt));
+    EXPECT_EQ(after.globalParams().globalSteps(),
+              before.globalParams().globalSteps());
+    after.run(afterRoutines(6));
+
+    EXPECT_EQ(after.globalParams().globalSteps(),
+              straight.globalParams().globalSteps());
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(
+                        straight.globalParams().theta(),
+                        after.globalParams().theta()),
+                    0.0f);
+    EXPECT_EQ(after.scores().size(), straight.scores().size());
+}
+
+TEST(A3cCheckpoint, FileRoundTripViaResumeFromFile)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    TempFile file("fa3c_test_ckpt_a3c.bin");
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 100;
+    cfg.async = false;
+    cfg.seed = 4;
+    cfg.checkpointPath = file.path;
+
+    A3cTrainer first(net, cfg, referenceBackends(net),
+                     pongSessions(net_cfg, 33));
+    first.run();
+    ASSERT_TRUE(saveCheckpointToFile(first.checkpoint(), file.path));
+
+    A3cTrainer second(net, cfg, referenceBackends(net),
+                      pongSessions(net_cfg, 33));
+    ASSERT_TRUE(second.resumeFromFile());
+    EXPECT_EQ(second.globalParams().globalSteps(),
+              first.globalParams().globalSteps());
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(
+                        first.globalParams().theta(),
+                        second.globalParams().theta()),
+                    0.0f);
+}
+
+TEST(A3cCheckpoint, PeriodicCheckpointWrittenDuringRun)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    TempFile file("fa3c_test_ckpt_periodic.bin");
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 200;
+    cfg.async = false;
+    cfg.seed = 6;
+    cfg.checkpointPath = file.path;
+    cfg.checkpointEverySteps = 50;
+
+    A3cTrainer trainer(net, cfg, referenceBackends(net),
+                       pongSessions(net_cfg, 44));
+    trainer.run();
+
+    TrainingCheckpoint ckpt;
+    ckpt.theta = net.makeParams();
+    ckpt.rmspropG = net.makeParams();
+    ASSERT_TRUE(loadCheckpointFromFile(ckpt, file.path));
+    EXPECT_EQ(ckpt.algorithm, "a3c");
+    EXPECT_GE(ckpt.globalSteps, 50u);
+}
+
+TEST(A3cCheckpoint, RestoreRejectsWrongAlgorithmAndAgentCount)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 50;
+    cfg.async = false;
+    cfg.seed = 8;
+    A3cTrainer trainer(net, cfg, referenceBackends(net),
+                       pongSessions(net_cfg, 55));
+    trainer.run();
+    TrainingCheckpoint ckpt = trainer.checkpoint();
+
+    nn::ParamSet theta_before = net.makeParams();
+    theta_before.copyFrom(trainer.globalParams().theta());
+
+    TrainingCheckpoint wrong_algo = ckpt;
+    wrong_algo.algorithm = "paac";
+    EXPECT_FALSE(trainer.restore(wrong_algo));
+
+    TrainingCheckpoint wrong_agents = ckpt;
+    wrong_agents.agentStates.push_back("extra");
+    EXPECT_FALSE(trainer.restore(wrong_agents));
+
+    // Neither failed restore touched the parameters.
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(
+                        theta_before, trainer.globalParams().theta()),
+                    0.0f);
+}
+
+TEST(PaacCheckpoint, ResumeContinuesBitExactPerBatch)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    PaacConfig cfg;
+    cfg.numEnvs = 2;
+    cfg.totalSteps = 1'000'000;
+    cfg.seed = 3;
+
+    auto batches = [](int n) {
+        auto count = std::make_shared<int>(0);
+        return [count, n]() { return (*count)++ >= n; };
+    };
+
+    PaacTrainer straight(net, cfg, referenceBackends(net),
+                         pongSessions(net_cfg, 70));
+    straight.run(batches(8));
+
+    PaacTrainer before(net, cfg, referenceBackends(net),
+                       pongSessions(net_cfg, 70));
+    before.run(batches(4));
+    const TrainingCheckpoint ckpt = before.checkpoint();
+    EXPECT_EQ(ckpt.algorithm, "paac");
+
+    PaacTrainer after(net, cfg, referenceBackends(net),
+                      pongSessions(net_cfg, 70));
+    ASSERT_TRUE(after.restore(ckpt));
+    EXPECT_EQ(after.updatesApplied(), before.updatesApplied());
+    after.run(batches(4));
+
+    EXPECT_EQ(after.globalParams().globalSteps(),
+              straight.globalParams().globalSteps());
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(
+                        straight.globalParams().theta(),
+                        after.globalParams().theta()),
+                    0.0f);
+}
+
+TEST(Ga3cCheckpoint, RestoreResumesFromCapturedStep)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    Ga3cConfig cfg;
+    cfg.numEnvs = 2;
+    cfg.totalSteps = 300;
+    cfg.seed = 5;
+
+    Ga3cTrainer first(net, cfg, referenceBackends(net),
+                      pongSessions(net_cfg, 80));
+    first.run();
+    const TrainingCheckpoint ckpt = first.checkpoint();
+    EXPECT_EQ(ckpt.algorithm, "ga3c");
+
+    Ga3cTrainer second(net, cfg, referenceBackends(net),
+                       pongSessions(net_cfg, 80));
+    ASSERT_TRUE(second.restore(ckpt));
+    EXPECT_EQ(second.globalParams().globalSteps(),
+              first.globalParams().globalSteps());
+    EXPECT_EQ(second.updatesApplied(), first.updatesApplied());
+    EXPECT_EQ(second.predictorRefreshes(), first.predictorRefreshes());
+    EXPECT_FLOAT_EQ(nn::ParamSet::maxAbsDiff(
+                        first.globalParams().theta(),
+                        second.globalParams().theta()),
+                    0.0f);
+    // A restored trainer trains onward.
+    Ga3cConfig more = cfg;
+    more.totalSteps = 400;
+    Ga3cTrainer third(net, more, referenceBackends(net),
+                      pongSessions(net_cfg, 80));
+    ASSERT_TRUE(third.restore(ckpt));
+    third.run();
+    EXPECT_GE(third.globalParams().globalSteps(), 400u);
+}

@@ -1,0 +1,167 @@
+/** @file Tests of the serialization primitives: CRC32, the byte
+ * writer/reader pair, and the symmetric StateArchive. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/serial.hh"
+
+using namespace fa3c::sim;
+
+TEST(Crc32, MatchesKnownVector)
+{
+    // The IEEE 802.3 check value for "123456789".
+    const char data[] = "123456789";
+    EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, SeedChainsIncrementally)
+{
+    const char data[] = "hello, checkpoint";
+    const std::uint32_t whole = crc32(data, 17);
+    const std::uint32_t part = crc32(data, 8);
+    EXPECT_EQ(crc32(data + 8, 9, part), whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    std::string data(64, '\x5a');
+    const std::uint32_t clean = crc32(data.data(), data.size());
+    for (std::size_t bit = 0; bit < data.size() * 8; bit += 37) {
+        std::string flipped = data;
+        flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        EXPECT_NE(crc32(flipped.data(), flipped.size()), clean)
+            << "bit " << bit;
+    }
+}
+
+TEST(ByteWriterReader, RoundTripsTypedValues)
+{
+    ByteWriter w;
+    w.write(std::uint64_t{0xDEADBEEFCAFEF00D});
+    w.write(3.25);
+    w.write(std::int32_t{-7});
+    w.writeBlob("payload");
+
+    ByteReader r(w.bytes());
+    std::uint64_t u = 0;
+    double d = 0;
+    std::int32_t i = 0;
+    std::string blob;
+    EXPECT_TRUE(r.read(u));
+    EXPECT_TRUE(r.read(d));
+    EXPECT_TRUE(r.read(i));
+    EXPECT_TRUE(r.readBlob(blob));
+    EXPECT_EQ(u, 0xDEADBEEFCAFEF00Du);
+    EXPECT_DOUBLE_EQ(d, 3.25);
+    EXPECT_EQ(i, -7);
+    EXPECT_EQ(blob, "payload");
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, FailsStickyPastTheEnd)
+{
+    ByteWriter w;
+    w.write(std::uint32_t{1});
+    ByteReader r(w.bytes());
+    std::uint64_t too_big = 0;
+    EXPECT_FALSE(r.read(too_big));
+    EXPECT_FALSE(r.ok());
+    // After a failure every further read fails, even ones that would
+    // have fit.
+    std::uint8_t small = 0;
+    EXPECT_FALSE(r.read(small));
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, RejectsBlobLongerThanRemaining)
+{
+    ByteWriter w;
+    w.write(std::uint32_t{1000}); // claims 1000 bytes, has none
+    ByteReader r(w.bytes());
+    std::string blob;
+    EXPECT_FALSE(r.readBlob(blob));
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(StateArchive, RoundTripsMixedFields)
+{
+    std::uint64_t a = 77;
+    double b = -1.5;
+    std::vector<float> v = {1.0f, 2.0f, 3.0f};
+    Rng rng(19);
+    rng.gaussian(); // populate the Box-Muller spare
+
+    ByteWriter w;
+    StateArchive save(w);
+    EXPECT_TRUE(save.fields(a, b, v));
+    EXPECT_TRUE(save(rng));
+
+    std::uint64_t a2 = 0;
+    double b2 = 0;
+    std::vector<float> v2;
+    Rng rng2(1);
+    ByteReader r(w.bytes());
+    StateArchive load(r);
+    EXPECT_TRUE(load.fields(a2, b2, v2));
+    EXPECT_TRUE(load(rng2));
+    EXPECT_EQ(a2, a);
+    EXPECT_DOUBLE_EQ(b2, b);
+    EXPECT_EQ(v2, v);
+    // The restored stream continues identically, spare included.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(rng2.gaussian(), rng.gaussian());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(StateArchive, RejectsVectorCountBeyondRemaining)
+{
+    ByteWriter w;
+    w.write(std::uint32_t{1u << 30}); // absurd element count
+    ByteReader r(w.bytes());
+    StateArchive load(r);
+    std::vector<double> v;
+    EXPECT_FALSE(load(v));
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(StateArchive, SpanRequiresExactCount)
+{
+    std::vector<float> src = {1.0f, 2.0f};
+    ByteWriter w;
+    StateArchive save(w);
+    EXPECT_TRUE(save.span(std::span<float>(src)));
+
+    std::vector<float> dst(3, 0.0f); // wrong size
+    ByteReader r(w.bytes());
+    StateArchive load(r);
+    EXPECT_FALSE(load.span(std::span<float>(dst)));
+
+    std::vector<float> exact(2, 0.0f);
+    ByteReader r2(w.bytes());
+    StateArchive load2(r2);
+    EXPECT_TRUE(load2.span(std::span<float>(exact)));
+    EXPECT_EQ(exact, src);
+}
+
+TEST(StateArchive, FieldsStopsAtFirstFailure)
+{
+    ByteWriter w;
+    w.write(std::uint32_t{5});
+    ByteReader r(w.bytes());
+    StateArchive load(r);
+    std::uint32_t ok_field = 0;
+    std::uint64_t missing = 123;
+    EXPECT_FALSE(load.fields(ok_field, missing));
+    EXPECT_EQ(ok_field, 5u);
+    EXPECT_EQ(missing, 123u); // untouched after the failure
+}

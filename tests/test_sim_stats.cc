@@ -48,6 +48,27 @@ TEST(Distribution, ResetClears)
     EXPECT_EQ(d.count(), 0u);
 }
 
+TEST(Distribution, StddevSurvivesLargeOffsets)
+{
+    // Regression: the old sum-of-squares formulation cancelled
+    // catastrophically for samples like 1e9 +/- 1 (variance is the
+    // difference of two ~1e18 doubles); Welford's update keeps full
+    // precision.
+    Distribution d;
+    for (int i = 0; i < 1000; ++i)
+        d.sample(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(d.mean(), 1e9, 1e-3);
+    EXPECT_NEAR(d.stddev(), 1.0, 1e-6);
+}
+
+TEST(Distribution, ConstantLargeSamplesHaveZeroStddev)
+{
+    Distribution d;
+    for (int i = 0; i < 100; ++i)
+        d.sample(1e12);
+    EXPECT_NEAR(d.stddev(), 0.0, 1e-6);
+}
+
 TEST(Distribution, ConstantSamplesHaveZeroStddev)
 {
     Distribution d;
