@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Golden-vs-fast kernel comparison: times every layer of the A3C
+ * network (Table 1 geometry) through the golden loops in nn/layers.cc
+ * and the blocked im2col/GEMM kernels in nn/kernels/, for all three
+ * computation types (FW, BW, GC), then the end-to-end forward and
+ * backward passes through ReferenceBackend vs FastCpuBackend, and the
+ * batched multi-agent forward path.
+ *
+ * Writes $FA3C_JSON_DIR/BENCH_nn_kernels.json with one row per
+ * (layer, op) pair plus header fields fw_speedup_e2e /
+ * bw_speedup_e2e / batch16_fw_speedup; CI gates on
+ * fw_speedup_e2e >= 2.
+ *
+ * Knobs: FA3C_NN_KERNELS_REPS (per-layer timing iterations, default
+ * 30) and FA3C_NN_KERNELS_E2E_REPS (end-to-end iterations, default
+ * 60) shrink the run for smoke tests.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "nn/a3c_network.hh"
+#include "nn/kernels/conv.hh"
+#include "nn/kernels/fc.hh"
+#include "nn/kernels/gemm.hh"
+#include "nn/kernels/im2col.hh"
+#include "nn/layers.hh"
+#include "rl/backend.hh"
+#include "rl/fast_cpu_backend.hh"
+#include "sim/rng.hh"
+#include "sim/table.hh"
+#include "tensor/tensor.hh"
+
+using namespace fa3c;
+
+namespace {
+
+void
+randomize(std::span<float> s, sim::Rng &rng)
+{
+    for (float &v : s)
+        v = -1.0f + 2.0f * rng.uniformF();
+}
+
+/** Milliseconds per iteration: one warm-up call, then the mean. */
+template <typename F>
+double
+timeMs(F &&fn, std::uint64_t reps)
+{
+    fn();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           static_cast<double>(reps);
+}
+
+double
+gflops(std::size_t macs, double ms)
+{
+    return 2.0 * static_cast<double>(macs) / (ms * 1e-3) / 1e9;
+}
+
+struct OpResult
+{
+    const char *layer;
+    const char *op;
+    std::size_t macs;
+    double goldenMs;
+    double fastMs;
+};
+
+std::vector<OpResult>
+benchConvLayer(const char *name, const nn::ConvSpec &spec,
+               std::uint64_t reps, sim::Rng &rng)
+{
+    tensor::Tensor in(tensor::Shape(
+        {spec.inChannels, spec.inHeight, spec.inWidth}));
+    in.fillUniform(rng, -1.0f, 1.0f);
+    std::vector<float> w(spec.weightCount()), b(spec.biasCount());
+    randomize(w, rng);
+    randomize(b, rng);
+    std::vector<float> wT(spec.weightCount());
+    nn::kernels::transpose(
+        w.data(), spec.outChannels,
+        static_cast<int>(nn::kernels::patchSize(spec)), wT.data());
+
+    tensor::Tensor out(tensor::Shape(
+        {spec.outChannels, spec.outHeight(), spec.outWidth()}));
+    tensor::Tensor g_out(out.shape());
+    g_out.fillUniform(rng, -1.0f, 1.0f);
+    tensor::Tensor g_in(in.shape());
+    std::vector<float> gw(spec.weightCount()), gb(spec.biasCount());
+    std::vector<float> scratch(nn::kernels::colSize(spec));
+
+    std::vector<OpResult> results;
+    results.push_back(
+        {name, "fw", spec.fwMacs(),
+         timeMs([&] { nn::convForward(spec, in, w, b, out); }, reps),
+         timeMs(
+             [&] {
+                 nn::kernels::convForwardFast(spec, in.data().data(), w,
+                                              b, out.data().data(),
+                                              scratch);
+             },
+             reps)});
+    results.push_back(
+        {name, "bw", spec.fwMacs(),
+         timeMs([&] { nn::convBackward(spec, g_out, w, g_in); }, reps),
+         timeMs(
+             [&] {
+                 nn::kernels::convBackwardFast(spec,
+                                               g_out.data().data(), wT,
+                                               g_in.data().data(),
+                                               scratch);
+             },
+             reps)});
+    // Both gradient paths accumulate, so the timed body zeroes first
+    // (the same cost on each side).
+    results.push_back(
+        {name, "gc", spec.fwMacs(),
+         timeMs(
+             [&] {
+                 std::fill(gw.begin(), gw.end(), 0.0f);
+                 std::fill(gb.begin(), gb.end(), 0.0f);
+                 nn::convGradient(spec, in, g_out, gw, gb);
+             },
+             reps),
+         timeMs(
+             [&] {
+                 std::fill(gw.begin(), gw.end(), 0.0f);
+                 std::fill(gb.begin(), gb.end(), 0.0f);
+                 nn::kernels::convGradientFast(spec, in.data().data(),
+                                               g_out.data().data(), gw,
+                                               gb, scratch);
+             },
+             reps)});
+    benchmark::DoNotOptimize(out.data().data());
+    benchmark::DoNotOptimize(g_in.data().data());
+    benchmark::DoNotOptimize(gw.data());
+    return results;
+}
+
+std::vector<OpResult>
+benchFcLayer(const char *name, const nn::FcSpec &spec,
+             std::uint64_t reps, sim::Rng &rng)
+{
+    tensor::Tensor in(tensor::Shape({spec.inFeatures}));
+    in.fillUniform(rng, -1.0f, 1.0f);
+    std::vector<float> w(spec.weightCount()), b(spec.biasCount());
+    randomize(w, rng);
+    randomize(b, rng);
+    std::vector<float> wT(spec.weightCount());
+    nn::kernels::transpose(w.data(), spec.outFeatures, spec.inFeatures,
+                           wT.data());
+
+    tensor::Tensor out(tensor::Shape({spec.outFeatures}));
+    tensor::Tensor g_out(out.shape());
+    g_out.fillUniform(rng, -1.0f, 1.0f);
+    tensor::Tensor g_in(in.shape());
+    std::vector<float> gw(spec.weightCount()), gb(spec.biasCount());
+
+    std::vector<OpResult> results;
+    results.push_back(
+        {name, "fw", spec.fwMacs(),
+         timeMs([&] { nn::fcForward(spec, in, w, b, out); }, reps),
+         timeMs(
+             [&] {
+                 nn::kernels::fcForwardFast(spec, in.data().data(), wT,
+                                            b, out.data().data());
+             },
+             reps)});
+    results.push_back(
+        {name, "bw", spec.fwMacs(),
+         timeMs([&] { nn::fcBackward(spec, g_out, w, g_in); }, reps),
+         timeMs(
+             [&] {
+                 nn::kernels::fcBackwardFast(spec, g_out.data().data(),
+                                             w, g_in.data().data());
+             },
+             reps)});
+    results.push_back(
+        {name, "gc", spec.fwMacs(),
+         timeMs(
+             [&] {
+                 std::fill(gw.begin(), gw.end(), 0.0f);
+                 std::fill(gb.begin(), gb.end(), 0.0f);
+                 nn::fcGradient(spec, in, g_out, gw, gb);
+             },
+             reps),
+         timeMs(
+             [&] {
+                 std::fill(gw.begin(), gw.end(), 0.0f);
+                 std::fill(gb.begin(), gb.end(), 0.0f);
+                 nn::kernels::fcGradientFast(spec, in.data().data(),
+                                             g_out.data().data(), gw,
+                                             gb);
+             },
+             reps)});
+    benchmark::DoNotOptimize(out.data().data());
+    benchmark::DoNotOptimize(g_in.data().data());
+    benchmark::DoNotOptimize(gw.data());
+    return results;
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    bench::banner("nn kernels",
+                  "Golden layer loops vs the blocked im2col/GEMM "
+                  "kernel library (A3C network, Table 1 geometry)");
+
+    const std::uint64_t reps =
+        bench::envKnob("FA3C_NN_KERNELS_REPS", 30);
+    const std::uint64_t e2e_reps =
+        bench::envKnob("FA3C_NN_KERNELS_E2E_REPS", 60);
+
+    const nn::NetConfig cfg = nn::NetConfig::atari(4);
+    const nn::A3cNetwork net(cfg);
+    sim::Rng rng(31);
+
+    // --- Per-layer, per-op timings -------------------------------
+    std::vector<OpResult> results;
+    for (const auto &r : benchConvLayer("conv1", net.conv1(), reps, rng))
+        results.push_back(r);
+    for (const auto &r : benchConvLayer("conv2", net.conv2(), reps, rng))
+        results.push_back(r);
+    for (const auto &r : benchFcLayer("fc3", net.fc3(), reps, rng))
+        results.push_back(r);
+    for (const auto &r : benchFcLayer("fc4", net.fc4(), reps, rng))
+        results.push_back(r);
+
+    bench::JsonReport report("nn_kernels");
+    sim::TextTable table({"Layer", "Op", "Golden ms", "Fast ms",
+                          "Golden GFLOP/s", "Fast GFLOP/s", "Speedup"});
+    for (const auto &r : results) {
+        const double speedup = r.goldenMs / r.fastMs;
+        table.addRow({r.layer, r.op, sim::TextTable::num(r.goldenMs, 3),
+                      sim::TextTable::num(r.fastMs, 3),
+                      sim::TextTable::num(gflops(r.macs, r.goldenMs)),
+                      sim::TextTable::num(gflops(r.macs, r.fastMs)),
+                      sim::TextTable::num(speedup) + "x"});
+        report.addRow()
+            .set("layer", r.layer)
+            .set("op", r.op)
+            .set("macs", static_cast<std::uint64_t>(r.macs))
+            .set("golden_ms", r.goldenMs)
+            .set("fast_ms", r.fastMs)
+            .set("golden_gflops", gflops(r.macs, r.goldenMs))
+            .set("fast_gflops", gflops(r.macs, r.fastMs))
+            .set("speedup", speedup);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // --- End-to-end network passes through the backends ----------
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+    tensor::Tensor obs(tensor::Shape(
+        {cfg.inChannels, cfg.inHeight, cfg.inWidth}));
+    obs.fillUniform(rng, 0.0f, 1.0f);
+
+    rl::ReferenceBackend golden(net);
+    rl::FastCpuBackend fast(net);
+    golden.onParamSync(params);
+    fast.onParamSync(params);
+
+    auto act_golden = net.makeActivations();
+    auto act_fast = net.makeActivations();
+    const double fw_golden_ms = timeMs(
+        [&] { golden.forward(params, obs, act_golden); }, e2e_reps);
+    const double fw_fast_ms = timeMs(
+        [&] { fast.forward(params, obs, act_fast); }, e2e_reps);
+    const double fw_speedup = fw_golden_ms / fw_fast_ms;
+
+    tensor::Tensor g_out(tensor::Shape({net.outSize()}));
+    g_out.fillUniform(rng, -1.0f, 1.0f);
+    nn::ParamSet grads = net.makeParams();
+    const double bw_golden_ms = timeMs(
+        [&] {
+            grads.zero();
+            golden.backward(params, act_golden, g_out, grads);
+        },
+        e2e_reps);
+    const double bw_fast_ms = timeMs(
+        [&] {
+            grads.zero();
+            fast.backward(params, act_fast, g_out, grads);
+        },
+        e2e_reps);
+    const double bw_speedup = bw_golden_ms / bw_fast_ms;
+
+    // --- Batched multi-agent forward (the PAAC / GA3C path) ------
+    const int batch = 16;
+    std::vector<tensor::Tensor> batch_obs_store;
+    std::vector<nn::A3cNetwork::Activations> batch_acts_store;
+    std::vector<const tensor::Tensor *> batch_obs;
+    std::vector<nn::A3cNetwork::Activations *> batch_acts;
+    for (int i = 0; i < batch; ++i) {
+        batch_obs_store.emplace_back(obs.shape());
+        batch_obs_store.back().fillUniform(rng, 0.0f, 1.0f);
+        batch_acts_store.push_back(net.makeActivations());
+    }
+    for (int i = 0; i < batch; ++i) {
+        batch_obs.push_back(&batch_obs_store[static_cast<std::size_t>(i)]);
+        batch_acts.push_back(
+            &batch_acts_store[static_cast<std::size_t>(i)]);
+    }
+    const double batch_loop_ms = timeMs(
+        [&] {
+            for (int i = 0; i < batch; ++i)
+                fast.forward(params, *batch_obs[static_cast<std::size_t>(i)],
+                             *batch_acts[static_cast<std::size_t>(i)]);
+        },
+        e2e_reps);
+    const double batch_gemm_ms = timeMs(
+        [&] { fast.forwardBatch(params, batch_obs, batch_acts); },
+        e2e_reps);
+    const double batch_speedup = batch_loop_ms / batch_gemm_ms;
+
+    sim::TextTable e2e({"End-to-end pass", "Golden ms", "Fast ms",
+                        "Speedup"});
+    e2e.addRow({"forward (1 agent)", sim::TextTable::num(fw_golden_ms, 3),
+                sim::TextTable::num(fw_fast_ms, 3),
+                sim::TextTable::num(fw_speedup) + "x"});
+    e2e.addRow({"backward + gradient", sim::TextTable::num(bw_golden_ms, 3),
+                sim::TextTable::num(bw_fast_ms, 3),
+                sim::TextTable::num(bw_speedup) + "x"});
+    e2e.addRow({"forward x16 loop vs batched",
+                sim::TextTable::num(batch_loop_ms, 3),
+                sim::TextTable::num(batch_gemm_ms, 3),
+                sim::TextTable::num(batch_speedup) + "x"});
+    std::printf("%s\n", e2e.render().c_str());
+    std::printf("CI gate: fw_speedup_e2e = %.2fx (must be >= 2.0)\n",
+                fw_speedup);
+
+    report.field("fw_speedup_e2e", fw_speedup);
+    report.field("bw_speedup_e2e", bw_speedup);
+    report.field("batch16_fw_speedup", batch_speedup);
+    report.field("reps", reps);
+    report.field("e2e_reps", e2e_reps);
+    report.addRow()
+        .set("layer", "net")
+        .set("op", "fw_e2e")
+        .set("golden_ms", fw_golden_ms)
+        .set("fast_ms", fw_fast_ms)
+        .set("speedup", fw_speedup);
+    report.addRow()
+        .set("layer", "net")
+        .set("op", "bw_e2e")
+        .set("golden_ms", bw_golden_ms)
+        .set("fast_ms", bw_fast_ms)
+        .set("speedup", bw_speedup);
+    report.addRow()
+        .set("layer", "net")
+        .set("op", "fw_batch16")
+        .set("golden_ms", batch_loop_ms)
+        .set("fast_ms", batch_gemm_ms)
+        .set("speedup", batch_speedup);
+    return 0;
+}

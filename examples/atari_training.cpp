@@ -10,6 +10,9 @@
  * Games: beam_rider breakout pong qbert seaquest space_invaders.
  *
  * Options:
+ *     --backend <name>       datapath (default), reference, or fast;
+ *                            reference/fast run on the CPU layer
+ *                            libraries (no cycle counters)
  *     --checkpoint <path>    write crash-safe checkpoints to <path>
  *     --checkpoint-every <n> checkpoint every n env steps
  *     --resume               restore <path> before training (missing
@@ -41,13 +44,24 @@ main(int argc, char **argv)
     std::string game_name = "breakout";
     std::uint64_t steps = 10000;
     std::string checkpoint_path;
+    std::string backend_name = "datapath";
     std::uint64_t checkpoint_every = 0;
     bool resume = false;
 
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--checkpoint" && i + 1 < argc) {
+        if (arg == "--backend" && i + 1 < argc) {
+            backend_name = argv[++i];
+            if (backend_name != "datapath" &&
+                backend_name != "reference" && backend_name != "fast") {
+                std::fprintf(stderr,
+                             "unknown backend: %s (want "
+                             "datapath|reference|fast)\n",
+                             backend_name.c_str());
+                return 2;
+            }
+        } else if (arg == "--checkpoint" && i + 1 < argc) {
             checkpoint_path = argv[++i];
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
             checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
@@ -82,14 +96,22 @@ main(int argc, char **argv)
     if (!checkpoint_path.empty())
         rl::installCheckpointSignalHandler();
 
-    // Keep pointers to the backends so we can read their cycle
-    // counters after training.
+    // Keep pointers to the datapath backends so we can read their
+    // cycle counters after training; the CPU backends ("reference",
+    // "fast") have no cycle model and go through the trainer's
+    // built-in factory instead.
     std::vector<core::DatapathBackend *> backends;
-    auto backend_factory = [&](int) {
-        auto backend = std::make_unique<core::DatapathBackend>(net);
-        backends.push_back(backend.get());
-        return backend;
-    };
+    rl::A3cTrainer::BackendFactory backend_factory;
+    if (backend_name == "datapath") {
+        backend_factory =
+            [&](int) -> std::unique_ptr<rl::DnnBackend> {
+            auto backend = std::make_unique<core::DatapathBackend>(net);
+            backends.push_back(backend.get());
+            return backend;
+        };
+    } else {
+        cfg.backend = rl::backendKindFromName(backend_name);
+    }
     auto session_factory = [&](int agent_id) {
         env::SessionConfig session_cfg;
         session_cfg.frameStack = net_cfg.inChannels;
@@ -102,11 +124,11 @@ main(int argc, char **argv)
             session_cfg, 13 + static_cast<std::uint64_t>(agent_id));
     };
 
-    std::printf("Training %s for %llu steps on the FA3C datapath "
-                "model (%d agents, %d actions)...\n",
+    std::printf("Training %s for %llu steps on the %s backend "
+                "(%d agents, %d actions)...\n",
                 game_name.c_str(),
-                static_cast<unsigned long long>(steps), cfg.numAgents,
-                actions);
+                static_cast<unsigned long long>(steps),
+                backend_name.c_str(), cfg.numAgents, actions);
     rl::A3cTrainer trainer(net, cfg, backend_factory, session_factory);
     if (resume && !checkpoint_path.empty() &&
         std::ifstream(checkpoint_path).good()) {
@@ -129,22 +151,24 @@ main(int argc, char **argv)
         std::printf("%-12llu %.2f\n",
                     static_cast<unsigned long long>(step), score);
 
-    std::uint64_t fw = 0, bw = 0, gc = 0;
-    for (const auto *backend : backends) {
-        fw += backend->cycleStats().counterValue("cycles.fw");
-        bw += backend->cycleStats().counterValue("cycles.bw");
-        gc += backend->cycleStats().counterValue("cycles.gc");
+    if (!backends.empty()) {
+        std::uint64_t fw = 0, bw = 0, gc = 0;
+        for (const auto *backend : backends) {
+            fw += backend->cycleStats().counterValue("cycles.fw");
+            bw += backend->cycleStats().counterValue("cycles.bw");
+            gc += backend->cycleStats().counterValue("cycles.gc");
+        }
+        std::printf("\nDatapath cycle counters (all agents, 64-PE CU "
+                    "model):\n");
+        std::printf("  forward propagation : %llu cycles\n",
+                    static_cast<unsigned long long>(fw));
+        std::printf("  backward propagation: %llu cycles\n",
+                    static_cast<unsigned long long>(bw));
+        std::printf("  gradient computation: %llu cycles\n",
+                    static_cast<unsigned long long>(gc));
+        std::printf("  at 180 MHz that is %.2f s of CU time\n",
+                    static_cast<double>(fw + bw + gc) / 180e6);
     }
-    std::printf("\nDatapath cycle counters (all agents, 64-PE CU "
-                "model):\n");
-    std::printf("  forward propagation : %llu cycles\n",
-                static_cast<unsigned long long>(fw));
-    std::printf("  backward propagation: %llu cycles\n",
-                static_cast<unsigned long long>(bw));
-    std::printf("  gradient computation: %llu cycles\n",
-                static_cast<unsigned long long>(gc));
-    std::printf("  at 180 MHz that is %.2f s of CU time\n",
-                static_cast<double>(fw + bw + gc) / 180e6);
 
     // A peek at what the network was looking at.
     auto viewer = env::makeEnvironment(game, 99);

@@ -9,6 +9,7 @@
 #include "fa3c/datapath_backend.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "rl/fast_cpu_backend.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -163,6 +164,8 @@ runTraining(const TrainingRunConfig &cfg)
         (void)agent_id;
         if (cfg.backend == TrainingBackend::Fa3c)
             return std::make_unique<core::DatapathBackend>(net);
+        if (cfg.backend == TrainingBackend::FastCpu)
+            return std::make_unique<rl::FastCpuBackend>(net);
         return std::make_unique<rl::ReferenceBackend>(net);
     };
 

@@ -79,6 +79,7 @@ enum class TrainingBackend
 {
     Reference, ///< golden CPU library
     Fa3c,      ///< the FA3C functional datapath model
+    FastCpu,   ///< blocked im2col/GEMM kernel library
 };
 
 /** Configuration of one Figure 12 training run. */

@@ -1,0 +1,67 @@
+#include "nn/kernels/fc.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/kernels/gemm.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::nn::kernels {
+
+void
+fcForwardFast(const FcSpec &spec, const float *in,
+              std::span<const float> wT, std::span<const float> b,
+              float *out)
+{
+    fcForwardFastBatch(spec, 1, in, wT, b, out);
+}
+
+void
+fcForwardFastBatch(const FcSpec &spec, int batch, const float *in,
+                   std::span<const float> wT, std::span<const float> b,
+                   float *out)
+{
+    FA3C_ASSERT(wT.size() == spec.weightCount(), "fcForwardFast wT");
+    FA3C_ASSERT(b.size() == spec.biasCount(), "fcForwardFast b");
+    const std::size_t o = static_cast<std::size_t>(spec.outFeatures);
+    for (int s = 0; s < batch; ++s)
+        std::memcpy(out + static_cast<std::size_t>(s) * o, b.data(),
+                    o * sizeof(float));
+    gemmAcc(batch, spec.outFeatures, spec.inFeatures, in,
+            spec.inFeatures, wT.data(), spec.outFeatures, out,
+            spec.outFeatures);
+}
+
+void
+fcBackwardFast(const FcSpec &spec, const float *g_out,
+               std::span<const float> w, float *g_in)
+{
+    FA3C_ASSERT(w.size() == spec.weightCount(), "fcBackwardFast w");
+    // g_in[1][I] = g_out[1][O] * w[O][I]: the canonical layout is
+    // already the right GEMM operand.
+    std::fill_n(g_in, static_cast<std::size_t>(spec.inFeatures), 0.0f);
+    gemmAcc(1, spec.inFeatures, spec.outFeatures, g_out,
+            spec.outFeatures, w.data(), spec.inFeatures, g_in,
+            spec.inFeatures);
+}
+
+void
+fcGradientFast(const FcSpec &spec, const float *in, const float *g_out,
+               std::span<float> g_w, std::span<float> g_b)
+{
+    FA3C_ASSERT(g_w.size() == spec.weightCount(), "fcGradientFast g_w");
+    FA3C_ASSERT(g_b.size() == spec.biasCount(), "fcGradientFast g_b");
+    float *FA3C_RESTRICT gw = g_w.data();
+    const float *FA3C_RESTRICT src = in;
+    for (int o = 0; o < spec.outFeatures; ++o) {
+        const float g = g_out[static_cast<std::size_t>(o)];
+        g_b[static_cast<std::size_t>(o)] += g;
+        float *FA3C_RESTRICT row =
+            gw + static_cast<std::size_t>(o) *
+                     static_cast<std::size_t>(spec.inFeatures);
+        for (int i = 0; i < spec.inFeatures; ++i)
+            row[i] += g * src[i];
+    }
+}
+
+} // namespace fa3c::nn::kernels

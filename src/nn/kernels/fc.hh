@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fast fully-connected kernels.
+ *
+ * The golden fcForward in nn/layers.cc is a per-row dot product — a
+ * reduction the autovectorizer cannot reassociate without
+ * -ffast-math. These kernels use the transposed weight layout
+ * wT[I][O] so the inner loop becomes an axpy over the output lane
+ * (out[:] += in[i] * wT[i][:]), which vectorizes exactly like the
+ * GEMM microkernel; in fact forward IS gemmAcc with M = 1, and the
+ * batched variant the multi-agent path uses is the same call with
+ * M = batch — so single and batched results are bit-identical.
+ *
+ * Backward and gradient already stream the canonical [O][I] rows
+ * contiguously, so they need no staged layout.
+ */
+
+#ifndef FA3C_NN_KERNELS_FC_HH
+#define FA3C_NN_KERNELS_FC_HH
+
+#include <span>
+
+#include "nn/layers.hh"
+
+namespace fa3c::nn::kernels {
+
+/**
+ * Forward: out[O] = W * in + b using the staged transpose
+ * wT[I][O].
+ */
+void fcForwardFast(const FcSpec &spec, const float *in,
+                   std::span<const float> wT, std::span<const float> b,
+                   float *out);
+
+/**
+ * Batched forward: out[batch][O] = in[batch][I] * wT + b per row —
+ * one GEMM, so the staged weights are loaded once per k-step for the
+ * whole batch instead of once per agent.
+ */
+void fcForwardFastBatch(const FcSpec &spec, int batch, const float *in,
+                        std::span<const float> wT,
+                        std::span<const float> b, float *out);
+
+/** Backward: g_in[I] = W^T * g_out using the canonical w[O][I]. */
+void fcBackwardFast(const FcSpec &spec, const float *g_out,
+                    std::span<const float> w, float *g_in);
+
+/** Gradient: g_w += g_out x in^T; g_b += g_out (accumulates). */
+void fcGradientFast(const FcSpec &spec, const float *in,
+                    const float *g_out, std::span<float> g_w,
+                    std::span<float> g_b);
+
+} // namespace fa3c::nn::kernels
+
+#endif // FA3C_NN_KERNELS_FC_HH

@@ -1,0 +1,83 @@
+#include "nn/kernels/gemm.hh"
+
+namespace fa3c::nn::kernels {
+
+namespace {
+
+/** One C row: c[0..n) += sum_p a[p] * b[p][0..n). */
+inline void
+gemmRow(int n, int k, const float *FA3C_RESTRICT a, const float *b,
+        int ldb, float *FA3C_RESTRICT c)
+{
+    for (int p = 0; p < k; ++p) {
+        const float ap = a[p];
+        const float *FA3C_RESTRICT bp = b + static_cast<std::size_t>(p) *
+                                                static_cast<std::size_t>(ldb);
+        for (int j = 0; j < n; ++j)
+            c[j] += ap * bp[j];
+    }
+}
+
+} // namespace
+
+void
+gemmAcc(int m, int n, int k, const float *a, int lda, const float *b,
+        int ldb, float *c, int ldc)
+{
+    const std::size_t sa = static_cast<std::size_t>(lda);
+    const std::size_t sc = static_cast<std::size_t>(ldc);
+    int i = 0;
+    // MR=4 register block: each B row loaded once, used by four C rows.
+    for (; i + 4 <= m; i += 4) {
+        const float *FA3C_RESTRICT a0 = a + static_cast<std::size_t>(i) * sa;
+        const float *FA3C_RESTRICT a1 = a0 + sa;
+        const float *FA3C_RESTRICT a2 = a1 + sa;
+        const float *FA3C_RESTRICT a3 = a2 + sa;
+        float *FA3C_RESTRICT c0 = c + static_cast<std::size_t>(i) * sc;
+        float *FA3C_RESTRICT c1 = c0 + sc;
+        float *FA3C_RESTRICT c2 = c1 + sc;
+        float *FA3C_RESTRICT c3 = c2 + sc;
+        for (int p = 0; p < k; ++p) {
+            const float a0p = a0[p];
+            const float a1p = a1[p];
+            const float a2p = a2[p];
+            const float a3p = a3[p];
+            const float *FA3C_RESTRICT bp =
+                b + static_cast<std::size_t>(p) *
+                        static_cast<std::size_t>(ldb);
+            for (int j = 0; j < n; ++j) {
+                const float bj = bp[j];
+                c0[j] += a0p * bj;
+                c1[j] += a1p * bj;
+                c2[j] += a2p * bj;
+                c3[j] += a3p * bj;
+            }
+        }
+    }
+    for (; i < m; ++i)
+        gemmRow(n, k, a + static_cast<std::size_t>(i) * sa, b, ldb,
+                c + static_cast<std::size_t>(i) * sc);
+}
+
+void
+transpose(const float *src, int rows, int cols, float *dst)
+{
+    // Block 16x16 so both the read and write streams stay in cache.
+    constexpr int kBlock = 16;
+    for (int i0 = 0; i0 < rows; i0 += kBlock) {
+        const int i1 = i0 + kBlock < rows ? i0 + kBlock : rows;
+        for (int j0 = 0; j0 < cols; j0 += kBlock) {
+            const int j1 = j0 + kBlock < cols ? j0 + kBlock : cols;
+            for (int i = i0; i < i1; ++i)
+                for (int j = j0; j < j1; ++j)
+                    dst[static_cast<std::size_t>(j) *
+                            static_cast<std::size_t>(rows) +
+                        static_cast<std::size_t>(i)] =
+                        src[static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(cols) +
+                            static_cast<std::size_t>(j)];
+        }
+    }
+}
+
+} // namespace fa3c::nn::kernels

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Register-blocked single-precision GEMM microkernel for the fast CPU
+ * kernel library.
+ *
+ * The kernel is written in "axpy" form — the inner loop walks one row
+ * of C and one row of B contiguously with no reduction across lanes —
+ * so the autovectorizer turns it into packed FMA streams without
+ * -ffast-math. Four rows of C are carried per pass (an MR=4 register
+ * block), so every loaded B element is reused four times from
+ * registers.
+ *
+ * Accumulation into each C element always runs in increasing-k order
+ * regardless of blocking, so results are bit-identical across M
+ * (single-sample vs batched calls see the same per-element FP order).
+ */
+
+#ifndef FA3C_NN_KERNELS_GEMM_HH
+#define FA3C_NN_KERNELS_GEMM_HH
+
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FA3C_RESTRICT __restrict__
+#else
+#define FA3C_RESTRICT
+#endif
+
+namespace fa3c::nn::kernels {
+
+/**
+ * C[m x n] += A[m x k] * B[k x n], all row-major.
+ *
+ * @param lda  Row stride of A (>= k).
+ * @param ldb  Row stride of B (>= n).
+ * @param ldc  Row stride of C (>= n).
+ *
+ * The caller pre-fills C (zero, or a broadcast bias) — the kernel
+ * only ever accumulates.
+ */
+void gemmAcc(int m, int n, int k, const float *a, int lda,
+             const float *b, int ldb, float *c, int ldc);
+
+/** dst[cols x rows] = src[rows x cols]^T, both row-major dense. */
+void transpose(const float *src, int rows, int cols, float *dst);
+
+} // namespace fa3c::nn::kernels
+
+#endif // FA3C_NN_KERNELS_GEMM_HH

@@ -1,0 +1,116 @@
+#include "nn/kernels/im2col.hh"
+
+#include <cstring>
+
+#include "nn/kernels/gemm.hh"
+
+namespace fa3c::nn::kernels {
+
+namespace {
+
+inline std::size_t
+inRowBase(const ConvSpec &s, int i, int y)
+{
+    return (static_cast<std::size_t>(i) *
+                static_cast<std::size_t>(s.inHeight) +
+            static_cast<std::size_t>(y)) *
+           static_cast<std::size_t>(s.inWidth);
+}
+
+} // namespace
+
+void
+im2col(const ConvSpec &spec, const float *in, float *col)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    const int stride = spec.stride;
+    const std::size_t n = patchCount(spec);
+    float *FA3C_RESTRICT out = col;
+    for (int i = 0; i < spec.inChannels; ++i) {
+        for (int kr = 0; kr < spec.kernel; ++kr) {
+            for (int kc = 0; kc < spec.kernel; ++kc) {
+                // One filter tap -> one col row of all OH*OW samples.
+                for (int r = 0; r < oh; ++r) {
+                    const float *FA3C_RESTRICT src =
+                        in + inRowBase(spec, i, r * stride + kr) +
+                        static_cast<std::size_t>(kc);
+                    float *FA3C_RESTRICT dst =
+                        out + static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(ow);
+                    if (stride == 1) {
+                        std::memcpy(dst, src,
+                                    static_cast<std::size_t>(ow) *
+                                        sizeof(float));
+                    } else {
+                        for (int c = 0; c < ow; ++c)
+                            dst[c] = src[static_cast<std::size_t>(
+                                c * stride)];
+                    }
+                }
+                out += n;
+            }
+        }
+    }
+}
+
+void
+im2row(const ConvSpec &spec, const float *in, float *rows)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    const int stride = spec.stride;
+    const int k = spec.kernel;
+    const std::size_t psize = patchSize(spec);
+    for (int r = 0; r < oh; ++r) {
+        for (int c = 0; c < ow; ++c) {
+            float *FA3C_RESTRICT dst =
+                rows + (static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(ow) +
+                        static_cast<std::size_t>(c)) *
+                           psize;
+            for (int i = 0; i < spec.inChannels; ++i) {
+                for (int kr = 0; kr < k; ++kr) {
+                    // K contiguous input pixels per (i, kr).
+                    const float *FA3C_RESTRICT src =
+                        in + inRowBase(spec, i, r * stride + kr) +
+                        static_cast<std::size_t>(c * stride);
+                    std::memcpy(dst, src,
+                                static_cast<std::size_t>(k) *
+                                    sizeof(float));
+                    dst += k;
+                }
+            }
+        }
+    }
+}
+
+void
+col2imAcc(const ConvSpec &spec, const float *col, float *in_grad)
+{
+    const int oh = spec.outHeight();
+    const int ow = spec.outWidth();
+    const int stride = spec.stride;
+    const std::size_t n = patchCount(spec);
+    const float *FA3C_RESTRICT src_row = col;
+    for (int i = 0; i < spec.inChannels; ++i) {
+        for (int kr = 0; kr < spec.kernel; ++kr) {
+            for (int kc = 0; kc < spec.kernel; ++kc) {
+                for (int r = 0; r < oh; ++r) {
+                    float *FA3C_RESTRICT dst =
+                        in_grad + inRowBase(spec, i, r * stride + kr) +
+                        static_cast<std::size_t>(kc);
+                    const float *FA3C_RESTRICT src =
+                        src_row + static_cast<std::size_t>(r) *
+                                      static_cast<std::size_t>(ow);
+                    for (int c = 0; c < ow; ++c)
+                        dst[static_cast<std::size_t>(c * stride)] +=
+                            src[c];
+                }
+                src_row += n;
+            }
+        }
+    }
+}
+
+} // namespace fa3c::nn::kernels

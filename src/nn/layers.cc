@@ -57,6 +57,7 @@ convForward(const ConvSpec &spec, const Tensor &in,
                     tensor::Shape({spec.outChannels, oh, ow}),
                 "convForward output shape ", out.shape().str());
 
+    const float *in_data = in.data().data();
     for (int o = 0; o < spec.outChannels; ++o) {
         for (int r = 0; r < oh; ++r) {
             for (int c = 0; c < ow; ++c) {
@@ -64,11 +65,20 @@ convForward(const ConvSpec &spec, const Tensor &in,
                 for (int i = 0; i < spec.inChannels; ++i) {
                     for (int kr = 0; kr < spec.kernel; ++kr) {
                         const int y = r * spec.stride + kr;
-                        for (int kc = 0; kc < spec.kernel; ++kc) {
-                            const int x = c * spec.stride + kc;
-                            acc += in.at(i, y, x) *
-                                   w[wIdx(spec, o, i, kr, kc)];
-                        }
+                        // Weight/input row bases hoisted out of the
+                        // kc loop (both rows are contiguous in kc).
+                        const float *w_row =
+                            w.data() + wIdx(spec, o, i, kr, 0);
+                        const float *in_row =
+                            in_data +
+                            (static_cast<std::size_t>(i) *
+                                 static_cast<std::size_t>(
+                                     spec.inHeight) +
+                             static_cast<std::size_t>(y)) *
+                                static_cast<std::size_t>(spec.inWidth) +
+                            static_cast<std::size_t>(c * spec.stride);
+                        for (int kc = 0; kc < spec.kernel; ++kc)
+                            acc += in_row[kc] * w_row[kc];
                     }
                 }
                 out.at(o, r, c) = acc;
@@ -98,11 +108,13 @@ convBackward(const ConvSpec &spec, const Tensor &g_out,
                 const float g = g_out.at(o, r, c);
                 for (int i = 0; i < spec.inChannels; ++i) {
                     for (int kr = 0; kr < spec.kernel; ++kr) {
-                        for (int kc = 0; kc < spec.kernel; ++kc) {
-                            g_in.at(i, r * spec.stride + kr,
-                                    c * spec.stride + kc) +=
-                                g * w[wIdx(spec, o, i, kr, kc)];
-                        }
+                        const float *w_row =
+                            w.data() + wIdx(spec, o, i, kr, 0);
+                        float *g_row =
+                            &g_in.at(i, r * spec.stride + kr,
+                                     c * spec.stride);
+                        for (int kc = 0; kc < spec.kernel; ++kc)
+                            g_row[kc] += g * w_row[kc];
                     }
                 }
             }
@@ -119,22 +131,41 @@ convGradient(const ConvSpec &spec, const Tensor &in, const Tensor &g_out,
     FA3C_ASSERT(g_w.size() == spec.weightCount(), "convGradient g_w");
     FA3C_ASSERT(g_b.size() == spec.biasCount(), "convGradient g_b");
 
+    const float *go_data = g_out.data().data();
+    const float *in_data = in.data().data();
     for (int o = 0; o < spec.outChannels; ++o) {
         for (int r = 0; r < oh; ++r)
             for (int c = 0; c < ow; ++c)
                 g_b[static_cast<std::size_t>(o)] += g_out.at(o, r, c);
         for (int i = 0; i < spec.inChannels; ++i) {
             for (int kr = 0; kr < spec.kernel; ++kr) {
+                // One weight row per (o, i, kr): index the row base
+                // once instead of re-running the wIdx multiply chain
+                // in the kc loop.
+                float *gw_row = g_w.data() + wIdx(spec, o, i, kr, 0);
                 for (int kc = 0; kc < spec.kernel; ++kc) {
                     float acc = 0.0f;
                     for (int r = 0; r < oh; ++r) {
                         const int y = r * spec.stride + kr;
-                        for (int c = 0; c < ow; ++c) {
-                            acc += g_out.at(o, r, c) *
-                                   in.at(i, y, c * spec.stride + kc);
-                        }
+                        const float *go_row =
+                            go_data + (static_cast<std::size_t>(o) *
+                                           static_cast<std::size_t>(oh) +
+                                       static_cast<std::size_t>(r)) *
+                                          static_cast<std::size_t>(ow);
+                        const float *in_row =
+                            in_data +
+                            (static_cast<std::size_t>(i) *
+                                 static_cast<std::size_t>(
+                                     spec.inHeight) +
+                             static_cast<std::size_t>(y)) *
+                                static_cast<std::size_t>(spec.inWidth) +
+                            static_cast<std::size_t>(kc);
+                        for (int c = 0; c < ow; ++c)
+                            acc += go_row[c] *
+                                   in_row[static_cast<std::size_t>(
+                                       c * spec.stride)];
                     }
-                    g_w[wIdx(spec, o, i, kr, kc)] += acc;
+                    gw_row[kc] += acc;
                 }
             }
         }

@@ -236,6 +236,10 @@ A3cTrainer::A3cTrainer(const nn::A3cNetwork &net, const A3cConfig &cfg,
     : net_(net), cfg_(cfg),
       global_(net, cfg.rmsprop, cfg.initialLr, cfg.lrAnnealSteps)
 {
+    if (!backend_factory)
+        backend_factory = [this](int) {
+            return makeDnnBackend(cfg_.backend, net_);
+        };
     sim::Rng init_rng(cfg_.seed);
     global_.initialize(init_rng);
     for (int i = 0; i < cfg_.numAgents; ++i) {

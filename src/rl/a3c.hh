@@ -44,6 +44,9 @@ struct A3cConfig
     std::uint64_t seed = 1;
     bool async = true; ///< threads per agent; false = deterministic
                        ///< round-robin in the calling thread
+    /** DNN backend built when the trainer is handed a null
+     * BackendFactory (an explicit factory wins). */
+    BackendKind backend = BackendKind::Reference;
     /** Checkpoint file ("" disables checkpointing entirely). */
     std::string checkpointPath;
     /** Env steps between periodic checkpoints (0 = only on signal). */
@@ -176,6 +179,8 @@ class A3cTrainer
 
     /**
      * @param net     Network geometry (must outlive the trainer).
+     * @param backend_factory Per-agent DNN executor; pass {} to build
+     *                cfg.backend through makeDnnBackend.
      */
     A3cTrainer(const nn::A3cNetwork &net, const A3cConfig &cfg,
                BackendFactory backend_factory,

@@ -15,6 +15,8 @@
 #define FA3C_RL_BACKEND_HH
 
 #include <memory>
+#include <span>
+#include <string>
 
 #include "nn/a3c_network.hh"
 #include "nn/params.hh"
@@ -66,6 +68,30 @@ class DnnBackend
                           const nn::A3cNetwork::Activations &act,
                           const tensor::Tensor &g_out,
                           nn::ParamSet &grads) = 0;
+
+    /**
+     * Batched inference: forward-propagate several observations under
+     * one parameter set (the lock-step PAAC rollout and the GA3C
+     * predictor serve all their environments at once).
+     *
+     * The default runs the single-sample forward per observation, so
+     * every backend supports the call; backends with batch-efficient
+     * kernels (FastCpuBackend) override it to amortize layout
+     * transforms and weight loads across the batch. Implementations
+     * must produce exactly the same activations as per-sample
+     * forward() calls.
+     *
+     * @param obs  Observations; obs.size() == acts.size().
+     * @param acts Per-sample activation caches (overwritten).
+     */
+    virtual void
+    forwardBatch(const nn::ParamSet &params,
+                 std::span<const tensor::Tensor *const> obs,
+                 std::span<nn::A3cNetwork::Activations *const> acts)
+    {
+        for (std::size_t i = 0; i < obs.size(); ++i)
+            forward(params, *obs[i], *acts[i]);
+    }
 };
 
 /** Backend running the golden reference layer implementations. */
@@ -94,6 +120,30 @@ class ReferenceBackend : public DnnBackend
   private:
     const nn::A3cNetwork &net_;
 };
+
+/**
+ * The CPU backends a trainer config can name directly (the FA3C
+ * datapath backend lives above this library and is injected through a
+ * BackendFactory instead).
+ */
+enum class BackendKind
+{
+    Reference, ///< golden layer library (nn/layers.cc)
+    FastCpu,   ///< blocked im2col/GEMM kernels (nn/kernels/)
+};
+
+/** Construct a backend of @p kind over @p net (which must outlive it). */
+std::unique_ptr<DnnBackend> makeDnnBackend(BackendKind kind,
+                                           const nn::A3cNetwork &net);
+
+/**
+ * Parse a CLI-style backend name: "reference" or "fast".
+ * Panics on anything else.
+ */
+BackendKind backendKindFromName(const std::string &name);
+
+/** The CLI-style name of @p kind. */
+const char *backendKindName(BackendKind kind);
 
 } // namespace fa3c::rl
 

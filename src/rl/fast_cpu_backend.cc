@@ -1,0 +1,323 @@
+#include "rl/fast_cpu_backend.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "nn/kernels/conv.hh"
+#include "nn/kernels/fc.hh"
+#include "nn/kernels/gemm.hh"
+#include "nn/kernels/im2col.hh"
+#include "obs/metrics.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::rl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Latency sampler for the nn.kernel.* histograms: times the enclosed
+ * region only while metrics are enabled, so the fast path pays one
+ * relaxed atomic load when observability is off.
+ */
+class KernelTimer
+{
+  public:
+    explicit KernelTimer(const char *name)
+        : name_(name), enabled_(obs::metrics().enabled())
+    {
+        if (enabled_)
+            start_ = Clock::now();
+    }
+
+    ~KernelTimer()
+    {
+        if (!enabled_)
+            return;
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      start_)
+                .count();
+        obs::metrics().sample("nn.kernel", name_, us);
+    }
+
+    KernelTimer(const KernelTimer &) = delete;
+    KernelTimer &operator=(const KernelTimer &) = delete;
+
+  private:
+    const char *name_;
+    bool enabled_;
+    Clock::time_point start_;
+};
+
+} // namespace
+
+FastCpuBackend::FastCpuBackend(const nn::A3cNetwork &net)
+    : net_(net),
+      conv2WT_(net.conv2().weightCount()),
+      fc3WT_(net.fc3().weightCount()),
+      fc4WT_(net.fc4().weightCount()),
+      colScratch_(std::max(nn::kernels::colSize(net.conv1()),
+                           nn::kernels::colSize(net.conv2()))),
+      gFc3Act_(tensor::Shape({net.fc3().outFeatures})),
+      gFc3Pre_(tensor::Shape({net.fc3().outFeatures})),
+      gConv2Flat_(tensor::Shape({net.fc3().inFeatures})),
+      gConv2Act_(tensor::Shape({net.conv2().outChannels,
+                                net.conv2().outHeight(),
+                                net.conv2().outWidth()})),
+      gConv2Pre_(gConv2Act_.shape()),
+      gConv1Act_(tensor::Shape({net.conv1().outChannels,
+                                net.conv1().outHeight(),
+                                net.conv1().outWidth()})),
+      gConv1Pre_(gConv1Act_.shape())
+{
+}
+
+void
+FastCpuBackend::onParamSync(const nn::ParamSet &params)
+{
+    const nn::ConvSpec &c2 = net_.conv2();
+    const nn::FcSpec &f3 = net_.fc3();
+    const nn::FcSpec &f4 = net_.fc4();
+    nn::kernels::transpose(
+        params.view("conv2.w").data(), c2.outChannels,
+        static_cast<int>(nn::kernels::patchSize(c2)), conv2WT_.data());
+    nn::kernels::transpose(params.view("fc3.w").data(), f3.outFeatures,
+                           f3.inFeatures, fc3WT_.data());
+    nn::kernels::transpose(params.view("fc4.w").data(), f4.outFeatures,
+                           f4.inFeatures, fc4WT_.data());
+    staged_ = true;
+}
+
+void
+FastCpuBackend::ensureStaged(const nn::ParamSet &params)
+{
+    // Trainers call onParamSync after every parameter sync; this
+    // covers direct use (tests, benches) that skips the sync protocol.
+    if (!staged_)
+        onParamSync(params);
+}
+
+void
+FastCpuBackend::forwardConvs(const nn::ParamSet &params,
+                             const tensor::Tensor &obs,
+                             nn::A3cNetwork::Activations &act)
+{
+    act.input = obs;
+    {
+        KernelTimer t("conv_fw");
+        nn::kernels::convForwardFast(
+            net_.conv1(), act.input.data().data(),
+            params.view("conv1.w"), params.view("conv1.b"),
+            act.conv1Pre.data().data(), colScratch_);
+    }
+    nn::reluForward(act.conv1Pre, act.conv1Act);
+    {
+        KernelTimer t("conv_fw");
+        nn::kernels::convForwardFast(
+            net_.conv2(), act.conv1Act.data().data(),
+            params.view("conv2.w"), params.view("conv2.b"),
+            act.conv2Pre.data().data(), colScratch_);
+    }
+    nn::reluForward(act.conv2Pre, act.conv2Act);
+    std::copy(act.conv2Act.data().begin(), act.conv2Act.data().end(),
+              act.conv2Flat.data().begin());
+}
+
+void
+FastCpuBackend::forward(const nn::ParamSet &params,
+                        const tensor::Tensor &obs,
+                        nn::A3cNetwork::Activations &act)
+{
+    ensureStaged(params);
+    forwardConvs(params, obs, act);
+    {
+        KernelTimer t("fc_fw");
+        nn::kernels::fcForwardFast(net_.fc3(),
+                                   act.conv2Flat.data().data(), fc3WT_,
+                                   params.view("fc3.b"),
+                                   act.fc3Pre.data().data());
+    }
+    nn::reluForward(act.fc3Pre, act.fc3Act);
+    {
+        KernelTimer t("fc_fw");
+        nn::kernels::fcForwardFast(net_.fc4(), act.fc3Act.data().data(),
+                                   fc4WT_, params.view("fc4.b"),
+                                   act.out.data().data());
+    }
+}
+
+void
+FastCpuBackend::backward(const nn::ParamSet &params,
+                         const nn::A3cNetwork::Activations &act,
+                         const tensor::Tensor &g_out,
+                         nn::ParamSet &grads)
+{
+    ensureStaged(params);
+    FA3C_ASSERT(g_out.numel() ==
+                    static_cast<std::size_t>(net_.fc4().outFeatures),
+                "FastCpuBackend backward g_out size");
+
+    // FC4: GC then BW (the same task order as the golden network).
+    {
+        KernelTimer t("fc_gc");
+        nn::kernels::fcGradientFast(
+            net_.fc4(), act.fc3Act.data().data(), g_out.data().data(),
+            grads.view("fc4.w"), grads.view("fc4.b"));
+    }
+    {
+        KernelTimer t("fc_bw");
+        nn::kernels::fcBackwardFast(net_.fc4(), g_out.data().data(),
+                                    params.view("fc4.w"),
+                                    gFc3Act_.data().data());
+    }
+    nn::reluBackward(act.fc3Pre, gFc3Act_, gFc3Pre_);
+
+    // FC3.
+    {
+        KernelTimer t("fc_gc");
+        nn::kernels::fcGradientFast(
+            net_.fc3(), act.conv2Flat.data().data(),
+            gFc3Pre_.data().data(), grads.view("fc3.w"),
+            grads.view("fc3.b"));
+    }
+    {
+        KernelTimer t("fc_bw");
+        nn::kernels::fcBackwardFast(net_.fc3(), gFc3Pre_.data().data(),
+                                    params.view("fc3.w"),
+                                    gConv2Flat_.data().data());
+    }
+
+    // ReLU before FC3, applied on the conv2 feature map.
+    std::copy(gConv2Flat_.data().begin(), gConv2Flat_.data().end(),
+              gConv2Act_.data().begin());
+    nn::reluBackward(act.conv2Pre, gConv2Act_, gConv2Pre_);
+
+    // Conv2.
+    {
+        KernelTimer t("conv_gc");
+        nn::kernels::convGradientFast(
+            net_.conv2(), act.conv1Act.data().data(),
+            gConv2Pre_.data().data(), grads.view("conv2.w"),
+            grads.view("conv2.b"), colScratch_);
+    }
+    {
+        KernelTimer t("conv_bw");
+        nn::kernels::convBackwardFast(net_.conv2(),
+                                      gConv2Pre_.data().data(), conv2WT_,
+                                      gConv1Act_.data().data(),
+                                      colScratch_);
+    }
+    nn::reluBackward(act.conv1Pre, gConv1Act_, gConv1Pre_);
+
+    // Conv1: gradient only; BW into the game screen is not needed.
+    {
+        KernelTimer t("conv_gc");
+        nn::kernels::convGradientFast(
+            net_.conv1(), act.input.data().data(),
+            gConv1Pre_.data().data(), grads.view("conv1.w"),
+            grads.view("conv1.b"), colScratch_);
+    }
+}
+
+void
+FastCpuBackend::forwardBatch(
+    const nn::ParamSet &params,
+    std::span<const tensor::Tensor *const> obs,
+    std::span<nn::A3cNetwork::Activations *const> acts)
+{
+    FA3C_ASSERT(obs.size() == acts.size(),
+                "forwardBatch obs/acts size mismatch");
+    if (obs.empty())
+        return;
+    ensureStaged(params);
+
+    const nn::FcSpec &f3 = net_.fc3();
+    const nn::FcSpec &f4 = net_.fc4();
+    const int bsz = static_cast<int>(obs.size());
+    const std::size_t in3 = static_cast<std::size_t>(f3.inFeatures);
+    const std::size_t out3 = static_cast<std::size_t>(f3.outFeatures);
+    const std::size_t out4 = static_cast<std::size_t>(f4.outFeatures);
+    batchIn_.resize(static_cast<std::size_t>(bsz) * in3);
+    batchMid_.resize(static_cast<std::size_t>(bsz) * out3);
+    batchAct_.resize(static_cast<std::size_t>(bsz) * out3);
+    batchOut_.resize(static_cast<std::size_t>(bsz) * out4);
+
+    // Conv trunk per sample (the per-sample GEMM already amortizes
+    // weight loads across all output positions), gathering the
+    // flattened conv2 maps into one [B][fc3.in] matrix.
+    for (int s = 0; s < bsz; ++s) {
+        forwardConvs(params, *obs[s], *acts[s]);
+        std::memcpy(batchIn_.data() + static_cast<std::size_t>(s) * in3,
+                    acts[s]->conv2Flat.data().data(),
+                    in3 * sizeof(float));
+    }
+
+    // FC3 as one M = batch GEMM; each staged weight row is loaded once
+    // per register block instead of once per agent. The GEMM
+    // accumulates every output element in the same order as the
+    // single-sample call, so results are bit-identical to forward().
+    {
+        KernelTimer t("fc_fw");
+        nn::kernels::fcForwardFastBatch(f3, bsz, batchIn_.data(),
+                                        fc3WT_, params.view("fc3.b"),
+                                        batchMid_.data());
+    }
+    for (int s = 0; s < bsz; ++s) {
+        const float *pre =
+            batchMid_.data() + static_cast<std::size_t>(s) * out3;
+        float *post =
+            batchAct_.data() + static_cast<std::size_t>(s) * out3;
+        std::memcpy(acts[s]->fc3Pre.data().data(), pre,
+                    out3 * sizeof(float));
+        for (std::size_t i = 0; i < out3; ++i)
+            post[i] = pre[i] > 0.0f ? pre[i] : 0.0f;
+        std::memcpy(acts[s]->fc3Act.data().data(), post,
+                    out3 * sizeof(float));
+    }
+
+    // FC4 batched the same way.
+    {
+        KernelTimer t("fc_fw");
+        nn::kernels::fcForwardFastBatch(f4, bsz, batchAct_.data(),
+                                        fc4WT_, params.view("fc4.b"),
+                                        batchOut_.data());
+    }
+    for (int s = 0; s < bsz; ++s)
+        std::memcpy(acts[s]->out.data().data(),
+                    batchOut_.data() + static_cast<std::size_t>(s) * out4,
+                    out4 * sizeof(float));
+}
+
+std::unique_ptr<DnnBackend>
+makeDnnBackend(BackendKind kind, const nn::A3cNetwork &net)
+{
+    switch (kind) {
+    case BackendKind::Reference:
+        return std::make_unique<ReferenceBackend>(net);
+    case BackendKind::FastCpu:
+        return std::make_unique<FastCpuBackend>(net);
+    }
+    FA3C_PANIC("unknown BackendKind ", static_cast<int>(kind));
+}
+
+BackendKind
+backendKindFromName(const std::string &name)
+{
+    if (name == "reference")
+        return BackendKind::Reference;
+    if (name == "fast")
+        return BackendKind::FastCpu;
+    FA3C_PANIC("unknown backend name '", name,
+               "' (want reference|fast)");
+}
+
+const char *
+backendKindName(BackendKind kind)
+{
+    return kind == BackendKind::FastCpu ? "fast" : "reference";
+}
+
+} // namespace fa3c::rl

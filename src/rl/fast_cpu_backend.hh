@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DnnBackend built on the blocked im2col/GEMM kernel library.
+ *
+ * Produces the same results as ReferenceBackend up to float
+ * reassociation (the GEMM sums filter taps in the same (i, kr, kc)
+ * order as the golden loops, but register blocking can change which
+ * partial sums share a register) while running several times faster:
+ *
+ *  - convolutions go through an im2col patch matrix and a
+ *    register-blocked axpy-form GEMM that autovectorizes without
+ *    -ffast-math;
+ *  - FC forward uses a transposed weight image wT[I][O] staged once
+ *    per parameter sync in onParamSync() (the same stage-on-sync
+ *    pattern the FA3C datapath backend uses for its FW/BW layouts);
+ *  - forwardBatch() runs the two FC layers as one M = batch GEMM so
+ *    the PAAC rollout and GA3C predictor amortize weight traffic
+ *    across all their environments.
+ *
+ * Each instance owns its scratch buffers, so it is single-agent like
+ * every other DnnBackend; trainers construct one per agent.
+ */
+
+#ifndef FA3C_RL_FAST_CPU_BACKEND_HH
+#define FA3C_RL_FAST_CPU_BACKEND_HH
+
+#include <vector>
+
+#include "rl/backend.hh"
+
+namespace fa3c::rl {
+
+/** Backend running the fast kernel library (nn/kernels/). */
+class FastCpuBackend : public DnnBackend
+{
+  public:
+    explicit FastCpuBackend(const nn::A3cNetwork &net);
+
+    const nn::A3cNetwork &network() const override { return net_; }
+
+    /** Restages the transposed weight images from @p params. */
+    void onParamSync(const nn::ParamSet &params) override;
+
+    void forward(const nn::ParamSet &params, const tensor::Tensor &obs,
+                 nn::A3cNetwork::Activations &act) override;
+
+    void backward(const nn::ParamSet &params,
+                  const nn::A3cNetwork::Activations &act,
+                  const tensor::Tensor &g_out,
+                  nn::ParamSet &grads) override;
+
+    void
+    forwardBatch(const nn::ParamSet &params,
+                 std::span<const tensor::Tensor *const> obs,
+                 std::span<nn::A3cNetwork::Activations *const> acts)
+        override;
+
+  private:
+    /** Stage lazily when forward/backward arrive before any sync. */
+    void ensureStaged(const nn::ParamSet &params);
+
+    /** Conv trunk of one forward pass (shared by both entry points). */
+    void forwardConvs(const nn::ParamSet &params,
+                      const tensor::Tensor &obs,
+                      nn::A3cNetwork::Activations &act);
+
+    const nn::A3cNetwork &net_;
+
+    // Staged transposed weight images (rebuilt in onParamSync). Conv1
+    // needs none: its forward uses the canonical [O][I*K*K] layout and
+    // backward into the game screen is never computed.
+    std::vector<float> conv2WT_; ///< [I*K*K][O] for conv2 BW
+    std::vector<float> fc3WT_;   ///< [I][O] for fc3 FW
+    std::vector<float> fc4WT_;   ///< [I][O] for fc4 FW
+    bool staged_ = false;
+
+    // Per-agent scratch: one im2col/im2row patch matrix (sized for the
+    // larger conv) plus the backward-pass gradient tensors, allocated
+    // once since the geometry is fixed.
+    std::vector<float> colScratch_;
+    tensor::Tensor gFc3Act_;
+    tensor::Tensor gFc3Pre_;
+    tensor::Tensor gConv2Flat_;
+    tensor::Tensor gConv2Act_;
+    tensor::Tensor gConv2Pre_;
+    tensor::Tensor gConv1Act_;
+    tensor::Tensor gConv1Pre_;
+
+    // Batch staging buffers for forwardBatch (grown on demand).
+    std::vector<float> batchIn_;  ///< [B][fc3.in]  flattened conv2 maps
+    std::vector<float> batchMid_; ///< [B][fc3.out] fc3 pre-activations
+    std::vector<float> batchAct_; ///< [B][fc3.out] post-ReLU
+    std::vector<float> batchOut_; ///< [B][fc4.out]
+};
+
+} // namespace fa3c::rl
+
+#endif // FA3C_RL_FAST_CPU_BACKEND_HH

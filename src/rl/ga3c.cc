@@ -21,6 +21,10 @@ Ga3cTrainer::Ga3cTrainer(const nn::A3cNetwork &net,
     FA3C_ASSERT(cfg_.trainingBatch >= 1 &&
                     cfg_.predictorRefreshUpdates >= 1,
                 "Ga3cConfig batching");
+    if (!backend_factory)
+        backend_factory = [this](int) {
+            return makeDnnBackend(cfg_.backend, net_);
+        };
     sim::Rng init_rng(cfg_.seed);
     global_.initialize(init_rng);
     global_.snapshot(thetaPredict_);
@@ -29,7 +33,9 @@ Ga3cTrainer::Ga3cTrainer(const nn::A3cNetwork &net,
         slot.backend = backend_factory(i);
         slot.session = session_factory(i);
         envs_.push_back(std::move(slot));
+        predictActs_.push_back(net.makeActivations());
     }
+    trainerBackend_ = backend_factory(cfg_.numEnvs);
 }
 
 int
@@ -57,18 +63,35 @@ Ga3cTrainer::refreshPredictor()
 std::uint64_t
 Ga3cTrainer::predictorStep()
 {
+    // Serve every environment's action request as one batched
+    // inference under the stale predictor snapshot — this is exactly
+    // GA3C's predictor thread, which exists to batch device work.
+    // Environments act only after the batch returns, so the
+    // action-sampling rng stream matches the per-env formulation.
+    std::vector<const tensor::Tensor *> batch_obs;
+    std::vector<nn::A3cNetwork::Activations *> batch_acts;
+    batch_obs.reserve(envs_.size());
+    batch_acts.reserve(envs_.size());
+    for (std::size_t i = 0; i < envs_.size(); ++i) {
+        auto &roll = envs_[i].inFlight;
+        // Record the observation the action is taken from.
+        roll.observations.push_back(envs_[i].session->observation());
+        batch_obs.push_back(&roll.observations.back());
+        batch_acts.push_back(&predictActs_[i]);
+    }
+    envs_[0].backend->forwardBatch(thetaPredict_, batch_obs,
+                                   batch_acts);
+
     std::uint64_t steps = 0;
     std::vector<float> probs;
-    for (auto &slot : envs_) {
+    for (std::size_t i = 0; i < envs_.size(); ++i) {
+        auto &slot = envs_[i];
         auto &roll = slot.inFlight;
-        // Record the observation the action is taken from.
-        roll.observations.push_back(slot.session->observation());
-        slot.backend->forward(thetaPredict_,
-                              roll.observations.back(), scratch_);
+        const nn::A3cNetwork::Activations &act = predictActs_[i];
         probs.assign(static_cast<std::size_t>(
                          slot.session->numActions()),
                      0.0f);
-        nn::softmax(net_.policyLogits(scratch_), probs);
+        nn::softmax(net_.policyLogits(act), probs);
         const int action = sampleAction(probs);
         const auto step = slot.session->act(action);
         roll.actions.push_back(action);
@@ -100,6 +123,7 @@ Ga3cTrainer::trainerStep()
     // GA3C's trainer uses the *current* global parameters, not the
     // (possibly stale) copy the predictor acted with.
     global_.snapshot(thetaTrain_);
+    trainerBackend_->onParamSync(thetaTrain_);
     grads_.zero();
     tensor::Tensor g_out(tensor::Shape({net_.outSize()}));
     std::vector<float> probs;
@@ -120,14 +144,14 @@ Ga3cTrainer::trainerStep()
         // theta_predict).
         float ret = 0.0f;
         if (!roll.episodeEnded) {
-            envs_[0].backend->forward(thetaTrain_,
-                                      roll.observations.back(),
-                                      scratch_);
+            trainerBackend_->forward(thetaTrain_,
+                                     roll.observations.back(),
+                                     scratch_);
             ret = net_.value(scratch_);
         }
         for (std::size_t t = len; t-- > 0;) {
-            envs_[0].backend->forward(thetaTrain_,
-                                      roll.observations[t], scratch_);
+            trainerBackend_->forward(thetaTrain_,
+                                     roll.observations[t], scratch_);
             probs.assign(
                 static_cast<std::size_t>(net_.config().numActions),
                 0.0f);
@@ -136,8 +160,8 @@ Ga3cTrainer::trainerStep()
             deltaObjective(probs, roll.actions[t], ret,
                            net_.value(scratch_), cfg_.entropyBeta,
                            cfg_.valueGradScale, g_out.data());
-            envs_[0].backend->backward(thetaTrain_, scratch_, g_out,
-                                       grads_);
+            trainerBackend_->backward(thetaTrain_, scratch_, g_out,
+                                      grads_);
             ++samples;
         }
     }

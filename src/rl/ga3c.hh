@@ -53,6 +53,9 @@ struct Ga3cConfig
     nn::RmspropConfig rmsprop;
     std::uint64_t totalSteps = 100'000;
     std::uint64_t seed = 1;
+    /** DNN backend built when the trainer is handed a null
+     * BackendFactory (an explicit factory wins). */
+    BackendKind backend = BackendKind::Reference;
     /** Checkpoint file ("" disables checkpointing entirely). */
     std::string checkpointPath;
     /** Env steps between periodic checkpoints (0 = only on signal). */
@@ -124,10 +127,20 @@ class Ga3cTrainer
     ScoreLog scores_;
     sim::Rng rng_;
     std::vector<EnvSlot> envs_;
+    /**
+     * The trainer's own DNN executor (built with agent id numEnvs).
+     * GA3C's trainer and predictor are separate device streams; giving
+     * the trainer its own backend also keeps staged parameter layouts
+     * coherent — it always syncs thetaTrain_ while the env backends
+     * always hold thetaPredict_.
+     */
+    std::unique_ptr<DnnBackend> trainerBackend_;
     nn::ParamSet thetaPredict_;
     nn::ParamSet thetaTrain_;
     nn::ParamSet grads_;
     nn::A3cNetwork::Activations scratch_;
+    /** Per-env activation caches for the batched predictor forward. */
+    std::vector<nn::A3cNetwork::Activations> predictActs_;
     std::deque<QueuedRollout> trainingQueue_;
     std::uint64_t updates_ = 0;
     std::uint64_t refreshes_ = 0;

@@ -18,6 +18,10 @@ PaacTrainer::PaacTrainer(const nn::A3cNetwork &net,
       theta_(net.makeParams()), grads_(net.makeParams()),
       bootstrap_(net.makeActivations())
 {
+    if (!backend_factory)
+        backend_factory = [this](int) {
+            return makeDnnBackend(cfg_.backend, net_);
+        };
     sim::Rng init_rng(cfg_.seed);
     global_.initialize(init_rng);
     envs_.reserve(static_cast<std::size_t>(cfg_.numEnvs));
@@ -68,19 +72,41 @@ PaacTrainer::runBatch()
     }
 
     // Lock-step rollouts: step t of every environment before step
-    // t+1 of any (this is what lets PAAC batch device work).
+    // t+1 of any (this is what lets PAAC batch device work). The
+    // per-step inference goes through one backend as a single
+    // forwardBatch call — the device-level batching PAAC exists for —
+    // and environments act only after the whole batch returns, so the
+    // action-sampling rng stream matches the per-env formulation
+    // exactly.
     for (auto &slot : envs_) {
         slot.rolloutLen = 0;
         slot.episodeEnded = false;
     }
+    std::vector<EnvSlot *> live;
+    std::vector<const tensor::Tensor *> batch_obs;
+    std::vector<nn::A3cNetwork::Activations *> batch_acts;
+    live.reserve(envs_.size());
+    batch_obs.reserve(envs_.size());
+    batch_acts.reserve(envs_.size());
     std::uint64_t steps = 0;
     for (int t = 0; t < cfg_.tMax; ++t) {
+        live.clear();
+        batch_obs.clear();
+        batch_acts.clear();
         for (auto &slot : envs_) {
             if (slot.episodeEnded)
                 continue;
+            live.push_back(&slot);
+            batch_obs.push_back(&slot.session->observation());
+            batch_acts.push_back(
+                &slot.rollout[static_cast<std::size_t>(t)]);
+        }
+        if (live.empty())
+            break;
+        envs_[0].backend->forwardBatch(theta_, batch_obs, batch_acts);
+        for (EnvSlot *slot_ptr : live) {
+            auto &slot = *slot_ptr;
             auto &act = slot.rollout[static_cast<std::size_t>(t)];
-            slot.backend->forward(theta_, slot.session->observation(),
-                                  act);
             auto &p = slot.probs[static_cast<std::size_t>(t)];
             nn::softmax(net_.policyLogits(act), p);
             const int action = sampleAction(p);

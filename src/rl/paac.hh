@@ -44,6 +44,9 @@ struct PaacConfig
     nn::RmspropConfig rmsprop;
     std::uint64_t totalSteps = 100'000;
     std::uint64_t seed = 1;
+    /** DNN backend built when the trainer is handed a null
+     * BackendFactory (an explicit factory wins). */
+    BackendKind backend = BackendKind::Reference;
     /** Checkpoint file ("" disables checkpointing entirely). */
     std::string checkpointPath;
     /** Env steps between periodic checkpoints (0 = only on signal). */

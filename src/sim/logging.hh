@@ -79,6 +79,22 @@ void informImpl(const std::string &msg);
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-only assert for per-element hot paths (tensor indexing, kernel
+ * inner loops): full FA3C_ASSERT in debug builds, compiled out under
+ * NDEBUG so release hot loops pay nothing. FA3C_DBG_ASSERTS is 1/0 so
+ * tests can tell whether the checks are active.
+ */
+#ifdef NDEBUG
+#define FA3C_DBG_ASSERTS 0
+#define FA3C_DBG_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+    } while (0)
+#else
+#define FA3C_DBG_ASSERTS 1
+#define FA3C_DBG_ASSERT(cond, ...) FA3C_ASSERT(cond, __VA_ARGS__)
+#endif
+
 } // namespace fa3c::sim
 
 #endif // FA3C_SIM_LOGGING_HH

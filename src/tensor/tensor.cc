@@ -18,14 +18,6 @@ Shape::Shape(std::initializer_list<int> dims)
     }
 }
 
-int
-Shape::operator[](int i) const
-{
-    FA3C_ASSERT(i >= 0 && i < rank_, "shape index ", i, " out of rank ",
-                rank_);
-    return dims_[static_cast<std::size_t>(i)];
-}
-
 std::size_t
 Shape::numel() const
 {
@@ -60,117 +52,6 @@ Shape::str() const
 }
 
 Tensor::Tensor(Shape shape) : shape_(shape), data_(shape.numel(), 0.0f) {}
-
-float &
-Tensor::operator[](std::size_t i)
-{
-    FA3C_ASSERT(i < data_.size(), "flat index ", i, " out of ",
-                data_.size());
-    return data_[i];
-}
-
-float
-Tensor::operator[](std::size_t i) const
-{
-    FA3C_ASSERT(i < data_.size(), "flat index ", i, " out of ",
-                data_.size());
-    return data_[i];
-}
-
-float &
-Tensor::at(int i)
-{
-    FA3C_ASSERT(shape_.rank() == 1, "rank-1 access on rank ",
-                shape_.rank());
-    return (*this)[static_cast<std::size_t>(i)];
-}
-
-float
-Tensor::at(int i) const
-{
-    return const_cast<Tensor &>(*this).at(i);
-}
-
-std::size_t
-Tensor::offset(int i, int j) const
-{
-    FA3C_ASSERT(shape_.rank() == 2, "rank-2 access on rank ",
-                shape_.rank());
-    FA3C_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
-                "index (", i, ",", j, ") out of ", shape_.str());
-    return static_cast<std::size_t>(i) *
-               static_cast<std::size_t>(shape_[1]) +
-           static_cast<std::size_t>(j);
-}
-
-float &
-Tensor::at(int i, int j)
-{
-    return data_[offset(i, j)];
-}
-
-float
-Tensor::at(int i, int j) const
-{
-    return data_[offset(i, j)];
-}
-
-std::size_t
-Tensor::offset(int i, int j, int k) const
-{
-    FA3C_ASSERT(shape_.rank() == 3, "rank-3 access on rank ",
-                shape_.rank());
-    FA3C_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
-                    k >= 0 && k < shape_[2],
-                "index (", i, ",", j, ",", k, ") out of ", shape_.str());
-    return (static_cast<std::size_t>(i) *
-                static_cast<std::size_t>(shape_[1]) +
-            static_cast<std::size_t>(j)) *
-               static_cast<std::size_t>(shape_[2]) +
-           static_cast<std::size_t>(k);
-}
-
-float &
-Tensor::at(int i, int j, int k)
-{
-    return data_[offset(i, j, k)];
-}
-
-float
-Tensor::at(int i, int j, int k) const
-{
-    return data_[offset(i, j, k)];
-}
-
-std::size_t
-Tensor::offset(int i, int j, int k, int l) const
-{
-    FA3C_ASSERT(shape_.rank() == 4, "rank-4 access on rank ",
-                shape_.rank());
-    FA3C_ASSERT(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
-                    k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3],
-                "index (", i, ",", j, ",", k, ",", l, ") out of ",
-                shape_.str());
-    return ((static_cast<std::size_t>(i) *
-                 static_cast<std::size_t>(shape_[1]) +
-             static_cast<std::size_t>(j)) *
-                static_cast<std::size_t>(shape_[2]) +
-            static_cast<std::size_t>(k)) *
-               static_cast<std::size_t>(shape_[3]) +
-           static_cast<std::size_t>(l);
-}
-
-float &
-Tensor::at(int i, int j, int k, int l)
-{
-    return data_[offset(i, j, k, l)];
-}
-
-float
-Tensor::at(int i, int j, int k, int l) const
-{
-    return data_[offset(i, j, k, l)];
-}
 
 void
 Tensor::fill(float v)

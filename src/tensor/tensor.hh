@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace fa3c::tensor {
@@ -34,8 +35,14 @@ class Shape
     /** Number of dimensions. */
     int rank() const { return rank_; }
 
-    /** Extent of dimension @p i. */
-    int operator[](int i) const;
+    /** Extent of dimension @p i (bounds-checked in debug builds). */
+    int
+    operator[](int i) const
+    {
+        FA3C_DBG_ASSERT(i >= 0 && i < rank_, "shape index ", i,
+                        " out of rank ", rank_);
+        return dims_[static_cast<std::size_t>(i)];
+    }
 
     /** Total number of elements. */
     std::size_t numel() const;
@@ -54,8 +61,10 @@ class Shape
 /**
  * Dense row-major fp32 tensor.
  *
- * Cheap to move; copying copies the buffer. All indexing is
- * bounds-checked in debug-style asserts (FA3C_ASSERT).
+ * Cheap to move; copying copies the buffer. Indexing is bounds-checked
+ * in debug builds only (FA3C_DBG_ASSERT): all accessors inline to raw
+ * pointer arithmetic under NDEBUG so kernel hot loops pay nothing.
+ * Hot code can also take data() once and index the raw span directly.
  */
 class Tensor
 {
@@ -68,25 +77,55 @@ class Tensor
     const Shape &shape() const { return shape_; }
     std::size_t numel() const { return data_.size(); }
 
-    /** Flat element access. */
-    float &operator[](std::size_t i);
-    float operator[](std::size_t i) const;
+    /** Flat element access (unchecked in release builds). */
+    float &
+    operator[](std::size_t i)
+    {
+        FA3C_DBG_ASSERT(i < data_.size(), "flat index ", i, " out of ",
+                        data_.size());
+        return data_[i];
+    }
+    float
+    operator[](std::size_t i) const
+    {
+        FA3C_DBG_ASSERT(i < data_.size(), "flat index ", i, " out of ",
+                        data_.size());
+        return data_[i];
+    }
 
     /** 1-D indexed access. */
-    float &at(int i);
-    float at(int i) const;
+    float &
+    at(int i)
+    {
+        FA3C_DBG_ASSERT(shape_.rank() == 1, "rank-1 access on rank ",
+                        shape_.rank());
+        return (*this)[static_cast<std::size_t>(i)];
+    }
+    float at(int i) const { return const_cast<Tensor &>(*this).at(i); }
 
     /** 2-D indexed access (row-major). */
-    float &at(int i, int j);
-    float at(int i, int j) const;
+    float &at(int i, int j) { return data_[offset(i, j)]; }
+    float at(int i, int j) const { return data_[offset(i, j)]; }
 
     /** 3-D indexed access. */
-    float &at(int i, int j, int k);
-    float at(int i, int j, int k) const;
+    float &at(int i, int j, int k) { return data_[offset(i, j, k)]; }
+    float
+    at(int i, int j, int k) const
+    {
+        return data_[offset(i, j, k)];
+    }
 
     /** 4-D indexed access. */
-    float &at(int i, int j, int k, int l);
-    float at(int i, int j, int k, int l) const;
+    float &
+    at(int i, int j, int k, int l)
+    {
+        return data_[offset(i, j, k, l)];
+    }
+    float
+    at(int i, int j, int k, int l) const
+    {
+        return data_[offset(i, j, k, l)];
+    }
 
     /** Mutable view of the flat storage. */
     std::span<float> data() { return data_; }
@@ -129,9 +168,51 @@ class Tensor
     Shape shape_;
     std::vector<float> data_;
 
-    std::size_t offset(int i, int j) const;
-    std::size_t offset(int i, int j, int k) const;
-    std::size_t offset(int i, int j, int k, int l) const;
+    std::size_t
+    offset(int i, int j) const
+    {
+        FA3C_DBG_ASSERT(shape_.rank() == 2, "rank-2 access on rank ",
+                        shape_.rank());
+        FA3C_DBG_ASSERT(i >= 0 && i < shape_[0] && j >= 0 &&
+                            j < shape_[1],
+                        "index (", i, ",", j, ") out of ", shape_.str());
+        return static_cast<std::size_t>(i) *
+                   static_cast<std::size_t>(shape_[1]) +
+               static_cast<std::size_t>(j);
+    }
+    std::size_t
+    offset(int i, int j, int k) const
+    {
+        FA3C_DBG_ASSERT(shape_.rank() == 3, "rank-3 access on rank ",
+                        shape_.rank());
+        FA3C_DBG_ASSERT(i >= 0 && i < shape_[0] && j >= 0 &&
+                            j < shape_[1] && k >= 0 && k < shape_[2],
+                        "index (", i, ",", j, ",", k, ") out of ",
+                        shape_.str());
+        return (static_cast<std::size_t>(i) *
+                    static_cast<std::size_t>(shape_[1]) +
+                static_cast<std::size_t>(j)) *
+                   static_cast<std::size_t>(shape_[2]) +
+               static_cast<std::size_t>(k);
+    }
+    std::size_t
+    offset(int i, int j, int k, int l) const
+    {
+        FA3C_DBG_ASSERT(shape_.rank() == 4, "rank-4 access on rank ",
+                        shape_.rank());
+        FA3C_DBG_ASSERT(i >= 0 && i < shape_[0] && j >= 0 &&
+                            j < shape_[1] && k >= 0 && k < shape_[2] &&
+                            l >= 0 && l < shape_[3],
+                        "index (", i, ",", j, ",", k, ",", l, ") out of ",
+                        shape_.str());
+        return ((static_cast<std::size_t>(i) *
+                     static_cast<std::size_t>(shape_[1]) +
+                 static_cast<std::size_t>(j)) *
+                    static_cast<std::size_t>(shape_[2]) +
+                static_cast<std::size_t>(k)) *
+                   static_cast<std::size_t>(shape_[3]) +
+               static_cast<std::size_t>(l);
+    }
 };
 
 /** Max |a-b| over all elements. @pre shapes match. */

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests of the FastCpuBackend: activation/gradient parity with the
+ * reference backend, bit-exact batched inference, trainer selection
+ * through the config backend field, and checkpoint compatibility.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "env/games.hh"
+#include "env/session.hh"
+#include "nn/a3c_network.hh"
+#include "rl/a3c.hh"
+#include "rl/fast_cpu_backend.hh"
+#include "rl/ga3c.hh"
+#include "rl/paac.hh"
+#include "test_util.hh"
+
+using namespace fa3c;
+using namespace fa3c::rl;
+using namespace fa3c::test;
+
+namespace {
+
+constexpr std::uint64_t kActUlp = 16;
+constexpr float kActAbs = 1e-6f;
+constexpr std::uint64_t kGradUlp = 512;
+constexpr float kGradAbs = 2e-5f;
+
+A3cTrainer::SessionFactory
+pongSessions(const nn::NetConfig &net_cfg, std::uint64_t seed)
+{
+    return [net_cfg, seed](int agent_id) {
+        env::SessionConfig cfg;
+        cfg.frameStack = net_cfg.inChannels;
+        cfg.obsHeight = net_cfg.inHeight;
+        cfg.obsWidth = net_cfg.inWidth;
+        cfg.maxEpisodeFrames = 600;
+        return std::make_unique<env::AtariSession>(
+            env::makePong(seed + static_cast<std::uint64_t>(agent_id)),
+            cfg, seed * 7 + static_cast<std::uint64_t>(agent_id));
+    };
+}
+
+tensor::Tensor
+randomObs(const nn::A3cNetwork &net, sim::Rng &rng)
+{
+    tensor::Tensor obs(tensor::Shape({net.config().inChannels,
+                                      net.config().inHeight,
+                                      net.config().inWidth}));
+    randomize(obs, rng);
+    return obs;
+}
+
+} // namespace
+
+TEST(FastCpuBackend, ForwardMatchesReference)
+{
+    const nn::A3cNetwork net(nn::NetConfig::tiny(4));
+    sim::Rng rng(3);
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    ReferenceBackend ref(net);
+    FastCpuBackend fast(net);
+    fast.onParamSync(params);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        const tensor::Tensor obs = randomObs(net, rng);
+        nn::A3cNetwork::Activations a_ref = net.makeActivations();
+        nn::A3cNetwork::Activations a_fast = net.makeActivations();
+        ref.forward(params, obs, a_ref);
+        fast.forward(params, obs, a_fast);
+
+        expectAllClose(a_fast.conv1Pre.data(), a_ref.conv1Pre.data(),
+                       kActUlp, kActAbs, "conv1Pre");
+        expectAllClose(a_fast.conv2Pre.data(), a_ref.conv2Pre.data(),
+                       kActUlp, kActAbs, "conv2Pre");
+        expectAllClose(a_fast.fc3Pre.data(), a_ref.fc3Pre.data(),
+                       kActUlp, kActAbs, "fc3Pre");
+        expectAllClose(a_fast.out.data(), a_ref.out.data(), kActUlp,
+                       kActAbs, "out");
+    }
+}
+
+TEST(FastCpuBackend, BackwardMatchesReference)
+{
+    const nn::A3cNetwork net(nn::NetConfig::tiny(4));
+    sim::Rng rng(5);
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    ReferenceBackend ref(net);
+    FastCpuBackend fast(net);
+    fast.onParamSync(params);
+
+    const tensor::Tensor obs = randomObs(net, rng);
+    nn::A3cNetwork::Activations act = net.makeActivations();
+    ref.forward(params, obs, act);
+
+    tensor::Tensor g_out(tensor::Shape({net.outSize()}));
+    randomize(g_out, rng);
+
+    nn::ParamSet g_ref = net.makeParams();
+    nn::ParamSet g_fast = net.makeParams();
+    ref.backward(params, act, g_out, g_ref);
+    fast.backward(params, act, g_out, g_fast);
+
+    for (const auto &seg : g_ref.segments())
+        expectAllClose(g_fast.view(seg.name), g_ref.view(seg.name),
+                       kGradUlp, kGradAbs, seg.name.c_str());
+}
+
+TEST(FastCpuBackend, ForwardBatchBitExactWithSingleForward)
+{
+    const nn::A3cNetwork net(nn::NetConfig::tiny(4));
+    sim::Rng rng(7);
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    FastCpuBackend batched(net);
+    FastCpuBackend single(net);
+    batched.onParamSync(params);
+    single.onParamSync(params);
+
+    const int batch = 6;
+    std::vector<tensor::Tensor> obs;
+    std::vector<nn::A3cNetwork::Activations> acts;
+    for (int s = 0; s < batch; ++s) {
+        obs.push_back(randomObs(net, rng));
+        acts.push_back(net.makeActivations());
+    }
+    std::vector<const tensor::Tensor *> obs_ptrs;
+    std::vector<nn::A3cNetwork::Activations *> act_ptrs;
+    for (int s = 0; s < batch; ++s) {
+        obs_ptrs.push_back(&obs[static_cast<std::size_t>(s)]);
+        act_ptrs.push_back(&acts[static_cast<std::size_t>(s)]);
+    }
+    batched.forwardBatch(params, obs_ptrs, act_ptrs);
+
+    // The batched FC GEMM accumulates per element in the single-sample
+    // order, so every activation must be bit-identical.
+    for (int s = 0; s < batch; ++s) {
+        nn::A3cNetwork::Activations ref = net.makeActivations();
+        single.forward(params, obs[static_cast<std::size_t>(s)], ref);
+        const auto &got = acts[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < ref.out.numel(); ++i)
+            EXPECT_EQ(got.out.data()[i], ref.out.data()[i])
+                << "sample " << s << " out " << i;
+        for (std::size_t i = 0; i < ref.fc3Act.numel(); ++i)
+            EXPECT_EQ(got.fc3Act.data()[i], ref.fc3Act.data()[i])
+                << "sample " << s << " fc3Act " << i;
+        for (std::size_t i = 0; i < ref.conv2Flat.numel(); ++i)
+            EXPECT_EQ(got.conv2Flat.data()[i], ref.conv2Flat.data()[i])
+                << "sample " << s << " conv2Flat " << i;
+    }
+}
+
+TEST(FastCpuBackend, DefaultForwardBatchMatchesForward)
+{
+    // The DnnBackend base-class fallback must serve any backend.
+    const nn::A3cNetwork net(nn::NetConfig::tiny(4));
+    sim::Rng rng(9);
+    nn::ParamSet params = net.makeParams();
+    net.initParams(params, rng);
+
+    ReferenceBackend backend(net);
+    const tensor::Tensor o1 = randomObs(net, rng);
+    const tensor::Tensor o2 = randomObs(net, rng);
+    nn::A3cNetwork::Activations a1 = net.makeActivations();
+    nn::A3cNetwork::Activations a2 = net.makeActivations();
+    const std::vector<const tensor::Tensor *> obs = {&o1, &o2};
+    std::vector<nn::A3cNetwork::Activations *> acts = {&a1, &a2};
+    backend.forwardBatch(params, obs, acts);
+
+    nn::A3cNetwork::Activations want = net.makeActivations();
+    backend.forward(params, o2, want);
+    for (std::size_t i = 0; i < want.out.numel(); ++i)
+        EXPECT_EQ(a2.out.data()[i], want.out.data()[i]);
+}
+
+TEST(FastCpuBackend, MakeDnnBackendAndNames)
+{
+    const nn::A3cNetwork net(nn::NetConfig::tiny(4));
+    auto ref = makeDnnBackend(BackendKind::Reference, net);
+    auto fast = makeDnnBackend(BackendKind::FastCpu, net);
+    EXPECT_NE(dynamic_cast<ReferenceBackend *>(ref.get()), nullptr);
+    EXPECT_NE(dynamic_cast<FastCpuBackend *>(fast.get()), nullptr);
+    EXPECT_EQ(backendKindFromName("fast"), BackendKind::FastCpu);
+    EXPECT_EQ(backendKindFromName("reference"), BackendKind::Reference);
+    EXPECT_STREQ(backendKindName(BackendKind::FastCpu), "fast");
+    EXPECT_STREQ(backendKindName(BackendKind::Reference), "reference");
+    EXPECT_THROW(backendKindFromName("gpu"), std::logic_error);
+}
+
+TEST(FastCpuBackend, A3cTrainsWithConfigSelectedBackend)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    A3cConfig cfg;
+    cfg.numAgents = 2;
+    cfg.totalSteps = 200;
+    cfg.async = false;
+    cfg.seed = 5;
+    cfg.lrAnnealSteps = 0;
+    cfg.backend = BackendKind::FastCpu;
+    A3cTrainer trainer(net, cfg, /*backend_factory=*/{},
+                       pongSessions(net_cfg, 11));
+    nn::ParamSet before = net.makeParams();
+    before.copyFrom(trainer.globalParams().theta());
+    trainer.run();
+    EXPECT_GE(trainer.globalParams().globalSteps(), cfg.totalSteps);
+    EXPECT_GT(nn::ParamSet::maxAbsDiff(
+                  before, trainer.globalParams().theta()),
+              0.0f);
+}
+
+TEST(FastCpuBackend, PaacTrainsWithConfigSelectedBackend)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    PaacConfig cfg;
+    cfg.numEnvs = 3;
+    cfg.totalSteps = 200;
+    cfg.seed = 5;
+    cfg.lrAnnealSteps = 0;
+    cfg.backend = BackendKind::FastCpu;
+    PaacTrainer trainer(net, cfg, /*backend_factory=*/{},
+                        pongSessions(net_cfg, 21));
+    nn::ParamSet before = net.makeParams();
+    before.copyFrom(trainer.globalParams().theta());
+    trainer.run();
+    EXPECT_GT(trainer.updatesApplied(), 0u);
+    EXPECT_GT(nn::ParamSet::maxAbsDiff(
+                  before, trainer.globalParams().theta()),
+              0.0f);
+}
+
+TEST(FastCpuBackend, Ga3cTrainsWithConfigSelectedBackend)
+{
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    Ga3cConfig cfg;
+    cfg.numEnvs = 3;
+    cfg.totalSteps = 200;
+    cfg.seed = 5;
+    cfg.lrAnnealSteps = 0;
+    cfg.backend = BackendKind::FastCpu;
+    Ga3cTrainer trainer(net, cfg, /*backend_factory=*/{},
+                        pongSessions(net_cfg, 31));
+    nn::ParamSet before = net.makeParams();
+    before.copyFrom(trainer.globalParams().theta());
+    trainer.run();
+    EXPECT_GT(trainer.updatesApplied(), 0u);
+    EXPECT_GT(nn::ParamSet::maxAbsDiff(
+                  before, trainer.globalParams().theta()),
+              0.0f);
+}
+
+TEST(FastCpuBackend, PaacDeterministicAndCheckpointRoundTrip)
+{
+    // Fast-backend PAAC must stay deterministic, and a checkpoint
+    // taken mid-run must resume to the exact same trajectory.
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    auto make_cfg = [](std::uint64_t total) {
+        PaacConfig cfg;
+        cfg.numEnvs = 3;
+        cfg.totalSteps = total;
+        cfg.seed = 9;
+        cfg.lrAnnealSteps = 0;
+        cfg.backend = BackendKind::FastCpu;
+        return cfg;
+    };
+
+    // One straight run to 400 steps.
+    PaacTrainer straight(net, make_cfg(400), {},
+                         pongSessions(net_cfg, 41));
+    straight.run();
+
+    // The same run split by a checkpoint/restore at 200 steps.
+    PaacTrainer first(net, make_cfg(200), {},
+                      pongSessions(net_cfg, 41));
+    first.run();
+    const TrainingCheckpoint ckpt = first.checkpoint();
+
+    PaacTrainer second(net, make_cfg(400), {},
+                       pongSessions(net_cfg, 41));
+    ASSERT_TRUE(second.restore(ckpt));
+    second.run();
+
+    EXPECT_FLOAT_EQ(
+        nn::ParamSet::maxAbsDiff(straight.globalParams().theta(),
+                                 second.globalParams().theta()),
+        0.0f);
+}
+
+TEST(FastCpuBackend, CheckpointCompatibleAcrossBackends)
+{
+    // A checkpoint written under the reference backend restores into a
+    // fast-backend trainer (parameters are backend-agnostic) and
+    // training continues from it.
+    const nn::NetConfig net_cfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net(net_cfg);
+    PaacConfig cfg;
+    cfg.numEnvs = 3;
+    cfg.totalSteps = 200;
+    cfg.seed = 13;
+    cfg.lrAnnealSteps = 0;
+    PaacTrainer ref_trainer(net, cfg, {}, pongSessions(net_cfg, 51));
+    ref_trainer.run();
+    const TrainingCheckpoint ckpt = ref_trainer.checkpoint();
+
+    cfg.backend = BackendKind::FastCpu;
+    cfg.totalSteps = 400;
+    PaacTrainer fast_trainer(net, cfg, {}, pongSessions(net_cfg, 51));
+    ASSERT_TRUE(fast_trainer.restore(ckpt));
+    const std::uint64_t resumed_at =
+        fast_trainer.globalParams().globalSteps();
+    EXPECT_GE(resumed_at, 200u);
+    fast_trainer.run();
+    EXPECT_GT(fast_trainer.globalParams().globalSteps(), resumed_at);
+}

@@ -67,17 +67,25 @@ TEST(Tensor, Rank3And4Indexing)
 
 TEST(Tensor, OutOfRangePanics)
 {
+#if FA3C_DBG_ASSERTS
     Tensor t(Shape({2, 2}));
     EXPECT_THROW(t.at(2, 0), std::logic_error);
     EXPECT_THROW(t.at(0, -1), std::logic_error);
     EXPECT_THROW((void)t[4], std::logic_error);
+#else
+    GTEST_SKIP() << "indexing checks compile out under NDEBUG";
+#endif
 }
 
 TEST(Tensor, WrongRankAccessPanics)
 {
+#if FA3C_DBG_ASSERTS
     Tensor t(Shape({2, 2}));
     EXPECT_THROW(t.at(0), std::logic_error);
     EXPECT_THROW(t.at(0, 0, 0), std::logic_error);
+#else
+    GTEST_SKIP() << "indexing checks compile out under NDEBUG";
+#endif
 }
 
 TEST(Tensor, FillAndZero)

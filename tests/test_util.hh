@@ -3,7 +3,13 @@
 #ifndef FA3C_TESTS_TEST_UTIL_HH
 #define FA3C_TESTS_TEST_UTIL_HH
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "nn/layers.hh"
 #include "sim/rng.hh"
@@ -42,7 +48,58 @@ convSpecZoo()
         {4, 9, 9, 8, 3, 3},
         {2, 7, 7, 7, 1, 1},
         {5, 6, 6, 3, 2, 1},
+        // Awkward geometries: stride larger than the kernel (gaps
+        // between sampled patches), ...
+        {3, 11, 11, 4, 2, 3},
+        // ... non-square inputs, ...
+        {2, 9, 13, 4, 3, 2},
+        // ... and a single input channel on a non-square input.
+        {1, 10, 6, 5, 3, 1},
     };
+}
+
+/**
+ * Distance between two floats in units of last place: 0 for exact
+ * equality, huge for NaN or wildly different values. Uses the
+ * monotonic integer mapping of the IEEE-754 encoding, so the result
+ * counts representable floats between the two values.
+ */
+inline std::uint64_t
+ulpDiff(float a, float b)
+{
+    if (a == b)
+        return 0;
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::uint64_t>::max();
+    auto key = [](float v) -> std::int64_t {
+        const std::int64_t i = std::bit_cast<std::int32_t>(v);
+        return i < 0 ? std::int64_t{
+                           std::numeric_limits<std::int32_t>::min()} -
+                           i
+                     : i;
+    };
+    const std::int64_t d = key(a) - key(b);
+    return static_cast<std::uint64_t>(d < 0 ? -d : d);
+}
+
+/**
+ * Expect elementwise closeness: each pair must match within
+ * @p abs_tol (the fallback for near-zero values, where ULPs shrink
+ * faster than accumulated rounding error) OR within @p max_ulp units
+ * of last place.
+ */
+inline void
+expectAllClose(std::span<const float> got, std::span<const float> want,
+               std::uint64_t max_ulp, float abs_tol, const char *what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        if (std::fabs(got[i] - want[i]) <= abs_tol)
+            continue;
+        EXPECT_LE(ulpDiff(got[i], want[i]), max_ulp)
+            << what << " element " << i << ": " << got[i]
+            << " vs " << want[i];
+    }
 }
 
 /** FC shapes including the A3C FC layers. */
