@@ -78,7 +78,14 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    const env::GameId game = env::gameFromName(game_name);
+    const auto maybe_game = env::tryGameFromName(game_name);
+    if (!maybe_game) {
+        std::fprintf(stderr, "unknown game: %s (valid: %s)\n",
+                     game_name.c_str(),
+                     env::gameNameList().c_str());
+        return 2;
+    }
+    const env::GameId game = *maybe_game;
 
     const int actions =
         env::makeEnvironment(game, 0)->numActions();

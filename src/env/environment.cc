@@ -22,10 +22,30 @@ gameName(GameId game)
 GameId
 gameFromName(const std::string &name)
 {
+    if (const auto id = tryGameFromName(name))
+        return *id;
+    FA3C_PANIC("unknown game '", name, "'");
+}
+
+std::optional<GameId>
+tryGameFromName(const std::string &name)
+{
     for (GameId id : allGames)
         if (name == gameName(id))
             return id;
-    FA3C_PANIC("unknown game '", name, "'");
+    return std::nullopt;
+}
+
+std::string
+gameNameList(const std::string &sep)
+{
+    std::string out;
+    for (GameId id : allGames) {
+        if (!out.empty())
+            out += sep;
+        out += gameName(id);
+    }
+    return out;
 }
 
 std::unique_ptr<Environment>

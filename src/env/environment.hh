@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "env/frame.hh"
@@ -88,6 +89,16 @@ const char *gameName(GameId game);
 
 /** Parse a game name; throws via FA3C_PANIC on unknown names. */
 GameId gameFromName(const std::string &name);
+
+/**
+ * Parse a game name; std::nullopt on unknown names. CLI front-ends
+ * use this to reject a typo with a listing of valid names instead of
+ * panicking deep inside Session construction.
+ */
+std::optional<GameId> tryGameFromName(const std::string &name);
+
+/** All valid game names joined with @p sep (CLI error messages). */
+std::string gameNameList(const std::string &sep = ", ");
 
 /**
  * Create a game instance.

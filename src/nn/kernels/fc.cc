@@ -33,6 +33,25 @@ fcForwardFastBatch(const FcSpec &spec, int batch, const float *in,
 }
 
 void
+fcForwardFastBatchPanels(const FcSpec &spec, int batch, const float *in,
+                         std::span<const float> wPanels,
+                         std::span<const float> b, float *out)
+{
+    FA3C_ASSERT(wPanels.size() ==
+                    gemmPanelSize(spec.outFeatures, spec.inFeatures),
+                "fcForwardFastBatchPanels wPanels");
+    FA3C_ASSERT(b.size() == spec.biasCount(),
+                "fcForwardFastBatchPanels b");
+    const std::size_t o = static_cast<std::size_t>(spec.outFeatures);
+    for (int s = 0; s < batch; ++s)
+        std::memcpy(out + static_cast<std::size_t>(s) * o, b.data(),
+                    o * sizeof(float));
+    gemmAccPanels(batch, spec.outFeatures, spec.inFeatures, in,
+                  spec.inFeatures, wPanels.data(), out,
+                  spec.outFeatures);
+}
+
+void
 fcBackwardFast(const FcSpec &spec, const float *g_out,
                std::span<const float> w, float *g_in)
 {

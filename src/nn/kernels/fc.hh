@@ -41,6 +41,20 @@ void fcForwardFastBatch(const FcSpec &spec, int batch, const float *in,
                         std::span<const float> wT,
                         std::span<const float> b, float *out);
 
+/**
+ * Batched forward over weights pre-packed with gemmPackPanels
+ * (@p wPanels = panels of wT[I][O], i.e. gemmPanelSize(O, I)
+ * floats). The panel layout streams the weight matrix sequentially
+ * inside the tiled GEMM, which matters on wide layers where the
+ * row-major wT walk would take a TLB miss per k step; serving
+ * backends stage the panels once per parameter publish. Bit-identical
+ * to fcForwardFastBatch.
+ */
+void fcForwardFastBatchPanels(const FcSpec &spec, int batch,
+                              const float *in,
+                              std::span<const float> wPanels,
+                              std::span<const float> b, float *out);
+
 /** Backward: g_in[I] = W^T * g_out using the canonical w[O][I]. */
 void fcBackwardFast(const FcSpec &spec, const float *g_out,
                     std::span<const float> w, float *g_in);

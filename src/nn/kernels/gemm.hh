@@ -1,18 +1,33 @@
 /**
  * @file
- * Register-blocked single-precision GEMM microkernel for the fast CPU
- * kernel library.
+ * Register-blocked single-precision GEMM microkernels for the fast
+ * CPU kernel library.
  *
- * The kernel is written in "axpy" form — the inner loop walks one row
- * of C and one row of B contiguously with no reduction across lanes —
- * so the autovectorizer turns it into packed FMA streams without
- * -ffast-math. Four rows of C are carried per pass (an MR=4 register
- * block), so every loaded B element is reused four times from
- * registers.
+ * Two inner-kernel forms are used, picked by shape:
+ *
+ *  - an "axpy" form whose inner loop walks one row of C and one row
+ *    of B contiguously (no reduction across lanes), used for short M
+ *    (including the M = 1 GEMV that single-request FC inference is):
+ *    there the C rows fit in registers-worth of L1 and the kernel is
+ *    bound by streaming B, which the contiguous walk does at full
+ *    prefetch speed;
+ *  - a tiled form that carries an MR x NR tile of C entirely in
+ *    vector registers across the whole k loop, used when M >= 4: C is
+ *    loaded and stored once instead of being re-streamed every k
+ *    step, which is what makes batched inference GEMMs profitable.
  *
  * Accumulation into each C element always runs in increasing-k order
- * regardless of blocking, so results are bit-identical across M
- * (single-sample vs batched calls see the same per-element FP order).
+ * regardless of blocking, and products are kept as separate mul+add
+ * (the kernel TUs are built with -ffp-contract=off), so results are
+ * bit-identical across M and across both forms: single-sample and
+ * batched calls see the same per-element FP order and rounding.
+ *
+ * gemmPackPanels/gemmAccPanels additionally support a pre-packed B
+ * layout (column panels of NR contiguous floats per k step) so that a
+ * B matrix that is reused across many calls — FC weights in a serving
+ * hot loop — is staged once and then streamed sequentially instead of
+ * being gathered with a large row stride (a 4 KiB-stride walk costs a
+ * TLB miss per k step on wide layers).
  */
 
 #ifndef FA3C_NN_KERNELS_GEMM_HH
@@ -28,6 +43,9 @@
 
 namespace fa3c::nn::kernels {
 
+/** Column-panel width of the packed-B layout (floats). */
+constexpr int kGemmPanelWidth = 32;
+
 /**
  * C[m x n] += A[m x k] * B[k x n], all row-major.
  *
@@ -40,6 +58,26 @@ namespace fa3c::nn::kernels {
  */
 void gemmAcc(int m, int n, int k, const float *a, int lda,
              const float *b, int ldb, float *c, int ldc);
+
+/** Floats needed by gemmPackPanels for a k x n B matrix. */
+std::size_t gemmPanelSize(int n, int k);
+
+/**
+ * Pack row-major B[k x n] (row stride @p ldb) into column panels:
+ * panel p holds columns [p*W, p*W + W) as [k][W] contiguous floats
+ * with W = kGemmPanelWidth; the last panel is zero-padded. Packing is
+ * pure data movement, so gemmAccPanels results are bit-identical to
+ * gemmAcc on the unpacked B.
+ */
+void gemmPackPanels(int n, int k, const float *b, int ldb,
+                    float *panels);
+
+/**
+ * C[m x n] += A[m x k] * B, with B pre-packed by gemmPackPanels.
+ * Same accumulation order (increasing k per C element) as gemmAcc.
+ */
+void gemmAccPanels(int m, int n, int k, const float *a, int lda,
+                   const float *panels, float *c, int ldc);
 
 /** dst[cols x rows] = src[rows x cols]^T, both row-major dense. */
 void transpose(const float *src, int rows, int cols, float *dst);

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Keeps observability exports alive through rough exits.
+ *
+ * Two failure modes used to lose data: FA3C_METRICS_JSON /
+ * FA3C_TRACE pointing into a directory that does not exist yet (the
+ * open failed and the run produced nothing), and SIGINT/SIGTERM
+ * killing the process before the exit-time writers ran (an
+ * interrupted serve process left no metrics and a truncated,
+ * unparseable trace). ensureParentDir() fixes the former at every
+ * open site; the notify*() hooks install a SIGINT/SIGTERM handler
+ * that flushes both exports best-effort and then chains to whatever
+ * handler was installed before (so rl::installCheckpointSignalHandler
+ * keeps its graceful-shutdown semantics, and the default disposition
+ * still terminates the process).
+ */
+
+#ifndef FA3C_OBS_EXPORT_GUARD_HH
+#define FA3C_OBS_EXPORT_GUARD_HH
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace fa3c::obs {
+
+class MetricsRegistry;
+class TraceWriter;
+
+/** Create @p path's parent directories if missing (best effort). */
+inline void
+ensureParentDir(const std::string &path)
+{
+    std::error_code ec;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+}
+
+/** Flush @p registry's export on SIGINT/SIGTERM from now on. */
+void notifyMetricsExportEnabled(MetricsRegistry &registry);
+
+/** Finalize @p writer's JSON on SIGINT/SIGTERM from now on. */
+void notifyTraceStarted(TraceWriter &writer);
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_EXPORT_GUARD_HH

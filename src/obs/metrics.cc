@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/export_guard.hh"
 #include "obs/json.hh"
 #include "sim/logging.hh"
 
@@ -184,11 +185,32 @@ bool
 MetricsRegistry::writeTo(const std::string &path) const
 {
     const std::string doc = snapshotJson();
+    ensureParentDir(path);
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
         FA3C_WARN("metrics: cannot open '", path, "' for writing");
         return false;
     }
+    out << doc << '\n';
+    return static_cast<bool>(out);
+}
+
+bool
+MetricsRegistry::flushBestEffort() const
+{
+    std::string path;
+    std::string doc;
+    {
+        std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+        if (!lock.owns_lock() || exportPath_.empty())
+            return false;
+        path = exportPath_;
+        doc = snapshotJsonLocked();
+    }
+    ensureParentDir(path);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
     out << doc << '\n';
     return static_cast<bool>(out);
 }
@@ -225,6 +247,7 @@ metrics()
             path && *path) {
             registry.setExportPath(path);
             registry.setEnabled(true);
+            notifyMetricsExportEnabled(registry);
         }
         if (const char *interval =
                 std::getenv("FA3C_METRICS_INTERVAL_SEC"))

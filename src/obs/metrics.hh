@@ -88,6 +88,12 @@ class MetricsRegistry
     /** Serialize to @p path; returns false on I/O failure. */
     bool writeTo(const std::string &path) const;
 
+    /**
+     * Write the export file now if the lock is free (signal-handler
+     * path: skips rather than deadlocks when a flush is in flight).
+     */
+    bool flushBestEffort() const;
+
     /** Groups currently visible (live + owned + retained). */
     std::size_t groupCount() const;
 

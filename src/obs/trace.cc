@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/export_guard.hh"
 #include "obs/json.hh"
 #include "sim/logging.hh"
 
@@ -11,9 +12,10 @@ namespace fa3c::obs {
 
 TraceWriter::TraceWriter(const std::string &path,
                          std::uint64_t max_events)
-    : out_(path, std::ios::trunc),
-      epoch_(std::chrono::steady_clock::now()), maxEvents_(max_events)
+    : epoch_(std::chrono::steady_clock::now()), maxEvents_(max_events)
 {
+    ensureParentDir(path);
+    out_.open(path, std::ios::trunc);
     if (!out_) {
         FA3C_WARN("FA3C_TRACE: cannot open '", path,
                   "' for writing; tracing disabled");
@@ -192,6 +194,15 @@ TraceWriter::flush()
     out_.flush();
 }
 
+void
+TraceWriter::closeBestEffort()
+{
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock())
+        return;
+    closeLocked();
+}
+
 TraceSpan::TraceSpan(std::string track, std::string name)
     : TraceSpan(trace(), std::move(track), std::move(name))
 {
@@ -234,6 +245,7 @@ trace()
         auto writer = std::make_unique<TraceWriter>(path, max_events);
         if (!writer->ok())
             return nullptr;
+        notifyTraceStarted(*writer);
         return writer;
     }();
     return global.get();

@@ -91,6 +91,13 @@ class TraceWriter
     /** Flush buffered output to disk (the file stays open). */
     void flush();
 
+    /**
+     * Finalize the JSON now if the lock is free (signal-handler path:
+     * skips rather than deadlocks when an emit is in flight). Later
+     * events are dropped; the destructor close becomes a no-op.
+     */
+    void closeBestEffort();
+
   private:
     mutable std::mutex mutex_;
     std::ofstream out_;

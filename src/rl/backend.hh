@@ -15,6 +15,7 @@
 #define FA3C_RL_BACKEND_HH
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -141,6 +142,10 @@ std::unique_ptr<DnnBackend> makeDnnBackend(BackendKind kind,
  * Panics on anything else.
  */
 BackendKind backendKindFromName(const std::string &name);
+
+/** Parse a CLI-style backend name; std::nullopt on unknown names. */
+std::optional<BackendKind>
+tryBackendKindFromName(const std::string &name);
 
 /** The CLI-style name of @p kind. */
 const char *backendKindName(BackendKind kind);

@@ -88,6 +88,18 @@ FastCpuBackend::onParamSync(const nn::ParamSet &params)
                            f3.inFeatures, fc3WT_.data());
     nn::kernels::transpose(params.view("fc4.w").data(), f4.outFeatures,
                            f4.inFeatures, fc4WT_.data());
+    // Panel-packed wT for batched FC forward: built per sync/publish,
+    // amortized over every batch served until the next one.
+    fc3Panels_.resize(
+        nn::kernels::gemmPanelSize(f3.outFeatures, f3.inFeatures));
+    fc4Panels_.resize(
+        nn::kernels::gemmPanelSize(f4.outFeatures, f4.inFeatures));
+    nn::kernels::gemmPackPanels(f3.outFeatures, f3.inFeatures,
+                                fc3WT_.data(), f3.outFeatures,
+                                fc3Panels_.data());
+    nn::kernels::gemmPackPanels(f4.outFeatures, f4.inFeatures,
+                                fc4WT_.data(), f4.outFeatures,
+                                fc4Panels_.data());
     staged_ = true;
 }
 
@@ -232,6 +244,11 @@ FastCpuBackend::forwardBatch(
                 "forwardBatch obs/acts size mismatch");
     if (obs.empty())
         return;
+    if (obs.size() == 1) {
+        // A lone request takes the lean single-sample route.
+        forward(params, *obs[0], *acts[0]);
+        return;
+    }
     ensureStaged(params);
 
     const nn::FcSpec &f3 = net_.fc3();
@@ -245,9 +262,9 @@ FastCpuBackend::forwardBatch(
     batchAct_.resize(static_cast<std::size_t>(bsz) * out3);
     batchOut_.resize(static_cast<std::size_t>(bsz) * out4);
 
-    // Conv trunk per sample (the per-sample GEMM already amortizes
-    // weight loads across all output positions), gathering the
-    // flattened conv2 maps into one [B][fc3.in] matrix.
+    // Conv trunk per sample: conv weights are small enough to live in
+    // cache across the whole batch, so there is nothing for batching
+    // to amortize there — the win is all in the FC layers below.
     for (int s = 0; s < bsz; ++s) {
         forwardConvs(params, *obs[s], *acts[s]);
         std::memcpy(batchIn_.data() + static_cast<std::size_t>(s) * in3,
@@ -255,15 +272,16 @@ FastCpuBackend::forwardBatch(
                     in3 * sizeof(float));
     }
 
-    // FC3 as one M = batch GEMM; each staged weight row is loaded once
-    // per register block instead of once per agent. The GEMM
-    // accumulates every output element in the same order as the
-    // single-sample call, so results are bit-identical to forward().
+    // FC3 as one M = batch GEMM over the panel-packed weights: the
+    // weight matrix is streamed once for the whole batch instead of
+    // once per request. The GEMM accumulates every output element in
+    // the same order as the single-sample call, so results are
+    // bit-identical to forward().
     {
         KernelTimer t("fc_fw");
-        nn::kernels::fcForwardFastBatch(f3, bsz, batchIn_.data(),
-                                        fc3WT_, params.view("fc3.b"),
-                                        batchMid_.data());
+        nn::kernels::fcForwardFastBatchPanels(
+            f3, bsz, batchIn_.data(), fc3Panels_, params.view("fc3.b"),
+            batchMid_.data());
     }
     for (int s = 0; s < bsz; ++s) {
         const float *pre =
@@ -281,9 +299,9 @@ FastCpuBackend::forwardBatch(
     // FC4 batched the same way.
     {
         KernelTimer t("fc_fw");
-        nn::kernels::fcForwardFastBatch(f4, bsz, batchAct_.data(),
-                                        fc4WT_, params.view("fc4.b"),
-                                        batchOut_.data());
+        nn::kernels::fcForwardFastBatchPanels(
+            f4, bsz, batchAct_.data(), fc4Panels_, params.view("fc4.b"),
+            batchOut_.data());
     }
     for (int s = 0; s < bsz; ++s)
         std::memcpy(acts[s]->out.data().data(),
@@ -306,12 +324,20 @@ makeDnnBackend(BackendKind kind, const nn::A3cNetwork &net)
 BackendKind
 backendKindFromName(const std::string &name)
 {
+    if (const auto kind = tryBackendKindFromName(name))
+        return *kind;
+    FA3C_PANIC("unknown backend name '", name,
+               "' (want reference|fast)");
+}
+
+std::optional<BackendKind>
+tryBackendKindFromName(const std::string &name)
+{
     if (name == "reference")
         return BackendKind::Reference;
     if (name == "fast")
         return BackendKind::FastCpu;
-    FA3C_PANIC("unknown backend name '", name,
-               "' (want reference|fast)");
+    return std::nullopt;
 }
 
 const char *

@@ -13,9 +13,11 @@
  *  - FC forward uses a transposed weight image wT[I][O] staged once
  *    per parameter sync in onParamSync() (the same stage-on-sync
  *    pattern the FA3C datapath backend uses for its FW/BW layouts);
- *  - forwardBatch() runs the two FC layers as one M = batch GEMM so
- *    the PAAC rollout and GA3C predictor amortize weight traffic
- *    across all their environments.
+ *  - forwardBatch() runs the two FC layers as one M = batch GEMM over
+ *    weight panels packed at parameter-sync time, so the PAAC
+ *    rollout, the GA3C predictor, and the serving scheduler read the
+ *    FC weight matrices once per batch instead of once per request —
+ *    the dominant cost of single-request inference on wide layers.
  *
  * Each instance owns its scratch buffers, so it is single-agent like
  * every other DnnBackend; trainers construct one per agent.
@@ -72,6 +74,8 @@ class FastCpuBackend : public DnnBackend
     std::vector<float> conv2WT_; ///< [I*K*K][O] for conv2 BW
     std::vector<float> fc3WT_;   ///< [I][O] for fc3 FW
     std::vector<float> fc4WT_;   ///< [I][O] for fc4 FW
+    std::vector<float> fc3Panels_; ///< packed wT panels for batched FW
+    std::vector<float> fc4Panels_; ///< packed wT panels for batched FW
     bool staged_ = false;
 
     // Per-agent scratch: one im2col/im2row patch matrix (sized for the

@@ -1,0 +1,197 @@
+#include "serve/batch_scheduler.hh"
+
+#include <algorithm>
+
+#include "nn/layers.hh"
+#include "obs/metrics.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::serve {
+
+namespace {
+
+double
+usBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+} // namespace
+
+BatchScheduler::BatchScheduler(const nn::A3cNetwork &net,
+                               RequestQueue &queue,
+                               ModelRegistry &registry,
+                               const BatchPolicy &policy,
+                               int num_workers, BackendFactory factory,
+                               sim::StatGroup *stats,
+                               std::mutex *stats_mutex)
+    : net_(net), queue_(queue), registry_(registry), policy_(policy),
+      numWorkers_(num_workers), factory_(std::move(factory)),
+      stats_(stats), statsMutex_(stats_mutex)
+{
+    FA3C_ASSERT(policy_.maxBatch >= 1 && numWorkers_ >= 1,
+                "BatchScheduler policy");
+    FA3C_ASSERT(factory_, "BatchScheduler needs a backend factory");
+}
+
+BatchScheduler::~BatchScheduler()
+{
+    queue_.close();
+    stop();
+}
+
+void
+BatchScheduler::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    workers_.reserve(static_cast<std::size_t>(numWorkers_));
+    for (int i = 0; i < numWorkers_; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+void
+BatchScheduler::stop()
+{
+    for (auto &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+}
+
+void
+BatchScheduler::completeExpired(std::vector<Request> &expired)
+{
+    if (expired.empty())
+        return;
+    const auto now = Clock::now();
+    for (auto &r : expired) {
+        Response resp;
+        resp.status = Status::TimedOut;
+        resp.totalUs = usBetween(r.enqueue, now);
+        r.result.set_value(std::move(resp));
+    }
+    {
+        std::lock_guard<std::mutex> lock(*statsMutex_);
+        stats_->counter("timed_out").inc(expired.size());
+    }
+    obs::metrics().count("serve", "timed_out", expired.size());
+    expired.clear();
+}
+
+void
+BatchScheduler::workerMain(int index)
+{
+    auto backend = factory_(index);
+    std::vector<nn::A3cNetwork::Activations> acts;
+    acts.reserve(static_cast<std::size_t>(policy_.maxBatch));
+    for (int i = 0; i < policy_.maxBatch; ++i)
+        acts.push_back(net_.makeActivations());
+
+    std::uint64_t staged_version = 0;
+    std::vector<Request> batch;
+    std::vector<Request> expired;
+    std::vector<const tensor::Tensor *> obs_ptrs;
+    std::vector<nn::A3cNetwork::Activations *> act_ptrs;
+    const std::size_t num_actions =
+        static_cast<std::size_t>(net_.config().numActions);
+
+    for (;;) {
+        batch.clear();
+        expired.clear();
+        Clock::time_point first_pop{};
+        if (!queue_.popBatch(
+                static_cast<std::size_t>(policy_.maxBatch),
+                policy_.linger, batch, expired, &first_pop))
+            break;
+        completeExpired(expired);
+        if (batch.empty())
+            continue;
+
+        const auto t_formed = Clock::now();
+        auto model = registry_.current();
+        if (!model) {
+            for (auto &r : batch) {
+                Response resp;
+                resp.status = Status::RejectedNoModel;
+                resp.totalUs = usBetween(r.enqueue, Clock::now());
+                r.result.set_value(std::move(resp));
+            }
+            std::lock_guard<std::mutex> lock(*statsMutex_);
+            stats_->counter("rejected_no_model").inc(batch.size());
+            continue;
+        }
+        if (model->version != staged_version) {
+            backend->onParamSync(model->params);
+            staged_version = model->version;
+            std::lock_guard<std::mutex> lock(*statsMutex_);
+            stats_->counter("param_stages").inc();
+        }
+
+        obs_ptrs.clear();
+        act_ptrs.clear();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            obs_ptrs.push_back(&batch[i].obs);
+            act_ptrs.push_back(&acts[i]);
+        }
+        const auto t0 = Clock::now();
+        backend->forwardBatch(model->params, obs_ptrs, act_ptrs);
+        const auto t1 = Clock::now();
+        const double infer_us = usBetween(t0, t1);
+        queue_.noteServiceTime(infer_us /
+                               static_cast<double>(batch.size()));
+
+        const double batch_us = usBetween(first_pop, t_formed);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Request &r = batch[i];
+            Response resp;
+            resp.status = Status::Ok;
+            resp.policy.resize(num_actions);
+            nn::softmax(net_.policyLogits(acts[i]), resp.policy);
+            resp.action = static_cast<int>(
+                std::max_element(resp.policy.begin(),
+                                 resp.policy.end()) -
+                resp.policy.begin());
+            resp.value = net_.value(acts[i]);
+            resp.modelVersion = model->version;
+            resp.batchSize = static_cast<int>(batch.size());
+            resp.queueUs = usBetween(r.enqueue, t_formed);
+            resp.inferUs = infer_us;
+            resp.totalUs = usBetween(r.enqueue, Clock::now());
+
+            auto &m = obs::metrics();
+            if (m.enabled()) {
+                m.sample("serve", "queue_us", resp.queueUs);
+                m.sample("serve", "infer_us", resp.inferUs);
+                m.sample("serve", "total_us", resp.totalUs);
+            }
+            {
+                std::lock_guard<std::mutex> lock(*statsMutex_);
+                stats_->distribution("queue_us").sample(resp.queueUs);
+                stats_->distribution("infer_us").sample(resp.inferUs);
+                stats_->distribution("total_us").sample(resp.totalUs);
+                stats_->counter("served").inc();
+            }
+            r.result.set_value(std::move(resp));
+        }
+        {
+            std::lock_guard<std::mutex> lock(*statsMutex_);
+            stats_->distribution("batch_size")
+                .sample(static_cast<double>(batch.size()));
+            stats_->distribution("batch_us").sample(batch_us);
+            stats_->counter("batches").inc();
+        }
+        auto &m = obs::metrics();
+        if (m.enabled()) {
+            m.sample("serve", "batch_size",
+                     static_cast<double>(batch.size()));
+            m.sample("serve", "batch_us", batch_us);
+            m.count("serve", "batches");
+            m.count("serve", "served", batch.size());
+            m.tick();
+        }
+    }
+}
+
+} // namespace fa3c::serve

@@ -1,0 +1,30 @@
+#include "serve/model_registry.hh"
+
+namespace fa3c::serve {
+
+std::uint64_t
+ModelRegistry::publish(nn::ParamSet &&params)
+{
+    auto model = std::make_shared<Model>();
+    model->params = std::move(params);
+    std::lock_guard<std::mutex> lock(mutex_);
+    model->version = nextVersion_++;
+    current_ = std::move(model);
+    return current_->version;
+}
+
+std::shared_ptr<const ModelRegistry::Model>
+ModelRegistry::current() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+std::uint64_t
+ModelRegistry::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ ? current_->version : 0;
+}
+
+} // namespace fa3c::serve

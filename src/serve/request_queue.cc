@@ -1,0 +1,133 @@
+#include "serve/request_queue.hh"
+
+#include <algorithm>
+
+namespace fa3c::serve {
+
+bool
+RequestQueue::before(const Request &a, const Request &b) const
+{
+    if (cfg_.edf && a.deadline != b.deadline)
+        return a.deadline < b.deadline;
+    return a.seq < b.seq;
+}
+
+Request
+RequestQueue::popTopLocked()
+{
+    const auto cmp = [this](const Request &x, const Request &y) {
+        return before(y, x); // max-heap order inverted -> min-heap
+    };
+    std::pop_heap(items_.begin(), items_.end(), cmp);
+    Request r = std::move(items_.back());
+    items_.pop_back();
+    return r;
+}
+
+Status
+RequestQueue::admit(Request &&r)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.load(std::memory_order_relaxed))
+        return Status::RejectedClosed;
+    if (items_.size() >= cfg_.maxDepth)
+        return Status::RejectedQueueFull;
+    if (r.deadline != kNoDeadline) {
+        const auto now = Clock::now();
+        if (r.deadline <= now)
+            return Status::RejectedDeadline;
+        // Every queued request ahead of this one (plus itself) must be
+        // served before the deadline; estimate that wait from the
+        // scheduler's observed per-request service time.
+        const double est_us =
+            serviceEstimateUs_.load(std::memory_order_relaxed) *
+            static_cast<double>(items_.size() + 1);
+        const auto est = std::chrono::microseconds(
+            static_cast<std::int64_t>(est_us));
+        if (now + est > r.deadline)
+            return Status::RejectedDeadline;
+    }
+    r.seq = nextSeq_++;
+    items_.push_back(std::move(r));
+    const auto cmp = [this](const Request &x, const Request &y) {
+        return before(y, x);
+    };
+    std::push_heap(items_.begin(), items_.end(), cmp);
+    cv_.notify_one();
+    return Status::Ok;
+}
+
+bool
+RequestQueue::popBatch(std::size_t max_batch,
+                       std::chrono::microseconds linger,
+                       std::vector<Request> &out,
+                       std::vector<Request> &expired,
+                       Clock::time_point *first_pop)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] {
+        return !items_.empty() ||
+               closed_.load(std::memory_order_relaxed);
+    });
+    if (items_.empty())
+        return false; // closed and drained
+
+    const auto first = Clock::now();
+    if (first_pop)
+        *first_pop = first;
+    auto window_end = isClosed() ? first : first + linger;
+    for (;;) {
+        while (!items_.empty() && out.size() < max_batch) {
+            Request r = popTopLocked();
+            const auto now = Clock::now();
+            if (r.deadline <= now) {
+                expired.push_back(std::move(r));
+                continue;
+            }
+            // Never linger past a deadline we could still make.
+            if (r.deadline != kNoDeadline && r.deadline < window_end)
+                window_end = r.deadline;
+            out.push_back(std::move(r));
+        }
+        if (out.size() >= max_batch || isClosed())
+            break;
+        if (out.empty())
+            break; // popped only expired requests; report them now
+        if (Clock::now() >= window_end)
+            break;
+        cv_.wait_until(lock, window_end);
+    }
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_.store(true, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+void
+RequestQueue::noteServiceTime(double per_request_us)
+{
+    // Lossy EWMA: concurrent workers may overwrite each other's
+    // blend, which only costs one sample of smoothing.
+    const double prev =
+        serviceEstimateUs_.load(std::memory_order_relaxed);
+    const double next =
+        prev == 0.0 ? per_request_us
+                    : 0.8 * prev + 0.2 * per_request_us;
+    serviceEstimateUs_.store(next, std::memory_order_relaxed);
+}
+
+} // namespace fa3c::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The admission-controlled request queue feeding the batch scheduler.
+ *
+ * Admission control enforces two budgets before a request is ever
+ * queued: a bounded depth (backpressure instead of unbounded memory
+ * growth under overload) and, for requests carrying a deadline, a
+ * feasibility check against an EWMA estimate of per-request service
+ * time — a request that would already be dead by the time the queue
+ * drains is rejected immediately so the client can fail over instead
+ * of waiting for a timeout.
+ *
+ * Pop order is earliest-deadline-first by default (requests without a
+ * deadline sort last, then by arrival), or pure FIFO when EDF is
+ * disabled; popBatch() implements the scheduler's linger window so all
+ * condition-variable logic lives in one place.
+ */
+
+#ifndef FA3C_SERVE_REQUEST_QUEUE_HH
+#define FA3C_SERVE_REQUEST_QUEUE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace fa3c::serve {
+
+/** Thread-safe bounded request queue with admission control. */
+class RequestQueue
+{
+  public:
+    struct Config
+    {
+        std::size_t maxDepth = 512; ///< admission bound
+        bool edf = true;            ///< earliest-deadline-first pops
+    };
+
+    explicit RequestQueue(const Config &cfg) : cfg_(cfg) {}
+
+    /**
+     * Admit @p r or reject it with a reason.
+     *
+     * @return Status::Ok when enqueued (ownership transferred);
+     *         RejectedQueueFull / RejectedDeadline / RejectedClosed
+     *         otherwise, in which case @p r is untouched and the
+     *         caller completes its promise.
+     */
+    Status admit(Request &&r);
+
+    /**
+     * Form one batch.
+     *
+     * Blocks until a request is available (or the queue is closed),
+     * then keeps collecting until @p max_batch requests are in hand or
+     * the linger window expires. The window closes early at the
+     * earliest deadline in the forming batch, so lingering never
+     * converts a servable request into a timeout; it is skipped
+     * entirely once the queue is closed (drain fast).
+     *
+     * Requests whose deadline has already passed land in @p expired
+     * instead of @p out and do not count against @p max_batch.
+     *
+     * @param first_pop Out: when the first request was popped (the
+     *        batch-formation anchor); untouched if nothing was popped.
+     * @return false when the queue is closed and fully drained (both
+     *         output vectors empty); true otherwise.
+     */
+    bool popBatch(std::size_t max_batch,
+                  std::chrono::microseconds linger,
+                  std::vector<Request> &out,
+                  std::vector<Request> &expired,
+                  Clock::time_point *first_pop = nullptr);
+
+    /** Reject future admits and wake all poppers to drain. */
+    void close();
+
+    bool
+    isClosed() const
+    {
+        return closed_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t depth() const;
+
+    /**
+     * Feed the admission estimator with an observed per-request
+     * service time (EWMA, alpha = 0.2). Called by scheduler workers
+     * with inference-time / batch-size.
+     */
+    void noteServiceTime(double per_request_us);
+
+    /** Current per-request service estimate (0 until first sample). */
+    double
+    serviceEstimateUs() const
+    {
+        return serviceEstimateUs_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** True when @p a pops before @p b under the configured policy. */
+    bool before(const Request &a, const Request &b) const;
+
+    /** Pop the policy-minimum request. @pre !items_.empty(), locked. */
+    Request popTopLocked();
+
+    Config cfg_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Request> items_; ///< binary heap under before()
+    std::uint64_t nextSeq_ = 0;
+    std::atomic<bool> closed_{false};
+    std::atomic<double> serviceEstimateUs_{0.0};
+};
+
+} // namespace fa3c::serve
+
+#endif // FA3C_SERVE_REQUEST_QUEUE_HH

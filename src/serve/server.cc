@@ -1,0 +1,169 @@
+#include "serve/server.hh"
+
+#include "obs/metrics.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::serve {
+
+namespace {
+
+const char *
+rejectionCounterName(Status status)
+{
+    switch (status) {
+      case Status::RejectedQueueFull: return "rejected_queue_full";
+      case Status::RejectedDeadline: return "rejected_deadline";
+      case Status::RejectedNoModel: return "rejected_no_model";
+      case Status::RejectedClosed: return "rejected_closed";
+      case Status::RejectedBadRequest: return "rejected_bad_request";
+      default: return nullptr;
+    }
+}
+
+} // namespace
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok: return "ok";
+      case Status::RejectedQueueFull: return "rejected_queue_full";
+      case Status::RejectedDeadline: return "rejected_deadline";
+      case Status::RejectedNoModel: return "rejected_no_model";
+      case Status::RejectedClosed: return "rejected_closed";
+      case Status::RejectedBadRequest: return "rejected_bad_request";
+      case Status::TimedOut: return "timed_out";
+    }
+    return "unknown";
+}
+
+PolicyServer::PolicyServer(const nn::A3cNetwork &net,
+                           const ServeConfig &cfg,
+                           BatchScheduler::BackendFactory factory)
+    : net_(net), cfg_(cfg), queue_(cfg.queue),
+      scheduler_(net, queue_, registry_, cfg.batch, cfg.workers,
+                 factory ? std::move(factory)
+                         : [this](int) {
+                               return rl::makeDnnBackend(
+                                   cfg_.backend, net_);
+                           },
+                 &stats_, &statsMutex_)
+{
+}
+
+PolicyServer::~PolicyServer()
+{
+    stop();
+}
+
+std::uint64_t
+PolicyServer::publish(nn::ParamSet params)
+{
+    FA3C_ASSERT(params.sameLayout(net_.makeParams()),
+                "published parameters do not match the network");
+    const std::uint64_t version = registry_.publish(std::move(params));
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.counter("model_publishes").inc();
+    }
+    obs::metrics().count("serve", "model_publishes");
+    return version;
+}
+
+std::uint64_t
+PolicyServer::publishFrom(rl::GlobalParams &global)
+{
+    nn::ParamSet params = net_.makeParams();
+    global.snapshot(params);
+    return publish(std::move(params));
+}
+
+void
+PolicyServer::start()
+{
+    if (started_.exchange(true))
+        return;
+    scheduler_.start();
+}
+
+void
+PolicyServer::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    queue_.close();
+    if (started_.load())
+        scheduler_.stop();
+}
+
+std::future<Response>
+PolicyServer::rejectNow(Request &&r, Status status)
+{
+    auto future = r.result.get_future();
+    Response resp;
+    resp.status = status;
+    r.result.set_value(std::move(resp));
+    if (const char *name = rejectionCounterName(status)) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            stats_.counter(name).inc();
+        }
+        obs::metrics().count("serve", name);
+    }
+    return future;
+}
+
+std::future<Response>
+PolicyServer::submit(const tensor::Tensor &obs,
+                     std::chrono::microseconds deadline_budget)
+{
+    Request r;
+    r.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    r.enqueue = Clock::now();
+    if (deadline_budget.count() > 0)
+        r.deadline = r.enqueue + deadline_budget;
+
+    const tensor::Shape want({net_.config().inChannels,
+                              net_.config().inHeight,
+                              net_.config().inWidth});
+    if (obs.shape() != want)
+        return rejectNow(std::move(r), Status::RejectedBadRequest);
+    if (registry_.version() == 0)
+        return rejectNow(std::move(r), Status::RejectedNoModel);
+    if (stopped_.load(std::memory_order_relaxed))
+        return rejectNow(std::move(r), Status::RejectedClosed);
+
+    r.obs = obs;
+    auto future = r.result.get_future();
+    const Status admitted = queue_.admit(std::move(r));
+    if (admitted == Status::Ok) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            stats_.counter("admitted").inc();
+        }
+        obs::metrics().count("serve", "admitted");
+        return future;
+    }
+    // admit() consumes the request only on success, so on the
+    // rejection path the promise is still ours to fulfill.
+    Response resp;
+    resp.status = admitted;
+    r.result.set_value(std::move(resp));
+    if (const char *name = rejectionCounterName(admitted)) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            stats_.counter(name).inc();
+        }
+        obs::metrics().count("serve", name);
+    }
+    return future;
+}
+
+sim::StatGroup
+PolicyServer::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+} // namespace fa3c::serve

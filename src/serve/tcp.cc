@@ -1,0 +1,352 @@
+#include "serve/tcp.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace fa3c::serve {
+
+namespace {
+
+/** recv() exactly @p len bytes; false on EOF or error. */
+bool
+readFull(int fd, void *buf, std::size_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** send() exactly @p len bytes (MSG_NOSIGNAL: no SIGPIPE). */
+bool
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    auto *p = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Append a trivially copyable value to a byte buffer. */
+template <typename T>
+void
+put(std::vector<std::uint8_t> &buf, T v)
+{
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&v);
+    buf.insert(buf.end(), bytes, bytes + sizeof(T));
+}
+
+/** Read a trivially copyable value from a byte cursor. */
+template <typename T>
+T
+get(const std::uint8_t *&p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+}
+
+constexpr std::size_t kRequestHeaderBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint32_t) + sizeof(std::uint32_t);
+
+void
+encodeResponse(std::vector<std::uint8_t> &buf, std::uint64_t tag,
+               const Response &resp)
+{
+    buf.clear();
+    put<std::uint32_t>(buf, kResponseMagic);
+    put<std::uint64_t>(buf, tag);
+    put<std::uint8_t>(buf, static_cast<std::uint8_t>(resp.status));
+    put<std::int32_t>(buf, resp.action);
+    put<float>(buf, resp.value);
+    put<std::uint64_t>(buf, resp.modelVersion);
+    put<float>(buf, static_cast<float>(resp.queueUs));
+    put<float>(buf, static_cast<float>(resp.inferUs));
+    put<float>(buf, static_cast<float>(resp.totalUs));
+    put<std::uint32_t>(buf,
+                       static_cast<std::uint32_t>(resp.policy.size()));
+    for (float pr : resp.policy)
+        put<float>(buf, pr);
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+}
+
+} // namespace
+
+TcpServer::TcpServer(PolicyServer &server, const TcpConfig &cfg)
+    : server_(server), cfg_(cfg)
+{
+}
+
+TcpServer::~TcpServer()
+{
+    stop();
+}
+
+bool
+TcpServer::start()
+{
+    if (listenFd_ >= 0)
+        return true;
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        FA3C_WARN("serve: socket() failed: ", std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    (void)::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        FA3C_WARN("serve: bad bind address '", cfg_.bindAddress, "'");
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, cfg_.backlog) != 0) {
+        FA3C_WARN("serve: bind/listen on ", cfg_.bindAddress, ":",
+                  cfg_.port, " failed: ", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        port_ = ntohs(bound.sin_port);
+    acceptThread_ = std::thread([this] { acceptMain(); });
+    return true;
+}
+
+void
+TcpServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // Shutdown (not close) unblocks the accept loop; the fd itself is
+    // closed only after the accept thread joined, so no other thread
+    // can observe a recycled descriptor number.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        threads.swap(connThreads_);
+    }
+    for (auto &t : threads)
+        if (t.joinable())
+            t.join();
+}
+
+void
+TcpServer::acceptMain()
+{
+    const int listen_fd = listenFd_; // fixed for the thread's lifetime
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listener closed (stop) or fatal error
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        setNoDelay(fd);
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { connectionMain(fd); });
+    }
+}
+
+void
+TcpServer::connectionMain(int fd)
+{
+    const nn::NetConfig &net_cfg = server_.network().config();
+    const std::size_t want_numel =
+        static_cast<std::size_t>(net_cfg.inChannels) *
+        static_cast<std::size_t>(net_cfg.inHeight) *
+        static_cast<std::size_t>(net_cfg.inWidth);
+    tensor::Tensor obs(tensor::Shape(
+        {net_cfg.inChannels, net_cfg.inHeight, net_cfg.inWidth}));
+    std::vector<std::uint8_t> header(kRequestHeaderBytes);
+    std::vector<std::uint8_t> out;
+    std::vector<float> drain;
+
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        if (!readFull(fd, header.data(), header.size()))
+            break;
+        const std::uint8_t *p = header.data();
+        const auto magic = get<std::uint32_t>(p);
+        const auto tag = get<std::uint64_t>(p);
+        const auto deadline_us = get<std::uint32_t>(p);
+        const auto numel = get<std::uint32_t>(p);
+        if (magic != kRequestMagic) {
+            FA3C_WARN("serve: bad request magic; closing connection");
+            break;
+        }
+        if (numel > cfg_.maxObsNumel)
+            break; // refuse to stream an absurd payload
+
+        Response resp;
+        if (numel == want_numel) {
+            if (!readFull(fd, obs.data().data(),
+                          numel * sizeof(float)))
+                break;
+            resp = server_
+                       .submit(obs,
+                               std::chrono::microseconds(deadline_us))
+                       .get();
+        } else {
+            // Wrong geometry: drain the payload, answer BadRequest.
+            drain.resize(numel);
+            if (numel > 0 &&
+                !readFull(fd, drain.data(), numel * sizeof(float)))
+                break;
+            resp.status = Status::RejectedBadRequest;
+        }
+        encodeResponse(out, tag, resp);
+        if (!writeFull(fd, out.data(), out.size()))
+            break;
+    }
+    // Deregister before closing so stop() never shutdown()s a
+    // descriptor number the kernel may already have recycled.
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        std::erase(connFds_, fd);
+    }
+    ::close(fd);
+}
+
+bool
+TcpClient::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        close();
+        return false;
+    }
+    setNoDelay(fd_);
+    return true;
+}
+
+bool
+TcpClient::request(const tensor::Tensor &obs, std::uint32_t deadline_us,
+                   Response &out)
+{
+    if (fd_ < 0)
+        return false;
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kRequestHeaderBytes + obs.numel() * sizeof(float));
+    put<std::uint32_t>(frame, kRequestMagic);
+    put<std::uint64_t>(frame, nextTag_++);
+    put<std::uint32_t>(frame, deadline_us);
+    put<std::uint32_t>(frame,
+                       static_cast<std::uint32_t>(obs.numel()));
+    const auto data = obs.data();
+    const auto *bytes =
+        reinterpret_cast<const std::uint8_t *>(data.data());
+    frame.insert(frame.end(), bytes,
+                 bytes + data.size() * sizeof(float));
+    if (!writeFull(fd_, frame.data(), frame.size()))
+        return false;
+
+    // Fixed-size response prefix, then the probability tail.
+    constexpr std::size_t kPrefix =
+        sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+        sizeof(std::uint8_t) + sizeof(std::int32_t) + sizeof(float) +
+        sizeof(std::uint64_t) + 3 * sizeof(float) +
+        sizeof(std::uint32_t);
+    std::uint8_t prefix[kPrefix];
+    if (!readFull(fd_, prefix, sizeof(prefix)))
+        return false;
+    const std::uint8_t *p = prefix;
+    if (get<std::uint32_t>(p) != kResponseMagic)
+        return false;
+    (void)get<std::uint64_t>(p); // tag (single in-flight request)
+    out.status = static_cast<Status>(get<std::uint8_t>(p));
+    out.action = get<std::int32_t>(p);
+    out.value = get<float>(p);
+    out.modelVersion = get<std::uint64_t>(p);
+    out.queueUs = get<float>(p);
+    out.inferUs = get<float>(p);
+    out.totalUs = get<float>(p);
+    const auto num_probs = get<std::uint32_t>(p);
+    if (num_probs > (1u << 20))
+        return false;
+    out.policy.resize(num_probs);
+    if (num_probs > 0 &&
+        !readFull(fd_, out.policy.data(), num_probs * sizeof(float)))
+        return false;
+    return true;
+}
+
+void
+TcpClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace fa3c::serve

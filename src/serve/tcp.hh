@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Length-prefixed TCP front-end over a PolicyServer, so external
+ * processes can submit observations and receive action/value outputs.
+ *
+ * Wire format (all integers little-endian, floats IEEE-754 binary32;
+ * both ends are assumed little-endian hosts):
+ *
+ *   request frame:
+ *     u32 magic        0xFA3C5E01
+ *     u64 tag          client-chosen, echoed in the response
+ *     u32 deadline_us  latency budget (0 = none)
+ *     u32 obs_numel    number of observation floats
+ *     f32 obs[obs_numel]
+ *
+ *   response frame:
+ *     u32 magic        0xFA3C5E02
+ *     u64 tag          echoed request tag
+ *     u8  status       serve::Status value
+ *     i32 action       argmax action (-1 unless status == Ok)
+ *     f32 value        value-head output
+ *     u64 model_version
+ *     f32 queue_us, f32 infer_us, f32 total_us
+ *     u32 num_probs    action-probability count (0 unless Ok)
+ *     f32 probs[num_probs]
+ *
+ * A connection carries one request at a time (responses come back in
+ * request order); clients wanting concurrency open more connections —
+ * batching happens server-side across all of them. A malformed
+ * observation size is answered with RejectedBadRequest rather than a
+ * dropped connection; a bad magic closes the connection.
+ */
+
+#ifndef FA3C_SERVE_TCP_HH
+#define FA3C_SERVE_TCP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+
+namespace fa3c::serve {
+
+inline constexpr std::uint32_t kRequestMagic = 0xFA3C5E01;
+inline constexpr std::uint32_t kResponseMagic = 0xFA3C5E02;
+
+/** TCP listener configuration. */
+struct TcpConfig
+{
+    std::string bindAddress = "127.0.0.1";
+    std::uint16_t port = 0; ///< 0 = ephemeral (read back via port())
+    int backlog = 16;
+    /** Frames claiming more observation floats than this are answered
+     * with RejectedBadRequest and the payload is drained. */
+    std::uint32_t maxObsNumel = 1u << 22;
+};
+
+/** Accept loop + per-connection reader threads over a PolicyServer. */
+class TcpServer
+{
+  public:
+    TcpServer(PolicyServer &server, const TcpConfig &cfg);
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /**
+     * Bind, listen, and launch the accept thread.
+     * @return false (with a warning) when bind/listen fails.
+     */
+    bool start();
+
+    /** Close the listener and all connections, join all threads. */
+    void stop();
+
+    /** The bound port (after start(); resolves ephemeral binds). */
+    std::uint16_t port() const { return port_; }
+
+    std::uint64_t connectionsAccepted() const
+    {
+        return connections_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptMain();
+    void connectionMain(int fd);
+
+    PolicyServer &server_;
+    TcpConfig cfg_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::mutex threadsMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> connections_{0};
+};
+
+/** Minimal blocking client for the wire format (tests, demo, bench). */
+class TcpClient
+{
+  public:
+    TcpClient() = default;
+    ~TcpClient() { close(); }
+
+    TcpClient(const TcpClient &) = delete;
+    TcpClient &operator=(const TcpClient &) = delete;
+
+    /** Connect to @p host:@p port. @return false on failure. */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    /**
+     * Send one observation and block for the response.
+     * @return false on a transport error (connection unusable).
+     */
+    bool request(const tensor::Tensor &obs, std::uint32_t deadline_us,
+                 Response &out);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::uint64_t nextTag_ = 1;
+};
+
+} // namespace fa3c::serve
+
+#endif // FA3C_SERVE_TCP_HH

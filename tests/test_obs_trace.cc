@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -498,6 +499,69 @@ TEST(MetricsRegistry, WriteToProducesValidJsonFile)
     const JsonValue doc = parseFile(file.path());
     EXPECT_EQ(doc.at("groups").at("g").at("counters").at("c").number,
               7.0);
+}
+
+TEST(MetricsRegistry, WriteToCreatesMissingParentDirs)
+{
+    const std::string dir =
+        ::testing::TempDir() + "obs_guard/missing/nested";
+    const std::string path = dir + "/metrics.json";
+    std::filesystem::remove_all(::testing::TempDir() + "obs_guard");
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.count("g", "c", 3);
+    ASSERT_TRUE(reg.writeTo(path));
+    const JsonValue doc = parseFile(path);
+    EXPECT_EQ(doc.at("groups").at("g").at("counters").at("c").number,
+              3.0);
+    std::filesystem::remove_all(::testing::TempDir() + "obs_guard");
+}
+
+TEST(MetricsRegistry, FlushBestEffortWritesExportPath)
+{
+    TempFile file("metrics_flush.json");
+    obs::MetricsRegistry reg;
+    reg.setEnabled(true);
+    reg.setExportPath(file.path());
+    reg.count("g", "c", 11);
+    ASSERT_TRUE(reg.flushBestEffort());
+    const JsonValue doc = parseFile(file.path());
+    EXPECT_EQ(doc.at("groups").at("g").at("counters").at("c").number,
+              11.0);
+}
+
+TEST(TraceWriter, CreatesMissingParentDirs)
+{
+    const std::string path = ::testing::TempDir() +
+                             "obs_guard_trace/deep/trace.json";
+    std::filesystem::remove_all(::testing::TempDir() +
+                                "obs_guard_trace");
+    {
+        obs::TraceWriter tw(path);
+        ASSERT_TRUE(tw.ok());
+        tw.completeEvent("CU 0", "fw", 0, 1'000'000);
+    }
+    const JsonValue doc = parseFile(path);
+    EXPECT_EQ(doc.at("traceEvents").kind, JsonValue::Kind::Array);
+    std::filesystem::remove_all(::testing::TempDir() +
+                                "obs_guard_trace");
+}
+
+TEST(TraceWriter, CloseBestEffortFinalizesJson)
+{
+    // The signal-flush path must leave a parseable file even though
+    // the writer has not been destroyed yet (a killed process never
+    // runs the destructor).
+    TempFile file("trace_close.json");
+    obs::TraceWriter tw(file.path());
+    ASSERT_TRUE(tw.ok());
+    tw.completeEvent("CU 0", "fw", 0, 1'000'000);
+    tw.closeBestEffort();
+    const JsonValue doc = parseFile(file.path());
+    EXPECT_EQ(doc.at("otherData").at("droppedEvents").number, 0.0);
+    // Post-close events are dropped silently, not corrupted.
+    tw.completeEvent("CU 0", "late", 0, 1'000'000);
+    EXPECT_NO_THROW(parseFile(file.path()));
 }
 
 TEST(JsonHelpers, EscapeAndNumbers)

@@ -1,9 +1,13 @@
 /** @file Tests of the policy evaluator. */
 
+#include <algorithm>
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "env/games.hh"
 #include "rl/evaluate.hh"
+#include "rl/fast_cpu_backend.hh"
 
 using namespace fa3c;
 using namespace fa3c::rl;
@@ -76,6 +80,57 @@ TEST(EvaluatePolicy, StepCapBoundsRuntime)
     const EvalResult r =
         evaluatePolicy(f.backend, f.params, session, cfg);
     EXPECT_LE(r.steps, 500u);
+}
+
+TEST(EvaluatePolicy, BackendsAgreeOnGreedyActions)
+{
+    // Per-observation parity: drive one trajectory and ask both
+    // backends for the greedy action at every step. The fast backend
+    // is allowed float reassociation, but policy logit gaps dwarf the
+    // kernel-level noise, so the argmax must never flip.
+    Fixture f;
+    FastCpuBackend fast(f.net);
+    fast.onParamSync(f.params);
+    auto session = f.session(17);
+    auto ref_act = f.net.makeActivations();
+    auto fast_act = f.net.makeActivations();
+    const auto greedy = [&](std::span<const float> logits) {
+        return static_cast<int>(std::distance(
+            logits.begin(),
+            std::max_element(logits.begin(), logits.end())));
+    };
+    for (int step = 0; step < 400; ++step) {
+        const tensor::Tensor &obs = session.observation();
+        f.backend.forward(f.params, obs, ref_act);
+        fast.forward(f.params, obs, fast_act);
+        const int a_ref = greedy(f.net.policyLogits(ref_act));
+        const int a_fast = greedy(f.net.policyLogits(fast_act));
+        ASSERT_EQ(a_ref, a_fast) << "argmax diverged at step " << step;
+        EXPECT_NEAR(f.net.value(ref_act), f.net.value(fast_act), 1e-4f);
+        session.act(a_ref);
+    }
+}
+
+TEST(EvaluatePolicy, BackendsProduceIdenticalGreedyEvaluations)
+{
+    // Whole-evaluation parity on fixed seeds: greedy rollouts are
+    // fully determined by the argmax stream, so reference and fast
+    // evaluations of the same parameters must tell the same story.
+    Fixture f;
+    FastCpuBackend fast(f.net);
+    fast.onParamSync(f.params);
+    EvalConfig cfg;
+    cfg.episodes = 3;
+    cfg.greedy = true;
+    auto s_ref = f.session(29);
+    auto s_fast = f.session(29);
+    const EvalResult a = evaluatePolicy(f.backend, f.params, s_ref, cfg);
+    const EvalResult b = evaluatePolicy(fast, f.params, s_fast, cfg);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.scores.count(), b.scores.count());
+    EXPECT_DOUBLE_EQ(a.scores.mean(), b.scores.mean());
+    EXPECT_DOUBLE_EQ(a.scores.min(), b.scores.min());
+    EXPECT_DOUBLE_EQ(a.scores.max(), b.scores.max());
 }
 
 TEST(EvaluatePolicy, SamplingStreamsDiffer)

@@ -1,0 +1,152 @@
+/** @file TCP front-end round trips against the in-process API. */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/tcp.hh"
+
+using namespace fa3c;
+using namespace fa3c::serve;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Fixture
+{
+    nn::NetConfig netCfg = nn::NetConfig::tiny(3);
+    nn::A3cNetwork net{netCfg};
+    nn::ParamSet params = net.makeParams();
+
+    Fixture()
+    {
+        sim::Rng rng(29);
+        net.initParams(params, rng);
+    }
+
+    tensor::Tensor
+    observation(float scale) const
+    {
+        tensor::Tensor obs(tensor::Shape(
+            {netCfg.inChannels, netCfg.inHeight, netCfg.inWidth}));
+        for (std::size_t i = 0; i < obs.numel(); ++i)
+            obs.data()[i] =
+                scale * static_cast<float>(i % 53) / 53.0f;
+        return obs;
+    }
+
+    ServeConfig
+    config() const
+    {
+        ServeConfig cfg;
+        cfg.batch.maxBatch = 8;
+        cfg.batch.linger = 200us;
+        cfg.workers = 1;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST(ServeTcp, RoundTripMatchesInProcessSubmit)
+{
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    TcpServer tcp(server, TcpConfig{}); // ephemeral port
+    ASSERT_TRUE(tcp.start());
+    ASSERT_NE(tcp.port(), 0);
+
+    const tensor::Tensor obs = f.observation(0.9f);
+    const Response direct = server.submitAndWait(obs);
+    ASSERT_EQ(direct.status, Status::Ok);
+
+    TcpClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", tcp.port()));
+    Response wire;
+    ASSERT_TRUE(client.request(obs, 0, wire));
+    EXPECT_EQ(wire.status, Status::Ok);
+    EXPECT_EQ(wire.action, direct.action);
+    EXPECT_FLOAT_EQ(wire.value, direct.value);
+    EXPECT_EQ(wire.modelVersion, direct.modelVersion);
+    ASSERT_EQ(wire.policy.size(), direct.policy.size());
+    for (std::size_t a = 0; a < wire.policy.size(); ++a)
+        EXPECT_FLOAT_EQ(wire.policy[a], direct.policy[a]);
+    EXPECT_GT(wire.totalUs, 0.0);
+
+    client.close();
+    tcp.stop();
+    EXPECT_EQ(tcp.connectionsAccepted(), 1u);
+}
+
+TEST(ServeTcp, WrongObservationSizeIsAnsweredNotDropped)
+{
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    TcpServer tcp(server, TcpConfig{});
+    ASSERT_TRUE(tcp.start());
+
+    TcpClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", tcp.port()));
+    tensor::Tensor bad(tensor::Shape({7}));
+    Response wire;
+    ASSERT_TRUE(client.request(bad, 0, wire));
+    EXPECT_EQ(wire.status, Status::RejectedBadRequest);
+
+    // The connection survives a rejected request.
+    Response good;
+    ASSERT_TRUE(client.request(f.observation(1.0f), 0, good));
+    EXPECT_EQ(good.status, Status::Ok);
+
+    tcp.stop();
+}
+
+TEST(ServeTcp, ManyConnectionsBatchServerSide)
+{
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    TcpServer tcp(server, TcpConfig{});
+    ASSERT_TRUE(tcp.start());
+
+    constexpr int kClients = 6;
+    constexpr int kRequests = 25;
+    std::vector<std::thread> threads;
+    std::atomic<int> ok{0};
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&f, &tcp, &ok, c] {
+            // Failures surface as a final ok-count mismatch (gtest
+            // ASSERTs only abort the calling function off-thread).
+            TcpClient client;
+            if (!client.connect("127.0.0.1", tcp.port()))
+                return;
+            const tensor::Tensor obs =
+                f.observation(0.5f + 0.1f * static_cast<float>(c));
+            for (int i = 0; i < kRequests; ++i) {
+                Response r;
+                if (client.request(obs, 0, r) &&
+                    r.status == Status::Ok)
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kClients * kRequests);
+    EXPECT_EQ(tcp.connectionsAccepted(),
+              static_cast<std::uint64_t>(kClients));
+    tcp.stop();
+
+    const sim::StatGroup stats = server.statsSnapshot();
+    EXPECT_EQ(stats.counterValue("served"),
+              static_cast<std::uint64_t>(kClients * kRequests));
+}
