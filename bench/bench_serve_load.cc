@@ -15,9 +15,17 @@
  *      mid-stream; served requests must not fail or slow down
  *      catastrophically.
  *
+ *   4. Trace-sampling overhead: closed-loop throughput with span
+ *      sampling off vs FA3C_TRACE_SAMPLE=0.01, quantifying what 1%
+ *      request tracing costs (target: < 2% IPS delta).
+ *
  * Wall-clock per measurement phase is FA3C_SERVE_MS (default 800 ms;
  * CI smoke uses a smaller value). Results land in
- * $FA3C_JSON_DIR/BENCH_serve.json.
+ * $FA3C_JSON_DIR/BENCH_serve.json. With FA3C_TELEMETRY_PORT set the
+ * whole run is scrapable: each live PolicyServer exports slo_burn /
+ * serve_model_version itself, and a bench-lifetime collector keeps
+ * bench_phase plus the last phase's values visible between phases so
+ * a CI curl never races an idle gap.
  */
 
 #include <atomic>
@@ -29,6 +37,10 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/prometheus.hh"
+#include "obs/span.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "serve/server.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
@@ -40,6 +52,24 @@ namespace {
 
 using Clock = serve::Clock;
 
+// Scrape-visible bench state. While a PolicyServer is live it exports
+// slo_burn / serve_model_version itself; between phases the bench
+// collector re-publishes the last phase's values under the same names
+// (guarded by g_serverLive so the exposition never carries duplicate
+// samples).
+std::atomic<int> g_benchPhase{0};
+std::atomic<bool> g_serverLive{false};
+std::atomic<double> g_lastSloBurn{0.0};
+std::atomic<double> g_lastModelVersion{0.0};
+
+/** Declared before the PolicyServer so the flag flips false only
+ * after the server (and its collector) is gone. */
+struct ServerLiveGuard
+{
+    ServerLiveGuard() { g_serverLive.store(true); }
+    ~ServerLiveGuard() { g_serverLive.store(false); }
+};
+
 struct LoadResult
 {
     double ips = 0.0;        ///< served Ok responses per second
@@ -47,6 +77,7 @@ struct LoadResult
     double p50 = 0.0, p95 = 0.0, p99 = 0.0; ///< total latency, us
     double meanBatch = 0.0;
     double inferUsPerReq = 0.0; ///< forwardBatch time / batch size
+    double sloBurn = 0.0; ///< rolling-window burn at phase end
     std::uint64_t ok = 0;
     std::uint64_t rejected = 0;
     std::uint64_t timedOut = 0;
@@ -93,6 +124,7 @@ runClosedLoop(const nn::A3cNetwork &net, const nn::ParamSet &params,
               std::chrono::milliseconds duration,
               std::chrono::milliseconds publish_every = 0ms)
 {
+    ServerLiveGuard live_guard;
     serve::PolicyServer server(net, cfg);
     server.publish(params);
     server.start();
@@ -133,10 +165,15 @@ runClosedLoop(const nn::A3cNetwork &net, const nn::ParamSet &params,
     for (auto &t : threads)
         t.join();
     server.stop();
+    const obs::SloMonitor::Snapshot slo = server.slo().snapshot();
+    g_lastSloBurn.store(slo.burn);
+    g_lastModelVersion.store(
+        static_cast<double>(server.modelVersion()));
 
     const sim::StatGroup stats = server.statsSnapshot();
     const auto &total = stats.distributions().at("total_us");
     LoadResult r;
+    r.sloBurn = slo.burn;
     const double secs =
         std::chrono::duration<double>(duration).count();
     r.ok = ok.load();
@@ -170,6 +207,7 @@ runOpenLoop(const nn::A3cNetwork &net, const nn::ParamSet &params,
             const serve::ServeConfig &cfg, double rate_ips,
             std::chrono::milliseconds duration)
 {
+    ServerLiveGuard live_guard;
     serve::PolicyServer server(net, cfg);
     server.publish(params);
     server.start();
@@ -210,6 +248,11 @@ runOpenLoop(const nn::A3cNetwork &net, const nn::ParamSet &params,
         }
     }
     server.stop();
+    const obs::SloMonitor::Snapshot slo = server.slo().snapshot();
+    r.sloBurn = slo.burn;
+    g_lastSloBurn.store(slo.burn);
+    g_lastModelVersion.store(
+        static_cast<double>(server.modelVersion()));
 
     const double secs =
         std::chrono::duration<double>(duration).count();
@@ -275,6 +318,33 @@ main(int argc, char **argv)
                 "parameters.\n\n",
                 net_name.c_str(), net_cfg.fcSize, params_mb);
 
+    // Bench-lifetime telemetry attachment: bench_phase is always
+    // scrapable, and slo_burn / serve_model_version stay exported in
+    // the gaps between phases when no PolicyServer is live.
+    obs::TelemetryRegistration telemetry_reg(
+        obs::telemetry(),
+        [](obs::PromWriter &w) {
+            w.gauge("bench_phase",
+                    static_cast<double>(g_benchPhase.load()),
+                    "bench_serve_load phase in flight (1=closed "
+                    "batched, 2=closed single, 3=open sweep, "
+                    "4=hot-swap, 5=trace overhead)");
+            if (!g_serverLive.load()) {
+                w.gauge("slo_burn", g_lastSloBurn.load(),
+                        "rolling-window deadline-miss budget burn "
+                        "(last finished phase)");
+                w.gauge("serve_model_version",
+                        g_lastModelVersion.load(),
+                        "model version served in the last phase");
+            }
+        },
+        "bench.serve",
+        [](std::string &detail) {
+            detail =
+                "phase=" + std::to_string(g_benchPhase.load());
+            return true;
+        });
+
     bench::JsonReport report("serve");
     report.field("phase_ms",
                  static_cast<std::uint64_t>(phase_ms.count()));
@@ -286,9 +356,11 @@ main(int argc, char **argv)
 
     // --- 1. closed-loop: batched vs single-request dispatch --------
     std::printf("Closed-loop saturation (%d clients):\n", clients);
+    g_benchPhase.store(1);
     const LoadResult batched = runClosedLoop(
         net, params, serveConfig(max_batch, 2000us, 1), clients,
         phase_ms);
+    g_benchPhase.store(2);
     const LoadResult single = runClosedLoop(
         net, params, serveConfig(1, 0us, 1), clients, phase_ms);
     const double speedup =
@@ -320,8 +392,12 @@ main(int argc, char **argv)
     report.field("single_ips", single.ips);
     report.field("batch_speedup", speedup);
     report.field("peak_mean_batch", batched.meanBatch);
+    // Closed-loop clients set no deadline, so any nonzero burn here
+    // means the SLO accounting itself is broken; CI gates on 0.
+    report.field("slo_burn", batched.sloBurn);
 
     // --- 2. open-loop latency/reject sweep --------------------------
+    g_benchPhase.store(3);
     std::printf("Open-loop sweep (Poisson-ish pacing, 50 ms deadline "
                 "budget, rates relative to the measured peak):\n");
     sim::TextTable sweep({"Offered/peak", "Offered IPS", "Served IPS",
@@ -347,7 +423,8 @@ main(int argc, char **argv)
             .set("p50_us", r.p50)
             .set("p95_us", r.p95)
             .set("p99_us", r.p99)
-            .set("reject_rate", r.rejectRate());
+            .set("reject_rate", r.rejectRate())
+            .set("slo_burn", r.sloBurn);
     }
     std::printf("%s\n", sweep.render().c_str());
     std::printf("Below capacity the deadline budget is met and "
@@ -356,6 +433,7 @@ main(int argc, char **argv)
                 "diverge.\n\n");
 
     // --- 3. hot-swap under load -------------------------------------
+    g_benchPhase.store(4);
     std::printf("Hot-swap under closed-loop load (publish every "
                 "5 ms):\n");
     const LoadResult swapped = runClosedLoop(
@@ -370,6 +448,42 @@ main(int argc, char **argv)
     report.field("hotswap_ips", swapped.ips);
     report.field("hotswap_failed",
                  static_cast<std::uint64_t>(swapped.rejected));
+
+    // --- 4. trace-sampling overhead ---------------------------------
+    g_benchPhase.store(5);
+    const bool trace_enabled = obs::trace() != nullptr;
+    const double restore_rate = obs::spanSampleRate();
+    const double sample_rate = 0.01;
+    std::printf("\nTrace-sampling overhead (closed loop, %d clients, "
+                "tracing %s):\n",
+                clients, trace_enabled ? "on" : "off");
+    obs::setSpanSampleRate(0.0);
+    const LoadResult unsampled = runClosedLoop(
+        net, params, serveConfig(max_batch, 2000us, 1), clients,
+        phase_ms);
+    obs::setSpanSampleRate(sample_rate);
+    const LoadResult sampled = runClosedLoop(
+        net, params, serveConfig(max_batch, 2000us, 1), clients,
+        phase_ms);
+    obs::setSpanSampleRate(restore_rate);
+    const double overhead_pct =
+        unsampled.ips > 0.0
+            ? 100.0 * (unsampled.ips - sampled.ips) / unsampled.ips
+            : 0.0;
+    std::printf("  %.0f IPS unsampled vs %.0f IPS at %.0f%% "
+                "sampling: %.2f%% overhead (target < 2%%).\n",
+                unsampled.ips, sampled.ips, 100.0 * sample_rate,
+                overhead_pct);
+    report.field("trace_enabled",
+                 static_cast<std::uint64_t>(trace_enabled ? 1 : 0));
+    report.field("trace_sample_rate", sample_rate);
+    report.field("trace_ips_unsampled", unsampled.ips);
+    report.field("trace_ips_sampled", sampled.ips);
+    report.field("trace_overhead_pct", overhead_pct);
+    if (trace_enabled && overhead_pct > 2.0)
+        std::printf("WARNING: tracing overhead %.2f%% exceeds the 2%% "
+                    "target at %.0f%% sampling.\n",
+                    overhead_pct, 100.0 * sample_rate);
 
     if (speedup < 2.0)
         std::printf("\nWARNING: batching speedup %.2fx is below the "

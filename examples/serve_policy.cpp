@@ -21,7 +21,9 @@
  *                       and exit (smoke test / CI mode)
  *
  * Without --demo the server runs until SIGINT/SIGTERM. Set
- * FA3C_METRICS_JSON to export serve.* latency histograms.
+ * FA3C_METRICS_JSON to export serve.* latency histograms, and
+ * FA3C_TELEMETRY_PORT to scrape /metrics, /healthz, and /readyz live
+ * (with FA3C_TRACE + FA3C_TRACE_SAMPLE for per-request spans).
  */
 
 #include <csignal>
@@ -34,6 +36,7 @@
 #include "env/environment.hh"
 #include "env/session.hh"
 #include "nn/a3c_network.hh"
+#include "obs/telemetry.hh"
 #include "rl/checkpoint.hh"
 #include "serve/server.hh"
 #include "serve/tcp.hh"
@@ -215,6 +218,10 @@ main(int argc, char **argv)
                 "max batch %d, linger %ld us).\n",
                 game_name.c_str(), tcp.port(), backend_name.c_str(),
                 workers, workers == 1 ? "" : "s", max_batch, linger_us);
+    if (const obs::TelemetryServer *telemetry = obs::telemetry())
+        std::printf("Telemetry on http://127.0.0.1:%d (/metrics "
+                    "/healthz /readyz).\n",
+                    telemetry->port());
 
     int rc = 0;
     if (demo) {

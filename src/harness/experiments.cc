@@ -8,6 +8,8 @@
 #include "fa3c/accelerator.hh"
 #include "fa3c/datapath_backend.hh"
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "rl/fast_cpu_backend.hh"
 #include "sim/logging.hh"
@@ -70,6 +72,25 @@ measurePlatform(PlatformId platform, int agents,
     const std::string run_name = std::string(platformIdName(platform)) +
                                  " x" + std::to_string(agents);
     obs::TraceProcessScope trace_scope(obs::trace(), run_name);
+
+    // With FA3C_TELEMETRY_PORT set, the measurement is scrapable while
+    // it runs: which platform point is executing and how big it is.
+    obs::TelemetryRegistration telemetry_reg(
+        obs::telemetry(),
+        [platform, agents, sim_seconds](obs::PromWriter &w) {
+            w.gauge("harness_platform_id",
+                    static_cast<double>(static_cast<int>(platform)),
+                    "PlatformId of the measurement in flight");
+            w.gauge("harness_agents", static_cast<double>(agents),
+                    "agent count of the measurement in flight");
+            w.gauge("harness_sim_seconds", sim_seconds,
+                    "simulated seconds per measurement");
+        },
+        "harness",
+        [](std::string &detail) {
+            detail = "measuring";
+            return true;
+        });
 
     sim::EventQueue queue;
     sim::StatGroup queue_stats;

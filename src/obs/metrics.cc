@@ -1,8 +1,10 @@
 #include "obs/metrics.hh"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "obs/export_guard.hh"
 #include "obs/json.hh"
@@ -47,10 +49,35 @@ writeGroup(JsonWriter &json, const sim::StatGroup &group)
     json.endObject();
 }
 
+/**
+ * Write @p doc to @p path via a same-directory temp file renamed into
+ * place: a crash or signal mid-write leaves either the old document
+ * or the new one, never a truncated hybrid.
+ */
+bool
+writeAtomically(const std::string &path, const std::string &doc)
+{
+    ensureParentDir(path);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << doc << '\n';
+        out.flush();
+        if (!out)
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    return !ec;
+}
+
 } // namespace
 
 MetricsRegistry::~MetricsRegistry()
 {
+    stopPeriodicFlush();
     std::string path;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -184,15 +211,11 @@ MetricsRegistry::snapshotJson() const
 bool
 MetricsRegistry::writeTo(const std::string &path) const
 {
-    const std::string doc = snapshotJson();
-    ensureParentDir(path);
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        FA3C_WARN("metrics: cannot open '", path, "' for writing");
+    if (!writeAtomically(path, snapshotJson())) {
+        FA3C_WARN("metrics: cannot write '", path, "'");
         return false;
     }
-    out << doc << '\n';
-    return static_cast<bool>(out);
+    return true;
 }
 
 bool
@@ -207,12 +230,7 @@ MetricsRegistry::flushBestEffort() const
         path = exportPath_;
         doc = snapshotJsonLocked();
     }
-    ensureParentDir(path);
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << doc << '\n';
-    return static_cast<bool>(out);
+    return writeAtomically(path, doc);
 }
 
 std::size_t
@@ -220,6 +238,70 @@ MetricsRegistry::groupCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return live_.size() + owned_.size() + retained_.size();
+}
+
+void
+MetricsRegistry::forEachGroup(
+    const std::function<void(const std::string &,
+                             const sim::StatGroup &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, group] : live_)
+        fn(name, *group);
+    for (const auto &[name, group] : owned_)
+        fn(name, group);
+    int retained_idx = 0;
+    for (const auto &[name, group] : retained_)
+        fn(name + "@" + std::to_string(retained_idx++), group);
+}
+
+void
+MetricsRegistry::startPeriodicFlush(double seconds)
+{
+    stopPeriodicFlush();
+    if (seconds <= 0.0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(flusherMutex_);
+        flusherSec_ = seconds;
+        flusherStop_ = false;
+    }
+    flusher_ = std::thread([this] { flusherMain(); });
+}
+
+void
+MetricsRegistry::stopPeriodicFlush()
+{
+    {
+        std::lock_guard<std::mutex> lock(flusherMutex_);
+        flusherStop_ = true;
+    }
+    flusherCv_.notify_all();
+    if (flusher_.joinable())
+        flusher_.join();
+}
+
+void
+MetricsRegistry::flusherMain()
+{
+    std::unique_lock<std::mutex> lock(flusherMutex_);
+    while (!flusherStop_) {
+        const auto period = std::chrono::duration<double>(flusherSec_);
+        flusherCv_.wait_for(lock, period,
+                            [this] { return flusherStop_; });
+        if (flusherStop_)
+            break;
+        std::string path;
+        {
+            std::lock_guard<std::mutex> reg(mutex_);
+            path = exportPath_;
+        }
+        if (!path.empty()) {
+            lock.unlock();
+            writeTo(path);
+            lock.lock();
+        }
+    }
 }
 
 ScopedMetricsGroup::ScopedMetricsGroup(MetricsRegistry &registry,
@@ -252,6 +334,9 @@ metrics()
         if (const char *interval =
                 std::getenv("FA3C_METRICS_INTERVAL_SEC"))
             registry.setFlushInterval(std::strtod(interval, nullptr));
+        if (const char *flush = std::getenv("FA3C_METRICS_FLUSH_SEC");
+            flush && *flush)
+            registry.startPeriodicFlush(std::strtod(flush, nullptr));
         return true;
     }();
     (void)configured;

@@ -14,6 +14,9 @@
  * file is written at process exit and, when
  * FA3C_METRICS_INTERVAL_SEC is set, re-written whenever tick() is
  * called at least that many wall-clock seconds after the last write.
+ * FA3C_METRICS_FLUSH_SEC flushes from a background thread instead, so
+ * snapshots keep landing even when no instrumented code runs; every
+ * flush is an atomic temp-file-plus-rename, never a truncated JSON.
  * All instrumentation helpers are cheap no-ops while disabled.
  */
 
@@ -22,10 +25,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -59,6 +65,17 @@ class MetricsRegistry
     void setFlushInterval(double seconds);
 
     /**
+     * Launch a background thread that snapshots the registry to the
+     * export path every @p seconds, independent of tick() callers (a
+     * long-lived serve process flushes even when no instrumentation
+     * site runs). Idempotent; <= 0 stops the thread instead.
+     */
+    void startPeriodicFlush(double seconds);
+
+    /** Join the periodic-flush thread (also run by the destructor). */
+    void stopPeriodicFlush();
+
+    /**
      * Register a live group owned by the caller. @p group must stay
      * valid until unregisterGroup() is called with the returned
      * (possibly uniquified) name.
@@ -85,7 +102,20 @@ class MetricsRegistry
     /** The full registry as a JSON document. */
     std::string snapshotJson() const;
 
-    /** Serialize to @p path; returns false on I/O failure. */
+    /**
+     * Visit every group (live, registry-owned, and retained — the
+     * latter with the same "@N" suffixing the JSON export uses) under
+     * the registry lock. @p fn must not call back into the registry.
+     */
+    void forEachGroup(
+        const std::function<void(const std::string &,
+                                 const sim::StatGroup &)> &fn) const;
+
+    /**
+     * Serialize to @p path; returns false on I/O failure. The write
+     * goes through a same-directory temp file renamed into place, so
+     * a crash mid-write never leaves a truncated document behind.
+     */
     bool writeTo(const std::string &path) const;
 
     /**
@@ -108,7 +138,16 @@ class MetricsRegistry
     std::vector<std::pair<std::string, sim::StatGroup>> retained_;
     int uniq_ = 0;
 
+    // Periodic-flush thread state (flusherMutex_ only guards these;
+    // it is never held together with mutex_).
+    std::mutex flusherMutex_;
+    std::condition_variable flusherCv_;
+    std::thread flusher_;
+    double flusherSec_ = 0.0;
+    bool flusherStop_ = false;
+
     std::string snapshotJsonLocked() const;
+    void flusherMain();
 };
 
 /**

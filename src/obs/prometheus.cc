@@ -1,0 +1,104 @@
+#include "obs/prometheus.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/metrics.hh"
+
+namespace fa3c::obs {
+
+namespace {
+
+/** Exposition-format number: finite shortest-round-trip decimal. */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+promSanitize(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+PromWriter::header(std::string_view name, const char *type,
+                   std::string_view help)
+{
+    std::string family = promSanitize(name);
+    if (seen_.insert(family).second) {
+        if (!help.empty())
+            os_ << "# HELP " << family << ' ' << help << '\n';
+        os_ << "# TYPE " << family << ' ' << type << '\n';
+    }
+    return family;
+}
+
+void
+PromWriter::gauge(std::string_view name, double value,
+                  std::string_view help)
+{
+    os_ << header(name, "gauge", help) << ' ' << promNumber(value)
+        << '\n';
+}
+
+void
+PromWriter::counter(std::string_view name, std::uint64_t value,
+                    std::string_view help)
+{
+    os_ << header(name, "counter", help) << ' ' << value << '\n';
+}
+
+void
+PromWriter::histogram(std::string_view name, const sim::Distribution &d,
+                      std::string_view help)
+{
+    const std::string family = header(name, "histogram", help);
+    std::uint64_t cumulative = 0;
+    for (const auto &bucket : d.nonEmptyBuckets()) {
+        if (std::isinf(bucket.upperBound))
+            break; // folded into the +Inf bucket below
+        cumulative += bucket.count;
+        os_ << family << "_bucket{le=\""
+            << promNumber(bucket.upperBound) << "\"} " << cumulative
+            << '\n';
+    }
+    os_ << family << "_bucket{le=\"+Inf\"} " << d.count() << '\n';
+    os_ << family << "_sum " << promNumber(d.sum()) << '\n';
+    os_ << family << "_count " << d.count() << '\n';
+}
+
+void
+writeRegistry(PromWriter &w, const MetricsRegistry &registry)
+{
+    registry.forEachGroup(
+        [&w](const std::string &group, const sim::StatGroup &stats) {
+            for (const auto &[name, counter] : stats.counters())
+                w.counter(group + "_" + name, counter.value());
+            for (const auto &[name, dist] : stats.distributions())
+                w.histogram(group + "_" + name, dist);
+        });
+}
+
+} // namespace fa3c::obs

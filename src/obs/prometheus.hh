@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) over the metrics layer.
+ *
+ * PromWriter renders gauges, counters, and histograms into the line
+ * format a Prometheus scraper (or plain curl) consumes; histograms
+ * come straight from sim::Distribution's log-spaced buckets, emitted
+ * cumulatively at each occupied bound plus the mandatory "+Inf"
+ * bucket, so `_bucket` counts are monotone and `_sum`/`_count` agree
+ * with the distribution. writeRegistry() maps every MetricsRegistry
+ * group onto exposition families ("serve" / "total_us" becomes
+ * `serve_total_us`).
+ */
+
+#ifndef FA3C_OBS_PROMETHEUS_HH
+#define FA3C_OBS_PROMETHEUS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "sim/stats.hh"
+
+namespace fa3c::obs {
+
+class MetricsRegistry;
+
+/** Map @p name onto the Prometheus charset ([a-zA-Z0-9_:]). */
+std::string promSanitize(std::string_view name);
+
+/** Streaming exposition-format writer. */
+class PromWriter
+{
+  public:
+    explicit PromWriter(std::ostream &os) : os_(os) {}
+
+    PromWriter(const PromWriter &) = delete;
+    PromWriter &operator=(const PromWriter &) = delete;
+
+    void gauge(std::string_view name, double value,
+               std::string_view help = {});
+    void counter(std::string_view name, std::uint64_t value,
+                 std::string_view help = {});
+
+    /** Emit @p d as a cumulative-bucket histogram family. */
+    void histogram(std::string_view name, const sim::Distribution &d,
+                   std::string_view help = {});
+
+  private:
+    std::ostream &os_;
+    std::set<std::string> seen_; ///< families already given TYPE lines
+
+    /** Emit # HELP / # TYPE once per family; @return family name. */
+    std::string header(std::string_view name, const char *type,
+                       std::string_view help);
+};
+
+/**
+ * Render every group of @p registry: counters as counter families,
+ * distributions as histogram families, named `<group>_<stat>`.
+ */
+void writeRegistry(PromWriter &w, const MetricsRegistry &registry);
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_PROMETHEUS_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Rolling-window SLO monitor for the serve pipeline.
+ *
+ * Lifetime histograms (MetricsRegistry) answer "how has this process
+ * done since it started"; an SLO monitor answers "how is it doing
+ * right now". SloMonitor keeps a ring of time slices, each holding a
+ * latency Distribution plus served/missed/timed-out/rejected
+ * counters; slices older than the window are recycled as time
+ * advances, so every snapshot reflects only the last windowSec
+ * seconds. From the merged window it derives p50/p95/p99 latency,
+ * the deadline-miss ratio, and the SRE-style burn rate
+ * (missRatio / missBudget — burn > 1 means the error budget is being
+ * spent faster than allowed). A breach is logged once per crossing,
+ * and the `slo_burn` gauge is exported on /metrics.
+ *
+ * The clock is injectable so tests can march time deterministically.
+ */
+
+#ifndef FA3C_OBS_SLO_HH
+#define FA3C_OBS_SLO_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace fa3c::obs {
+
+class SloMonitor
+{
+  public:
+    struct Config
+    {
+        double windowSec = 60.0;  ///< FA3C_SLO_WINDOW_SEC
+        double missBudget = 0.01; ///< FA3C_SLO_MISS_BUDGET
+        int slices = 12;          ///< window granularity
+        std::string name = "serve"; ///< used in breach log lines
+    };
+
+    /** Window state merged at snapshot time. */
+    struct Snapshot
+    {
+        std::uint64_t served = 0;   ///< completed in the window
+        std::uint64_t missed = 0;   ///< served late + timed out
+        std::uint64_t timedOut = 0;
+        std::uint64_t rejected = 0; ///< admission rejects (not misses)
+        double p50Us = 0.0;
+        double p95Us = 0.0;
+        double p99Us = 0.0;
+        double missRatio = 0.0; ///< missed / (served + timedOut)
+        double burn = 0.0;      ///< missRatio / missBudget
+    };
+
+    SloMonitor() : SloMonitor(Config()) {}
+    explicit SloMonitor(Config cfg);
+
+    /** Config with windowSec/missBudget overridden from the env. */
+    static Config configFromEnv(Config cfg);
+    static Config configFromEnv() { return configFromEnv(Config()); }
+
+    /** Inject a clock for deterministic tests (default: steady). */
+    void setClock(
+        std::function<std::chrono::steady_clock::time_point()> clock);
+
+    /** A request completed with end-to-end latency @p totalUs. */
+    void recordServed(double totalUs, bool deadlineMiss);
+
+    /** A request expired in the queue before inference. */
+    void recordTimedOut();
+
+    /** A request was refused at admission. */
+    void recordRejected();
+
+    /** Merge the live window; logs on a fresh budget breach. */
+    Snapshot snapshot() const;
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    struct Slice
+    {
+        std::chrono::steady_clock::time_point start{};
+        bool active = false;
+        sim::Distribution latencyUs;
+        std::uint64_t served = 0;
+        std::uint64_t missed = 0;
+        std::uint64_t timedOut = 0;
+        std::uint64_t rejected = 0;
+    };
+
+    Config cfg_;
+    std::chrono::duration<double> sliceDur_;
+    mutable std::mutex mutex_;
+    mutable std::vector<Slice> ring_;
+    mutable std::size_t current_ = 0;
+    mutable bool breached_ = false;
+    std::function<std::chrono::steady_clock::time_point()> clock_;
+
+    Slice &currentSliceLocked();
+    void expireStaleLocked(
+        std::chrono::steady_clock::time_point now) const;
+};
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_SLO_HH

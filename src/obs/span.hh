@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-request span tracing over the Chrome-trace writer.
+ *
+ * A SpanContext is minted where a request enters the system (TCP
+ * accept or PolicyServer::submit) and propagated by value through the
+ * serve pipeline — queue, batch formation, inference, reply — with
+ * each stage emitting a parent-linked complete event carrying
+ * trace/span/parent ids in its args. Loading the trace into Perfetto
+ * and filtering on `trace_id` reconstructs one request's journey
+ * across threads; a batch's shared execution span links every member
+ * request by id.
+ *
+ * Sampling is probabilistic and decided once per trace at the root
+ * (FA3C_TRACE_SAMPLE, default 1.0): children inherit the decision so
+ * a request is always traced end-to-end or not at all. Ids are
+ * allocated even for unsampled roots so a downstream childSpan() can
+ * tell "unsampled parent" (inherit the negative decision) from "no
+ * parent" (make a fresh root decision). All emission is a no-op when
+ * FA3C_TRACE is unset.
+ */
+
+#ifndef FA3C_OBS_SPAN_HH
+#define FA3C_OBS_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace fa3c::obs {
+
+/**
+ * Identity of one span in one trace. Plain value type — copy it
+ * across queues and threads freely. Ids are kept under 2^48 so they
+ * survive the double-typed trace args exactly.
+ */
+struct SpanContext
+{
+    std::uint64_t trace = 0;  ///< 0 = no context at all
+    std::uint64_t span = 0;   ///< this span's id
+    std::uint64_t parent = 0; ///< 0 = root span
+    bool sampled = false;     ///< emit events for this trace?
+
+    bool valid() const { return trace != 0; }
+};
+
+/** Trace-sampling probability in [0, 1] (FA3C_TRACE_SAMPLE). */
+double spanSampleRate();
+
+/** Override the sampling probability (clamped to [0, 1]). */
+void setSpanSampleRate(double rate);
+
+/**
+ * Mint a root span: fresh trace id, fresh span id, no parent, and a
+ * sampling decision (never sampled while tracing is off).
+ */
+SpanContext rootSpan();
+
+/**
+ * Mint a child of @p parent: same trace, fresh span id, inherited
+ * sampling. An invalid parent degrades to rootSpan() so pipeline
+ * stages need not care whether a caller supplied a context.
+ */
+SpanContext childSpan(const SpanContext &parent);
+
+/**
+ * Emit the completed span @p ctx as a Chrome-trace event on @p track
+ * (host clock, category "span") spanning [@p start, @p end], with
+ * trace/span/parent ids plus @p extra in the args. No-op when the
+ * context is unsampled or tracing is off.
+ */
+void emitSpan(const SpanContext &ctx, const std::string &track,
+              const std::string &name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end,
+              std::span<const TraceArg> extra = {});
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_SPAN_HH

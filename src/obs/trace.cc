@@ -6,13 +6,16 @@
 
 #include "obs/export_guard.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::obs {
 
 TraceWriter::TraceWriter(const std::string &path,
-                         std::uint64_t max_events)
-    : epoch_(std::chrono::steady_clock::now()), maxEvents_(max_events)
+                         std::uint64_t max_events,
+                         std::uint64_t max_bytes)
+    : epoch_(std::chrono::steady_clock::now()), maxEvents_(max_events),
+      maxBytes_(max_bytes)
 {
     ensureParentDir(path);
     out_.open(path, std::ios::trunc);
@@ -99,14 +102,18 @@ TraceWriter::emitLocked(const std::string &event_json)
 {
     if (!out_ || closed_)
         return;
-    if (written_ >= maxEvents_) {
+    if (written_ >= maxEvents_ ||
+        (maxBytes_ != 0 &&
+         bytesWritten_ + event_json.size() > maxBytes_)) {
         ++dropped_;
+        metrics().count("trace", "dropped_events");
         return;
     }
     if (!firstEvent_)
         out_ << ",\n";
     firstEvent_ = false;
     out_ << event_json;
+    bytesWritten_ += event_json.size() + 2;
     ++written_;
 }
 
@@ -153,8 +160,13 @@ TraceWriter::counterEvent(const std::string &counter, sim::Tick ts,
 double
 TraceWriter::hostNowUs() const
 {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch_)
+    return hostUsAt(std::chrono::steady_clock::now());
+}
+
+double
+TraceWriter::hostUsAt(std::chrono::steady_clock::time_point tp) const
+{
+    return std::chrono::duration<double, std::micro>(tp - epoch_)
         .count();
 }
 
@@ -163,13 +175,35 @@ TraceWriter::hostCompleteEvent(const std::string &track,
                                const std::string &name, double start_us,
                                double end_us)
 {
+    hostCompleteEvent(track, name, start_us, end_us, {}, "host");
+}
+
+void
+TraceWriter::hostCompleteEvent(const std::string &track,
+                               const std::string &name, double start_us,
+                               double end_us,
+                               std::span<const TraceArg> args,
+                               const char *cat)
+{
     std::lock_guard<std::mutex> lock(mutex_);
     const int tid = tidForLocked(hostPid_, track);
     std::ostringstream os;
     os << "{\"ph\":\"X\",\"pid\":" << hostPid_ << ",\"tid\":" << tid
-       << ",\"cat\":\"host\",\"name\":\"" << jsonEscape(name)
-       << "\",\"ts\":" << jsonNumber(start_us)
-       << ",\"dur\":" << jsonNumber(end_us - start_us) << '}';
+       << ",\"cat\":\"" << jsonEscape(cat) << "\",\"name\":\""
+       << jsonEscape(name) << "\",\"ts\":" << jsonNumber(start_us)
+       << ",\"dur\":" << jsonNumber(end_us - start_us);
+    if (!args.empty()) {
+        os << ",\"args\":{";
+        bool first = true;
+        for (const auto &[k, v] : args) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << '"' << jsonEscape(k) << "\":" << jsonNumber(v);
+        }
+        os << '}';
+    }
+    os << '}';
     emitLocked(os.str());
 }
 
@@ -242,7 +276,11 @@ trace()
         std::uint64_t max_events = 8'000'000;
         if (const char *cap = std::getenv("FA3C_TRACE_MAX_EVENTS"))
             max_events = std::strtoull(cap, nullptr, 10);
-        auto writer = std::make_unique<TraceWriter>(path, max_events);
+        std::uint64_t max_bytes = 0;
+        if (const char *mb = std::getenv("FA3C_TRACE_MAX_MB"))
+            max_bytes = std::strtoull(mb, nullptr, 10) * 1024 * 1024;
+        auto writer =
+            std::make_unique<TraceWriter>(path, max_events, max_bytes);
         if (!writer->ok())
             return nullptr;
         notifyTraceStarted(*writer);

@@ -15,6 +15,10 @@
  *
  * Enable globally by setting FA3C_TRACE=<path>; all instrumentation
  * sites are no-ops when tracing is off (trace() returns nullptr).
+ * FA3C_TRACE_MAX_EVENTS caps the event count and FA3C_TRACE_MAX_MB
+ * the file size; past either cap events are dropped (and counted in
+ * both the trace footer and the `trace.dropped_events` metric) rather
+ * than growing the file without bound.
  */
 
 #ifndef FA3C_OBS_TRACE_HH
@@ -40,9 +44,13 @@ using TraceArg = std::pair<const char *, double>;
 class TraceWriter
 {
   public:
-    /** Opens @p path for writing; check ok() afterwards. */
+    /**
+     * Opens @p path for writing; check ok() afterwards. @p max_bytes
+     * caps the emitted body size (0 = unlimited).
+     */
     explicit TraceWriter(const std::string &path,
-                         std::uint64_t max_events = 8'000'000);
+                         std::uint64_t max_events = 8'000'000,
+                         std::uint64_t max_bytes = 0);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -80,10 +88,20 @@ class TraceWriter
     /** Microseconds of host wall-clock since this writer was made. */
     double hostNowUs() const;
 
+    /** @p tp on this writer's host-microsecond timeline. */
+    double hostUsAt(std::chrono::steady_clock::time_point tp) const;
+
     /** Emit a complete event on the host process (wall-clock µs). */
     void hostCompleteEvent(const std::string &track,
                            const std::string &name, double start_us,
                            double end_us);
+
+    /** Host complete event with args and an explicit category. */
+    void hostCompleteEvent(const std::string &track,
+                           const std::string &name, double start_us,
+                           double end_us,
+                           std::span<const TraceArg> args,
+                           const char *cat = "host");
 
     std::uint64_t eventsWritten() const;
     std::uint64_t eventsDropped() const;
@@ -103,6 +121,8 @@ class TraceWriter
     std::ofstream out_;
     std::chrono::steady_clock::time_point epoch_;
     std::uint64_t maxEvents_;
+    std::uint64_t maxBytes_;
+    std::uint64_t bytesWritten_ = 0;
     std::uint64_t written_ = 0;
     std::uint64_t dropped_ = 0;
     bool firstEvent_ = true;

@@ -7,6 +7,8 @@
 
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
@@ -326,6 +328,26 @@ A3cTrainer::maybeCheckpoint(bool include_agent_state)
 void
 A3cTrainer::run(std::function<bool()> stop_early)
 {
+    // Attach to the telemetry plane for the duration of the run: a
+    // progress gauge on /metrics and a readiness probe on /readyz.
+    obs::TelemetryRegistration telemetry_reg(
+        obs::telemetry(),
+        [this](obs::PromWriter &w) {
+            w.gauge("rl_a3c_global_steps",
+                    static_cast<double>(global_.globalSteps()),
+                    "environment steps consumed by the A3C trainer");
+            w.gauge("rl_a3c_total_steps",
+                    static_cast<double>(cfg_.totalSteps),
+                    "configured A3C training budget");
+        },
+        "trainer.a3c",
+        [this](std::string &detail) {
+            detail = "steps=" +
+                     std::to_string(global_.globalSteps()) + "/" +
+                     std::to_string(cfg_.totalSteps);
+            return true;
+        });
+
     auto should_stop = [&]() {
         if (global_.globalSteps() >= cfg_.totalSteps)
             return true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nn/layers.hh"
+#include "obs/prometheus.hh"
+#include "obs/telemetry.hh"
 #include "sim/logging.hh"
 #include "sim/serial.hh"
 
@@ -279,6 +281,24 @@ Ga3cTrainer::maybeCheckpoint()
 void
 Ga3cTrainer::run(std::function<bool()> stop_early)
 {
+    obs::TelemetryRegistration telemetry_reg(
+        obs::telemetry(),
+        [this](obs::PromWriter &w) {
+            w.gauge("rl_ga3c_global_steps",
+                    static_cast<double>(global_.globalSteps()),
+                    "environment steps consumed by the GA3C trainer");
+            w.gauge("rl_ga3c_total_steps",
+                    static_cast<double>(cfg_.totalSteps),
+                    "configured GA3C training budget");
+        },
+        "trainer.ga3c",
+        [this](std::string &detail) {
+            detail = "steps=" +
+                     std::to_string(global_.globalSteps()) + "/" +
+                     std::to_string(cfg_.totalSteps);
+            return true;
+        });
+
     if (cfg_.checkpointEverySteps > 0)
         nextCheckpointAt_ =
             global_.globalSteps() + cfg_.checkpointEverySteps;

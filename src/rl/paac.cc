@@ -2,6 +2,8 @@
 
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/serial.hh"
@@ -257,6 +259,24 @@ PaacTrainer::maybeCheckpoint()
 void
 PaacTrainer::run(std::function<bool()> stop_early)
 {
+    obs::TelemetryRegistration telemetry_reg(
+        obs::telemetry(),
+        [this](obs::PromWriter &w) {
+            w.gauge("rl_paac_global_steps",
+                    static_cast<double>(global_.globalSteps()),
+                    "environment steps consumed by the PAAC trainer");
+            w.gauge("rl_paac_total_steps",
+                    static_cast<double>(cfg_.totalSteps),
+                    "configured PAAC training budget");
+        },
+        "trainer.paac",
+        [this](std::string &detail) {
+            detail = "steps=" +
+                     std::to_string(global_.globalSteps()) + "/" +
+                     std::to_string(cfg_.totalSteps);
+            return true;
+        });
+
     if (cfg_.checkpointEverySteps > 0)
         nextCheckpointAt_ =
             global_.globalSteps() + cfg_.checkpointEverySteps;

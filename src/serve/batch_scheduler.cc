@@ -1,9 +1,12 @@
 #include "serve/batch_scheduler.hh"
 
 #include <algorithm>
+#include <array>
+#include <cstdio>
 
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::serve {
@@ -24,10 +27,11 @@ BatchScheduler::BatchScheduler(const nn::A3cNetwork &net,
                                const BatchPolicy &policy,
                                int num_workers, BackendFactory factory,
                                sim::StatGroup *stats,
-                               std::mutex *stats_mutex)
+                               std::mutex *stats_mutex,
+                               obs::SloMonitor *slo)
     : net_(net), queue_(queue), registry_(registry), policy_(policy),
       numWorkers_(num_workers), factory_(std::move(factory)),
-      stats_(stats), statsMutex_(stats_mutex)
+      stats_(stats), statsMutex_(stats_mutex), slo_(slo)
 {
     FA3C_ASSERT(policy_.maxBatch >= 1 && numWorkers_ >= 1,
                 "BatchScheduler policy");
@@ -70,6 +74,14 @@ BatchScheduler::completeExpired(std::vector<Request> &expired)
         Response resp;
         resp.status = Status::TimedOut;
         resp.totalUs = usBetween(r.enqueue, now);
+        if (r.span.sampled) {
+            const std::array<obs::TraceArg, 1> args{
+                {{"request_id", static_cast<double>(r.id)}}};
+            obs::emitSpan(r.span, "serve.pipeline",
+                          "request.timed_out", r.enqueue, now, args);
+        }
+        if (slo_)
+            slo_->recordTimedOut();
         r.result.set_value(std::move(resp));
     }
     {
@@ -143,6 +155,38 @@ BatchScheduler::workerMain(int index)
                                static_cast<double>(batch.size()));
 
         const double batch_us = usBetween(first_pop, t_formed);
+
+        // One shared execution span links every sampled member by id
+        // (parented under the first sampled request so it shows up in
+        // that trace); per-request spans below chain queue -> batch ->
+        // infer under each request's own span.
+        const Request *sampled_lead = nullptr;
+        for (const auto &r : batch)
+            if (r.span.sampled) {
+                sampled_lead = &r;
+                break;
+            }
+        if (sampled_lead) {
+            std::vector<obs::TraceArg> args;
+            args.reserve(batch.size() + 1);
+            args.emplace_back("batch_size",
+                              static_cast<double>(batch.size()));
+            std::array<char[16], 8> member_keys;
+            std::size_t named = 0;
+            for (const auto &r : batch) {
+                if (!r.span.sampled || named >= member_keys.size())
+                    continue;
+                std::snprintf(member_keys[named],
+                              sizeof(member_keys[named]), "member_%zu",
+                              named);
+                args.emplace_back(member_keys[named],
+                                  static_cast<double>(r.span.span));
+                ++named;
+            }
+            obs::emitSpan(obs::childSpan(sampled_lead->span),
+                          "serve.batch", "batch.exec", t0, t1, args);
+        }
+
         for (std::size_t i = 0; i < batch.size(); ++i) {
             Request &r = batch[i];
             Response resp;
@@ -158,7 +202,40 @@ BatchScheduler::workerMain(int index)
             resp.batchSize = static_cast<int>(batch.size());
             resp.queueUs = usBetween(r.enqueue, t_formed);
             resp.inferUs = infer_us;
-            resp.totalUs = usBetween(r.enqueue, Clock::now());
+            const auto t_done = Clock::now();
+            resp.totalUs = usBetween(r.enqueue, t_done);
+
+            const bool deadline_miss =
+                r.deadline != kNoDeadline && t_done > r.deadline;
+            if (slo_)
+                slo_->recordServed(resp.totalUs, deadline_miss);
+
+            if (r.span.sampled) {
+                const auto queue_ctx = obs::childSpan(r.span);
+                const auto batch_ctx = obs::childSpan(queue_ctx);
+                const auto infer_ctx = obs::childSpan(batch_ctx);
+                obs::emitSpan(queue_ctx, "serve.pipeline", "queue",
+                              r.enqueue, t_formed);
+                {
+                    const std::array<obs::TraceArg, 1> args{
+                        {{"batch_size",
+                          static_cast<double>(batch.size())}}};
+                    obs::emitSpan(batch_ctx, "serve.pipeline",
+                                  "batch", t_formed, t0, args);
+                }
+                {
+                    const std::array<obs::TraceArg, 1> args{
+                        {{"model_version",
+                          static_cast<double>(model->version)}}};
+                    obs::emitSpan(infer_ctx, "serve.pipeline",
+                                  "infer", t0, t1, args);
+                }
+                const std::array<obs::TraceArg, 2> args{
+                    {{"request_id", static_cast<double>(r.id)},
+                     {"deadline_miss", deadline_miss ? 1.0 : 0.0}}};
+                obs::emitSpan(r.span, "serve.pipeline", "request",
+                              r.enqueue, t_done, args);
+            }
 
             auto &m = obs::metrics();
             if (m.enabled()) {

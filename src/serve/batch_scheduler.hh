@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/slo.hh"
 #include "rl/backend.hh"
 #include "serve/model_registry.hh"
 #include "serve/request_queue.hh"
@@ -60,11 +61,14 @@ class BatchScheduler
      * @param factory     Per-worker backend builder.
      * @param stats       Shared stat group for serve.* metrics.
      * @param stats_mutex Guards @p stats (shared with the server).
+     * @param slo         Rolling-window monitor fed per completion
+     *                    (may be null).
      */
     BatchScheduler(const nn::A3cNetwork &net, RequestQueue &queue,
                    ModelRegistry &registry, const BatchPolicy &policy,
                    int num_workers, BackendFactory factory,
-                   sim::StatGroup *stats, std::mutex *stats_mutex);
+                   sim::StatGroup *stats, std::mutex *stats_mutex,
+                   obs::SloMonitor *slo = nullptr);
     ~BatchScheduler();
 
     BatchScheduler(const BatchScheduler &) = delete;
@@ -92,6 +96,7 @@ class BatchScheduler
     BackendFactory factory_;
     sim::StatGroup *stats_;
     std::mutex *statsMutex_;
+    obs::SloMonitor *slo_;
     std::vector<std::thread> workers_;
     bool started_ = false;
 };

@@ -17,6 +17,7 @@
 #include <future>
 #include <vector>
 
+#include "obs/span.hh"
 #include "tensor/tensor.hh"
 
 namespace fa3c::serve {
@@ -76,6 +77,7 @@ struct Request
     Clock::time_point deadline = kNoDeadline;
     std::promise<Response> result;
     std::uint64_t seq = 0;      ///< queue arrival order (FIFO tiebreak)
+    obs::SpanContext span;      ///< this request's trace identity
 };
 
 } // namespace fa3c::serve

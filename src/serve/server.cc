@@ -1,6 +1,9 @@
 #include "serve/server.hh"
 
+#include <array>
+
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::serve {
@@ -41,13 +44,57 @@ PolicyServer::PolicyServer(const nn::A3cNetwork &net,
                            const ServeConfig &cfg,
                            BatchScheduler::BackendFactory factory)
     : net_(net), cfg_(cfg), queue_(cfg.queue),
+      slo_(obs::SloMonitor::configFromEnv()),
       scheduler_(net, queue_, registry_, cfg.batch, cfg.workers,
                  factory ? std::move(factory)
                          : [this](int) {
                                return rl::makeDnnBackend(
                                    cfg_.backend, net_);
                            },
-                 &stats_, &statsMutex_)
+                 &stats_, &statsMutex_, &slo_),
+      telemetryReg_(
+          obs::telemetry(),
+          [this](obs::PromWriter &w) {
+              w.gauge("serve_queue_depth",
+                      static_cast<double>(queue_.depth()),
+                      "requests waiting in the admission queue");
+              w.gauge("serve_model_version",
+                      static_cast<double>(registry_.version()),
+                      "newest published parameter version");
+              w.gauge("serve_workers",
+                      static_cast<double>(cfg_.workers),
+                      "batch-scheduler worker threads");
+              const auto s = slo_.snapshot();
+              w.gauge("slo_burn", s.burn,
+                      "deadline-miss budget burn rate over the "
+                      "rolling window (>1 = budget breached)");
+              w.gauge("slo_deadline_miss_ratio", s.missRatio,
+                      "missed / attempted in the rolling window");
+              w.gauge("slo_window_served",
+                      static_cast<double>(s.served),
+                      "requests served in the rolling window");
+              w.gauge("slo_window_p50_us", s.p50Us,
+                      "windowed p50 end-to-end latency");
+              w.gauge("slo_window_p95_us", s.p95Us,
+                      "windowed p95 end-to-end latency");
+              w.gauge("slo_window_p99_us", s.p99Us,
+                      "windowed p99 end-to-end latency");
+          },
+          "serve",
+          [this](std::string &detail) {
+              const std::uint64_t version = registry_.version();
+              detail = "model_version=" + std::to_string(version) +
+                       " workers=" + std::to_string(cfg_.workers);
+              if (stopped_.load(std::memory_order_relaxed)) {
+                  detail += " (stopped)";
+                  return false;
+              }
+              if (!started_.load(std::memory_order_relaxed)) {
+                  detail += " (not started)";
+                  return false;
+              }
+              return version > 0;
+          })
 {
 }
 
@@ -103,6 +150,14 @@ PolicyServer::rejectNow(Request &&r, Status status)
     Response resp;
     resp.status = status;
     r.result.set_value(std::move(resp));
+    if (r.span.sampled) {
+        const std::array<obs::TraceArg, 1> args{
+            {{"request_id", static_cast<double>(r.id)}}};
+        obs::emitSpan(r.span, "serve.pipeline",
+                      std::string("request.") + statusName(status),
+                      r.enqueue, Clock::now(), args);
+    }
+    slo_.recordRejected();
     if (const char *name = rejectionCounterName(status)) {
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
@@ -115,10 +170,12 @@ PolicyServer::rejectNow(Request &&r, Status status)
 
 std::future<Response>
 PolicyServer::submit(const tensor::Tensor &obs,
-                     std::chrono::microseconds deadline_budget)
+                     std::chrono::microseconds deadline_budget,
+                     const obs::SpanContext &parent)
 {
     Request r;
     r.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    r.span = obs::childSpan(parent);
     r.enqueue = Clock::now();
     if (deadline_budget.count() > 0)
         r.deadline = r.enqueue + deadline_budget;
@@ -149,6 +206,7 @@ PolicyServer::submit(const tensor::Tensor &obs,
     Response resp;
     resp.status = admitted;
     r.result.set_value(std::move(resp));
+    slo_.recordRejected();
     if (const char *name = rejectionCounterName(admitted)) {
         {
             std::lock_guard<std::mutex> lock(statsMutex_);

@@ -22,6 +22,9 @@
 #include <future>
 #include <memory>
 
+#include "obs/slo.hh"
+#include "obs/span.hh"
+#include "obs/telemetry.hh"
 #include "rl/backend.hh"
 #include "rl/global_params.hh"
 #include "serve/batch_scheduler.hh"
@@ -86,13 +89,18 @@ class PolicyServer
      *                        deadline. Requests that cannot meet it
      *                        are rejected at admission or timed out
      *                        in the queue.
+     * @param parent          Span context of the caller (e.g. the TCP
+     *                        front-end); the request's own span is
+     *                        minted as its child, or as a fresh
+     *                        sampled-or-not root when invalid.
      * @return A future that always becomes ready — rejected requests
      *         resolve immediately with the rejection reason.
      */
     std::future<Response>
     submit(const tensor::Tensor &obs,
            std::chrono::microseconds deadline_budget =
-               std::chrono::microseconds{0});
+               std::chrono::microseconds{0},
+           const obs::SpanContext &parent = {});
 
     /** submit() + get(): the blocking closed-loop client call. */
     Response
@@ -113,6 +121,10 @@ class PolicyServer
     /** Consistent copy of the serve.* counters and histograms. */
     sim::StatGroup statsSnapshot() const;
 
+    /** Rolling-window SLO view over this server's traffic. */
+    const obs::SloMonitor &slo() const { return slo_; }
+    obs::SloMonitor &slo() { return slo_; }
+
   private:
     const nn::A3cNetwork &net_;
     ServeConfig cfg_;
@@ -120,10 +132,14 @@ class PolicyServer
     ModelRegistry registry_;
     mutable std::mutex statsMutex_;
     sim::StatGroup stats_;
+    obs::SloMonitor slo_;
     BatchScheduler scheduler_;
     std::atomic<std::uint64_t> nextId_{1};
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};
+    /** Declared last: detaches from /metrics and /readyz before any
+     * member the collector/probe lambdas read is destroyed. */
+    obs::TelemetryRegistration telemetryReg_;
 
     /** Complete @p r immediately with @p status (admission path). */
     std::future<Response> rejectNow(Request &&r, Status status);

@@ -6,9 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 
+#include "obs/span.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::serve {
@@ -244,10 +246,23 @@ TcpServer::connectionMain(int fd)
             if (!readFull(fd, obs.data().data(),
                           numel * sizeof(float)))
                 break;
+            // The root span for this request's trace is minted at the
+            // wire: everything downstream (queue, batch, infer) hangs
+            // off it via PolicyServer::submit's parent argument.
+            const auto root = obs::rootSpan();
+            const auto t_recv = Clock::now();
             resp = server_
                        .submit(obs,
-                               std::chrono::microseconds(deadline_us))
+                               std::chrono::microseconds(deadline_us),
+                               root)
                        .get();
+            if (root.sampled) {
+                const std::array<obs::TraceArg, 2> args{
+                    {{"tag", static_cast<double>(tag)},
+                     {"conn_fd", static_cast<double>(fd)}}};
+                obs::emitSpan(root, "serve.tcp", "tcp.request",
+                              t_recv, Clock::now(), args);
+            }
         } else {
             // Wrong geometry: drain the payload, answer BadRequest.
             drain.resize(numel);

@@ -90,6 +90,69 @@ Distribution::reset()
     *this = Distribution{};
 }
 
+std::vector<Distribution::Bucket>
+Distribution::nonEmptyBuckets() const
+{
+    std::vector<Bucket> out;
+    if (buckets_.empty())
+        return out;
+    for (int i = 0; i < kBucketCount; ++i) {
+        const std::uint32_t n = buckets_[static_cast<std::size_t>(i)];
+        if (n == 0)
+            continue;
+        double upper;
+        if (i == 0) {
+            upper = std::ldexp(1.0, kMinExp);
+        } else if (i == kBucketCount - 1) {
+            upper = std::numeric_limits<double>::infinity();
+        } else {
+            const int value_idx = i - 1;
+            const int octave = value_idx / kSubBuckets;
+            const int sub = value_idx % kSubBuckets;
+            upper = std::ldexp(
+                1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                kMinExp + octave);
+        }
+        out.push_back({upper, n});
+    }
+    return out;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel Welford combination.
+    const double n = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta *
+                           static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / n;
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) /
+            n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    if (!other.buckets_.empty()) {
+        if (buckets_.empty())
+            buckets_.assign(static_cast<std::size_t>(kBucketCount), 0);
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            const std::uint64_t sum64 =
+                static_cast<std::uint64_t>(buckets_[i]) +
+                other.buckets_[i];
+            buckets_[i] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                sum64, std::numeric_limits<std::uint32_t>::max()));
+        }
+    }
+    count_ += other.count_;
+}
+
 double
 Distribution::stddev() const
 {

@@ -63,6 +63,26 @@ class Distribution
      */
     double percentile(double p) const;
 
+    /** One occupied histogram bucket, as (upper bound, count). */
+    struct Bucket
+    {
+        double upperBound; ///< +inf for the overflow bucket
+        std::uint64_t count;
+    };
+
+    /**
+     * The occupied histogram buckets in ascending bound order
+     * (per-bucket counts, not cumulative). Empty when no samples.
+     */
+    std::vector<Bucket> nonEmptyBuckets() const;
+
+    /**
+     * Fold @p other into this distribution: counts, moments, extrema,
+     * and histogram buckets all combine as if every sample had been
+     * recorded here.
+     */
+    void merge(const Distribution &other);
+
   private:
     // Histogram geometry: octaves [kMinExp, kMaxExp), kSubBuckets
     // log-spaced buckets per octave, plus under/overflow buckets at
