@@ -13,13 +13,22 @@
  *    drain).
  *
  * Each row reports the platform IPS at n = 16 with one knob changed.
+ *
+ * A second phase drives the datapath model directly and prints the
+ * per-CU stall attribution (busy / operand starvation / DRAM
+ * bandwidth / weight-sync barrier / idle) from the platform's perf
+ * counters; the categories tile total sim time exactly once the
+ * queue drains.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "fa3c/accelerator.hh"
 #include "fa3c/tlu.hh"
 #include "harness/experiments.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/table.hh"
 
 using namespace fa3c;
@@ -47,6 +56,83 @@ BM_AblationPoint(benchmark::State &state)
 BENCHMARK(BM_AblationPoint)->Arg(0)->Arg(1)->Unit(
     benchmark::kMillisecond);
 
+/**
+ * Drive the board with a burst of work and print where every CU's
+ * cycles went. The single-channel configuration is deliberately
+ * contended so the DRAM-bandwidth category is visibly nonzero.
+ */
+void
+stallAttribution(bench::JsonReport &report)
+{
+    bench::banner("Stall attribution",
+                  "Per-CU cycle breakdown on a single-channel "
+                  "(DRAM-contended) VCU1525 configuration");
+
+    core::Fa3cConfig cfg = core::Fa3cConfig::vcu1525();
+    cfg.dram.channels = 1;
+
+    sim::EventQueue queue;
+    core::Fa3cPlatform board(queue, cfg, netCfg, 5);
+    int outstanding = 0;
+    auto done = [&outstanding] { --outstanding; };
+    constexpr int kRounds = 64;
+    for (int i = 0; i < kRounds; ++i) {
+        board.submitInference(done);
+        board.submitTraining(done);
+        ++outstanding;
+        ++outstanding;
+        if (i % 16 == 15) {
+            board.submitParamSync(done);
+            ++outstanding;
+        }
+    }
+    queue.run();
+    FA3C_ASSERT(outstanding == 0, "stall-attribution drain");
+
+    const auto snap = board.perfSnapshot();
+    sim::TextTable table({"CU", "busy", "operand", "dram bw",
+                          "weight sync", "idle", "total",
+                          "residual"});
+    for (const auto &[bank_name, counters] : snap) {
+        if (bank_name.rfind("cu", 0) != 0)
+            continue;
+        auto get = [&counters](const char *key) -> std::uint64_t {
+            auto it = counters.find(key);
+            return it == counters.end() ? 0 : it->second;
+        };
+        const std::uint64_t busy = get("busy_ticks");
+        const std::uint64_t operand = get("stall_operand_ticks");
+        const std::uint64_t dram = get("stall_dram_bw_ticks");
+        const std::uint64_t sync = get("stall_weight_sync_ticks");
+        const std::uint64_t idle = get("idle_ticks");
+        const std::uint64_t total = get("total_ticks");
+        const std::uint64_t accounted =
+            busy + operand + dram + sync + idle;
+        const std::int64_t residual =
+            static_cast<std::int64_t>(total) -
+            static_cast<std::int64_t>(accounted);
+        table.addRow({bank_name, sim::TextTable::num(busy),
+                      sim::TextTable::num(operand),
+                      sim::TextTable::num(dram),
+                      sim::TextTable::num(sync),
+                      sim::TextTable::num(idle),
+                      sim::TextTable::num(total),
+                      std::to_string(residual)});
+        report.addRow()
+            .set("kind", "stall_attribution")
+            .set("cu", bank_name)
+            .set("busy_ticks", busy)
+            .set("stall_operand_ticks", operand)
+            .set("stall_dram_bw_ticks", dram)
+            .set("stall_weight_sync_ticks", sync)
+            .set("idle_ticks", idle)
+            .set("total_ticks", total);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("(residual = total - sum(categories); 0 once the "
+                "event queue has drained)\n");
+}
+
 } // namespace
 
 int
@@ -60,12 +146,20 @@ main(int argc, char **argv)
     const core::Fa3cConfig base = core::Fa3cConfig::vcu1525();
     const double base_ips = ipsOf(base);
 
+    bench::JsonReport report("ablation_microarch");
+    report.field("base_ips", base_ips);
+
     sim::TextTable table({"Configuration", "IPS", "Relative"});
     auto add = [&](const std::string &name,
                    const core::Fa3cConfig &cfg) {
         const double ips = ipsOf(cfg);
         table.addRow({name, sim::TextTable::num(ips, 0),
                       sim::TextTable::num(ips / base_ips, 2)});
+        report.addRow()
+            .set("kind", "ablation")
+            .set("config", name)
+            .set("ips", ips)
+            .set("relative", ips / base_ips);
     };
     table.addRow({"FA3C baseline (2 pairs x 64 PEs, 4 RUs, 4 ch)",
                   sim::TextTable::num(base_ips, 0), "1.00"});
@@ -102,5 +196,7 @@ main(int argc, char **argv)
                 sim::TextTable::num(core::paddedParamWords(fc3) /
                                     core::dramBurstWords)
                     .c_str());
+
+    stallAttribution(report);
     return 0;
 }

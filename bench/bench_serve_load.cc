@@ -42,6 +42,7 @@
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "serve/server.hh"
+#include "sim/perf_counters.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 
@@ -389,6 +390,7 @@ main(int argc, char **argv)
                 "same hardware, same model).\n\n",
                 speedup);
     report.field("peak_ips", batched.ips);
+    report.field("peak_offered_ips", batched.offeredIps);
     report.field("single_ips", single.ips);
     report.field("batch_speedup", speedup);
     report.field("peak_mean_batch", batched.meanBatch);
@@ -489,5 +491,48 @@ main(int argc, char **argv)
         std::printf("\nWARNING: batching speedup %.2fx is below the "
                     "2x acceptance bar.\n",
                     speedup);
+
+    // --- perf-counter snapshot artifact ---------------------------
+    // The serve layer counts admissions, formed/underfilled batches,
+    // empty batch slots and the admission-queue high-water mark into
+    // the global perf file; dump it next to the bench JSON so a
+    // regression in batch formation is diagnosable from CI artifacts.
+    {
+        const auto snap = sim::perf().snapshot();
+        const auto serve_it = snap.find("serve");
+        if (serve_it != snap.end()) {
+            auto get = [&](const char *key) -> std::uint64_t {
+                const auto it = serve_it->second.find(key);
+                return it == serve_it->second.end() ? 0 : it->second;
+            };
+            std::printf("\nServe perf counters: %llu admitted, %llu "
+                        "batches (%llu underfilled, %llu empty "
+                        "slots), queue depth HWM %llu.\n",
+                        static_cast<unsigned long long>(
+                            get("admitted")),
+                        static_cast<unsigned long long>(
+                            get("batches")),
+                        static_cast<unsigned long long>(
+                            get("underfilled_batches")),
+                        static_cast<unsigned long long>(
+                            get("empty_batch_slots")),
+                        static_cast<unsigned long long>(
+                            get("queue_depth_hwm")));
+            report.field("perf_admitted", get("admitted"));
+            report.field("perf_batches", get("batches"));
+            report.field("perf_underfilled_batches",
+                         get("underfilled_batches"));
+            report.field("perf_empty_batch_slots",
+                         get("empty_batch_slots"));
+            report.field("perf_queue_depth_hwm",
+                         get("queue_depth_hwm"));
+        }
+        if (const char *dir = std::getenv("FA3C_JSON_DIR")) {
+            const std::string path =
+                std::string(dir) + "/PERF_serve.json";
+            if (sim::perf().writeJson(path))
+                std::printf("(writing %s)\n", path.c_str());
+        }
+    }
     return 0;
 }

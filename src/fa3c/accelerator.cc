@@ -1,5 +1,7 @@
 #include "fa3c/accelerator.hh"
 
+#include <algorithm>
+
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 
@@ -18,13 +20,16 @@ Fa3cPlatform::Fa3cPlatform(sim::EventQueue &queue, const Fa3cConfig &cfg,
                                cfg_.dram.efficiency /
                                cfg_.dram.channels;
     for (int c = 0; c < cfg_.dram.channels; ++c) {
+        const std::string name = "dram.ch" + std::to_string(c);
         channels_.push_back(std::make_unique<DramChannel>(
             queue_, per_channel, cfg_.dram.accessLatencySec, stats_,
-            "dram.ch" + std::to_string(c)));
+            name));
+        channels_.back()->setPerfBank(&perf_.bank(name));
     }
     pcie_ = std::make_unique<DramChannel>(queue_, cfg_.pcie.bytesPerSec,
                                           cfg_.pcie.latencySec, stats_,
                                           "pcie");
+    pcie_->setPerfBank(&perf_.bank("pcie"));
 
     const int cu_count = cfg_.cuCount();
     for (int i = 0; i < cu_count; ++i) {
@@ -48,6 +53,7 @@ Fa3cPlatform::Fa3cPlatform(sim::EventQueue &queue, const Fa3cConfig &cfg,
             cu.track = "CU-infer " + std::to_string(i);
         else
             cu.track = "CU-train " + std::to_string(i);
+        cu.perf = &perf_.bank("cu" + std::to_string(i));
         cus_.push_back(cu);
     }
 
@@ -111,6 +117,9 @@ Fa3cPlatform::finishTask(const Cu &cu, const TaskModel &task)
 {
     const sim::Tick end = queue_.now();
     taskDist(task)->sample(ticksToCycles(end - cu.busySince));
+    cu.perf->add(&task == &inferenceTask_  ? "tasks_inference"
+                 : &task == &trainingTask_ ? "tasks_training"
+                                           : "tasks_sync");
     if (obs::TraceWriter *tw = obs::trace())
         tw->completeEvent(cu.track, task.name, cu.busySince, end);
 }
@@ -232,30 +241,50 @@ Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
 
     if (!cfg_.doubleBuffering) {
         // Ablation: wait for the DRAM traffic, then compute.
-        auto compute = [this, &cu, &task, phase_idx, phase_start,
-                        compute_ticks, done = std::move(done)]() mutable {
+        auto finish = [this, &cu, &task, phase_idx, phase_start,
+                       compute_ticks](TransferTiming timing,
+                                      bool has_timing,
+                                      std::function<void()> done) {
             queue_.scheduleIn(
                 compute_ticks,
                 [this, &cu, &task, phase_idx, phase_start,
+                 compute_ticks, timing, has_timing,
                  done = std::move(done)]() mutable {
+                    accountPhase(cu, task, phase_start, compute_ticks,
+                                 false, has_timing ? &timing : nullptr);
                     finishPhase(cu, task, phase_idx, phase_start);
                     runPhase(cu, task, phase_idx + 1, std::move(done));
                 });
         };
-        if (bytes > 0)
-            cu.channel->request(bytes, portBytesPerSec_,
-                                std::move(compute));
-        else
-            compute();
+        if (bytes > 0) {
+            cu.channel->requestTracked(
+                bytes, portBytesPerSec_,
+                [finish, done = std::move(done)](
+                    const TransferTiming &t) mutable {
+                    finish(t, true, std::move(done));
+                });
+        } else {
+            finish(TransferTiming{}, false, std::move(done));
+        }
         return;
     }
 
     // Double buffering: the phase finishes when both its compute and
-    // its DRAM traffic have completed.
-    auto barrier = std::make_shared<int>(2);
+    // its DRAM traffic have completed. The shared state carries the
+    // transfer's lifecycle timestamps to the attribution step.
+    struct PhaseState
+    {
+        int remaining = 2;
+        bool hasTiming = false;
+        TransferTiming timing;
+    };
+    auto state = std::make_shared<PhaseState>();
     auto advance = [this, &cu, &task, phase_idx, phase_start,
-                    done = std::move(done), barrier]() mutable {
-        if (--*barrier == 0) {
+                    compute_ticks, done = std::move(done),
+                    state]() mutable {
+        if (--state->remaining == 0) {
+            accountPhase(cu, task, phase_start, compute_ticks, true,
+                         state->hasTiming ? &state->timing : nullptr);
             finishPhase(cu, task, phase_idx, phase_start);
             runPhase(cu, task, phase_idx + 1, std::move(done));
         }
@@ -263,10 +292,83 @@ Fa3cPlatform::runPhase(Cu &cu, const TaskModel &task,
 
     queue_.scheduleIn(compute_ticks, advance);
     if (bytes > 0) {
-        cu.channel->request(bytes, portBytesPerSec_, advance);
+        cu.channel->requestTracked(
+            bytes, portBytesPerSec_,
+            [state, advance](const TransferTiming &t) mutable {
+                state->timing = t;
+                state->hasTiming = true;
+                advance();
+            });
     } else {
         advance();
     }
+}
+
+void
+Fa3cPlatform::accountPhase(Cu &cu, const TaskModel &task,
+                           sim::Tick phase_start,
+                           sim::Tick compute_ticks, bool overlapped,
+                           const TransferTiming *timing)
+{
+    sim::PerfBank &bank = *cu.perf;
+    const sim::Tick end = queue_.now();
+    const sim::Tick elapsed = end - phase_start;
+
+    // A parameter sync holds the CU at the weight-sync barrier for
+    // its whole duration; none of it is useful compute.
+    if (&task == &syncTask_) {
+        bank.add("stall_weight_sync_ticks", elapsed);
+        return;
+    }
+    if (!timing) {
+        // Pure compute phase: elapsed == compute_ticks.
+        bank.add("busy_ticks", elapsed);
+        return;
+    }
+    if (!overlapped) {
+        // Serial DRAM-then-compute: the queue wait is bandwidth
+        // contention, the service time is operand starvation, and
+        // the compute tail is busy. The three regions tile
+        // [phase_start, end] exactly (queuedAt == phase_start).
+        bank.add("busy_ticks", compute_ticks);
+        bank.add("stall_dram_bw_ticks", timing->queueWait());
+        bank.add("stall_operand_ticks", timing->serviceTicks());
+        return;
+    }
+    // Double buffered: compute covers [phase_start, compute_end];
+    // only transfer time exposed beyond that is a stall, split by
+    // interval overlap with the queue-wait and service windows.
+    const sim::Tick compute_end = phase_start + compute_ticks;
+    if (timing->completedAt <= compute_end) {
+        bank.add("busy_ticks", elapsed);
+        return;
+    }
+    bank.add("busy_ticks", compute_ticks);
+    const sim::Tick bw_stall = timing->startedAt > compute_end
+                                   ? timing->startedAt - compute_end
+                                   : 0;
+    bank.add("stall_dram_bw_ticks", bw_stall);
+    bank.add("stall_operand_ticks",
+             timing->completedAt -
+                 std::max(timing->startedAt, compute_end));
+}
+
+sim::PerfCounterFile::Snapshot
+Fa3cPlatform::perfSnapshot() const
+{
+    sim::PerfCounterFile::Snapshot snap = perf_.snapshot();
+    const std::uint64_t now = queue_.now();
+    for (const auto &cu : cus_) {
+        auto &bank = snap["cu" + std::to_string(cu.id)];
+        std::uint64_t accounted = 0;
+        for (const char *cause :
+             {"busy_ticks", "stall_operand_ticks",
+              "stall_dram_bw_ticks", "stall_weight_sync_ticks"})
+            accounted += bank[cause]; // creates absent causes as 0
+        bank["total_ticks"] = now;
+        bank["idle_ticks"] = now >= accounted ? now - accounted : 0;
+    }
+    return snap;
 }
 
 double

@@ -20,6 +20,7 @@
 #include "fa3c/task_model.hh"
 #include "nn/a3c_network.hh"
 #include "sim/event_queue.hh"
+#include "sim/perf_counters.hh"
 #include "sim/stats.hh"
 
 namespace fa3c::core {
@@ -65,6 +66,30 @@ class Fa3cPlatform
     const HwNetwork &network() const { return hwNet_; }
     sim::StatGroup &stats() { return stats_; }
 
+    /**
+     * The platform's private perf-counter file. Each CU owns a bank
+     * ("cu0", "cu1", ...) whose cycle accounting is exact: every
+     * completed phase's elapsed ticks are attributed to exactly one
+     * of busy_ticks (compute), stall_operand_ticks (own transfer
+     * service time exposed beyond compute), stall_dram_bw_ticks
+     * (channel queue wait exposed beyond compute), or
+     * stall_weight_sync_ticks (parameter-sync barrier), so the four
+     * categories plus derived idle always sum to elapsed sim time.
+     * DRAM channels and the PCIe engine bank their own traffic
+     * ("dram.ch0", ..., "pcie").
+     */
+    sim::PerfCounterFile &perf() { return perf_; }
+
+    /**
+     * Point-in-time copy of perf() with derived counters added to
+     * every CU bank: total_ticks (sim time so far) and idle_ticks
+     * (total minus all attributed categories, clamped at zero).
+     * Attribution happens at phase completion, so the categories sum
+     * to total exactly whenever no task is in flight; mid-task the
+     * current phase's ticks show up as idle until it completes.
+     */
+    sim::PerfCounterFile::Snapshot perfSnapshot() const;
+
     /** Mean busy fraction of the inference CUs over the run so far. */
     double inferenceCuUtilization() const;
 
@@ -91,6 +116,7 @@ class Fa3cPlatform
         bool busy = false;
         sim::Tick busyTicks = 0;
         sim::Tick busySince = 0;
+        sim::PerfBank *perf = nullptr;
     };
 
     struct Queued
@@ -104,6 +130,7 @@ class Fa3cPlatform
     Fa3cConfig cfg_;
     HwNetwork hwNet_;
     sim::StatGroup stats_;
+    sim::PerfCounterFile perf_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::unique_ptr<DramChannel> pcie_;
     std::vector<Cu> cus_;
@@ -130,6 +157,9 @@ class Fa3cPlatform
                  std::function<void()> done);
     void runPhase(Cu &cu, const TaskModel &task, std::size_t phase_idx,
                   std::function<void()> done);
+    void accountPhase(Cu &cu, const TaskModel &task,
+                      sim::Tick phase_start, sim::Tick compute_ticks,
+                      bool overlapped, const TransferTiming *timing);
     void recordTrace(const Cu &cu, const TaskModel &task,
                      sim::Tick start);
     void finishPhase(const Cu &cu, const TaskModel &task,

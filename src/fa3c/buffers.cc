@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 
 namespace fa3c::core {
 
@@ -11,6 +12,10 @@ OnChipBuffer::OnChipBuffer(int rows)
       data_(static_cast<std::size_t>(rows) * rowWords(), 0.0f)
 {
     FA3C_ASSERT(rows > 0, "OnChipBuffer needs at least one row");
+    // Track the largest buffer ever allocated: the occupancy
+    // high-water mark a real BRAM budget would have to cover.
+    sim::perf().bank("line_buffer").maxOf(
+        "onchip_rows_hwm", static_cast<std::uint64_t>(rows));
 }
 
 std::span<float>
@@ -42,6 +47,15 @@ OnChipBuffer::loadBurst(int first_row, std::span<const float> words)
     std::copy(words.begin(), words.end(),
               data_.begin() +
                   static_cast<std::size_t>(first_row) * rowWords());
+    {
+        static auto &bursts =
+            sim::perf().bank("line_buffer").counter("bursts");
+        static auto &beats =
+            sim::perf().bank("line_buffer").counter("burst_beats");
+        bursts.fetch_add(1, std::memory_order_relaxed);
+        beats.fetch_add(static_cast<std::uint64_t>(beat_rows),
+                        std::memory_order_relaxed);
+    }
     return beat_rows;
 }
 
@@ -77,6 +91,9 @@ LineBuffer::shiftLeft(float fill)
 void
 LineBuffer::stitch(const OnChipBuffer &buffer, std::span<const int> rows)
 {
+    static auto &stitches =
+        sim::perf().bank("line_buffer").counter("stitches");
+    stitches.fetch_add(1, std::memory_order_relaxed);
     int reg = 0;
     for (int r : rows) {
         auto src = buffer.row(r);
@@ -94,6 +111,9 @@ LineBuffer::stitch(const OnChipBuffer &buffer, std::span<const int> rows)
 void
 LineBuffer::scatter(OnChipBuffer &buffer, std::span<const int> rows) const
 {
+    static auto &scatters =
+        sim::perf().bank("line_buffer").counter("scatters");
+    scatters.fetch_add(1, std::memory_order_relaxed);
     int reg = 0;
     for (int r : rows) {
         auto dst = buffer.row(r);

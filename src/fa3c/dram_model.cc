@@ -42,11 +42,27 @@ void
 DramChannel::request(double bytes, double port_bytes_per_sec,
                      std::function<void()> done)
 {
+    requestTracked(bytes, port_bytes_per_sec,
+                   [done = std::move(done)](const TransferTiming &) {
+                       if (done)
+                           done();
+                   });
+}
+
+void
+DramChannel::requestTracked(
+    double bytes, double port_bytes_per_sec,
+    std::function<void(const TransferTiming &)> done)
+{
     FA3C_ASSERT(bytes >= 0, "negative transfer");
-    pending_.push_back(
-        Request{bytes, port_bytes_per_sec, std::move(done)});
+    pending_.push_back(Request{bytes, port_bytes_per_sec,
+                               std::move(done), queue_.now()});
     reqCounter_->inc();
     queueDepthDist_->sample(static_cast<double>(pending_.size()));
+    if (perf_) {
+        perf_->add("requests");
+        perf_->maxOf("queue_depth_hwm", pending_.size());
+    }
     if (!busy_)
         startNext();
 }
@@ -79,8 +95,15 @@ DramChannel::startNext()
     bytesCounter_->inc(byte_count);
     rowActCounter_->inc(rows);
     reqBytesDist_->sample(req.bytes);
+    if (perf_) {
+        perf_->add("bytes", byte_count);
+        perf_->add("busy_ticks", duration);
+        perf_->add("queue_wait_ticks", start - req.queuedAt);
+        perf_->add("row_activations", rows);
+    }
 
-    queue_.scheduleIn(duration, [this, start, byte_count,
+    const TransferTiming timing{req.queuedAt, start, start + duration};
+    queue_.scheduleIn(duration, [this, start, byte_count, timing,
                                  done = std::move(req.done)]() {
         if (obs::TraceWriter *tw = obs::trace()) {
             const obs::TraceArg args[] = {
@@ -90,7 +113,7 @@ DramChannel::startNext()
                              static_cast<double>(bytesDone_));
         }
         if (done)
-            done();
+            done(timing);
         startNext();
     });
 }

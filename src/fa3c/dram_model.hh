@@ -17,10 +17,28 @@
 #include <functional>
 
 #include "sim/event_queue.hh"
+#include "sim/perf_counters.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace fa3c::core {
+
+/**
+ * Lifecycle timestamps of one completed transfer. Requesters use the
+ * queued->started gap (time lost to other requesters ahead in the
+ * FIFO — bandwidth contention) separately from started->completed
+ * (the transfer's own service time — operand latency) to attribute
+ * stall cycles by cause.
+ */
+struct TransferTiming
+{
+    sim::Tick queuedAt = 0;
+    sim::Tick startedAt = 0;
+    sim::Tick completedAt = 0;
+
+    sim::Tick queueWait() const { return startedAt - queuedAt; }
+    sim::Tick serviceTicks() const { return completedAt - startedAt; }
+};
 
 /** One DRAM channel with FIFO service. */
 class DramChannel
@@ -47,6 +65,20 @@ class DramChannel
     void request(double bytes, double port_bytes_per_sec,
                  std::function<void()> done);
 
+    /** As request(), but @p done receives the transfer's lifecycle
+     * timestamps for stall attribution. */
+    void
+    requestTracked(double bytes, double port_bytes_per_sec,
+                   std::function<void(const TransferTiming &)> done);
+
+    /**
+     * Attach a perf-counter bank; the channel then counts requests,
+     * bytes, busy/queue-wait ticks, and the queue-depth high-water
+     * mark into it. @p bank must outlive the channel (or be detached
+     * with nullptr).
+     */
+    void setPerfBank(sim::PerfBank *bank) { perf_ = bank; }
+
     /** Total bytes transferred so far. */
     std::uint64_t bytesTransferred() const { return bytesDone_; }
 
@@ -64,7 +96,8 @@ class DramChannel
     {
         double bytes;
         double portBw;
-        std::function<void()> done;
+        std::function<void(const TransferTiming &)> done;
+        sim::Tick queuedAt;
     };
 
     sim::EventQueue &queue_;
@@ -78,6 +111,7 @@ class DramChannel
     std::uint64_t bytesDone_ = 0;
     std::uint64_t rowActivations_ = 0;
     sim::Tick busyTicks_ = 0;
+    sim::PerfBank *perf_ = nullptr;
     // Cached stat handles (map nodes are stable).
     sim::Counter *reqCounter_;
     sim::Counter *bytesCounter_;

@@ -5,8 +5,31 @@
 
 #include "fa3c/buffers.hh"
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 
 namespace fa3c::core {
+
+namespace {
+
+/** Count one functional stage execution in the global "pe_array"
+ * bank: calls and multiply-accumulates, per stage kind. These run at
+ * layer granularity, so the per-call bank lookup is cheap enough. */
+void
+countStage(const char *stage, const nn::ConvSpec &spec)
+{
+    const std::uint64_t macs =
+        static_cast<std::uint64_t>(spec.outHeight()) *
+        static_cast<std::uint64_t>(spec.outWidth()) *
+        static_cast<std::uint64_t>(spec.outChannels) *
+        static_cast<std::uint64_t>(spec.inChannels) *
+        static_cast<std::uint64_t>(spec.kernel) *
+        static_cast<std::uint64_t>(spec.kernel);
+    sim::PerfBank &bank = sim::perf().bank("pe_array");
+    bank.add(std::string(stage) + "_calls");
+    bank.add(std::string(stage) + "_macs", macs);
+}
+
+} // namespace
 
 PeArray::PeArray(int num_pes, const TimingParams &params)
     : numPes_(num_pes), params_(params)
@@ -57,6 +80,7 @@ PeArray::convForward(const nn::ConvSpec &spec, const Tensor &in,
                 out.at(o, r, c) = accs[static_cast<std::size_t>(o)];
         }
     }
+    countStage("fw", spec);
     return stageModel(Stage::Fw, spec, numPes_, false, params_);
 }
 
@@ -123,6 +147,7 @@ PeArray::convBackward(const nn::ConvSpec &spec, const Tensor &g_out,
             return bw.at((o * spec.kernel + kr) * spec.kernel + kc, i);
         },
         g_in);
+    countStage("bw", spec);
     return stageModel(Stage::Bw, spec, numPes_, false, params_);
 }
 
@@ -141,6 +166,7 @@ PeArray::convBackwardFwLayout(const nn::ConvSpec &spec,
             return fw.at((i * spec.kernel + kr) * spec.kernel + kc, o);
         },
         g_in);
+    countStage("bw", spec);
     return stageModel(Stage::Bw, spec, numPes_, true, params_);
 }
 
@@ -184,6 +210,7 @@ PeArray::convGradient(const nn::ConvSpec &spec, const Tensor &in,
                 acc += g_out.at(o, r, c);
         g_bias[static_cast<std::size_t>(o)] += acc;
     }
+    countStage("gc", spec);
     return stageModel(Stage::Gc, spec, numPes_, false, params_);
 }
 

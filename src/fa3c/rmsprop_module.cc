@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hh"
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 
 namespace fa3c::core {
 
@@ -37,6 +38,17 @@ RmspropModule::update(std::span<float> theta, std::span<float> g,
         m.count("fa3c.rmsprop", "words", theta.size());
         m.count("fa3c.rmsprop", "dram_words",
                 loadWords(theta.size()) + storeWords(theta.size()));
+    }
+    {
+        sim::PerfBank &bank = sim::perf().bank("rmsprop");
+        static auto &waves = bank.counter("update_waves");
+        static auto &words = bank.counter("words");
+        static auto &dramWords = bank.counter("dram_words");
+        waves.fetch_add(1, std::memory_order_relaxed);
+        words.fetch_add(theta.size(), std::memory_order_relaxed);
+        dramWords.fetch_add(loadWords(theta.size()) +
+                                storeWords(theta.size()),
+                            std::memory_order_relaxed);
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hh"
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 
 namespace fa3c::core {
 
@@ -92,14 +93,24 @@ loadBwViaTlu(const nn::ConvSpec &spec, std::span<const float> packed)
                 bw.at(o * kk + k, i) = transposed.at(o, i * kk + k);
     (void)fw_rows;
 
+    const auto patches = static_cast<std::uint64_t>(prow) *
+                         static_cast<std::uint64_t>(pcol);
+    const auto words = patches *
+                       static_cast<std::uint64_t>(patchWords) *
+                       static_cast<std::uint64_t>(patchWords);
     if (obs::MetricsRegistry &m = obs::metrics(); m.enabled()) {
-        const auto patches = static_cast<std::uint64_t>(prow) *
-                             static_cast<std::uint64_t>(pcol);
         m.count("fa3c.tlu", "layer_loads", 1);
         m.count("fa3c.tlu", "patches", patches);
-        m.count("fa3c.tlu", "words",
-                patches * static_cast<std::uint64_t>(patchWords) *
-                    static_cast<std::uint64_t>(patchWords));
+        m.count("fa3c.tlu", "words", words);
+    }
+    {
+        sim::PerfBank &bank = sim::perf().bank("tlu");
+        static auto &loads = bank.counter("layer_loads");
+        static auto &patchC = bank.counter("patches");
+        static auto &wordC = bank.counter("words");
+        loads.fetch_add(1, std::memory_order_relaxed);
+        patchC.fetch_add(patches, std::memory_order_relaxed);
+        wordC.fetch_add(words, std::memory_order_relaxed);
     }
     return bw;
 }

@@ -1,5 +1,6 @@
 #include "harness/experiments.hh"
 
+#include <atomic>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "obs/trace.hh"
 #include "rl/fast_cpu_backend.hh"
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 #include "sim/stats.hh"
 
 namespace fa3c::harness {
@@ -54,6 +56,73 @@ hostModelFor(const nn::NetConfig &net_cfg, int t_max)
     host.outputBytes = (net_cfg.numActions + 1) * 4.0;
     host.deltaBytes = host.outputBytes * t_max;
     return host;
+}
+
+// Last completed measurement's utilization figures, kept process-wide
+// so the gauges survive the per-measurement scopes and a scrape
+// between measurements still sees the most recent point.  Negative
+// means "never measured"; those gauges are suppressed.
+struct UtilizationGauges {
+    std::atomic<double> cuInference{-1.0};
+    std::atomic<double> cuTraining{-1.0};
+    std::atomic<double> gpuDevice{-1.0};
+};
+
+UtilizationGauges &
+utilGauges()
+{
+    static UtilizationGauges g;
+    return g;
+}
+
+void
+publishUtilization(obs::MetricsRegistry &m)
+{
+    // The telemetry registration is deliberately leaked: it must
+    // outlive every measurement, and the server handles collectors
+    // registered for the life of the process.
+    static obs::TelemetryRegistration *reg =
+        new obs::TelemetryRegistration(
+        obs::telemetry(),
+        [](obs::PromWriter &w) {
+            auto &g = utilGauges();
+            const double infer =
+                g.cuInference.load(std::memory_order_relaxed);
+            const double train =
+                g.cuTraining.load(std::memory_order_relaxed);
+            const double gpu =
+                g.gpuDevice.load(std::memory_order_relaxed);
+            if (infer >= 0.0)
+                w.gauge("fa3c_cu_utilization",
+                        {{"cu", "inference"}}, infer,
+                        "busy fraction of the FA3C inference CUs "
+                        "over the last measurement");
+            if (train >= 0.0)
+                w.gauge("fa3c_cu_utilization",
+                        {{"cu", "training"}}, train,
+                        "busy fraction of the FA3C training CUs "
+                        "over the last measurement");
+            if (gpu >= 0.0)
+                w.gauge("gpu_device_utilization", gpu,
+                        "busy fraction of the GPU device over the "
+                        "last measurement");
+        },
+        "utilization");
+    (void)reg;
+    auto &g = utilGauges();
+    if (m.enabled()) {
+        const double infer =
+            g.cuInference.load(std::memory_order_relaxed);
+        const double train =
+            g.cuTraining.load(std::memory_order_relaxed);
+        const double gpu = g.gpuDevice.load(std::memory_order_relaxed);
+        if (infer >= 0.0)
+            m.sample("fa3c.cu", "utilization_inference", infer);
+        if (train >= 0.0)
+            m.sample("fa3c.cu", "utilization_training", train);
+        if (gpu >= 0.0)
+            m.sample("gpu.device", "utilization", gpu);
+    }
 }
 
 } // namespace
@@ -135,6 +204,15 @@ measurePlatform(PlatformId platform, int agents,
         // The training CUs dominate FA3C's dynamic power.
         point.utilization = 0.5 * (board.trainingCuUtilization() +
                                    board.inferenceCuUtilization());
+        utilGauges().cuInference.store(board.inferenceCuUtilization(),
+                                       std::memory_order_relaxed);
+        utilGauges().cuTraining.store(board.trainingCuUtilization(),
+                                      std::memory_order_relaxed);
+        publishUtilization(obs::metrics());
+        // Roll the board's private counter file into the global one
+        // so the metrics / Prometheus bridges export the simulated
+        // CU stall attribution and DRAM traffic too.
+        sim::perf().absorb(board.perfSnapshot());
         return point;
     }
 
@@ -172,6 +250,9 @@ measurePlatform(PlatformId platform, int agents,
     point.latencyP50Sec = r.latencyP50Sec;
     point.latencyP95Sec = r.latencyP95Sec;
     point.utilization = device.deviceUtilization();
+    utilGauges().gpuDevice.store(device.deviceUtilization(),
+                                 std::memory_order_relaxed);
+    publishUtilization(obs::metrics());
     return point;
 }
 

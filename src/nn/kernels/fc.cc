@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "nn/kernels/gemm.hh"
+#include "obs/profile.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::nn::kernels {
@@ -21,6 +22,7 @@ fcForwardFastBatch(const FcSpec &spec, int batch, const float *in,
                    std::span<const float> wT, std::span<const float> b,
                    float *out)
 {
+    FA3C_PROF_SCOPE("kernels.fc_fw");
     FA3C_ASSERT(wT.size() == spec.weightCount(), "fcForwardFast wT");
     FA3C_ASSERT(b.size() == spec.biasCount(), "fcForwardFast b");
     const std::size_t o = static_cast<std::size_t>(spec.outFeatures);
@@ -37,6 +39,7 @@ fcForwardFastBatchPanels(const FcSpec &spec, int batch, const float *in,
                          std::span<const float> wPanels,
                          std::span<const float> b, float *out)
 {
+    FA3C_PROF_SCOPE("kernels.fc_fw_panels");
     FA3C_ASSERT(wPanels.size() ==
                     gemmPanelSize(spec.outFeatures, spec.inFeatures),
                 "fcForwardFastBatchPanels wPanels");
@@ -55,6 +58,7 @@ void
 fcBackwardFast(const FcSpec &spec, const float *g_out,
                std::span<const float> w, float *g_in)
 {
+    FA3C_PROF_SCOPE("kernels.fc_bw");
     FA3C_ASSERT(w.size() == spec.weightCount(), "fcBackwardFast w");
     // g_in[1][I] = g_out[1][O] * w[O][I]: the canonical layout is
     // already the right GEMM operand.
@@ -68,6 +72,7 @@ void
 fcGradientFast(const FcSpec &spec, const float *in, const float *g_out,
                std::span<float> g_w, std::span<float> g_b)
 {
+    FA3C_PROF_SCOPE("kernels.fc_gc");
     FA3C_ASSERT(g_w.size() == spec.weightCount(), "fcGradientFast g_w");
     FA3C_ASSERT(g_b.size() == spec.biasCount(), "fcGradientFast g_b");
     float *FA3C_RESTRICT gw = g_w.data();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace fa3c::obs {
 
@@ -131,6 +132,284 @@ JsonWriter::value(bool v)
 {
     preValue();
     os_ << (v ? "true" : "false");
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view; strict by design. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view s) : s_(s) {}
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    std::string_view s_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': return parseLiteral("true", Json::Kind::Bool, true);
+          case 'f':
+            return parseLiteral("false", Json::Kind::Bool, false);
+          case 'n':
+            return parseLiteral("null", Json::Kind::Null, false);
+          default: return parseNumber();
+        }
+    }
+
+    Json
+    parseLiteral(std::string_view word, Json::Kind kind, bool value)
+    {
+        if (s_.compare(pos_, word.size(), word) != 0)
+            fail("bad literal");
+        pos_ += word.size();
+        Json v;
+        v.kind = kind;
+        v.boolean = value;
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        auto digits = [&]() {
+            if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9')
+                fail("expected digit");
+            while (pos_ < s_.size() && s_[pos_] >= '0' &&
+                   s_[pos_] <= '9')
+                ++pos_;
+        };
+        digits();
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            digits();
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            digits();
+        }
+        Json v;
+        v.kind = Json::Kind::Number;
+        v.number =
+            std::stod(std::string(s_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    Json
+    parseString()
+    {
+        expect('"');
+        Json v;
+        v.kind = Json::Kind::String;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': v.str += '"'; break;
+              case '\\': v.str += '\\'; break;
+              case '/': v.str += '/'; break;
+              case 'b': v.str += '\b'; break;
+              case 'f': v.str += '\f'; break;
+              case 'n': v.str += '\n'; break;
+              case 'r': v.str += '\r'; break;
+              case 't': v.str += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > s_.size())
+                      fail("bad \\u escape");
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = s_[pos_++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          code |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          fail("bad hex digit");
+                  }
+                  // ASCII round-trips; anything wider degrades to
+                  // '?' — bench names and counter keys are ASCII.
+                  v.str += code < 0x80 ? static_cast<char>(code) : '?';
+                  break;
+              }
+              default: fail("bad escape");
+            }
+        }
+        return v;
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            const Json key = parseString();
+            skipWs();
+            expect(':');
+            v.object[key.str] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+};
+
+} // namespace
+
+bool
+Json::has(const std::string &key) const
+{
+    return kind == Kind::Object && object.count(key) > 0;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        throw std::runtime_error("not an object (looking up '" + key +
+                                 "')");
+    const auto it = object.find(key);
+    if (it == object.end())
+        throw std::runtime_error("missing key: " + key);
+    return it->second;
+}
+
+double
+Json::asNumber() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("not a number");
+    return number;
+}
+
+const std::string &
+Json::asString() const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("not a string");
+    return str;
+}
+
+double
+Json::numberOr(const std::string &key, double fallback) const
+{
+    return has(key) ? at(key).asNumber() : fallback;
+}
+
+std::string
+Json::stringOr(const std::string &key,
+               const std::string &fallback) const
+{
+    return has(key) ? at(key).asString() : fallback;
+}
+
+Json
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
 }
 
 } // namespace fa3c::obs

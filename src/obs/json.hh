@@ -1,15 +1,18 @@
 /**
  * @file
  * Minimal streaming JSON writer shared by the trace and metrics
- * exporters. Produces strictly valid JSON (proper escaping, no
- * trailing commas); the caller is responsible for balanced
- * begin/end calls.
+ * exporters, plus a small strict DOM parser for tools that read
+ * those documents back (bench_trend history, perf snapshots). The
+ * writer produces strictly valid JSON (proper escaping, no trailing
+ * commas); the parser throws on any deviation from JSON so corrupt
+ * history lines are rejected rather than misread.
  */
 
 #ifndef FA3C_OBS_JSON_HH
 #define FA3C_OBS_JSON_HH
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -67,6 +70,54 @@ class JsonWriter
 
     void preValue();
 };
+
+/**
+ * Parsed JSON value (small DOM). Accessors throw std::runtime_error
+ * on kind mismatch or missing keys, so reader code stays linear and
+ * a malformed document surfaces as one catchable error.
+ */
+struct Json
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool has(const std::string &key) const;
+
+    /** Member @p key; throws when absent or not an object. */
+    const Json &at(const std::string &key) const;
+
+    /** Number value; throws on kind mismatch. */
+    double asNumber() const;
+
+    /** String value; throws on kind mismatch. */
+    const std::string &asString() const;
+
+    /** Number member @p key, or @p fallback when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** String member @p key, or @p fallback when absent. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+};
+
+/**
+ * Parse @p text as one strict JSON document (no trailing content
+ * beyond whitespace). Throws std::runtime_error with the byte offset
+ * on any syntax error.
+ */
+Json parseJson(std::string_view text);
 
 } // namespace fa3c::obs
 

@@ -8,6 +8,8 @@
 
 #include "obs/export_guard.hh"
 #include "obs/json.hh"
+#include "obs/perf_export.hh"
+#include "obs/profile.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::obs {
@@ -201,10 +203,19 @@ MetricsRegistry::snapshotJsonLocked() const
     return os.str();
 }
 
+void
+MetricsRegistry::addSnapshotHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshotHooks_.push_back(std::move(hook));
+}
+
 std::string
 MetricsRegistry::snapshotJson() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &hook : snapshotHooks_)
+        hook();
     return snapshotJsonLocked();
 }
 
@@ -246,6 +257,8 @@ MetricsRegistry::forEachGroup(
                              const sim::StatGroup &)> &fn) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &hook : snapshotHooks_)
+        hook();
     for (const auto &[name, group] : live_)
         fn(name, *group);
     for (const auto &[name, group] : owned_)
@@ -325,6 +338,8 @@ metrics()
 {
     static MetricsRegistry registry;
     static bool configured = [] {
+        installPerfExport(registry);
+        installProfileExport(registry);
         if (const char *path = std::getenv("FA3C_METRICS_JSON");
             path && *path) {
             registry.setExportPath(path);

@@ -99,6 +99,19 @@ class MetricsRegistry
      * interval. */
     void tick();
 
+    /**
+     * Register @p hook to run at the start of every snapshot
+     * (snapshotJson / forEachGroup / periodic flush) while the
+     * registry lock is held. Bridges use this to sync externally
+     * owned data — perf-counter files, the profiler — into live
+     * StatGroups just before they are read, so exports always see
+     * current values. Hooks MUST NOT call back into the registry
+     * (the lock is held); they should only mutate StatGroups they
+     * themselves registered. Hooks are skipped in flushBestEffort()
+     * (the signal-handler path must stay minimal).
+     */
+    void addSnapshotHook(std::function<void()> hook);
+
     /** The full registry as a JSON document. */
     std::string snapshotJson() const;
 
@@ -136,6 +149,7 @@ class MetricsRegistry
     std::map<std::string, const sim::StatGroup *> live_;
     std::map<std::string, sim::StatGroup> owned_;
     std::vector<std::pair<std::string, sim::StatGroup>> retained_;
+    std::vector<std::function<void()>> snapshotHooks_;
     int uniq_ = 0;
 
     // Periodic-flush thread state (flusherMutex_ only guards these;

@@ -1,0 +1,57 @@
+#include "obs/perf_export.hh"
+
+#include <mutex>
+#include <set>
+
+#include "obs/metrics.hh"
+#include "sim/perf_counters.hh"
+#include "sim/stats.hh"
+
+namespace fa3c::obs {
+
+namespace {
+
+/**
+ * The bridge's live StatGroup. Only ever mutated from the snapshot
+ * hook, which the registry runs under its own lock — the same lock
+ * that guards every reader of live groups.
+ */
+sim::StatGroup &
+perfGroup()
+{
+    // Immortal for the same reason as sim::perf(): the registry's
+    // exit-time export still reads this group through the hook.
+    static sim::StatGroup *group = new sim::StatGroup();
+    return *group;
+}
+
+void
+syncPerfGroup()
+{
+    sim::StatGroup &group = perfGroup();
+    sim::perf().forEachBank([&group](const sim::PerfBank &bank) {
+        for (const auto &[name, value] : bank.snapshot()) {
+            sim::Counter &c = group.counter(bank.name() + "." + name);
+            c.reset();
+            c.inc(value);
+        }
+    });
+}
+
+} // namespace
+
+void
+installPerfExport(MetricsRegistry &registry)
+{
+    static std::mutex installMutex;
+    static std::set<const MetricsRegistry *> installed;
+    {
+        std::lock_guard<std::mutex> lock(installMutex);
+        if (!installed.insert(&registry).second)
+            return;
+    }
+    registry.registerGroup("fa3c.perf", &perfGroup());
+    registry.addSnapshotHook(syncPerfGroup);
+}
+
+} // namespace fa3c::obs

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Bridge from the process-global perf-counter file (sim::perf())
+ * into the metrics registry. Installs a snapshot hook that copies
+ * every bank's counters into a live StatGroup named "fa3c.perf"
+ * (counter keys "<bank>.<counter>") immediately before each
+ * snapshot, so the JSON export and the Prometheus endpoint always
+ * see current hardware-counter values without the hot increment
+ * paths ever touching the registry lock.
+ */
+
+#ifndef FA3C_OBS_PERF_EXPORT_HH
+#define FA3C_OBS_PERF_EXPORT_HH
+
+namespace fa3c::obs {
+
+class MetricsRegistry;
+
+/**
+ * Install the sim::perf() bridge on @p registry (idempotent per
+ * registry; the global metrics() registry installs it automatically).
+ */
+void installPerfExport(MetricsRegistry &registry);
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_PERF_EXPORT_HH

@@ -1,0 +1,315 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "sim/stats.hh"
+
+namespace fa3c::obs {
+
+namespace {
+
+/** Per-site accumulator. Fields are relaxed atomics so the owning
+ * thread writes without a lock and snapshot readers never tear. */
+struct Accum
+{
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> totalNs{0};
+    std::atomic<std::uint64_t> maxNs{0};
+    std::atomic<std::uint64_t> childNs{0};
+
+    void
+    reset()
+    {
+        count.store(0, std::memory_order_relaxed);
+        totalNs.store(0, std::memory_order_relaxed);
+        maxNs.store(0, std::memory_order_relaxed);
+        childNs.store(0, std::memory_order_relaxed);
+    }
+};
+
+struct ThreadState;
+
+/** Global profiler state: the site table, the live-thread list, and
+ * retired-thread totals. Immortal — thread_local destructors and the
+ * metrics registry's exit-time export both touch it arbitrarily late. */
+struct Global
+{
+    std::mutex mutex;
+    std::vector<const char *> labels;     // index -> label
+    std::vector<ThreadState *> threads;   // live threads
+    std::array<Accum, kMaxProfSites> retired; // totals of exited threads
+};
+
+Global &
+global()
+{
+    static Global *g = new Global();
+    return *g;
+}
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> *flag = [] {
+        auto *f = new std::atomic<bool>(false);
+        if (const char *env = std::getenv("FA3C_PROF");
+            env && *env && *env != '0')
+            f->store(true, std::memory_order_relaxed);
+        return f;
+    }();
+    return *flag;
+}
+
+/** One live scope on a thread's stack. */
+struct Frame
+{
+    int site;
+    std::uint64_t childNs;
+};
+
+struct ThreadState
+{
+    std::array<Accum, kMaxProfSites> accum;
+    std::vector<Frame> stack;
+
+    ThreadState()
+    {
+        stack.reserve(32);
+        Global &g = global();
+        std::lock_guard<std::mutex> lock(g.mutex);
+        g.threads.push_back(this);
+    }
+
+    ~ThreadState()
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lock(g.mutex);
+        for (int i = 0; i < kMaxProfSites; ++i) {
+            const Accum &a = accum[i];
+            Accum &r = g.retired[i];
+            r.count.fetch_add(
+                a.count.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            r.totalNs.fetch_add(
+                a.totalNs.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            r.childNs.fetch_add(
+                a.childNs.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            const std::uint64_t m =
+                a.maxNs.load(std::memory_order_relaxed);
+            if (m > r.maxNs.load(std::memory_order_relaxed))
+                r.maxNs.store(m, std::memory_order_relaxed);
+        }
+        g.threads.erase(
+            std::find(g.threads.begin(), g.threads.end(), this));
+    }
+};
+
+ThreadState &
+threadState()
+{
+    thread_local ThreadState state;
+    return state;
+}
+
+void
+mergeInto(std::array<ProfSiteStats, kMaxProfSites> &out,
+          const std::array<Accum, kMaxProfSites> &in)
+{
+    for (int i = 0; i < kMaxProfSites; ++i) {
+        out[i].count += in[i].count.load(std::memory_order_relaxed);
+        out[i].totalNs +=
+            in[i].totalNs.load(std::memory_order_relaxed);
+        out[i].childNs +=
+            in[i].childNs.load(std::memory_order_relaxed);
+        out[i].maxNs =
+            std::max(out[i].maxNs,
+                     in[i].maxNs.load(std::memory_order_relaxed));
+    }
+}
+
+} // namespace
+
+bool
+profilingEnabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+void
+setProfilingEnabled(bool on)
+{
+    enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+ProfSite::ProfSite(const char *label) : label_(label), index_(-1)
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    if (g.labels.size() < kMaxProfSites) {
+        index_ = static_cast<int>(g.labels.size());
+        g.labels.push_back(label);
+    }
+}
+
+void
+ProfScope::enter()
+{
+    ThreadState &ts = threadState();
+    ts.stack.push_back(Frame{site_->index(), 0});
+}
+
+void
+ProfScope::record()
+{
+    const auto end = std::chrono::steady_clock::now();
+    const std::uint64_t elapsed = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                             start_)
+            .count());
+    ThreadState &ts = threadState();
+    const int site = site_->index();
+
+    // Scopes are strictly nested per thread, so our frame is the top
+    // of the stack; it holds the time our direct children recorded.
+    std::uint64_t childNs = 0;
+    if (!ts.stack.empty() && ts.stack.back().site == site) {
+        childNs = ts.stack.back().childNs;
+        ts.stack.pop_back();
+    }
+
+    Accum &a = ts.accum[site];
+    a.count.fetch_add(1, std::memory_order_relaxed);
+    a.totalNs.fetch_add(elapsed, std::memory_order_relaxed);
+    a.childNs.fetch_add(childNs, std::memory_order_relaxed);
+    if (elapsed > a.maxNs.load(std::memory_order_relaxed))
+        a.maxNs.store(elapsed, std::memory_order_relaxed);
+
+    // Attribute our elapsed time to the enclosing scope, if any.
+    if (!ts.stack.empty())
+        ts.stack.back().childNs += elapsed;
+}
+
+std::map<std::string, ProfSiteStats>
+profSnapshot()
+{
+    Global &g = global();
+    std::array<ProfSiteStats, kMaxProfSites> merged{};
+    std::vector<const char *> labels;
+    {
+        std::lock_guard<std::mutex> lock(g.mutex);
+        labels = g.labels;
+        mergeInto(merged, g.retired);
+        for (const ThreadState *ts : g.threads)
+            mergeInto(merged, ts->accum);
+    }
+    std::map<std::string, ProfSiteStats> out;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (merged[i].count)
+            out.emplace(labels[i], merged[i]);
+    }
+    return out;
+}
+
+void
+profReset()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    for (auto &a : g.retired)
+        a.reset();
+    for (ThreadState *ts : g.threads)
+        for (auto &a : ts->accum)
+            a.reset();
+}
+
+std::string
+profReport()
+{
+    const auto snap = profSnapshot();
+    // Sort by self time, heaviest first.
+    std::vector<std::pair<std::string, ProfSiteStats>> rows(
+        snap.begin(), snap.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.selfNs() > b.second.selfNs();
+              });
+    std::ostringstream os;
+    os << "# fa3c profiler ("
+       << (profilingEnabled() ? "enabled" : "disabled") << ")\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-32s %10s %12s %12s %12s %12s\n",
+                  "site", "count", "total_ms", "self_ms", "avg_us",
+                  "max_us");
+    os << buf;
+    for (const auto &[label, s] : rows) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-32s %10llu %12.3f %12.3f %12.3f %12.3f\n",
+            label.c_str(),
+            static_cast<unsigned long long>(s.count),
+            static_cast<double>(s.totalNs) / 1e6,
+            static_cast<double>(s.selfNs()) / 1e6,
+            s.count ? static_cast<double>(s.totalNs) / 1e3 /
+                          static_cast<double>(s.count)
+                    : 0.0,
+            static_cast<double>(s.maxNs) / 1e3);
+        os << buf;
+    }
+    return os.str();
+}
+
+namespace {
+
+sim::StatGroup &
+profGroup()
+{
+    // Immortal: read by the metrics registry's exit-time export.
+    static sim::StatGroup *group = new sim::StatGroup();
+    return *group;
+}
+
+void
+syncProfGroup()
+{
+    sim::StatGroup &group = profGroup();
+    for (const auto &[label, s] : profSnapshot()) {
+        auto set = [&group, &label](const char *stat,
+                                    std::uint64_t v) {
+            sim::Counter &c = group.counter(label + "." + stat);
+            c.reset();
+            c.inc(v);
+        };
+        set("count", s.count);
+        set("total_ns", s.totalNs);
+        set("self_ns", s.selfNs());
+        set("max_ns", s.maxNs);
+    }
+}
+
+} // namespace
+
+void
+installProfileExport(MetricsRegistry &registry)
+{
+    static std::mutex installMutex;
+    static std::set<const MetricsRegistry *> installed;
+    {
+        std::lock_guard<std::mutex> lock(installMutex);
+        if (!installed.insert(&registry).second)
+            return;
+    }
+    registry.registerGroup("prof", &profGroup());
+    registry.addSnapshotHook(syncProfGroup);
+}
+
+} // namespace fa3c::obs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Host-side scoped profiler.
+ *
+ * FA3C_PROF_SCOPE("label") drops an RAII ProfScope into a function:
+ * while profiling is enabled it records count / total / max wall time
+ * per labelled site, aggregated thread-locally so hot paths (kernel
+ * inner loops, serve workers) never contend on a shared lock. Each
+ * scope also accounts its elapsed time to the enclosing scope's
+ * child total, so reports can show self time (total minus children)
+ * separately from inclusive time.
+ *
+ * When disabled (the default), a scope costs one relaxed atomic load
+ * and a branch — cheap enough to compile into release builds
+ * unconditionally. Enable with FA3C_PROF=1 in the environment or
+ * setProfilingEnabled(true) at runtime.
+ *
+ * Sites are identified by function-local static ProfSite objects, so
+ * label lookup happens once per site, not per invocation. The site
+ * table is bounded (kMaxProfSites); sites past the bound are silently
+ * dropped rather than slowing the hot path with a dynamic map.
+ *
+ * Aggregation: per-thread accumulator slabs are registered in a
+ * global list; profSnapshot() merges live threads and retired-thread
+ * totals. Accumulator fields are relaxed atomics, so readers never
+ * block writers and a concurrent snapshot is only ever "slightly
+ * stale", not corrupt.
+ */
+
+#ifndef FA3C_OBS_PROFILE_HH
+#define FA3C_OBS_PROFILE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fa3c::obs {
+
+class MetricsRegistry;
+
+/** Upper bound on distinct FA3C_PROF_SCOPE sites in one binary. */
+constexpr int kMaxProfSites = 256;
+
+/** Is scope recording currently on? (relaxed atomic read) */
+bool profilingEnabled();
+
+/** Turn scope recording on or off at runtime. */
+void setProfilingEnabled(bool on);
+
+/** One instrumentation site; create as a function-local static. */
+class ProfSite
+{
+  public:
+    explicit ProfSite(const char *label);
+
+    ProfSite(const ProfSite &) = delete;
+    ProfSite &operator=(const ProfSite &) = delete;
+
+    const char *label() const { return label_; }
+
+    /** Slot in the per-thread accumulator slab; -1 when the site
+     * table was full and this site is not recorded. */
+    int index() const { return index_; }
+
+  private:
+    const char *label_;
+    int index_;
+};
+
+/** RAII timer for one dynamic entry into a site. */
+class ProfScope
+{
+  public:
+    explicit ProfScope(ProfSite &site)
+    {
+        if (!profilingEnabled() || site.index() < 0)
+            return;
+        site_ = &site;
+        enter();
+        // Stamp after enter() so the frame push is not timed.
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ProfScope()
+    {
+        if (site_)
+            record();
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    ProfSite *site_ = nullptr;
+    std::chrono::steady_clock::time_point start_;
+
+    void enter();
+    void record();
+};
+
+/** Aggregated stats for one site across all threads. */
+struct ProfSiteStats
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t maxNs = 0;
+    std::uint64_t childNs = 0;
+
+    std::uint64_t
+    selfNs() const
+    {
+        return totalNs >= childNs ? totalNs - childNs : 0;
+    }
+};
+
+/** Merge every thread's accumulators, keyed by site label. */
+std::map<std::string, ProfSiteStats> profSnapshot();
+
+/** Zero all accumulators (live threads and retired totals). */
+void profReset();
+
+/** Human-readable roll-up table (the /profilez payload). */
+std::string profReport();
+
+/**
+ * Register the profiler bridge on @p registry (idempotent per
+ * registry): a live StatGroup "prof" with per-site counters
+ * <label>.count / .total_ns / .self_ns / .max_ns, synced by a
+ * snapshot hook.
+ */
+void installProfileExport(MetricsRegistry &registry);
+
+} // namespace fa3c::obs
+
+// Token-pasting helpers so two scopes can share a line if needed.
+#define FA3C_PROF_CONCAT2(a, b) a##b
+#define FA3C_PROF_CONCAT(a, b) FA3C_PROF_CONCAT2(a, b)
+
+/** Profile the rest of the enclosing scope under @p label. */
+#define FA3C_PROF_SCOPE(label)                                        \
+    static ::fa3c::obs::ProfSite FA3C_PROF_CONCAT(fa3cProfSite_,      \
+                                                  __LINE__)(label);   \
+    ::fa3c::obs::ProfScope FA3C_PROF_CONCAT(fa3cProfScope_, __LINE__)( \
+        FA3C_PROF_CONCAT(fa3cProfSite_, __LINE__))
+
+#endif // FA3C_OBS_PROFILE_HH

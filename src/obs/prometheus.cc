@@ -43,6 +43,22 @@ promSanitize(std::string_view name)
 }
 
 std::string
+promEscapeLabelValue(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
 PromWriter::header(std::string_view name, const char *type,
                    std::string_view help)
 {
@@ -68,6 +84,43 @@ PromWriter::counter(std::string_view name, std::uint64_t value,
                     std::string_view help)
 {
     os_ << header(name, "counter", help) << ' ' << value << '\n';
+}
+
+void
+PromWriter::labelSet(std::span<const PromLabel> labels)
+{
+    if (labels.empty())
+        return;
+    os_ << '{';
+    bool first = true;
+    for (const auto &label : labels) {
+        if (!first)
+            os_ << ',';
+        first = false;
+        os_ << promSanitize(label.key) << "=\""
+            << promEscapeLabelValue(label.value) << '"';
+    }
+    os_ << '}';
+}
+
+void
+PromWriter::gauge(std::string_view name,
+                  std::span<const PromLabel> labels, double value,
+                  std::string_view help)
+{
+    os_ << header(name, "gauge", help);
+    labelSet(labels);
+    os_ << ' ' << promNumber(value) << '\n';
+}
+
+void
+PromWriter::counter(std::string_view name,
+                    std::span<const PromLabel> labels,
+                    std::uint64_t value, std::string_view help)
+{
+    os_ << header(name, "counter", help);
+    labelSet(labels);
+    os_ << ' ' << value << '\n';
 }
 
 void

@@ -16,8 +16,10 @@
 #define FA3C_OBS_PROMETHEUS_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <ostream>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -29,6 +31,21 @@ class MetricsRegistry;
 
 /** Map @p name onto the Prometheus charset ([a-zA-Z0-9_:]). */
 std::string promSanitize(std::string_view name);
+
+/**
+ * Escape @p value for use inside a label-value string: backslash,
+ * double quote, and newline become \\, \", and \n per the exposition
+ * format (other characters pass through verbatim).
+ */
+std::string promEscapeLabelValue(std::string_view value);
+
+/** One key="value" label pair. The key must already be a valid label
+ * name; the value is escaped at render time. */
+struct PromLabel
+{
+    std::string_view key;
+    std::string_view value;
+};
 
 /** Streaming exposition-format writer. */
 class PromWriter
@@ -44,6 +61,31 @@ class PromWriter
     void counter(std::string_view name, std::uint64_t value,
                  std::string_view help = {});
 
+    /** Labelled gauge sample: name{k="v",...} value. A family may mix
+     * label sets across calls; HELP/TYPE are still emitted once. */
+    void gauge(std::string_view name,
+               std::span<const PromLabel> labels, double value,
+               std::string_view help = {});
+    void
+    gauge(std::string_view name,
+          std::initializer_list<PromLabel> labels, double value,
+          std::string_view help = {})
+    {
+        gauge(name, std::span<const PromLabel>(labels), value, help);
+    }
+
+    /** Labelled counter sample. */
+    void counter(std::string_view name,
+                 std::span<const PromLabel> labels, std::uint64_t value,
+                 std::string_view help = {});
+    void
+    counter(std::string_view name,
+            std::initializer_list<PromLabel> labels,
+            std::uint64_t value, std::string_view help = {})
+    {
+        counter(name, std::span<const PromLabel>(labels), value, help);
+    }
+
     /** Emit @p d as a cumulative-bucket histogram family. */
     void histogram(std::string_view name, const sim::Distribution &d,
                    std::string_view help = {});
@@ -55,6 +97,9 @@ class PromWriter
     /** Emit # HELP / # TYPE once per family; @return family name. */
     std::string header(std::string_view name, const char *type,
                        std::string_view help);
+
+    /** Render {k="v",...}; empty label sets render nothing. */
+    void labelSet(std::span<const PromLabel> labels);
 };
 
 /**

@@ -10,7 +10,9 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/build_info.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "obs/prometheus.hh"
 #include "sim/logging.hh"
 
@@ -134,6 +136,11 @@ TelemetryServer::handleConnection(int fd)
                      renderMetrics());
     } else if (target == "/healthz") {
         sendResponse(fd, 200, "OK", "text/plain", "ok\n");
+    } else if (target == "/profilez") {
+        sendResponse(fd, 200, "OK", "text/plain", profReport());
+    } else if (target == "/buildz") {
+        sendResponse(fd, 200, "OK", "application/json",
+                     buildInfoJson());
     } else if (target == "/readyz") {
         std::string body;
         const bool ready = renderReady(body);
@@ -145,7 +152,7 @@ TelemetryServer::handleConnection(int fd)
     } else {
         sendResponse(fd, 404, "Not Found", "text/plain",
                      "unknown path; try /metrics, /healthz, "
-                     "/readyz\n");
+                     "/readyz, /profilez, /buildz\n");
     }
 }
 
@@ -291,7 +298,7 @@ telemetry()
         // JSON export path configured.
         metrics().setEnabled(true);
         FA3C_INFORM("telemetry: serving /metrics /healthz /readyz "
-                    "on 127.0.0.1:",
+                    "/profilez /buildz on 127.0.0.1:",
                     server->port());
         return server;
     }();

@@ -6,8 +6,10 @@
 
 #include "nn/layers.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "obs/span.hh"
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 
 namespace fa3c::serve {
 
@@ -121,6 +123,25 @@ BatchScheduler::workerMain(int index)
         if (batch.empty())
             continue;
 
+        FA3C_PROF_SCOPE("serve.batch");
+        // Batch-underfill accounting: slots the policy allowed but the
+        // arrival rate could not fill.  A chronically underfilled
+        // scheduler wastes per-batch fixed cost the same way an
+        // underfilled CU wave wastes PE columns.
+        {
+            auto &bank = sim::perf().bank("serve");
+            static auto &batches = bank.counter("batches");
+            static auto &underfilled = bank.counter("underfilled_batches");
+            static auto &empty_slots = bank.counter("empty_batch_slots");
+            batches.fetch_add(1, std::memory_order_relaxed);
+            const auto cap = static_cast<std::size_t>(policy_.maxBatch);
+            if (batch.size() < cap) {
+                underfilled.fetch_add(1, std::memory_order_relaxed);
+                empty_slots.fetch_add(cap - batch.size(),
+                                      std::memory_order_relaxed);
+            }
+        }
+
         const auto t_formed = Clock::now();
         auto model = registry_.current();
         if (!model) {
@@ -148,7 +169,10 @@ BatchScheduler::workerMain(int index)
             act_ptrs.push_back(&acts[i]);
         }
         const auto t0 = Clock::now();
-        backend->forwardBatch(model->params, obs_ptrs, act_ptrs);
+        {
+            FA3C_PROF_SCOPE("serve.infer");
+            backend->forwardBatch(model->params, obs_ptrs, act_ptrs);
+        }
         const auto t1 = Clock::now();
         const double infer_us = usBetween(t0, t1);
         queue_.noteServiceTime(infer_us /

@@ -5,6 +5,7 @@
 #include "obs/metrics.hh"
 #include "obs/prometheus.hh"
 #include "sim/logging.hh"
+#include "sim/perf_counters.hh"
 
 namespace fa3c::serve {
 
@@ -199,6 +200,11 @@ PolicyServer::submit(const tensor::Tensor &obs,
             stats_.counter("admitted").inc();
         }
         obs::metrics().count("serve", "admitted");
+        auto &bank = sim::perf().bank("serve");
+        static auto &admits = bank.counter("admitted");
+        admits.fetch_add(1, std::memory_order_relaxed);
+        bank.maxOf("queue_depth_hwm",
+                   static_cast<std::uint64_t>(queue_.depth()));
         return future;
     }
     // admit() consumes the request only on success, so on the

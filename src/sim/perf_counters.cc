@@ -1,0 +1,153 @@
+#include "sim/perf_counters.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace fa3c::sim {
+
+std::atomic<std::uint64_t> &
+PerfBank::counter(std::string_view counter)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(counter);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(counter), 0).first;
+    return it->second;
+}
+
+void
+PerfBank::add(std::string_view name, std::uint64_t delta)
+{
+    counter(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+PerfBank::maxOf(std::string_view name, std::uint64_t v)
+{
+    auto &c = counter(name);
+    std::uint64_t cur = c.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !c.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+PerfBank::value(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end()
+               ? 0
+               : it->second.load(std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t>
+PerfBank::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, value] : counters_)
+        out.emplace(name, value.load(std::memory_order_relaxed));
+    return out;
+}
+
+PerfBank &
+PerfCounterFile::bank(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = banks_.find(name);
+    if (it == banks_.end()) {
+        it = banks_
+                 .try_emplace(std::string(name), std::string(name))
+                 .first;
+    }
+    return it->second;
+}
+
+PerfCounterFile::Snapshot
+PerfCounterFile::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot out;
+    for (const auto &[name, bank] : banks_)
+        out.emplace(name, bank.snapshot());
+    return out;
+}
+
+PerfCounterFile::Snapshot
+PerfCounterFile::delta(const Snapshot &newer, const Snapshot &older)
+{
+    Snapshot out;
+    for (const auto &[bank, counters] : newer) {
+        const auto old_bank = older.find(bank);
+        auto &out_bank = out[bank];
+        for (const auto &[name, value] : counters) {
+            std::uint64_t base = 0;
+            if (old_bank != older.end()) {
+                const auto old_counter = old_bank->second.find(name);
+                if (old_counter != old_bank->second.end())
+                    base = old_counter->second;
+            }
+            out_bank.emplace(name,
+                             value >= base ? value - base : 0);
+        }
+    }
+    return out;
+}
+
+void
+PerfCounterFile::absorb(const Snapshot &snap)
+{
+    for (const auto &[bank_name, counters] : snap) {
+        PerfBank &b = bank(bank_name);
+        for (const auto &[name, value] : counters) {
+            if (name.size() >= 4 &&
+                name.compare(name.size() - 4, 4, "_hwm") == 0)
+                b.maxOf(name, value);
+            else
+                b.add(name, value);
+        }
+    }
+}
+
+std::string
+PerfCounterFile::json() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"fa3c.perf.v1\",\"banks\":{";
+    bool first_bank = true;
+    forEachBank([&](const PerfBank &bank) {
+        os << (first_bank ? "\"" : ",\"") << bank.name() << "\":{";
+        first_bank = false;
+        bool first = true;
+        for (const auto &[name, value] : bank.snapshot()) {
+            os << (first ? "\"" : ",\"") << name << "\":" << value;
+            first = false;
+        }
+        os << "}";
+    });
+    os << "}}\n";
+    return os.str();
+}
+
+bool
+PerfCounterFile::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << json();
+    return out.good();
+}
+
+PerfCounterFile &
+perf()
+{
+    // Intentionally immortal: exit-time exporters (metrics registry
+    // destructor, telemetry scrapes racing shutdown) may read it
+    // after any ordinary static would already be destroyed.
+    static PerfCounterFile *global = new PerfCounterFile();
+    return *global;
+}
+
+} // namespace fa3c::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Hardware-style performance-counter file.
+ *
+ * A PerfCounterFile is a set of named counter banks, one bank per
+ * component ("cu0", "dram.ch1", "tlu", ...). Each bank holds named
+ * uint64 counters with relaxed-atomic increments, so instrumentation
+ * sites are a single cached-pointer add — cheap enough to leave on
+ * permanently, and safe from concurrent threads (trainer agents,
+ * serve workers). Structure mutation (creating a bank or counter) is
+ * mutex-guarded; both maps are node-based so cached references stay
+ * valid for the life of the file.
+ *
+ * Snapshot/delta semantics mirror real PMU usage: snapshot() copies
+ * every counter at one point in time, delta() subtracts an older
+ * snapshot so a caller can attribute exactly what happened inside a
+ * region (counters are monotone, so deltas are exact, not sampled).
+ *
+ * The process-global file (sim::perf()) collects counters from
+ * components that have no natural owner — the functional PE-array /
+ * TLU / RMSProp / line-buffer models and the serving layer — and is
+ * bridged into the metrics registry (group "fa3c.perf") and the
+ * Prometheus endpoint by the obs layer. Simulated platforms own a
+ * private file instead so per-run attribution never mixes across
+ * measurements.
+ */
+
+#ifndef FA3C_SIM_PERF_COUNTERS_HH
+#define FA3C_SIM_PERF_COUNTERS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace fa3c::sim {
+
+/** One component's bank of named uint64 counters. */
+class PerfBank
+{
+  public:
+    explicit PerfBank(std::string name) : name_(std::move(name)) {}
+
+    PerfBank(const PerfBank &) = delete;
+    PerfBank &operator=(const PerfBank &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Get or create the counter called @p counter. The returned
+     * reference is stable for the bank's lifetime — hot sites cache
+     * it and increment lock-free.
+     */
+    std::atomic<std::uint64_t> &counter(std::string_view counter);
+
+    /** Add @p delta to @p counter (looks the counter up each call). */
+    void add(std::string_view counter, std::uint64_t delta = 1);
+
+    /** Raise @p counter to @p v if @p v is larger (high-water mark). */
+    void maxOf(std::string_view counter, std::uint64_t v);
+
+    /** Current value of @p counter; 0 when it does not exist. */
+    std::uint64_t value(std::string_view counter) const;
+
+    /** Point-in-time copy of every counter in the bank. */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+  private:
+    std::string name_;
+    mutable std::mutex mutex_; ///< guards map structure only
+    std::map<std::string, std::atomic<std::uint64_t>, std::less<>>
+        counters_;
+};
+
+/** A file of per-component counter banks. */
+class PerfCounterFile
+{
+  public:
+    /** bank name -> (counter name -> value). */
+    using Snapshot =
+        std::map<std::string, std::map<std::string, std::uint64_t>>;
+
+    PerfCounterFile() = default;
+    PerfCounterFile(const PerfCounterFile &) = delete;
+    PerfCounterFile &operator=(const PerfCounterFile &) = delete;
+
+    /** Get or create the bank called @p name (stable reference). */
+    PerfBank &bank(std::string_view name);
+
+    /** Point-in-time copy of every bank. */
+    Snapshot snapshot() const;
+
+    /**
+     * Counter-wise @p newer - @p older. Counters absent from
+     * @p older count from zero; counters absent from @p newer are
+     * dropped. Values are clamped at zero so a reset between
+     * snapshots never underflows.
+     */
+    static Snapshot delta(const Snapshot &newer, const Snapshot &older);
+
+    /**
+     * Fold @p snap into this file. Counters named `*_hwm` are raised
+     * (high-water marks stay maxima); every other counter is added.
+     * This is how a platform's private file rolls up into the global
+     * sim::perf() when its measurement finishes, so the metrics /
+     * Prometheus bridges see simulated-hardware counters too.
+     */
+    void absorb(const Snapshot &snap);
+
+    /** The whole file as one JSON document (schema fa3c.perf.v1). */
+    std::string json() const;
+
+    /** Serialize to @p path; @return false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+    /** Visit every bank under the file lock. */
+    template <typename Fn>
+    void
+    forEachBank(Fn &&fn) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, bank] : banks_)
+            fn(bank);
+    }
+
+  private:
+    mutable std::mutex mutex_; ///< guards bank map structure only
+    std::map<std::string, PerfBank, std::less<>> banks_;
+};
+
+/** The process-global counter file (always enabled; see file docs). */
+PerfCounterFile &perf();
+
+} // namespace fa3c::sim
+
+#endif // FA3C_SIM_PERF_COUNTERS_HH

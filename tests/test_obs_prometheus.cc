@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Prometheus exposition details: label-value escaping per the text
+ * format (backslash, double quote, newline) and labelled sample
+ * rendering, including HELP/TYPE emission across mixed label sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/prometheus.hh"
+
+using namespace fa3c;
+using obs::PromLabel;
+using obs::PromWriter;
+
+TEST(PromEscape, PassThroughPlainValues)
+{
+    EXPECT_EQ(obs::promEscapeLabelValue("inference"), "inference");
+    EXPECT_EQ(obs::promEscapeLabelValue(""), "");
+    EXPECT_EQ(obs::promEscapeLabelValue("a b:c/d"), "a b:c/d");
+}
+
+TEST(PromEscape, EscapesBackslash)
+{
+    EXPECT_EQ(obs::promEscapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::promEscapeLabelValue("\\\\"), "\\\\\\\\");
+}
+
+TEST(PromEscape, EscapesDoubleQuote)
+{
+    EXPECT_EQ(obs::promEscapeLabelValue("say \"hi\""),
+              "say \\\"hi\\\"");
+}
+
+TEST(PromEscape, EscapesNewline)
+{
+    EXPECT_EQ(obs::promEscapeLabelValue("line1\nline2"),
+              "line1\\nline2");
+}
+
+TEST(PromEscape, MixedSpecials)
+{
+    // Worst case: every special in one value, in order.
+    EXPECT_EQ(obs::promEscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PromWriter, LabelledGaugeRendersLabelSet)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    w.gauge("fa3c_cu_utilization", {{"cu", "inference"}}, 0.75,
+            "busy fraction");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# TYPE fa3c_cu_utilization gauge"),
+              std::string::npos);
+    EXPECT_NE(out.find("fa3c_cu_utilization{cu=\"inference\"} 0.75"),
+              std::string::npos);
+}
+
+TEST(PromWriter, LabelledFamilyEmitsTypeOnce)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    w.gauge("util", {{"cu", "inference"}}, 0.5, "help text");
+    w.gauge("util", {{"cu", "training"}}, 0.9);
+    const std::string out = os.str();
+    // One TYPE line, two samples.
+    EXPECT_EQ(out.find("# TYPE util gauge"),
+              out.rfind("# TYPE util gauge"));
+    EXPECT_NE(out.find("util{cu=\"inference\"} 0.5"),
+              std::string::npos);
+    EXPECT_NE(out.find("util{cu=\"training\"} 0.9"),
+              std::string::npos);
+}
+
+TEST(PromWriter, LabelValueEscapedAtRender)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    w.gauge("g", {{"path", "C:\\dir\"x\"\nend"}}, 1.0);
+    EXPECT_NE(
+        os.str().find("g{path=\"C:\\\\dir\\\"x\\\"\\nend\"} 1"),
+        std::string::npos);
+}
+
+TEST(PromWriter, MultipleLabelsCommaSeparated)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    w.counter("reqs", {{"cu", "inference"}, {"status", "ok"}}, 42u);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("reqs{cu=\"inference\",status=\"ok\"} 42"),
+              std::string::npos);
+    EXPECT_NE(out.find("# TYPE reqs counter"), std::string::npos);
+}
+
+TEST(PromWriter, LabelKeysSanitized)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    w.gauge("g2", {{"bad-key", "v"}}, 2.0);
+    // '-' is not a valid label-name char; it must be mapped onto the
+    // Prometheus charset instead of emitted raw.
+    EXPECT_EQ(os.str().find("bad-key"), std::string::npos);
+    EXPECT_NE(os.str().find("bad_key=\"v\""), std::string::npos);
+}
+
+TEST(PromWriter, EmptyLabelSpanFallsBackToBareSample)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    w.gauge("plain", std::span<const PromLabel>{}, 3.0);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("plain 3"), std::string::npos);
+    EXPECT_EQ(out.find('{'), std::string::npos);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SloMonitor rolling-window behavior under an injectable clock: the
+ * snapshot must reflect only the last windowSec seconds, slices must
+ * recycle as time marches, and the burn rate must rise and fall with
+ * the windowed miss ratio.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "obs/slo.hh"
+
+using namespace fa3c;
+using obs::SloMonitor;
+using std::chrono::steady_clock;
+
+namespace {
+
+/** Manually advanced clock for deterministic window tests. */
+struct FakeClock
+{
+    steady_clock::time_point now = steady_clock::time_point{} +
+                                   std::chrono::hours(1);
+    void
+    advance(double seconds)
+    {
+        now += std::chrono::duration_cast<steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    }
+};
+
+SloMonitor::Config
+testConfig()
+{
+    SloMonitor::Config cfg;
+    cfg.windowSec = 12.0;
+    cfg.slices = 12; // one-second slices
+    cfg.missBudget = 0.1;
+    cfg.name = "test";
+    return cfg;
+}
+
+} // namespace
+
+TEST(SloMonitor, CountsWithinWindow)
+{
+    FakeClock clock;
+    SloMonitor slo(testConfig());
+    slo.setClock([&clock] { return clock.now; });
+
+    for (int i = 0; i < 10; ++i)
+        slo.recordServed(1000.0, false);
+    const auto snap = slo.snapshot();
+    EXPECT_EQ(snap.served, 10u);
+    EXPECT_EQ(snap.missed, 0u);
+    EXPECT_DOUBLE_EQ(snap.burn, 0.0);
+    EXPECT_GT(snap.p50Us, 0.0);
+}
+
+TEST(SloMonitor, RolloverDropsOldSlices)
+{
+    FakeClock clock;
+    SloMonitor slo(testConfig());
+    slo.setClock([&clock] { return clock.now; });
+
+    // Ten misses now...
+    for (int i = 0; i < 10; ++i)
+        slo.recordServed(1000.0, true);
+    EXPECT_GT(slo.snapshot().burn, 1.0);
+
+    // ...then march time one slice at a time, serving cleanly. The
+    // misses age out with their slices: after a full window they are
+    // gone entirely.
+    for (int s = 0; s < 13; ++s) {
+        clock.advance(1.0);
+        slo.recordServed(500.0, false);
+    }
+    const auto snap = slo.snapshot();
+    EXPECT_EQ(snap.missed, 0u);
+    EXPECT_DOUBLE_EQ(snap.burn, 0.0);
+    // Only the in-window clean serves remain (13 recorded, but the
+    // first is now outside the 12 s window).
+    EXPECT_LE(snap.served, 13u);
+    EXPECT_GE(snap.served, 11u);
+}
+
+TEST(SloMonitor, LongGapClearsWholeWindow)
+{
+    FakeClock clock;
+    SloMonitor slo(testConfig());
+    slo.setClock([&clock] { return clock.now; });
+
+    for (int i = 0; i < 50; ++i)
+        slo.recordServed(2000.0, true);
+    slo.recordTimedOut();
+    EXPECT_GT(slo.snapshot().missed, 0u);
+
+    // An idle gap longer than the window leaves nothing behind.
+    clock.advance(100.0);
+    const auto snap = slo.snapshot();
+    EXPECT_EQ(snap.served, 0u);
+    EXPECT_EQ(snap.missed, 0u);
+    EXPECT_EQ(snap.timedOut, 0u);
+    EXPECT_DOUBLE_EQ(snap.missRatio, 0.0);
+}
+
+TEST(SloMonitor, PartialExpiryKeepsRecentMisses)
+{
+    FakeClock clock;
+    SloMonitor slo(testConfig());
+    slo.setClock([&clock] { return clock.now; });
+
+    slo.recordServed(1000.0, true); // old miss
+    clock.advance(6.0);
+    slo.recordServed(1000.0, true); // recent miss
+    clock.advance(7.0);             // first miss now expired
+    const auto snap = slo.snapshot();
+    EXPECT_EQ(snap.missed, 1u);
+    EXPECT_EQ(snap.served, 1u);
+}
+
+TEST(SloMonitor, RejectionsTrackedSeparatelyFromMisses)
+{
+    FakeClock clock;
+    SloMonitor slo(testConfig());
+    slo.setClock([&clock] { return clock.now; });
+
+    slo.recordServed(1000.0, false);
+    slo.recordRejected();
+    slo.recordRejected();
+    const auto snap = slo.snapshot();
+    EXPECT_EQ(snap.rejected, 2u);
+    EXPECT_EQ(snap.missed, 0u);
+    EXPECT_DOUBLE_EQ(snap.burn, 0.0);
+}
+
+TEST(SloMonitor, TimedOutCountsAsMiss)
+{
+    FakeClock clock;
+    SloMonitor slo(testConfig());
+    slo.setClock([&clock] { return clock.now; });
+
+    for (int i = 0; i < 9; ++i)
+        slo.recordServed(1000.0, false);
+    slo.recordTimedOut();
+    const auto snap = slo.snapshot();
+    EXPECT_EQ(snap.timedOut, 1u);
+    EXPECT_EQ(snap.missed, 1u);
+    // 1 miss / 10 attempts = exactly the 0.1 budget.
+    EXPECT_DOUBLE_EQ(snap.missRatio, 0.1);
+    EXPECT_DOUBLE_EQ(snap.burn, 1.0);
+}

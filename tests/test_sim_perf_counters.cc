@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "sim/perf_counters.hh"
+
+using namespace fa3c;
+
+TEST(PerfBank, AddAndValue)
+{
+    sim::PerfCounterFile file;
+    sim::PerfBank &bank = file.bank("cu0");
+    EXPECT_EQ(bank.value("busy_ticks"), 0u);
+    bank.add("busy_ticks");
+    bank.add("busy_ticks", 41);
+    EXPECT_EQ(bank.value("busy_ticks"), 42u);
+}
+
+TEST(PerfBank, MaxOfKeepsHighWaterMark)
+{
+    sim::PerfCounterFile file;
+    sim::PerfBank &bank = file.bank("queue");
+    bank.maxOf("depth_hwm", 3);
+    bank.maxOf("depth_hwm", 7);
+    bank.maxOf("depth_hwm", 5);
+    EXPECT_EQ(bank.value("depth_hwm"), 7u);
+}
+
+TEST(PerfBank, CounterReferenceIsStable)
+{
+    sim::PerfCounterFile file;
+    auto &c = file.bank("b").counter("x");
+    c.fetch_add(5, std::memory_order_relaxed);
+    // A second lookup must alias the same atomic.
+    file.bank("b").add("x", 1);
+    EXPECT_EQ(c.load(), 6u);
+}
+
+TEST(PerfCounterFile, SnapshotCopiesAllBanks)
+{
+    sim::PerfCounterFile file;
+    file.bank("a").add("one", 1);
+    file.bank("b").add("two", 2);
+    const auto snap = file.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.at("a").at("one"), 1u);
+    EXPECT_EQ(snap.at("b").at("two"), 2u);
+}
+
+TEST(PerfCounterFile, AbsorbAddsCountersAndMaxesHwms)
+{
+    sim::PerfCounterFile priv;
+    priv.bank("cu0").add("busy_ticks", 100);
+    priv.bank("cu0").maxOf("queue_depth_hwm", 4);
+
+    sim::PerfCounterFile global;
+    global.bank("cu0").add("busy_ticks", 7);
+    global.bank("cu0").maxOf("queue_depth_hwm", 9);
+    global.absorb(priv.snapshot());
+
+    // Plain counters accumulate; high-water marks take the max.
+    EXPECT_EQ(global.bank("cu0").value("busy_ticks"), 107u);
+    EXPECT_EQ(global.bank("cu0").value("queue_depth_hwm"), 9u);
+    global.absorb(priv.snapshot());
+    EXPECT_EQ(global.bank("cu0").value("busy_ticks"), 207u);
+
+    // Absorb creates banks that did not exist yet.
+    sim::PerfCounterFile fresh;
+    fresh.absorb(priv.snapshot());
+    EXPECT_EQ(fresh.bank("cu0").value("busy_ticks"), 100u);
+    EXPECT_EQ(fresh.bank("cu0").value("queue_depth_hwm"), 4u);
+}
+
+TEST(PerfCounterFile, DeltaIsMonotoneClamped)
+{
+    sim::PerfCounterFile file;
+    file.bank("a").add("c", 10);
+    const auto before = file.snapshot();
+    file.bank("a").add("c", 5);
+    file.bank("a").add("fresh", 3);
+    const auto after = file.snapshot();
+    const auto delta = sim::PerfCounterFile::delta(after, before);
+    EXPECT_EQ(delta.at("a").at("c"), 5u);
+    EXPECT_EQ(delta.at("a").at("fresh"), 3u);
+    // Reversed arguments clamp to zero rather than wrapping.
+    const auto reversed = sim::PerfCounterFile::delta(before, after);
+    EXPECT_EQ(reversed.at("a").at("c"), 0u);
+}
+
+TEST(PerfCounterFile, JsonRoundTripsThroughParser)
+{
+    sim::PerfCounterFile file;
+    file.bank("cu0").add("busy_ticks", 123);
+    file.bank("dram0").add("bytes", 4096);
+    const obs::Json doc = obs::parseJson(file.json());
+    EXPECT_EQ(doc.stringOr("schema", ""), "fa3c.perf.v1");
+    EXPECT_EQ(doc.at("banks")
+                  .at("cu0")
+                  .at("busy_ticks")
+                  .asNumber(),
+              123.0);
+    EXPECT_EQ(doc.at("banks").at("dram0").at("bytes").asNumber(),
+              4096.0);
+}
+
+TEST(PerfCounterFile, ConcurrentAddsDontLoseCounts)
+{
+    sim::PerfCounterFile file;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&file] {
+            auto &c = file.bank("hot").counter("adds");
+            for (int i = 0; i < kIters; ++i)
+                c.fetch_add(1, std::memory_order_relaxed);
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(file.bank("hot").value("adds"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(PerfCounterFile, GlobalFileIsSingleInstance)
+{
+    auto &a = sim::perf();
+    auto &b = sim::perf();
+    EXPECT_EQ(&a, &b);
+}

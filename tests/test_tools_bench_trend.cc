@@ -1,0 +1,242 @@
+/**
+ * @file
+ * bench_trend library tests: BENCH json parsing, history round-trip
+ * through the JSONL format, rolling-median baselines, and the
+ * regression gate on a synthetic 15% drop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "bench_trend/bench_trend.hh"
+
+using namespace fa3c::tools;
+
+namespace {
+
+/** Temp directory wiped at scope exit. */
+struct TempDir
+{
+    std::filesystem::path path;
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("bench_trend_test_" +
+                std::to_string(static_cast<unsigned long>(getpid())));
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+HistoryEntry
+entryWith(const std::string &sha, double fw, double batch)
+{
+    HistoryEntry e;
+    e.sha = sha;
+    e.config = "default";
+    e.metrics = {{"fw_speedup_e2e", fw}, {"batch16_fw_speedup", batch}};
+    return e;
+}
+
+BenchRun
+runWith(double fw)
+{
+    BenchRun run;
+    run.bench = "nn_kernels";
+    run.metrics = {{"fw_speedup_e2e", fw}};
+    return run;
+}
+
+const MetricSpec kFwGate{"fw_speedup_e2e", true, 10.0};
+
+} // namespace
+
+TEST(BenchTrend, ParsesBenchJson)
+{
+    const BenchRun run = parseBenchJson(
+        R"({"schema":"fa3c.bench.v1","bench":"nn_kernels",)"
+        R"("fw_speedup_e2e":3.2,"reps":30,"net":"wide",)"
+        R"("rows":[{"layer":"conv1","fast_ms":0.5}]})");
+    EXPECT_EQ(run.bench, "nn_kernels");
+    EXPECT_DOUBLE_EQ(run.metrics.at("fw_speedup_e2e"), 3.2);
+    EXPECT_DOUBLE_EQ(run.metrics.at("reps"), 30.0);
+    // Strings and rows are not metrics.
+    EXPECT_EQ(run.metrics.count("net"), 0u);
+    EXPECT_EQ(run.metrics.count("rows"), 0u);
+}
+
+TEST(BenchTrend, RejectsWrongSchema)
+{
+    EXPECT_THROW(parseBenchJson(R"({"schema":"other","bench":"x"})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseBenchJson(R"({"schema":"fa3c.bench.v1"})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseBenchJson("not json"), std::runtime_error);
+}
+
+TEST(BenchTrend, HistoryRoundTrips)
+{
+    TempDir dir;
+    ASSERT_TRUE(appendHistory(dir.str(), "nn_kernels",
+                              entryWith("aaa111", 3.0, 5.0)));
+    ASSERT_TRUE(appendHistory(dir.str(), "nn_kernels",
+                              entryWith("bbb222", 3.2, 5.5)));
+
+    const auto history =
+        loadHistory(dir.str() + "/nn_kernels.jsonl");
+    ASSERT_EQ(history.size(), 2u);
+    EXPECT_EQ(history[0].sha, "aaa111");
+    EXPECT_EQ(history[1].sha, "bbb222");
+    EXPECT_EQ(history[0].config, "default");
+    EXPECT_DOUBLE_EQ(history[0].metrics.at("fw_speedup_e2e"), 3.0);
+    EXPECT_DOUBLE_EQ(history[1].metrics.at("batch16_fw_speedup"),
+                     5.5);
+}
+
+TEST(BenchTrend, MissingHistoryFileIsEmpty)
+{
+    EXPECT_TRUE(loadHistory("/nonexistent/path/x.jsonl").empty());
+}
+
+TEST(BenchTrend, CorruptHistoryThrows)
+{
+    TempDir dir;
+    const std::string path = dir.str() + "/bad.jsonl";
+    std::ofstream(path) << "{\"schema\":\"fa3c.benchtrend.v1\","
+                           "\"metrics\":{}}\nnot json\n";
+    EXPECT_THROW(loadHistory(path), std::runtime_error);
+}
+
+TEST(BenchTrend, MetricSpecParsing)
+{
+    auto spec = parseMetricSpec("fw_speedup_e2e:higher:10");
+    ASSERT_TRUE(spec);
+    EXPECT_EQ(spec->name, "fw_speedup_e2e");
+    EXPECT_TRUE(spec->higherIsBetter);
+    EXPECT_DOUBLE_EQ(spec->tolerancePct, 10.0);
+
+    spec = parseMetricSpec("p99_us:lower:25.5");
+    ASSERT_TRUE(spec);
+    EXPECT_FALSE(spec->higherIsBetter);
+    EXPECT_DOUBLE_EQ(spec->tolerancePct, 25.5);
+
+    // Direction without tolerance keeps the default.
+    spec = parseMetricSpec("x:higher");
+    ASSERT_TRUE(spec);
+    EXPECT_DOUBLE_EQ(spec->tolerancePct, 10.0);
+
+    EXPECT_FALSE(parseMetricSpec("noseparator"));
+    EXPECT_FALSE(parseMetricSpec("x:sideways"));
+    EXPECT_FALSE(parseMetricSpec("x:higher:abc"));
+    EXPECT_FALSE(parseMetricSpec("x:higher:-5"));
+    EXPECT_FALSE(parseMetricSpec(":higher"));
+}
+
+TEST(BenchTrend, RollingBaselineIsMedianOfWindow)
+{
+    std::vector<HistoryEntry> history;
+    for (double v : {1.0, 100.0, 3.0, 3.2, 3.1})
+        history.push_back(entryWith("sha", v, 0.0));
+    // Window 3: last three values {3.0, 3.2, 3.1} -> median 3.1.
+    auto base = rollingBaseline(history, "fw_speedup_e2e", 3);
+    ASSERT_TRUE(base);
+    EXPECT_DOUBLE_EQ(*base, 3.1);
+    // Window 5 includes the 100.0 outlier but the median shrugs.
+    base = rollingBaseline(history, "fw_speedup_e2e", 5);
+    ASSERT_TRUE(base);
+    EXPECT_DOUBLE_EQ(*base, 3.1);
+    EXPECT_FALSE(rollingBaseline(history, "absent", 3));
+    EXPECT_FALSE(rollingBaseline({}, "fw_speedup_e2e", 3));
+}
+
+TEST(BenchTrend, DetectsSyntheticFifteenPercentRegression)
+{
+    // Stable history at ~3.2x, then a run at 15% below: with a 10%
+    // gate that is a regression.
+    std::vector<HistoryEntry> history;
+    for (double v : {3.18, 3.22, 3.20, 3.19, 3.21})
+        history.push_back(entryWith("sha", v, 5.0));
+
+    const auto results =
+        compare(history, runWith(3.20 * 0.85), {kFwGate}, 5);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].missing);
+    EXPECT_TRUE(results[0].regression);
+    EXPECT_DOUBLE_EQ(results[0].baseline, 3.20);
+    EXPECT_NEAR(results[0].deltaPct, -15.0, 0.01);
+}
+
+TEST(BenchTrend, PassesWithinTolerance)
+{
+    std::vector<HistoryEntry> history;
+    for (double v : {3.18, 3.22, 3.20})
+        history.push_back(entryWith("sha", v, 5.0));
+
+    // 5% below baseline: inside the 10% gate.
+    auto results = compare(history, runWith(3.20 * 0.95), {kFwGate}, 5);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].regression);
+
+    // Improvements never regress, however large.
+    results = compare(history, runWith(9.0), {kFwGate}, 5);
+    EXPECT_FALSE(results[0].regression);
+}
+
+TEST(BenchTrend, LowerIsBetterDirection)
+{
+    const MetricSpec gate{"p99_us", false, 10.0};
+    std::vector<HistoryEntry> history;
+    for (double v : {100.0, 102.0, 98.0}) {
+        HistoryEntry e;
+        e.metrics = {{"p99_us", v}};
+        history.push_back(std::move(e));
+    }
+    BenchRun run;
+    run.bench = "serve";
+    run.metrics = {{"p99_us", 120.0}}; // 20% worse
+    auto results = compare(history, run, {gate}, 5);
+    EXPECT_TRUE(results[0].regression);
+    run.metrics = {{"p99_us", 80.0}}; // 20% better
+    results = compare(history, run, {gate}, 5);
+    EXPECT_FALSE(results[0].regression);
+}
+
+TEST(BenchTrend, NoBaselineNeverFails)
+{
+    // Empty history: first run seeds, does not gate.
+    auto results = compare({}, runWith(1.0), {kFwGate}, 5);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].missing);
+    EXPECT_FALSE(results[0].regression);
+
+    // Metric absent from the run: reported missing, not a failure.
+    std::vector<HistoryEntry> history{entryWith("sha", 3.0, 5.0)};
+    BenchRun run;
+    run.bench = "nn_kernels";
+    results = compare(history, run, {kFwGate}, 5);
+    EXPECT_TRUE(results[0].missing);
+    EXPECT_FALSE(results[0].regression);
+}
+
+TEST(BenchTrend, HistoryLineIsStrictJson)
+{
+    const std::string line =
+        historyLine("nn_kernels", entryWith("abc\"123", 3.0, 5.0));
+    // The sha contains a quote; the line must still parse. Re-load
+    // through the reader for a full round trip.
+    TempDir dir;
+    std::ofstream(dir.str() + "/nn_kernels.jsonl") << line << "\n";
+    const auto history =
+        loadHistory(dir.str() + "/nn_kernels.jsonl");
+    ASSERT_EQ(history.size(), 1u);
+    EXPECT_EQ(history[0].sha, "abc\"123");
+}

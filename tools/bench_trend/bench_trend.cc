@@ -1,0 +1,185 @@
+#include "bench_trend.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+
+namespace fa3c::tools {
+
+BenchRun
+parseBenchJson(std::string_view text)
+{
+    const obs::Json doc = obs::parseJson(text);
+    if (!doc.isObject())
+        throw std::runtime_error("bench json: not an object");
+    const std::string schema = doc.stringOr("schema", "");
+    if (schema != "fa3c.bench.v1")
+        throw std::runtime_error("bench json: schema \"" + schema +
+                                 "\" is not fa3c.bench.v1");
+    BenchRun run;
+    run.bench = doc.stringOr("bench", "");
+    if (run.bench.empty())
+        throw std::runtime_error("bench json: missing \"bench\" name");
+    for (const auto &[key, value] : doc.object)
+        if (value.isNumber() && key != "schema")
+            run.metrics.emplace(key, value.number);
+    return run;
+}
+
+std::vector<HistoryEntry>
+loadHistory(const std::string &path)
+{
+    std::vector<HistoryEntry> history;
+    std::ifstream in(path);
+    if (!in)
+        return history; // no history yet: first run seeds it
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        obs::Json doc;
+        try {
+            doc = obs::parseJson(line);
+        } catch (const std::exception &e) {
+            throw std::runtime_error(path + ":" +
+                                     std::to_string(lineno) + ": " +
+                                     e.what());
+        }
+        const std::string schema = doc.stringOr("schema", "");
+        if (schema != "fa3c.benchtrend.v1")
+            throw std::runtime_error(path + ":" +
+                                     std::to_string(lineno) +
+                                     ": schema \"" + schema +
+                                     "\" is not fa3c.benchtrend.v1");
+        HistoryEntry entry;
+        entry.sha = doc.stringOr("sha", "unknown");
+        entry.config = doc.stringOr("config", "default");
+        if (doc.has("metrics"))
+            for (const auto &[key, value] :
+                 doc.at("metrics").object)
+                if (value.isNumber())
+                    entry.metrics.emplace(key, value.number);
+        history.push_back(std::move(entry));
+    }
+    return history;
+}
+
+std::string
+historyLine(const std::string &bench, const HistoryEntry &entry)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"fa3c.benchtrend.v1\",\"bench\":\""
+        << obs::jsonEscape(bench) << "\",\"sha\":\""
+        << obs::jsonEscape(entry.sha) << "\",\"config\":\""
+        << obs::jsonEscape(entry.config) << "\",\"metrics\":{";
+    bool first = true;
+    for (const auto &[key, value] : entry.metrics) {
+        out << (first ? "\"" : ",\"") << obs::jsonEscape(key)
+            << "\":" << obs::jsonNumber(value);
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+bool
+appendHistory(const std::string &dir, const std::string &bench,
+              const HistoryEntry &entry)
+{
+    const std::string path = dir + "/" + bench + ".jsonl";
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return false;
+    out << historyLine(bench, entry) << '\n';
+    return static_cast<bool>(out);
+}
+
+std::optional<MetricSpec>
+parseMetricSpec(std::string_view spec)
+{
+    MetricSpec out;
+    const std::size_t first = spec.find(':');
+    if (first == std::string_view::npos || first == 0)
+        return std::nullopt;
+    out.name = std::string(spec.substr(0, first));
+    std::string_view rest = spec.substr(first + 1);
+    std::string_view direction = rest;
+    const std::size_t second = rest.find(':');
+    if (second != std::string_view::npos) {
+        direction = rest.substr(0, second);
+        const std::string pct(rest.substr(second + 1));
+        try {
+            std::size_t used = 0;
+            out.tolerancePct = std::stod(pct, &used);
+            if (used != pct.size() || out.tolerancePct < 0.0)
+                return std::nullopt;
+        } catch (const std::exception &) {
+            return std::nullopt;
+        }
+    }
+    if (direction == "higher")
+        out.higherIsBetter = true;
+    else if (direction == "lower")
+        out.higherIsBetter = false;
+    else
+        return std::nullopt;
+    return out;
+}
+
+std::optional<double>
+rollingBaseline(const std::vector<HistoryEntry> &history,
+                const std::string &metric, std::size_t window)
+{
+    std::vector<double> values;
+    values.reserve(window);
+    for (auto it = history.rbegin();
+         it != history.rend() && values.size() < window; ++it) {
+        const auto found = it->metrics.find(metric);
+        if (found != it->metrics.end())
+            values.push_back(found->second);
+    }
+    if (values.empty())
+        return std::nullopt;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+std::vector<Comparison>
+compare(const std::vector<HistoryEntry> &history, const BenchRun &run,
+        const std::vector<MetricSpec> &specs, std::size_t window)
+{
+    std::vector<Comparison> results;
+    results.reserve(specs.size());
+    for (const MetricSpec &spec : specs) {
+        Comparison c;
+        c.metric = spec.name;
+        const auto value = run.metrics.find(spec.name);
+        const auto baseline =
+            rollingBaseline(history, spec.name, window);
+        if (value == run.metrics.end() || !baseline) {
+            c.missing = true;
+            results.push_back(std::move(c));
+            continue;
+        }
+        c.baseline = *baseline;
+        c.value = value->second;
+        if (c.baseline != 0.0)
+            c.deltaPct =
+                100.0 * (c.value - c.baseline) / c.baseline;
+        const double bad_delta =
+            spec.higherIsBetter ? -c.deltaPct : c.deltaPct;
+        c.regression = bad_delta > spec.tolerancePct;
+        results.push_back(std::move(c));
+    }
+    return results;
+}
+
+} // namespace fa3c::tools

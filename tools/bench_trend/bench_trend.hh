@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bench-trend tracking: append machine-readable benchmark results
+ * (the BENCH_*.json files the bench binaries write, schema
+ * "fa3c.bench.v1") to a per-bench JSONL history, and compare a fresh
+ * run against a rolling baseline so CI can fail on regressions
+ * instead of eyeballing tables.
+ *
+ * History layout: one file per bench, `<dir>/<bench>.jsonl`, one run
+ * per line (schema "fa3c.benchtrend.v1"):
+ *
+ *   {"schema":"fa3c.benchtrend.v1","bench":"nn_kernels",
+ *    "sha":"1a2b3c...","config":"default",
+ *    "metrics":{"fw_speedup_e2e":3.1,...}}
+ *
+ * The baseline for a metric is the median of its value over the last
+ * `window` history entries: robust to a single noisy run, and the
+ * median of an odd-length window is an actual past measurement.
+ *
+ * Only relative metrics (speedups, ratios, counts of work per unit
+ * of work) make stable gates across heterogeneous CI hosts; absolute
+ * milliseconds belong in the history for trend plots but not in the
+ * failure gate.
+ */
+
+#ifndef FA3C_TOOLS_BENCH_TREND_BENCH_TREND_HH
+#define FA3C_TOOLS_BENCH_TREND_BENCH_TREND_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fa3c::tools {
+
+/** One benchmark run: the numeric header fields of a BENCH json. */
+struct BenchRun
+{
+    std::string bench;                    ///< e.g. "nn_kernels"
+    std::map<std::string, double> metrics;
+};
+
+/**
+ * Parse a BENCH_*.json document (schema fa3c.bench.v1). Every
+ * top-level numeric field becomes a metric; "rows" and non-numeric
+ * fields are ignored.
+ *
+ * @throws std::runtime_error on malformed JSON or a wrong schema.
+ */
+BenchRun parseBenchJson(std::string_view text);
+
+/** One history line: a run plus its provenance key. */
+struct HistoryEntry
+{
+    std::string sha;    ///< git revision the run was built from
+    std::string config; ///< free-form config key ("default", host tag)
+    std::map<std::string, double> metrics;
+};
+
+/**
+ * Load `<path>` as JSONL history, oldest first.
+ *
+ * @throws std::runtime_error on an unreadable line (a corrupt
+ *         history should fail loudly, not silently shrink the
+ *         baseline window).
+ * A missing file is an empty history, not an error.
+ */
+std::vector<HistoryEntry> loadHistory(const std::string &path);
+
+/** Serialize one history line (no trailing newline). */
+std::string historyLine(const std::string &bench,
+                        const HistoryEntry &entry);
+
+/**
+ * Append @p entry to `<dir>/<bench>.jsonl`, creating the directory
+ * path's file as needed. @return false on I/O failure.
+ */
+bool appendHistory(const std::string &dir, const std::string &bench,
+                   const HistoryEntry &entry);
+
+/** A gate: metric name, which direction is good, allowed slack. */
+struct MetricSpec
+{
+    std::string name;
+    bool higherIsBetter = true;
+    double tolerancePct = 10.0;
+};
+
+/**
+ * Parse "name:higher|lower[:pct]" (e.g. "fw_speedup_e2e:higher:10").
+ * @return std::nullopt on a malformed spec.
+ */
+std::optional<MetricSpec> parseMetricSpec(std::string_view spec);
+
+/** Verdict for one gated metric. */
+struct Comparison
+{
+    std::string metric;
+    double baseline = 0.0; ///< rolling median over the window
+    double value = 0.0;    ///< the candidate run
+    double deltaPct = 0.0; ///< signed change relative to baseline
+    bool regression = false;
+    bool missing = false;  ///< metric absent from run or history
+};
+
+/**
+ * Compare @p run against the rolling baseline of @p history for each
+ * spec. A metric with no history yet (or absent from the run) is
+ * reported with `missing = true` and never fails the gate: the first
+ * recorded run seeds the baseline.
+ */
+std::vector<Comparison>
+compare(const std::vector<HistoryEntry> &history, const BenchRun &run,
+        const std::vector<MetricSpec> &specs, std::size_t window);
+
+/** Median of the last @p window values of @p metric in @p history. */
+std::optional<double>
+rollingBaseline(const std::vector<HistoryEntry> &history,
+                const std::string &metric, std::size_t window);
+
+} // namespace fa3c::tools
+
+#endif // FA3C_TOOLS_BENCH_TREND_BENCH_TREND_HH

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * bench_trend CLI: record benchmark runs into a JSONL history and
+ * gate fresh runs against a rolling baseline.
+ *
+ *   bench_trend record --history bench/history BENCH_nn_kernels.json
+ *   bench_trend check  --history bench/history \
+ *       --metric fw_speedup_e2e:higher:10 \
+ *       --metric batch16_fw_speedup:higher:10 \
+ *       BENCH_nn_kernels.json
+ *   bench_trend show   --history bench/history nn_kernels \
+ *       --metric fw_speedup_e2e
+ *
+ * `check` exits 0 when every gated metric is within tolerance of the
+ * rolling median baseline, 1 on any regression, 2 on usage or I/O
+ * errors. A metric with no history yet passes (the first recorded
+ * run seeds the baseline). `check --record` appends the run after a
+ * green comparison, so a CI job can gate and extend the trend in one
+ * step.
+ *
+ * --sha defaults to the git revision baked into the build
+ * (FA3C_GIT_SHA); override it when recording results produced by a
+ * different checkout.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_trend.hh"
+#include "obs/version.hh"
+
+namespace {
+
+using namespace fa3c::tools;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_trend record --history DIR [--sha SHA]\n"
+        "                          [--config NAME] FILE...\n"
+        "       bench_trend check  --history DIR [--window N]\n"
+        "                          [--metric NAME:higher|lower[:PCT]]...\n"
+        "                          [--record] [--sha SHA]\n"
+        "                          [--config NAME] FILE...\n"
+        "       bench_trend show   --history DIR BENCH\n"
+        "                          [--metric NAME] [--window N]\n");
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+struct Options
+{
+    std::string command;
+    std::string historyDir;
+    std::string sha = FA3C_GIT_SHA;
+    std::string config = "default";
+    std::size_t window = 5;
+    bool record = false;
+    std::vector<MetricSpec> specs;
+    std::vector<std::string> positional;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    if (argc < 2)
+        return false;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](std::string &dst) {
+            if (i + 1 >= argc)
+                return false;
+            dst = argv[++i];
+            return true;
+        };
+        std::string value;
+        if (arg == "--history") {
+            if (!next(opt.historyDir))
+                return false;
+        } else if (arg == "--sha") {
+            if (!next(opt.sha))
+                return false;
+        } else if (arg == "--config") {
+            if (!next(opt.config))
+                return false;
+        } else if (arg == "--window") {
+            if (!next(value))
+                return false;
+            opt.window = static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+            if (opt.window == 0)
+                return false;
+        } else if (arg == "--metric") {
+            if (!next(value))
+                return false;
+            // A bare name means "higher is better, default slack".
+            auto spec = value.find(':') == std::string::npos
+                            ? MetricSpec{value, true, 10.0}
+                            : parseMetricSpec(value);
+            if (!spec) {
+                std::fprintf(stderr,
+                             "bench_trend: bad metric spec \"%s\"\n",
+                             value.c_str());
+                return false;
+            }
+            opt.specs.push_back(std::move(*spec));
+        } else if (arg == "--record") {
+            opt.record = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "bench_trend: unknown flag %s\n",
+                         arg.c_str());
+            return false;
+        } else {
+            opt.positional.push_back(arg);
+        }
+    }
+    return !opt.historyDir.empty();
+}
+
+int
+cmdRecord(const Options &opt)
+{
+    if (opt.positional.empty())
+        return usage();
+    for (const std::string &path : opt.positional) {
+        std::string text;
+        if (!readFile(path, text)) {
+            std::fprintf(stderr, "bench_trend: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        BenchRun run;
+        try {
+            run = parseBenchJson(text);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "bench_trend: %s: %s\n",
+                         path.c_str(), e.what());
+            return 2;
+        }
+        HistoryEntry entry;
+        entry.sha = opt.sha;
+        entry.config = opt.config;
+        entry.metrics = run.metrics;
+        if (!appendHistory(opt.historyDir, run.bench, entry)) {
+            std::fprintf(stderr,
+                         "bench_trend: cannot append %s/%s.jsonl\n",
+                         opt.historyDir.c_str(), run.bench.c_str());
+            return 2;
+        }
+        std::printf("recorded %s (%zu metrics, sha %s) -> %s/%s.jsonl\n",
+                    run.bench.c_str(), run.metrics.size(),
+                    entry.sha.c_str(), opt.historyDir.c_str(),
+                    run.bench.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCheck(const Options &opt)
+{
+    if (opt.positional.empty() || opt.specs.empty()) {
+        std::fprintf(stderr, "bench_trend: check needs FILEs and at "
+                             "least one --metric\n");
+        return usage();
+    }
+    bool regressed = false;
+    for (const std::string &path : opt.positional) {
+        std::string text;
+        if (!readFile(path, text)) {
+            std::fprintf(stderr, "bench_trend: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        BenchRun run;
+        std::vector<HistoryEntry> history;
+        try {
+            run = parseBenchJson(text);
+            history = loadHistory(opt.historyDir + "/" + run.bench +
+                                  ".jsonl");
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "bench_trend: %s: %s\n",
+                         path.c_str(), e.what());
+            return 2;
+        }
+        std::printf("%s vs %s/%s.jsonl (%zu runs, window %zu):\n",
+                    path.c_str(), opt.historyDir.c_str(),
+                    run.bench.c_str(), history.size(), opt.window);
+        bool bench_regressed = false;
+        for (const Comparison &c :
+             compare(history, run, opt.specs, opt.window)) {
+            if (c.missing) {
+                std::printf("  %-28s (no baseline yet)\n",
+                            c.metric.c_str());
+                continue;
+            }
+            std::printf("  %-28s %10.4f vs baseline %10.4f "
+                        "(%+.1f%%)%s\n",
+                        c.metric.c_str(), c.value, c.baseline,
+                        c.deltaPct,
+                        c.regression ? "  REGRESSION" : "");
+            bench_regressed = bench_regressed || c.regression;
+        }
+        if (bench_regressed) {
+            regressed = true;
+        } else if (opt.record) {
+            HistoryEntry entry;
+            entry.sha = opt.sha;
+            entry.config = opt.config;
+            entry.metrics = run.metrics;
+            if (!appendHistory(opt.historyDir, run.bench, entry)) {
+                std::fprintf(
+                    stderr,
+                    "bench_trend: cannot append %s/%s.jsonl\n",
+                    opt.historyDir.c_str(), run.bench.c_str());
+                return 2;
+            }
+            std::printf("  recorded (sha %s)\n", opt.sha.c_str());
+        }
+    }
+    return regressed ? 1 : 0;
+}
+
+int
+cmdShow(const Options &opt)
+{
+    if (opt.positional.size() != 1)
+        return usage();
+    const std::string bench = opt.positional[0];
+    std::vector<HistoryEntry> history;
+    try {
+        history =
+            loadHistory(opt.historyDir + "/" + bench + ".jsonl");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_trend: %s\n", e.what());
+        return 2;
+    }
+    std::printf("%s: %zu runs\n", bench.c_str(), history.size());
+    for (const HistoryEntry &entry : history) {
+        std::printf("  %-14s %-10s", entry.sha.c_str(),
+                    entry.config.c_str());
+        if (!opt.specs.empty()) {
+            for (const MetricSpec &spec : opt.specs) {
+                const auto it = entry.metrics.find(spec.name);
+                if (it != entry.metrics.end())
+                    std::printf("  %s=%.4f", spec.name.c_str(),
+                                it->second);
+            }
+        } else {
+            std::printf("  %zu metrics", entry.metrics.size());
+        }
+        std::printf("\n");
+    }
+    if (!opt.specs.empty())
+        for (const MetricSpec &spec : opt.specs)
+            if (const auto base = rollingBaseline(history, spec.name,
+                                                  opt.window))
+                std::printf("rolling baseline %s = %.4f (window "
+                            "%zu)\n",
+                            spec.name.c_str(), *base, opt.window);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return usage();
+    if (opt.command == "record")
+        return cmdRecord(opt);
+    if (opt.command == "check")
+        return cmdCheck(opt);
+    if (opt.command == "show")
+        return cmdShow(opt);
+    return usage();
+}
