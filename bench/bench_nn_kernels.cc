@@ -9,8 +9,11 @@
  *
  * Writes $FA3C_JSON_DIR/BENCH_nn_kernels.json with one row per
  * (layer, op) pair plus header fields fw_speedup_e2e /
- * bw_speedup_e2e / batch16_fw_speedup; CI gates on
- * fw_speedup_e2e >= 2.
+ * bw_speedup_e2e / batch16_fw_speedup / small_layer_speedup /
+ * int8_speedup / fp16_speedup; CI gates on fw_speedup_e2e >= 2,
+ * small_layer_speedup >= 1 (the narrow-FC dot path must beat the
+ * panel GEMM it replaced) and int8_speedup >= 1.5 (quantized batched
+ * forward on the wide serving net vs fp32 FastCpuBackend).
  *
  * Knobs: FA3C_NN_KERNELS_REPS (per-layer timing iterations, default
  * 30) and FA3C_NN_KERNELS_E2E_REPS (end-to-end iterations, default
@@ -20,6 +23,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "bench_util.hh"
@@ -30,8 +35,10 @@
 #include "nn/kernels/gemm.hh"
 #include "nn/kernels/im2col.hh"
 #include "nn/layers.hh"
+#include "nn/kernels/dispatch.hh"
 #include "rl/backend.hh"
 #include "rl/fast_cpu_backend.hh"
+#include "rl/quant_backend.hh"
 #include "sim/rng.hh"
 #include "sim/table.hh"
 #include "tensor/tensor.hh"
@@ -47,18 +54,64 @@ randomize(std::span<float> s, sim::Rng &rng)
         v = -1.0f + 2.0f * rng.uniformF();
 }
 
-/** Milliseconds per iteration: one warm-up call, then the mean. */
+constexpr std::uint64_t kTimeBatches = 5;
+
+/** Per-iteration mean (ms) of one timed batch of @p iters calls. */
+template <typename F>
+double
+timeBatchMs(F &&fn, std::uint64_t iters)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < iters; ++r)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           static_cast<double>(iters);
+}
+
+/**
+ * Milliseconds per iteration: one warm-up call, then the best
+ * (lowest) per-iteration mean over five equal batches of the reps.
+ * The minimum is the estimator least sensitive to scheduler
+ * interference on shared hosts — stalls only ever add time, so the
+ * fastest batch is the closest observation of the true cost.
+ */
 template <typename F>
 double
 timeMs(F &&fn, std::uint64_t reps)
 {
     fn();
-    const auto t0 = std::chrono::steady_clock::now();
-    for (std::uint64_t r = 0; r < reps; ++r)
-        fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
-           static_cast<double>(reps);
+    const std::uint64_t per =
+        std::max<std::uint64_t>(1, reps / kTimeBatches);
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (std::uint64_t batch = 0; batch < kTimeBatches; ++batch)
+        best_ms = std::min(best_ms, timeBatchMs(fn, per));
+    return best_ms;
+}
+
+/**
+ * Best-batch timing of several alternatives with their batches
+ * interleaved (A B C A B C ... instead of AAA BBB CCC). Every
+ * speedup ratio the caller forms divides numbers observed under the
+ * same transient machine conditions — background load or a frequency
+ * step hits all alternatives alike instead of whichever phase it
+ * landed on, which is what keeps the gated ratios stable on shared
+ * hosts.
+ */
+std::vector<double>
+timeManyMs(std::uint64_t reps,
+           const std::vector<std::function<void()>> &fns)
+{
+    const std::uint64_t per =
+        std::max<std::uint64_t>(1, reps / kTimeBatches);
+    for (const auto &fn : fns)
+        fn(); // warm-up
+    std::vector<double> best(
+        fns.size(), std::numeric_limits<double>::infinity());
+    for (std::uint64_t batch = 0; batch < kTimeBatches; ++batch)
+        for (std::size_t i = 0; i < fns.size(); ++i)
+            best[i] = std::min(best[i], timeBatchMs(fns[i], per));
+    return best;
 }
 
 double
@@ -309,27 +362,29 @@ main(int, char **)
 
     auto act_golden = net.makeActivations();
     auto act_fast = net.makeActivations();
-    const double fw_golden_ms = timeMs(
-        [&] { golden.forward(params, obs, act_golden); }, e2e_reps);
-    const double fw_fast_ms = timeMs(
-        [&] { fast.forward(params, obs, act_fast); }, e2e_reps);
+    const auto fw_ms = timeManyMs(
+        e2e_reps,
+        {[&] { golden.forward(params, obs, act_golden); },
+         [&] { fast.forward(params, obs, act_fast); }});
+    const double fw_golden_ms = fw_ms[0];
+    const double fw_fast_ms = fw_ms[1];
     const double fw_speedup = fw_golden_ms / fw_fast_ms;
 
     tensor::Tensor g_out(tensor::Shape({net.outSize()}));
     g_out.fillUniform(rng, -1.0f, 1.0f);
     nn::ParamSet grads = net.makeParams();
-    const double bw_golden_ms = timeMs(
-        [&] {
-            grads.zero();
-            golden.backward(params, act_golden, g_out, grads);
-        },
-        e2e_reps);
-    const double bw_fast_ms = timeMs(
-        [&] {
-            grads.zero();
-            fast.backward(params, act_fast, g_out, grads);
-        },
-        e2e_reps);
+    const auto bw_ms = timeManyMs(
+        e2e_reps,
+        {[&] {
+             grads.zero();
+             golden.backward(params, act_golden, g_out, grads);
+         },
+         [&] {
+             grads.zero();
+             fast.backward(params, act_fast, g_out, grads);
+         }});
+    const double bw_golden_ms = bw_ms[0];
+    const double bw_fast_ms = bw_ms[1];
     const double bw_speedup = bw_golden_ms / bw_fast_ms;
 
     // --- Batched multi-agent forward (the PAAC / GA3C path) ------
@@ -348,17 +403,106 @@ main(int, char **)
         batch_acts.push_back(
             &batch_acts_store[static_cast<std::size_t>(i)]);
     }
-    const double batch_loop_ms = timeMs(
-        [&] {
-            for (int i = 0; i < batch; ++i)
-                fast.forward(params, *batch_obs[static_cast<std::size_t>(i)],
-                             *batch_acts[static_cast<std::size_t>(i)]);
-        },
-        e2e_reps);
-    const double batch_gemm_ms = timeMs(
-        [&] { fast.forwardBatch(params, batch_obs, batch_acts); },
-        e2e_reps);
+    const auto batch_ms = timeManyMs(
+        e2e_reps,
+        {[&] {
+             for (int i = 0; i < batch; ++i)
+                 fast.forward(params,
+                              *batch_obs[static_cast<std::size_t>(i)],
+                              *batch_acts[static_cast<std::size_t>(i)]);
+         },
+         [&] { fast.forwardBatch(params, batch_obs, batch_acts); }});
+    const double batch_loop_ms = batch_ms[0];
+    const double batch_gemm_ms = batch_ms[1];
     const double batch_speedup = batch_loop_ms / batch_gemm_ms;
+
+    // --- Small-FC fast path (the old fc4 regression) -------------
+    // Batch-16 fc4 through the canonical-row dot kernel vs the panel
+    // GEMM it replaced: the 5-wide head pads to a 32-column strip
+    // under the panel layout, wasting 6x the weight bandwidth, which
+    // made the fast path slower than golden. Gate: >= 1.0x.
+    const nn::FcSpec &f4 = net.fc4();
+    double small_speedup;
+    double small_dot_ms;
+    double small_panel_ms;
+    {
+        std::vector<float> small_in(
+            static_cast<std::size_t>(batch) *
+            static_cast<std::size_t>(f4.inFeatures));
+        std::vector<float> small_out(
+            static_cast<std::size_t>(batch) *
+            static_cast<std::size_t>(f4.outFeatures));
+        randomize(small_in, rng);
+        std::vector<float> w4T(f4.weightCount());
+        nn::kernels::transpose(params.view("fc4.w").data(),
+                               f4.outFeatures, f4.inFeatures,
+                               w4T.data());
+        std::vector<float> panels4(nn::kernels::gemmPanelSize(
+            f4.outFeatures, f4.inFeatures));
+        nn::kernels::gemmPackPanels(f4.outFeatures, f4.inFeatures,
+                                    w4T.data(), f4.outFeatures,
+                                    panels4.data());
+        const auto small_ms = timeManyMs(
+            e2e_reps,
+            {[&] {
+                 nn::kernels::fcForwardSmallBatch(
+                     f4, batch, small_in.data(), params.view("fc4.w"),
+                     params.view("fc4.b"), small_out.data());
+             },
+             [&] {
+                 nn::kernels::fcForwardFastBatchPanels(
+                     f4, batch, small_in.data(), panels4,
+                     params.view("fc4.b"), small_out.data());
+             }});
+        small_dot_ms = small_ms[0];
+        small_panel_ms = small_ms[1];
+        benchmark::DoNotOptimize(small_out.data());
+        small_speedup = small_panel_ms / small_dot_ms;
+    }
+
+    // --- Quantized backends on the wide serving net ---------------
+    // The paper-geometry FC3 (2592x256) is too narrow to expose the
+    // weight-bandwidth win; the serving configuration (fcSize 1024)
+    // is where int8 pays. Batch-16 forward, fp32 FastCpuBackend as
+    // the baseline for both quantized modes.
+    nn::NetConfig wcfg = nn::NetConfig::atari(cfg.numActions);
+    wcfg.fcSize = 1024;
+    const nn::A3cNetwork wnet(wcfg);
+    nn::ParamSet wparams = wnet.makeParams();
+    wnet.initParams(wparams, rng);
+
+    rl::FastCpuBackend wfast(wnet);
+    rl::QuantCpuBackend wq8(wnet, nn::QuantMode::Int8);
+    rl::QuantCpuBackend wf16(wnet, nn::QuantMode::Fp16);
+    wfast.onParamSync(wparams);
+    wq8.onParamSync(wparams);
+    wf16.onParamSync(wparams);
+
+    std::vector<tensor::Tensor> wobs_store;
+    std::vector<nn::A3cNetwork::Activations> wacts_store;
+    std::vector<const tensor::Tensor *> wobs;
+    std::vector<nn::A3cNetwork::Activations *> wacts;
+    for (int i = 0; i < batch; ++i) {
+        wobs_store.emplace_back(obs.shape());
+        wobs_store.back().fillUniform(rng, 0.0f, 1.0f);
+        wacts_store.push_back(wnet.makeActivations());
+    }
+    for (int i = 0; i < batch; ++i) {
+        wobs.push_back(&wobs_store[static_cast<std::size_t>(i)]);
+        wacts.push_back(&wacts_store[static_cast<std::size_t>(i)]);
+    }
+    const std::uint64_t wide_reps = std::max<std::uint64_t>(
+        5, e2e_reps / 4);
+    const auto wide_ms = timeManyMs(
+        wide_reps,
+        {[&] { wfast.forwardBatch(wparams, wobs, wacts); },
+         [&] { wq8.forwardBatch(wparams, wobs, wacts); },
+         [&] { wf16.forwardBatch(wparams, wobs, wacts); }});
+    const double wide_fp32_ms = wide_ms[0];
+    const double wide_int8_ms = wide_ms[1];
+    const double wide_fp16_ms = wide_ms[2];
+    const double int8_speedup = wide_fp32_ms / wide_int8_ms;
+    const double fp16_speedup = wide_fp32_ms / wide_fp16_ms;
 
     sim::TextTable e2e({"End-to-end pass", "Golden ms", "Fast ms",
                         "Speedup"});
@@ -372,9 +516,27 @@ main(int, char **)
                 sim::TextTable::num(batch_loop_ms, 3),
                 sim::TextTable::num(batch_gemm_ms, 3),
                 sim::TextTable::num(batch_speedup) + "x"});
+    e2e.addRow({"fc4 x16: panel GEMM vs dot path",
+                sim::TextTable::num(small_panel_ms, 3),
+                sim::TextTable::num(small_dot_ms, 3),
+                sim::TextTable::num(small_speedup) + "x"});
+    e2e.addRow({"wide net x16: fp32 vs int8",
+                sim::TextTable::num(wide_fp32_ms, 3),
+                sim::TextTable::num(wide_int8_ms, 3),
+                sim::TextTable::num(int8_speedup) + "x"});
+    e2e.addRow({"wide net x16: fp32 vs fp16",
+                sim::TextTable::num(wide_fp32_ms, 3),
+                sim::TextTable::num(wide_fp16_ms, 3),
+                sim::TextTable::num(fp16_speedup) + "x"});
     std::printf("%s\n", e2e.render().c_str());
+    std::printf("Kernel ISA: %s\n", nn::kernels::isaName());
     std::printf("CI gate: fw_speedup_e2e = %.2fx (must be >= 2.0)\n",
                 fw_speedup);
+    std::printf("CI gate: small_layer_speedup = %.2fx (must be >= "
+                "1.0)\n",
+                small_speedup);
+    std::printf("CI gate: int8_speedup = %.2fx (must be >= 1.5)\n",
+                int8_speedup);
 
     // --- ProfScope overhead A/B ----------------------------------
     // The kernels and backend carry FA3C_PROF_SCOPE markers. The true
@@ -451,6 +613,10 @@ main(int, char **)
     report.field("fw_speedup_e2e", fw_speedup);
     report.field("bw_speedup_e2e", bw_speedup);
     report.field("batch16_fw_speedup", batch_speedup);
+    report.field("small_layer_speedup", small_speedup);
+    report.field("int8_speedup", int8_speedup);
+    report.field("fp16_speedup", fp16_speedup);
+    report.field("kernel_isa", nn::kernels::isaName());
     report.field("reps", reps);
     report.field("e2e_reps", e2e_reps);
     report.addRow()
@@ -471,5 +637,23 @@ main(int, char **)
         .set("golden_ms", batch_loop_ms)
         .set("fast_ms", batch_gemm_ms)
         .set("speedup", batch_speedup);
+    report.addRow()
+        .set("layer", "fc4")
+        .set("op", "fw_batch16_small")
+        .set("golden_ms", small_panel_ms)
+        .set("fast_ms", small_dot_ms)
+        .set("speedup", small_speedup);
+    report.addRow()
+        .set("layer", "net_wide")
+        .set("op", "fw_batch16_int8")
+        .set("golden_ms", wide_fp32_ms)
+        .set("fast_ms", wide_int8_ms)
+        .set("speedup", int8_speedup);
+    report.addRow()
+        .set("layer", "net_wide")
+        .set("op", "fw_batch16_fp16")
+        .set("golden_ms", wide_fp32_ms)
+        .set("fast_ms", wide_fp16_ms)
+        .set("speedup", fp16_speedup);
     return 0;
 }

@@ -10,9 +10,11 @@
  * Games: beam_rider breakout pong qbert seaquest space_invaders.
  *
  * Options:
- *     --backend <name>       datapath (default), reference, or fast;
- *                            reference/fast run on the CPU layer
- *                            libraries (no cycle counters)
+ *     --backend <name>       datapath (default), reference, fast,
+ *                            int8, or fp16; the non-datapath names run
+ *                            on the CPU layer libraries (no cycle
+ *                            counters); int8/fp16 use quantized
+ *                            inference with fp32 training
  *     --checkpoint <path>    write crash-safe checkpoints to <path>
  *     --checkpoint-every <n> checkpoint every n env steps
  *     --resume               restore <path> before training (missing
@@ -54,10 +56,10 @@ main(int argc, char **argv)
         if (arg == "--backend" && i + 1 < argc) {
             backend_name = argv[++i];
             if (backend_name != "datapath" &&
-                backend_name != "reference" && backend_name != "fast") {
+                !rl::tryBackendKindFromName(backend_name)) {
                 std::fprintf(stderr,
                              "unknown backend: %s (want "
-                             "datapath|reference|fast)\n",
+                             "datapath|reference|fast|int8|fp16)\n",
                              backend_name.c_str());
                 return 2;
             }

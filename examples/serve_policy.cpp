@@ -13,7 +13,7 @@
  *     --max-batch <n>   dynamic batch size cap (default 16)
  *     --linger-us <n>   batch linger window in microseconds (default
  *                       2000)
- *     --backend <name>  reference or fast (default fast)
+ *     --backend <name>  reference, fast, int8, or fp16 (default fast)
  *     --checkpoint <p>  serve the trained theta from a training
  *                       checkpoint instead of random initialization
  *     --demo            drive the server with an in-process TCP client
@@ -158,7 +158,8 @@ main(int argc, char **argv)
     const auto maybe_backend = rl::tryBackendKindFromName(backend_name);
     if (!maybe_backend) {
         std::fprintf(stderr,
-                     "unknown backend: %s (want reference|fast)\n",
+                     "unknown backend: %s (want "
+                     "reference|fast|int8|fp16)\n",
                      backend_name.c_str());
         return 2;
     }

@@ -1,0 +1,86 @@
+#include "nn/kernels/dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace fa3c::nn::kernels {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+bool
+cpuHasAvx2Set()
+{
+    // f16c covers the fp16 panel loads; every CPU with AVX2 in the
+    // wild has it, but the table is only safe if both are present.
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("f16c");
+}
+
+bool
+cpuHasAvx512Set()
+{
+    // The full feature set the AVX-512 TU is compiled for. VNNI is
+    // part of it (the int8 GEMM emits vpdpbusd), so first-generation
+    // AVX-512 parts without VNNI take the AVX2 table instead.
+    return cpuHasAvx2Set() && __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl") &&
+           __builtin_cpu_supports("avx512vnni");
+}
+#endif
+
+const KernelOps *
+resolve()
+{
+    const KernelOps *generic = genericOps();
+    const KernelOps *avx2 = avx2Ops();
+    const KernelOps *avx512 = avx512Ops();
+    if (const char *env = std::getenv("FA3C_KERNELS_ISA")) {
+        if (std::strcmp(env, "generic") == 0)
+            return generic;
+        if (std::strcmp(env, "avx2") == 0) {
+            if (avx2 != nullptr)
+                return avx2;
+            FA3C_WARN("FA3C_KERNELS_ISA=avx2 but this build has no "
+                      "AVX2 kernel TU; using generic");
+            return generic;
+        }
+        if (std::strcmp(env, "avx512") == 0) {
+            if (avx512 != nullptr)
+                return avx512;
+            FA3C_WARN("FA3C_KERNELS_ISA=avx512 but this build has no "
+                      "AVX-512 kernel TU; using CPUID selection");
+        } else {
+            FA3C_WARN("unknown FA3C_KERNELS_ISA '", env,
+                      "'; falling back to CPUID selection");
+        }
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    if (avx512 != nullptr && cpuHasAvx512Set())
+        return avx512;
+    if (avx2 != nullptr && cpuHasAvx2Set())
+        return avx2;
+#endif
+    return generic;
+}
+
+} // namespace
+
+const KernelOps &
+ops()
+{
+    static const KernelOps *table = resolve();
+    return *table;
+}
+
+const char *
+isaName()
+{
+    return ops().name;
+}
+
+} // namespace fa3c::nn::kernels

@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nn/kernels/dispatch.hh"
 #include "nn/kernels/gemm.hh"
+#include "nn/kernels/threadpool.hh"
 #include "obs/profile.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::nn::kernels {
+
+namespace {
+
+// Multiply-add count below which the fork-join split costs more than
+// it saves; wide-net batched layers clear it, per-agent GEMVs do not.
+constexpr long long kMtFlopThreshold = 1LL << 24;
+
+} // namespace
 
 void
 fcForwardFast(const FcSpec &spec, const float *in,
@@ -49,9 +59,50 @@ fcForwardFastBatchPanels(const FcSpec &spec, int batch, const float *in,
     for (int s = 0; s < batch; ++s)
         std::memcpy(out + static_cast<std::size_t>(s) * o, b.data(),
                     o * sizeof(float));
+    const long long work = static_cast<long long>(batch) *
+                           spec.outFeatures * spec.inFeatures;
+    const int strips =
+        (spec.outFeatures + kGemmPanelWidth - 1) / kGemmPanelWidth;
+    const int nt = kernelThreads();
+    if (nt > 1 && batch >= 4 && strips >= 2 &&
+        work >= kMtFlopThreshold) {
+        // Split by column strips: each output element is still
+        // computed by exactly one task in the same order, so the
+        // result is bit-identical to the single-thread call.
+        const int tasks = std::min(nt, strips);
+        const std::size_t panelFloats =
+            static_cast<std::size_t>(spec.inFeatures) * kGemmPanelWidth;
+        parallelFor(tasks, [&](int t) {
+            const int s0 = strips * t / tasks;
+            const int s1 = strips * (t + 1) / tasks;
+            const int j0 = s0 * kGemmPanelWidth;
+            const int j1 =
+                std::min(s1 * kGemmPanelWidth, spec.outFeatures);
+            gemmAccPanels(batch, j1 - j0, spec.inFeatures, in,
+                          spec.inFeatures,
+                          wPanels.data() + static_cast<std::size_t>(s0) *
+                                               panelFloats,
+                          out + static_cast<std::size_t>(j0),
+                          spec.outFeatures);
+        });
+        return;
+    }
     gemmAccPanels(batch, spec.outFeatures, spec.inFeatures, in,
                   spec.inFeatures, wPanels.data(), out,
                   spec.outFeatures);
+}
+
+void
+fcForwardSmallBatch(const FcSpec &spec, int batch, const float *in,
+                    std::span<const float> w, std::span<const float> b,
+                    float *out)
+{
+    FA3C_PROF_SCOPE("kernels.fc_fw_small");
+    FA3C_ASSERT(w.size() == spec.weightCount(), "fcForwardSmallBatch w");
+    FA3C_ASSERT(b.size() == spec.biasCount(), "fcForwardSmallBatch b");
+    ops().fcDotRows(batch, spec.outFeatures, spec.inFeatures, in,
+                    spec.inFeatures, w.data(), spec.inFeatures,
+                    b.data(), out, spec.outFeatures);
 }
 
 void

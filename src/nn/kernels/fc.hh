@@ -55,6 +55,23 @@ void fcForwardFastBatchPanels(const FcSpec &spec, int batch,
                               std::span<const float> wPanels,
                               std::span<const float> b, float *out);
 
+/**
+ * Small-output forward over the canonical w[O][I] rows: per-row dot
+ * products, no transpose or panel staging. Below kGemmPanelWidth
+ * outputs the panel path pads every strip to 32 columns (6x wasted
+ * weight bandwidth for the 5-wide fc4 head — the cause of its 0.5x
+ * regression); the dot form reads exactly the live weights. Batched
+ * and single-sample calls use the same per-element order, so they
+ * stay bit-identical to each other (golden parity is ULP-bounded
+ * like the other fast kernels).
+ */
+void fcForwardSmallBatch(const FcSpec &spec, int batch, const float *in,
+                         std::span<const float> w,
+                         std::span<const float> b, float *out);
+
+/** Output width below which fcForwardSmallBatch wins over panels. */
+constexpr int kSmallFcMaxOut = 32;
+
 /** Backward: g_in[I] = W^T * g_out using the canonical w[O][I]. */
 void fcBackwardFast(const FcSpec &spec, const float *g_out,
                     std::span<const float> w, float *g_in);

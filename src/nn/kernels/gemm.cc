@@ -3,197 +3,19 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nn/kernels/dispatch.hh"
+
 namespace fa3c::nn::kernels {
 
-namespace {
-
-// Vector lane type for the tiled kernels. GCC/Clang lower the
-// arithmetic to the widest ISA the TU is compiled for and legalize it
-// on older targets, so the same source serves SSE2 through AVX-512.
-// aligned(4) makes pointer loads of unaligned rows well-defined.
-#if defined(__GNUC__) || defined(__clang__)
-#define FA3C_GEMM_TILED 1
-typedef float vf __attribute__((vector_size(32), aligned(4)));
-constexpr int kVL = 8;                         ///< floats per vf
-constexpr int kNV = kGemmPanelWidth / kVL;     ///< vf per column strip
-
-inline vf
-loadu(const float *p)
-{
-    vf v;
-    __builtin_memcpy(&v, p, sizeof(v));
-    return v;
-}
-
-inline void
-storeu(float *p, vf v)
-{
-    __builtin_memcpy(p, &v, sizeof(v));
-}
-
-/**
- * MR x kGemmPanelWidth tile of C held in registers across the whole
- * k loop. @p ldpb is the distance between consecutive k rows of the B
- * strip (the matrix row stride, or kGemmPanelWidth for packed
- * panels). Each C element starts from its current value and adds
- * products in increasing k, exactly like the axpy form.
- */
-template <int MR>
-inline void
-tileMxW(int k, const float *FA3C_RESTRICT a, int lda,
-        const float *FA3C_RESTRICT b, std::size_t ldpb, float *c,
-        int ldc)
-{
-    vf acc[MR][kNV];
-    for (int r = 0; r < MR; ++r)
-        for (int v = 0; v < kNV; ++v)
-            acc[r][v] = loadu(c + static_cast<std::size_t>(r) *
-                                      static_cast<std::size_t>(ldc) +
-                              v * kVL);
-    for (int p = 0; p < k; ++p) {
-        const float *bp = b + static_cast<std::size_t>(p) * ldpb;
-        vf bv[kNV];
-        for (int v = 0; v < kNV; ++v)
-            bv[v] = loadu(bp + v * kVL);
-        for (int r = 0; r < MR; ++r) {
-            const vf av =
-                a[static_cast<std::size_t>(r) *
-                      static_cast<std::size_t>(lda) +
-                  static_cast<std::size_t>(p)] -
-                (vf){}; // broadcast
-            for (int v = 0; v < kNV; ++v)
-                acc[r][v] += av * bv[v];
-        }
-    }
-    for (int r = 0; r < MR; ++r)
-        for (int v = 0; v < kNV; ++v)
-            storeu(c + static_cast<std::size_t>(r) *
-                           static_cast<std::size_t>(ldc) +
-                       v * kVL,
-                   acc[r][v]);
-}
-#endif // FA3C_GEMM_TILED
-
-/** One C row: c[0..n) += sum_p a[p] * b[p][0..n). */
-inline void
-gemmRow(int n, int k, const float *FA3C_RESTRICT a, const float *b,
-        int ldb, float *FA3C_RESTRICT c)
-{
-    for (int p = 0; p < k; ++p) {
-        const float ap = a[p];
-        const float *FA3C_RESTRICT bp = b + static_cast<std::size_t>(p) *
-                                                static_cast<std::size_t>(ldb);
-        for (int j = 0; j < n; ++j)
-            c[j] += ap * bp[j];
-    }
-}
-
-/** Axpy form: B rows streamed contiguously, four C rows per pass. */
-void
-gemmAxpy(int m, int n, int k, const float *a, int lda, const float *b,
-         int ldb, float *c, int ldc)
-{
-    const std::size_t sa = static_cast<std::size_t>(lda);
-    const std::size_t sc = static_cast<std::size_t>(ldc);
-    int i = 0;
-    // MR=4 register block: each B row loaded once, used by four C rows.
-    for (; i + 4 <= m; i += 4) {
-        const float *FA3C_RESTRICT a0 = a + static_cast<std::size_t>(i) * sa;
-        const float *FA3C_RESTRICT a1 = a0 + sa;
-        const float *FA3C_RESTRICT a2 = a1 + sa;
-        const float *FA3C_RESTRICT a3 = a2 + sa;
-        float *FA3C_RESTRICT c0 = c + static_cast<std::size_t>(i) * sc;
-        float *FA3C_RESTRICT c1 = c0 + sc;
-        float *FA3C_RESTRICT c2 = c1 + sc;
-        float *FA3C_RESTRICT c3 = c2 + sc;
-        for (int p = 0; p < k; ++p) {
-            const float a0p = a0[p];
-            const float a1p = a1[p];
-            const float a2p = a2[p];
-            const float a3p = a3[p];
-            const float *FA3C_RESTRICT bp =
-                b + static_cast<std::size_t>(p) *
-                        static_cast<std::size_t>(ldb);
-            for (int j = 0; j < n; ++j) {
-                const float bj = bp[j];
-                c0[j] += a0p * bj;
-                c1[j] += a1p * bj;
-                c2[j] += a2p * bj;
-                c3[j] += a3p * bj;
-            }
-        }
-    }
-    for (; i < m; ++i)
-        gemmRow(n, k, a + static_cast<std::size_t>(i) * sa, b, ldb,
-                c + static_cast<std::size_t>(i) * sc);
-}
-
-#ifdef FA3C_GEMM_TILED
-// Tallest register tile the target can hold without spilling: the
-// MR=8 x 32-float tile needs 32 vector accumulators, which only
-// AVX-512 targets have; 16-register targets stop at MR=4.
-#ifdef __AVX512F__
-constexpr int kMRMax = 8;
-#else
-constexpr int kMRMax = 4;
-#endif
-
-template <int MR>
-inline void
-rowBlock(int n, int k, const float *a, int lda, const float *b,
-         int ldb, float *c, int ldc)
-{
-    int j = 0;
-    for (; j + kGemmPanelWidth <= n; j += kGemmPanelWidth)
-        tileMxW<MR>(k, a, lda, b + j, static_cast<std::size_t>(ldb),
-                    c + j, ldc);
-    // Tail columns go through the axpy form, whose contiguous inner
-    // loop vectorizes even for a handful of columns; per C element it
-    // runs the same increasing-k order as the tiles.
-    if (j < n)
-        gemmAxpy(MR, n - j, k, a, lda, b + j, ldb, c + j, ldc);
-}
-
-void
-gemmTiled(int m, int n, int k, const float *a, int lda, const float *b,
-          int ldb, float *c, int ldc)
-{
-    const std::size_t sa = static_cast<std::size_t>(lda);
-    const std::size_t sc = static_cast<std::size_t>(ldc);
-    int i = 0;
-    if constexpr (kMRMax >= 8)
-        for (; i + 8 <= m; i += 8)
-            rowBlock<8>(n, k, a + static_cast<std::size_t>(i) * sa, lda,
-                        b, ldb, c + static_cast<std::size_t>(i) * sc,
-                        ldc);
-    for (; i + 4 <= m; i += 4)
-        rowBlock<4>(n, k, a + static_cast<std::size_t>(i) * sa, lda, b,
-                    ldb, c + static_cast<std::size_t>(i) * sc, ldc);
-    for (; i + 2 <= m; i += 2)
-        rowBlock<2>(n, k, a + static_cast<std::size_t>(i) * sa, lda, b,
-                    ldb, c + static_cast<std::size_t>(i) * sc, ldc);
-    for (; i < m; ++i)
-        rowBlock<1>(n, k, a + static_cast<std::size_t>(i) * sa, lda, b,
-                    ldb, c + static_cast<std::size_t>(i) * sc, ldc);
-}
-#endif // FA3C_GEMM_TILED
-
-} // namespace
+// The ISA-specialized GEMM bodies (axpy and register-tile forms) live
+// in kernel_impl.inl, compiled once per dispatch target; this TU only
+// keeps the pure-data-movement helpers and the dispatching wrappers.
 
 void
 gemmAcc(int m, int n, int k, const float *a, int lda, const float *b,
         int ldb, float *c, int ldc)
 {
-#ifdef FA3C_GEMM_TILED
-    // Tiled form needs enough C rows to amortize its strided B walk;
-    // below that (notably the M = 1 GEMV) the contiguous axpy stream
-    // is faster and bandwidth-optimal.
-    if (m >= 4 && n >= kGemmPanelWidth) {
-        gemmTiled(m, n, k, a, lda, b, ldb, c, ldc);
-        return;
-    }
-#endif
-    gemmAxpy(m, n, k, a, lda, b, ldb, c, ldc);
+    ops().gemmAcc(m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 std::size_t
@@ -232,45 +54,7 @@ void
 gemmAccPanels(int m, int n, int k, const float *a, int lda,
               const float *panels, float *c, int ldc)
 {
-    const std::size_t panelFloats =
-        static_cast<std::size_t>(k) * kGemmPanelWidth;
-    for (int j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
-        const int w = std::min(kGemmPanelWidth, n - j0);
-        const float *panel =
-            panels +
-            static_cast<std::size_t>(j0 / kGemmPanelWidth) * panelFloats;
-#ifdef FA3C_GEMM_TILED
-        if (w == kGemmPanelWidth) {
-            const std::size_t sa = static_cast<std::size_t>(lda);
-            const std::size_t sc = static_cast<std::size_t>(ldc);
-            float *cj = c + static_cast<std::size_t>(j0);
-            int i = 0;
-            if constexpr (kMRMax >= 8)
-                for (; i + 8 <= m; i += 8)
-                    tileMxW<8>(k, a + static_cast<std::size_t>(i) * sa,
-                               lda, panel, kGemmPanelWidth,
-                               cj + static_cast<std::size_t>(i) * sc,
-                               ldc);
-            for (; i + 4 <= m; i += 4)
-                tileMxW<4>(k, a + static_cast<std::size_t>(i) * sa, lda,
-                           panel, kGemmPanelWidth,
-                           cj + static_cast<std::size_t>(i) * sc, ldc);
-            for (; i + 2 <= m; i += 2)
-                tileMxW<2>(k, a + static_cast<std::size_t>(i) * sa, lda,
-                           panel, kGemmPanelWidth,
-                           cj + static_cast<std::size_t>(i) * sc, ldc);
-            for (; i < m; ++i)
-                tileMxW<1>(k, a + static_cast<std::size_t>(i) * sa, lda,
-                           panel, kGemmPanelWidth,
-                           cj + static_cast<std::size_t>(i) * sc, ldc);
-            continue;
-        }
-#endif
-        // Tail strip (or no vector extensions): the panel is a dense
-        // [k][kGemmPanelWidth] matrix whose first w columns are live.
-        gemmAxpy(m, w, k, a, lda, panel, kGemmPanelWidth,
-                 c + static_cast<std::size_t>(j0), ldc);
-    }
+    ops().gemmAccPanels(m, n, k, a, lda, panels, c, ldc);
 }
 
 void

@@ -1,0 +1,767 @@
+/**
+ * @file
+ * ISA-specialized kernel bodies, compiled once per target:
+ *
+ *   kernels_generic.cc  portable baseline flags
+ *   kernels_avx2.cc     -mavx2 -mf16c (defines FA3C_ISA_AVX2)
+ *   kernels_avx512.cc   -mavx512{f,bw,dq,vl,vnni} on top of AVX2
+ *                       (defines FA3C_ISA_AVX512 as well)
+ *
+ * The including TU defines FA3C_ISA_NS (the wrapping namespace),
+ * FA3C_ISA_NAME (the table name string) and — when the intrinsic
+ * paths should be compiled — FA3C_ISA_AVX2 / FA3C_ISA_AVX512.
+ * Everything here must keep the determinism contract from
+ * dispatch.hh: per-C-element fp32 accumulation order is increasing k
+ * with mul and add kept separate (the TUs are built with
+ * -ffp-contract=off), integer kernels are exact, so all tables agree
+ * bit-for-bit. The AVX-512 tier only widens constructs where every C
+ * element lives in a single fixed lane (the register tiles) or where
+ * arithmetic is exact (the int8 VNNI macs); lane-summing kernels
+ * (fcDotRows) keep the 8-lane structure on every tier.
+ *
+ * The fp32 GEMM forms (axpy and register tile) moved here from
+ * gemm.cc, which now only keeps the ISA-independent packing helpers
+ * and the dispatching wrappers.
+ */
+
+#if FA3C_ISA_AVX2
+#include <immintrin.h>
+#endif
+
+namespace fa3c::nn::kernels {
+namespace FA3C_ISA_NS {
+namespace {
+
+// ---------------------------------------------------------------
+// fp32 GEMM (axpy + register-tile forms; see gemm.hh for the
+// shape-based selection rationale).
+// ---------------------------------------------------------------
+
+// Vector lane types for the tiled kernels. GCC/Clang lower the
+// arithmetic to the widest ISA the TU is compiled for and legalize it
+// on older targets, so the same source serves SSE2 through AVX-512
+// with identical per-lane results. Memory access goes exclusively
+// through the memcpy-based load/store helpers below, so the types can
+// keep their natural alignment — an under-aligned typedef would make
+// GCC bounce every load through a split stack temporary.
+//
+// vf is always 8 lanes: it feeds kernels whose result depends on the
+// lane count (the fcDotRows lane sum), which must not change across
+// tiers. vfw is the tile width — 16 lanes on the AVX-512 tier, where
+// each tile lane holds one whole C element for the entire k loop, so
+// widening it can never change results.
+#if defined(__GNUC__) || defined(__clang__)
+#define FA3C_GEMM_TILED 1
+typedef float vf __attribute__((vector_size(32)));
+constexpr int kVL = 8; ///< floats per vf
+#if FA3C_ISA_AVX512
+typedef float vfw __attribute__((vector_size(64)));
+constexpr int kVLW = 16; ///< floats per vfw
+#else
+typedef float vfw __attribute__((vector_size(32)));
+constexpr int kVLW = 8; ///< floats per vfw
+#endif
+constexpr int kNV = kGemmPanelWidth / kVLW; ///< vfw per column strip
+
+template <class V>
+inline V
+vecload(const float *p)
+{
+    V v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+template <class V>
+inline void
+vecstore(float *p, V v)
+{
+    __builtin_memcpy(p, &v, sizeof(v));
+}
+
+inline vf
+loadu(const float *p)
+{
+    return vecload<vf>(p);
+}
+
+/**
+ * MR x kGemmPanelWidth tile of C held in registers across the whole
+ * k loop. @p ldpb is the distance between consecutive k rows of the B
+ * strip (the matrix row stride, or kGemmPanelWidth for packed
+ * panels). Each C element starts from its current value and adds
+ * products in increasing k, exactly like the axpy form.
+ */
+template <int MR>
+inline void
+tileMxW(int k, const float *FA3C_RESTRICT a, int lda,
+        const float *FA3C_RESTRICT b, std::size_t ldpb, float *c,
+        int ldc)
+{
+    vfw acc[MR][kNV];
+    for (int r = 0; r < MR; ++r)
+        for (int v = 0; v < kNV; ++v)
+            acc[r][v] = vecload<vfw>(c + static_cast<std::size_t>(r) *
+                                             static_cast<std::size_t>(ldc) +
+                                     v * kVLW);
+    for (int p = 0; p < k; ++p) {
+        const float *bp = b + static_cast<std::size_t>(p) * ldpb;
+        vfw bv[kNV];
+        for (int v = 0; v < kNV; ++v)
+            bv[v] = vecload<vfw>(bp + v * kVLW);
+        for (int r = 0; r < MR; ++r) {
+            const vfw av =
+                a[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(lda) +
+                  static_cast<std::size_t>(p)] -
+                (vfw){}; // broadcast
+            for (int v = 0; v < kNV; ++v)
+                acc[r][v] += av * bv[v];
+        }
+    }
+    for (int r = 0; r < MR; ++r)
+        for (int v = 0; v < kNV; ++v)
+            vecstore(c + static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(ldc) +
+                         v * kVLW,
+                     acc[r][v]);
+}
+#endif // FA3C_GEMM_TILED
+
+/** One C row: c[0..n) += sum_p a[p] * b[p][0..n). */
+inline void
+gemmRow(int n, int k, const float *FA3C_RESTRICT a, const float *b,
+        int ldb, float *FA3C_RESTRICT c)
+{
+    for (int p = 0; p < k; ++p) {
+        const float ap = a[p];
+        const float *FA3C_RESTRICT bp = b + static_cast<std::size_t>(p) *
+                                                static_cast<std::size_t>(ldb);
+        for (int j = 0; j < n; ++j)
+            c[j] += ap * bp[j];
+    }
+}
+
+/** Axpy form: B rows streamed contiguously, four C rows per pass. */
+void
+gemmAxpy(int m, int n, int k, const float *a, int lda, const float *b,
+         int ldb, float *c, int ldc)
+{
+    const std::size_t sa = static_cast<std::size_t>(lda);
+    const std::size_t sc = static_cast<std::size_t>(ldc);
+    int i = 0;
+    // MR=4 register block: each B row loaded once, used by four C rows.
+    for (; i + 4 <= m; i += 4) {
+        const float *FA3C_RESTRICT a0 = a + static_cast<std::size_t>(i) * sa;
+        const float *FA3C_RESTRICT a1 = a0 + sa;
+        const float *FA3C_RESTRICT a2 = a1 + sa;
+        const float *FA3C_RESTRICT a3 = a2 + sa;
+        float *FA3C_RESTRICT c0 = c + static_cast<std::size_t>(i) * sc;
+        float *FA3C_RESTRICT c1 = c0 + sc;
+        float *FA3C_RESTRICT c2 = c1 + sc;
+        float *FA3C_RESTRICT c3 = c2 + sc;
+        for (int p = 0; p < k; ++p) {
+            const float a0p = a0[p];
+            const float a1p = a1[p];
+            const float a2p = a2[p];
+            const float a3p = a3[p];
+            const float *FA3C_RESTRICT bp =
+                b + static_cast<std::size_t>(p) *
+                        static_cast<std::size_t>(ldb);
+            for (int j = 0; j < n; ++j) {
+                const float bj = bp[j];
+                c0[j] += a0p * bj;
+                c1[j] += a1p * bj;
+                c2[j] += a2p * bj;
+                c3[j] += a3p * bj;
+            }
+        }
+    }
+    for (; i < m; ++i)
+        gemmRow(n, k, a + static_cast<std::size_t>(i) * sa, b, ldb,
+                c + static_cast<std::size_t>(i) * sc);
+}
+
+#ifdef FA3C_GEMM_TILED
+// Tallest register tile the target can hold without spilling: the
+// 16-register targets (SSE2-legalized, AVX2) top out at the MR=4 x
+// 32-float tile; the 32-register AVX-512 tier doubles the rows
+// (MR=8 x 2 zmm accumulators + 2 panel vectors + the broadcast).
+#if FA3C_ISA_AVX512
+constexpr int kMRMax = 8;
+#else
+constexpr int kMRMax = 4;
+#endif
+
+template <int MR>
+inline void
+rowBlock(int n, int k, const float *a, int lda, const float *b,
+         int ldb, float *c, int ldc)
+{
+    int j = 0;
+    for (; j + kGemmPanelWidth <= n; j += kGemmPanelWidth)
+        tileMxW<MR>(k, a, lda, b + j, static_cast<std::size_t>(ldb),
+                    c + j, ldc);
+    // Tail columns go through the axpy form, whose contiguous inner
+    // loop vectorizes even for a handful of columns; per C element it
+    // runs the same increasing-k order as the tiles.
+    if (j < n)
+        gemmAxpy(MR, n - j, k, a, lda, b + j, ldb, c + j, ldc);
+}
+
+void
+gemmTiled(int m, int n, int k, const float *a, int lda, const float *b,
+          int ldb, float *c, int ldc)
+{
+    const std::size_t sa = static_cast<std::size_t>(lda);
+    const std::size_t sc = static_cast<std::size_t>(ldc);
+    int i = 0;
+    if constexpr (kMRMax >= 8)
+        for (; i + 8 <= m; i += 8)
+            rowBlock<8>(n, k, a + static_cast<std::size_t>(i) * sa, lda,
+                        b, ldb, c + static_cast<std::size_t>(i) * sc,
+                        ldc);
+    for (; i + 4 <= m; i += 4)
+        rowBlock<4>(n, k, a + static_cast<std::size_t>(i) * sa, lda, b,
+                    ldb, c + static_cast<std::size_t>(i) * sc, ldc);
+    for (; i + 2 <= m; i += 2)
+        rowBlock<2>(n, k, a + static_cast<std::size_t>(i) * sa, lda, b,
+                    ldb, c + static_cast<std::size_t>(i) * sc, ldc);
+    for (; i < m; ++i)
+        rowBlock<1>(n, k, a + static_cast<std::size_t>(i) * sa, lda, b,
+                    ldb, c + static_cast<std::size_t>(i) * sc, ldc);
+}
+#endif // FA3C_GEMM_TILED
+
+void
+gemmAccImpl(int m, int n, int k, const float *a, int lda,
+            const float *b, int ldb, float *c, int ldc)
+{
+#ifdef FA3C_GEMM_TILED
+    // Tiled form needs enough C rows to amortize its strided B walk;
+    // below that (notably the M = 1 GEMV) the contiguous axpy stream
+    // is faster and bandwidth-optimal.
+    if (m >= 4 && n >= kGemmPanelWidth) {
+        gemmTiled(m, n, k, a, lda, b, ldb, c, ldc);
+        return;
+    }
+#endif
+    gemmAxpy(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void
+gemmAccPanelsImpl(int m, int n, int k, const float *a, int lda,
+                  const float *panels, float *c, int ldc)
+{
+    const std::size_t panelFloats =
+        static_cast<std::size_t>(k) * kGemmPanelWidth;
+    for (int j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
+        const int w = std::min(kGemmPanelWidth, n - j0);
+        const float *panel =
+            panels +
+            static_cast<std::size_t>(j0 / kGemmPanelWidth) * panelFloats;
+#ifdef FA3C_GEMM_TILED
+        if (w == kGemmPanelWidth) {
+            const std::size_t sa = static_cast<std::size_t>(lda);
+            const std::size_t sc = static_cast<std::size_t>(ldc);
+            float *cj = c + static_cast<std::size_t>(j0);
+            int i = 0;
+            if constexpr (kMRMax >= 8)
+                for (; i + 8 <= m; i += 8)
+                    tileMxW<8>(k, a + static_cast<std::size_t>(i) * sa,
+                               lda, panel, kGemmPanelWidth,
+                               cj + static_cast<std::size_t>(i) * sc,
+                               ldc);
+            for (; i + 4 <= m; i += 4)
+                tileMxW<4>(k, a + static_cast<std::size_t>(i) * sa, lda,
+                           panel, kGemmPanelWidth,
+                           cj + static_cast<std::size_t>(i) * sc, ldc);
+            for (; i + 2 <= m; i += 2)
+                tileMxW<2>(k, a + static_cast<std::size_t>(i) * sa, lda,
+                           panel, kGemmPanelWidth,
+                           cj + static_cast<std::size_t>(i) * sc, ldc);
+            for (; i < m; ++i)
+                tileMxW<1>(k, a + static_cast<std::size_t>(i) * sa, lda,
+                           panel, kGemmPanelWidth,
+                           cj + static_cast<std::size_t>(i) * sc, ldc);
+            continue;
+        }
+#endif
+        // Tail strip (or no vector extensions): the panel is a dense
+        // [k][kGemmPanelWidth] matrix whose first w columns are live.
+        gemmAxpy(m, w, k, a, lda, panel, kGemmPanelWidth,
+                 c + static_cast<std::size_t>(j0), ldc);
+    }
+}
+
+// ---------------------------------------------------------------
+// Small-N FC forward: per-row dot products over canonical w[O][I].
+// The lane structure (four vf accumulators, fixed combine order,
+// then an ordered lane sum and the scalar tail) is identical in both
+// TUs, so results are bit-identical across ISAs.
+// ---------------------------------------------------------------
+
+void
+fcDotRowsImpl(int batch, int outF, int inF, const float *x, int ldx,
+              const float *w, int ldw, const float *bias, float *y,
+              int ldy)
+{
+    for (int s = 0; s < batch; ++s) {
+        const float *FA3C_RESTRICT xr =
+            x + static_cast<std::size_t>(s) * static_cast<std::size_t>(ldx);
+        float *FA3C_RESTRICT yr =
+            y + static_cast<std::size_t>(s) * static_cast<std::size_t>(ldy);
+        for (int o = 0; o < outF; ++o) {
+            const float *FA3C_RESTRICT wr =
+                w + static_cast<std::size_t>(o) *
+                        static_cast<std::size_t>(ldw);
+            float total = bias[o];
+            int i = 0;
+#ifdef FA3C_GEMM_TILED
+            vf a0{}, a1{}, a2{}, a3{};
+            for (; i + 4 * kVL <= inF; i += 4 * kVL) {
+                a0 += loadu(xr + i) * loadu(wr + i);
+                a1 += loadu(xr + i + kVL) * loadu(wr + i + kVL);
+                a2 += loadu(xr + i + 2 * kVL) * loadu(wr + i + 2 * kVL);
+                a3 += loadu(xr + i + 3 * kVL) * loadu(wr + i + 3 * kVL);
+            }
+            for (; i + kVL <= inF; i += kVL)
+                a0 += loadu(xr + i) * loadu(wr + i);
+            const vf acc = (a0 + a1) + (a2 + a3);
+            float lanes[kVL];
+            __builtin_memcpy(lanes, &acc, sizeof(acc));
+            for (int l = 0; l < kVL; ++l)
+                total += lanes[l];
+#endif
+            for (; i < inF; ++i)
+                total += xr[i] * wr[i];
+            yr[o] = total;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Int8 GEMM over quad-interleaved panels (layout: quant.hh). A bytes
+// are unsigned activations in [0,127]; with |w| <= 127 the int16
+// intermediates of vpmaddubsw never saturate, so all arithmetic is
+// exact int32 and the scalar and SIMD forms agree bit-for-bit by
+// construction.
+// ---------------------------------------------------------------
+
+#if FA3C_ISA_AVX2
+/** The activation quad of row r at quad-step q, as a 32-bit scalar. */
+inline std::int32_t
+quadBitsAt(const std::int8_t *a, int lda, int r, int q)
+{
+    std::int32_t bits;
+    __builtin_memcpy(&bits,
+                     a + static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(lda) +
+                         static_cast<std::size_t>(kQuantPanelDepth) *
+                             static_cast<std::size_t>(q),
+                     4);
+    return bits;
+}
+#endif
+
+#if FA3C_ISA_AVX512
+/**
+ * MR rows x one 16-column strip. One 64-byte panel row is exactly
+ * one zmm load holding the strip's 16 columns x 4 consecutive taps
+ * interleaved [col][quad]; broadcasting a row's activation quad
+ * (vpbroadcastd) and one vpdpbusd yield the 16 exact int32 4-tap
+ * dot products of the strip per step.
+ */
+template <int MR>
+inline void
+qtileMxW(int k4, const std::int8_t *a, int lda,
+         const std::int8_t *panel, std::int32_t *c, int ldc)
+{
+    __m512i acc[MR];
+    for (int r = 0; r < MR; ++r)
+        acc[r] = _mm512_setzero_si512();
+    for (int q = 0; q < k4; ++q) {
+        const __m512i w16 = _mm512_loadu_si512(
+            panel + static_cast<std::size_t>(q) * kQuantPanelDepth *
+                        kQuantPanelWidth);
+        for (int r = 0; r < MR; ++r)
+            acc[r] = _mm512_dpbusd_epi32(
+                acc[r], _mm512_set1_epi32(quadBitsAt(a, lda, r, q)),
+                w16);
+    }
+    for (int r = 0; r < MR; ++r) {
+        std::int32_t *p = c + static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(ldc);
+        _mm512_storeu_si512(
+            p, _mm512_add_epi32(_mm512_loadu_si512(p), acc[r]));
+    }
+}
+#elif FA3C_ISA_AVX2
+/**
+ * One u8 x s8 quad-mac: acc[j] += dot of an activation quad against
+ * panel column j's quad — vpmaddubsw + vpmaddwd-against-ones. Exact
+ * under the [0,127] x [-127,127] operand contract (int16
+ * intermediates cap at 2 * 127^2 = 32258 < 32767, so the maddubs
+ * saturation never fires).
+ */
+inline __m256i
+qmac(__m256i acc, __m256i av, __m256i w8)
+{
+    return _mm256_add_epi32(
+        acc, _mm256_madd_epi16(_mm256_maddubs_epi16(av, w8),
+                               _mm256_set1_epi16(1)));
+}
+
+/**
+ * MR rows x one 16-column strip, consumed as two 32-byte halves (8
+ * columns each) of every 64-byte panel row. Broadcasting a row's
+ * activation quad (vpbroadcastd) and qmac per half yield the strip's
+ * 16 exact int32 4-tap dot products in four multiply instructions.
+ */
+template <int MR>
+inline void
+qtileMxW(int k4, const std::int8_t *a, int lda,
+         const std::int8_t *panel, std::int32_t *c, int ldc)
+{
+    __m256i acc[MR][2];
+    for (int r = 0; r < MR; ++r) {
+        acc[r][0] = _mm256_setzero_si256();
+        acc[r][1] = _mm256_setzero_si256();
+    }
+    for (int q = 0; q < k4; ++q) {
+        const std::int8_t *row =
+            panel + static_cast<std::size_t>(q) * kQuantPanelDepth *
+                        kQuantPanelWidth;
+        const __m256i wlo = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row));
+        const __m256i whi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + 32));
+        for (int r = 0; r < MR; ++r) {
+            const __m256i av =
+                _mm256_set1_epi32(quadBitsAt(a, lda, r, q));
+            acc[r][0] = qmac(acc[r][0], av, wlo);
+            acc[r][1] = qmac(acc[r][1], av, whi);
+        }
+    }
+    for (int r = 0; r < MR; ++r) {
+        __m256i *p = reinterpret_cast<__m256i *>(
+            c + static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(ldc));
+        _mm256_storeu_si256(
+            p, _mm256_add_epi32(_mm256_loadu_si256(p), acc[r][0]));
+        _mm256_storeu_si256(p + 1, _mm256_add_epi32(
+                                       _mm256_loadu_si256(p + 1),
+                                       acc[r][1]));
+    }
+}
+#endif // FA3C_ISA_AVX512 / FA3C_ISA_AVX2
+
+void
+qgemmAccPanelsImpl(int m, int n, int k, const std::int8_t *a, int lda,
+                   const std::int8_t *panels, std::int32_t *c, int ldc)
+{
+    const int k4 = (k + kQuantPanelDepth - 1) / kQuantPanelDepth;
+    const std::size_t panelBytes = static_cast<std::size_t>(k4) *
+                                   kQuantPanelDepth * kQuantPanelWidth;
+    for (int j0 = 0; j0 < n; j0 += kQuantPanelWidth) {
+        const int w = std::min(kQuantPanelWidth, n - j0);
+        const std::int8_t *panel =
+            panels +
+            static_cast<std::size_t>(j0 / kQuantPanelWidth) * panelBytes;
+#if FA3C_ISA_AVX2
+        if (w == kQuantPanelWidth) {
+            std::int32_t *cj = c + static_cast<std::size_t>(j0);
+            const std::size_t sa = static_cast<std::size_t>(lda);
+            const std::size_t sc = static_cast<std::size_t>(ldc);
+            int i = 0;
+            // Tile heights by register budget: the AVX-512 form
+            // holds one zmm accumulator per row (MR=8 fits easily);
+            // the AVX2 form needs two ymm per row, so it tops out at
+            // MR=4 of the 16-register file.
+#if FA3C_ISA_AVX512
+            for (; i + 8 <= m; i += 8)
+                qtileMxW<8>(k4, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc,
+                            ldc);
+#endif
+            for (; i + 4 <= m; i += 4)
+                qtileMxW<4>(k4, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc,
+                            ldc);
+            for (; i + 2 <= m; i += 2)
+                qtileMxW<2>(k4, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc,
+                            ldc);
+            for (; i < m; ++i)
+                qtileMxW<1>(k4, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc,
+                            ldc);
+            continue;
+        }
+#endif
+        for (int i = 0; i < m; ++i) {
+            const std::int8_t *FA3C_RESTRICT ar =
+                a + static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(lda);
+            std::int32_t *FA3C_RESTRICT cr =
+                c + static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(ldc) +
+                static_cast<std::size_t>(j0);
+            for (int j = 0; j < w; ++j) {
+                const std::int8_t *FA3C_RESTRICT p =
+                    panel + kQuantPanelDepth * j;
+                std::int32_t acc = 0;
+                for (int q = 0; q < k4; ++q) {
+                    const std::size_t base =
+                        static_cast<std::size_t>(q) * kQuantPanelDepth;
+                    for (int t = 0; t < kQuantPanelDepth; ++t)
+                        acc += static_cast<std::int32_t>(
+                                   static_cast<std::uint8_t>(
+                                       ar[base +
+                                          static_cast<std::size_t>(t)])) *
+                               p[base * kQuantPanelWidth +
+                                 static_cast<std::size_t>(t)];
+                }
+                cr[j] += acc;
+            }
+        }
+    }
+}
+
+std::int32_t
+qdotImpl(int k, const std::int8_t *a, const std::int8_t *b)
+{
+    std::int32_t total = 0;
+    int i = 0;
+#if FA3C_ISA_AVX2
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 32 <= k; i += 32) {
+        const __m256i av = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        acc = _mm256_add_epi32(
+            acc,
+            _mm256_madd_epi16(
+                _mm256_cvtepi8_epi16(_mm256_castsi256_si128(av)),
+                _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bv))));
+        acc = _mm256_add_epi32(
+            acc,
+            _mm256_madd_epi16(
+                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(av, 1)),
+                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(bv, 1))));
+    }
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+    total = _mm_cvtsi128_si32(s);
+#endif
+    for (; i < k; ++i)
+        total += static_cast<std::int32_t>(a[i]) *
+                 static_cast<std::int32_t>(b[i]);
+    return total;
+}
+
+// ---------------------------------------------------------------
+// Fp16-storage GEMM: the fp32 register tile with the panel rows
+// up-converted on load. Both converters are exact (every binary16
+// value is representable in binary32), so results match the generic
+// table bit-for-bit.
+// ---------------------------------------------------------------
+
+#ifdef FA3C_GEMM_TILED
+/** One tile-width vector of panel halfs, exactly up-converted. */
+inline vfw
+loadHalfW(const std::uint16_t *p)
+{
+#if FA3C_ISA_AVX512
+    return static_cast<vfw>(_mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p))));
+#elif FA3C_ISA_AVX2
+    return static_cast<vfw>(_mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p))));
+#else
+    float tmp[kVLW];
+    for (int l = 0; l < kVLW; ++l)
+        tmp[l] = halfToFloat(p[l]);
+    return vecload<vfw>(tmp);
+#endif
+}
+
+template <int MR>
+inline void
+htileMxW(int k, const float *FA3C_RESTRICT a, int lda,
+         const std::uint16_t *FA3C_RESTRICT b, float *c, int ldc)
+{
+    vfw acc[MR][kNV];
+    for (int r = 0; r < MR; ++r)
+        for (int v = 0; v < kNV; ++v)
+            acc[r][v] = vecload<vfw>(c + static_cast<std::size_t>(r) *
+                                             static_cast<std::size_t>(ldc) +
+                                     v * kVLW);
+    for (int p = 0; p < k; ++p) {
+        const std::uint16_t *bp =
+            b + static_cast<std::size_t>(p) * kGemmPanelWidth;
+        vfw bv[kNV];
+        for (int v = 0; v < kNV; ++v)
+            bv[v] = loadHalfW(bp + v * kVLW);
+        for (int r = 0; r < MR; ++r) {
+            const vfw av =
+                a[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(lda) +
+                  static_cast<std::size_t>(p)] -
+                (vfw){}; // broadcast
+            for (int v = 0; v < kNV; ++v)
+                acc[r][v] += av * bv[v];
+        }
+    }
+    for (int r = 0; r < MR; ++r)
+        for (int v = 0; v < kNV; ++v)
+            vecstore(c + static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(ldc) +
+                         v * kVLW,
+                     acc[r][v]);
+}
+#endif // FA3C_GEMM_TILED
+
+void
+hgemmAccPanelsImpl(int m, int n, int k, const float *a, int lda,
+                   const std::uint16_t *panels, float *c, int ldc)
+{
+    const std::size_t panelHalfs =
+        static_cast<std::size_t>(k) * kGemmPanelWidth;
+    for (int j0 = 0; j0 < n; j0 += kGemmPanelWidth) {
+        const int w = std::min(kGemmPanelWidth, n - j0);
+        const std::uint16_t *panel =
+            panels +
+            static_cast<std::size_t>(j0 / kGemmPanelWidth) * panelHalfs;
+#ifdef FA3C_GEMM_TILED
+        if (w == kGemmPanelWidth) {
+            float *cj = c + static_cast<std::size_t>(j0);
+            const std::size_t sa = static_cast<std::size_t>(lda);
+            const std::size_t sc = static_cast<std::size_t>(ldc);
+            int i = 0;
+            if constexpr (kMRMax >= 8)
+                for (; i + 8 <= m; i += 8)
+                    htileMxW<8>(k, a + static_cast<std::size_t>(i) * sa,
+                                lda, panel,
+                                cj + static_cast<std::size_t>(i) * sc,
+                                ldc);
+            for (; i + 4 <= m; i += 4)
+                htileMxW<4>(k, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc, ldc);
+            for (; i + 2 <= m; i += 2)
+                htileMxW<2>(k, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc, ldc);
+            for (; i < m; ++i)
+                htileMxW<1>(k, a + static_cast<std::size_t>(i) * sa,
+                            lda, panel,
+                            cj + static_cast<std::size_t>(i) * sc, ldc);
+            continue;
+        }
+#endif
+        // Tail strip: scalar walk with the software converter — the
+        // same code in both TUs, so ISA parity holds here too.
+        for (int i = 0; i < m; ++i) {
+            const float *FA3C_RESTRICT ar =
+                a + static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(lda);
+            float *FA3C_RESTRICT cr =
+                c + static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(ldc) +
+                static_cast<std::size_t>(j0);
+            for (int p = 0; p < k; ++p) {
+                const float ap = ar[p];
+                const std::uint16_t *bp =
+                    panel + static_cast<std::size_t>(p) * kGemmPanelWidth;
+                for (int j = 0; j < w; ++j)
+                    cr[j] += ap * halfToFloat(bp[j]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Quantization: q[i] = clamp(rne(x[i] * inv), LO, 127) with LO =
+// -127 for weights (quantizeRow) and 0 for activations
+// (quantizeRowU, matching the unsigned A operand of the int8 GEMM).
+// lrintf and vcvtps2dq both round to nearest-even under the default
+// FP environment, so the tails and the vector body agree exactly.
+// ---------------------------------------------------------------
+
+template <int LO>
+inline std::int8_t
+quantizeOne(float x, float inv)
+{
+    long r = lrintf(x * inv);
+    if (r > 127)
+        r = 127;
+    else if (r < LO)
+        r = LO;
+    return static_cast<std::int8_t>(r);
+}
+
+template <int LO>
+inline void
+quantizeRowBody(int n, const float *x, float inv, std::int8_t *q)
+{
+    int i = 0;
+#if FA3C_ISA_AVX2
+    const __m256 vinv = _mm256_set1_ps(inv);
+    const __m256i vmax = _mm256_set1_epi32(127);
+    const __m256i vmin = _mm256_set1_epi32(LO);
+    // Lane order after the two saturating packs is dword-interleaved
+    // across the 128-bit halves; this permute restores it.
+    const __m256i order =
+        _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    for (; i + 32 <= n; i += 32) {
+        __m256i v[4];
+        for (int g = 0; g < 4; ++g) {
+            const __m256 xv = _mm256_loadu_ps(x + i + 8 * g);
+            __m256i iv = _mm256_cvtps_epi32(_mm256_mul_ps(xv, vinv));
+            iv = _mm256_min_epi32(iv, vmax);
+            iv = _mm256_max_epi32(iv, vmin);
+            v[g] = iv;
+        }
+        const __m256i s01 = _mm256_packs_epi32(v[0], v[1]);
+        const __m256i s23 = _mm256_packs_epi32(v[2], v[3]);
+        const __m256i b = _mm256_permutevar8x32_epi32(
+            _mm256_packs_epi16(s01, s23), order);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(q + i), b);
+    }
+#endif
+    for (; i < n; ++i)
+        q[i] = quantizeOne<LO>(x[i], inv);
+}
+
+void
+quantizeRowImpl(int n, const float *x, float inv, std::int8_t *q)
+{
+    quantizeRowBody<-127>(n, x, inv, q);
+}
+
+void
+quantizeRowUImpl(int n, const float *x, float inv, std::int8_t *q)
+{
+    quantizeRowBody<0>(n, x, inv, q);
+}
+
+} // namespace
+
+const KernelOps kOps = {
+    FA3C_ISA_NAME,      gemmAccImpl,  gemmAccPanelsImpl,
+    fcDotRowsImpl,      qgemmAccPanelsImpl,
+    qdotImpl,           hgemmAccPanelsImpl,
+    quantizeRowImpl,    quantizeRowUImpl,
+};
+
+} // namespace FA3C_ISA_NS
+} // namespace fa3c::nn::kernels

@@ -1,0 +1,29 @@
+// Portable-baseline instantiation of the ISA-specialized kernel
+// bodies (see kernel_impl.inl). Built with the project's default
+// flags plus -ffp-contract=off, so it runs on any host the binary
+// targets.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/kernels/dispatch.hh"
+#include "nn/kernels/gemm.hh"
+#include "nn/kernels/quant.hh"
+
+#define FA3C_ISA_NS isa_generic
+#define FA3C_ISA_NAME "generic"
+#define FA3C_ISA_AVX2 0
+#define FA3C_ISA_AVX512 0
+#include "nn/kernels/kernel_impl.inl"
+
+namespace fa3c::nn::kernels {
+
+const KernelOps *
+genericOps()
+{
+    return &isa_generic::kOps;
+}
+
+} // namespace fa3c::nn::kernels

@@ -1,0 +1,171 @@
+#include "nn/kernels/threadpool.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fa3c::nn::kernels {
+
+namespace {
+
+int
+resolveThreads()
+{
+    if (const char *env = std::getenv("FA3C_KERNEL_THREADS")) {
+        const int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned half = hw / 2;
+    return static_cast<int>(half < 1 ? 1 : (half > 4 ? 4 : half));
+}
+
+/**
+ * Fork-join pool: the submitting thread publishes a job under the
+ * pool mutex, wakes the workers, claims tasks alongside them via an
+ * atomic cursor, and waits for the completion count. Workers park on
+ * the condition variable between jobs. The job function pointer is
+ * only dereferenced after a task index is claimed, so a worker that
+ * wakes up late (after the job completed and the pointer was
+ * cleared) claims nothing and touches nothing.
+ */
+class Pool
+{
+  public:
+    explicit Pool(int width)
+    {
+        for (int i = 0; i < width - 1; ++i)
+            workers_.emplace_back([this] { workerMain(); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    void
+    run(int tasks, const std::function<void(int)> &fn)
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            fn_ = &fn;
+            taskCount_ = tasks;
+            next_.store(0, std::memory_order_relaxed);
+            done_.store(0, std::memory_order_relaxed);
+            ++gen_;
+        }
+        cv_.notify_all();
+        drain(&fn, tasks);
+        std::unique_lock<std::mutex> lk(m_);
+        doneCv_.wait(lk, [&] {
+            return done_.load(std::memory_order_acquire) == tasks;
+        });
+        fn_ = nullptr;
+    }
+
+  private:
+    void
+    drain(const std::function<void(int)> *fn, int tasks)
+    {
+        for (;;) {
+            const int t = next_.fetch_add(1, std::memory_order_relaxed);
+            if (t >= tasks)
+                return;
+            // Claiming t < tasks pins the job alive: run() cannot
+            // return (and destroy fn) until this task's done_ lands.
+            (*fn)(t);
+            if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                tasks) {
+                std::lock_guard<std::mutex> lk(m_);
+                doneCv_.notify_one();
+            }
+        }
+    }
+
+    void
+    workerMain()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(int)> *fn;
+            int tasks;
+            {
+                std::unique_lock<std::mutex> lk(m_);
+                cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+                if (stop_)
+                    return;
+                seen = gen_;
+                fn = fn_;
+                tasks = taskCount_;
+            }
+            if (fn != nullptr)
+                drain(fn, tasks);
+        }
+    }
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+    const std::function<void(int)> *fn_ = nullptr;
+    int taskCount_ = 0;
+    std::uint64_t gen_ = 0;
+    bool stop_ = false;
+    std::atomic<int> next_{0};
+    std::atomic<int> done_{0};
+};
+
+std::mutex &
+poolGate()
+{
+    static std::mutex gate;
+    return gate;
+}
+
+Pool &
+pool()
+{
+    static Pool p(kernelThreads());
+    return p;
+}
+
+} // namespace
+
+int
+kernelThreads()
+{
+    static const int n = resolveThreads();
+    return n;
+}
+
+void
+parallelFor(int tasks, const std::function<void(int)> &fn)
+{
+    if (tasks <= 1 || kernelThreads() <= 1) {
+        for (int t = 0; t < tasks; ++t)
+            fn(t);
+        return;
+    }
+    std::unique_lock<std::mutex> lk(poolGate(), std::try_to_lock);
+    if (!lk.owns_lock()) {
+        // Another thread owns the pool; inline is both correct and
+        // the better schedule (the callers are already parallel).
+        for (int t = 0; t < tasks; ++t)
+            fn(t);
+        return;
+    }
+    pool().run(tasks, fn);
+}
+
+} // namespace fa3c::nn::kernels

@@ -23,6 +23,10 @@
 #include "nn/params.hh"
 #include "tensor/tensor.hh"
 
+namespace fa3c::nn {
+struct QuantizedModel; // nn/quant_params.hh
+}
+
 namespace fa3c::rl {
 
 /**
@@ -45,6 +49,28 @@ class DnnBackend
      * images) rebuild them here instead of on every task.
      */
     virtual void onParamSync(const nn::ParamSet &params) { (void)params; }
+
+    /**
+     * True when this backend can stage a pre-built quantized weight
+     * image via onQuantSync instead of deriving one itself. The
+     * serving scheduler uses this to hand every worker the image the
+     * registry quantized once at publish time.
+     */
+    virtual bool wantsQuantized() const { return false; }
+
+    /**
+     * Parameter sync with a pre-quantized image of the same params
+     * (built by nn::quantizeModel, shared across workers). The
+     * default ignores the image and falls back to onParamSync, so
+     * callers may use this entry point unconditionally.
+     */
+    virtual void
+    onQuantSync(const nn::ParamSet &params,
+                std::shared_ptr<const nn::QuantizedModel> quant)
+    {
+        (void)quant;
+        onParamSync(params);
+    }
 
     /**
      * Inference task: forward propagation.
@@ -131,6 +157,8 @@ enum class BackendKind
 {
     Reference, ///< golden layer library (nn/layers.cc)
     FastCpu,   ///< blocked im2col/GEMM kernels (nn/kernels/)
+    Int8,      ///< int8 weights/activations, per-channel scales
+    Fp16,      ///< fp16-storage FC weights, fp32 arithmetic
 };
 
 /** Construct a backend of @p kind over @p net (which must outlive it). */
@@ -138,8 +166,8 @@ std::unique_ptr<DnnBackend> makeDnnBackend(BackendKind kind,
                                            const nn::A3cNetwork &net);
 
 /**
- * Parse a CLI-style backend name: "reference" or "fast".
- * Panics on anything else.
+ * Parse a CLI-style backend name: "reference", "fast", "int8" or
+ * "fp16". Panics on anything else.
  */
 BackendKind backendKindFromName(const std::string &name);
 

@@ -1,5 +1,7 @@
 #include "rl/fast_cpu_backend.hh"
 
+#include "rl/quant_backend.hh"
+
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -74,6 +76,7 @@ FastCpuBackend::FastCpuBackend(const nn::A3cNetwork &net)
                                 net.conv1().outWidth()})),
       gConv1Pre_(gConv1Act_.shape())
 {
+    fc4Small_ = net.fc4().outFeatures < nn::kernels::kSmallFcMaxOut;
 }
 
 void
@@ -88,20 +91,25 @@ FastCpuBackend::onParamSync(const nn::ParamSet &params)
         static_cast<int>(nn::kernels::patchSize(c2)), conv2WT_.data());
     nn::kernels::transpose(params.view("fc3.w").data(), f3.outFeatures,
                            f3.inFeatures, fc3WT_.data());
-    nn::kernels::transpose(params.view("fc4.w").data(), f4.outFeatures,
-                           f4.inFeatures, fc4WT_.data());
     // Panel-packed wT for batched FC forward: built per sync/publish,
-    // amortized over every batch served until the next one.
+    // amortized over every batch served until the next one. A small
+    // FC4 head needs neither image — its forward runs the
+    // canonical-row dot kernel straight off the ParamSet.
     fc3Panels_.resize(
         nn::kernels::gemmPanelSize(f3.outFeatures, f3.inFeatures));
-    fc4Panels_.resize(
-        nn::kernels::gemmPanelSize(f4.outFeatures, f4.inFeatures));
     nn::kernels::gemmPackPanels(f3.outFeatures, f3.inFeatures,
                                 fc3WT_.data(), f3.outFeatures,
                                 fc3Panels_.data());
-    nn::kernels::gemmPackPanels(f4.outFeatures, f4.inFeatures,
-                                fc4WT_.data(), f4.outFeatures,
-                                fc4Panels_.data());
+    if (!fc4Small_) {
+        nn::kernels::transpose(params.view("fc4.w").data(),
+                               f4.outFeatures, f4.inFeatures,
+                               fc4WT_.data());
+        fc4Panels_.resize(
+            nn::kernels::gemmPanelSize(f4.outFeatures, f4.inFeatures));
+        nn::kernels::gemmPackPanels(f4.outFeatures, f4.inFeatures,
+                                    fc4WT_.data(), f4.outFeatures,
+                                    fc4Panels_.data());
+    }
     staged_ = true;
 }
 
@@ -158,9 +166,15 @@ FastCpuBackend::forward(const nn::ParamSet &params,
     nn::reluForward(act.fc3Pre, act.fc3Act);
     {
         KernelTimer t("fc_fw");
-        nn::kernels::fcForwardFast(net_.fc4(), act.fc3Act.data().data(),
-                                   fc4WT_, params.view("fc4.b"),
-                                   act.out.data().data());
+        if (fc4Small_)
+            nn::kernels::fcForwardSmallBatch(
+                net_.fc4(), 1, act.fc3Act.data().data(),
+                params.view("fc4.w"), params.view("fc4.b"),
+                act.out.data().data());
+        else
+            nn::kernels::fcForwardFast(
+                net_.fc4(), act.fc3Act.data().data(), fc4WT_,
+                params.view("fc4.b"), act.out.data().data());
     }
 }
 
@@ -301,12 +315,18 @@ FastCpuBackend::forwardBatch(
                     out3 * sizeof(float));
     }
 
-    // FC4 batched the same way.
+    // FC4 batched the same way (or the small-head dot kernel, which
+    // is the same per-element order as the single-sample call).
     {
         KernelTimer t("fc_fw");
-        nn::kernels::fcForwardFastBatchPanels(
-            f4, bsz, batchAct_.data(), fc4Panels_, params.view("fc4.b"),
-            batchOut_.data());
+        if (fc4Small_)
+            nn::kernels::fcForwardSmallBatch(
+                f4, bsz, batchAct_.data(), params.view("fc4.w"),
+                params.view("fc4.b"), batchOut_.data());
+        else
+            nn::kernels::fcForwardFastBatchPanels(
+                f4, bsz, batchAct_.data(), fc4Panels_,
+                params.view("fc4.b"), batchOut_.data());
     }
     for (int s = 0; s < bsz; ++s)
         std::memcpy(acts[s]->out.data().data(),
@@ -322,6 +342,12 @@ makeDnnBackend(BackendKind kind, const nn::A3cNetwork &net)
         return std::make_unique<ReferenceBackend>(net);
     case BackendKind::FastCpu:
         return std::make_unique<FastCpuBackend>(net);
+    case BackendKind::Int8:
+        return std::make_unique<QuantCpuBackend>(net,
+                                                 nn::QuantMode::Int8);
+    case BackendKind::Fp16:
+        return std::make_unique<QuantCpuBackend>(net,
+                                                 nn::QuantMode::Fp16);
     }
     FA3C_PANIC("unknown BackendKind ", static_cast<int>(kind));
 }
@@ -332,7 +358,7 @@ backendKindFromName(const std::string &name)
     if (const auto kind = tryBackendKindFromName(name))
         return *kind;
     FA3C_PANIC("unknown backend name '", name,
-               "' (want reference|fast)");
+               "' (want reference|fast|int8|fp16)");
 }
 
 std::optional<BackendKind>
@@ -342,13 +368,27 @@ tryBackendKindFromName(const std::string &name)
         return BackendKind::Reference;
     if (name == "fast")
         return BackendKind::FastCpu;
+    if (name == "int8")
+        return BackendKind::Int8;
+    if (name == "fp16")
+        return BackendKind::Fp16;
     return std::nullopt;
 }
 
 const char *
 backendKindName(BackendKind kind)
 {
-    return kind == BackendKind::FastCpu ? "fast" : "reference";
+    switch (kind) {
+    case BackendKind::Reference:
+        return "reference";
+    case BackendKind::FastCpu:
+        return "fast";
+    case BackendKind::Int8:
+        return "int8";
+    case BackendKind::Fp16:
+        return "fp16";
+    }
+    return "reference";
 }
 
 } // namespace fa3c::rl

@@ -57,7 +57,12 @@ class FastCpuBackend : public DnnBackend
                  std::span<nn::A3cNetwork::Activations *const> acts)
         override;
 
-  private:
+  protected:
+    // Protected rather than private: QuantCpuBackend derives from
+    // this class to inherit the fp32 training path (backward) and the
+    // fp32 conv trunk its fp16 mode uses, and shares the batch
+    // staging buffers.
+
     /** Stage lazily when forward/backward arrive before any sync. */
     void ensureStaged(const nn::ParamSet &params);
 
@@ -77,6 +82,14 @@ class FastCpuBackend : public DnnBackend
     std::vector<float> fc3Panels_; ///< packed wT panels for batched FW
     std::vector<float> fc4Panels_; ///< packed wT panels for batched FW
     bool staged_ = false;
+    /**
+     * FC4 heads narrower than kernels::kSmallFcMaxOut skip the
+     * wT/panel staging entirely and run the canonical-row dot-product
+     * kernel: the panel layout pads every strip to 32 columns, which
+     * for the 5-wide head wastes 6x the weight bandwidth (the cause
+     * of the old fc4 0.5x regression vs golden).
+     */
+    bool fc4Small_ = false;
 
     // Per-agent scratch: one im2col/im2row patch matrix (sized for the
     // larger conv) plus the backward-pass gradient tensors, allocated

@@ -156,7 +156,14 @@ BatchScheduler::workerMain(int index)
             continue;
         }
         if (model->version != staged_version) {
-            backend->onParamSync(model->params);
+            // Quantized backends stage the image the registry built
+            // once at publish time; everyone else (and quantized
+            // backends facing an unquantized publish) restages from
+            // the fp32 params.
+            if (backend->wantsQuantized() && model->quant)
+                backend->onQuantSync(model->params, model->quant);
+            else
+                backend->onParamSync(model->params);
             staged_version = model->version;
             std::lock_guard<std::mutex> lock(*statsMutex_);
             stats_->counter("param_stages").inc();

@@ -21,6 +21,7 @@
 #include <mutex>
 
 #include "nn/params.hh"
+#include "nn/quant_params.hh"
 
 namespace fa3c::serve {
 
@@ -33,11 +34,27 @@ class ModelRegistry
     {
         std::uint64_t version = 0;
         nn::ParamSet params;
+        /**
+         * Quantized image of params, built once at publish time when
+         * quantization is enabled (nullptr otherwise). Workers whose
+         * backend wantsQuantized() stage this shared image instead of
+         * each re-quantizing the same weights.
+         */
+        std::shared_ptr<const nn::QuantizedModel> quant;
     };
 
     /**
+     * Quantize every subsequent publish for @p net in @p mode. Call
+     * before the first publish (there is no re-quantization of
+     * already-published versions). @p net must outlive the registry.
+     */
+    void enableQuantization(const nn::A3cNetwork &net,
+                            nn::QuantMode mode);
+
+    /**
      * Publish @p params as the next version (the set is moved in and
-     * frozen). Never blocks in-flight batches.
+     * frozen). Never blocks in-flight batches; with quantization
+     * enabled the quantized image is built outside the registry lock.
      *
      * @return The new version number (1-based, monotonic).
      */
@@ -57,6 +74,8 @@ class ModelRegistry
     mutable std::mutex mutex_;
     std::shared_ptr<const Model> current_;
     std::uint64_t nextVersion_ = 1;
+    const nn::A3cNetwork *quantNet_ = nullptr;
+    nn::QuantMode quantMode_ = nn::QuantMode::Int8;
 };
 
 } // namespace fa3c::serve

@@ -38,10 +38,18 @@ RequestQueue::admit(Request &&r)
             return Status::RejectedDeadline;
         // Every queued request ahead of this one (plus itself) must be
         // served before the deadline; estimate that wait from the
-        // scheduler's observed per-request service time.
+        // scheduler's observed per-request service time. Only live
+        // entries count: requests whose own deadline already lapsed
+        // never reach a backend (popBatch expires them on the way
+        // out), so a heap full of expired requests must not reject a
+        // fresh one that would actually be served immediately.
+        std::size_t live = 0;
+        for (const auto &queued : items_)
+            if (queued.deadline == kNoDeadline || queued.deadline > now)
+                ++live;
         const double est_us =
             serviceEstimateUs_.load(std::memory_order_relaxed) *
-            static_cast<double>(items_.size() + 1);
+            static_cast<double>(live + 1);
         const auto est = std::chrono::microseconds(
             static_cast<std::int64_t>(est_us));
         if (now + est > r.deadline)

@@ -97,6 +97,15 @@ PolicyServer::PolicyServer(const nn::A3cNetwork &net,
               return version > 0;
           })
 {
+    // Quantize-on-publish: when the configured worker backend runs a
+    // quantized image, build that image once per publish in the
+    // registry instead of once per worker per publish. Custom-factory
+    // quantized backends without this still work — they re-derive the
+    // image locally in onQuantSync's fallback.
+    if (cfg_.backend == rl::BackendKind::Int8)
+        registry_.enableQuantization(net_, nn::QuantMode::Int8);
+    else if (cfg_.backend == rl::BackendKind::Fp16)
+        registry_.enableQuantization(net_, nn::QuantMode::Fp16);
 }
 
 PolicyServer::~PolicyServer()

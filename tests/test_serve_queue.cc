@@ -52,6 +52,27 @@ TEST(ServeQueue, RejectsExpiredAndInfeasibleDeadlines)
               Status::Ok);
 }
 
+TEST(ServeQueue, ExpiredEntriesDoNotCountTowardAdmission)
+{
+    RequestQueue queue({.maxDepth = 16, .edf = true});
+    // Three requests expire while queued (admitted while the service
+    // estimate was still zero, so their tight deadlines cleared).
+    ASSERT_EQ(queue.admit(makeRequest(1, Clock::now() + 1ms)),
+              Status::Ok);
+    ASSERT_EQ(queue.admit(makeRequest(2, Clock::now() + 1ms)),
+              Status::Ok);
+    ASSERT_EQ(queue.admit(makeRequest(3, Clock::now() + 1ms)),
+              Status::Ok);
+    std::this_thread::sleep_for(5ms);
+    queue.noteServiceTime(50'000.0); // 50 ms per request
+    // Only the fresh request itself is pending service: the wait
+    // estimate is 1 x 50 ms, so a 150 ms budget is feasible. Counting
+    // the three expired entries (4 x 50 ms = 200 ms) would wrongly
+    // reject a request the scheduler would serve immediately.
+    EXPECT_EQ(queue.admit(makeRequest(4, Clock::now() + 150ms)),
+              Status::Ok);
+}
+
 TEST(ServeQueue, PopsEarliestDeadlineFirst)
 {
     RequestQueue queue({.maxDepth = 16, .edf = true});
