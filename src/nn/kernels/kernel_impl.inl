@@ -694,7 +694,12 @@ hgemmAccPanelsImpl(int m, int n, int k, const float *a, int lda,
 // -127 for weights (quantizeRow) and 0 for activations
 // (quantizeRowU, matching the unsigned A operand of the int8 GEMM).
 // lrintf and vcvtps2dq both round to nearest-even under the default
-// FP environment, so the tails and the vector body agree exactly.
+// FP environment, so the tails and the vector body agree exactly —
+// for FINITE inputs only. On NaN/Inf the two disagree (vcvtps2dq
+// yields INT_MIN, clamped to LO; lrintf is unspecified), making the
+// result position-dependent, so finite input is a documented
+// precondition (quant.hh) rather than something clamped here in the
+// hot loop.
 // ---------------------------------------------------------------
 
 template <int LO>

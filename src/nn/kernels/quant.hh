@@ -71,6 +71,12 @@ float rowMaxAbs(const float *x, std::size_t n);
  * Weight quantization: q[i] = clamp(rne(x[i] * inv), -127, 127) —
  * ISA-dispatched. Round-to-nearest-even under the default FP
  * environment.
+ *
+ * @pre Every x[i] is finite. Non-finite inputs round differently in
+ * the vector body (cvtps2dq yields INT_MIN, clamped low) and the
+ * scalar tail (lrintf on NaN/out-of-range is unspecified), so the
+ * quantized value would depend on the element's position within the
+ * row and the cross-ISA bit-identity guarantee does not cover them.
  */
 void quantizeRow(int n, const float *x, float inv, std::int8_t *q);
 
@@ -79,6 +85,8 @@ void quantizeRow(int n, const float *x, float inv, std::int8_t *q);
  * ISA-dispatched, same rounding as quantizeRow. The unsigned clamp
  * matches the non-negative activation domain (see file header); this
  * is the only valid producer of qgemmAccPanels / qdot A operands.
+ *
+ * @pre Every x[i] is finite (same contract as quantizeRow).
  */
 void quantizeRowU(int n, const float *x, float inv, std::int8_t *q);
 

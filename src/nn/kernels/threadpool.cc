@@ -29,10 +29,18 @@ resolveThreads()
  * Fork-join pool: the submitting thread publishes a job under the
  * pool mutex, wakes the workers, claims tasks alongside them via an
  * atomic cursor, and waits for the completion count. Workers park on
- * the condition variable between jobs. The job function pointer is
- * only dereferenced after a task index is claimed, so a worker that
- * wakes up late (after the job completed and the pointer was
- * cleared) claims nothing and touches nothing.
+ * the condition variable between jobs.
+ *
+ * The cursor packs (generation, next task index) into one 64-bit
+ * atomic, and a claim is a CAS that only succeeds while the cursor
+ * still carries the claimer's generation. A worker that captured job
+ * N but stalls until job N+1 is published therefore cannot claim one
+ * of N+1's tasks through N's (now dangling) function pointer, nor
+ * bump N+1's completion count for work it never did: its CAS sees a
+ * different generation and the worker goes back to sleep. A
+ * successful claim conversely pins the job alive — run() cannot
+ * return (and let the caller destroy the std::function) until that
+ * task's done_ increment lands.
  */
 class Pool
 {
@@ -57,16 +65,22 @@ class Pool
     void
     run(int tasks, const std::function<void(int)> &fn)
     {
+        std::uint64_t gen;
         {
             std::lock_guard<std::mutex> lk(m_);
             fn_ = &fn;
             taskCount_ = tasks;
-            next_.store(0, std::memory_order_relaxed);
+            gen = ++gen_;
             done_.store(0, std::memory_order_relaxed);
-            ++gen_;
+            // Publishing the new generation in the cursor invalidates
+            // every outstanding claim attempt from older jobs; done_
+            // was safely reset above because the previous run() only
+            // returned once all of its claims had drained.
+            cursor_.store((gen & 0xffffffffu) << 32,
+                          std::memory_order_release);
         }
         cv_.notify_all();
-        drain(&fn, tasks);
+        drain(&fn, tasks, gen);
         std::unique_lock<std::mutex> lk(m_);
         doneCv_.wait(lk, [&] {
             return done_.load(std::memory_order_acquire) == tasks;
@@ -76,13 +90,24 @@ class Pool
 
   private:
     void
-    drain(const std::function<void(int)> *fn, int tasks)
+    drain(const std::function<void(int)> *fn, int tasks,
+          std::uint64_t gen)
     {
+        gen &= 0xffffffffu; // cursor carries the low 32 bits only
+        std::uint64_t cur = cursor_.load(std::memory_order_acquire);
         for (;;) {
-            const int t = next_.fetch_add(1, std::memory_order_relaxed);
+            if ((cur >> 32) != gen)
+                return; // a newer job owns the cursor; ours is done
+            const int t = static_cast<int>(cur & 0xffffffffu);
             if (t >= tasks)
                 return;
-            // Claiming t < tasks pins the job alive: run() cannot
+            if (!cursor_.compare_exchange_weak(
+                    cur,
+                    (gen << 32) | static_cast<std::uint32_t>(t + 1),
+                    std::memory_order_acq_rel,
+                    std::memory_order_acquire))
+                continue;
+            // A successful claim pins the job alive: run() cannot
             // return (and destroy fn) until this task's done_ lands.
             (*fn)(t);
             if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -90,6 +115,7 @@ class Pool
                 std::lock_guard<std::mutex> lk(m_);
                 doneCv_.notify_one();
             }
+            cur = cursor_.load(std::memory_order_acquire);
         }
     }
 
@@ -110,7 +136,7 @@ class Pool
                 tasks = taskCount_;
             }
             if (fn != nullptr)
-                drain(fn, tasks);
+                drain(fn, tasks, seen);
         }
     }
 
@@ -122,7 +148,12 @@ class Pool
     int taskCount_ = 0;
     std::uint64_t gen_ = 0;
     bool stop_ = false;
-    std::atomic<int> next_{0};
+    /// (generation << 32) | next-task-index; claims CAS the low half
+    /// and are rejected once the high half moves past their job. The
+    /// 32-bit generation wraps after 2^32 jobs; a worker would have
+    /// to sleep across that entire span for ABA, which the cv wakeup
+    /// per job makes unreachable in practice.
+    std::atomic<std::uint64_t> cursor_{0};
     std::atomic<int> done_{0};
 };
 

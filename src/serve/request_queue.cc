@@ -21,6 +21,12 @@ RequestQueue::popTopLocked()
     std::pop_heap(items_.begin(), items_.end(), cmp);
     Request r = std::move(items_.back());
     items_.pop_back();
+    if (r.deadline != kNoDeadline &&
+        deadlines_.erase({r.deadline, r.seq}) == 0) {
+        // Already purged from deadlines_ by an admit-time sweep, so
+        // it is counted in expiredQueued_; it leaves items_ now.
+        --expiredQueued_;
+    }
     return r;
 }
 
@@ -42,11 +48,15 @@ RequestQueue::admit(Request &&r)
         // entries count: requests whose own deadline already lapsed
         // never reach a backend (popBatch expires them on the way
         // out), so a heap full of expired requests must not reject a
-        // fresh one that would actually be served immediately.
-        std::size_t live = 0;
-        for (const auto &queued : items_)
-            if (queued.deadline == kNoDeadline || queued.deadline > now)
-                ++live;
+        // fresh one that would actually be served immediately. The
+        // purge below keeps the live count without scanning items_;
+        // each queued deadline is popped from the set at most once.
+        while (!deadlines_.empty() &&
+               deadlines_.begin()->first <= now) {
+            deadlines_.erase(deadlines_.begin());
+            ++expiredQueued_;
+        }
+        const std::size_t live = items_.size() - expiredQueued_;
         const double est_us =
             serviceEstimateUs_.load(std::memory_order_relaxed) *
             static_cast<double>(live + 1);
@@ -56,6 +66,8 @@ RequestQueue::admit(Request &&r)
             return Status::RejectedDeadline;
     }
     r.seq = nextSeq_++;
+    if (r.deadline != kNoDeadline)
+        deadlines_.emplace(r.deadline, r.seq);
     items_.push_back(std::move(r));
     const auto cmp = [this](const Request &x, const Request &y) {
         return before(y, x);

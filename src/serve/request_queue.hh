@@ -22,7 +22,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "serve/request.hh"
@@ -111,6 +114,17 @@ class RequestQueue
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<Request> items_; ///< binary heap under before()
+    /**
+     * (deadline, seq) for every queued request whose deadline has not
+     * yet been observed expired. Together with expiredQueued_ this
+     * gives admit() the live-entry count in amortized O(log n)
+     * instead of rescanning items_: each deadline enters and leaves
+     * the set exactly once (popped by the admit-time purge when it
+     * expires, or erased when popBatch removes the request).
+     */
+    std::set<std::pair<Clock::time_point, std::uint64_t>> deadlines_;
+    /// Requests still in items_ whose deadline the purge saw expire.
+    std::size_t expiredQueued_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::atomic<bool> closed_{false};
     std::atomic<double> serviceEstimateUs_{0.0};

@@ -73,6 +73,40 @@ TEST(ServeQueue, ExpiredEntriesDoNotCountTowardAdmission)
               Status::Ok);
 }
 
+TEST(ServeQueue, ExpiredAccountingSurvivesPopBatch)
+{
+    RequestQueue queue({.maxDepth = 16, .edf = true});
+    // Two requests expire while queued; a feasibility-checked admit
+    // then observes them as expired (the purge), and popBatch drains
+    // them. The expired-entry bookkeeping must return to zero with
+    // the queue, or later admissions would over- or under-estimate
+    // the wait.
+    ASSERT_EQ(queue.admit(makeRequest(1, Clock::now() + 1ms)),
+              Status::Ok);
+    ASSERT_EQ(queue.admit(makeRequest(2, Clock::now() + 1ms)),
+              Status::Ok);
+    std::this_thread::sleep_for(5ms);
+    queue.noteServiceTime(50'000.0); // 50 ms per request
+    EXPECT_EQ(queue.admit(makeRequest(3, Clock::now() + 150ms)),
+              Status::Ok);
+    std::vector<Request> out;
+    std::vector<Request> expired;
+    ASSERT_TRUE(queue.popBatch(4, 0us, out, expired));
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(expired.size(), 2u);
+    EXPECT_EQ(queue.depth(), 0u);
+    // Empty queue again: only the request itself is pending, so a
+    // 150 ms budget clears the 50 ms estimate. A stale expired count
+    // in either direction skews the estimate and flips this verdict.
+    EXPECT_EQ(queue.admit(makeRequest(4, Clock::now() + 150ms)),
+              Status::Ok);
+    out.clear();
+    expired.clear();
+    ASSERT_TRUE(queue.popBatch(4, 0us, out, expired));
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_TRUE(expired.empty());
+}
+
 TEST(ServeQueue, PopsEarliestDeadlineFirst)
 {
     RequestQueue queue({.maxDepth = 16, .edf = true});
