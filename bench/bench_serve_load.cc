@@ -17,7 +17,15 @@
  *
  *   4. Trace-sampling overhead: closed-loop throughput with span
  *      sampling off vs FA3C_TRACE_SAMPLE=0.01, quantifying what 1%
- *      request tracing costs (target: < 2% IPS delta).
+ *      request tracing costs (target: < 2% IPS delta). The two arms
+ *      run interleaved (A B A B ...) with best-of-N per arm so
+ *      machine-state drift cannot sign-flip the comparison.
+ *
+ *   5. Replica fleet: N PolicyServers behind the ReplicaRouter —
+ *      closed-loop aggregate scaling vs one replica, an open-loop
+ *      sweep past saturation where fleet-wide shedding must hold
+ *      served IPS flat (>= 0.9x peak at 1.2x offered), and a
+ *      coordinated hot-swap under load with zero failed requests.
  *
  * Wall-clock per measurement phase is FA3C_SERVE_MS (default 800 ms;
  * CI smoke uses a smaller value). Results land in
@@ -28,6 +36,7 @@
  * a CI curl never races an idle gap.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -41,6 +50,7 @@
 #include "obs/span.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "serve/router.hh"
 #include "serve/server.hh"
 #include "sim/perf_counters.hh"
 #include "sim/stats.hh"
@@ -265,6 +275,162 @@ runOpenLoop(const nn::A3cNetwork &net, const nn::ParamSet &params,
     return r;
 }
 
+/** One fleet measurement: router-level signals on top of the load. */
+struct FleetResult
+{
+    LoadResult load;
+    double shedRate = 0.0;
+    std::uint64_t sheds = 0;
+    /** 1 when every replica (and its responses) reported the fleet's
+     * published version after the run; 0 on any divergence. */
+    std::uint64_t versionLockstep = 1;
+};
+
+/** Closed loop through the router; optional concurrent publisher. */
+FleetResult
+runFleetClosedLoop(const nn::A3cNetwork &net,
+                   const nn::ParamSet &params,
+                   const serve::FleetConfig &fleet, int clients,
+                   std::chrono::milliseconds duration,
+                   std::chrono::milliseconds publish_every = 0ms)
+{
+    ServerLiveGuard live_guard;
+    serve::ReplicaRouter router(net, fleet);
+    router.publish(params);
+    router.start();
+    const tensor::Tensor warm = makeObservation(net.config(), 0);
+    (void)router.submitAndWait(warm);
+
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> failed{0};
+    const auto t_end = Clock::now() + duration;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            const tensor::Tensor obs = makeObservation(
+                net.config(), static_cast<unsigned>(c) + 1);
+            // Nonzero session: under ConsistentHash each client pins
+            // to one replica; LeastLoaded ignores it.
+            const auto session = static_cast<std::uint64_t>(c) + 1;
+            while (Clock::now() < t_end) {
+                const serve::Response r =
+                    router.submitAndWait(obs, 0us, session);
+                if (r.status == serve::Status::Ok)
+                    ok.fetch_add(1, std::memory_order_relaxed);
+                else
+                    failed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    std::uint64_t publishes = 0;
+    if (publish_every.count() > 0) {
+        nn::ParamSet next = net.makeParams();
+        next.copyFrom(params);
+        while (Clock::now() < t_end) {
+            std::this_thread::sleep_for(publish_every);
+            router.publish(next);
+            ++publishes;
+        }
+    }
+    for (auto &t : threads)
+        t.join();
+
+    FleetResult r;
+    // Coordinated hot-swap verification, before stop(): every replica
+    // must answer with the fleet-wide version — no straggler serving
+    // a stale snapshot, no serve gap.
+    const std::uint64_t fleet_version = router.modelVersion();
+    for (int i = 0; i < router.replicas(); ++i) {
+        if (router.replica(i).modelVersion() != fleet_version)
+            r.versionLockstep = 0;
+        const serve::Response probe =
+            router.replica(i).submitAndWait(warm);
+        if (probe.status != serve::Status::Ok ||
+            probe.modelVersion != fleet_version)
+            r.versionLockstep = 0;
+    }
+    router.stop();
+
+    const double secs =
+        std::chrono::duration<double>(duration).count();
+    r.load.ok = ok.load();
+    r.load.rejected = failed.load();
+    r.load.ips = static_cast<double>(r.load.ok) / secs;
+    r.load.offeredIps =
+        static_cast<double>(r.load.ok + r.load.rejected) / secs;
+    r.shedRate = router.shedRate();
+    r.sheds = router.sheds();
+    g_lastModelVersion.store(static_cast<double>(fleet_version));
+    if (publish_every.count() > 0)
+        std::printf("  (fleet hot-swap: %llu barrier publishes "
+                    "mid-load, version lockstep %s)\n",
+                    static_cast<unsigned long long>(publishes),
+                    r.versionLockstep ? "ok" : "BROKEN");
+    return r;
+}
+
+/** Open loop through the router (paced rate, deadline budget). */
+FleetResult
+runFleetOpenLoop(const nn::A3cNetwork &net, const nn::ParamSet &params,
+                 const serve::FleetConfig &fleet, double rate_ips,
+                 std::chrono::milliseconds duration)
+{
+    ServerLiveGuard live_guard;
+    serve::ReplicaRouter router(net, fleet);
+    router.publish(params);
+    router.start();
+    const tensor::Tensor warm = makeObservation(net.config(), 0);
+    (void)router.submitAndWait(warm);
+
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / rate_ips));
+    const auto deadline_budget = 50ms;
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(
+        rate_ips * std::chrono::duration<double>(duration).count() *
+        1.2));
+
+    const tensor::Tensor obs = makeObservation(net.config(), 7);
+    const auto t_start = Clock::now();
+    const auto t_end = t_start + duration;
+    auto next = t_start;
+    std::uint64_t submitted = 0;
+    while (next < t_end) {
+        std::this_thread::sleep_until(next);
+        futures.push_back(router.submit(obs, deadline_budget));
+        ++submitted;
+        next += interval;
+    }
+
+    FleetResult r;
+    sim::Distribution latency;
+    for (auto &fut : futures) {
+        const serve::Response resp = fut.get();
+        if (resp.status == serve::Status::Ok) {
+            ++r.load.ok;
+            latency.sample(resp.totalUs);
+        } else if (resp.status == serve::Status::TimedOut) {
+            ++r.load.timedOut;
+        } else {
+            ++r.load.rejected;
+        }
+    }
+    r.shedRate = router.shedRate();
+    r.sheds = router.sheds();
+    router.stop();
+
+    const double secs =
+        std::chrono::duration<double>(duration).count();
+    r.load.ips = static_cast<double>(r.load.ok) / secs;
+    r.load.offeredIps = static_cast<double>(submitted) / secs;
+    r.load.p50 = latency.percentile(50);
+    r.load.p95 = latency.percentile(95);
+    r.load.p99 = latency.percentile(99);
+    return r;
+}
+
 } // namespace
 
 int
@@ -329,7 +495,7 @@ main(int argc, char **argv)
                     static_cast<double>(g_benchPhase.load()),
                     "bench_serve_load phase in flight (1=closed "
                     "batched, 2=closed single, 3=open sweep, "
-                    "4=hot-swap, 5=trace overhead)");
+                    "4=hot-swap, 5=trace overhead, 6=fleet)");
             if (!g_serverLive.load()) {
                 w.gauge("slo_burn", g_lastSloBurn.load(),
                         "rolling-window deadline-miss budget burn "
@@ -459,33 +625,164 @@ main(int argc, char **argv)
     std::printf("\nTrace-sampling overhead (closed loop, %d clients, "
                 "tracing %s):\n",
                 clients, trace_enabled ? "on" : "off");
-    obs::setSpanSampleRate(0.0);
-    const LoadResult unsampled = runClosedLoop(
-        net, params, serveConfig(max_batch, 2000us, 1), clients,
-        phase_ms);
-    obs::setSpanSampleRate(sample_rate);
-    const LoadResult sampled = runClosedLoop(
-        net, params, serveConfig(max_batch, 2000us, 1), clients,
-        phase_ms);
+    // Interleaved best-of-N, like bench_nn_kernels' timeManyMs: the
+    // two arms alternate A B A B and each takes its best round, so a
+    // monotonic machine-state drift (cache/thermal/page warmth)
+    // lands on both arms instead of crediting whichever ran second.
+    // The old sequential A-then-B version reported *negative*
+    // overhead for exactly that reason.
+    const int trace_rounds = 3;
+    const auto trace_slice = phase_ms / 2;
+    double best_unsampled = 0.0;
+    double best_sampled = 0.0;
+    for (int round = 0; round < trace_rounds; ++round) {
+        obs::setSpanSampleRate(0.0);
+        const LoadResult off = runClosedLoop(
+            net, params, serveConfig(max_batch, 2000us, 1), clients,
+            trace_slice);
+        obs::setSpanSampleRate(sample_rate);
+        const LoadResult on = runClosedLoop(
+            net, params, serveConfig(max_batch, 2000us, 1), clients,
+            trace_slice);
+        best_unsampled = std::max(best_unsampled, off.ips);
+        best_sampled = std::max(best_sampled, on.ips);
+    }
     obs::setSpanSampleRate(restore_rate);
     const double overhead_pct =
-        unsampled.ips > 0.0
-            ? 100.0 * (unsampled.ips - sampled.ips) / unsampled.ips
+        best_unsampled > 0.0
+            ? 100.0 * (best_unsampled - best_sampled) / best_unsampled
             : 0.0;
-    std::printf("  %.0f IPS unsampled vs %.0f IPS at %.0f%% "
-                "sampling: %.2f%% overhead (target < 2%%).\n",
-                unsampled.ips, sampled.ips, 100.0 * sample_rate,
-                overhead_pct);
+    std::printf("  %.0f IPS unsampled vs %.0f IPS at %.0f%% sampling "
+                "(best of %d interleaved rounds): %.2f%% overhead "
+                "(target < 2%%).\n",
+                best_unsampled, best_sampled, 100.0 * sample_rate,
+                trace_rounds, overhead_pct);
     report.field("trace_enabled",
                  static_cast<std::uint64_t>(trace_enabled ? 1 : 0));
     report.field("trace_sample_rate", sample_rate);
-    report.field("trace_ips_unsampled", unsampled.ips);
-    report.field("trace_ips_sampled", sampled.ips);
+    report.field("trace_rounds", trace_rounds);
+    report.field("trace_ips_unsampled", best_unsampled);
+    report.field("trace_ips_sampled", best_sampled);
     report.field("trace_overhead_pct", overhead_pct);
     if (trace_enabled && overhead_pct > 2.0)
         std::printf("WARNING: tracing overhead %.2f%% exceeds the 2%% "
                     "target at %.0f%% sampling.\n",
                     overhead_pct, 100.0 * sample_rate);
+
+    // --- 5. multi-replica fleet -------------------------------------
+    g_benchPhase.store(6);
+    const int fleet_replicas = static_cast<int>(
+        bench::envKnob("FA3C_SERVE_REPLICAS", 2));
+    serve::FleetConfig fleet;
+    fleet.replicas = fleet_replicas;
+    fleet.policy = serve::RoutePolicy::LeastLoaded;
+    fleet.replica = serveConfig(max_batch, 2000us, 1);
+    // A queue the deadline budget can actually drain: with ~50 ms
+    // budgets, shedding at a couple hundred queued requests keeps
+    // admitted work feasible instead of letting the backlog turn
+    // into timeouts (the post-saturation collapse the single-server
+    // sweep above shows).
+    fleet.replica.queue.maxDepth = 256;
+    fleet.shed.depthFraction = 0.25;
+    std::printf("\nReplica fleet (%d replicas, %s routing, shed at "
+                "%.0f%% aggregate depth):\n",
+                fleet_replicas, serve::routePolicyName(fleet.policy),
+                100.0 * fleet.shed.depthFraction);
+
+    serve::FleetConfig one = fleet;
+    one.replicas = 1;
+    const FleetResult fleet_single =
+        runFleetClosedLoop(net, params, one, clients, phase_ms);
+    const FleetResult fleet_multi =
+        runFleetClosedLoop(net, params, fleet, clients, phase_ms);
+    const double fleet_scaling =
+        fleet_single.load.ips > 0.0
+            ? fleet_multi.load.ips / fleet_single.load.ips
+            : 0.0;
+    std::printf("  closed loop: %.0f IPS x1 -> %.0f IPS x%d "
+                "(scaling %.2fx; compute-bound on few-core hosts).\n",
+                fleet_single.load.ips, fleet_multi.load.ips,
+                fleet_replicas, fleet_scaling);
+    report.field("fleet_replicas", fleet_replicas);
+    report.field("fleet_single_ips", fleet_single.load.ips);
+    report.field("fleet_aggregate_ips", fleet_multi.load.ips);
+    report.field("fleet_scaling", fleet_scaling);
+
+    // Post-saturation flatness: offered load past the fleet's peak
+    // must shed at the router, not collapse served throughput.
+    std::printf("  open-loop sweep through the router (50 ms "
+                "deadline, rates relative to the fleet peak):\n");
+    sim::TextTable fleet_sweep({"Offered/peak", "Offered IPS",
+                                "Served IPS", "p99 us", "Shed %",
+                                "Reject %"});
+    double fleet_peak_served = 0.0;
+    double fleet_served_over = 0.0;
+    for (const double frac : {0.8, 1.0, 1.2}) {
+        const double rate = frac * fleet_multi.load.ips;
+        if (rate < 1.0)
+            continue;
+        const FleetResult r =
+            runFleetOpenLoop(net, params, fleet, rate, phase_ms);
+        fleet_peak_served = std::max(fleet_peak_served, r.load.ips);
+        if (frac == 1.2)
+            fleet_served_over = r.load.ips;
+        fleet_sweep.addRow(
+            {sim::TextTable::num(frac, 1),
+             sim::TextTable::num(r.load.offeredIps, 0),
+             sim::TextTable::num(r.load.ips, 0),
+             sim::TextTable::num(r.load.p99, 0),
+             sim::TextTable::num(100.0 * r.shedRate, 1),
+             sim::TextTable::num(100.0 * r.load.rejectRate(), 1)});
+        report.addRow()
+            .set("fleet_offered_over_peak", frac)
+            .set("fleet_offered_ips", r.load.offeredIps)
+            .set("fleet_served_ips", r.load.ips)
+            .set("fleet_p99_us", r.load.p99)
+            .set("fleet_shed_rate", r.shedRate)
+            .set("fleet_reject_rate", r.load.rejectRate());
+    }
+    std::printf("%s", fleet_sweep.render().c_str());
+    const double fleet_flatness =
+        fleet_peak_served > 0.0 ? fleet_served_over / fleet_peak_served
+                                : 0.0;
+    std::printf("  served at 1.2x offered = %.2fx of peak served "
+                "(flatness target >= 0.9).\n",
+                fleet_flatness);
+    report.field("fleet_peak_served_ips", fleet_peak_served);
+    report.field("fleet_served_at_over_ips", fleet_served_over);
+    report.field("fleet_flatness", fleet_flatness);
+    if (fleet_flatness < 0.9)
+        std::printf("WARNING: fleet served-IPS flatness %.2f is "
+                    "below the 0.9 bar — shedding is not holding "
+                    "throughput past saturation.\n",
+                    fleet_flatness);
+
+    // Coordinated hot-swap across the fleet under load: barrier
+    // publishes every 5 ms, zero failed requests, every replica on
+    // the published version afterwards.
+    std::printf("  coordinated hot-swap under closed-loop load "
+                "(barrier publish every 5 ms):\n");
+    const FleetResult fleet_swap = runFleetClosedLoop(
+        net, params, fleet, clients, phase_ms, 5ms);
+    std::printf("  %.0f IPS while swapping (%.1f%% of fleet peak), "
+                "%llu failed requests.\n",
+                fleet_swap.load.ips,
+                fleet_multi.load.ips > 0.0
+                    ? 100.0 * fleet_swap.load.ips /
+                          fleet_multi.load.ips
+                    : 0.0,
+                static_cast<unsigned long long>(
+                    fleet_swap.load.rejected));
+    report.field("fleet_hotswap_ips", fleet_swap.load.ips);
+    report.field("fleet_hotswap_failed", fleet_swap.load.rejected);
+    report.field("fleet_version_lockstep", fleet_swap.versionLockstep);
+    if (fleet_swap.load.rejected != 0 || !fleet_swap.versionLockstep)
+        std::printf("WARNING: coordinated hot-swap was not clean "
+                    "(%llu failures, lockstep %llu).\n",
+                    static_cast<unsigned long long>(
+                        fleet_swap.load.rejected),
+                    static_cast<unsigned long long>(
+                        fleet_swap.versionLockstep));
 
     if (speedup < 2.0)
         std::printf("\nWARNING: batching speedup %.2fx is below the "

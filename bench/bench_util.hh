@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/host_info.hh"
 #include "obs/json.hh"
 
 namespace fa3c::bench {
@@ -127,6 +128,15 @@ class JsonReport
     {
         if (const char *dir = std::getenv("FA3C_JSON_DIR"))
             path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+        // Host provenance in every report: bench_trend keys rolling
+        // baselines on "host" so unlike machines never gate each
+        // other. The host_* fields are informational (parseBenchJson
+        // drops them from the metric set).
+        const obs::HostInfo &host = obs::hostInfo();
+        field("host", host.fingerprint);
+        field("host_cpu", host.cpuModel);
+        field("host_logical_cores", host.logicalCores);
+        field("host_kernel_threads", host.kernelThreads);
     }
 
     ~JsonReport() { write(); }

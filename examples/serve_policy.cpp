@@ -1,7 +1,10 @@
 /**
  * @file
- * Serve a policy for one game over TCP: a PolicyServer with dynamic
- * batching fronted by the length-prefixed wire protocol (serve/tcp.hh).
+ * Serve a policy for one game over TCP: a fleet of PolicyServer
+ * replicas with dynamic batching behind the replica router
+ * (serve/router.hh), fronted by either the epoll event loop
+ * (serve/event_loop.hh) or the thread-per-connection listener
+ * (serve/tcp.hh). The wire protocol is the same either way.
  *
  *     ./serve_policy [game] [options]
  *
@@ -9,11 +12,21 @@
  *
  * Options:
  *     --port <n>        TCP port (default 0 = ephemeral, printed)
- *     --workers <n>     inference worker threads (default 1)
+ *     --workers <n>     inference worker threads per replica
+ *                       (default 1)
  *     --max-batch <n>   dynamic batch size cap (default 16)
  *     --linger-us <n>   batch linger window in microseconds (default
  *                       2000)
  *     --backend <name>  reference, fast, int8, or fp16 (default fast)
+ *     --replicas <n>    PolicyServer replicas behind the router
+ *                       (default 1)
+ *     --policy <name>   least-loaded or hash (consistent hash by
+ *                       connection; default least-loaded)
+ *     --shed <f>        shed when fleet queue depth exceeds this
+ *                       fraction of total capacity (default 0.75;
+ *                       >= 1 disables router-level shedding)
+ *     --frontend <name> epoll or threads (default epoll; threads
+ *                       requires --replicas 1)
  *     --checkpoint <p>  serve the trained theta from a training
  *                       checkpoint instead of random initialization
  *     --demo            drive the server with an in-process TCP client
@@ -23,7 +36,9 @@
  * Without --demo the server runs until SIGINT/SIGTERM. Set
  * FA3C_METRICS_JSON to export serve.* latency histograms, and
  * FA3C_TELEMETRY_PORT to scrape /metrics, /healthz, and /readyz live
- * (with FA3C_TRACE + FA3C_TRACE_SAMPLE for per-request spans).
+ * (with FA3C_TRACE + FA3C_TRACE_SAMPLE for per-request spans; the
+ * router_* gauges report fleet depth, shed rate, and per-replica
+ * versions).
  */
 
 #include <csignal>
@@ -38,7 +53,8 @@
 #include "nn/a3c_network.hh"
 #include "obs/telemetry.hh"
 #include "rl/checkpoint.hh"
-#include "serve/server.hh"
+#include "serve/event_loop.hh"
+#include "serve/router.hh"
 #include "serve/tcp.hh"
 
 using namespace fa3c;
@@ -55,13 +71,13 @@ onSignal(int)
 
 /** Play one short episode through the wire protocol. */
 int
-runDemo(serve::TcpServer &tcp, env::GameId game,
+runDemo(std::uint16_t port, env::GameId game,
         const nn::NetConfig &net_cfg)
 {
     serve::TcpClient client;
-    if (!client.connect("127.0.0.1", tcp.port())) {
+    if (!client.connect("127.0.0.1", port)) {
         std::fprintf(stderr, "demo: cannot connect to 127.0.0.1:%u\n",
-                     tcp.port());
+                     port);
         return 1;
     }
     env::SessionConfig session_cfg;
@@ -112,11 +128,15 @@ main(int argc, char **argv)
 {
     std::string game_name = "breakout";
     std::string backend_name = "fast";
+    std::string policy_name = "least-loaded";
+    std::string frontend = "epoll";
     std::string checkpoint_path;
     long port = 0;
     int workers = 1;
     int max_batch = 16;
     long linger_us = 2000;
+    int replicas = 1;
+    double shed_fraction = 0.75;
     bool demo = false;
 
     int positional = 0;
@@ -134,6 +154,15 @@ main(int argc, char **argv)
             linger_us = std::strtol(argv[++i], nullptr, 10);
         } else if (arg == "--backend" && i + 1 < argc) {
             backend_name = argv[++i];
+        } else if (arg == "--replicas" && i + 1 < argc) {
+            replicas = static_cast<int>(
+                std::strtol(argv[++i], nullptr, 10));
+        } else if (arg == "--policy" && i + 1 < argc) {
+            policy_name = argv[++i];
+        } else if (arg == "--shed" && i + 1 < argc) {
+            shed_fraction = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--frontend" && i + 1 < argc) {
+            frontend = argv[++i];
         } else if (arg == "--checkpoint" && i + 1 < argc) {
             checkpoint_path = argv[++i];
         } else if (arg == "--demo") {
@@ -163,12 +192,34 @@ main(int argc, char **argv)
                      backend_name.c_str());
         return 2;
     }
+    const auto maybe_policy =
+        serve::tryRoutePolicyFromName(policy_name);
+    if (!maybe_policy) {
+        std::fprintf(stderr,
+                     "unknown policy: %s (want least-loaded|hash)\n",
+                     policy_name.c_str());
+        return 2;
+    }
     if (port < 0 || port > 65535) {
         std::fprintf(stderr, "invalid port %ld\n", port);
         return 2;
     }
-    if (workers < 1 || max_batch < 1 || linger_us < 0) {
-        std::fprintf(stderr, "invalid worker/batch/linger settings\n");
+    if (workers < 1 || max_batch < 1 || linger_us < 0 ||
+        replicas < 1 || shed_fraction <= 0.0) {
+        std::fprintf(stderr,
+                     "invalid worker/batch/linger/fleet settings\n");
+        return 2;
+    }
+    if (frontend != "epoll" && frontend != "threads") {
+        std::fprintf(stderr, "unknown frontend: %s (want "
+                             "epoll|threads)\n",
+                     frontend.c_str());
+        return 2;
+    }
+    if (frontend == "threads" && replicas != 1) {
+        std::fprintf(stderr, "--frontend threads serves a single "
+                             "replica; use --frontend epoll for a "
+                             "fleet\n");
         return 2;
     }
 
@@ -199,26 +250,52 @@ main(int argc, char **argv)
                     "(pass --checkpoint for a trained policy).\n");
     }
 
-    serve::ServeConfig cfg;
-    cfg.batch.maxBatch = max_batch;
-    cfg.batch.linger = std::chrono::microseconds(linger_us);
-    cfg.workers = workers;
-    cfg.backend = *maybe_backend;
-    serve::PolicyServer server(net, cfg);
-    server.publish(std::move(params));
-    server.start();
+    serve::FleetConfig fleet;
+    fleet.replicas = replicas;
+    fleet.policy = *maybe_policy;
+    fleet.shed.depthFraction = shed_fraction;
+    fleet.replica.batch.maxBatch = max_batch;
+    fleet.replica.batch.linger =
+        std::chrono::microseconds(linger_us);
+    fleet.replica.workers = workers;
+    fleet.replica.backend = *maybe_backend;
+    serve::ReplicaRouter router(net, fleet);
+    router.publish(params);
+    router.start();
 
+    // Either front speaks the same wire format; epoll multiplexes all
+    // connections on one thread and is the only front that can route
+    // into a fleet.
+    serve::TcpServer *tcp = nullptr;
+    serve::EventLoopServer *loop = nullptr;
     serve::TcpConfig tcp_cfg;
-    tcp_cfg.port = static_cast<std::uint16_t>(port);
-    serve::TcpServer tcp(server, tcp_cfg);
-    if (!tcp.start()) {
-        std::fprintf(stderr, "cannot listen on port %ld\n", port);
-        return 1;
+    serve::EventLoopConfig loop_cfg;
+    std::uint16_t bound_port = 0;
+    if (frontend == "threads") {
+        tcp_cfg.port = static_cast<std::uint16_t>(port);
+        tcp = new serve::TcpServer(router.replica(0), tcp_cfg);
+        if (!tcp->start()) {
+            std::fprintf(stderr, "cannot listen on port %ld\n", port);
+            return 1;
+        }
+        bound_port = tcp->port();
+    } else {
+        loop_cfg.port = static_cast<std::uint16_t>(port);
+        loop = new serve::EventLoopServer(router, loop_cfg);
+        if (!loop->start()) {
+            std::fprintf(stderr, "cannot listen on port %ld\n", port);
+            return 1;
+        }
+        bound_port = loop->port();
     }
-    std::printf("Serving %s on 127.0.0.1:%u (%s backend, %d worker%s, "
-                "max batch %d, linger %ld us).\n",
-                game_name.c_str(), tcp.port(), backend_name.c_str(),
-                workers, workers == 1 ? "" : "s", max_batch, linger_us);
+    std::printf("Serving %s on 127.0.0.1:%u (%s backend, %d replica%s"
+                " x %d worker%s, %s routing, max batch %d, linger %ld "
+                "us, %s frontend).\n",
+                game_name.c_str(), bound_port, backend_name.c_str(),
+                replicas, replicas == 1 ? "" : "s", workers,
+                workers == 1 ? "" : "s",
+                serve::routePolicyName(*maybe_policy), max_batch,
+                linger_us, frontend.c_str());
     if (const obs::TelemetryServer *telemetry = obs::telemetry())
         std::printf("Telemetry on http://127.0.0.1:%d (/metrics "
                     "/healthz /readyz).\n",
@@ -226,7 +303,7 @@ main(int argc, char **argv)
 
     int rc = 0;
     if (demo) {
-        rc = runDemo(tcp, game, net_cfg);
+        rc = runDemo(bound_port, game, net_cfg);
     } else {
         std::signal(SIGINT, onSignal);
         std::signal(SIGTERM, onSignal);
@@ -235,9 +312,27 @@ main(int argc, char **argv)
         std::printf("\nShutting down.\n");
     }
 
-    tcp.stop();
-    server.stop();
-    const sim::StatGroup stats = server.statsSnapshot();
-    std::printf("%s", stats.report("serve").c_str());
+    if (tcp) {
+        tcp->stop();
+        delete tcp;
+    }
+    if (loop) {
+        loop->stop();
+        delete loop;
+    }
+    router.stop();
+    if (router.sheds() > 0)
+        std::printf("Router shed %llu of %llu requests (%.1f%%).\n",
+                    static_cast<unsigned long long>(router.sheds()),
+                    static_cast<unsigned long long>(router.routed() +
+                                                    router.sheds()),
+                    100.0 * router.shedRate());
+    for (int r = 0; r < router.replicas(); ++r) {
+        if (router.replicas() > 1)
+            std::printf("--- replica %d ---\n", r);
+        const sim::StatGroup stats =
+            router.replica(r).statsSnapshot();
+        std::printf("%s", stats.report("serve").c_str());
+    }
     return rc;
 }

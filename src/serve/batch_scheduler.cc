@@ -84,7 +84,7 @@ BatchScheduler::completeExpired(std::vector<Request> &expired)
         }
         if (slo_)
             slo_->recordTimedOut();
-        r.result.set_value(std::move(resp));
+        completeRequest(r, std::move(resp));
     }
     {
         std::lock_guard<std::mutex> lock(*statsMutex_);
@@ -149,7 +149,7 @@ BatchScheduler::workerMain(int index)
                 Response resp;
                 resp.status = Status::RejectedNoModel;
                 resp.totalUs = usBetween(r.enqueue, Clock::now());
-                r.result.set_value(std::move(resp));
+                completeRequest(r, std::move(resp));
             }
             std::lock_guard<std::mutex> lock(*statsMutex_);
             stats_->counter("rejected_no_model").inc(batch.size());
@@ -281,7 +281,7 @@ BatchScheduler::workerMain(int index)
                 stats_->distribution("total_us").sample(resp.totalUs);
                 stats_->counter("served").inc();
             }
-            r.result.set_value(std::move(resp));
+            completeRequest(r, std::move(resp));
         }
         {
             std::lock_guard<std::mutex> lock(*statsMutex_);

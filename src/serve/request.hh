@@ -14,7 +14,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "obs/span.hh"
@@ -42,6 +44,7 @@ enum class Status : std::uint8_t
     RejectedClosed = 4,    ///< server is shutting down
     RejectedBadRequest = 5,///< malformed observation
     TimedOut = 6,          ///< deadline passed while queued
+    RejectedShed = 7,      ///< fleet-wide load shedding at the router
 };
 
 /** CLI/log name of @p status. */
@@ -66,6 +69,13 @@ struct Response
     double queueUs = 0.0;       ///< enqueue -> picked into a batch
     double inferUs = 0.0;       ///< forwardBatch wall time
     double totalUs = 0.0;       ///< enqueue -> response completed
+    /**
+     * Back-off hint on Rejected* responses: how long the client
+     * should wait before retrying, estimated from the queue drain
+     * rate at rejection time (0 = no hint; retry at will). Part of
+     * the v2 wire frame.
+     */
+    std::uint32_t retryAfterUs = 0;
 };
 
 /** One queued inference request. */
@@ -76,9 +86,29 @@ struct Request
     Clock::time_point enqueue{};
     Clock::time_point deadline = kNoDeadline;
     std::promise<Response> result;
+    /**
+     * Callback delivery for front-ends that must not block on a
+     * future (the epoll event loop). When set, completion invokes it
+     * exactly once — possibly inline from the submitting thread on a
+     * rejection, or from a scheduler worker otherwise — and the
+     * promise is left untouched.
+     */
+    std::function<void(Response &&)> onComplete;
     std::uint64_t seq = 0;      ///< queue arrival order (FIFO tiebreak)
     obs::SpanContext span;      ///< this request's trace identity
 };
+
+/** Deliver @p resp through @p r's completion channel (callback when
+ * set, promise otherwise). Every terminal path funnels through here
+ * so the two channels cannot diverge. */
+inline void
+completeRequest(Request &r, Response &&resp)
+{
+    if (r.onComplete)
+        r.onComplete(std::move(resp));
+    else
+        r.result.set_value(std::move(resp));
+}
 
 } // namespace fa3c::serve
 

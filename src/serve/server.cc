@@ -1,5 +1,6 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <array>
 
 #include "obs/metrics.hh"
@@ -20,8 +21,20 @@ rejectionCounterName(Status status)
       case Status::RejectedNoModel: return "rejected_no_model";
       case Status::RejectedClosed: return "rejected_closed";
       case Status::RejectedBadRequest: return "rejected_bad_request";
+      case Status::RejectedShed: return "rejected_shed";
       default: return nullptr;
     }
+}
+
+/** Rejections whose cause is transient queue pressure carry a
+ * retry_after_us back-off hint; the rest would fail again no matter
+ * when the client retried. */
+bool
+wantsRetryHint(Status status)
+{
+    return status == Status::RejectedQueueFull ||
+           status == Status::RejectedDeadline ||
+           status == Status::RejectedShed;
 }
 
 } // namespace
@@ -37,6 +50,7 @@ statusName(Status status)
       case Status::RejectedClosed: return "rejected_closed";
       case Status::RejectedBadRequest: return "rejected_bad_request";
       case Status::TimedOut: return "timed_out";
+      case Status::RejectedShed: return "rejected_shed";
     }
     return "unknown";
 }
@@ -153,13 +167,34 @@ PolicyServer::stop()
         scheduler_.stop();
 }
 
+std::uint32_t
+PolicyServer::drainEstimateUs() const
+{
+    const double est = queue_.serviceEstimateUs();
+    if (est <= 0.0)
+        return 0;
+    const double wait = est *
+                        (static_cast<double>(queue_.depth()) + 1.0) /
+                        static_cast<double>(cfg_.workers);
+    // Cap at one second: past that the client should re-resolve the
+    // fleet, not sleep on this replica's word.
+    return static_cast<std::uint32_t>(std::min(wait, 1e6));
+}
+
 std::future<Response>
 PolicyServer::rejectNow(Request &&r, Status status)
 {
-    auto future = r.result.get_future();
+    // Callback requests never hand out a future; asking the promise
+    // for one anyway would make the (unused) shared state an
+    // allocation on the hot rejection path.
+    std::future<Response> future;
+    if (!r.onComplete)
+        future = r.result.get_future();
     Response resp;
     resp.status = status;
-    r.result.set_value(std::move(resp));
+    if (wantsRetryHint(status))
+        resp.retryAfterUs = drainEstimateUs();
+    completeRequest(r, std::move(resp));
     if (r.span.sampled) {
         const std::array<obs::TraceArg, 1> args{
             {{"request_id", static_cast<double>(r.id)}}};
@@ -183,10 +218,30 @@ PolicyServer::submit(const tensor::Tensor &obs,
                      std::chrono::microseconds deadline_budget,
                      const obs::SpanContext &parent)
 {
+    return submitImpl(obs, deadline_budget, parent, {});
+}
+
+void
+PolicyServer::submitAsync(const tensor::Tensor &obs,
+                          std::chrono::microseconds deadline_budget,
+                          const obs::SpanContext &parent,
+                          std::function<void(Response &&)> done)
+{
+    FA3C_ASSERT(done, "submitAsync needs a completion handler");
+    (void)submitImpl(obs, deadline_budget, parent, std::move(done));
+}
+
+std::future<Response>
+PolicyServer::submitImpl(const tensor::Tensor &obs,
+                         std::chrono::microseconds deadline_budget,
+                         const obs::SpanContext &parent,
+                         std::function<void(Response &&)> done)
+{
     Request r;
     r.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     r.span = obs::childSpan(parent);
     r.enqueue = Clock::now();
+    r.onComplete = std::move(done);
     if (deadline_budget.count() > 0)
         r.deadline = r.enqueue + deadline_budget;
 
@@ -201,7 +256,9 @@ PolicyServer::submit(const tensor::Tensor &obs,
         return rejectNow(std::move(r), Status::RejectedClosed);
 
     r.obs = obs;
-    auto future = r.result.get_future();
+    std::future<Response> future;
+    if (!r.onComplete)
+        future = r.result.get_future();
     const Status admitted = queue_.admit(std::move(r));
     if (admitted == Status::Ok) {
         {
@@ -217,10 +274,12 @@ PolicyServer::submit(const tensor::Tensor &obs,
         return future;
     }
     // admit() consumes the request only on success, so on the
-    // rejection path the promise is still ours to fulfill.
+    // rejection path the completion channel is still ours to fire.
     Response resp;
     resp.status = admitted;
-    r.result.set_value(std::move(resp));
+    if (wantsRetryHint(admitted))
+        resp.retryAfterUs = drainEstimateUs();
+    completeRequest(r, std::move(resp));
     slo_.recordRejected();
     if (const char *name = rejectionCounterName(admitted)) {
         {

@@ -19,6 +19,7 @@
 #define FA3C_SERVE_SERVER_HH
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 
@@ -102,6 +103,18 @@ class PolicyServer
                std::chrono::microseconds{0},
            const obs::SpanContext &parent = {});
 
+    /**
+     * Callback flavour of submit() for non-blocking front-ends: the
+     * completion handler runs exactly once with the response —
+     * inline from this call on a rejection, from a scheduler worker
+     * otherwise. The handler must not block (it runs on the serving
+     * hot path).
+     */
+    void submitAsync(const tensor::Tensor &obs,
+                     std::chrono::microseconds deadline_budget,
+                     const obs::SpanContext &parent,
+                     std::function<void(Response &&)> done);
+
     /** submit() + get(): the blocking closed-loop client call. */
     Response
     submitAndWait(const tensor::Tensor &obs,
@@ -117,6 +130,17 @@ class PolicyServer
     std::uint64_t modelVersion() const { return registry_.version(); }
 
     std::size_t queueDepth() const { return queue_.depth(); }
+
+    /** Queue capacity (the admission bound this replica enforces). */
+    std::size_t queueCapacity() const { return cfg_.queue.maxDepth; }
+
+    /**
+     * Estimated time until this replica's queue drains, from the
+     * scheduler's observed per-request service time — the
+     * retry_after_us hint attached to local rejections, and the load
+     * signal the fleet router's shed controller aggregates.
+     */
+    std::uint32_t drainEstimateUs() const;
 
     /** Consistent copy of the serve.* counters and histograms. */
     sim::StatGroup statsSnapshot() const;
@@ -143,6 +167,14 @@ class PolicyServer
 
     /** Complete @p r immediately with @p status (admission path). */
     std::future<Response> rejectNow(Request &&r, Status status);
+
+    /** Build, validate, and enqueue one request (shared by the
+     * future- and callback-flavoured submits). */
+    std::future<Response>
+    submitImpl(const tensor::Tensor &obs,
+               std::chrono::microseconds deadline_budget,
+               const obs::SpanContext &parent,
+               std::function<void(Response &&)> done);
 };
 
 } // namespace fa3c::serve

@@ -55,50 +55,6 @@ writeFull(int fd, const void *buf, std::size_t len)
     return true;
 }
 
-/** Append a trivially copyable value to a byte buffer. */
-template <typename T>
-void
-put(std::vector<std::uint8_t> &buf, T v)
-{
-    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&v);
-    buf.insert(buf.end(), bytes, bytes + sizeof(T));
-}
-
-/** Read a trivially copyable value from a byte cursor. */
-template <typename T>
-T
-get(const std::uint8_t *&p)
-{
-    T v;
-    std::memcpy(&v, p, sizeof(T));
-    p += sizeof(T);
-    return v;
-}
-
-constexpr std::size_t kRequestHeaderBytes =
-    sizeof(std::uint32_t) + sizeof(std::uint64_t) +
-    sizeof(std::uint32_t) + sizeof(std::uint32_t);
-
-void
-encodeResponse(std::vector<std::uint8_t> &buf, std::uint64_t tag,
-               const Response &resp)
-{
-    buf.clear();
-    put<std::uint32_t>(buf, kResponseMagic);
-    put<std::uint64_t>(buf, tag);
-    put<std::uint8_t>(buf, static_cast<std::uint8_t>(resp.status));
-    put<std::int32_t>(buf, resp.action);
-    put<float>(buf, resp.value);
-    put<std::uint64_t>(buf, resp.modelVersion);
-    put<float>(buf, static_cast<float>(resp.queueUs));
-    put<float>(buf, static_cast<float>(resp.inferUs));
-    put<float>(buf, static_cast<float>(resp.totalUs));
-    put<std::uint32_t>(buf,
-                       static_cast<std::uint32_t>(resp.policy.size()));
-    for (float pr : resp.policy)
-        put<float>(buf, pr);
-}
-
 void
 setNoDelay(int fd)
 {
@@ -222,22 +178,22 @@ TcpServer::connectionMain(int fd)
         static_cast<std::size_t>(net_cfg.inWidth);
     tensor::Tensor obs(tensor::Shape(
         {net_cfg.inChannels, net_cfg.inHeight, net_cfg.inWidth}));
-    std::vector<std::uint8_t> header(kRequestHeaderBytes);
+    std::vector<std::uint8_t> header(wire::kRequestHeaderBytes);
     std::vector<std::uint8_t> out;
     std::vector<float> drain;
 
     while (!stopping_.load(std::memory_order_relaxed)) {
         if (!readFull(fd, header.data(), header.size()))
             break;
-        const std::uint8_t *p = header.data();
-        const auto magic = get<std::uint32_t>(p);
-        const auto tag = get<std::uint64_t>(p);
-        const auto deadline_us = get<std::uint32_t>(p);
-        const auto numel = get<std::uint32_t>(p);
-        if (magic != kRequestMagic) {
+        const wire::RequestHeader h =
+            wire::decodeRequestHeader(header.data());
+        if (h.version == 0) {
             FA3C_WARN("serve: bad request magic; closing connection");
             break;
         }
+        const auto tag = h.tag;
+        const auto deadline_us = h.deadlineUs;
+        const auto numel = h.numel;
         if (numel > cfg_.maxObsNumel)
             break; // refuse to stream an absurd payload
 
@@ -271,7 +227,7 @@ TcpServer::connectionMain(int fd)
                 break;
             resp.status = Status::RejectedBadRequest;
         }
-        encodeResponse(out, tag, resp);
+        wire::encodeResponse(out, tag, resp, h.version);
         if (!writeFull(fd, out.data(), out.size()))
             break;
     }
@@ -311,41 +267,33 @@ TcpClient::request(const tensor::Tensor &obs, std::uint32_t deadline_us,
     if (fd_ < 0)
         return false;
     std::vector<std::uint8_t> frame;
-    frame.reserve(kRequestHeaderBytes + obs.numel() * sizeof(float));
-    put<std::uint32_t>(frame, kRequestMagic);
-    put<std::uint64_t>(frame, nextTag_++);
-    put<std::uint32_t>(frame, deadline_us);
-    put<std::uint32_t>(frame,
-                       static_cast<std::uint32_t>(obs.numel()));
-    const auto data = obs.data();
-    const auto *bytes =
-        reinterpret_cast<const std::uint8_t *>(data.data());
-    frame.insert(frame.end(), bytes,
-                 bytes + data.size() * sizeof(float));
+    wire::encodeRequest(frame, nextTag_++, deadline_us,
+                        obs.data().data(), obs.numel());
     if (!writeFull(fd_, frame.data(), frame.size()))
         return false;
 
-    // Fixed-size response prefix, then the probability tail.
-    constexpr std::size_t kPrefix =
-        sizeof(std::uint32_t) + sizeof(std::uint64_t) +
-        sizeof(std::uint8_t) + sizeof(std::int32_t) + sizeof(float) +
-        sizeof(std::uint64_t) + 3 * sizeof(float) +
-        sizeof(std::uint32_t);
-    std::uint8_t prefix[kPrefix];
-    if (!readFull(fd_, prefix, sizeof(prefix)))
+    // Version from the response magic (a v1 server answers a v2
+    // request with a v1 frame), then the rest of the fixed prefix,
+    // then the probability tail.
+    std::uint32_t magic = 0;
+    if (!readFull(fd_, &magic, sizeof(magic)))
+        return false;
+    int version = 0;
+    if (magic == wire::kResponseMagicV1)
+        version = 1;
+    else if (magic == wire::kResponseMagicV2)
+        version = 2;
+    else
+        return false;
+    std::uint8_t prefix[64];
+    const std::size_t prefix_len =
+        wire::responsePrefixBytes(version) - sizeof(magic);
+    if (!readFull(fd_, prefix, prefix_len))
         return false;
     const std::uint8_t *p = prefix;
-    if (get<std::uint32_t>(p) != kResponseMagic)
-        return false;
-    (void)get<std::uint64_t>(p); // tag (single in-flight request)
-    out.status = static_cast<Status>(get<std::uint8_t>(p));
-    out.action = get<std::int32_t>(p);
-    out.value = get<float>(p);
-    out.modelVersion = get<std::uint64_t>(p);
-    out.queueUs = get<float>(p);
-    out.inferUs = get<float>(p);
-    out.totalUs = get<float>(p);
-    const auto num_probs = get<std::uint32_t>(p);
+    std::uint64_t tag = 0; // single in-flight request; not checked
+    const auto num_probs =
+        wire::decodeResponseAfterMagic(p, version, tag, out);
     if (num_probs > (1u << 20))
         return false;
     out.policy.resize(num_probs);

@@ -1,34 +1,21 @@
 /**
  * @file
- * Length-prefixed TCP front-end over a PolicyServer, so external
- * processes can submit observations and receive action/value outputs.
- *
- * Wire format (all integers little-endian, floats IEEE-754 binary32;
- * both ends are assumed little-endian hosts):
- *
- *   request frame:
- *     u32 magic        0xFA3C5E01
- *     u64 tag          client-chosen, echoed in the response
- *     u32 deadline_us  latency budget (0 = none)
- *     u32 obs_numel    number of observation floats
- *     f32 obs[obs_numel]
- *
- *   response frame:
- *     u32 magic        0xFA3C5E02
- *     u64 tag          echoed request tag
- *     u8  status       serve::Status value
- *     i32 action       argmax action (-1 unless status == Ok)
- *     f32 value        value-head output
- *     u64 model_version
- *     f32 queue_us, f32 infer_us, f32 total_us
- *     u32 num_probs    action-probability count (0 unless Ok)
- *     f32 probs[num_probs]
+ * Thread-per-connection TCP front-end over a PolicyServer, so
+ * external processes can submit observations and receive
+ * action/value outputs. The frame layout (and its v1/v2 minor
+ * versioning) lives in serve/wire.hh, shared with the epoll
+ * event-loop front-end (serve/event_loop.hh) that supersedes this
+ * one for high connection counts; this implementation stays as the
+ * simple single-PolicyServer front and as a second, independent
+ * implementation of the wire contract.
  *
  * A connection carries one request at a time (responses come back in
  * request order); clients wanting concurrency open more connections —
  * batching happens server-side across all of them. A malformed
  * observation size is answered with RejectedBadRequest rather than a
- * dropped connection; a bad magic closes the connection.
+ * dropped connection; a bad magic closes the connection. Responses
+ * use the wire version of the request magic, so v1 clients are
+ * answered with v1 frames.
  */
 
 #ifndef FA3C_SERVE_TCP_HH
@@ -42,11 +29,13 @@
 #include <vector>
 
 #include "serve/server.hh"
+#include "serve/wire.hh"
 
 namespace fa3c::serve {
 
-inline constexpr std::uint32_t kRequestMagic = 0xFA3C5E01;
-inline constexpr std::uint32_t kResponseMagic = 0xFA3C5E02;
+inline constexpr std::uint32_t kRequestMagic = wire::kRequestMagicV1;
+inline constexpr std::uint32_t kResponseMagic =
+    wire::kResponseMagicV1;
 
 /** TCP listener configuration. */
 struct TcpConfig

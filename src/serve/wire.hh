@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The length-prefixed serving wire format, shared by every front-end
+ * (thread-per-connection serve/tcp.*, epoll serve/event_loop.*) and
+ * the blocking client. All integers are little-endian, floats
+ * IEEE-754 binary32; both ends are assumed little-endian hosts.
+ *
+ * Two minor versions are live. A connection's version is set by the
+ * request magic the client sends and answered in kind, so old
+ * clients keep working against new servers:
+ *
+ *   request frame (v1 magic 0xFA3C5E01, v2 magic 0xFA3C5E11):
+ *     u32 magic
+ *     u64 tag          client-chosen, echoed in the response
+ *     u32 deadline_us  latency budget (0 = none)
+ *     u32 obs_numel    number of observation floats
+ *     f32 obs[obs_numel]
+ *
+ *   response frame (v1 magic 0xFA3C5E02, v2 magic 0xFA3C5E12):
+ *     u32 magic
+ *     u64 tag          echoed request tag
+ *     u8  status       serve::Status value
+ *     i32 action       argmax action (-1 unless status == Ok)
+ *     f32 value        value-head output
+ *     u64 model_version
+ *     f32 queue_us, f32 infer_us, f32 total_us
+ *     u32 retry_after_us   [v2 only] back-off hint on Rejected*
+ *     u32 num_probs    action-probability count (0 unless Ok)
+ *     f32 probs[num_probs]
+ *
+ * The v2 bump (this minor revision) adds retry_after_us so clients
+ * facing a shedding fleet can back off instead of hammering it.
+ */
+
+#ifndef FA3C_SERVE_WIRE_HH
+#define FA3C_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace fa3c::serve::wire {
+
+inline constexpr std::uint32_t kRequestMagicV1 = 0xFA3C5E01;
+inline constexpr std::uint32_t kResponseMagicV1 = 0xFA3C5E02;
+inline constexpr std::uint32_t kRequestMagicV2 = 0xFA3C5E11;
+inline constexpr std::uint32_t kResponseMagicV2 = 0xFA3C5E12;
+
+/** Request header size in bytes (identical across versions). */
+inline constexpr std::size_t kRequestHeaderBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint32_t) + sizeof(std::uint32_t);
+
+/** Append a trivially copyable value to a byte buffer. */
+template <typename T>
+inline void
+put(std::vector<std::uint8_t> &buf, T v)
+{
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&v);
+    buf.insert(buf.end(), bytes, bytes + sizeof(T));
+}
+
+/** Read a trivially copyable value from a byte cursor. */
+template <typename T>
+inline T
+get(const std::uint8_t *&p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+}
+
+/** Wire version selected by a request magic; 0 = not ours. */
+inline int
+requestVersion(std::uint32_t magic)
+{
+    if (magic == kRequestMagicV1)
+        return 1;
+    if (magic == kRequestMagicV2)
+        return 2;
+    return 0;
+}
+
+/** Decoded request frame header. */
+struct RequestHeader
+{
+    int version = 0; ///< 0 = bad magic
+    std::uint64_t tag = 0;
+    std::uint32_t deadlineUs = 0;
+    std::uint32_t numel = 0;
+};
+
+/** Decode @p kRequestHeaderBytes at @p p. */
+inline RequestHeader
+decodeRequestHeader(const std::uint8_t *p)
+{
+    RequestHeader h;
+    h.version = requestVersion(get<std::uint32_t>(p));
+    h.tag = get<std::uint64_t>(p);
+    h.deadlineUs = get<std::uint32_t>(p);
+    h.numel = get<std::uint32_t>(p);
+    return h;
+}
+
+/** Encode one request frame (always the newest version). */
+inline void
+encodeRequest(std::vector<std::uint8_t> &buf, std::uint64_t tag,
+              std::uint32_t deadline_us, const float *obs,
+              std::size_t numel)
+{
+    buf.clear();
+    buf.reserve(kRequestHeaderBytes + numel * sizeof(float));
+    put<std::uint32_t>(buf, kRequestMagicV2);
+    put<std::uint64_t>(buf, tag);
+    put<std::uint32_t>(buf, deadline_us);
+    put<std::uint32_t>(buf, static_cast<std::uint32_t>(numel));
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(obs);
+    buf.insert(buf.end(), bytes, bytes + numel * sizeof(float));
+}
+
+/** Fixed response bytes before the probability tail, magic included. */
+inline std::size_t
+responsePrefixBytes(int version)
+{
+    const std::size_t v1 =
+        sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+        sizeof(std::uint8_t) + sizeof(std::int32_t) + sizeof(float) +
+        sizeof(std::uint64_t) + 3 * sizeof(float) +
+        sizeof(std::uint32_t);
+    return version >= 2 ? v1 + sizeof(std::uint32_t) : v1;
+}
+
+/** Encode one response frame in @p version's layout. */
+inline void
+encodeResponse(std::vector<std::uint8_t> &buf, std::uint64_t tag,
+               const Response &resp, int version)
+{
+    buf.clear();
+    put<std::uint32_t>(buf, version >= 2 ? kResponseMagicV2
+                                         : kResponseMagicV1);
+    put<std::uint64_t>(buf, tag);
+    put<std::uint8_t>(buf, static_cast<std::uint8_t>(resp.status));
+    put<std::int32_t>(buf, resp.action);
+    put<float>(buf, resp.value);
+    put<std::uint64_t>(buf, resp.modelVersion);
+    put<float>(buf, static_cast<float>(resp.queueUs));
+    put<float>(buf, static_cast<float>(resp.inferUs));
+    put<float>(buf, static_cast<float>(resp.totalUs));
+    if (version >= 2)
+        put<std::uint32_t>(buf, resp.retryAfterUs);
+    put<std::uint32_t>(buf,
+                       static_cast<std::uint32_t>(resp.policy.size()));
+    for (float pr : resp.policy)
+        put<float>(buf, pr);
+}
+
+/**
+ * Decode a response prefix whose magic has already been consumed and
+ * mapped to @p version. @p p must hold responsePrefixBytes(version)
+ * minus the magic. @return the probability-tail count the caller
+ * still has to read.
+ */
+inline std::uint32_t
+decodeResponseAfterMagic(const std::uint8_t *&p, int version,
+                         std::uint64_t &tag, Response &out)
+{
+    tag = get<std::uint64_t>(p);
+    out.status = static_cast<Status>(get<std::uint8_t>(p));
+    out.action = get<std::int32_t>(p);
+    out.value = get<float>(p);
+    out.modelVersion = get<std::uint64_t>(p);
+    out.queueUs = get<float>(p);
+    out.inferUs = get<float>(p);
+    out.totalUs = get<float>(p);
+    out.retryAfterUs = version >= 2 ? get<std::uint32_t>(p) : 0;
+    return get<std::uint32_t>(p);
+}
+
+} // namespace fa3c::serve::wire
+
+#endif // FA3C_SERVE_WIRE_HH

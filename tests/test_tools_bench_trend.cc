@@ -64,14 +64,19 @@ TEST(BenchTrend, ParsesBenchJson)
 {
     const BenchRun run = parseBenchJson(
         R"({"schema":"fa3c.bench.v1","bench":"nn_kernels",)"
+        R"("host":"Xeon/4c","host_cpu":"Xeon",)"
+        R"("host_logical_cores":4,"host_kernel_threads":0,)"
         R"("fw_speedup_e2e":3.2,"reps":30,"net":"wide",)"
         R"("rows":[{"layer":"conv1","fast_ms":0.5}]})");
     EXPECT_EQ(run.bench, "nn_kernels");
+    EXPECT_EQ(run.host, "Xeon/4c");
     EXPECT_DOUBLE_EQ(run.metrics.at("fw_speedup_e2e"), 3.2);
     EXPECT_DOUBLE_EQ(run.metrics.at("reps"), 30.0);
-    // Strings and rows are not metrics.
+    // Strings, rows, and host provenance are not metrics.
     EXPECT_EQ(run.metrics.count("net"), 0u);
     EXPECT_EQ(run.metrics.count("rows"), 0u);
+    EXPECT_EQ(run.metrics.count("host_logical_cores"), 0u);
+    EXPECT_EQ(run.metrics.count("host_kernel_threads"), 0u);
 }
 
 TEST(BenchTrend, RejectsWrongSchema)
@@ -225,6 +230,55 @@ TEST(BenchTrend, NoBaselineNeverFails)
     results = compare(history, run, {kFwGate}, 5);
     EXPECT_TRUE(results[0].missing);
     EXPECT_FALSE(results[0].regression);
+}
+
+TEST(BenchTrend, HostRoundTripsThroughHistory)
+{
+    TempDir dir;
+    HistoryEntry with_host = entryWith("aaa111", 3.0, 5.0);
+    with_host.host = "Xeon/4c";
+    ASSERT_TRUE(appendHistory(dir.str(), "nn_kernels", with_host));
+    // A legacy entry (no host) still loads with host == "".
+    ASSERT_TRUE(appendHistory(dir.str(), "nn_kernels",
+                              entryWith("bbb222", 3.2, 5.5)));
+
+    const auto history =
+        loadHistory(dir.str() + "/nn_kernels.jsonl");
+    ASSERT_EQ(history.size(), 2u);
+    EXPECT_EQ(history[0].host, "Xeon/4c");
+    EXPECT_EQ(history[1].host, "");
+}
+
+TEST(BenchTrend, HostComparableFiltersUnlikeHosts)
+{
+    std::vector<HistoryEntry> history;
+    for (double v : {3.0, 3.1, 3.2}) {
+        HistoryEntry e = entryWith("sha", v, 0.0);
+        e.host = "Xeon/4c";
+        history.push_back(std::move(e));
+    }
+    {
+        // A much slower 1-vCPU box recorded wildly different numbers.
+        HistoryEntry e = entryWith("sha", 1.0, 0.0);
+        e.host = "Xeon/1c";
+        history.push_back(std::move(e));
+    }
+    history.push_back(entryWith("sha", 2.0, 0.0)); // legacy, no host
+
+    // Same host: its own entries plus the legacy one.
+    auto filtered = hostComparable(history, "Xeon/4c");
+    ASSERT_EQ(filtered.size(), 4u);
+    for (const auto &e : filtered)
+        EXPECT_NE(e.host, "Xeon/1c");
+
+    // A run without host info keeps the legacy compare-against-all.
+    EXPECT_EQ(hostComparable(history, "").size(), history.size());
+
+    // A brand-new host sees only legacy entries (a thin baseline it
+    // will reseed), never the other machines' numbers.
+    filtered = hostComparable(history, "Ryzen/8c");
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[0].host, "");
 }
 
 TEST(BenchTrend, HistoryLineIsStrictJson)

@@ -23,8 +23,10 @@ parseBenchJson(std::string_view text)
     run.bench = doc.stringOr("bench", "");
     if (run.bench.empty())
         throw std::runtime_error("bench json: missing \"bench\" name");
+    run.host = doc.stringOr("host", "");
     for (const auto &[key, value] : doc.object)
-        if (value.isNumber() && key != "schema")
+        if (value.isNumber() && key != "schema" &&
+            key.rfind("host_", 0) != 0) // provenance, not a metric
             run.metrics.emplace(key, value.number);
     return run;
 }
@@ -59,6 +61,7 @@ loadHistory(const std::string &path)
         HistoryEntry entry;
         entry.sha = doc.stringOr("sha", "unknown");
         entry.config = doc.stringOr("config", "default");
+        entry.host = doc.stringOr("host", "");
         if (doc.has("metrics"))
             for (const auto &[key, value] :
                  doc.at("metrics").object)
@@ -76,7 +79,10 @@ historyLine(const std::string &bench, const HistoryEntry &entry)
     out << "{\"schema\":\"fa3c.benchtrend.v1\",\"bench\":\""
         << obs::jsonEscape(bench) << "\",\"sha\":\""
         << obs::jsonEscape(entry.sha) << "\",\"config\":\""
-        << obs::jsonEscape(entry.config) << "\",\"metrics\":{";
+        << obs::jsonEscape(entry.config) << "\"";
+    if (!entry.host.empty())
+        out << ",\"host\":\"" << obs::jsonEscape(entry.host) << "\"";
+    out << ",\"metrics\":{";
     bool first = true;
     for (const auto &[key, value] : entry.metrics) {
         out << (first ? "\"" : ",\"") << obs::jsonEscape(key)
@@ -128,6 +134,20 @@ parseMetricSpec(std::string_view spec)
         out.higherIsBetter = false;
     else
         return std::nullopt;
+    return out;
+}
+
+std::vector<HistoryEntry>
+hostComparable(const std::vector<HistoryEntry> &history,
+               const std::string &host)
+{
+    if (host.empty())
+        return history;
+    std::vector<HistoryEntry> out;
+    out.reserve(history.size());
+    for (const HistoryEntry &entry : history)
+        if (entry.host.empty() || entry.host == host)
+            out.push_back(entry);
     return out;
 }
 

@@ -38,13 +38,16 @@ namespace fa3c::tools {
 struct BenchRun
 {
     std::string bench;                    ///< e.g. "nn_kernels"
+    std::string host; ///< host fingerprint ("" = not recorded)
     std::map<std::string, double> metrics;
 };
 
 /**
  * Parse a BENCH_*.json document (schema fa3c.bench.v1). Every
- * top-level numeric field becomes a metric; "rows" and non-numeric
- * fields are ignored.
+ * top-level numeric field becomes a metric; "rows", non-numeric
+ * fields, and the informational host_* fields are ignored. The
+ * "host" string (the fingerprint obs::hostInfo() stamps into every
+ * report) is carried separately for baseline filtering.
  *
  * @throws std::runtime_error on malformed JSON or a wrong schema.
  */
@@ -55,6 +58,7 @@ struct HistoryEntry
 {
     std::string sha;    ///< git revision the run was built from
     std::string config; ///< free-form config key ("default", host tag)
+    std::string host;   ///< host fingerprint ("" = legacy entry)
     std::map<std::string, double> metrics;
 };
 
@@ -105,10 +109,23 @@ struct Comparison
 };
 
 /**
+ * Keep only history entries baseline-comparable with @p host: same
+ * fingerprint, plus legacy entries that recorded none. An empty
+ * @p host (a run without host info) compares against everything —
+ * the pre-fingerprint behaviour. The first run on a new host thus
+ * sees an empty (or legacy-only) baseline and seeds it rather than
+ * gating against another machine's numbers.
+ */
+std::vector<HistoryEntry>
+hostComparable(const std::vector<HistoryEntry> &history,
+               const std::string &host);
+
+/**
  * Compare @p run against the rolling baseline of @p history for each
  * spec. A metric with no history yet (or absent from the run) is
  * reported with `missing = true` and never fails the gate: the first
- * recorded run seeds the baseline.
+ * recorded run seeds the baseline. Callers gate across machines by
+ * narrowing @p history with hostComparable() first.
  */
 std::vector<Comparison>
 compare(const std::vector<HistoryEntry> &history, const BenchRun &run,

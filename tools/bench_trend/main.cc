@@ -158,6 +158,7 @@ cmdRecord(const Options &opt)
         HistoryEntry entry;
         entry.sha = opt.sha;
         entry.config = opt.config;
+        entry.host = run.host;
         entry.metrics = run.metrics;
         if (!appendHistory(opt.historyDir, run.bench, entry)) {
             std::fprintf(stderr,
@@ -200,12 +201,20 @@ cmdCheck(const Options &opt)
                          path.c_str(), e.what());
             return 2;
         }
-        std::printf("%s vs %s/%s.jsonl (%zu runs, window %zu):\n",
+        // Baselines only from runs on a comparable host: a 4-core CI
+        // runner must not gate against a 1-vCPU dev box's history.
+        const std::vector<HistoryEntry> comparable =
+            hostComparable(history, run.host);
+        std::printf("%s vs %s/%s.jsonl (%zu of %zu runs comparable"
+                    " with host \"%s\", window %zu):\n",
                     path.c_str(), opt.historyDir.c_str(),
-                    run.bench.c_str(), history.size(), opt.window);
+                    run.bench.c_str(), comparable.size(),
+                    history.size(),
+                    run.host.empty() ? "any" : run.host.c_str(),
+                    opt.window);
         bool bench_regressed = false;
         for (const Comparison &c :
-             compare(history, run, opt.specs, opt.window)) {
+             compare(comparable, run, opt.specs, opt.window)) {
             if (c.missing) {
                 std::printf("  %-28s (no baseline yet)\n",
                             c.metric.c_str());
@@ -224,6 +233,7 @@ cmdCheck(const Options &opt)
             HistoryEntry entry;
             entry.sha = opt.sha;
             entry.config = opt.config;
+            entry.host = run.host;
             entry.metrics = run.metrics;
             if (!appendHistory(opt.historyDir, run.bench, entry)) {
                 std::fprintf(
@@ -254,8 +264,10 @@ cmdShow(const Options &opt)
     }
     std::printf("%s: %zu runs\n", bench.c_str(), history.size());
     for (const HistoryEntry &entry : history) {
-        std::printf("  %-14s %-10s", entry.sha.c_str(),
-                    entry.config.c_str());
+        std::printf("  %-14s %-10s %-24s", entry.sha.c_str(),
+                    entry.config.c_str(),
+                    entry.host.empty() ? "(no host)"
+                                       : entry.host.c_str());
         if (!opt.specs.empty()) {
             for (const MetricSpec &spec : opt.specs) {
                 const auto it = entry.metrics.find(spec.name);
