@@ -268,8 +268,9 @@ EventLoopServer::loopMain()
                     auto it = conns_.find(c.conn);
                     if (it == conns_.end())
                         continue; // connection died first
-                    finishSlot(it->second, c.seq, c.tag, c.version,
-                               std::move(c.resp));
+                    // Next iteration re-finds, so a close is fine.
+                    (void)finishSlot(it->second, c.seq, c.tag,
+                                     c.version, std::move(c.resp));
                 }
                 continue;
             }
@@ -357,10 +358,8 @@ EventLoopServer::readable(Conn &c)
         closeConn(c.id);
         return;
     }
-    if (!parseFrames(c)) {
-        closeConn(c.id);
-        return;
-    }
+    if (!parseFrames(c))
+        return; // conn closed and erased; c dangles
     if (maybeRetire(c))
         applyBackpressure(c);
 }
@@ -385,8 +384,12 @@ EventLoopServer::parseFrames(Conn &c)
             c.slots.back().recv = Clock::now();
             Response resp;
             resp.status = Status::RejectedBadRequest;
-            finishSlot(c, seq, c.drainTag, c.drainVersion,
-                       std::move(resp));
+            // The inline flush can cascade (send failure, or a
+            // half-closed peer retiring once this rejection was its
+            // last owed response) into closeConn — stop parsing then.
+            if (!finishSlot(c, seq, c.drainTag, c.drainVersion,
+                            std::move(resp)))
+                return false;
             continue;
         }
         if (avail < wire::kRequestHeaderBytes)
@@ -395,6 +398,17 @@ EventLoopServer::parseFrames(Conn &c)
             wire::decodeRequestHeader(c.in.data() + c.inOff);
         if (h.version == 0) {
             FA3C_WARN("serve: bad request magic; closing connection");
+            closeConn(c.id);
+            return false;
+        }
+        if (h.numel > cfg_.maxObsNumel) {
+            // Refuse to sit in a multi-GB discard loop on the
+            // claimant's schedule: oversize claims are a protocol
+            // error, not a drainable bad request.
+            FA3C_WARN("serve: request claims ", h.numel,
+                      " obs floats (cap ", cfg_.maxObsNumel,
+                      "); closing connection");
+            closeConn(c.id);
             return false;
         }
         if (h.numel != wantNumel_) {
@@ -452,14 +466,14 @@ EventLoopServer::parseFrames(Conn &c)
     return true;
 }
 
-void
+bool
 EventLoopServer::finishSlot(Conn &c, std::uint64_t seq,
                             std::uint64_t tag, int version,
                             Response &&resp)
 {
     const std::uint64_t idx = seq - c.headSeq;
     if (idx >= c.slots.size())
-        return; // already flushed/abandoned (should not happen)
+        return true; // already flushed/abandoned (should not happen)
     Conn::Slot &slot = c.slots[static_cast<std::size_t>(idx)];
     if (slot.span.sampled) {
         const std::array<obs::TraceArg, 2> args{
@@ -471,7 +485,8 @@ EventLoopServer::finishSlot(Conn &c, std::uint64_t seq,
     wire::encodeResponse(slot.bytes, tag, resp, version);
     slot.ready = true;
     if (idx == 0)
-        (void)flushHead(c); // terminal: c may be gone afterwards
+        return flushHead(c); // false: the flush closed the conn
+    return true;
 }
 
 bool

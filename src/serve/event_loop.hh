@@ -12,7 +12,8 @@
  *    observation payload) is present; frames split across any number
  *    of reads reassemble transparently. A wrong-geometry payload is
  *    discarded in a drain state (never buffered) and answered with
- *    RejectedBadRequest; a bad magic closes the connection.
+ *    RejectedBadRequest; a bad magic or a payload claiming more than
+ *    maxObsNumel floats closes the connection.
  *  - **Submit** hands the observation to the backing PolicyServer or
  *    ReplicaRouter via submitAsync(); the completion callback posts
  *    the response onto an eventfd-backed completion bus that wakes
@@ -59,8 +60,10 @@ struct EventLoopConfig
     std::string bindAddress = "127.0.0.1";
     std::uint16_t port = 0; ///< 0 = ephemeral (read back via port())
     int backlog = 128;
-    /** Frames claiming more observation floats than this are drained
-     * (discarded, never buffered) and answered RejectedBadRequest. */
+    /** Frames claiming more observation floats than this close the
+     * connection (protocol error — draining them would discard GBs on
+     * the claimant's schedule); smaller wrong-geometry frames are
+     * drained and answered RejectedBadRequest. */
     std::uint32_t maxObsNumel = 1u << 22;
     /** Park a connection's read side once this many response bytes
      * are buffered for it (slow-reader backpressure). */
@@ -170,10 +173,13 @@ class EventLoopServer
     void acceptReady();
     /** Drain the socket's readable bytes; may close the conn. */
     void readable(Conn &c);
-    /** Parse every complete frame in c.in; false = close the conn. */
+    /** Parse every complete frame in c.in. Closes the conn itself on
+     * protocol errors and on flush-path teardown. @return false when
+     * the conn was closed — @p c dangles, don't touch it. */
     bool parseFrames(Conn &c);
-    /** Fill slot @p seq and flush if it unblocked the head. */
-    void finishSlot(Conn &c, std::uint64_t seq, std::uint64_t tag,
+    /** Fill slot @p seq and flush if it unblocked the head.
+     * @return false when the flush closed the conn (@p c dangles). */
+    bool finishSlot(Conn &c, std::uint64_t seq, std::uint64_t tag,
                     int version, Response &&resp);
     /** Move ready head slots to the write buffer and push them to the
      * socket. @return false when the connection was closed. */

@@ -162,16 +162,28 @@ ReplicaRouter::publish(const nn::ParamSet &params)
     // the hot-swap test) asserts.
     std::lock_guard<std::mutex> lock(publishMutex_);
     std::uint64_t version = 0;
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    for (auto &r : replicas_) {
         nn::ParamSet copy = net_.makeParams();
         copy.copyFrom(params);
-        const std::uint64_t v = replicas_[i]->publish(std::move(copy));
-        if (i == 0)
-            version = v;
-        else
-            FA3C_ASSERT(v == version,
-                        "replica publish versions diverged");
+        version = std::max(version, r->publish(std::move(copy)));
     }
+    // Replicas normally move in lockstep, but a caller may have
+    // published to one directly via replica(); level any laggard with
+    // catch-up copies (each publish bumps its registry by exactly
+    // one) instead of aborting the fleet over the skew.
+    bool diverged = false;
+    for (auto &r : replicas_) {
+        while (r->modelVersion() < version) {
+            diverged = true;
+            nn::ParamSet copy = net_.makeParams();
+            copy.copyFrom(params);
+            r->publish(std::move(copy));
+        }
+    }
+    if (diverged)
+        FA3C_WARN("serve: replica publish versions diverged; "
+                  "resynchronized fleet at version ",
+                  version);
     publishedVersion_.store(version, std::memory_order_release);
     obs::metrics().count("router", "publishes");
     return version;

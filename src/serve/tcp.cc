@@ -268,13 +268,14 @@ TcpClient::request(const tensor::Tensor &obs, std::uint32_t deadline_us,
         return false;
     std::vector<std::uint8_t> frame;
     wire::encodeRequest(frame, nextTag_++, deadline_us,
-                        obs.data().data(), obs.numel());
+                        obs.data().data(), obs.numel(),
+                        wireVersion_);
     if (!writeFull(fd_, frame.data(), frame.size()))
         return false;
 
-    // Version from the response magic (a v1 server answers a v2
-    // request with a v1 frame), then the rest of the fixed prefix,
-    // then the probability tail.
+    // The server answers in the version of the request magic, so
+    // sniff the response magic rather than assuming wireVersion_:
+    // then the rest of the fixed prefix, then the probability tail.
     std::uint32_t magic = 0;
     if (!readFull(fd_, &magic, sizeof(magic)))
         return false;

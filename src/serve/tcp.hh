@@ -111,6 +111,17 @@ class TcpClient
     bool request(const tensor::Tensor &obs, std::uint32_t deadline_us,
                  Response &out);
 
+    /**
+     * Wire version for outgoing requests (default: newest). Set 1
+     * when talking to a pre-v2 server — old binaries close the
+     * connection on a magic they don't recognize, so a v2 client
+     * cannot reach them. Responses are decoded by their own magic
+     * either way.
+     */
+    void setWireVersion(int version) { wireVersion_ = version; }
+
+    int wireVersion() const { return wireVersion_; }
+
     void close();
 
     bool connected() const { return fd_ >= 0; }
@@ -118,6 +129,7 @@ class TcpClient
   private:
     int fd_ = -1;
     std::uint64_t nextTag_ = 1;
+    int wireVersion_ = 2;
 };
 
 } // namespace fa3c::serve

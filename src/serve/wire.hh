@@ -105,15 +105,18 @@ decodeRequestHeader(const std::uint8_t *p)
     return h;
 }
 
-/** Encode one request frame (always the newest version). */
+/** Encode one request frame in @p version's magic (defaults to the
+ * newest; pass 1 to talk to a pre-v2 server, which closes the
+ * connection on a magic it does not recognize). */
 inline void
 encodeRequest(std::vector<std::uint8_t> &buf, std::uint64_t tag,
               std::uint32_t deadline_us, const float *obs,
-              std::size_t numel)
+              std::size_t numel, int version = 2)
 {
     buf.clear();
     buf.reserve(kRequestHeaderBytes + numel * sizeof(float));
-    put<std::uint32_t>(buf, kRequestMagicV2);
+    put<std::uint32_t>(buf, version >= 2 ? kRequestMagicV2
+                                         : kRequestMagicV1);
     put<std::uint64_t>(buf, tag);
     put<std::uint32_t>(buf, deadline_us);
     put<std::uint32_t>(buf, static_cast<std::uint32_t>(numel));

@@ -3,8 +3,10 @@
  * Epoll event-loop front-end tests: wire round trips, frames split
  * across arbitrarily small reads, pipelined in-order responses,
  * half-closed sockets that still receive owed responses, slow-reader
- * backpressure that never stalls other clients, v1 client compat,
- * wrong-geometry drains, and the router-backed fleet front.
+ * backpressure that never stalls other clients, v1 client compat
+ * (both hand-built frames and TcpClient's wire-version knob),
+ * wrong-geometry drains (including one racing a half-close),
+ * oversize-claim rejection, and the router-backed fleet front.
  */
 
 #include <arpa/inet.h>
@@ -454,6 +456,90 @@ TEST(ServeEventLoop, WrongGeometryIsDrainedAndAnswered)
     ASSERT_TRUE(client.readResponse(tag, resp, version));
     EXPECT_EQ(tag, 2u);
     EXPECT_EQ(resp.status, Status::Ok);
+    loop.stop();
+}
+
+TEST(ServeEventLoop, WrongGeometryThenHalfCloseInSameBatch)
+{
+    // Regression: when a complete wrong-geometry frame and the peer's
+    // FIN land in one read batch, the inline rejection flush retires
+    // the connection from inside parseFrames — the loop must stop
+    // touching the erased Conn instead of continuing to parse on it.
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    EventLoopServer loop(server, EventLoopConfig{});
+    ASSERT_TRUE(loop.start());
+
+    RawClient client;
+    ASSERT_TRUE(client.connect(loop.port()));
+
+    tensor::Tensor bad(tensor::Shape({7}));
+    const auto frame = encodedRequest(bad, 9);
+    ASSERT_TRUE(client.sendAll(frame.data(), frame.size()));
+    ASSERT_EQ(::shutdown(client.fd, SHUT_WR), 0);
+
+    // The rejection is still owed and delivered, then a clean EOF.
+    std::uint64_t tag = 0;
+    Response resp;
+    int version = 0;
+    ASSERT_TRUE(client.readResponse(tag, resp, version));
+    EXPECT_EQ(tag, 9u);
+    EXPECT_EQ(resp.status, Status::RejectedBadRequest);
+    std::uint8_t byte = 0;
+    EXPECT_EQ(::recv(client.fd, &byte, 1, 0), 0);
+    loop.stop();
+}
+
+TEST(ServeEventLoop, OversizeNumelClaimClosesConnection)
+{
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    EventLoopServer loop(server, EventLoopConfig{});
+    ASSERT_TRUE(loop.start());
+
+    RawClient client;
+    ASSERT_TRUE(client.connect(loop.port()));
+
+    // A header claiming ~16 GB of observation floats must not hold
+    // the connection in a discard loop: protocol error, hard close.
+    std::vector<std::uint8_t> header;
+    wire::put<std::uint32_t>(header, wire::kRequestMagicV2);
+    wire::put<std::uint64_t>(header, 1);
+    wire::put<std::uint32_t>(header, 0);
+    wire::put<std::uint32_t>(header, 0xFFFFFFFFu);
+    ASSERT_TRUE(client.sendAll(header.data(), header.size()));
+
+    std::uint8_t byte = 0;
+    EXPECT_EQ(::recv(client.fd, &byte, 1, 0), 0)
+        << "oversize numel claim must close the connection";
+    loop.stop();
+}
+
+TEST(ServeEventLoop, ClientWireVersionKnobSpeaksV1)
+{
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    EventLoopServer loop(server, EventLoopConfig{});
+    ASSERT_TRUE(loop.start());
+
+    // A client pinned to v1 (as it must be against a pre-v2 server)
+    // sends the v1 magic and decodes the v1 answer it gets back.
+    TcpClient client;
+    client.setWireVersion(1);
+    ASSERT_TRUE(client.connect("127.0.0.1", loop.port()));
+    Response resp;
+    ASSERT_TRUE(client.request(f.observation(0.8f), 0, resp));
+    EXPECT_EQ(resp.status, Status::Ok);
+    EXPECT_EQ(resp.retryAfterUs, 0u); // v1 frames carry no hint
     loop.stop();
 }
 

@@ -340,6 +340,32 @@ TEST(ServeRouter, CoordinatedHotSwapIsLockstepAndLossless)
     router.stop();
 }
 
+TEST(ServeRouter, DirectReplicaPublishResynchronizesFleet)
+{
+    Fixture f;
+    ReplicaRouter router(f.net,
+                         f.fleet(2, RoutePolicy::LeastLoaded));
+    EXPECT_EQ(router.publish(f.params), 1u);
+    router.start();
+
+    // A caller pushes one replica ahead through the direct accessor;
+    // the next fleet publish must level the skew, not abort.
+    nn::ParamSet extra = f.net.makeParams();
+    extra.copyFrom(f.params);
+    EXPECT_EQ(router.replica(0).publish(std::move(extra)), 2u);
+
+    const std::uint64_t v = router.publish(f.params);
+    EXPECT_EQ(v, 3u);
+    EXPECT_EQ(router.modelVersion(), v);
+    for (int rep = 0; rep < router.replicas(); ++rep)
+        EXPECT_EQ(router.replica(rep).modelVersion(), v);
+
+    const Response r = router.submitAndWait(f.observation(0.6f));
+    EXPECT_EQ(r.status, Status::Ok);
+    EXPECT_EQ(r.modelVersion, v);
+    router.stop();
+}
+
 TEST(ServeRouter, SubmitAsyncDeliversCompletion)
 {
     Fixture f;
