@@ -19,6 +19,10 @@
  *     --checkpoint-every <n> checkpoint every n env steps
  *     --resume               restore <path> before training (missing
  *                            file starts fresh; corrupt file aborts)
+ *     --workers <n>          A3C agent threads, 1..256 (default 4)
+ *     --dist <mode>          off (default) trains in-process; async /
+ *                            sync print the equivalent multi-process
+ *                            dist_training invocation and exit
  *
  * With --checkpoint set, SIGINT/SIGTERM/SIGUSR1 also trigger a
  * checkpoint at the next routine boundary.
@@ -49,6 +53,8 @@ main(int argc, char **argv)
     std::string backend_name = "datapath";
     std::uint64_t checkpoint_every = 0;
     bool resume = false;
+    int workers = 4;
+    std::string dist_mode = "off";
 
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
@@ -69,6 +75,27 @@ main(int argc, char **argv)
             checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--workers" && i + 1 < argc) {
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || n < 1 || n > 256) {
+                std::fprintf(stderr,
+                             "bad --workers value: %s (want an "
+                             "integer in 1..256)\n",
+                             argv[i]);
+                return 2;
+            }
+            workers = static_cast<int>(n);
+        } else if (arg == "--dist" && i + 1 < argc) {
+            dist_mode = argv[++i];
+            if (dist_mode != "off" && dist_mode != "async" &&
+                dist_mode != "sync") {
+                std::fprintf(stderr,
+                             "unknown --dist mode: %s (want "
+                             "off|async|sync)\n",
+                             dist_mode.c_str());
+                return 2;
+            }
         } else if (positional == 0) {
             game_name = arg;
             ++positional;
@@ -89,13 +116,27 @@ main(int argc, char **argv)
     }
     const env::GameId game = *maybe_game;
 
+    if (dist_mode != "off") {
+        // Multi-process training lives in the dist_training example;
+        // hand the user the equivalent invocation instead of silently
+        // training in-process.
+        std::printf("distributed training runs as separate "
+                    "processes; use:\n"
+                    "  dist_training --role launch --game %s --steps "
+                    "%llu --workers 2 --agents %d%s\n",
+                    game_name.c_str(),
+                    static_cast<unsigned long long>(steps), workers,
+                    dist_mode == "sync" ? " --sync" : "");
+        return 0;
+    }
+
     const int actions =
         env::makeEnvironment(game, 0)->numActions();
     const nn::NetConfig net_cfg = nn::NetConfig::tiny(actions);
     const nn::A3cNetwork net(net_cfg);
 
     rl::A3cConfig cfg;
-    cfg.numAgents = 4;
+    cfg.numAgents = workers;
     cfg.totalSteps = steps;
     cfg.initialLr = 1e-3f;
     cfg.lrAnnealSteps = 0;

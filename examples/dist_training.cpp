@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Elastic multi-process parameter-server training.
+ *
+ *     ./dist_training --role ps     [options]   # parameter server
+ *     ./dist_training --role worker [options]   # one worker process
+ *     ./dist_training --role launch [options]   # ps + forked workers
+ *     ./dist_training --role stats  [options]   # query a running ps
+ *
+ * Options (role-relevant subset):
+ *     --game <name>          beam_rider|breakout|pong|qbert|seaquest|
+ *                            space_invaders (default pong)
+ *     --host <addr>          PS address (worker/stats; default
+ *                            127.0.0.1)
+ *     --port <n>             PS port (ps: bind, 0 = ephemeral;
+ *                            worker/stats: target)
+ *     --port-file <path>     ps/launch: write the bound port here
+ *     --steps <n>            total env steps (ps/launch; default 20000)
+ *     --workers <n>          forked worker processes (launch; default 2)
+ *     --agents <n>           A3C agents per worker (default 2)
+ *     --backend <name>       worker DNN backend: reference|fast|int8|
+ *                            fp16|datapath (default fast)
+ *     --name <s>             worker name (default worker)
+ *     --sync                 staleness bound 0 (serialized updates)
+ *     --staleness <n>        explicit staleness bound (default
+ *                            unbounded — classic async A3C)
+ *     --lease-ttl-ms <n>     worker lease TTL (default 2000)
+ *     --shards <n>           parameter shards on the PS (default 8)
+ *     --checkpoint <path>    durable PS state (ps/launch)
+ *     --checkpoint-every <n> PS checkpoint period in env steps
+ *     --seed <n>             init / rollout seed (default 7)
+ *     --lr <f>               learning rate on the PS (default 1e-3)
+ *     --max-routines <n>     worker: stop after n routines (default 0
+ *                            = until the PS says stop)
+ *     --timeout-sec <n>      ps/launch: give up waiting after n sec
+ *     --kill-first <hit>     launch: arm FA3C_FAULT_KILL_AGENT=<hit>
+ *                            in the first worker; when it dies with
+ *                            exit 42 a replacement is forked — the
+ *                            elastic-rejoin demo the CI smoke greps
+ *
+ * The PS and every worker derive the network from --game, so the
+ * layout CRC in the Hello only matches when both sides agree.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/ps_client.hh"
+#include "dist/ps_server.hh"
+#include "dist/worker_runner.hh"
+#include "env/environment.hh"
+#include "fa3c/datapath_backend.hh"
+#include "nn/a3c_network.hh"
+#include "rl/a3c.hh"
+#include "sim/fault.hh"
+
+using namespace fa3c;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --role ps|worker|launch|stats [options]\n"
+                 "       (see the file comment for the option list)\n",
+                 argv0);
+    return 2;
+}
+
+struct Options
+{
+    std::string role;
+    std::string game = "pong";
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string portFile;
+    std::uint64_t steps = 20000;
+    int workers = 2;
+    int agents = 2;
+    std::string backend = "fast";
+    std::string name = "worker";
+    std::uint64_t staleness =
+        std::numeric_limits<std::uint64_t>::max();
+    std::uint32_t leaseTtlMs = 2000;
+    int shards = 8;
+    std::string checkpoint;
+    std::uint64_t checkpointEvery = 0;
+    std::uint64_t seed = 7;
+    float lr = 1e-3f;
+    std::uint64_t maxRoutines = 0;
+    long timeoutSec = 0;
+    std::uint64_t killFirst = 0;
+};
+
+/** Shared network derivation: both sides must agree on the layout. */
+nn::A3cNetwork
+makeNetwork(env::GameId game)
+{
+    const int actions = env::makeEnvironment(game, 0)->numActions();
+    return nn::A3cNetwork(nn::NetConfig::tiny(actions));
+}
+
+rl::A3cConfig
+workerA3cConfig(const Options &opt)
+{
+    rl::A3cConfig cfg;
+    cfg.numAgents = opt.agents;
+    cfg.seed = opt.seed;
+    cfg.initialLr = opt.lr; // informational; the PS applies updates
+    cfg.lrAnnealSteps = 0;
+    if (opt.backend != "datapath")
+        cfg.backend = rl::backendKindFromName(opt.backend);
+    return cfg;
+}
+
+int
+runPs(const Options &opt, env::GameId game)
+{
+    const nn::A3cNetwork net = makeNetwork(game);
+    dist::PsServerConfig cfg;
+    cfg.port = opt.port;
+    cfg.leaseTtlMs = opt.leaseTtlMs;
+    cfg.maxStaleness = opt.staleness;
+    cfg.totalSteps = opt.steps;
+    cfg.checkpointPath = opt.checkpoint;
+    cfg.checkpointEverySteps = opt.checkpointEvery;
+    cfg.numShards = opt.shards;
+    cfg.initialLr = opt.lr;
+    cfg.seed = opt.seed;
+    dist::PsServer ps(net, cfg);
+    if (!ps.start())
+        return 1;
+    std::printf("dist: ps ready on port %d\n", ps.port());
+    std::fflush(stdout);
+    if (!opt.portFile.empty()) {
+        if (std::FILE *f = std::fopen(opt.portFile.c_str(), "w")) {
+            std::fprintf(f, "%d\n", ps.port());
+            std::fclose(f);
+        }
+    }
+    const bool done = ps.waitDone(
+        opt.timeoutSec > 0 ? opt.timeoutSec * 1000 : -1);
+    ps.stop();
+    const auto stats = ps.stats();
+    std::printf("dist: ps finished — version %llu, steps %llu, "
+                "joined %llu, reaped %llu, pushes %llu (%llu "
+                "rejected)\n",
+                static_cast<unsigned long long>(stats.version),
+                static_cast<unsigned long long>(stats.steps),
+                static_cast<unsigned long long>(stats.joined),
+                static_cast<unsigned long long>(stats.reaped),
+                static_cast<unsigned long long>(stats.pushes),
+                static_cast<unsigned long long>(stats.pushRejects));
+    if (!done) {
+        std::fprintf(stderr, "dist: ps timed out before totalSteps\n");
+        return 3;
+    }
+    return 0;
+}
+
+int
+runWorker(const Options &opt, env::GameId game)
+{
+    if (opt.port <= 0) {
+        std::fprintf(stderr, "worker needs --port\n");
+        return 2;
+    }
+    const nn::A3cNetwork net = makeNetwork(game);
+    dist::WorkerConfig cfg;
+    cfg.host = opt.host;
+    cfg.port = opt.port;
+    cfg.name = opt.name;
+    cfg.game = opt.game;
+    cfg.a3c = workerA3cConfig(opt);
+    cfg.maxRoutines = opt.maxRoutines;
+    rl::A3cTrainer::BackendFactory backend_factory;
+    if (opt.backend == "datapath")
+        backend_factory = [&net](int) -> std::unique_ptr<rl::DnnBackend> {
+            return std::make_unique<core::DatapathBackend>(net);
+        };
+    dist::WorkerRunner worker(net, cfg, backend_factory);
+    if (!worker.run())
+        return 1;
+    std::printf("dist: worker '%s' done after %llu routines, %zu "
+                "episodes\n",
+                opt.name.c_str(),
+                static_cast<unsigned long long>(worker.routines()),
+                worker.scores().records().size());
+    return 0;
+}
+
+int
+runStats(const Options &opt)
+{
+    if (opt.port <= 0) {
+        std::fprintf(stderr, "stats needs --port\n");
+        return 2;
+    }
+    dist::PsClient client;
+    dist::wire::StatsReply s;
+    if (!client.connect(opt.host, opt.port) || !client.stats(s)) {
+        std::fprintf(stderr, "stats: cannot reach %s:%d\n",
+                     opt.host.c_str(), opt.port);
+        return 1;
+    }
+    std::printf("version=%llu steps=%llu/%llu active=%u joined=%llu "
+                "reaped=%llu pushes=%llu rejects=%llu\n",
+                static_cast<unsigned long long>(s.version),
+                static_cast<unsigned long long>(s.steps),
+                static_cast<unsigned long long>(s.totalSteps),
+                s.activeLeases,
+                static_cast<unsigned long long>(s.joined),
+                static_cast<unsigned long long>(s.reaped),
+                static_cast<unsigned long long>(s.pushes),
+                static_cast<unsigned long long>(s.pushRejects));
+    return 0;
+}
+
+/** Fork + exec one worker child against the in-process PS. */
+pid_t
+spawnWorker(const char *argv0, const Options &opt, int ps_port,
+            int index, std::uint64_t kill_at)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    if (kill_at > 0) {
+        const std::string v = std::to_string(kill_at);
+        ::setenv("FA3C_FAULT_KILL_AGENT", v.c_str(), 1);
+    }
+    std::string wname = "w";
+    wname += std::to_string(index);
+    std::vector<std::string> args = {
+        argv0,           "--role",        "worker",
+        "--host",        "127.0.0.1",     "--port",
+        std::to_string(ps_port),          "--game",
+        opt.game,        "--agents",      std::to_string(opt.agents),
+        "--backend",     opt.backend,     "--name",
+        wname,           "--seed",
+        std::to_string(opt.seed + 100u * static_cast<unsigned>(index)),
+    };
+    std::vector<char *> argvc;
+    argvc.reserve(args.size() + 1);
+    for (auto &a : args)
+        argvc.push_back(a.data());
+    argvc.push_back(nullptr);
+    ::execv(argv0, argvc.data());
+    std::perror("execv");
+    ::_Exit(127);
+}
+
+int
+runLaunch(const char *argv0, const Options &opt, env::GameId game)
+{
+    const nn::A3cNetwork net = makeNetwork(game);
+    dist::PsServerConfig cfg;
+    cfg.port = opt.port;
+    cfg.leaseTtlMs = opt.leaseTtlMs;
+    cfg.maxStaleness = opt.staleness;
+    cfg.totalSteps = opt.steps;
+    cfg.checkpointPath = opt.checkpoint;
+    cfg.checkpointEverySteps = opt.checkpointEvery;
+    cfg.numShards = opt.shards;
+    cfg.initialLr = opt.lr;
+    cfg.seed = opt.seed;
+    dist::PsServer ps(net, cfg);
+    if (!ps.start())
+        return 1;
+    std::printf("dist: ps ready on port %d\n", ps.port());
+    std::fflush(stdout);
+    if (!opt.portFile.empty()) {
+        if (std::FILE *f = std::fopen(opt.portFile.c_str(), "w")) {
+            std::fprintf(f, "%d\n", ps.port());
+            std::fclose(f);
+        }
+    }
+
+    std::vector<pid_t> children;
+    int next_index = 0;
+    for (int i = 0; i < opt.workers; ++i, ++next_index)
+        children.push_back(spawnWorker(argv0, opt, ps.port(),
+                                       next_index,
+                                       i == 0 ? opt.killFirst : 0));
+
+    // Supervise: while training runs, reap crashed workers (simulated
+    // by FA3C_FAULT_KILL_AGENT — exit 42) and fork replacements; the
+    // PS reaps their leases and the replacements resume from the
+    // current version. This is the elastic path end to end.
+    long waited_ms = 0;
+    const long timeout_ms =
+        opt.timeoutSec > 0 ? opt.timeoutSec * 1000 : -1;
+    bool timed_out = false;
+    while (!ps.done()) {
+        if (ps.waitDone(100))
+            break;
+        waited_ms += 100;
+        if (timeout_ms > 0 && waited_ms >= timeout_ms) {
+            timed_out = true;
+            break;
+        }
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid > 0) {
+            for (auto &c : children)
+                if (c == pid)
+                    c = -1;
+            if (WIFEXITED(status) &&
+                WEXITSTATUS(status) == fault::kKillExitCode) {
+                std::printf("dist: worker %d crashed (exit %d); "
+                            "forking replacement\n",
+                            static_cast<int>(pid),
+                            fault::kKillExitCode);
+                std::fflush(stdout);
+                children.push_back(spawnWorker(
+                    argv0, opt, ps.port(), next_index++, 0));
+            }
+        }
+    }
+
+    // Workers see stop=1 on their next ack and exit on their own.
+    for (pid_t pid : children) {
+        if (pid < 0)
+            continue;
+        int status = 0;
+        (void)::waitpid(pid, &status, 0);
+    }
+    ps.stop();
+    const auto stats = ps.stats();
+    std::printf("dist: launch finished — version %llu, steps %llu, "
+                "joined %llu, reaped %llu, pushes %llu (%llu "
+                "rejected)\n",
+                static_cast<unsigned long long>(stats.version),
+                static_cast<unsigned long long>(stats.steps),
+                static_cast<unsigned long long>(stats.joined),
+                static_cast<unsigned long long>(stats.reaped),
+                static_cast<unsigned long long>(stats.pushes),
+                static_cast<unsigned long long>(stats.pushRejects));
+    if (timed_out) {
+        std::fprintf(stderr,
+                     "dist: launch timed out before totalSteps\n");
+        return 3;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--role" && has_value) {
+            opt.role = argv[++i];
+        } else if (arg == "--game" && has_value) {
+            opt.game = argv[++i];
+        } else if (arg == "--host" && has_value) {
+            opt.host = argv[++i];
+        } else if (arg == "--port" && has_value) {
+            opt.port = std::atoi(argv[++i]);
+        } else if (arg == "--port-file" && has_value) {
+            opt.portFile = argv[++i];
+        } else if (arg == "--steps" && has_value) {
+            opt.steps = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--workers" && has_value) {
+            opt.workers = std::atoi(argv[++i]);
+        } else if (arg == "--agents" && has_value) {
+            opt.agents = std::atoi(argv[++i]);
+        } else if (arg == "--backend" && has_value) {
+            opt.backend = argv[++i];
+            if (opt.backend != "datapath" &&
+                !rl::tryBackendKindFromName(opt.backend)) {
+                std::fprintf(stderr,
+                             "unknown backend: %s (want datapath|"
+                             "reference|fast|int8|fp16)\n",
+                             opt.backend.c_str());
+                return 2;
+            }
+        } else if (arg == "--name" && has_value) {
+            opt.name = argv[++i];
+        } else if (arg == "--sync") {
+            opt.staleness = 0;
+        } else if (arg == "--staleness" && has_value) {
+            opt.staleness = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--lease-ttl-ms" && has_value) {
+            opt.leaseTtlMs = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--shards" && has_value) {
+            opt.shards = std::atoi(argv[++i]);
+        } else if (arg == "--checkpoint" && has_value) {
+            opt.checkpoint = argv[++i];
+        } else if (arg == "--checkpoint-every" && has_value) {
+            opt.checkpointEvery =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && has_value) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--lr" && has_value) {
+            opt.lr = std::strtof(argv[++i], nullptr);
+        } else if (arg == "--max-routines" && has_value) {
+            opt.maxRoutines = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--timeout-sec" && has_value) {
+            opt.timeoutSec = std::atol(argv[++i]);
+        } else if (arg == "--kill-first" && has_value) {
+            opt.killFirst = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    if (opt.role != "ps" && opt.role != "worker" &&
+        opt.role != "launch" && opt.role != "stats") {
+        std::fprintf(stderr, "unknown role: '%s'\n",
+                     opt.role.c_str());
+        return usage(argv[0]);
+    }
+    const auto maybe_game = env::tryGameFromName(opt.game);
+    if (!maybe_game) {
+        std::fprintf(stderr, "unknown game: %s (valid: %s)\n",
+                     opt.game.c_str(), env::gameNameList().c_str());
+        return 2;
+    }
+    const env::GameId game = *maybe_game;
+
+    if (opt.role == "ps")
+        return runPs(opt, game);
+    if (opt.role == "worker")
+        return runWorker(opt, game);
+    if (opt.role == "stats")
+        return runStats(opt);
+    return runLaunch(argv[0], opt, game);
+}

@@ -1,0 +1,92 @@
+#include "dist/lease.hh"
+
+namespace fa3c::dist {
+
+LeaseTable::LeaseTable(std::chrono::milliseconds ttl, NowFn now)
+    : ttl_(ttl), now_(std::move(now))
+{
+    if (!now_)
+        now_ = [] { return Clock::now(); };
+}
+
+std::uint64_t
+LeaseTable::join(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = nextId_++;
+    Lease &lease = leases_[id];
+    lease.id = id;
+    lease.name = name;
+    lease.expiry = now_() + ttl_;
+    ++joined_;
+    return id;
+}
+
+bool
+LeaseTable::renew(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = leases_.find(id);
+    if (it == leases_.end())
+        return false;
+    it->second.expiry = now_() + ttl_;
+    return true;
+}
+
+bool
+LeaseTable::leave(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return leases_.erase(id) > 0;
+}
+
+std::vector<LeaseTable::Lease>
+LeaseTable::reapExpired()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Clock::time_point now = now_();
+    std::vector<Lease> reaped;
+    for (auto it = leases_.begin(); it != leases_.end();) {
+        if (it->second.expiry <= now) {
+            reaped.push_back(it->second);
+            it = leases_.erase(it);
+            ++reaped_;
+        } else {
+            ++it;
+        }
+    }
+    return reaped;
+}
+
+bool
+LeaseTable::reap(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (leases_.erase(id) == 0)
+        return false;
+    ++reaped_;
+    return true;
+}
+
+std::size_t
+LeaseTable::active() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return leases_.size();
+}
+
+std::uint64_t
+LeaseTable::joined() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return joined_;
+}
+
+std::uint64_t
+LeaseTable::reaped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reaped_;
+}
+
+} // namespace fa3c::dist

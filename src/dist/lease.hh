@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Worker lease tracking for the elastic parameter server.
+ *
+ * Membership is lease-based: a worker's Hello grants a lease, every
+ * Push or Heartbeat renews it, and a worker that stops talking —
+ * crashed, partitioned, or FA3C_FAULT_*-killed — is reaped once its
+ * lease expires (or immediately when its control connection drops).
+ * Joining is always cheap: a replacement worker gets a fresh lease
+ * and resumes from the PS's current version, so the fleet can grow
+ * and shrink mid-run without coordination.
+ *
+ * The table uses an injectable monotonic clock so expiry tests do not
+ * need to sleep.
+ */
+
+#ifndef FA3C_DIST_LEASE_HH
+#define FA3C_DIST_LEASE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fa3c::dist {
+
+/** Thread-safe lease registry keyed by worker id. */
+class LeaseTable
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    /** Override the time source (tests). */
+    using NowFn = std::function<Clock::time_point()>;
+
+    /** One active worker membership. */
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        std::string name;
+        Clock::time_point expiry{};
+    };
+
+    explicit LeaseTable(std::chrono::milliseconds ttl,
+                        NowFn now = {});
+
+    /** Grant a fresh lease. @return the new worker id (never 0). */
+    std::uint64_t join(const std::string &name);
+
+    /** Extend @p id's lease by one TTL. @return false when the lease
+     * does not exist (expired and reaped, or never granted). */
+    bool renew(std::uint64_t id);
+
+    /** Voluntarily release @p id (a worker's Bye). */
+    bool leave(std::uint64_t id);
+
+    /** Remove every expired lease. @return the reaped leases. */
+    std::vector<Lease> reapExpired();
+
+    /** Remove @p id regardless of expiry (its connection died).
+     * @return true when a lease was actually dropped. */
+    bool reap(std::uint64_t id);
+
+    std::size_t active() const;
+    std::uint64_t joined() const;  ///< lifetime joins
+    std::uint64_t reaped() const;  ///< lifetime reaps (not Byes)
+    std::chrono::milliseconds ttl() const { return ttl_; }
+
+  private:
+    std::chrono::milliseconds ttl_;
+    NowFn now_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, Lease> leases_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t joined_ = 0;
+    std::uint64_t reaped_ = 0;
+};
+
+} // namespace fa3c::dist
+
+#endif // FA3C_DIST_LEASE_HH

@@ -1,0 +1,124 @@
+#include "dist/sharded_params.hh"
+
+#include <algorithm>
+
+namespace fa3c::dist {
+
+ShardedParams::ShardedParams(const nn::A3cNetwork &net,
+                             const nn::RmspropConfig &rmsprop,
+                             float initial_lr,
+                             std::uint64_t anneal_steps,
+                             int num_shards)
+    : net_(net), rmsprop_(rmsprop), initialLr_(initial_lr),
+      annealSteps_(anneal_steps), theta_(net.makeParams()),
+      rmspropG_(net.makeParams())
+{
+    const std::size_t total = theta_.size();
+    const std::size_t shards = std::clamp<std::size_t>(
+        num_shards > 0 ? static_cast<std::size_t>(num_shards) : 1, 1,
+        std::max<std::size_t>(total, 1));
+    const std::size_t chunk = (total + shards - 1) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+        shards_.emplace_back();
+        Shard &shard = shards_.back();
+        shard.begin = std::min(s * chunk, total);
+        shard.end = std::min(shard.begin + chunk, total);
+    }
+}
+
+void
+ShardedParams::initialize(sim::Rng &rng)
+{
+    std::unique_lock<std::shared_mutex> epoch(epochMutex_);
+    for (const Shard &s : shards_)
+        s.mutex.lock();
+    net_.initParams(theta_, rng);
+    rmspropG_.zero();
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+        it->mutex.unlock();
+}
+
+float
+ShardedParams::currentLearningRate() const
+{
+    if (annealSteps_ == 0)
+        return initialLr_;
+    const std::uint64_t steps = steps_.load(std::memory_order_relaxed);
+    if (steps >= annealSteps_)
+        return 0.0f;
+    const double frac = 1.0 - static_cast<double>(steps) /
+                                  static_cast<double>(annealSteps_);
+    return static_cast<float>(initialLr_ * frac);
+}
+
+void
+ShardedParams::snapshot(std::vector<float> &out) const
+{
+    out.resize(theta_.size());
+    const std::span<const float> flat = theta_.flat();
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        std::copy(flat.begin() + static_cast<std::ptrdiff_t>(s.begin),
+                  flat.begin() + static_cast<std::ptrdiff_t>(s.end),
+                  out.begin() + static_cast<std::ptrdiff_t>(s.begin));
+    }
+}
+
+std::uint64_t
+ShardedParams::apply(std::span<const float> grads,
+                     std::uint64_t steps_consumed)
+{
+    // Shared: concurrent applies proceed in parallel (disjoint shards
+    // never contend), but a checkpoint/restore excludes all of them.
+    std::shared_lock<std::shared_mutex> epoch(epochMutex_);
+    const float lr = currentLearningRate();
+    if (lr > 0.0f) {
+        const std::span<float> theta = theta_.flat();
+        const std::span<float> g = rmspropG_.flat();
+        for (const Shard &s : shards_) {
+            if (s.begin == s.end)
+                continue;
+            std::lock_guard<std::mutex> lock(s.mutex);
+            const std::size_t n = s.end - s.begin;
+            nn::rmspropApply(theta.subspan(s.begin, n),
+                             g.subspan(s.begin, n),
+                             grads.subspan(s.begin, n), lr, rmsprop_);
+        }
+    }
+    steps_.fetch_add(steps_consumed, std::memory_order_relaxed);
+    return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void
+ShardedParams::checkpoint(nn::ParamSet &theta_out, nn::ParamSet &g_out,
+                          std::uint64_t &steps_out,
+                          std::uint64_t &version_out) const
+{
+    std::unique_lock<std::shared_mutex> epoch(epochMutex_);
+    for (const Shard &s : shards_)
+        s.mutex.lock();
+    theta_out.copyFrom(theta_);
+    g_out.copyFrom(rmspropG_);
+    steps_out = steps_.load(std::memory_order_relaxed);
+    version_out = version_.load(std::memory_order_relaxed);
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+        it->mutex.unlock();
+}
+
+void
+ShardedParams::restore(const nn::ParamSet &theta,
+                       const nn::ParamSet &g, std::uint64_t steps,
+                       std::uint64_t version)
+{
+    std::unique_lock<std::shared_mutex> epoch(epochMutex_);
+    for (const Shard &s : shards_)
+        s.mutex.lock();
+    theta_.copyFrom(theta);
+    rmspropG_.copyFrom(g);
+    steps_.store(steps, std::memory_order_relaxed);
+    version_.store(version, std::memory_order_release);
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it)
+        it->mutex.unlock();
+}
+
+} // namespace fa3c::dist

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The parameter server's sharded global state: theta plus the shared
+ * RMSProp statistics g, split into S contiguous shards with one lock
+ * each, so gradient pushes arriving on different connection threads
+ * update disjoint shards concurrently instead of serializing on one
+ * mutex the way the in-process rl::GlobalParams does.
+ *
+ * Semantics match rl::GlobalParams / fa3c::RmspropModule exactly:
+ * per-word g' = rho*g + (1-rho)*d^2, theta' = theta - eta*d/sqrt(g'+
+ * eps), with the learning rate linearly annealed over the global step
+ * counter. A whole push is applied shard-by-shard under the shard
+ * locks and the version counter is bumped once at the end; a
+ * concurrent snapshot may therefore mix two adjacent versions across
+ * shards — the usual parameter-server relaxation, bounded by the
+ * staleness knob at the protocol layer. checkpoint()/restore() take
+ * the epoch lock exclusively (pushes hold it shared for the length of
+ * one apply), so the durable image can never contain half of an
+ * in-flight push: it is a consistent {theta, g, steps, version}
+ * quadruple just like the single-process trainers'.
+ */
+
+#ifndef FA3C_DIST_SHARDED_PARAMS_HH
+#define FA3C_DIST_SHARDED_PARAMS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "nn/a3c_network.hh"
+#include "nn/params.hh"
+#include "nn/rmsprop.hh"
+#include "sim/rng.hh"
+
+namespace fa3c::dist {
+
+/** Sharded theta + RMSProp g + step/version counters. */
+class ShardedParams
+{
+  public:
+    /**
+     * @param net          Network defining the parameter layout.
+     * @param rmsprop      Constant rho / epsilon.
+     * @param initial_lr   eta at step 0.
+     * @param anneal_steps Linear decay horizon (0 disables).
+     * @param num_shards   Lock granularity (clamped to [1, size]).
+     */
+    ShardedParams(const nn::A3cNetwork &net,
+                  const nn::RmspropConfig &rmsprop, float initial_lr,
+                  std::uint64_t anneal_steps, int num_shards);
+
+    /** Initialize theta from @p rng (fan-in uniform), zero g. */
+    void initialize(sim::Rng &rng);
+
+    std::size_t paramCount() const { return theta_.size(); }
+    const nn::ParamSet &layout() const { return theta_; }
+    int numShards() const { return static_cast<int>(shards_.size()); }
+
+    /** Updates applied so far (bumped once per accepted push). */
+    std::uint64_t
+    version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /** Environment steps consumed so far. */
+    std::uint64_t
+    steps() const
+    {
+        return steps_.load(std::memory_order_relaxed);
+    }
+
+    /** The learning rate the next update will use. */
+    float currentLearningRate() const;
+
+    /** Copy the current theta into @p out (resized to paramCount).
+     * Shards are copied under their own locks; across shards the
+     * image may span two adjacent versions (see file comment). */
+    void snapshot(std::vector<float> &out) const;
+
+    /**
+     * Apply one gradient set through shared RMSProp and advance the
+     * step counter by @p steps_consumed.
+     *
+     * @return The version produced by this update.
+     */
+    std::uint64_t apply(std::span<const float> grads,
+                        std::uint64_t steps_consumed);
+
+    /** Consistent {theta, g, steps, version} image under all shard
+     * locks. The ParamSet outputs must have the network's layout. */
+    void checkpoint(nn::ParamSet &theta_out, nn::ParamSet &g_out,
+                    std::uint64_t &steps_out,
+                    std::uint64_t &version_out) const;
+
+    /** Restore a triple captured by checkpoint(), adopting @p version
+     * as the update counter (checkpoints store it as `updates`). */
+    void restore(const nn::ParamSet &theta, const nn::ParamSet &g,
+                 std::uint64_t steps, std::uint64_t version);
+
+  private:
+    struct Shard
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        mutable std::mutex mutex;
+    };
+
+    const nn::A3cNetwork &net_;
+    nn::RmspropConfig rmsprop_;
+    float initialLr_;
+    std::uint64_t annealSteps_;
+    /** Held shared across one whole apply(), exclusively by
+     * checkpoint()/restore()/initialize(): per-shard locks alone
+     * would let a consistent-image reader overtake an in-flight
+     * apply shard by shard and capture half a push. */
+    mutable std::shared_mutex epochMutex_;
+    nn::ParamSet theta_;
+    nn::ParamSet rmspropG_;
+    std::deque<Shard> shards_; ///< deque: Shard is not movable
+    std::atomic<std::uint64_t> version_{0};
+    std::atomic<std::uint64_t> steps_{0};
+};
+
+} // namespace fa3c::dist
+
+#endif // FA3C_DIST_SHARDED_PARAMS_HH

@@ -1,0 +1,332 @@
+#include "dist/worker_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "env/environment.hh"
+#include "env/session.hh"
+#include "obs/metrics.hh"
+#include "sim/logging.hh"
+
+namespace fa3c::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void
+sleepMs(std::uint32_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RemoteParams
+
+RemoteParams::RemoteParams(const nn::A3cNetwork &net, std::string host,
+                           int port, std::string worker_name)
+    : net_(net), host_(std::move(host)), port_(port),
+      name_(std::move(worker_name)), cache_(net.makeParams())
+{
+}
+
+bool
+RemoteParams::joinLocked()
+{
+    wire::Hello hello;
+    hello.workerName = name_;
+    hello.paramCount = cache_.size();
+    hello.layoutCrc = wire::layoutCrc(cache_);
+    wire::Welcome welcome;
+    if (!client_.hello(hello, welcome))
+        return false;
+    wire::Params params;
+    if (!client_.pull(params, cache_.size()) ||
+        params.theta.size() != cache_.size())
+        return false;
+    std::copy(params.theta.begin(), params.theta.end(),
+              cache_.flat().begin());
+    cacheVersion_ = params.version;
+    leaseTtlMs_ = welcome.leaseTtlMs;
+    workerId_.store(welcome.workerId, std::memory_order_release);
+    lastSteps_.store(params.steps, std::memory_order_relaxed);
+    if (params.stop)
+        stop_.store(true, std::memory_order_release);
+    joined_ = true;
+    return true;
+}
+
+bool
+RemoteParams::join()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_)
+        return true;
+    if (!client_.connected() && !client_.connect(host_, port_))
+        return false;
+    return joinLocked();
+}
+
+bool
+RemoteParams::rejoinLocked()
+{
+    joined_ = false;
+    std::uint32_t backoff_ms = 50;
+    while (!stop_.load(std::memory_order_acquire)) {
+        client_.close();
+        if (client_.connect(host_, port_) && joinLocked()) {
+            FA3C_INFORM("dist: worker '", name_, "' rejoined as #",
+                        workerId_.load(std::memory_order_relaxed),
+                        " at version ", cacheVersion_);
+            return true;
+        }
+        sleepMs(backoff_ms);
+        backoff_ms = std::min<std::uint32_t>(backoff_ms * 2, 1000);
+    }
+    return false;
+}
+
+void
+RemoteParams::snapshot(nn::ParamSet &local)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    local.copyFrom(cache_);
+}
+
+void
+RemoteParams::applyGradients(const nn::ParamSet &grads,
+                             std::uint64_t steps_consumed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_.load(std::memory_order_acquire))
+        return;
+
+    wire::Push push;
+    // The gradients were computed against the cached theta; the base
+    // version is pinned here and survives rejoins, so the PS always
+    // sees honest staleness accounting.
+    push.baseVersion = cacheVersion_;
+    push.steps = steps_consumed;
+    push.wantParams = 1;
+    const std::span<const float> flat = grads.flat();
+    push.grads.assign(flat.begin(), flat.end());
+
+    auto &m = obs::metrics();
+    for (;;) {
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        if (!joined_ && !rejoinLocked())
+            return;
+        push.workerId = workerId_.load(std::memory_order_relaxed);
+        wire::PushAck ack;
+        const auto t0 = Clock::now();
+        if (!client_.push(push, ack, cache_.size())) {
+            joined_ = false; // transport died; rejoin and retry
+            continue;
+        }
+        if (m.enabled()) {
+            m.count("dist", "worker_pushes");
+            m.sample("dist", "push_rtt_us",
+                     std::chrono::duration<double, std::micro>(
+                         Clock::now() - t0)
+                         .count());
+        }
+        if (ack.accepted == 0 &&
+            ack.staleness ==
+                std::numeric_limits<std::uint64_t>::max()) {
+            // Lease reaped (we were presumed dead). Re-Hello on the
+            // same connection and push the same gradients again.
+            FA3C_WARN("dist: worker '", name_,
+                      "' lease lost; re-joining");
+            if (!joinLocked())
+                joined_ = false;
+            continue;
+        }
+        if (ack.accepted == 0)
+            staleRejects_.fetch_add(1, std::memory_order_relaxed);
+        if (!ack.theta.empty()) {
+            std::copy(ack.theta.begin(), ack.theta.end(),
+                      cache_.flat().begin());
+            cacheVersion_ = ack.version;
+        }
+        lastSteps_.store(ack.steps, std::memory_order_relaxed);
+        if (ack.stop)
+            stop_.store(true, std::memory_order_release);
+        return;
+    }
+}
+
+std::uint64_t
+RemoteParams::globalSteps() const
+{
+    return lastSteps_.load(std::memory_order_relaxed);
+}
+
+void
+RemoteParams::abort()
+{
+    stop_.store(true, std::memory_order_release);
+}
+
+std::uint64_t
+RemoteParams::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cacheVersion_;
+}
+
+std::uint32_t
+RemoteParams::leaseTtlMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return leaseTtlMs_;
+}
+
+void
+RemoteParams::leave()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) {
+        client_.bye(workerId_.load(std::memory_order_relaxed));
+        joined_ = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// WorkerRunner
+
+WorkerRunner::WorkerRunner(
+    const nn::A3cNetwork &net, const WorkerConfig &cfg,
+    rl::A3cTrainer::BackendFactory backend_factory,
+    rl::A3cTrainer::SessionFactory session_factory)
+    : net_(net), cfg_(cfg),
+      remote_(net, cfg.host, cfg.port, cfg.name),
+      backendFactory_(std::move(backend_factory)),
+      sessionFactory_(std::move(session_factory))
+{
+    if (!backendFactory_)
+        backendFactory_ = [this](int) {
+            return rl::makeDnnBackend(cfg_.a3c.backend, net_);
+        };
+}
+
+WorkerRunner::~WorkerRunner()
+{
+    requestStop();
+}
+
+void
+WorkerRunner::requestStop()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    remote_.abort();
+}
+
+void
+WorkerRunner::heartbeatMain()
+{
+    PsClient hb;
+    const std::uint32_t ttl = remote_.leaseTtlMs();
+    const std::uint32_t period =
+        cfg_.heartbeatMs > 0
+            ? cfg_.heartbeatMs
+            : std::max<std::uint32_t>(ttl > 0 ? ttl / 3 : 200, 20);
+    while (!stopRequested_.load(std::memory_order_acquire) &&
+           !remote_.stopped()) {
+        const std::uint64_t id = remote_.workerId();
+        if (id != 0) {
+            if (!hb.connected())
+                (void)hb.connect(cfg_.host, cfg_.port);
+            wire::HeartbeatAck ack;
+            if (hb.connected() && hb.heartbeat(id, ack) && ack.stop)
+                remote_.abort();
+        }
+        sleepMs(period);
+    }
+}
+
+bool
+WorkerRunner::run()
+{
+    // The PS may still be starting; keep knocking.
+    int attempts = 0;
+    while (!remote_.join()) {
+        if (stopRequested_.load(std::memory_order_acquire) ||
+            ++attempts >= cfg_.joinAttempts) {
+            FA3C_WARN("dist: worker '", cfg_.name,
+                      "' failed to join ", cfg_.host, ":", cfg_.port,
+                      " after ", attempts, " attempts");
+            return false;
+        }
+        sleepMs(250);
+    }
+    FA3C_INFORM("dist: worker '", cfg_.name, "' joined as #",
+                remote_.workerId(), " (", cfg_.a3c.numAgents,
+                " agents)");
+
+    rl::A3cTrainer::SessionFactory session_factory = sessionFactory_;
+    if (!session_factory) {
+        const auto maybe_game = env::tryGameFromName(cfg_.game);
+        if (!maybe_game) {
+            FA3C_WARN("dist: unknown game '", cfg_.game, "'");
+            return false;
+        }
+        const env::GameId game = *maybe_game;
+        session_factory = [this,
+                           game](int agent_id)
+            -> std::unique_ptr<env::AtariSession> {
+            const nn::NetConfig &nc = net_.config();
+            env::SessionConfig scfg;
+            scfg.frameStack = nc.inChannels;
+            scfg.obsHeight = nc.inHeight;
+            scfg.obsWidth = nc.inWidth;
+            const std::uint64_t base =
+                cfg_.a3c.seed * 1000003ull +
+                static_cast<std::uint64_t>(agent_id);
+            return std::make_unique<env::AtariSession>(
+                env::makeEnvironment(game, base + 11), scfg,
+                base + 13);
+        };
+    }
+
+    std::vector<std::unique_ptr<rl::A3cAgent>> agents;
+    agents.reserve(static_cast<std::size_t>(cfg_.a3c.numAgents));
+    for (int i = 0; i < cfg_.a3c.numAgents; ++i)
+        agents.push_back(std::make_unique<rl::A3cAgent>(
+            i, cfg_.a3c, backendFactory_(i), session_factory(i),
+            remote_, scores_, diagnostics_));
+
+    std::thread heartbeat([this] { heartbeatMain(); });
+
+    auto should_stop = [this] {
+        if (stopRequested_.load(std::memory_order_acquire) ||
+            remote_.stopped())
+            return true;
+        return cfg_.maxRoutines > 0 &&
+               routines_.load(std::memory_order_relaxed) >=
+                   cfg_.maxRoutines;
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(agents.size());
+    for (auto &agent : agents)
+        threads.emplace_back([this, &agent, &should_stop] {
+            while (!should_stop()) {
+                agent->runRoutine();
+                routines_.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    remote_.abort(); // wake the heartbeat loop promptly
+    heartbeat.join();
+    remote_.leave();
+    return true;
+}
+
+} // namespace fa3c::dist

@@ -1,0 +1,90 @@
+#include "net/frame.hh"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace fa3c::net {
+
+bool
+readFull(int fd, void *buf, std::size_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    auto *p = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+}
+
+bool
+sendFrame(int fd, std::uint32_t magic, std::uint32_t type,
+          const void *payload, std::size_t payload_len)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kFrameHeaderBytes + payload_len);
+    encodeFrameHeader(frame,
+                      {magic, type,
+                       static_cast<std::uint32_t>(payload_len)});
+    if (payload_len > 0) {
+        const auto *bytes =
+            static_cast<const std::uint8_t *>(payload);
+        frame.insert(frame.end(), bytes, bytes + payload_len);
+    }
+    return writeFull(fd, frame.data(), frame.size());
+}
+
+bool
+recvFrame(int fd, std::uint32_t magic, std::uint32_t max_payload,
+          std::uint32_t &type_out, std::string &payload_out)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!readFull(fd, header, sizeof(header)))
+        return false;
+    const FrameHeader h = decodeFrameHeader(header);
+    if (h.magic != magic || h.payloadLen > max_payload)
+        return false;
+    payload_out.resize(h.payloadLen);
+    if (h.payloadLen > 0 &&
+        !readFull(fd, payload_out.data(), h.payloadLen))
+        return false;
+    type_out = h.type;
+    return true;
+}
+
+} // namespace fa3c::net

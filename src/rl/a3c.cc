@@ -82,7 +82,7 @@ TrainingDiagnostics::gradNorm() const
 A3cAgent::A3cAgent(int id, const A3cConfig &cfg,
                    std::unique_ptr<DnnBackend> backend,
                    std::unique_ptr<env::AtariSession> session,
-                   GlobalParams &global, ScoreLog &scores,
+                   ParamService &global, ScoreLog &scores,
                    TrainingDiagnostics &diagnostics)
     : id_(id), cfg_(cfg), backend_(std::move(backend)),
       session_(std::move(session)), global_(global), scores_(scores),

@@ -115,13 +115,16 @@ class A3cAgent
      * @param cfg      Shared hyper-parameters.
      * @param backend  DNN executor (owned).
      * @param session  Environment frontend (owned).
-     * @param global   Shared global parameters.
+     * @param global   Parameter plane the agent syncs from and pushes
+     *                 gradients to — in-process GlobalParams for the
+     *                 classic trainers, a dist::RemoteParams proxy
+     *                 when the agent runs inside a PS worker process.
      * @param scores   Shared episode log.
      */
     A3cAgent(int id, const A3cConfig &cfg,
              std::unique_ptr<DnnBackend> backend,
              std::unique_ptr<env::AtariSession> session,
-             GlobalParams &global, ScoreLog &scores,
+             ParamService &global, ScoreLog &scores,
              TrainingDiagnostics &diagnostics);
 
     /**
@@ -144,7 +147,7 @@ class A3cAgent
     const A3cConfig &cfg_;
     std::unique_ptr<DnnBackend> backend_;
     std::unique_ptr<env::AtariSession> session_;
-    GlobalParams &global_;
+    ParamService &global_;
     ScoreLog &scores_;
     TrainingDiagnostics &diagnostics_;
     sim::Rng rng_;

@@ -19,11 +19,12 @@
 #include "nn/a3c_network.hh"
 #include "nn/params.hh"
 #include "nn/rmsprop.hh"
+#include "rl/param_service.hh"
 
 namespace fa3c::rl {
 
 /** Thread-safe global theta + shared RMSProp state. */
-class GlobalParams
+class GlobalParams : public ParamService
 {
   public:
     /**
@@ -41,7 +42,7 @@ class GlobalParams
     void initialize(sim::Rng &rng);
 
     /** Parameter sync: copy the current global theta into @p local. */
-    void snapshot(nn::ParamSet &local);
+    void snapshot(nn::ParamSet &local) override;
 
     /**
      * Apply a gradient batch via shared RMSProp.
@@ -52,11 +53,11 @@ class GlobalParams
      *                       annealing).
      */
     void applyGradients(const nn::ParamSet &grads,
-                        std::uint64_t steps_consumed);
+                        std::uint64_t steps_consumed) override;
 
     /** Total environment steps consumed so far. */
     std::uint64_t
-    globalSteps() const
+    globalSteps() const override
     {
         return globalSteps_.load(std::memory_order_relaxed);
     }

@@ -26,13 +26,7 @@ namespace {
 constexpr std::uint64_t kWakeId = ~std::uint64_t{0};
 constexpr std::uint64_t kListenId = ~std::uint64_t{0} - 1;
 
-void
-setNoDelay(int fd)
-{
-    int one = 1;
-    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
-                       sizeof(one));
-}
+using net::setNoDelay;
 
 } // namespace
 
@@ -336,7 +330,7 @@ EventLoopServer::readable(Conn &c)
     for (;;) {
         const ssize_t n = ::recv(c.fd, chunk.data(), chunk.size(), 0);
         if (n > 0) {
-            c.in.insert(c.in.end(), chunk.data(), chunk.data() + n);
+            c.in.append(chunk.data(), static_cast<std::size_t>(n));
             continue;
         }
         if (n == 0) {
@@ -368,11 +362,11 @@ bool
 EventLoopServer::parseFrames(Conn &c)
 {
     for (;;) {
-        const std::size_t avail = c.in.size() - c.inOff;
+        const std::size_t avail = c.in.avail();
         if (c.draining) {
             const std::size_t take = static_cast<std::size_t>(
                 std::min<std::uint64_t>(avail, c.drainBytes));
-            c.inOff += take;
+            c.in.consume(take);
             c.drainBytes -= take;
             if (c.drainBytes > 0)
                 break; // need more bytes to discard
@@ -395,7 +389,7 @@ EventLoopServer::parseFrames(Conn &c)
         if (avail < wire::kRequestHeaderBytes)
             break;
         const wire::RequestHeader h =
-            wire::decodeRequestHeader(c.in.data() + c.inOff);
+            wire::decodeRequestHeader(c.in.data());
         if (h.version == 0) {
             FA3C_WARN("serve: bad request magic; closing connection");
             closeConn(c.id);
@@ -414,7 +408,7 @@ EventLoopServer::parseFrames(Conn &c)
         if (h.numel != wantNumel_) {
             // Wrong geometry (or absurd size): discard the payload
             // without ever buffering it, answer RejectedBadRequest.
-            c.inOff += wire::kRequestHeaderBytes;
+            c.in.consume(wire::kRequestHeaderBytes);
             c.draining = true;
             c.drainBytes =
                 static_cast<std::uint64_t>(h.numel) * sizeof(float);
@@ -425,10 +419,9 @@ EventLoopServer::parseFrames(Conn &c)
         const std::size_t payload = wantNumel_ * sizeof(float);
         if (avail < wire::kRequestHeaderBytes + payload)
             break; // frame split across reads; wait for the rest
-        c.inOff += wire::kRequestHeaderBytes;
-        std::memcpy(obsScratch_.data().data(), c.in.data() + c.inOff,
-                    payload);
-        c.inOff += payload;
+        c.in.consume(wire::kRequestHeaderBytes);
+        std::memcpy(obsScratch_.data().data(), c.in.data(), payload);
+        c.in.consume(payload);
 
         const std::uint64_t seq = c.nextSeq++;
         c.slots.emplace_back();
@@ -457,12 +450,7 @@ EventLoopServer::parseFrames(Conn &c)
                 });
     }
     // Reclaim consumed bytes; what remains is an incomplete frame.
-    if (c.inOff > 0) {
-        c.in.erase(c.in.begin(),
-                   c.in.begin() +
-                       static_cast<std::ptrdiff_t>(c.inOff));
-        c.inOff = 0;
-    }
+    c.in.reclaim();
     return true;
 }
 

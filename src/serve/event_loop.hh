@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/frame.hh"
 #include "serve/router.hh"
 #include "serve/server.hh"
 #include "serve/wire.hh"
@@ -137,8 +138,7 @@ class EventLoopServer
     {
         int fd = -1;
         std::uint64_t id = 0;
-        std::vector<std::uint8_t> in; ///< unparsed received bytes
-        std::size_t inOff = 0;        ///< parse cursor into in
+        net::RecvBuffer in; ///< frame reassembly across reads
 
         /** Ordered response slot: filled when its completion lands,
          * flushed only from the head. */

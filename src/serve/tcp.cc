@@ -10,60 +10,16 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/frame.hh"
 #include "obs/span.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::serve {
 
-namespace {
-
-/** recv() exactly @p len bytes; false on EOF or error. */
-bool
-readFull(int fd, void *buf, std::size_t len)
-{
-    auto *p = static_cast<std::uint8_t *>(buf);
-    while (len > 0) {
-        const ssize_t n = ::recv(fd, p, len, 0);
-        if (n == 0)
-            return false;
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-/** send() exactly @p len bytes (MSG_NOSIGNAL: no SIGPIPE). */
-bool
-writeFull(int fd, const void *buf, std::size_t len)
-{
-    auto *p = static_cast<const std::uint8_t *>(buf);
-    while (len > 0) {
-        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-void
-setNoDelay(int fd)
-{
-    int one = 1;
-    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
-                       sizeof(one));
-}
-
-} // namespace
+// Blocking socket I/O shared with every other TCP endpoint.
+using net::readFull;
+using net::setNoDelay;
+using net::writeFull;
 
 TcpServer::TcpServer(PolicyServer &server, const TcpConfig &cfg)
     : server_(server), cfg_(cfg)

@@ -39,9 +39,15 @@
 #include <cstring>
 #include <vector>
 
+#include "net/frame.hh"
 #include "serve/request.hh"
 
 namespace fa3c::serve::wire {
+
+// The byte codec lives in the shared net layer; every helper below
+// keeps its historical wire::put / wire::get spelling.
+using net::get;
+using net::put;
 
 inline constexpr std::uint32_t kRequestMagicV1 = 0xFA3C5E01;
 inline constexpr std::uint32_t kResponseMagicV1 = 0xFA3C5E02;
@@ -52,26 +58,6 @@ inline constexpr std::uint32_t kResponseMagicV2 = 0xFA3C5E12;
 inline constexpr std::size_t kRequestHeaderBytes =
     sizeof(std::uint32_t) + sizeof(std::uint64_t) +
     sizeof(std::uint32_t) + sizeof(std::uint32_t);
-
-/** Append a trivially copyable value to a byte buffer. */
-template <typename T>
-inline void
-put(std::vector<std::uint8_t> &buf, T v)
-{
-    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&v);
-    buf.insert(buf.end(), bytes, bytes + sizeof(T));
-}
-
-/** Read a trivially copyable value from a byte cursor. */
-template <typename T>
-inline T
-get(const std::uint8_t *&p)
-{
-    T v;
-    std::memcpy(&v, p, sizeof(T));
-    p += sizeof(T);
-    return v;
-}
 
 /** Wire version selected by a request magic; 0 = not ours. */
 inline int

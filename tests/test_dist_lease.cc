@@ -1,0 +1,146 @@
+/** @file
+ * Tests of the elastic worker lease table. Time is injected through
+ * LeaseTable's NowFn, so expiry is exercised without sleeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+#include "dist/lease.hh"
+
+using namespace fa3c::dist;
+using namespace std::chrono_literals;
+
+namespace {
+
+/** A manually advanced steady clock. */
+struct FakeClock
+{
+    LeaseTable::Clock::time_point now{LeaseTable::Clock::duration{0}};
+    LeaseTable::NowFn
+    fn()
+    {
+        return [this] { return now; };
+    }
+};
+
+} // namespace
+
+TEST(DistLease, JoinGrantsDistinctNonZeroIds)
+{
+    LeaseTable table(1000ms);
+    const std::uint64_t a = table.join("alpha");
+    const std::uint64_t b = table.join("beta");
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(table.active(), 2u);
+    EXPECT_EQ(table.joined(), 2u);
+    EXPECT_EQ(table.reaped(), 0u);
+    EXPECT_EQ(table.ttl(), 1000ms);
+}
+
+TEST(DistLease, RenewOnlyWorksOnLiveLeases)
+{
+    LeaseTable table(1000ms);
+    const std::uint64_t id = table.join("w");
+    EXPECT_TRUE(table.renew(id));
+    EXPECT_FALSE(table.renew(id + 100)); // never granted
+    EXPECT_TRUE(table.leave(id));
+    EXPECT_FALSE(table.renew(id)); // gone after a Bye
+}
+
+TEST(DistLease, LeaveIsNotCountedAsReap)
+{
+    LeaseTable table(1000ms);
+    const std::uint64_t id = table.join("w");
+    EXPECT_TRUE(table.leave(id));
+    EXPECT_FALSE(table.leave(id)); // second Bye is a no-op
+    EXPECT_EQ(table.active(), 0u);
+    EXPECT_EQ(table.reaped(), 0u);
+}
+
+TEST(DistLease, ExpiredLeasesAreReapedAfterTtl)
+{
+    FakeClock clock;
+    LeaseTable table(100ms, clock.fn());
+    const std::uint64_t a = table.join("stale");
+    const std::uint64_t b = table.join("live");
+
+    clock.now += 90ms;
+    EXPECT_TRUE(table.renew(b));
+    EXPECT_TRUE(table.reapExpired().empty()); // nothing due yet
+
+    clock.now += 20ms; // a is 110ms old, b renewed 20ms ago
+    const auto reaped = table.reapExpired();
+    ASSERT_EQ(reaped.size(), 1u);
+    EXPECT_EQ(reaped[0].id, a);
+    EXPECT_EQ(reaped[0].name, "stale");
+    EXPECT_EQ(table.active(), 1u);
+    EXPECT_EQ(table.reaped(), 1u);
+    EXPECT_FALSE(table.renew(a)); // a killed worker cannot renew
+    EXPECT_TRUE(table.renew(b));
+}
+
+TEST(DistLease, RenewPushesExpiryOutOneFullTtl)
+{
+    FakeClock clock;
+    LeaseTable table(100ms, clock.fn());
+    const std::uint64_t id = table.join("w");
+
+    // Renew every 60ms; the lease must survive arbitrarily long.
+    for (int i = 0; i < 10; ++i) {
+        clock.now += 60ms;
+        EXPECT_TRUE(table.reapExpired().empty()) << "iteration " << i;
+        EXPECT_TRUE(table.renew(id));
+    }
+    // Then go silent: one TTL later it is gone.
+    clock.now += 101ms;
+    EXPECT_EQ(table.reapExpired().size(), 1u);
+    EXPECT_EQ(table.active(), 0u);
+}
+
+TEST(DistLease, ImmediateReapOnConnectionDrop)
+{
+    LeaseTable table(10000ms); // TTL far away: reap() must not wait
+    const std::uint64_t id = table.join("w");
+    EXPECT_TRUE(table.reap(id));
+    EXPECT_FALSE(table.reap(id)); // already gone
+    EXPECT_EQ(table.active(), 0u);
+    EXPECT_EQ(table.reaped(), 1u);
+}
+
+TEST(DistLease, RejoinAfterReapGetsAFreshLease)
+{
+    FakeClock clock;
+    LeaseTable table(100ms, clock.fn());
+    const std::uint64_t first = table.join("w");
+    clock.now += 200ms;
+    ASSERT_EQ(table.reapExpired().size(), 1u);
+
+    // The replacement (same name, fresh process) gets a new id and a
+    // live lease; lifetime counters record both events.
+    const std::uint64_t second = table.join("w");
+    EXPECT_NE(second, first);
+    EXPECT_TRUE(table.renew(second));
+    EXPECT_EQ(table.active(), 1u);
+    EXPECT_EQ(table.joined(), 2u);
+    EXPECT_EQ(table.reaped(), 1u);
+}
+
+TEST(DistLease, ReapExpiredDropsManyAtOnce)
+{
+    FakeClock clock;
+    LeaseTable table(50ms, clock.fn());
+    for (int i = 0; i < 5; ++i) {
+        std::string name = "w";
+        name += std::to_string(i);
+        table.join(name);
+    }
+    clock.now += 60ms;
+    EXPECT_EQ(table.reapExpired().size(), 5u);
+    EXPECT_EQ(table.active(), 0u);
+    EXPECT_EQ(table.reaped(), 5u);
+}

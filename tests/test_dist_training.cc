@@ -1,0 +1,172 @@
+/** @file
+ * End-to-end distributed training: a real PsServer plus WorkerRunner
+ * workers speaking the dist protocol over loopback TCP, including the
+ * elastic-rejoin path (a reaped lease is detected through the push
+ * sentinel and the worker re-Hellos without losing its agents).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dist/ps_server.hh"
+#include "dist/worker_runner.hh"
+#include "env/games.hh"
+#include "env/session.hh"
+#include "nn/a3c_network.hh"
+#include "rl/a3c.hh"
+
+using namespace fa3c;
+using namespace fa3c::dist;
+using namespace std::chrono_literals;
+
+namespace {
+
+nn::NetConfig
+pongNet()
+{
+    return nn::NetConfig::tiny(env::makePong(0)->numActions());
+}
+
+WorkerConfig
+workerConfig(int port, const std::string &name, int agents)
+{
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.name = name;
+    cfg.game = "pong";
+    cfg.a3c.numAgents = agents;
+    cfg.a3c.backend = rl::BackendKind::FastCpu;
+    cfg.a3c.seed = 5;
+    return cfg;
+}
+
+template <typename Pred>
+bool
+eventually(Pred pred, std::chrono::milliseconds budget = 10000ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(5ms);
+    }
+    return pred();
+}
+
+} // namespace
+
+TEST(DistTraining, OneWorkerTrainsToCompletion)
+{
+    const nn::A3cNetwork net(pongNet());
+    PsServerConfig ps_cfg;
+    ps_cfg.totalSteps = 400;
+    ps_cfg.initialLr = 1e-3f;
+    PsServer ps(net, ps_cfg);
+    ASSERT_TRUE(ps.start());
+
+    WorkerRunner worker(net, workerConfig(ps.port(), "solo", 1));
+    ASSERT_TRUE(worker.run());
+
+    EXPECT_TRUE(ps.done());
+    EXPECT_GE(ps.params().steps(), 400u);
+    EXPECT_GT(ps.params().version(), 0u);
+    EXPECT_GT(worker.routines(), 0u);
+    EXPECT_EQ(ps.leases().joined(), 1u);
+    // The worker left with a Bye, so nothing was reaped.
+    EXPECT_TRUE(eventually([&] { return ps.leases().active() == 0; }));
+    EXPECT_EQ(ps.leases().reaped(), 0u);
+    ps.stop();
+
+    const wire::StatsReply stats = ps.stats();
+    EXPECT_GT(stats.pushes, 0u);
+    EXPECT_EQ(stats.version, ps.params().version());
+}
+
+TEST(DistTraining, TwoWorkersShareOneRun)
+{
+    const nn::A3cNetwork net(pongNet());
+    PsServerConfig ps_cfg;
+    ps_cfg.totalSteps = 600;
+    ps_cfg.initialLr = 1e-3f;
+    PsServer ps(net, ps_cfg);
+    ASSERT_TRUE(ps.start());
+
+    WorkerRunner a(net, workerConfig(ps.port(), "wa", 1));
+    WorkerRunner b(net, workerConfig(ps.port(), "wb", 1));
+    std::thread ta([&] { EXPECT_TRUE(a.run()); });
+    std::thread tb([&] { EXPECT_TRUE(b.run()); });
+    ta.join();
+    tb.join();
+
+    EXPECT_TRUE(ps.done());
+    EXPECT_GE(ps.params().steps(), 600u);
+    EXPECT_EQ(ps.leases().joined(), 2u);
+    // Both contributed updates; the version is the sum of accepted
+    // pushes from the whole fleet.
+    EXPECT_GT(a.remote().version(), 0u);
+    EXPECT_GT(b.remote().version(), 0u);
+    ps.stop();
+}
+
+TEST(DistTraining, ReapedWorkerRejoinsAndResumes)
+{
+    const nn::A3cNetwork net(pongNet());
+    PsServerConfig ps_cfg;
+    ps_cfg.initialLr = 1e-3f; // no totalSteps: the worker bounds itself
+    PsServer ps(net, ps_cfg);
+    ASSERT_TRUE(ps.start());
+
+    WorkerConfig cfg = workerConfig(ps.port(), "phoenix", 1);
+    cfg.maxRoutines = 400;
+    WorkerRunner worker(net, cfg);
+    std::thread t([&] { EXPECT_TRUE(worker.run()); });
+
+    // Wait until the worker is joined and actively pushing, then pull
+    // its lease out from under it (exactly what the housekeeper does
+    // to a silent worker).
+    ASSERT_TRUE(eventually([&] {
+        return worker.remote().workerId() != 0 &&
+               worker.routines() >= 3;
+    }));
+    const std::uint64_t first_id = worker.remote().workerId();
+    ASSERT_TRUE(ps.leases().reap(first_id));
+
+    // The next push comes back with the lease-lost sentinel; the
+    // worker must re-Hello and keep training under a fresh lease.
+    ASSERT_TRUE(eventually([&] {
+        const std::uint64_t id = worker.remote().workerId();
+        return id != 0 && id != first_id;
+    }));
+    EXPECT_EQ(ps.leases().joined(), 2u);
+    EXPECT_EQ(ps.leases().reaped(), 1u);
+
+    // And it still makes progress after the rejoin.
+    const std::uint64_t version_at_rejoin = ps.params().version();
+    EXPECT_TRUE(eventually(
+        [&] { return ps.params().version() > version_at_rejoin; }));
+
+    t.join();
+    ps.stop();
+}
+
+TEST(DistTraining, RequestStopWindsDownPromptly)
+{
+    const nn::A3cNetwork net(pongNet());
+    PsServerConfig ps_cfg;
+    ps_cfg.initialLr = 1e-3f; // unbounded run
+    PsServer ps(net, ps_cfg);
+    ASSERT_TRUE(ps.start());
+
+    WorkerRunner worker(net, workerConfig(ps.port(), "stoppee", 1));
+    std::thread t([&] { EXPECT_TRUE(worker.run()); });
+    ASSERT_TRUE(
+        eventually([&] { return worker.remote().workerId() != 0; }));
+    worker.requestStop();
+    t.join();
+    EXPECT_TRUE(eventually([&] { return ps.leases().active() == 0; }));
+    ps.stop();
+}

@@ -212,6 +212,99 @@ TEST(Checkpoint, CorruptImageRejectedWithStateIntact)
     }
 }
 
+namespace {
+
+/** Read a whole checkpoint file into a byte string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return std::move(buf).str();
+}
+
+void
+spill(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A small valid on-disk checkpoint to mutilate. */
+std::string
+validImage(const nn::A3cNetwork &net, const std::string &path)
+{
+    sim::Rng rng(5);
+    TrainingCheckpoint ckpt = shapedCheckpoint(net);
+    ckpt.algorithm = "a3c";
+    net.initParams(ckpt.theta, rng);
+    ckpt.globalSteps = 777;
+    EXPECT_TRUE(saveCheckpointToFile(ckpt, path));
+    return slurp(path);
+}
+
+} // namespace
+
+// The image CRC covers the payload only, not the header, so a bumped
+// version field leaves a perfectly valid CRC behind: this test pins
+// down the version check as its own rejection path rather than a
+// side effect of checksum failure.
+TEST(Checkpoint, WrongVersionHeaderRejected)
+{
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    TempFile file("fa3c_test_ckpt_version.bin");
+    std::string image = validImage(net, file.path);
+    ASSERT_GT(image.size(), 16u);
+
+    // ImageHeader layout: magic@0, version@4, payloadSize@8, crc@12.
+    image[4] = static_cast<char>(image[4] + 1);
+    spill(file.path, image);
+
+    TrainingCheckpoint dst = shapedCheckpoint(net);
+    dst.algorithm = "sentinel";
+    EXPECT_FALSE(loadCheckpointFromFile(dst, file.path));
+    EXPECT_EQ(dst.algorithm, "sentinel");
+}
+
+TEST(Checkpoint, FlippedCrcFieldRejected)
+{
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    TempFile file("fa3c_test_ckpt_crcfield.bin");
+    std::string image = validImage(net, file.path);
+    ASSERT_GT(image.size(), 16u);
+
+    // Payload untouched; only the stored CRC32 disagrees with it.
+    image[12] = static_cast<char>(image[12] ^ 0xFF);
+    spill(file.path, image);
+
+    TrainingCheckpoint dst = shapedCheckpoint(net);
+    dst.globalSteps = 42;
+    EXPECT_FALSE(loadCheckpointFromFile(dst, file.path));
+    EXPECT_EQ(dst.globalSteps, 42u);
+}
+
+// A fully intact, valid header whose payloadSize claims more bytes
+// than the file holds — the short-read must be detected, not read as
+// garbage.
+TEST(Checkpoint, TruncatedPayloadWithValidHeaderRejected)
+{
+    nn::A3cNetwork net(nn::NetConfig::tiny(3));
+    TempFile file("fa3c_test_ckpt_shortpayload.bin");
+    const std::string image = validImage(net, file.path);
+    ASSERT_GT(image.size(), 64u);
+
+    spill(file.path, image.substr(0, 16 + (image.size() - 16) / 2));
+
+    TrainingCheckpoint dst = shapedCheckpoint(net);
+    EXPECT_FALSE(loadCheckpointFromFile(dst, file.path));
+
+    // The stream loader must reject it the same way.
+    std::ifstream is(file.path, std::ios::binary);
+    TrainingCheckpoint dst2 = shapedCheckpoint(net);
+    EXPECT_FALSE(loadCheckpoint(dst2, is));
+}
+
 TEST(Checkpoint, WriteFaultLeavesPreviousCheckpointValid)
 {
     fault::reset();
