@@ -17,6 +17,14 @@
  * same RMSProp semantics, so the final scores must sit within the
  * run-to-run noise band.
  *
+ * Leg 3 — telemetry: the bench enables the metrics registry, serves
+ * its own /metrics on an ephemeral TelemetryServer, and runs a
+ * TelemetryAggregator against it — the same scrape + re-aggregate
+ * path the fleet launcher uses — then records the fleet-level
+ * staleness and push-RTT rollups into the report. This keeps the
+ * aggregator's HTTP + histogram-summation path exercised on every
+ * bench run, not just in CI smoke.
+ *
  * Knobs: FA3C_DIST_BENCH_STEPS (default 4000 env steps per config),
  * FA3C_DIST_BENCH_MAX_WORKERS (default 8).
  *
@@ -35,6 +43,9 @@
 #include "env/environment.hh"
 #include "env/session.hh"
 #include "nn/a3c_network.hh"
+#include "obs/aggregator.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "rl/a3c.hh"
 #include "rl/evaluate.hh"
 
@@ -141,6 +152,11 @@ main(int, char **)
                   "Parameter-server A3C: worker scaling and parity "
                   "with the in-process trainer");
 
+    // Leg 3 plumbing comes first so the scaling runs below feed the
+    // dist_* instruments the aggregator will scrape back out.
+    obs::metrics().setEnabled(true);
+    obs::TelemetryServer telemetry_server(0);
+
     const std::uint64_t steps =
         bench::envKnob("FA3C_DIST_BENCH_STEPS", 4000);
     const std::uint64_t max_workers =
@@ -218,6 +234,63 @@ main(int, char **)
     report.field("parity_single_score", single_score);
     report.field("parity_dist_score", dist_score);
     report.field("parity_gap", gap);
+
+    // --- fleet telemetry aggregation -----------------------------
+    // Scrape this process's own /metrics over real HTTP and roll it
+    // up exactly as the launcher does for a worker fleet; a second
+    // in-process "target" at the same port proves the per-process
+    // labelling + fleet summation path with >= 2 parts.
+    std::printf("\nTelemetry aggregation:\n");
+    double fleet_staleness_count = 0.0;
+    double fleet_staleness_mean = 0.0;
+    double fleet_push_rtt_mean = 0.0;
+    int scraped = 0;
+    if (telemetry_server.ok()) {
+        obs::AggregatorConfig acfg;
+        acfg.targets.push_back(obs::ScrapeTarget{
+            "bench-a", "127.0.0.1", telemetry_server.port()});
+        acfg.targets.push_back(obs::ScrapeTarget{
+            "bench-b", "127.0.0.1", telemetry_server.port()});
+        obs::TelemetryAggregator agg(acfg);
+        scraped = agg.scrapeOnce();
+        const auto families =
+            obs::parseExposition(agg.renderText());
+        for (const auto &family : families) {
+            if (family.name != "fa3c_dist_staleness" &&
+                family.name != "fa3c_dist_push_rtt_us")
+                continue;
+            const bool is_staleness =
+                family.name == "fa3c_dist_staleness";
+            double sum = 0.0;
+            double count = 0.0;
+            for (const auto &sample : family.samples) {
+                if (sample.label("process") != "fleet")
+                    continue;
+                if (sample.name == family.name + "_sum")
+                    sum = sample.value;
+                else if (sample.name == family.name + "_count")
+                    count = sample.value;
+            }
+            const double mean = count > 0.0 ? sum / count : 0.0;
+            if (is_staleness) {
+                fleet_staleness_count = count;
+                fleet_staleness_mean = mean;
+            } else {
+                fleet_push_rtt_mean = mean;
+            }
+        }
+        std::printf("  endpoints scraped   : %d/2\n", scraped);
+        std::printf("  fleet staleness     : n=%.0f mean=%.2f\n",
+                    fleet_staleness_count, fleet_staleness_mean);
+        std::printf("  fleet push RTT      : mean=%.0f us\n",
+                    fleet_push_rtt_mean);
+    } else {
+        std::printf("  telemetry server unavailable; skipped\n");
+    }
+    report.field("aggregator_endpoints_scraped", scraped);
+    report.field("fleet_staleness_count", fleet_staleness_count);
+    report.field("fleet_staleness_mean", fleet_staleness_mean);
+    report.field("fleet_push_rtt_us_mean", fleet_push_rtt_mean);
 
     return 0;
 }

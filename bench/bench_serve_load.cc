@@ -784,6 +784,50 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         fleet_swap.versionLockstep));
 
+    // Fleet trace overhead: the same interleaved best-of-N A/B as
+    // the single-server arm above, but through the router, where a
+    // sampled request now carries its context across the wire and
+    // spans fire at the client, router, replica, and backend. The
+    // propagation machinery must stay under the same 2% bar at 1%
+    // sampling — it runs on every request (17 header bytes + a
+    // branch), not just on sampled ones.
+    std::printf("  fleet trace overhead (%d replicas, closed loop, "
+                "%.0f%% sampling):\n",
+                fleet_replicas, 100.0 * sample_rate);
+    double fleet_best_unsampled = 0.0;
+    double fleet_best_sampled = 0.0;
+    for (int round = 0; round < trace_rounds; ++round) {
+        obs::setSpanSampleRate(0.0);
+        const FleetResult off = runFleetClosedLoop(
+            net, params, fleet, clients, trace_slice);
+        obs::setSpanSampleRate(sample_rate);
+        const FleetResult on = runFleetClosedLoop(
+            net, params, fleet, clients, trace_slice);
+        fleet_best_unsampled =
+            std::max(fleet_best_unsampled, off.load.ips);
+        fleet_best_sampled =
+            std::max(fleet_best_sampled, on.load.ips);
+    }
+    obs::setSpanSampleRate(restore_rate);
+    const double fleet_trace_overhead_pct =
+        fleet_best_unsampled > 0.0
+            ? 100.0 * (fleet_best_unsampled - fleet_best_sampled) /
+                  fleet_best_unsampled
+            : 0.0;
+    std::printf("  %.0f IPS unsampled vs %.0f IPS sampled (best of "
+                "%d interleaved rounds): %.2f%% overhead (target "
+                "< 2%%).\n",
+                fleet_best_unsampled, fleet_best_sampled,
+                trace_rounds, fleet_trace_overhead_pct);
+    report.field("fleet_trace_ips_unsampled", fleet_best_unsampled);
+    report.field("fleet_trace_ips_sampled", fleet_best_sampled);
+    report.field("fleet_trace_overhead_pct",
+                 fleet_trace_overhead_pct);
+    if (trace_enabled && fleet_trace_overhead_pct > 2.0)
+        std::printf("WARNING: fleet tracing overhead %.2f%% exceeds "
+                    "the 2%% target at %.0f%% sampling.\n",
+                    fleet_trace_overhead_pct, 100.0 * sample_rate);
+
     if (speedup < 2.0)
         std::printf("\nWARNING: batching speedup %.2fx is below the "
                     "2x acceptance bar.\n",

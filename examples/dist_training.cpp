@@ -37,6 +37,18 @@
  *                            in the first worker; when it dies with
  *                            exit 42 a replacement is forked — the
  *                            elastic-rejoin demo the CI smoke greps
+ *     --telemetry-base <p>   launch: serve /metrics on port p and
+ *                            give worker i port p+1+i; the launcher
+ *                            runs a TelemetryAggregator over the
+ *                            workers, so its /metrics carries the
+ *                            fleet-level fa3c_dist_* series
+ *     --scrape <p1,p2,...>   stats: scrape those /metrics ports once
+ *                            and print the fleet exposition
+ *
+ * Forked workers inherit FA3C_TRACE / FA3C_METRICS_JSON; the
+ * launcher rewrites both to carry a %p pid token when they lack one,
+ * so every process writes its own file instead of all children
+ * clobbering the parent's (trace_merge then joins the trace files).
  *
  * The PS and every worker derive the network from --game, so the
  * layout CRC in the Hello only matches when both sides agree.
@@ -50,6 +62,7 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,6 +72,8 @@
 #include "env/environment.hh"
 #include "fa3c/datapath_backend.hh"
 #include "nn/a3c_network.hh"
+#include "obs/aggregator.hh"
+#include "obs/telemetry.hh"
 #include "rl/a3c.hh"
 #include "sim/fault.hh"
 
@@ -99,7 +114,34 @@ struct Options
     std::uint64_t maxRoutines = 0;
     long timeoutSec = 0;
     std::uint64_t killFirst = 0;
+    int telemetryBase = 0;
+    std::string scrapePorts;
 };
+
+/**
+ * Ensure an inherited per-process export path carries a %p pid
+ * token, so every forked worker writes its own file instead of the
+ * whole fleet clobbering one path. Inserted before the extension:
+ * "run/trace.json" becomes "run/trace.%p.json".
+ */
+void
+ensurePidToken(const char *env_name)
+{
+    const char *raw = std::getenv(env_name);
+    if (!raw || !*raw)
+        return;
+    std::string path = raw;
+    if (path.find("%p") != std::string::npos)
+        return;
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        path.insert(dot, ".%p");
+    else
+        path += ".%p";
+    ::setenv(env_name, path.c_str(), 1);
+}
 
 /** Shared network derivation: both sides must agree on the layout. */
 nn::A3cNetwork
@@ -201,6 +243,32 @@ runWorker(const Options &opt, env::GameId game)
 int
 runStats(const Options &opt)
 {
+    if (!opt.scrapePorts.empty()) {
+        // One-shot fleet scrape: hit each /metrics port, print the
+        // aggregated exposition (what a Prometheus scrape of the
+        // launcher would see, but usable ad hoc from the CLI).
+        obs::AggregatorConfig acfg;
+        std::istringstream ports(opt.scrapePorts);
+        std::string token;
+        int index = 0;
+        while (std::getline(ports, token, ',')) {
+            if (token.empty())
+                continue;
+            acfg.targets.push_back(obs::ScrapeTarget{
+                "p" + std::to_string(index++), opt.host,
+                std::atoi(token.c_str())});
+        }
+        if (acfg.targets.empty()) {
+            std::fprintf(stderr, "stats: --scrape needs ports\n");
+            return 2;
+        }
+        obs::TelemetryAggregator agg(acfg);
+        const int reached = agg.scrapeOnce();
+        std::fputs(agg.renderText().c_str(), stdout);
+        std::fprintf(stderr, "stats: scraped %d/%zu endpoints\n",
+                     reached, acfg.targets.size());
+        return reached > 0 ? 0 : 1;
+    }
     if (opt.port <= 0) {
         std::fprintf(stderr, "stats needs --port\n");
         return 2;
@@ -228,7 +296,7 @@ runStats(const Options &opt)
 /** Fork + exec one worker child against the in-process PS. */
 pid_t
 spawnWorker(const char *argv0, const Options &opt, int ps_port,
-            int index, std::uint64_t kill_at)
+            int index, std::uint64_t kill_at, int telemetry_port)
 {
     const pid_t pid = ::fork();
     if (pid != 0)
@@ -236,6 +304,18 @@ spawnWorker(const char *argv0, const Options &opt, int ps_port,
     if (kill_at > 0) {
         const std::string v = std::to_string(kill_at);
         ::setenv("FA3C_FAULT_KILL_AGENT", v.c_str(), 1);
+    }
+    // Per-process export paths: without a pid token every child
+    // would truncate the same trace/metrics file.
+    ensurePidToken("FA3C_TRACE");
+    ensurePidToken("FA3C_METRICS_JSON");
+    if (telemetry_port > 0) {
+        const std::string v = std::to_string(telemetry_port);
+        ::setenv("FA3C_TELEMETRY_PORT", v.c_str(), 1);
+    } else {
+        // An inherited fixed port would make every child race for
+        // the same bind; drop it rather than fight.
+        ::unsetenv("FA3C_TELEMETRY_PORT");
     }
     std::string wname = "w";
     wname += std::to_string(index);
@@ -261,6 +341,13 @@ spawnWorker(const char *argv0, const Options &opt, int ps_port,
 int
 runLaunch(const char *argv0, const Options &opt, env::GameId game)
 {
+    // The PS latches the process-global telemetry endpoint when it
+    // starts, so the launcher's port must be in the environment
+    // before then — not when the aggregator is built below.
+    if (opt.telemetryBase > 0) {
+        const std::string v = std::to_string(opt.telemetryBase);
+        ::setenv("FA3C_TELEMETRY_PORT", v.c_str(), 1);
+    }
     const nn::A3cNetwork net = makeNetwork(game);
     dist::PsServerConfig cfg;
     cfg.port = opt.port;
@@ -284,12 +371,37 @@ runLaunch(const char *argv0, const Options &opt, env::GameId game)
         }
     }
 
+    // With --telemetry-base the launcher serves its own /metrics
+    // (PS-side dist_* families) and aggregates the workers' — one
+    // curl against the base port sees the whole fleet.
+    const auto workerTelemetryPort = [&opt](int index) {
+        return opt.telemetryBase > 0 ? opt.telemetryBase + 1 + index
+                                     : 0;
+    };
+    std::unique_ptr<obs::TelemetryAggregator> aggregator;
+    if (opt.telemetryBase > 0) {
+        obs::AggregatorConfig acfg;
+        // Short smoke runs finish in a couple of seconds; scrape
+        // fast enough that even those get a live fleet view.
+        acfg.scrapeIntervalMs = 250;
+        for (int i = 0; i < opt.workers; ++i)
+            acfg.targets.push_back(
+                obs::ScrapeTarget{"w" + std::to_string(i),
+                                  "127.0.0.1",
+                                  workerTelemetryPort(i)});
+        aggregator =
+            std::make_unique<obs::TelemetryAggregator>(acfg);
+        aggregator->attach(obs::telemetry());
+        aggregator->start();
+    }
+
     std::vector<pid_t> children;
     int next_index = 0;
     for (int i = 0; i < opt.workers; ++i, ++next_index)
-        children.push_back(spawnWorker(argv0, opt, ps.port(),
-                                       next_index,
-                                       i == 0 ? opt.killFirst : 0));
+        children.push_back(spawnWorker(
+            argv0, opt, ps.port(), next_index,
+            i == 0 ? opt.killFirst : 0,
+            workerTelemetryPort(next_index)));
 
     // Supervise: while training runs, reap crashed workers (simulated
     // by FA3C_FAULT_KILL_AGENT — exit 42) and fork replacements; the
@@ -320,18 +432,38 @@ runLaunch(const char *argv0, const Options &opt, env::GameId game)
                             static_cast<int>(pid),
                             fault::kKillExitCode);
                 std::fflush(stdout);
+                if (aggregator)
+                    aggregator->addTarget(obs::ScrapeTarget{
+                        "w" + std::to_string(next_index),
+                        "127.0.0.1",
+                        workerTelemetryPort(next_index)});
                 children.push_back(spawnWorker(
-                    argv0, opt, ps.port(), next_index++, 0));
+                    argv0, opt, ps.port(), next_index, 0,
+                    workerTelemetryPort(next_index)));
+                ++next_index;
             }
         }
     }
 
     // Workers see stop=1 on their next ack and exit on their own.
+    // Grab one last scrape while they are still up so even a run
+    // shorter than the scrape interval ends with a fleet snapshot.
+    if (aggregator)
+        (void)aggregator->scrapeOnce();
     for (pid_t pid : children) {
         if (pid < 0)
             continue;
         int status = 0;
         (void)::waitpid(pid, &status, 0);
+    }
+    if (aggregator) {
+        aggregator->stop();
+        std::printf("dist: aggregator reached %d/%zu worker "
+                    "endpoints over %llu scrapes\n",
+                    aggregator->reachableTargets(),
+                    static_cast<std::size_t>(opt.workers),
+                    static_cast<unsigned long long>(
+                        aggregator->scrapes()));
     }
     ps.stop();
     const auto stats = ps.stats();
@@ -413,6 +545,10 @@ main(int argc, char **argv)
             opt.timeoutSec = std::atol(argv[++i]);
         } else if (arg == "--kill-first" && has_value) {
             opt.killFirst = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--telemetry-base" && has_value) {
+            opt.telemetryBase = std::atoi(argv[++i]);
+        } else if (arg == "--scrape" && has_value) {
+            opt.scrapePorts = argv[++i];
         } else {
             std::fprintf(stderr, "unknown argument: %s\n",
                          arg.c_str());

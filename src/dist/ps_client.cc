@@ -93,10 +93,14 @@ PsClient::hello(const wire::Hello &msg, wire::Welcome &out)
 }
 
 bool
-PsClient::pull(wire::Params &out, std::size_t expect_count)
+PsClient::pull(wire::Params &out, std::size_t expect_count,
+               const wire::TraceCtx &trace)
 {
-    std::string reply;
-    if (!request(wire::Type::Pull, std::string(), wire::Type::Params,
+    std::string payload, reply;
+    wire::Pull msg;
+    msg.trace = trace;
+    wire::encodePull(payload, msg);
+    if (!request(wire::Type::Pull, payload, wire::Type::Params,
                  reply) ||
         !wire::decodeParams(out, reply, expect_count)) {
         close();

@@ -43,8 +43,10 @@ class PsClient
      * 0) as well as on transport failure. */
     bool hello(const wire::Hello &msg, wire::Welcome &out);
 
-    /** Fetch the full parameter image. */
-    bool pull(wire::Params &out, std::size_t expect_count);
+    /** Fetch the full parameter image. @p trace rides on the frame
+     * so the PS can parent its ps.pull span under the caller. */
+    bool pull(wire::Params &out, std::size_t expect_count,
+              const wire::TraceCtx &trace = {});
 
     /** Push gradients; @p expect_count validates the ack's theta. */
     bool push(const wire::Push &msg, wire::PushAck &out,

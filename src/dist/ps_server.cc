@@ -5,13 +5,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 
 #include "net/frame.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/prometheus.hh"
 #include "rl/checkpoint.hh"
 #include "sim/logging.hh"
@@ -301,6 +304,12 @@ PsServer::handleHello(int fd, const std::string &payload,
     welcome.steps = params_.steps();
     welcome.totalSteps = cfg_.totalSteps;
     welcome.maxStaleness = cfg_.maxStaleness;
+    // Wall-clock stamp for the worker's handshake clock-offset
+    // estimate (trace_merge aligns per-process traces with it).
+    welcome.serverUnixUs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
     if (hello.paramCount == params_.paramCount() &&
         hello.layoutCrc == layoutCrc_) {
         // A re-Hello on the same connection replaces any lease it
@@ -326,14 +335,29 @@ PsServer::handleHello(int fd, const std::string &payload,
 }
 
 void
-PsServer::handlePull(int fd, bool &proto_ok)
+PsServer::handlePull(int fd, const std::string &payload,
+                     bool &proto_ok)
 {
+    wire::Pull pull;
+    if (!wire::decodePull(pull, payload)) {
+        proto_ok = false;
+        return;
+    }
+    const auto span = obs::remoteChildSpan(
+        pull.trace.traceId, pull.trace.spanId, pull.trace.sampled != 0);
+    const auto t0 = Clock::now();
     wire::Params reply;
     reply.version = params_.version();
     params_.snapshot(reply.theta);
     reply.steps = params_.steps();
     reply.stop = done() ? 1 : 0;
     obs::metrics().count("dist", "pulls");
+    if (span.sampled) {
+        const std::array<obs::TraceArg, 1> args{
+            {{"version", static_cast<double>(reply.version)}}};
+        obs::emitSpan(span, "dist.ps", "ps.pull", t0, Clock::now(),
+                      args);
+    }
     std::string out;
     wire::encodeParams(out, reply);
     proto_ok = sendMsg(fd, wire::Type::Params, out);
@@ -364,17 +388,33 @@ PsServer::handlePush(int fd, const std::string &payload,
     // tell "re-Hello" apart from "too stale, just resync".
     ack.staleness =
         known ? staleness : std::numeric_limits<std::uint64_t>::max();
+    // The worker's push span context rides on the frame: the RMSProp
+    // apply below is emitted as its child, so one trace_id covers
+    // worker rollout -> wire -> PS apply across processes.
+    const auto span = obs::remoteChildSpan(
+        push.trace.traceId, push.trace.spanId, push.trace.sampled != 0);
     if (accept) {
         const auto t0 = Clock::now();
         ack.version = params_.apply(push.grads, push.steps);
+        const auto t1 = Clock::now();
+        if (span.sampled) {
+            const std::array<obs::TraceArg, 2> args{
+                {{"staleness", static_cast<double>(staleness)},
+                 {"steps", static_cast<double>(push.steps)}}};
+            obs::emitSpan(span, "dist.ps", "ps.apply", t0, t1, args);
+        }
         if (m.enabled()) {
             m.count("dist", "pushes");
             m.sample("dist", "push_staleness",
                      static_cast<double>(staleness));
             m.sample("dist", "apply_us",
-                     std::chrono::duration<double, std::micro>(
-                         Clock::now() - t0)
+                     std::chrono::duration<double, std::micro>(t1 - t0)
                          .count());
+            double sumsq = 0.0;
+            for (float g : push.grads)
+                sumsq += static_cast<double>(g) *
+                         static_cast<double>(g);
+            m.sample("dist", "grad_norm", std::sqrt(sumsq));
         }
         pushes_.fetch_add(1, std::memory_order_relaxed);
         if (cfg_.totalSteps > 0 &&
@@ -441,7 +481,7 @@ PsServer::connectionMain(int fd)
             handleHello(fd, payload, owned_lease, proto_ok);
             break;
         case wire::Type::Pull:
-            handlePull(fd, proto_ok);
+            handlePull(fd, payload, proto_ok);
             break;
         case wire::Type::Push:
             handlePush(fd, payload, proto_ok);

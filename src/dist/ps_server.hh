@@ -152,7 +152,8 @@ class PsServer
 
     void handleHello(int fd, const std::string &payload,
                      std::uint64_t &owned_lease, bool &proto_ok);
-    void handlePull(int fd, bool &proto_ok);
+    void handlePull(int fd, const std::string &payload,
+                    bool &proto_ok);
     void handlePush(int fd, const std::string &payload,
                     bool &proto_ok);
     void handleHeartbeat(int fd, const std::string &payload,

@@ -40,6 +40,38 @@ finish(const sim::ByteReader &r)
     return r.ok() && r.remaining() == 0;
 }
 
+void
+writeTraceCtx(sim::ByteWriter &w, const TraceCtx &t)
+{
+    w.write(t.traceId);
+    w.write(t.spanId);
+    w.write(t.sampled);
+}
+
+/** Optional trailing trace context: a payload that ends where the
+ * pre-trace format did decodes to a zeroed context, so old senders
+ * stay compatible with new receivers. */
+bool
+readTraceCtxTail(sim::ByteReader &r, TraceCtx &t)
+{
+    if (r.ok() && r.remaining() == 0) {
+        t = TraceCtx{};
+        return true;
+    }
+    return r.read(t.traceId) && r.read(t.spanId) && r.read(t.sampled);
+}
+
+/** Optional trailing u64 (handshake wall-clock stamps). */
+bool
+readU64Tail(sim::ByteReader &r, std::uint64_t &v)
+{
+    if (r.ok() && r.remaining() == 0) {
+        v = 0;
+        return true;
+    }
+    return r.read(v);
+}
+
 } // namespace
 
 std::uint32_t
@@ -61,6 +93,7 @@ encodeHello(std::string &out, const Hello &m)
     w.writeBlob(m.workerName);
     w.write(m.paramCount);
     w.write(m.layoutCrc);
+    w.write(m.clientUnixUs);
     out = w.bytes();
 }
 
@@ -69,7 +102,8 @@ decodeHello(Hello &m, std::string_view payload)
 {
     sim::ByteReader r(payload);
     return r.readBlob(m.workerName) && r.read(m.paramCount) &&
-           r.read(m.layoutCrc) && finish(r);
+           r.read(m.layoutCrc) && readU64Tail(r, m.clientUnixUs) &&
+           finish(r);
 }
 
 void
@@ -82,6 +116,7 @@ encodeWelcome(std::string &out, const Welcome &m)
     w.write(m.steps);
     w.write(m.totalSteps);
     w.write(m.maxStaleness);
+    w.write(m.serverUnixUs);
     out = w.bytes();
 }
 
@@ -92,7 +127,23 @@ decodeWelcome(Welcome &m, std::string_view payload)
     return r.read(m.workerId) && r.read(m.leaseTtlMs) &&
            r.read(m.version) && r.read(m.steps) &&
            r.read(m.totalSteps) && r.read(m.maxStaleness) &&
-           finish(r);
+           readU64Tail(r, m.serverUnixUs) && finish(r);
+}
+
+void
+encodePull(std::string &out, const Pull &m)
+{
+    sim::ByteWriter w;
+    writeTraceCtx(w, m.trace);
+    out = w.bytes();
+}
+
+bool
+decodePull(Pull &m, std::string_view payload)
+{
+    // An empty payload is the pre-trace Pull; decode to a zero ctx.
+    sim::ByteReader r(payload);
+    return readTraceCtxTail(r, m.trace) && finish(r);
 }
 
 void
@@ -124,6 +175,7 @@ encodePush(std::string &out, const Push &m)
     w.write(m.steps);
     w.write(m.wantParams);
     writeFloats(w, m.grads);
+    writeTraceCtx(w, m.trace);
     out = w.bytes();
 }
 
@@ -133,7 +185,8 @@ decodePush(Push &m, std::string_view payload, std::size_t expect_count)
     sim::ByteReader r(payload);
     return r.read(m.workerId) && r.read(m.baseVersion) &&
            r.read(m.steps) && r.read(m.wantParams) &&
-           readFloats(r, m.grads, expect_count) && finish(r);
+           readFloats(r, m.grads, expect_count) &&
+           readTraceCtxTail(r, m.trace) && finish(r);
 }
 
 void

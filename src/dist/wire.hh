@@ -23,6 +23,15 @@
  * truncated or corrupt payload fails to decode instead of reading
  * garbage. Parameter/gradient vectors travel as raw f32 runs with an
  * element-count prefix validated against the receiver's layout.
+ *
+ * Trace propagation: Pull and Push carry an optional trailing
+ * TraceCtx {trace_id, span_id, sampled} so one trace spans
+ * worker -> PS -> RMSProp apply. Hello/Welcome exchange wall-clock
+ * timestamps (unix µs) for the handshake clock-offset estimate that
+ * tools/trace_merge uses to align per-process trace files. All four
+ * extensions decode tolerantly: a payload that ends where the old
+ * format did yields zeroed fields, so pre-trace peers interoperate
+ * in both directions.
  */
 
 #ifndef FA3C_DIST_WIRE_HH
@@ -59,12 +68,21 @@ enum class Type : std::uint32_t
     Bye,
 };
 
+/** Span context carried on Pull/Push frames (0 = no context). */
+struct TraceCtx
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint8_t sampled = 0;
+};
+
 /** Worker introduction; the PS validates the parameter layout. */
 struct Hello
 {
     std::string workerName;
     std::uint64_t paramCount = 0;
     std::uint32_t layoutCrc = 0;
+    std::uint64_t clientUnixUs = 0; ///< sender wall clock (0 = old peer)
 };
 
 /** Lease grant. workerId == 0 means the hello was rejected (layout
@@ -77,6 +95,13 @@ struct Welcome
     std::uint64_t steps = 0;
     std::uint64_t totalSteps = 0;
     std::uint64_t maxStaleness = 0;
+    std::uint64_t serverUnixUs = 0; ///< PS wall clock (0 = old peer)
+};
+
+/** Parameter fetch; carries only the caller's trace context. */
+struct Pull
+{
+    TraceCtx trace;
 };
 
 /** Full parameter image at one version. */
@@ -96,6 +121,7 @@ struct Push
     std::uint64_t steps = 0;       ///< env steps consumed
     std::uint8_t wantParams = 0;   ///< piggyback fresh theta on the ack
     std::vector<float> grads;
+    TraceCtx trace; ///< optional trailing trace context
 };
 
 /** Outcome of a Push. On rejection (staleness bound exceeded or
@@ -148,6 +174,9 @@ bool decodeHello(Hello &m, std::string_view payload);
 
 void encodeWelcome(std::string &out, const Welcome &m);
 bool decodeWelcome(Welcome &m, std::string_view payload);
+
+void encodePull(std::string &out, const Pull &m);
+bool decodePull(Pull &m, std::string_view payload);
 
 void encodeParams(std::string &out, const Params &m);
 bool decodeParams(Params &m, std::string_view payload,

@@ -1,13 +1,18 @@
 #include "dist/worker_runner.hh"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <thread>
 
 #include "env/environment.hh"
 #include "env/session.hh"
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
+#include "obs/span.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace fa3c::dist {
@@ -20,6 +25,25 @@ void
 sleepMs(std::uint32_t ms)
 {
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t
+nowUnixUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+wire::TraceCtx
+toWire(const obs::SpanContext &ctx)
+{
+    wire::TraceCtx t;
+    t.traceId = ctx.trace;
+    t.spanId = ctx.span;
+    t.sampled = ctx.sampled ? 1 : 0;
+    return t;
 }
 
 } // namespace
@@ -41,13 +65,40 @@ RemoteParams::joinLocked()
     hello.workerName = name_;
     hello.paramCount = cache_.size();
     hello.layoutCrc = wire::layoutCrc(cache_);
+    hello.clientUnixUs = nowUnixUs();
     wire::Welcome welcome;
+    const std::uint64_t t_send = hello.clientUnixUs;
     if (!client_.hello(hello, welcome))
         return false;
+    const std::uint64_t t_recv = nowUnixUs();
+    if (welcome.serverUnixUs != 0) {
+        // Cristian-style offset estimate: the PS stamped its Welcome
+        // somewhere inside [t_send, t_recv]; assume the midpoint.
+        // Positive offset = this host's clock runs ahead of the PS.
+        const double mid =
+            (static_cast<double>(t_send) +
+             static_cast<double>(t_recv)) /
+            2.0;
+        const double offset =
+            mid - static_cast<double>(welcome.serverUnixUs);
+        obs::metrics().sample("dist", "clock_offset_us", offset);
+        if (auto *tw = obs::trace()) {
+            tw->setClockOffsetUs(offset);
+            tw->setProcessLabel(name_);
+        }
+    }
+    const auto pull_span = obs::rootSpan();
+    const auto pull_t0 = Clock::now();
     wire::Params params;
-    if (!client_.pull(params, cache_.size()) ||
+    if (!client_.pull(params, cache_.size(), toWire(pull_span)) ||
         params.theta.size() != cache_.size())
         return false;
+    if (pull_span.sampled) {
+        const std::array<obs::TraceArg, 1> args{
+            {{"version", static_cast<double>(params.version)}}};
+        obs::emitSpan(pull_span, "dist.worker", "worker.pull",
+                      pull_t0, Clock::now(), args);
+    }
     std::copy(params.theta.begin(), params.theta.end(),
               cache_.flat().begin());
     cacheVersion_ = params.version;
@@ -116,6 +167,11 @@ RemoteParams::applyGradients(const nn::ParamSet &grads,
     push.grads.assign(flat.begin(), flat.end());
 
     auto &m = obs::metrics();
+    // One root span per logical push: the PS parents its ps.apply
+    // under it, so the trace crosses the process boundary. Retries
+    // reuse the context — they are the same logical operation.
+    const auto push_span = obs::rootSpan();
+    push.trace = toWire(push_span);
     for (;;) {
         if (stop_.load(std::memory_order_acquire))
             return;
@@ -128,12 +184,26 @@ RemoteParams::applyGradients(const nn::ParamSet &grads,
             joined_ = false; // transport died; rejoin and retry
             continue;
         }
+        const auto t1 = Clock::now();
+        if (push_span.sampled) {
+            const std::array<obs::TraceArg, 2> args{
+                {{"accepted", static_cast<double>(ack.accepted)},
+                 {"steps",
+                  static_cast<double>(steps_consumed)}}};
+            obs::emitSpan(push_span, "dist.worker", "worker.push",
+                          t0, t1, args);
+        }
         if (m.enabled()) {
             m.count("dist", "worker_pushes");
+            m.count("dist", "worker_steps", steps_consumed);
             m.sample("dist", "push_rtt_us",
-                     std::chrono::duration<double, std::micro>(
-                         Clock::now() - t0)
+                     std::chrono::duration<double, std::micro>(t1 -
+                                                               t0)
                          .count());
+            if (ack.staleness !=
+                std::numeric_limits<std::uint64_t>::max())
+                m.sample("dist", "staleness",
+                         static_cast<double>(ack.staleness));
         }
         if (ack.accepted == 0 &&
             ack.staleness ==
@@ -149,6 +219,21 @@ RemoteParams::applyGradients(const nn::ParamSet &grads,
         if (ack.accepted == 0)
             staleRejects_.fetch_add(1, std::memory_order_relaxed);
         if (!ack.theta.empty()) {
+            // Parameter-delta norm per round trip: how far the fleet
+            // moved theta since this worker's last sync (its own
+            // update plus any interleaved peers') — a cheap
+            // divergence signal for the aggregator's health view.
+            if (m.enabled()) {
+                const std::span<const float> old = cache_.flat();
+                double sumsq = 0.0;
+                for (std::size_t i = 0; i < old.size(); ++i) {
+                    const double d =
+                        static_cast<double>(ack.theta[i]) -
+                        static_cast<double>(old[i]);
+                    sumsq += d * d;
+                }
+                m.sample("dist", "update_norm", std::sqrt(sumsq));
+            }
             std::copy(ack.theta.begin(), ack.theta.end(),
                       cache_.flat().begin());
             cacheVersion_ = ack.version;
@@ -268,6 +353,27 @@ WorkerRunner::run()
                 remote_.workerId(), " (", cfg_.a3c.numAgents,
                 " agents)");
 
+    // Per-worker identity gauges for the fleet aggregator (the dist
+    // histogram/counter families ride along via writeRegistry).
+    telemetry_ = obs::TelemetryRegistration(
+        obs::telemetry(),
+        [this](obs::PromWriter &w) {
+            w.gauge("fa3c_dist_worker_id",
+                    static_cast<double>(remote_.workerId()),
+                    "lease id granted by the parameter server");
+            w.counter("fa3c_dist_worker_routines_total", routines(),
+                      "training routines completed by this worker");
+            w.counter("fa3c_dist_worker_stale_rejects_total",
+                      remote_.staleRejects(),
+                      "pushes the PS rejected for staleness");
+        },
+        "dist-worker",
+        [this](std::string &detail) {
+            detail = "worker=" + cfg_.name +
+                     " id=" + std::to_string(remote_.workerId());
+            return remote_.workerId() != 0;
+        });
+
     rl::A3cTrainer::SessionFactory session_factory = sessionFactory_;
     if (!session_factory) {
         const auto maybe_game = env::tryGameFromName(cfg_.game);
@@ -325,6 +431,7 @@ WorkerRunner::run()
 
     remote_.abort(); // wake the heartbeat loop promptly
     heartbeat.join();
+    telemetry_.reset();
     remote_.leave();
     return true;
 }

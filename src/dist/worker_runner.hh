@@ -36,6 +36,7 @@
 #include "dist/wire.hh"
 #include "nn/a3c_network.hh"
 #include "nn/params.hh"
+#include "obs/telemetry.hh"
 #include "rl/a3c.hh"
 #include "rl/param_service.hh"
 #include "rl/score_log.hh"
@@ -196,6 +197,7 @@ class WorkerRunner
     rl::A3cTrainer::SessionFactory sessionFactory_;
     std::atomic<std::uint64_t> routines_{0};
     std::atomic<bool> stopRequested_{false};
+    obs::TelemetryRegistration telemetry_;
 
     void heartbeatMain();
 };

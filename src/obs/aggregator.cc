@@ -1,0 +1,616 @@
+#include "obs/aggregator.hh"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace fa3c::obs {
+
+namespace {
+
+/** Minimal blocking HTTP/1.0 GET against a loopback /metrics
+ * endpoint; @return false on connect/timeout/non-200. */
+bool
+httpGet(const std::string &host, int port, const char *path,
+        int timeout_ms, std::string &body)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+
+    std::string request = std::string("GET ") + path +
+                          " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            ::close(fd);
+            return false; // timeout or error mid-read
+        }
+        if (n == 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+        if (response.size() > (64u << 20)) {
+            ::close(fd);
+            return false;
+        }
+    }
+    ::close(fd);
+
+    const auto header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        return false;
+    const auto status_end = response.find("\r\n");
+    const std::string status = response.substr(0, status_end);
+    if (status.find(" 200") == std::string::npos)
+        return false;
+    body = response.substr(header_end + 4);
+    return true;
+}
+
+/** Parse the {k="v",...} label block starting at @p pos (on '{');
+ * @return one past '}' or npos on malformed input. */
+std::size_t
+parseLabels(std::string_view line, std::size_t pos, PromSample &out)
+{
+    ++pos; // consume '{'
+    while (pos < line.size() && line[pos] != '}') {
+        const auto eq = line.find('=', pos);
+        if (eq == std::string_view::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"')
+            return std::string_view::npos;
+        std::string key(line.substr(pos, eq - pos));
+        std::string value;
+        std::size_t i = eq + 2;
+        for (; i < line.size() && line[i] != '"'; ++i) {
+            char c = line[i];
+            if (c == '\\' && i + 1 < line.size()) {
+                ++i;
+                c = line[i] == 'n' ? '\n' : line[i];
+            }
+            value.push_back(c);
+        }
+        if (i >= line.size())
+            return std::string_view::npos;
+        out.labels.emplace_back(std::move(key), std::move(value));
+        pos = i + 1;
+        if (pos < line.size() && line[pos] == ',')
+            ++pos;
+    }
+    return pos < line.size() ? pos + 1 : std::string_view::npos;
+}
+
+double
+parsePromNumber(std::string_view text)
+{
+    if (text == "+Inf")
+        return std::numeric_limits<double>::infinity();
+    if (text == "-Inf")
+        return -std::numeric_limits<double>::infinity();
+    if (text == "NaN")
+        return std::numeric_limits<double>::quiet_NaN();
+    try {
+        return std::stod(std::string(text));
+    } catch (...) {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/** Family a sample name belongs to, given the declared histogram
+ * families: `x_bucket`/`x_sum`/`x_count` fold into histogram `x`. */
+std::string
+familyOfSample(const std::string &sample_name,
+               const std::map<std::string, std::size_t> &index,
+               const std::vector<PromFamily> &families)
+{
+    for (std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+        if (!endsWith(sample_name, suffix))
+            continue;
+        std::string base =
+            sample_name.substr(0, sample_name.size() - suffix.size());
+        const auto it = index.find(base);
+        if (it != index.end() &&
+            families[it->second].type == "histogram")
+            return base;
+    }
+    return sample_name;
+}
+
+} // namespace
+
+std::string_view
+PromSample::label(std::string_view key) const
+{
+    for (const auto &[k, v] : labels)
+        if (k == key)
+            return v;
+    return {};
+}
+
+std::vector<PromFamily>
+parseExposition(std::string_view text)
+{
+    std::vector<PromFamily> families;
+    std::map<std::string, std::size_t> index;
+
+    const auto familyAt = [&](const std::string &name) -> PromFamily & {
+        const auto it = index.find(name);
+        if (it != index.end())
+            return families[it->second];
+        index.emplace(name, families.size());
+        families.push_back(PromFamily{name, "untyped", "", {}});
+        return families.back();
+    };
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        auto eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
+        if (line.empty())
+            continue;
+
+        if (line[0] == '#') {
+            // "# TYPE name type" / "# HELP name help..."
+            std::istringstream is{std::string(line)};
+            std::string hash, keyword, name;
+            is >> hash >> keyword >> name;
+            if (name.empty())
+                continue;
+            if (keyword == "TYPE") {
+                std::string type;
+                is >> type;
+                familyAt(name).type = type.empty() ? "untyped" : type;
+            } else if (keyword == "HELP") {
+                std::string help;
+                std::getline(is, help);
+                if (!help.empty() && help.front() == ' ')
+                    help.erase(help.begin());
+                familyAt(name).help = help;
+            }
+            continue;
+        }
+
+        PromSample sample;
+        const auto name_end = line.find_first_of("{ ");
+        if (name_end == std::string_view::npos)
+            continue;
+        sample.name = std::string(line.substr(0, name_end));
+        std::size_t value_pos = name_end;
+        if (line[name_end] == '{') {
+            value_pos = parseLabels(line, name_end, sample);
+            if (value_pos == std::string_view::npos)
+                continue;
+        }
+        while (value_pos < line.size() && line[value_pos] == ' ')
+            ++value_pos;
+        if (value_pos >= line.size())
+            continue;
+        const auto value_end = line.find(' ', value_pos);
+        sample.value = parsePromNumber(
+            line.substr(value_pos, value_end == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : value_end - value_pos));
+
+        familyAt(familyOfSample(sample.name, index, families))
+            .samples.push_back(std::move(sample));
+    }
+    return families;
+}
+
+CumulativeHistogram
+histogramOf(const PromFamily &family)
+{
+    CumulativeHistogram h;
+    for (const auto &sample : family.samples) {
+        if (endsWith(sample.name, "_bucket")) {
+            const auto le = sample.label("le");
+            if (!le.empty())
+                h.buckets.emplace_back(parsePromNumber(le),
+                                       sample.value);
+        } else if (endsWith(sample.name, "_sum")) {
+            h.sum = sample.value;
+        } else if (endsWith(sample.name, "_count")) {
+            h.count = sample.value;
+        }
+    }
+    std::sort(h.buckets.begin(), h.buckets.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return h;
+}
+
+CumulativeHistogram
+sumHistograms(const std::vector<CumulativeHistogram> &parts)
+{
+    CumulativeHistogram out;
+    std::vector<double> bounds;
+    for (const auto &part : parts) {
+        out.sum += part.sum;
+        out.count += part.count;
+        for (const auto &[bound, count] : part.buckets)
+            if (std::isfinite(bound))
+                bounds.push_back(bound);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                 bounds.end());
+
+    for (double bound : bounds) {
+        double cumulative = 0.0;
+        for (const auto &part : parts) {
+            // Evaluate this part's cumulative step function at
+            // `bound`: the count at its largest finite bound <= it.
+            double at = 0.0;
+            for (const auto &[b, c] : part.buckets) {
+                if (!std::isfinite(b) || b > bound)
+                    break;
+                at = c;
+            }
+            cumulative += at;
+        }
+        out.buckets.emplace_back(bound, cumulative);
+    }
+    // +Inf is the sum of total counts — once; adding it into the
+    // finite buckets as well is the double-count bug.
+    out.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                             out.count);
+    return out;
+}
+
+TelemetryAggregator::TelemetryAggregator(AggregatorConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    for (const auto &target : cfg_.targets)
+        targets_.push_back(TargetState{target, false, {}, -1.0, {}, 0.0});
+}
+
+TelemetryAggregator::~TelemetryAggregator()
+{
+    registration_.reset();
+    stop();
+}
+
+void
+TelemetryAggregator::addTarget(ScrapeTarget target)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    targets_.push_back(
+        TargetState{std::move(target), false, {}, -1.0, {}, 0.0});
+}
+
+bool
+TelemetryAggregator::wantFamily(std::string_view name) const
+{
+    for (const auto &prefix : cfg_.familyPrefixes)
+        if (name.substr(0, prefix.size()) == prefix)
+            return true;
+    return false;
+}
+
+void
+TelemetryAggregator::ingestLocked(TargetState &state,
+                                  std::string_view body)
+{
+    state.families = parseExposition(body);
+    state.reachable = true;
+
+    // Derive steps/s from the step-counter delta between scrapes.
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto &family : state.families) {
+        std::string renamed = family.name;
+        if (renamed.rfind("fa3c_", 0) != 0)
+            renamed = "fa3c_" + renamed;
+        if (renamed != cfg_.stepsFamily)
+            continue;
+        double steps = 0.0;
+        for (const auto &sample : family.samples)
+            steps += sample.value;
+        if (state.prevSteps >= 0.0 && steps >= state.prevSteps) {
+            const double dt =
+                std::chrono::duration<double>(now - state.prevAt)
+                    .count();
+            if (dt > 1e-6)
+                state.stepsPerSec = (steps - state.prevSteps) / dt;
+        }
+        state.prevSteps = steps;
+        state.prevAt = now;
+    }
+}
+
+int
+TelemetryAggregator::scrapeOnce()
+{
+    // Snapshot the target list, scrape without the lock (HTTP can
+    // block up to the receive timeout), then fold results back in.
+    std::vector<ScrapeTarget> targets;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        targets.reserve(targets_.size());
+        for (const auto &state : targets_)
+            targets.push_back(state.target);
+    }
+
+    int reached = 0;
+    for (const auto &target : targets) {
+        std::string body;
+        const bool ok = httpGet(target.host, target.port, "/metrics",
+                                cfg_.recvTimeoutMs, body);
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &state : targets_) {
+            if (state.target.label != target.label)
+                continue;
+            if (ok) {
+                ingestLocked(state, body);
+                ++reached;
+            } else {
+                state.reachable = false;
+            }
+            break;
+        }
+        if (!ok)
+            scrapeFailures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    return reached;
+}
+
+void
+TelemetryAggregator::start()
+{
+    if (thread_.joinable())
+        return;
+    stopping_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { scrapeMain(); });
+}
+
+void
+TelemetryAggregator::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+TelemetryAggregator::scrapeMain()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        scrapeOnce();
+        // Sleep in short slices so stop() stays responsive.
+        int remaining = cfg_.scrapeIntervalMs;
+        while (remaining > 0 &&
+               !stopping_.load(std::memory_order_acquire)) {
+            const int slice = std::min(remaining, 50);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slice));
+            remaining -= slice;
+        }
+    }
+}
+
+void
+TelemetryAggregator::ingest(const std::string &label,
+                            std::string_view exposition)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &state : targets_) {
+        if (state.target.label != label)
+            continue;
+        ingestLocked(state, exposition);
+        return;
+    }
+    targets_.push_back(
+        TargetState{ScrapeTarget{label, "", 0}, false, {}, -1.0, {}, 0.0});
+    ingestLocked(targets_.back(), exposition);
+}
+
+void
+TelemetryAggregator::render(PromWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    int reachable = 0;
+    for (const auto &state : targets_)
+        reachable += state.reachable ? 1 : 0;
+    w.gauge("fa3c_fleet_targets",
+            static_cast<double>(targets_.size()),
+            "Scrape targets configured on the fleet aggregator");
+    w.gauge("fa3c_fleet_targets_reachable",
+            static_cast<double>(reachable),
+            "Targets whose last scrape succeeded");
+    w.counter("fa3c_fleet_scrapes",
+              scrapes_.load(std::memory_order_relaxed));
+    w.counter("fa3c_fleet_scrape_failures",
+              scrapeFailures_.load(std::memory_order_relaxed));
+
+    // Group the selected families by their fleet (renamed) name so
+    // the rollup pass sees every process's copy together.
+    struct Group
+    {
+        std::string type;
+        std::vector<std::pair<const TargetState *, const PromFamily *>>
+            parts;
+    };
+    std::map<std::string, Group> groups;
+
+    for (const auto &state : targets_) {
+        for (const auto &family : state.families) {
+            if (!wantFamily(family.name))
+                continue;
+            std::string renamed = family.name;
+            if (renamed.rfind("fa3c_", 0) != 0)
+                renamed = "fa3c_" + renamed;
+            auto &group = groups[renamed];
+            if (group.type.empty() || group.type == "untyped")
+                group.type = family.type;
+            group.parts.emplace_back(&state, &family);
+        }
+    }
+
+    for (const auto &[renamed, group] : groups) {
+        // Per-process re-export: every scraped sample line, renamed
+        // and tagged with its process label.
+        for (const auto &[state, family] : group.parts) {
+            for (const auto &sample : family->samples) {
+                std::string sample_name = renamed;
+                if (sample.name.size() > family->name.size())
+                    sample_name +=
+                        sample.name.substr(family->name.size());
+                std::vector<PromLabel> labels;
+                for (const auto &[k, v] : sample.labels)
+                    labels.push_back(PromLabel{k, v});
+                labels.push_back(
+                    PromLabel{"process", state->target.label});
+                w.typedSample(renamed, group.type, sample_name,
+                              labels, sample.value, family->help);
+            }
+        }
+
+        // Fleet rollup under process="fleet".
+        if (group.type == "histogram") {
+            std::vector<CumulativeHistogram> parts;
+            parts.reserve(group.parts.size());
+            for (const auto &[state, family] : group.parts)
+                parts.push_back(histogramOf(*family));
+            const CumulativeHistogram fleet = sumHistograms(parts);
+            for (const auto &[bound, count] : fleet.buckets) {
+                const std::string le =
+                    std::isinf(bound)
+                        ? std::string("+Inf")
+                        : [&] {
+                              char buf[32];
+                              std::snprintf(buf, sizeof(buf), "%.9g",
+                                            bound);
+                              return std::string(buf);
+                          }();
+                const PromLabel labels[] = {{"process", "fleet"},
+                                            {"le", le}};
+                w.typedSample(renamed, "histogram",
+                              renamed + "_bucket", labels, count);
+            }
+            const PromLabel fleet_label[] = {{"process", "fleet"}};
+            w.typedSample(renamed, "histogram", renamed + "_sum",
+                          fleet_label, fleet.sum);
+            w.typedSample(renamed, "histogram", renamed + "_count",
+                          fleet_label, fleet.count);
+            continue;
+        }
+
+        // Counters and gauges: sum the plain (unlabelled) series;
+        // gauges additionally get a max, since "sum of queue depth"
+        // and "worst queue depth" answer different questions.
+        double sum = 0.0;
+        double max = -std::numeric_limits<double>::infinity();
+        bool any = false;
+        for (const auto &[state, family] : group.parts) {
+            for (const auto &sample : family->samples) {
+                if (sample.name != family->name)
+                    continue;
+                sum += sample.value;
+                max = std::max(max, sample.value);
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        if (group.type == "gauge") {
+            const PromLabel sum_labels[] = {{"process", "fleet"},
+                                            {"agg", "sum"}};
+            const PromLabel max_labels[] = {{"process", "fleet"},
+                                            {"agg", "max"}};
+            w.typedSample(renamed, "gauge", renamed, sum_labels, sum);
+            w.typedSample(renamed, "gauge", renamed, max_labels, max);
+        } else {
+            const PromLabel labels[] = {{"process", "fleet"}};
+            w.typedSample(renamed, group.type, renamed, labels, sum);
+        }
+    }
+
+    // Derived training health: per-process worker steps/s.
+    for (const auto &state : targets_) {
+        if (state.prevSteps < 0.0)
+            continue;
+        w.gauge("fa3c_dist_worker_steps_per_sec",
+                {{"process", state.target.label}}, state.stepsPerSec,
+                "Worker step rate derived from scrape deltas");
+    }
+}
+
+std::string
+TelemetryAggregator::renderText() const
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    render(w);
+    return os.str();
+}
+
+void
+TelemetryAggregator::attach(TelemetryServer *server)
+{
+    registration_ = TelemetryRegistration(
+        server, [this](PromWriter &w) { render(w); });
+}
+
+int
+TelemetryAggregator::reachableTargets() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int reachable = 0;
+    for (const auto &state : targets_)
+        reachable += state.reachable ? 1 : 0;
+    return reachable;
+}
+
+} // namespace fa3c::obs

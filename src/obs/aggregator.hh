@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fleet-wide telemetry aggregation.
+ *
+ * Every process in the fleet (serve replicas behind a router, the
+ * dist PS, each forked training worker) already exposes a loopback
+ * /metrics endpoint via obs::TelemetryServer. The TelemetryAggregator
+ * closes the fleet-level gap: it scrapes each target's exposition,
+ * parses it back into families, and re-exports
+ *
+ *  - every selected family per process, renamed under the `fa3c_`
+ *    prefix with a `process="<label>"` label, and
+ *  - fleet rollups under `process="fleet"`: counters and histogram
+ *    families summed across processes, gauges both summed
+ *    (`agg="sum"`) and maxed (`agg="max"`), and
+ *  - derived training health: per-process steps/s computed from
+ *    consecutive scrapes of the worker step counter.
+ *
+ * Histogram summation is done on the CUMULATIVE representation with
+ * a union of bucket bounds; the `+Inf` bucket of each process equals
+ * its total count and is summed exactly once (never folded into the
+ * finite buckets again), so the fleet `_count` stays consistent —
+ * the classic re-aggregation double-count bug the tests pin down.
+ *
+ * The exposition parser and histogram summation are exposed as plain
+ * functions so tests (and tools) can use them without sockets.
+ */
+
+#ifndef FA3C_OBS_AGGREGATOR_HH
+#define FA3C_OBS_AGGREGATOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/prometheus.hh"
+#include "obs/telemetry.hh"
+
+namespace fa3c::obs {
+
+/** One exposition sample line: name{labels} value. */
+struct PromSample
+{
+    std::string name; ///< full sample name (may carry _bucket/_sum/_count)
+    std::vector<std::pair<std::string, std::string>> labels;
+    double value = 0.0;
+
+    /** The value of label @p key, or "" when absent. */
+    std::string_view label(std::string_view key) const;
+};
+
+/** One exposition family: TYPE/HELP plus its sample lines. */
+struct PromFamily
+{
+    std::string name;
+    std::string type = "untyped"; ///< counter|gauge|histogram|untyped
+    std::string help;
+    std::vector<PromSample> samples;
+};
+
+/**
+ * Parse a Prometheus 0.0.4 text exposition into families. Unknown
+ * or malformed lines are skipped (a scrape should degrade, not
+ * fail); samples with no TYPE line land in untyped families.
+ * Histogram series (`x_bucket`, `x_sum`, `x_count`) are folded into
+ * their declared family `x`.
+ */
+std::vector<PromFamily> parseExposition(std::string_view text);
+
+/** A cumulative histogram as scraped: (le, cumulative count) pairs
+ * sorted by bound with +Inf last, plus the _sum/_count series. */
+struct CumulativeHistogram
+{
+    std::vector<std::pair<double, double>> buckets;
+    double sum = 0.0;
+    double count = 0.0;
+};
+
+/** Extract the cumulative histogram of @p family (type histogram). */
+CumulativeHistogram histogramOf(const PromFamily &family);
+
+/**
+ * Sum per-process cumulative histograms into one fleet histogram
+ * over the union of bucket bounds. Each part's cumulative step
+ * function is evaluated at every union bound (its value at the
+ * largest of its own bounds <= the union bound), the `+Inf` bucket
+ * is the sum of the parts' total counts — counted once, never added
+ * into the finite buckets as well.
+ */
+CumulativeHistogram
+sumHistograms(const std::vector<CumulativeHistogram> &parts);
+
+/** One /metrics endpoint to scrape. */
+struct ScrapeTarget
+{
+    std::string label;                ///< process label, e.g. "w0", "ps"
+    std::string host = "127.0.0.1";
+    int port = 0;
+};
+
+struct AggregatorConfig
+{
+    std::vector<ScrapeTarget> targets;
+
+    /** Families re-exported per process and rolled up fleet-wide;
+     * a family qualifies when its name starts with any prefix. */
+    std::vector<std::string> familyPrefixes = {"dist_", "fa3c_dist_"};
+
+    /** Counter family whose scrape-to-scrape delta yields the
+     * per-process steps/s gauge (after fa3c_ renaming). */
+    std::string stepsFamily = "fa3c_dist_worker_steps";
+
+    int scrapeIntervalMs = 1000;
+    int recvTimeoutMs = 500;
+};
+
+/** Scrapes a fleet of /metrics endpoints and re-exports them. */
+class TelemetryAggregator
+{
+  public:
+    explicit TelemetryAggregator(AggregatorConfig cfg);
+    ~TelemetryAggregator();
+
+    TelemetryAggregator(const TelemetryAggregator &) = delete;
+    TelemetryAggregator &operator=(const TelemetryAggregator &) = delete;
+
+    /** Add a scrape target while running (elastic worker joins). */
+    void addTarget(ScrapeTarget target);
+
+    /** Scrape every target once. @return targets reached. */
+    int scrapeOnce();
+
+    /** Launch the periodic background scraper. */
+    void start();
+
+    /** Stop the background scraper (idempotent). */
+    void stop();
+
+    /** Inject a scrape body for @p label without HTTP (tests). */
+    void ingest(const std::string &label, std::string_view exposition);
+
+    /** Render per-process + fleet series into @p w. */
+    void render(PromWriter &w) const;
+
+    /** Standalone exposition text (CLI one-shot, CI curl parity). */
+    std::string renderText() const;
+
+    /**
+     * Attach to @p server (usually obs::telemetry()) so the fleet
+     * series ride on this process's own /metrics. No-op when null.
+     */
+    void attach(TelemetryServer *server);
+
+    std::uint64_t scrapes() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t scrapeFailures() const
+    {
+        return scrapeFailures_.load(std::memory_order_relaxed);
+    }
+
+    /** Targets whose last scrape succeeded. */
+    int reachableTargets() const;
+
+  private:
+    struct TargetState
+    {
+        ScrapeTarget target;
+        bool reachable = false;
+        std::vector<PromFamily> families;
+        // steps/s derivation across consecutive scrapes
+        double prevSteps = -1.0;
+        std::chrono::steady_clock::time_point prevAt{};
+        double stepsPerSec = 0.0;
+    };
+
+    AggregatorConfig cfg_;
+    mutable std::mutex mutex_;
+    std::vector<TargetState> targets_;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+    std::atomic<std::uint64_t> scrapeFailures_{0};
+    TelemetryRegistration registration_;
+
+    bool wantFamily(std::string_view name) const;
+    void ingestLocked(TargetState &state, std::string_view body);
+    void scrapeMain();
+};
+
+} // namespace fa3c::obs
+
+#endif // FA3C_OBS_AGGREGATOR_HH

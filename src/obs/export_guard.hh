@@ -22,10 +22,35 @@
 #include <string>
 #include <system_error>
 
+#include <unistd.h>
+
 namespace fa3c::obs {
 
 class MetricsRegistry;
 class TraceWriter;
+
+/**
+ * Expand export-path tokens: every `%p` becomes this process's OS
+ * pid. Forked children that inherit FA3C_TRACE / FA3C_METRICS_JSON
+ * then write pid-unique files instead of racing one atomic rename.
+ */
+inline std::string
+expandPathTokens(std::string_view path)
+{
+    std::string out;
+    out.reserve(path.size());
+    const std::string pid = std::to_string(::getpid());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (path[i] == '%' && i + 1 < path.size() &&
+            path[i + 1] == 'p') {
+            out += pid;
+            ++i;
+        } else {
+            out += path[i];
+        }
+    }
+    return out;
+}
 
 /** Create @p path's parent directories if missing (best effort). */
 inline void

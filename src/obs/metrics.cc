@@ -342,7 +342,7 @@ metrics()
         installProfileExport(registry);
         if (const char *path = std::getenv("FA3C_METRICS_JSON");
             path && *path) {
-            registry.setExportPath(path);
+            registry.setExportPath(expandPathTokens(path));
             registry.setEnabled(true);
             notifyMetricsExportEnabled(registry);
         }

@@ -143,6 +143,19 @@ PromWriter::histogram(std::string_view name, const sim::Distribution &d,
 }
 
 void
+PromWriter::typedSample(std::string_view family, std::string_view type,
+                        std::string_view sample_name,
+                        std::span<const PromLabel> labels, double value,
+                        std::string_view help)
+{
+    const std::string t(type);
+    (void)header(family, t.c_str(), help);
+    os_ << promSanitize(sample_name);
+    labelSet(labels);
+    os_ << ' ' << promNumber(value) << '\n';
+}
+
+void
 writeRegistry(PromWriter &w, const MetricsRegistry &registry)
 {
     registry.forEachGroup(

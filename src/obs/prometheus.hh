@@ -90,6 +90,19 @@ class PromWriter
     void histogram(std::string_view name, const sim::Distribution &d,
                    std::string_view help = {});
 
+    /**
+     * Raw typed sample: emit HELP/TYPE for @p family once (with the
+     * caller-supplied @p type), then one `sample_name{labels} value`
+     * line. @p sample_name may differ from @p family for histogram
+     * series (`<family>_bucket` / `_sum` / `_count`). The fleet
+     * aggregator uses this to re-emit scraped families verbatim
+     * under additional labels.
+     */
+    void typedSample(std::string_view family, std::string_view type,
+                     std::string_view sample_name,
+                     std::span<const PromLabel> labels, double value,
+                     std::string_view help = {});
+
   private:
     std::ostream &os_;
     std::set<std::string> seen_; ///< families already given TYPE lines

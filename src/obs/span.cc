@@ -92,6 +92,20 @@ childSpan(const SpanContext &parent)
     return ctx;
 }
 
+SpanContext
+remoteChildSpan(std::uint64_t trace_id, std::uint64_t parent_span_id,
+                bool sampled)
+{
+    if (trace_id == 0)
+        return rootSpan();
+    SpanContext ctx;
+    ctx.trace = trace_id;
+    ctx.span = nextId();
+    ctx.parent = parent_span_id;
+    ctx.sampled = sampled;
+    return ctx;
+}
+
 void
 emitSpan(const SpanContext &ctx, const std::string &track,
          const std::string &name,

@@ -67,6 +67,19 @@ SpanContext rootSpan();
 SpanContext childSpan(const SpanContext &parent);
 
 /**
+ * Mint a child of a parent span that lives in ANOTHER process, from
+ * the `{trace_id, parent_span_id, sampled}` triple carried on the
+ * wire. A zero @p trace_id means the peer sent no context (old wire
+ * version or tracing off there) and degrades to rootSpan(), so every
+ * request still gets a local trace identity. The remote sampling
+ * decision is inherited verbatim — a trace is sampled end-to-end
+ * across the fleet or not at all.
+ */
+SpanContext remoteChildSpan(std::uint64_t trace_id,
+                            std::uint64_t parent_span_id,
+                            bool sampled);
+
+/**
  * Emit the completed span @p ctx as a Chrome-trace event on @p track
  * (host clock, category "span") spanning [@p start, @p end], with
  * trace/span/parent ids plus @p extra in the args. No-op when the

@@ -14,7 +14,12 @@ namespace fa3c::obs {
 TraceWriter::TraceWriter(const std::string &path,
                          std::uint64_t max_events,
                          std::uint64_t max_bytes)
-    : epoch_(std::chrono::steady_clock::now()), maxEvents_(max_events),
+    : epoch_(std::chrono::steady_clock::now()),
+      startUnixUs_(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count())),
+      osPid_(static_cast<int>(::getpid())), maxEvents_(max_events),
       maxBytes_(max_bytes)
 {
     ensureParentDir(path);
@@ -43,8 +48,27 @@ TraceWriter::closeLocked()
         return;
     closed_ = true;
     out_ << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
-         << "\"droppedEvents\":" << dropped_ << "}}\n";
+         << "\"droppedEvents\":" << dropped_
+         << ",\"pid\":" << osPid_
+         << ",\"traceStartUnixUs\":" << jsonNumber(startUnixUs_)
+         << ",\"clockOffsetUs\":" << jsonNumber(clockOffsetUs_)
+         << ",\"processLabel\":\"" << jsonEscape(processLabel_)
+         << "\"}}\n";
     out_.flush();
+}
+
+void
+TraceWriter::setClockOffsetUs(double offset_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    clockOffsetUs_ = offset_us;
+}
+
+void
+TraceWriter::setProcessLabel(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    processLabel_ = label;
 }
 
 int
@@ -270,9 +294,10 @@ trace()
 {
     static std::unique_ptr<TraceWriter> global =
         []() -> std::unique_ptr<TraceWriter> {
-        const char *path = std::getenv("FA3C_TRACE");
-        if (!path || !*path)
+        const char *raw = std::getenv("FA3C_TRACE");
+        if (!raw || !*raw)
             return nullptr;
+        const std::string path = expandPathTokens(raw);
         std::uint64_t max_events = 8'000'000;
         if (const char *cap = std::getenv("FA3C_TRACE_MAX_EVENTS"))
             max_events = std::strtoull(cap, nullptr, 10);

@@ -88,6 +88,26 @@ class TraceWriter
     /** Microseconds of host wall-clock since this writer was made. */
     double hostNowUs() const;
 
+    /**
+     * CLOCK_REALTIME unix microseconds captured at construction,
+     * alongside the steady-clock epoch that event timestamps are
+     * relative to. tools/trace_merge uses it (corrected by the
+     * handshake clock offset below) to place this file's events on a
+     * shared fleet timeline.
+     */
+    double startUnixUs() const { return startUnixUs_; }
+
+    /**
+     * Record this host's estimated wall-clock offset versus the fleet
+     * reference (positive = this clock runs ahead), typically
+     * measured from a handshake timestamp exchange. Written into the
+     * trace footer for tools/trace_merge.
+     */
+    void setClockOffsetUs(double offset_us);
+
+    /** Human label for this process in merged traces (footer). */
+    void setProcessLabel(const std::string &label);
+
     /** @p tp on this writer's host-microsecond timeline. */
     double hostUsAt(std::chrono::steady_clock::time_point tp) const;
 
@@ -120,6 +140,10 @@ class TraceWriter
     mutable std::mutex mutex_;
     std::ofstream out_;
     std::chrono::steady_clock::time_point epoch_;
+    double startUnixUs_ = 0.0;
+    double clockOffsetUs_ = 0.0;
+    int osPid_ = 0;
+    std::string processLabel_;
     std::uint64_t maxEvents_;
     std::uint64_t maxBytes_;
     std::uint64_t bytesWritten_ = 0;

@@ -388,13 +388,22 @@ EventLoopServer::parseFrames(Conn &c)
         }
         if (avail < wire::kRequestHeaderBytes)
             break;
-        const wire::RequestHeader h =
+        wire::RequestHeader h =
             wire::decodeRequestHeader(c.in.data());
         if (h.version == 0) {
             FA3C_WARN("serve: bad request magic; closing connection");
             closeConn(c.id);
             return false;
         }
+        // v3 frames carry a trace-context trailer after the common
+        // header; the full header length is known once the magic is.
+        const std::size_t header_len =
+            wire::requestHeaderBytes(h.version);
+        if (avail < header_len)
+            break; // trailer split across reads; wait for the rest
+        if (h.version >= 3)
+            wire::decodeRequestTrace(
+                c.in.data() + wire::kRequestHeaderBytes, h);
         if (h.numel > cfg_.maxObsNumel) {
             // Refuse to sit in a multi-GB discard loop on the
             // claimant's schedule: oversize claims are a protocol
@@ -408,7 +417,7 @@ EventLoopServer::parseFrames(Conn &c)
         if (h.numel != wantNumel_) {
             // Wrong geometry (or absurd size): discard the payload
             // without ever buffering it, answer RejectedBadRequest.
-            c.in.consume(wire::kRequestHeaderBytes);
+            c.in.consume(header_len);
             c.draining = true;
             c.drainBytes =
                 static_cast<std::uint64_t>(h.numel) * sizeof(float);
@@ -417,9 +426,9 @@ EventLoopServer::parseFrames(Conn &c)
             continue;
         }
         const std::size_t payload = wantNumel_ * sizeof(float);
-        if (avail < wire::kRequestHeaderBytes + payload)
+        if (avail < header_len + payload)
             break; // frame split across reads; wait for the rest
-        c.in.consume(wire::kRequestHeaderBytes);
+        c.in.consume(header_len);
         std::memcpy(obsScratch_.data().data(), c.in.data(), payload);
         c.in.consume(payload);
 
@@ -427,7 +436,7 @@ EventLoopServer::parseFrames(Conn &c)
         c.slots.emplace_back();
         Conn::Slot &slot = c.slots.back();
         slot.recv = Clock::now();
-        slot.span = obs::rootSpan();
+        slot.span = wire::requestSpan(h);
         requests_.fetch_add(1, std::memory_order_relaxed);
 
         // The callback runs on a scheduler worker (or inline on a

@@ -269,6 +269,25 @@ ReplicaRouter::shedNow(Response &resp)
     return true;
 }
 
+void
+ReplicaRouter::emitShedSpan(const obs::SpanContext &parent,
+                            Clock::time_point t0,
+                            const Response &resp)
+{
+    // A shed request previously vanished from the trace entirely —
+    // the caller saw RejectedShed but the trace showed nothing past
+    // the client span. Emit a terminal child span so shed decisions
+    // (and their back-off hint) are visible per trace.
+    const auto shed = obs::childSpan(parent);
+    if (!shed.sampled)
+        return;
+    const std::array<obs::TraceArg, 2> args{
+        {{"retry_after_us", static_cast<double>(resp.retryAfterUs)},
+         {"queue_depth", static_cast<double>(aggregateDepth())}}};
+    obs::emitSpan(shed, "serve.router", "route.shed", t0, Clock::now(),
+                  args);
+}
+
 std::future<Response>
 ReplicaRouter::submit(const tensor::Tensor &obs,
                       std::chrono::microseconds deadline_budget,
@@ -278,6 +297,7 @@ ReplicaRouter::submit(const tensor::Tensor &obs,
     {
         Response resp;
         if (shedNow(resp)) {
+            emitShedSpan(parent, Clock::now(), resp);
             std::promise<Response> p;
             p.set_value(std::move(resp));
             return p.get_future();
@@ -310,6 +330,7 @@ ReplicaRouter::submitAsync(const tensor::Tensor &obs,
     {
         Response resp;
         if (shedNow(resp)) {
+            emitShedSpan(parent, Clock::now(), resp);
             done(std::move(resp));
             return;
         }

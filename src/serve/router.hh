@@ -204,6 +204,11 @@ class ReplicaRouter
     /** Shed check; fills @p resp and returns true when shedding. */
     bool shedNow(Response &resp);
 
+    /** Terminal route.shed span (retry_after_us attr) under @p parent. */
+    void emitShedSpan(const obs::SpanContext &parent,
+                      std::chrono::steady_clock::time_point t0,
+                      const Response &resp);
+
     const nn::A3cNetwork &net_;
     FleetConfig cfg_;
     std::vector<std::unique_ptr<PolicyServer>> replicas_;

@@ -138,14 +138,20 @@ TcpServer::connectionMain(int fd)
     std::vector<std::uint8_t> out;
     std::vector<float> drain;
 
+    std::vector<std::uint8_t> trace_ctx(wire::kTraceCtxBytes);
     while (!stopping_.load(std::memory_order_relaxed)) {
         if (!readFull(fd, header.data(), header.size()))
             break;
-        const wire::RequestHeader h =
+        wire::RequestHeader h =
             wire::decodeRequestHeader(header.data());
         if (h.version == 0) {
             FA3C_WARN("serve: bad request magic; closing connection");
             break;
+        }
+        if (h.version >= 3) {
+            if (!readFull(fd, trace_ctx.data(), trace_ctx.size()))
+                break;
+            wire::decodeRequestTrace(trace_ctx.data(), h);
         }
         const auto tag = h.tag;
         const auto deadline_us = h.deadlineUs;
@@ -158,10 +164,11 @@ TcpServer::connectionMain(int fd)
             if (!readFull(fd, obs.data().data(),
                           numel * sizeof(float)))
                 break;
-            // The root span for this request's trace is minted at the
-            // wire: everything downstream (queue, batch, infer) hangs
-            // off it via PolicyServer::submit's parent argument.
-            const auto root = obs::rootSpan();
+            // The span for this request's trace: a child of the
+            // client-propagated context on v3, a locally minted root
+            // otherwise. Everything downstream (queue, batch, infer)
+            // hangs off it via PolicyServer::submit's parent argument.
+            const auto root = wire::requestSpan(h);
             const auto t_recv = Clock::now();
             resp = server_
                        .submit(obs,
@@ -222,10 +229,16 @@ TcpClient::request(const tensor::Tensor &obs, std::uint32_t deadline_us,
 {
     if (fd_ < 0)
         return false;
+    // On v3 every request carries a client-minted root context so the
+    // server (and any router/replica hop behind it) parents its spans
+    // under one fleet-wide trace_id.
+    lastSpan_ =
+        wireVersion_ >= 3 ? obs::rootSpan() : obs::SpanContext{};
+    const auto t_send = std::chrono::steady_clock::now();
     std::vector<std::uint8_t> frame;
     wire::encodeRequest(frame, nextTag_++, deadline_us,
                         obs.data().data(), obs.numel(),
-                        wireVersion_);
+                        wireVersion_, lastSpan_);
     if (!writeFull(fd_, frame.data(), frame.size()))
         return false;
 
@@ -240,6 +253,8 @@ TcpClient::request(const tensor::Tensor &obs, std::uint32_t deadline_us,
         version = 1;
     else if (magic == wire::kResponseMagicV2)
         version = 2;
+    else if (magic == wire::kResponseMagicV3)
+        version = 3;
     else
         return false;
     std::uint8_t prefix[64];
@@ -257,6 +272,12 @@ TcpClient::request(const tensor::Tensor &obs, std::uint32_t deadline_us,
     if (num_probs > 0 &&
         !readFull(fd_, out.policy.data(), num_probs * sizeof(float)))
         return false;
+    if (lastSpan_.sampled) {
+        const std::array<obs::TraceArg, 1> args{
+            {{"status", static_cast<double>(out.status)}}};
+        obs::emitSpan(lastSpan_, "serve.client", "client.request",
+                      t_send, std::chrono::steady_clock::now(), args);
+    }
     return true;
 }
 

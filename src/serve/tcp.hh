@@ -2,7 +2,7 @@
  * @file
  * Thread-per-connection TCP front-end over a PolicyServer, so
  * external processes can submit observations and receive
- * action/value outputs. The frame layout (and its v1/v2 minor
+ * action/value outputs. The frame layout (and its v1/v2/v3 minor
  * versioning) lives in serve/wire.hh, shared with the epoll
  * event-loop front-end (serve/event_loop.hh) that supersedes this
  * one for high connection counts; this implementation stays as the
@@ -112,15 +112,23 @@ class TcpClient
                  Response &out);
 
     /**
-     * Wire version for outgoing requests (default: newest). Set 1
-     * when talking to a pre-v2 server — old binaries close the
-     * connection on a magic they don't recognize, so a v2 client
+     * Wire version for outgoing requests (default: newest). Set 1 or
+     * 2 when talking to an older server — old binaries close the
+     * connection on a magic they don't recognize, so a newer client
      * cannot reach them. Responses are decoded by their own magic
      * either way.
      */
     void setWireVersion(int version) { wireVersion_ = version; }
 
     int wireVersion() const { return wireVersion_; }
+
+    /**
+     * The span context of the most recent request(): on v3 this is
+     * the client-side root injected into the frame, so callers (and
+     * tests) can correlate their own spans with the server side.
+     * Invalid below v3.
+     */
+    const obs::SpanContext &lastSpan() const { return lastSpan_; }
 
     void close();
 
@@ -129,7 +137,8 @@ class TcpClient
   private:
     int fd_ = -1;
     std::uint64_t nextTag_ = 1;
-    int wireVersion_ = 2;
+    int wireVersion_ = wire::kWireVersionLatest;
+    obs::SpanContext lastSpan_;
 };
 
 } // namespace fa3c::serve

@@ -5,18 +5,23 @@
  * the blocking client. All integers are little-endian, floats
  * IEEE-754 binary32; both ends are assumed little-endian hosts.
  *
- * Two minor versions are live. A connection's version is set by the
+ * Three minor versions are live. A connection's version is set by the
  * request magic the client sends and answered in kind, so old
  * clients keep working against new servers:
  *
- *   request frame (v1 magic 0xFA3C5E01, v2 magic 0xFA3C5E11):
+ *   request frame (v1 magic 0xFA3C5E01, v2 0xFA3C5E11,
+ *                  v3 0xFA3C5E21):
  *     u32 magic
  *     u64 tag          client-chosen, echoed in the response
  *     u32 deadline_us  latency budget (0 = none)
  *     u32 obs_numel    number of observation floats
+ *     u64 trace_id        [v3 only] 0 = no trace context
+ *     u64 parent_span_id  [v3 only]
+ *     u8  sampled         [v3 only] head sampling decision
  *     f32 obs[obs_numel]
  *
- *   response frame (v1 magic 0xFA3C5E02, v2 magic 0xFA3C5E12):
+ *   response frame (v1 magic 0xFA3C5E02, v2 0xFA3C5E12,
+ *                   v3 0xFA3C5E22):
  *     u32 magic
  *     u64 tag          echoed request tag
  *     u8  status       serve::Status value
@@ -24,12 +29,16 @@
  *     f32 value        value-head output
  *     u64 model_version
  *     f32 queue_us, f32 infer_us, f32 total_us
- *     u32 retry_after_us   [v2 only] back-off hint on Rejected*
+ *     u32 retry_after_us   [v2+] back-off hint on Rejected*
  *     u32 num_probs    action-probability count (0 unless Ok)
  *     f32 probs[num_probs]
  *
- * The v2 bump (this minor revision) adds retry_after_us so clients
- * facing a shedding fleet can back off instead of hammering it.
+ * The v2 bump added retry_after_us so clients facing a shedding
+ * fleet can back off instead of hammering it. The v3 bump (this
+ * minor revision) carries Dapper-style trace context on the request
+ * so one trace_id spans client -> router -> replica -> backend
+ * across process boundaries; the v3 response layout is bit-identical
+ * to v2 apart from the magic.
  */
 
 #ifndef FA3C_SERVE_WIRE_HH
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "net/frame.hh"
+#include "obs/span.hh"
 #include "serve/request.hh"
 
 namespace fa3c::serve::wire {
@@ -53,11 +63,29 @@ inline constexpr std::uint32_t kRequestMagicV1 = 0xFA3C5E01;
 inline constexpr std::uint32_t kResponseMagicV1 = 0xFA3C5E02;
 inline constexpr std::uint32_t kRequestMagicV2 = 0xFA3C5E11;
 inline constexpr std::uint32_t kResponseMagicV2 = 0xFA3C5E12;
+inline constexpr std::uint32_t kRequestMagicV3 = 0xFA3C5E21;
+inline constexpr std::uint32_t kResponseMagicV3 = 0xFA3C5E22;
 
-/** Request header size in bytes (identical across versions). */
+/** Newest request version this build speaks. */
+inline constexpr int kWireVersionLatest = 3;
+
+/** Bytes of trace context appended to the v3 request header. */
+inline constexpr std::size_t kTraceCtxBytes =
+    sizeof(std::uint64_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint8_t);
+
+/** Request header size in bytes, identical across v1/v2. */
 inline constexpr std::size_t kRequestHeaderBytes =
     sizeof(std::uint32_t) + sizeof(std::uint64_t) +
     sizeof(std::uint32_t) + sizeof(std::uint32_t);
+
+/** Request header size in bytes for @p version. */
+inline constexpr std::size_t
+requestHeaderBytes(int version)
+{
+    return version >= 3 ? kRequestHeaderBytes + kTraceCtxBytes
+                        : kRequestHeaderBytes;
+}
 
 /** Wire version selected by a request magic; 0 = not ours. */
 inline int
@@ -67,6 +95,8 @@ requestVersion(std::uint32_t magic)
         return 1;
     if (magic == kRequestMagicV2)
         return 2;
+    if (magic == kRequestMagicV3)
+        return 3;
     return 0;
 }
 
@@ -77,9 +107,16 @@ struct RequestHeader
     std::uint64_t tag = 0;
     std::uint32_t deadlineUs = 0;
     std::uint32_t numel = 0;
+    std::uint64_t traceId = 0;    ///< v3; 0 = no context
+    std::uint64_t parentSpan = 0; ///< v3
+    bool sampled = false;         ///< v3
 };
 
-/** Decode @p kRequestHeaderBytes at @p p. */
+/**
+ * Decode the version-independent prefix (kRequestHeaderBytes at
+ * @p p). For v3 the caller must still read kTraceCtxBytes more and
+ * feed them to decodeRequestTrace().
+ */
 inline RequestHeader
 decodeRequestHeader(const std::uint8_t *p)
 {
@@ -91,21 +128,49 @@ decodeRequestHeader(const std::uint8_t *p)
     return h;
 }
 
+/** Decode kTraceCtxBytes at @p p into @p h (v3 trailer). */
+inline void
+decodeRequestTrace(const std::uint8_t *p, RequestHeader &h)
+{
+    h.traceId = get<std::uint64_t>(p);
+    h.parentSpan = get<std::uint64_t>(p);
+    h.sampled = get<std::uint8_t>(p) != 0;
+}
+
+/**
+ * The server-side span context for a decoded request: a child of the
+ * propagated remote span when the client sent one, a fresh local
+ * root otherwise (v1/v2 peers, or v3 with tracing off).
+ */
+inline obs::SpanContext
+requestSpan(const RequestHeader &h)
+{
+    return obs::remoteChildSpan(h.traceId, h.parentSpan, h.sampled);
+}
+
 /** Encode one request frame in @p version's magic (defaults to the
- * newest; pass 1 to talk to a pre-v2 server, which closes the
- * connection on a magic it does not recognize). */
+ * newest; pass 1 or 2 to talk to an older server, which closes the
+ * connection on a magic it does not recognize). @p trace carries the
+ * client-side span context on v3 frames and is ignored below v3. */
 inline void
 encodeRequest(std::vector<std::uint8_t> &buf, std::uint64_t tag,
               std::uint32_t deadline_us, const float *obs,
-              std::size_t numel, int version = 2)
+              std::size_t numel, int version = kWireVersionLatest,
+              const obs::SpanContext &trace = {})
 {
     buf.clear();
-    buf.reserve(kRequestHeaderBytes + numel * sizeof(float));
-    put<std::uint32_t>(buf, version >= 2 ? kRequestMagicV2
-                                         : kRequestMagicV1);
+    buf.reserve(requestHeaderBytes(version) + numel * sizeof(float));
+    put<std::uint32_t>(buf, version >= 3   ? kRequestMagicV3
+                            : version >= 2 ? kRequestMagicV2
+                                           : kRequestMagicV1);
     put<std::uint64_t>(buf, tag);
     put<std::uint32_t>(buf, deadline_us);
     put<std::uint32_t>(buf, static_cast<std::uint32_t>(numel));
+    if (version >= 3) {
+        put<std::uint64_t>(buf, trace.trace);
+        put<std::uint64_t>(buf, trace.span);
+        put<std::uint8_t>(buf, trace.sampled ? 1 : 0);
+    }
     const auto *bytes = reinterpret_cast<const std::uint8_t *>(obs);
     buf.insert(buf.end(), bytes, bytes + numel * sizeof(float));
 }
@@ -128,8 +193,9 @@ encodeResponse(std::vector<std::uint8_t> &buf, std::uint64_t tag,
                const Response &resp, int version)
 {
     buf.clear();
-    put<std::uint32_t>(buf, version >= 2 ? kResponseMagicV2
-                                         : kResponseMagicV1);
+    put<std::uint32_t>(buf, version >= 3   ? kResponseMagicV3
+                            : version >= 2 ? kResponseMagicV2
+                                           : kResponseMagicV1);
     put<std::uint64_t>(buf, tag);
     put<std::uint8_t>(buf, static_cast<std::uint8_t>(resp.status));
     put<std::int32_t>(buf, resp.action);

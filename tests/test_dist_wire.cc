@@ -17,14 +17,22 @@ using namespace fa3c::dist;
 
 namespace {
 
-/** Every strict prefix of @p payload must fail @p decode. */
+/**
+ * Every strict prefix of @p payload must fail @p decode — except
+ * @p legacy_ok, the pre-trace/pre-stamp format boundary, which the
+ * tolerant-tail decoders deliberately accept (old peers emit it).
+ */
 template <typename Decode>
 void
-expectTruncationsRejected(const std::string &payload, Decode decode)
+expectTruncationsRejected(const std::string &payload, Decode decode,
+                          std::size_t legacy_ok = std::string::npos)
 {
-    for (std::size_t keep = 0; keep < payload.size(); ++keep)
+    for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+        if (keep == legacy_ok)
+            continue;
         EXPECT_FALSE(decode(std::string_view(payload.data(), keep)))
             << "prefix of " << keep << " bytes decoded";
+    }
 }
 
 } // namespace
@@ -44,10 +52,13 @@ TEST(DistWire, HelloRoundTrip)
     EXPECT_EQ(back.paramCount, 123456u);
     EXPECT_EQ(back.layoutCrc, 0xCAFED00Du);
 
-    expectTruncationsRejected(payload, [](std::string_view p) {
-        wire::Hello h;
-        return wire::decodeHello(h, p);
-    });
+    expectTruncationsRejected(
+        payload,
+        [](std::string_view p) {
+            wire::Hello h;
+            return wire::decodeHello(h, p);
+        },
+        payload.size() - sizeof(std::uint64_t));
 }
 
 TEST(DistWire, WelcomeRoundTrip)
@@ -71,10 +82,13 @@ TEST(DistWire, WelcomeRoundTrip)
     EXPECT_EQ(back.totalSteps, 100000u);
     EXPECT_EQ(back.maxStaleness, 3u);
 
-    expectTruncationsRejected(payload, [](std::string_view p) {
-        wire::Welcome w;
-        return wire::decodeWelcome(w, p);
-    });
+    expectTruncationsRejected(
+        payload,
+        [](std::string_view p) {
+            wire::Welcome w;
+            return wire::decodeWelcome(w, p);
+        },
+        payload.size() - sizeof(std::uint64_t));
 }
 
 TEST(DistWire, ParamsRoundTripValidatesCount)
@@ -129,10 +143,103 @@ TEST(DistWire, PushRoundTripValidatesCount)
     wire::Push wrong;
     EXPECT_FALSE(wire::decodePush(wrong, payload, 2));
 
-    expectTruncationsRejected(payload, [](std::string_view p) {
-        wire::Push out;
-        return wire::decodePush(out, p, 3);
-    });
+    expectTruncationsRejected(
+        payload,
+        [](std::string_view p) {
+            wire::Push out;
+            return wire::decodePush(out, p, 3);
+        },
+        payload.size() - 17); // u64 trace + u64 span + u8 sampled
+}
+
+TEST(DistWire, PushTraceCtxRoundTripAndLegacyCompat)
+{
+    wire::Push m;
+    m.workerId = 3;
+    m.baseVersion = 41;
+    m.steps = 20;
+    m.grads = {1.0f};
+    m.trace.traceId = 0xABCDEF123456ull;
+    m.trace.spanId = 0x123456ABCDEFull;
+    m.trace.sampled = 1;
+
+    std::string payload;
+    wire::encodePush(payload, m);
+    wire::Push back;
+    ASSERT_TRUE(wire::decodePush(back, payload, 1));
+    EXPECT_EQ(back.trace.traceId, m.trace.traceId);
+    EXPECT_EQ(back.trace.spanId, m.trace.spanId);
+    EXPECT_EQ(back.trace.sampled, 1);
+
+    // A pre-trace peer's Push ends 17 bytes earlier; it must decode
+    // with a zeroed (unsampled) context, not be rejected.
+    wire::Push legacy;
+    ASSERT_TRUE(wire::decodePush(
+        legacy, std::string_view(payload.data(), payload.size() - 17),
+        1));
+    EXPECT_EQ(legacy.trace.traceId, 0u);
+    EXPECT_EQ(legacy.trace.spanId, 0u);
+    EXPECT_EQ(legacy.trace.sampled, 0);
+    EXPECT_EQ(legacy.grads, m.grads);
+}
+
+TEST(DistWire, PullRoundTripAndLegacyEmptyPayload)
+{
+    wire::Pull m;
+    m.trace.traceId = 77;
+    m.trace.spanId = 88;
+    m.trace.sampled = 1;
+
+    std::string payload;
+    wire::encodePull(payload, m);
+    wire::Pull back;
+    ASSERT_TRUE(wire::decodePull(back, payload));
+    EXPECT_EQ(back.trace.traceId, 77u);
+    EXPECT_EQ(back.trace.spanId, 88u);
+    EXPECT_EQ(back.trace.sampled, 1);
+
+    // Old workers sent Pull with an empty payload.
+    wire::Pull legacy;
+    legacy.trace.traceId = 999; // must be overwritten, not kept
+    ASSERT_TRUE(wire::decodePull(legacy, std::string_view{}));
+    EXPECT_EQ(legacy.trace.traceId, 0u);
+    EXPECT_EQ(legacy.trace.sampled, 0);
+}
+
+TEST(DistWire, HandshakeClockStampsRoundTrip)
+{
+    wire::Hello hello;
+    hello.workerName = "w0";
+    hello.paramCount = 1;
+    hello.layoutCrc = 1;
+    hello.clientUnixUs = 1'722'000'000'000'123ull;
+    std::string payload;
+    wire::encodeHello(payload, hello);
+    wire::Hello hello_back;
+    ASSERT_TRUE(wire::decodeHello(hello_back, payload));
+    EXPECT_EQ(hello_back.clientUnixUs, hello.clientUnixUs);
+
+    // Legacy Hello (no stamp) -> stamp reads as 0.
+    wire::Hello legacy;
+    ASSERT_TRUE(wire::decodeHello(
+        legacy,
+        std::string_view(payload.data(), payload.size() - 8)));
+    EXPECT_EQ(legacy.clientUnixUs, 0u);
+
+    wire::Welcome welcome;
+    welcome.workerId = 1;
+    welcome.serverUnixUs = 1'722'000'000'500'000ull;
+    std::string wpayload;
+    wire::encodeWelcome(wpayload, welcome);
+    wire::Welcome welcome_back;
+    ASSERT_TRUE(wire::decodeWelcome(welcome_back, wpayload));
+    EXPECT_EQ(welcome_back.serverUnixUs, welcome.serverUnixUs);
+
+    wire::Welcome wlegacy;
+    ASSERT_TRUE(wire::decodeWelcome(
+        wlegacy,
+        std::string_view(wpayload.data(), wpayload.size() - 8)));
+    EXPECT_EQ(wlegacy.serverUnixUs, 0u);
 }
 
 TEST(DistWire, PushAckRoundTripWithAndWithoutTheta)

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Fleet telemetry aggregation: exposition parsing, cumulative
+ * histogram re-aggregation (the +Inf bucket must be counted once,
+ * never folded into the finite buckets a second time), label-value
+ * escaping surviving a write -> parse round trip, and the full
+ * HTTP scrape path against two live TelemetryServer instances with
+ * distinct per-process histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/aggregator.hh"
+#include "obs/prometheus.hh"
+#include "obs/telemetry.hh"
+#include "sim/stats.hh"
+
+using namespace fa3c;
+using obs::CumulativeHistogram;
+using obs::PromLabel;
+using obs::PromWriter;
+
+TEST(PromParse, FamiliesTypesAndSamples)
+{
+    const char *text =
+        "# HELP dist_staleness Push staleness\n"
+        "# TYPE dist_staleness histogram\n"
+        "dist_staleness_bucket{le=\"1\"} 3\n"
+        "dist_staleness_bucket{le=\"2\"} 5\n"
+        "dist_staleness_bucket{le=\"+Inf\"} 6\n"
+        "dist_staleness_sum 9\n"
+        "dist_staleness_count 6\n"
+        "# TYPE dist_pushes counter\n"
+        "dist_pushes 41\n"
+        "loose_gauge 2.5\n";
+    const auto families = obs::parseExposition(text);
+    ASSERT_EQ(families.size(), 3u);
+
+    const auto &hist = families[0];
+    EXPECT_EQ(hist.name, "dist_staleness");
+    EXPECT_EQ(hist.type, "histogram");
+    EXPECT_EQ(hist.help, "Push staleness");
+    EXPECT_EQ(hist.samples.size(), 5u);
+    EXPECT_EQ(hist.samples[0].label("le"), "1");
+    EXPECT_DOUBLE_EQ(hist.samples[0].value, 3.0);
+
+    EXPECT_EQ(families[1].name, "dist_pushes");
+    EXPECT_EQ(families[1].type, "counter");
+    ASSERT_EQ(families[1].samples.size(), 1u);
+    EXPECT_DOUBLE_EQ(families[1].samples[0].value, 41.0);
+
+    EXPECT_EQ(families[2].name, "loose_gauge");
+    EXPECT_EQ(families[2].type, "untyped");
+}
+
+TEST(PromParse, MalformedLinesAreSkippedNotFatal)
+{
+    const char *text =
+        "ok_gauge 1\n"
+        "broken{unterminated 3\n"
+        "no_value\n"
+        "also_ok 2\n";
+    const auto families = obs::parseExposition(text);
+    ASSERT_EQ(families.size(), 2u);
+    EXPECT_EQ(families[0].name, "ok_gauge");
+    EXPECT_EQ(families[1].name, "also_ok");
+}
+
+TEST(PromParse, LabelEscapingRoundTripsThroughWriter)
+{
+    // Values with every escapable character, rendered by PromWriter
+    // and read back by the scrape parser, must come back verbatim —
+    // this is the write -> wire -> parse invariant the aggregator's
+    // re-export depends on.
+    const std::string nasty = "a\"b\\c\nd,e=f";
+    std::ostringstream os;
+    PromWriter w(os);
+    const PromLabel labels[] = {{"process", nasty}};
+    w.gauge("g", labels, 1.5);
+
+    const auto families = obs::parseExposition(os.str());
+    ASSERT_EQ(families.size(), 1u);
+    ASSERT_EQ(families[0].samples.size(), 1u);
+    EXPECT_EQ(families[0].samples[0].label("process"), nasty);
+    EXPECT_DOUBLE_EQ(families[0].samples[0].value, 1.5);
+}
+
+TEST(HistogramSum, UnionOfBoundsNoInfDoubleCount)
+{
+    // Process A: bounds {1, 4}, 10 total; 2 observations above 4
+    // live only in its +Inf bucket.
+    CumulativeHistogram a;
+    a.buckets = {{1.0, 3.0},
+                 {4.0, 8.0},
+                 {std::numeric_limits<double>::infinity(), 10.0}};
+    a.sum = 25.0;
+    a.count = 10.0;
+    // Process B: different bounds {2, 4}, 6 total, 1 above 4.
+    CumulativeHistogram b;
+    b.buckets = {{2.0, 2.0},
+                 {4.0, 5.0},
+                 {std::numeric_limits<double>::infinity(), 6.0}};
+    b.sum = 13.0;
+    b.count = 6.0;
+
+    const CumulativeHistogram fleet = obs::sumHistograms({a, b});
+    EXPECT_DOUBLE_EQ(fleet.sum, 38.0);
+    EXPECT_DOUBLE_EQ(fleet.count, 16.0);
+
+    // Union of finite bounds {1, 2, 4} plus one +Inf.
+    ASSERT_EQ(fleet.buckets.size(), 4u);
+    EXPECT_DOUBLE_EQ(fleet.buckets[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(fleet.buckets[0].second, 3.0); // a@1 + b@(none)
+    EXPECT_DOUBLE_EQ(fleet.buckets[1].first, 2.0);
+    EXPECT_DOUBLE_EQ(fleet.buckets[1].second, 5.0); // a@1=3 + b@2=2
+    EXPECT_DOUBLE_EQ(fleet.buckets[2].first, 4.0);
+    EXPECT_DOUBLE_EQ(fleet.buckets[2].second, 13.0); // 8 + 5
+    EXPECT_TRUE(std::isinf(fleet.buckets[3].first));
+
+    // THE bug this test pins down: the fleet +Inf bucket must be the
+    // sum of total counts (16), NOT finite-cumulative + counts again
+    // (13 + 16 = 29, the double-count a naive re-bucketing produces).
+    EXPECT_DOUBLE_EQ(fleet.buckets[3].second, 16.0);
+    // Cumulative monotonicity holds across the union.
+    for (std::size_t i = 1; i < fleet.buckets.size(); ++i)
+        EXPECT_GE(fleet.buckets[i].second,
+                  fleet.buckets[i - 1].second);
+}
+
+TEST(Aggregator, IngestRendersPerProcessAndFleetSeries)
+{
+    obs::AggregatorConfig cfg;
+    cfg.targets.push_back(obs::ScrapeTarget{"w0", "127.0.0.1", 0});
+    cfg.targets.push_back(obs::ScrapeTarget{"w1", "127.0.0.1", 0});
+    obs::TelemetryAggregator agg(cfg);
+
+    agg.ingest("w0",
+               "# TYPE dist_staleness histogram\n"
+               "dist_staleness_bucket{le=\"1\"} 2\n"
+               "dist_staleness_bucket{le=\"+Inf\"} 4\n"
+               "dist_staleness_sum 6\n"
+               "dist_staleness_count 4\n"
+               "# TYPE dist_pushes counter\n"
+               "dist_pushes 10\n"
+               "ignored_family 3\n");
+    agg.ingest("w1",
+               "# TYPE dist_staleness histogram\n"
+               "dist_staleness_bucket{le=\"2\"} 1\n"
+               "dist_staleness_bucket{le=\"+Inf\"} 3\n"
+               "dist_staleness_sum 5\n"
+               "dist_staleness_count 3\n"
+               "# TYPE dist_pushes counter\n"
+               "dist_pushes 7\n");
+
+    const std::string out = agg.renderText();
+
+    // Per-process re-export under the fa3c_ prefix with process
+    // labels; families outside the prefix filter are dropped.
+    EXPECT_NE(out.find("fa3c_dist_pushes{process=\"w0\"} 10"),
+              std::string::npos);
+    EXPECT_NE(out.find("fa3c_dist_pushes{process=\"w1\"} 7"),
+              std::string::npos);
+    EXPECT_EQ(out.find("ignored_family"), std::string::npos);
+
+    // Fleet rollups: counter sum, histogram union with the +Inf
+    // bucket equal to the summed counts.
+    EXPECT_NE(out.find("fa3c_dist_pushes{process=\"fleet\"} 17"),
+              std::string::npos);
+    EXPECT_NE(
+        out.find("fa3c_dist_staleness_count{process=\"fleet\"} 7"),
+        std::string::npos);
+    EXPECT_NE(
+        out.find("fa3c_dist_staleness_sum{process=\"fleet\"} 11"),
+        std::string::npos);
+    EXPECT_NE(out.find("fa3c_dist_staleness_bucket{process=\"fleet\""
+                       ",le=\"+Inf\"} 7"),
+              std::string::npos);
+
+    // The rendered rollup must itself re-parse: count == +Inf bucket.
+    const auto families = obs::parseExposition(out);
+    for (const auto &family : families) {
+        if (family.name != "fa3c_dist_staleness")
+            continue;
+        double fleet_count = -1.0;
+        double fleet_inf = -1.0;
+        for (const auto &sample : family.samples) {
+            if (sample.label("process") != "fleet")
+                continue;
+            if (sample.name == "fa3c_dist_staleness_count")
+                fleet_count = sample.value;
+            if (sample.name == "fa3c_dist_staleness_bucket" &&
+                sample.label("le") == "+Inf")
+                fleet_inf = sample.value;
+        }
+        EXPECT_DOUBLE_EQ(fleet_count, 7.0);
+        EXPECT_DOUBLE_EQ(fleet_inf, 7.0);
+    }
+}
+
+TEST(Aggregator, GaugesRollUpAsSumAndMax)
+{
+    obs::AggregatorConfig cfg;
+    cfg.targets.push_back(obs::ScrapeTarget{"w0", "127.0.0.1", 0});
+    cfg.targets.push_back(obs::ScrapeTarget{"w1", "127.0.0.1", 0});
+    obs::TelemetryAggregator agg(cfg);
+    agg.ingest("w0", "# TYPE dist_queue_depth gauge\n"
+                     "dist_queue_depth 3\n");
+    agg.ingest("w1", "# TYPE dist_queue_depth gauge\n"
+                     "dist_queue_depth 8\n");
+
+    const std::string out = agg.renderText();
+    EXPECT_NE(out.find("fa3c_dist_queue_depth{process=\"fleet\","
+                       "agg=\"sum\"} 11"),
+              std::string::npos);
+    EXPECT_NE(out.find("fa3c_dist_queue_depth{process=\"fleet\","
+                       "agg=\"max\"} 8"),
+              std::string::npos);
+}
+
+TEST(Aggregator, ScrapesTwoLiveTelemetryServersOverHttp)
+{
+    // Two real TelemetryServers on ephemeral loopback ports, each
+    // with a synthetic collector exporting a distinct histogram —
+    // the full worker-fleet shape, in-process.
+    obs::TelemetryServer server_a(0);
+    obs::TelemetryServer server_b(0);
+    ASSERT_TRUE(server_a.ok());
+    ASSERT_TRUE(server_b.ok());
+
+    sim::Distribution dist_a;
+    dist_a.sample(1.0);
+    dist_a.sample(100.0);
+    sim::Distribution dist_b;
+    dist_b.sample(1000.0);
+
+    const int id_a = server_a.addCollector([&](PromWriter &w) {
+        w.histogram("dist_push_rtt_us", dist_a);
+    });
+    const int id_b = server_b.addCollector([&](PromWriter &w) {
+        w.histogram("dist_push_rtt_us", dist_b);
+    });
+
+    obs::AggregatorConfig cfg;
+    cfg.targets.push_back(
+        obs::ScrapeTarget{"w0", "127.0.0.1", server_a.port()});
+    cfg.targets.push_back(
+        obs::ScrapeTarget{"w1", "127.0.0.1", server_b.port()});
+    obs::TelemetryAggregator agg(cfg);
+    EXPECT_EQ(agg.scrapeOnce(), 2);
+    EXPECT_EQ(agg.reachableTargets(), 2);
+
+    const std::string out = agg.renderText();
+    // Per-process series for both workers...
+    EXPECT_NE(
+        out.find("fa3c_dist_push_rtt_us_count{process=\"w0\"} 2"),
+        std::string::npos);
+    EXPECT_NE(
+        out.find("fa3c_dist_push_rtt_us_count{process=\"w1\"} 1"),
+        std::string::npos);
+    // ...and the fleet rollup sums across them: 3 observations,
+    // sum 1101, +Inf bucket exactly 3.
+    EXPECT_NE(
+        out.find("fa3c_dist_push_rtt_us_count{process=\"fleet\"} 3"),
+        std::string::npos);
+    EXPECT_NE(
+        out.find("fa3c_dist_push_rtt_us_sum{process=\"fleet\"} 1101"),
+        std::string::npos);
+    EXPECT_NE(out.find("fa3c_dist_push_rtt_us_bucket{process=\""
+                       "fleet\",le=\"+Inf\"} 3"),
+              std::string::npos);
+
+    // An unreachable target degrades the scrape, not the render.
+    agg.addTarget(obs::ScrapeTarget{"dead", "127.0.0.1", 1});
+    EXPECT_EQ(agg.scrapeOnce(), 2);
+    EXPECT_EQ(agg.reachableTargets(), 2);
+    EXPECT_GT(agg.scrapeFailures(), 0u);
+
+    server_a.removeCollector(id_a);
+    server_b.removeCollector(id_b);
+}

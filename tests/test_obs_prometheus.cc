@@ -116,3 +116,32 @@ TEST(PromWriter, EmptyLabelSpanFallsBackToBareSample)
     EXPECT_NE(out.find("plain 3"), std::string::npos);
     EXPECT_EQ(out.find('{'), std::string::npos);
 }
+
+TEST(PromWriter, TypedSampleEmitsCallerTypeOnce)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    const PromLabel a[] = {{"process", "w0"}};
+    const PromLabel b[] = {{"process", "w1"}};
+    w.typedSample("fleet_lat", "histogram", "fleet_lat_sum", a, 5.0);
+    w.typedSample("fleet_lat", "histogram", "fleet_lat_sum", b, 7.0);
+    const std::string out = os.str();
+    // One TYPE line with the caller-supplied type, then both samples
+    // under their own label sets and sample names.
+    EXPECT_EQ(out.find("# TYPE fleet_lat histogram"),
+              out.rfind("# TYPE fleet_lat histogram"));
+    EXPECT_NE(out.find("fleet_lat_sum{process=\"w0\"} 5"),
+              std::string::npos);
+    EXPECT_NE(out.find("fleet_lat_sum{process=\"w1\"} 7"),
+              std::string::npos);
+}
+
+TEST(PromWriter, TypedSampleEscapesLabelValues)
+{
+    std::ostringstream os;
+    PromWriter w(os);
+    const PromLabel labels[] = {{"process", "a\"b\\c\nd"}};
+    w.typedSample("g", "gauge", "g", labels, 1.0);
+    EXPECT_NE(os.str().find("process=\"a\\\"b\\\\c\\nd\""),
+              std::string::npos);
+}

@@ -151,6 +151,8 @@ struct RawClient
             version_out = 1;
         else if (magic == wire::kResponseMagicV2)
             version_out = 2;
+        else if (magic == wire::kResponseMagicV3)
+            version_out = 3;
         else
             return false;
         std::vector<std::uint8_t> prefix(
@@ -238,7 +240,7 @@ TEST(ServeEventLoop, FrameSplitAcrossManyReadsReassembles)
     int version = 0;
     ASSERT_TRUE(client.readResponse(tag, resp, version));
     EXPECT_EQ(tag, 42u);
-    EXPECT_EQ(version, 2);
+    EXPECT_EQ(version, wire::kWireVersionLatest);
     EXPECT_EQ(resp.status, Status::Ok);
     loop.stop();
 }

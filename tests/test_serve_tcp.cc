@@ -1,11 +1,19 @@
 /** @file TCP front-end round trips against the in-process API. */
 
 #include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/export_guard.hh"
+#include "obs/json.hh"
+#include "obs/span.hh"
+#include "obs/trace.hh"
 #include "serve/tcp.hh"
 
 using namespace fa3c;
@@ -13,6 +21,38 @@ using namespace fa3c::serve;
 using namespace std::chrono_literals;
 
 namespace {
+
+// Enable the process-global TraceWriter before gtest runs anything:
+// the propagation test below needs spans to actually land in a file,
+// and obs::trace() latches its decision on first use. Static init
+// beats any test, so this must run at namespace scope. overwrite=0
+// keeps an externally supplied FA3C_TRACE.
+const bool g_traceEnv = [] {
+    ::setenv("FA3C_TRACE", "test_serve_tcp_trace.%p.json", 0);
+    return true;
+}();
+
+std::string
+readTraceFile()
+{
+    const char *raw = std::getenv("FA3C_TRACE");
+    std::ifstream in(obs::expandPathTokens(raw ? raw : ""));
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+std::size_t
+countOccurrences(const std::string &haystack,
+                 const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + 1))
+        ++n;
+    return n;
+}
 
 struct Fixture
 {
@@ -149,4 +189,71 @@ TEST(ServeTcp, ManyConnectionsBatchServerSide)
     const sim::StatGroup stats = server.statsSnapshot();
     EXPECT_EQ(stats.counterValue("served"),
               static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST(ServeTcp, V3PropagatesTraceContextAcrossTheWire)
+{
+    ASSERT_NE(obs::trace(), nullptr)
+        << "static init should have enabled FA3C_TRACE";
+
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    TcpServer tcp(server, TcpConfig{});
+    ASSERT_TRUE(tcp.start());
+
+    TcpClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", tcp.port()));
+    Response r;
+    ASSERT_TRUE(client.request(f.observation(0.7f), 0, r));
+    EXPECT_EQ(r.status, Status::Ok);
+
+    // The client minted a sampled root context and sent it in the v3
+    // trace block...
+    const obs::SpanContext span = client.lastSpan();
+    EXPECT_NE(span.trace, 0u);
+    EXPECT_TRUE(span.sampled);
+
+    client.close();
+    tcp.stop(); // joins the connection thread -> server span emitted
+    obs::trace()->flush();
+
+    // ...and the SAME trace id must appear on both the client span
+    // ("client.request") and the server span ("tcp.request"). Both
+    // sides format ids through jsonNumber, so an exact substring
+    // match is well defined.
+    const std::string body = readTraceFile();
+    const std::string needle =
+        "\"trace_id\":" +
+        obs::jsonNumber(static_cast<double>(span.trace));
+    EXPECT_GE(countOccurrences(body, needle), 2u)
+        << "trace id " << span.trace
+        << " not found on both sides of the wire";
+}
+
+TEST(ServeTcp, OldWireVersionsStillAnswered)
+{
+    Fixture f;
+    PolicyServer server(f.net, f.config());
+    server.publish(f.params);
+    server.start();
+
+    TcpServer tcp(server, TcpConfig{});
+    ASSERT_TRUE(tcp.start());
+
+    for (int version : {1, 2}) {
+        TcpClient client;
+        client.setWireVersion(version);
+        ASSERT_TRUE(client.connect("127.0.0.1", tcp.port()));
+        Response r;
+        ASSERT_TRUE(client.request(f.observation(0.4f), 0, r))
+            << "v" << version << " request failed";
+        EXPECT_EQ(r.status, Status::Ok);
+        // Pre-v3 frames have no trace block; no context is minted.
+        EXPECT_EQ(client.lastSpan().trace, 0u);
+        client.close();
+    }
+    tcp.stop();
 }

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * trace_merge — align and merge per-process FA3C trace files.
+ *
+ *   trace_merge [-o merged.json] [--require-cross-process N] \
+ *               trace.1234.json trace.1235.json ...
+ *
+ * Reads each per-process Chrome trace (written under FA3C_TRACE with
+ * a %p token), aligns all files onto the server wall clock using the
+ * footer's traceStartUnixUs/clockOffsetUs, and writes one merged
+ * Perfetto-loadable trace. Prints, per distributed trace_id, how
+ * many distinct input files carried its spans.
+ *
+ * --require-cross-process N makes the exit status a propagation
+ * gate: exit 0 only when at least one trace_id was observed in >= N
+ * distinct files (i.e. one request/push genuinely crossed N
+ * processes), which is how CI asserts end-to-end trace propagation.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace_merge/trace_merge.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [-o merged.json] [--require-cross-process N]"
+                 " trace1.json trace2.json ...\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string output;
+    std::size_t require_cross = 0;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--require-cross-process" && i + 1 < argc) {
+            require_cross =
+                static_cast<std::size_t>(std::atoi(argv[++i]));
+        } else if (arg == "-h" || arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<fa3c::tools::TraceFile> files;
+    for (const auto &path : inputs) {
+        try {
+            files.push_back(fa3c::tools::loadTraceFile(path));
+        } catch (const std::exception &e) {
+            std::cerr << "trace_merge: " << e.what() << '\n';
+            return 1;
+        }
+    }
+
+    std::ostringstream merged;
+    const auto report = fa3c::tools::mergeTraces(files, merged);
+
+    if (!output.empty()) {
+        std::ofstream out(output, std::ios::trunc);
+        if (!out) {
+            std::cerr << "trace_merge: cannot write " << output
+                      << '\n';
+            return 1;
+        }
+        out << merged.str();
+    } else {
+        std::cout << merged.str();
+    }
+
+    std::cerr << "trace_merge: " << report.files << " files, "
+              << report.events << " events, " << report.spanEvents
+              << " span events, " << report.traceFiles.size()
+              << " distinct trace ids\n";
+    for (const auto &[trace_id, file_set] : report.traceFiles) {
+        std::cerr << "  trace " << trace_id << ": "
+                  << file_set.size() << " file(s):";
+        for (std::size_t idx : file_set)
+            std::cerr << ' ' << files[idx].processLabel;
+        std::cerr << '\n';
+    }
+
+    if (require_cross > 0) {
+        const std::size_t n = report.crossProcessTraces(require_cross);
+        if (n == 0) {
+            std::cerr << "trace_merge: FAIL — no trace id spans >= "
+                      << require_cross << " processes\n";
+            return 1;
+        }
+        std::cerr << "trace_merge: OK — " << n
+                  << " trace id(s) span >= " << require_cross
+                  << " processes\n";
+    }
+    return 0;
+}

@@ -1,0 +1,195 @@
+#include "trace_merge/trace_merge.hh"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fa3c::tools {
+
+namespace {
+
+/** Serialize a parsed Json DOM back out through the JsonWriter. */
+void
+writeJson(obs::JsonWriter &w, const obs::Json &v)
+{
+    using Kind = obs::Json::Kind;
+    switch (v.kind) {
+      case Kind::Null:
+        // The writer has no null; traces never contain one, but a
+        // hand-edited file might — degrade to 0 rather than throw.
+        w.value(0.0);
+        break;
+      case Kind::Bool:
+        w.value(v.boolean);
+        break;
+      case Kind::Number:
+        w.value(v.number);
+        break;
+      case Kind::String:
+        w.value(std::string_view(v.str));
+        break;
+      case Kind::Array:
+        w.beginArray();
+        for (const auto &item : v.array)
+            writeJson(w, item);
+        w.endArray();
+        break;
+      case Kind::Object:
+        w.beginObject();
+        for (const auto &[key, member] : v.object) {
+            w.key(key);
+            writeJson(w, member);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+obs::Json
+numberJson(double v)
+{
+    obs::Json j;
+    j.kind = obs::Json::Kind::Number;
+    j.number = v;
+    return j;
+}
+
+} // namespace
+
+TraceFile
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    TraceFile file;
+    file.path = path;
+    file.doc = obs::parseJson(buffer.str());
+    if (!file.doc.isObject() || !file.doc.has("traceEvents") ||
+        !file.doc.at("traceEvents").isArray())
+        throw std::runtime_error("not a trace file (no traceEvents): " +
+                                 path);
+    if (file.doc.has("otherData")) {
+        const obs::Json &other = file.doc.at("otherData");
+        file.pid = static_cast<int>(other.numberOr("pid", 0.0));
+        file.traceStartUnixUs = other.numberOr("traceStartUnixUs", 0.0);
+        file.clockOffsetUs = other.numberOr("clockOffsetUs", 0.0);
+        file.processLabel = other.stringOr("processLabel", "");
+    }
+    if (file.processLabel.empty())
+        file.processLabel = "pid" + std::to_string(file.pid);
+    return file;
+}
+
+std::size_t
+MergeReport::crossProcessTraces(std::size_t min_files) const
+{
+    std::size_t n = 0;
+    for (const auto &[trace_id, files] : traceFiles)
+        n += files.size() >= min_files ? 1 : 0;
+    return n;
+}
+
+MergeReport
+mergeTraces(std::vector<TraceFile> &files, std::ostream &out)
+{
+    MergeReport report;
+    report.files = files.size();
+
+    double min_anchor = std::numeric_limits<double>::infinity();
+    for (const auto &file : files)
+        min_anchor = std::min(min_anchor, file.anchorUs());
+    if (!std::isfinite(min_anchor))
+        min_anchor = 0.0;
+
+    obs::JsonWriter w(out);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        TraceFile &file = files[i];
+        const double shift = file.anchorUs() - min_anchor;
+        const int pid_base = static_cast<int>(i) * 100;
+
+        for (obs::Json &event : file.doc.object.at("traceEvents").array) {
+            if (!event.isObject())
+                continue;
+            auto &members = event.object;
+
+            // Remap the Chrome pid into this file's private band so
+            // two files' "host" tracks stay separate rows.
+            if (auto it = members.find("pid"); it != members.end())
+                it->second =
+                    numberJson(pid_base + it->second.asNumber());
+
+            const std::string ph = event.stringOr("ph", "");
+            if (ph == "M") {
+                // Prefix process names with the originating process
+                // label so the merged view reads "w0/host", "ps/sim".
+                if (event.stringOr("name", "") == "process_name") {
+                    auto args = members.find("args");
+                    if (args != members.end() &&
+                        args->second.isObject()) {
+                        auto name = args->second.object.find("name");
+                        if (name != args->second.object.end() &&
+                            name->second.isString())
+                            name->second.str = file.processLabel +
+                                               "/" + name->second.str;
+                    }
+                }
+            } else if (auto ts = members.find("ts");
+                       ts != members.end()) {
+                ts->second =
+                    numberJson(ts->second.asNumber() + shift);
+            }
+
+            if (event.stringOr("cat", "") == "span") {
+                ++report.spanEvents;
+                if (auto args = members.find("args");
+                    args != members.end() && args->second.isObject()) {
+                    const double id =
+                        args->second.numberOr("trace_id", 0.0);
+                    if (id > 0.0)
+                        report
+                            .traceFiles[static_cast<std::uint64_t>(id)]
+                            .insert(i);
+                }
+            }
+
+            writeJson(w, event);
+            ++report.events;
+        }
+    }
+
+    w.endArray();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("otherData");
+    w.beginObject();
+    w.field("mergedFiles", static_cast<std::uint64_t>(files.size()));
+    w.field("anchorUnixUs", min_anchor);
+    w.key("inputs");
+    w.beginArray();
+    for (const auto &file : files) {
+        w.beginObject();
+        w.field("path", std::string_view(file.path));
+        w.field("processLabel", std::string_view(file.processLabel));
+        w.field("pid", static_cast<std::int64_t>(file.pid));
+        w.field("shiftUs", file.anchorUs() - min_anchor);
+        w.field("clockOffsetUs", file.clockOffsetUs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    out << '\n';
+    return report;
+}
+
+} // namespace fa3c::tools

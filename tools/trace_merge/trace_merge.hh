@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Offline fleet-trace merger.
+ *
+ * Every process in a fleet run writes its own Chrome-trace JSON file
+ * (FA3C_TRACE with a %p pid token). Each file's timestamps are
+ * microseconds on that process's private steady_clock epoch — they
+ * mean nothing to each other until aligned. The footer written by
+ * TraceWriter carries what the merge needs:
+ *
+ *  - traceStartUnixUs : the wall-clock instant of the file's epoch;
+ *  - clockOffsetUs    : the Cristian-estimated offset of this host's
+ *    wall clock from the PS's (0 for the PS itself and for
+ *    single-host serve traces);
+ *  - pid/processLabel : identity for pid remapping and display.
+ *
+ * The merge shifts every event of file i by
+ *     anchor_i = traceStartUnixUs_i - clockOffsetUs_i
+ * re-based against the earliest anchor, so all files land on one
+ * common (server wall clock) timeline. Chrome pids are remapped to
+ * `fileIndex*100 + originalPid` to keep per-file process tracks
+ * distinct, and process_name metadata is prefixed with the process
+ * label. The result loads in Perfetto as one fleet trace.
+ *
+ * The merger also cross-references span events (cat "span"): for
+ * each trace_id it counts how many distinct input files carry it,
+ * which is the end-to-end propagation check CI gates on
+ * (--require-cross-process N).
+ */
+
+#ifndef FA3C_TOOLS_TRACE_MERGE_HH
+#define FA3C_TOOLS_TRACE_MERGE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace fa3c::tools {
+
+/** One parsed input trace plus its footer metadata. */
+struct TraceFile
+{
+    std::string path;
+    obs::Json doc;
+    int pid = 0;
+    double traceStartUnixUs = 0.0;
+    double clockOffsetUs = 0.0;
+    std::string processLabel;
+
+    /** This file's epoch on the common (server) wall clock. */
+    double anchorUs() const { return traceStartUnixUs - clockOffsetUs; }
+};
+
+/** Load and validate one trace file; throws std::runtime_error on
+ * unreadable/malformed input. */
+TraceFile loadTraceFile(const std::string &path);
+
+struct MergeReport
+{
+    std::size_t files = 0;
+    std::size_t events = 0;
+    std::size_t spanEvents = 0;
+
+    /** trace_id -> indices of input files carrying it. */
+    std::map<std::uint64_t, std::set<std::size_t>> traceFiles;
+
+    /** Traces observed in at least @p min_files distinct files. */
+    std::size_t crossProcessTraces(std::size_t min_files) const;
+};
+
+/**
+ * Merge @p files onto one timeline and write the combined Chrome
+ * trace JSON to @p out. Files are consumed (their DOMs are rewritten
+ * in place during the merge).
+ */
+MergeReport mergeTraces(std::vector<TraceFile> &files,
+                        std::ostream &out);
+
+} // namespace fa3c::tools
+
+#endif // FA3C_TOOLS_TRACE_MERGE_HH
